@@ -1,0 +1,349 @@
+//! Join and semijoin conditions θ.
+//!
+//! Definition 1(6) of the paper: a join condition is a conjunction
+//! `⋀ₛ iₛ αₛ jₛ` with `αₛ ∈ {=, ≠, <, >}`, where `iₛ` refers to a column of
+//! the **left** operand and `jₛ` to a column of the **right** operand, both
+//! **1-based**. Definition 20 derives from θ the sets `constrainedₗ(E)` /
+//! `uncₗ(E)` of equality-(un)constrained columns; those are provided here
+//! because they depend only on the condition and the operand arities.
+
+use sj_storage::Value;
+use std::fmt;
+
+/// A comparison operator α ∈ {=, ≠, <, >}.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum CompOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Neq,
+    /// `<`  (left value strictly below right value)
+    Lt,
+    /// `>`  (left value strictly above right value)
+    Gt,
+}
+
+impl CompOp {
+    /// Evaluate the comparison on two values.
+    #[inline]
+    pub fn eval(self, l: &Value, r: &Value) -> bool {
+        match self {
+            CompOp::Eq => l == r,
+            CompOp::Neq => l != r,
+            CompOp::Lt => l < r,
+            CompOp::Gt => l > r,
+        }
+    }
+
+    /// The operator with sides swapped: `i α j ≡ j α̃ i`.
+    pub fn flipped(self) -> CompOp {
+        match self {
+            CompOp::Eq => CompOp::Eq,
+            CompOp::Neq => CompOp::Neq,
+            CompOp::Lt => CompOp::Gt,
+            CompOp::Gt => CompOp::Lt,
+        }
+    }
+
+    /// The symbol as printed.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompOp::Eq => "=",
+            CompOp::Neq => "!=",
+            CompOp::Lt => "<",
+            CompOp::Gt => ">",
+        }
+    }
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// One conjunct `i α j` of a condition; `left`/`right` are 1-based column
+/// indices into the left/right operand.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// 1-based column of the left operand.
+    pub left: usize,
+    /// The comparison operator.
+    pub op: CompOp,
+    /// 1-based column of the right operand.
+    pub right: usize,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}", self.left, self.op, self.right)
+    }
+}
+
+/// A condition θ: a conjunction of [`Atom`]s. The empty conjunction is
+/// `true` (giving a cartesian product / unconditional semijoin).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Condition {
+    atoms: Vec<Atom>,
+}
+
+impl Condition {
+    /// The empty (always-true) condition: a cartesian product when used as
+    /// a join condition.
+    pub fn always() -> Self {
+        Condition::default()
+    }
+
+    /// Build from atoms.
+    pub fn new(atoms: impl IntoIterator<Item = Atom>) -> Self {
+        Condition { atoms: atoms.into_iter().collect() }
+    }
+
+    /// A single-atom condition `left = right`.
+    pub fn eq(left: usize, right: usize) -> Self {
+        Condition::new([Atom { left, op: CompOp::Eq, right }])
+    }
+
+    /// A single-atom condition `left ≠ right`.
+    pub fn neq(left: usize, right: usize) -> Self {
+        Condition::new([Atom { left, op: CompOp::Neq, right }])
+    }
+
+    /// A single-atom condition `left < right`.
+    pub fn lt(left: usize, right: usize) -> Self {
+        Condition::new([Atom { left, op: CompOp::Lt, right }])
+    }
+
+    /// A single-atom condition `left > right`.
+    pub fn gt(left: usize, right: usize) -> Self {
+        Condition::new([Atom { left, op: CompOp::Gt, right }])
+    }
+
+    /// Extend with a further conjunct (builder style).
+    pub fn and(mut self, left: usize, op: CompOp, right: usize) -> Self {
+        self.atoms.push(Atom { left, op, right });
+        self
+    }
+
+    /// Extend with an equality conjunct.
+    pub fn and_eq(self, left: usize, right: usize) -> Self {
+        self.and(left, CompOp::Eq, right)
+    }
+
+    /// A natural multi-equality condition: pairs of equal columns.
+    pub fn eq_pairs(pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        Condition::new(
+            pairs
+                .into_iter()
+                .map(|(l, r)| Atom { left: l, op: CompOp::Eq, right: r }),
+        )
+    }
+
+    /// The conjuncts.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True for the empty conjunction.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// True iff every conjunct uses `=` — i.e. the condition is admissible
+    /// in RA= / SA=.
+    pub fn is_equi(&self) -> bool {
+        self.atoms.iter().all(|a| a.op == CompOp::Eq)
+    }
+
+    /// Evaluate θ on a pair of tuples (as value slices).
+    #[inline]
+    pub fn eval(&self, left: &[Value], right: &[Value]) -> bool {
+        self.atoms
+            .iter()
+            .all(|a| a.op.eval(&left[a.left - 1], &right[a.right - 1]))
+    }
+
+    /// **Definition 20**: the restriction θ^α of the condition to one
+    /// operator, as `(i, j)` pairs.
+    pub fn theta(&self, op: CompOp) -> Vec<(usize, usize)> {
+        self.atoms
+            .iter()
+            .filter(|a| a.op == op)
+            .map(|a| (a.left, a.right))
+            .collect()
+    }
+
+    /// **Definition 20**: `constrained₁(E)` — the left columns bound by an
+    /// equality conjunct. Returned sorted and deduplicated.
+    pub fn constrained_left(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .atoms
+            .iter()
+            .filter(|a| a.op == CompOp::Eq)
+            .map(|a| a.left)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// **Definition 20**: `constrained₂(E)` — the right columns bound by an
+    /// equality conjunct. Sorted, deduplicated.
+    pub fn constrained_right(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .atoms
+            .iter()
+            .filter(|a| a.op == CompOp::Eq)
+            .map(|a| a.right)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// **Definition 20**: `unc₁(E) = {1..arity₁} − constrained₁(E)`.
+    pub fn unconstrained_left(&self, left_arity: usize) -> Vec<usize> {
+        let c = self.constrained_left();
+        (1..=left_arity).filter(|i| !c.contains(i)).collect()
+    }
+
+    /// **Definition 20**: `unc₂(E) = {1..arity₂} − constrained₂(E)`.
+    pub fn unconstrained_right(&self, right_arity: usize) -> Vec<usize> {
+        let c = self.constrained_right();
+        (1..=right_arity).filter(|j| !c.contains(j)).collect()
+    }
+
+    /// The condition with operands swapped (used to normalize semijoin
+    /// rewrites): atom `i α j` becomes `j α̃ i`.
+    pub fn swapped(&self) -> Condition {
+        Condition::new(self.atoms.iter().map(|a| Atom {
+            left: a.right,
+            op: a.op.flipped(),
+            right: a.left,
+        }))
+    }
+
+    /// Validate all column references against the operand arities.
+    pub fn validate(&self, left_arity: usize, right_arity: usize) -> Result<(), (usize, usize)> {
+        for a in &self.atoms {
+            if a.left == 0 || a.left > left_arity {
+                return Err((a.left, left_arity));
+            }
+            if a.right == 0 || a.right > right_arity {
+                return Err((a.right, right_arity));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return f.write_str("true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_storage::Value;
+
+    #[test]
+    fn example_21_constrained_sets() {
+        // E = R ⋈_{3=1} S with R, S ternary (Example 21 of the paper).
+        let theta = Condition::eq(3, 1);
+        assert_eq!(theta.theta(CompOp::Eq), vec![(3, 1)]);
+        assert_eq!(theta.constrained_left(), vec![3]);
+        assert_eq!(theta.unconstrained_left(3), vec![1, 2]);
+        assert_eq!(theta.constrained_right(), vec![1]);
+        assert_eq!(theta.unconstrained_right(3), vec![2, 3]);
+    }
+
+    #[test]
+    fn eval_conjunction() {
+        let theta = Condition::eq(1, 1).and(2, CompOp::Lt, 2);
+        let l = [Value::int(5), Value::int(1)];
+        let r = [Value::int(5), Value::int(9)];
+        assert!(theta.eval(&l, &r));
+        let r2 = [Value::int(5), Value::int(0)];
+        assert!(!theta.eval(&l, &r2));
+        let r3 = [Value::int(6), Value::int(9)];
+        assert!(!theta.eval(&l, &r3));
+    }
+
+    #[test]
+    fn empty_condition_is_true() {
+        let theta = Condition::always();
+        assert!(theta.eval(&[], &[]));
+        assert!(theta.is_equi());
+        assert_eq!(theta.to_string(), "true");
+    }
+
+    #[test]
+    fn equi_detection() {
+        assert!(Condition::eq_pairs([(1, 2), (2, 1)]).is_equi());
+        assert!(!Condition::eq(1, 1).and(1, CompOp::Neq, 2).is_equi());
+        assert!(!Condition::lt(1, 1).is_equi());
+    }
+
+    #[test]
+    fn op_eval_and_flip() {
+        let a = Value::int(1);
+        let b = Value::int(2);
+        assert!(CompOp::Eq.eval(&a, &a));
+        assert!(CompOp::Neq.eval(&a, &b));
+        assert!(CompOp::Lt.eval(&a, &b));
+        assert!(CompOp::Gt.eval(&b, &a));
+        assert_eq!(CompOp::Lt.flipped(), CompOp::Gt);
+        assert_eq!(CompOp::Gt.flipped(), CompOp::Lt);
+        assert_eq!(CompOp::Eq.flipped(), CompOp::Eq);
+        assert_eq!(CompOp::Neq.flipped(), CompOp::Neq);
+    }
+
+    #[test]
+    fn swapped_condition_evaluates_mirrored() {
+        let theta = Condition::lt(1, 2).and_eq(2, 1);
+        let sw = theta.swapped();
+        let l = [Value::int(1), Value::int(7)];
+        let r = [Value::int(7), Value::int(5)];
+        assert!(theta.eval(&l, &r));
+        assert!(sw.eval(&r, &l));
+    }
+
+    #[test]
+    fn validate_bounds() {
+        let theta = Condition::eq(3, 1);
+        assert!(theta.validate(3, 1).is_ok());
+        assert_eq!(theta.validate(2, 1), Err((3, 2)));
+        assert_eq!(theta.validate(3, 0), Err((1, 0)));
+        let zero = Condition::eq(0, 1);
+        assert_eq!(zero.validate(3, 3), Err((0, 3)));
+    }
+
+    #[test]
+    fn display_forms() {
+        let theta = Condition::eq(2, 1).and(1, CompOp::Gt, 3);
+        assert_eq!(theta.to_string(), "2=1,1>3");
+    }
+
+    #[test]
+    fn duplicate_equalities_dedup_in_constrained() {
+        let theta = Condition::eq(1, 1).and_eq(1, 2);
+        assert_eq!(theta.constrained_left(), vec![1]);
+        assert_eq!(theta.constrained_right(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Pretty-printing of expressions.
+//!
+//! Two forms are provided:
+//!
+//! * [`to_text`] — a plain ASCII, fully parenthesized form accepted back by
+//!   the parser in [`crate::parse`]: `project[1](semijoin[2=1](Visits, …))`.
+//! * [`to_unicode`] — a display form using the paper's symbols
+//!   (`π`, `σ`, `τ`, `⋈`, `⋉`, `∪`, `−`, `γ`), for reports and docs.
+
+use crate::expr::{Expr, Selection};
+use sj_storage::Value;
+use std::fmt::Write;
+
+fn cols_csv(cols: &[usize]) -> String {
+    cols.iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Render a constant as a literal the parser accepts: integers in braces
+/// (`{7}`), strings in single quotes (`'flu'`). The braces keep integer
+/// constants distinguishable from column references in selection conditions.
+fn value_literal(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("{{{i}}}"),
+        Value::Str(s) => format!("'{s}'"),
+    }
+}
+
+/// Render the parseable ASCII form (see [`crate::parse::parse`]).
+pub fn to_text(e: &Expr) -> String {
+    let mut s = String::new();
+    write_text(e, &mut s);
+    s
+}
+
+fn write_text(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Rel(n) => out.push_str(n),
+        Expr::Union(a, b) => {
+            out.push_str("union(");
+            write_text(a, out);
+            out.push_str(", ");
+            write_text(b, out);
+            out.push(')');
+        }
+        Expr::Diff(a, b) => {
+            out.push_str("diff(");
+            write_text(a, out);
+            out.push_str(", ");
+            write_text(b, out);
+            out.push(')');
+        }
+        Expr::Project(cols, a) => {
+            let _ = write!(out, "project[{}](", cols_csv(cols));
+            write_text(a, out);
+            out.push(')');
+        }
+        Expr::Select(sel, a) => {
+            match sel {
+                Selection::Eq(i, j) => {
+                    let _ = write!(out, "select[{i}={j}](");
+                }
+                Selection::Lt(i, j) => {
+                    let _ = write!(out, "select[{i}<{j}](");
+                }
+                Selection::EqConst(i, c) => {
+                    let _ = write!(out, "select[{i}={}](", value_literal(c));
+                }
+            }
+            write_text(a, out);
+            out.push(')');
+        }
+        Expr::ConstTag(c, a) => {
+            let _ = write!(out, "tag[{}](", value_literal(c));
+            write_text(a, out);
+            out.push(')');
+        }
+        Expr::Join(t, a, b) => {
+            let _ = write!(out, "join[{t}](");
+            write_text(a, out);
+            out.push_str(", ");
+            write_text(b, out);
+            out.push(')');
+        }
+        Expr::Semijoin(t, a, b) => {
+            let _ = write!(out, "semijoin[{t}](");
+            write_text(a, out);
+            out.push_str(", ");
+            write_text(b, out);
+            out.push(')');
+        }
+        Expr::GroupCount(cols, a) => {
+            let _ = write!(out, "gcount[{}](", cols_csv(cols));
+            write_text(a, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Render the paper-style unicode form.
+pub fn to_unicode(e: &Expr) -> String {
+    match e {
+        Expr::Rel(n) => n.clone(),
+        Expr::Union(a, b) => format!("({} ∪ {})", to_unicode(a), to_unicode(b)),
+        Expr::Diff(a, b) => format!("({} − {})", to_unicode(a), to_unicode(b)),
+        Expr::Project(cols, a) => format!("π{}({})", cols_csv(cols), to_unicode(a)),
+        Expr::Select(Selection::Eq(i, j), a) => format!("σ{i}={j}({})", to_unicode(a)),
+        Expr::Select(Selection::Lt(i, j), a) => format!("σ{i}<{j}({})", to_unicode(a)),
+        Expr::Select(Selection::EqConst(i, c), a) => {
+            format!("σ{i}={}({})", value_literal(c), to_unicode(a))
+        }
+        Expr::ConstTag(c, a) => format!("τ{}({})", value_literal(c), to_unicode(a)),
+        Expr::Join(t, a, b) => {
+            format!("({} ⋈[{t}] {})", to_unicode(a), to_unicode(b))
+        }
+        Expr::Semijoin(t, a, b) => {
+            format!("({} ⋉[{t}] {})", to_unicode(a), to_unicode(b))
+        }
+        Expr::GroupCount(cols, a) => {
+            format!("γ{};count({})", cols_csv(cols), to_unicode(a))
+        }
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&to_text(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+
+    fn example3() -> Expr {
+        Expr::rel("Visits")
+            .semijoin(
+                Condition::eq(2, 1),
+                Expr::rel("Serves").project([1]).diff(
+                    Expr::rel("Serves")
+                        .semijoin(Condition::eq(2, 2), Expr::rel("Likes"))
+                        .project([1]),
+                ),
+            )
+            .project([1])
+    }
+
+    #[test]
+    fn text_form_of_example3() {
+        assert_eq!(
+            to_text(&example3()),
+            "project[1](semijoin[2=1](Visits, diff(project[1](Serves), \
+             project[1](semijoin[2=2](Serves, Likes)))))"
+        );
+    }
+
+    #[test]
+    fn unicode_form_of_example3() {
+        let u = to_unicode(&example3());
+        assert!(u.contains('π'));
+        assert!(u.contains('⋉'));
+        assert!(u.contains('−'));
+    }
+
+    #[test]
+    fn constants_and_selects() {
+        let e = Expr::rel("R")
+            .tag(Value::int(5))
+            .select_const(1, Value::str("x"))
+            .select_lt(1, 2);
+        let t = to_text(&e);
+        assert_eq!(t, "select[1<2](select[1='x'](tag[{5}](R)))");
+        let u = to_unicode(&e);
+        assert!(u.contains("τ{5}"));
+        assert!(u.contains("σ1='x'"));
+    }
+
+    #[test]
+    fn display_impl_matches_to_text() {
+        let e = example3();
+        assert_eq!(e.to_string(), to_text(&e));
+    }
+
+    #[test]
+    fn join_with_multi_atom_condition() {
+        let e = Expr::rel("R").join(Condition::eq(1, 2).and_eq(2, 1), Expr::rel("S"));
+        assert_eq!(to_text(&e), "join[1=2,2=1](R, S)");
+    }
+
+    #[test]
+    fn product_prints_true_condition() {
+        let e = Expr::rel("R").product(Expr::rel("S"));
+        assert_eq!(to_text(&e), "join[true](R, S)");
+    }
+}

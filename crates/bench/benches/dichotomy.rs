@@ -1,0 +1,39 @@
+//! E7 — evaluation time of linear vs quadratic plans on the adversarial
+//! division family (Theorem 17 as wall-clock: the quadratic side's curve
+//! bends away).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_algebra::{division, Condition, Expr};
+use sj_eval::evaluate;
+use sj_workload::adversarial_division_series;
+use std::time::Duration;
+
+fn bench_dichotomy(c: &mut Criterion) {
+    let scales = [64usize, 128, 256, 512];
+    let series = adversarial_division_series(&scales, 0xC0FFEE);
+    let plans: Vec<(&str, Expr)> = vec![
+        ("quadratic/double_difference", division::division_double_difference("R", "S")),
+        ("quadratic/product", Expr::rel("R").product(Expr::rel("S"))),
+        ("linear/semijoin", Expr::rel("R").semijoin(Condition::eq(2, 1), Expr::rel("S"))),
+        ("linear/fk_join", Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S"))),
+        ("linear/counting", division::division_counting("R", "S")),
+    ];
+    let mut group = c.benchmark_group("dichotomy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for (scale, db) in scales.iter().zip(&series) {
+        for (name, plan) in &plans {
+            group.bench_with_input(
+                BenchmarkId::new(*name, scale),
+                &(plan, db),
+                |b, (plan, db)| b.iter(|| evaluate(plan, db).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dichotomy);
+criterion_main!(benches);

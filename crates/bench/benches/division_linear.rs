@@ -1,0 +1,34 @@
+//! E9 — the Section 5 grouping/counting expression across scales: linear,
+//! in contrast with every plain-RA plan (E8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_algebra::division;
+use sj_eval::evaluate;
+use sj_workload::adversarial_division_series;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scales = [64usize, 256, 1024, 4096];
+    let series = adversarial_division_series(&scales, 0xE9);
+    let mut group = c.benchmark_group("division_linear");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for (scale, db) in scales.iter().zip(&series) {
+        for (name, plan) in [
+            ("counting", division::division_counting("R", "S")),
+            ("counting_equality", division::division_equality_counting("R", "S")),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, scale),
+                &(&plan, db),
+                |b, (plan, db)| b.iter(|| evaluate(plan, db).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

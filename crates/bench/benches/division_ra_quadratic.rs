@@ -1,0 +1,36 @@
+//! E8 — the classical RA division plans across scales: every one of them
+//! must go quadratic (Proposition 26); measured as wall-clock here and as
+//! exact intermediate sizes in the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_algebra::division;
+use sj_eval::evaluate;
+use sj_workload::adversarial_division_series;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scales = [32usize, 64, 128, 256];
+    let series = adversarial_division_series(&scales, 0xE8);
+    let mut group = c.benchmark_group("division_ra_quadratic");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for (scale, db) in scales.iter().zip(&series) {
+        for (name, plan) in [
+            ("double_difference", division::division_double_difference("R", "S")),
+            ("via_join", division::division_via_join("R", "S")),
+            ("equality", division::division_equality("R", "S")),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, scale),
+                &(&plan, db),
+                |b, (plan, db)| b.iter(|| evaluate(plan, db).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

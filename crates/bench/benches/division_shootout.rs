@@ -1,0 +1,48 @@
+//! E10 — Graefe's four division algorithm families head to head
+//! (nested-loop vs sort-merge vs hash vs counting), divisor = √groups,
+//! 10% containment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sj_setjoin::DivisionSemantics;
+use sj_workload::DivisionWorkload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("division_shootout");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for groups in [256usize, 1024, 4096] {
+        let w = DivisionWorkload {
+            groups,
+            divisor_size: (groups as f64).sqrt() as usize,
+            containment_fraction: 0.1,
+            extra_per_group: 4,
+            noise_domain: 4 * groups,
+            seed: 0xD10,
+        };
+        let (r, s, expected) = w.generate();
+        group.throughput(Throughput::Elements(r.len() as u64));
+        for (name, alg) in sj_setjoin::division::all_algorithms() {
+            if name == "nested-loop" && groups > 1024 {
+                continue; // keep total bench time sane
+            }
+            group.bench_with_input(
+                BenchmarkId::new(name, groups),
+                &(&r, &s),
+                |b, (r, s)| {
+                    b.iter(|| {
+                        let out = alg(r, s, DivisionSemantics::Containment);
+                        debug_assert_eq!(out, expected);
+                        out
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

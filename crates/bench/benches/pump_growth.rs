@@ -1,0 +1,50 @@
+//! E4 — the Lemma 24 pump: building Dn and evaluating the Fig. 4
+//! expression on it, across n. Output grows as n² on a linear database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_algebra::Condition;
+use sj_core::Pump;
+use sj_eval::evaluate;
+use sj_storage::tuple;
+use sj_workload::figures;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let db = figures::fig4();
+    let (e, _, _) = figures::fig4_expression();
+    let pump = Pump::new(
+        &db,
+        &Condition::eq(3, 1),
+        &tuple![1, 2, 3],
+        &tuple![3, 4, 5],
+        &[],
+        256,
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("pump_growth");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for n in [16usize, 64, 256] {
+        let dn = pump.database(n);
+        group.bench_with_input(BenchmarkId::new("build_dn", n), &n, |b, &n| {
+            b.iter(|| pump.database(n))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_fig4_expr", n),
+            &dn,
+            |b, dn| {
+                b.iter(|| {
+                    let out = evaluate(&e, dn).unwrap();
+                    debug_assert!(out.len() >= n * n);
+                    out
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E12 — the Example 3 lousy-bar query: SA= plan vs its lowered join plan
+//! vs the cyclic query, on growing beer-drinkers data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_algebra::division;
+use sj_bench::beer_database;
+use sj_eval::evaluate;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semijoin_linear");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for k in [256i64, 1024, 4096] {
+        let db = beer_database(k, 0xBEE5);
+        for (name, plan) in [
+            ("sa_semijoin", division::example3_lousy_bar_sa()),
+            ("ra_lowered_join", division::example3_lousy_bar_ra()),
+            ("cyclic_join", division::cyclic_beer_query_ra()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, k),
+                &(&plan, &db),
+                |b, (plan, db)| b.iter(|| evaluate(plan, db).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E11 — set-containment join: nested-loop vs signature filtering, on
+//! uniform and Zipf element distributions. Both quadratic in the group
+//! counts (no better algorithm is known); signatures win the constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_setjoin::SetPredicate;
+use sj_workload::{ElementDist, SetJoinWorkload, SetSizeDist};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setjoin_shootout");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for groups in [128usize, 512, 2048] {
+        for (dist_name, dist) in [
+            ("uniform", ElementDist::Uniform),
+            ("zipf", ElementDist::Zipf(1.0)),
+        ] {
+            let w = SetJoinWorkload {
+                r_groups: groups,
+                s_groups: groups,
+                set_size: SetSizeDist::Uniform(2, 10),
+                domain: 64,
+                elements: dist,
+                seed: 0x5E71,
+            };
+            let (r, s) = w.generate();
+            group.bench_with_input(
+                BenchmarkId::new(format!("nested_loop/{dist_name}"), groups),
+                &(&r, &s),
+                |b, (r, s)| {
+                    b.iter(|| sj_setjoin::nested_loop_set_join(r, s, SetPredicate::Contains))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("signature/{dist_name}"), groups),
+                &(&r, &s),
+                |b, (r, s)| {
+                    b.iter(|| sj_setjoin::signature_set_join(r, s, SetPredicate::Contains))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("equality_hash/{dist_name}"), groups),
+                &(&r, &s),
+                |b, (r, s)| b.iter(|| sj_setjoin::hash_set_equality_join(r, s)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("inverted_index/{dist_name}"), groups),
+                &(&r, &s),
+                |b, (r, s)| b.iter(|| sj_setjoin::inverted_index_set_join(r, s)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("signature256/{dist_name}"), groups),
+                &(&r, &s),
+                |b, (r, s)| {
+                    b.iter(|| {
+                        sj_setjoin::wide_signature_set_join(
+                            r,
+                            s,
+                            SetPredicate::Contains,
+                            4,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! # sj-bench — experiment harness
+//!
+//! Shared plumbing for the Criterion benches (`benches/`) and the
+//! `experiments` binary (`src/bin/experiments.rs`), which regenerates
+//! every table and figure of the reproduction as text and CSV (under
+//! `results/`).
+
+use sj_storage::Database;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The standard scale points used across the experiments.
+pub const SCALES: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// Larger scales for the timing benchmarks of the direct algorithms.
+pub const TIMING_SCALES: [usize; 4] = [256, 1024, 4096, 16384];
+
+/// The adversarial division series at the standard scales.
+pub fn standard_adversarial_series() -> Vec<Database> {
+    sj_workload::adversarial_division_series(&SCALES, 0xC0FFEE)
+}
+
+/// A beer-drinkers workload (Visits/Serves/Likes over k drinkers/bars/
+/// beers) with a sparse cyclic like-pattern, used by the semijoin
+/// experiments; `|D| ≈ 4k`.
+pub fn beer_database(k: i64, seed: u64) -> Database {
+    use sj_storage::{Relation, Tuple};
+    let mut rng = sj_workload::SplitMix64::new(seed);
+    let mut db = Database::new();
+    let visits: Vec<Tuple> = (0..k)
+        .map(|i| Tuple::from_ints(&[i, 1000 + rng.range_i64(0, k - 1)]))
+        .collect();
+    let serves: Vec<Tuple> = (0..k)
+        .flat_map(|i| {
+            [
+                Tuple::from_ints(&[1000 + i, 2000 + i]),
+                Tuple::from_ints(&[1000 + i, 2000 + (i + 1) % k]),
+            ]
+        })
+        .collect();
+    let likes: Vec<Tuple> = (0..k)
+        .map(|i| Tuple::from_ints(&[i, 2000 + rng.range_i64(0, k - 1)]))
+        .collect();
+    db.set("Visits", Relation::from_tuples(2, visits).unwrap());
+    db.set("Serves", Relation::from_tuples(2, serves).unwrap());
+    db.set("Likes", Relation::from_tuples(2, likes).unwrap());
+    db
+}
+
+/// The adversarial beer workload for the cyclic query of Section 4.1:
+/// every drinker visits the same bar, which serves `k` beers — the
+/// `Visits ⋈ Serves` intermediate is forced to `k²` while `|D| = 3k`.
+/// The lousy-bar query (in SA=) stays linear even here.
+pub fn beer_database_adversarial(k: i64) -> Database {
+    use sj_storage::{Relation, Tuple};
+    let mut db = Database::new();
+    let visits: Vec<Tuple> = (0..k).map(|i| Tuple::from_ints(&[i, 1000])).collect();
+    let serves: Vec<Tuple> = (0..k)
+        .map(|j| Tuple::from_ints(&[1000, 2000 + j]))
+        .collect();
+    let likes: Vec<Tuple> = (0..k)
+        .map(|i| Tuple::from_ints(&[i, 2000 + (i + 7) % k]))
+        .collect();
+    db.set("Visits", Relation::from_tuples(2, visits).unwrap());
+    db.set("Serves", Relation::from_tuples(2, serves).unwrap());
+    db.set("Likes", Relation::from_tuples(2, likes).unwrap());
+    db
+}
+
+/// A simple CSV writer into `results/<name>.csv` at the workspace root.
+pub struct CsvSink {
+    path: PathBuf,
+    rows: Vec<String>,
+}
+
+impl CsvSink {
+    /// Start a CSV with a header row.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        let dir = workspace_results_dir();
+        CsvSink {
+            path: dir.join(format!("{name}.csv")),
+            rows: vec![header.join(",")],
+        }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.join(","));
+    }
+
+    /// Write the file (creating `results/` if needed); returns the path.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(&self.path)?;
+        writeln!(f, "{}", self.rows.join("\n"))?;
+        Ok(self.path)
+    }
+}
+
+fn workspace_results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR of this crate is <root>/crates/bench.
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Milliseconds (fractional) for one run of `f`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Median-of-`reps` timing in milliseconds.
+pub fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..reps).map(|_| time_once(&mut f).1).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beer_database_shape() {
+        let db = beer_database(50, 1);
+        assert_eq!(db.get("Serves").unwrap().len(), 100);
+        assert!(db.get("Visits").unwrap().len() <= 50);
+        assert_eq!(db.schema().arity_of("Likes"), Some(2));
+        // Deterministic.
+        assert_eq!(db, beer_database(50, 1));
+        assert_ne!(db, beer_database(50, 2));
+    }
+
+    #[test]
+    fn series_builders() {
+        let s = standard_adversarial_series();
+        assert_eq!(s.len(), SCALES.len());
+        assert!(s[0].size() < s[4].size());
+    }
+
+    #[test]
+    fn timing_helpers() {
+        let (v, ms) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+        assert!(time_median(3, || ()) >= 0.0);
+    }
+
+    #[test]
+    fn csv_sink_writes() {
+        let mut sink = CsvSink::new("test_sink", &["a", "b"]);
+        sink.row(&["1".into(), "2".into()]);
+        let path = sink.finish().unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,362 @@
+//! C-partial isomorphisms — Definition 10 of the paper.
+
+use sj_storage::{Database, Tuple, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite partial bijection `f : X → Y` between value sets.
+///
+/// Stored with both directions indexed, so application and inversion are
+/// logarithmic. Whether a given `PartialIso` is an actual *C-partial
+/// isomorphism* between two databases is checked by
+/// [`check_c_partial_iso`]; the struct itself only guarantees
+/// bijectivity.
+#[derive(Clone, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub struct PartialIso {
+    fwd: BTreeMap<Value, Value>,
+    bwd: BTreeMap<Value, Value>,
+}
+
+impl PartialIso {
+    /// Build from `(x, f(x))` pairs. Fails if the pairs are inconsistent
+    /// (same x to two images) or non-injective (two x to the same image).
+    pub fn from_pairs(
+        pairs: impl IntoIterator<Item = (Value, Value)>,
+    ) -> Result<Self, String> {
+        let mut fwd = BTreeMap::new();
+        let mut bwd = BTreeMap::new();
+        for (x, y) in pairs {
+            if let Some(prev) = fwd.get(&x) {
+                if prev != &y {
+                    return Err(format!("inconsistent: {x} ↦ {prev} and {x} ↦ {y}"));
+                }
+                continue;
+            }
+            if let Some(prev) = bwd.get(&y) {
+                if prev != &x {
+                    return Err(format!("not injective: {prev} ↦ {y} and {x} ↦ {y}"));
+                }
+                continue;
+            }
+            fwd.insert(x.clone(), y.clone());
+            bwd.insert(y, x);
+        }
+        Ok(PartialIso { fwd, bwd })
+    }
+
+    /// The mapping `ā → b̄` induced componentwise by two tuples, as used
+    /// throughout the paper (e.g. `(1,2) → (6,7)` in Example 12). Fails if
+    /// the arities differ or the induced map is not a bijection.
+    pub fn from_tuples(a: &Tuple, b: &Tuple) -> Result<Self, String> {
+        if a.arity() != b.arity() {
+            return Err(format!(
+                "arity mismatch: {} vs {}",
+                a.arity(),
+                b.arity()
+            ));
+        }
+        PartialIso::from_pairs(a.iter().cloned().zip(b.iter().cloned()))
+    }
+
+    /// The unique order-preserving bijection between two equal-sized value
+    /// sets (given sorted and deduplicated). Returns `None` on size
+    /// mismatch. Because Definition 10 forces `x < y ⟺ f(x) < f(y)`, this
+    /// monotone map is the *only* candidate bijection between two sets.
+    pub fn monotone(x: &[Value], y: &[Value]) -> Option<Self> {
+        if x.len() != y.len() {
+            return None;
+        }
+        debug_assert!(x.windows(2).all(|w| w[0] < w[1]), "domain must be sorted/dedup");
+        debug_assert!(y.windows(2).all(|w| w[0] < w[1]), "range must be sorted/dedup");
+        Some(PartialIso {
+            fwd: x.iter().cloned().zip(y.iter().cloned()).collect(),
+            bwd: y.iter().cloned().zip(x.iter().cloned()).collect(),
+        })
+    }
+
+    /// `f(x)`.
+    pub fn apply(&self, x: &Value) -> Option<&Value> {
+        self.fwd.get(x)
+    }
+
+    /// `f⁻¹(y)`.
+    pub fn apply_inverse(&self, y: &Value) -> Option<&Value> {
+        self.bwd.get(y)
+    }
+
+    /// The domain `X`, sorted.
+    pub fn domain(&self) -> Vec<Value> {
+        self.fwd.keys().cloned().collect()
+    }
+
+    /// The range `Y`, sorted.
+    pub fn range(&self) -> Vec<Value> {
+        self.bwd.keys().cloned().collect()
+    }
+
+    /// Number of mapped values.
+    pub fn len(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// True for the empty mapping.
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_empty()
+    }
+
+    /// Map a tuple componentwise; `None` if some component is outside the
+    /// domain.
+    pub fn map_tuple(&self, t: &Tuple) -> Option<Tuple> {
+        t.iter()
+            .map(|v| self.fwd.get(v).cloned())
+            .collect::<Option<Vec<_>>>()
+            .map(Tuple::new)
+    }
+
+    /// Map a tuple backwards.
+    pub fn map_tuple_inverse(&self, t: &Tuple) -> Option<Tuple> {
+        t.iter()
+            .map(|v| self.bwd.get(v).cloned())
+            .collect::<Option<Vec<_>>>()
+            .map(Tuple::new)
+    }
+
+    /// Do `self` and `other` agree on every value of `on` that lies in
+    /// both domains? (The forth condition's "f and g agree on X ∩ X′".)
+    pub fn agrees_forward(&self, other: &PartialIso, on: &[Value]) -> bool {
+        on.iter().all(|v| match (self.fwd.get(v), other.fwd.get(v)) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        })
+    }
+
+    /// Do the inverses agree on every value of `on` in both ranges?
+    /// (The back condition's "f⁻¹ and g⁻¹ agree on Y ∩ Y′".)
+    pub fn agrees_backward(&self, other: &PartialIso, on: &[Value]) -> bool {
+        on.iter().all(|v| match (self.bwd.get(v), other.bwd.get(v)) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        })
+    }
+
+    /// Is the map order-preserving: `x < y ⟺ f(x) < f(y)`? Equivalent to
+    /// the images being strictly increasing along the sorted domain.
+    pub fn is_order_preserving(&self) -> bool {
+        let imgs: Vec<&Value> = self.fwd.values().collect();
+        imgs.windows(2).all(|w| w[0] < w[1])
+    }
+}
+
+impl fmt::Display for PartialIso {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (x, y)) in self.fwd.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}→{y}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Check that `f` is a **C-partial isomorphism** from `a` to `b`
+/// (Definition 10):
+///
+/// 1. for each relation `R` and every tuple over the domain:
+///    `x̄ ∈ A(R) ⟺ f(x̄) ∈ B(R)`;
+/// 2. order is preserved both ways;
+/// 3. for every `c ∈ C`: `x = c ⟺ f(x) = c`.
+///
+/// Relation condition (1) quantifies over all tuples with values in the
+/// domain; we check it by scanning `A(R)` for tuples inside the domain
+/// (forward direction) and `B(R)` for tuples inside the range (backward),
+/// which is equivalent and linear in the database sizes.
+pub fn check_c_partial_iso(
+    a: &Database,
+    b: &Database,
+    f: &PartialIso,
+    constants: &[Value],
+) -> Result<(), String> {
+    // (2) order.
+    if !f.is_order_preserving() {
+        return Err(format!("{f} is not order-preserving"));
+    }
+    // (3) constants.
+    for c in constants {
+        if let Some(img) = f.apply(c) {
+            if img != c {
+                return Err(format!("constant {c} mapped to {img}"));
+            }
+        }
+        if let Some(pre) = f.apply_inverse(c) {
+            if pre != c {
+                return Err(format!("{pre} mapped onto constant {c}"));
+            }
+        }
+    }
+    // (1) relation patterns, both directions. Every relation name of
+    // either database participates (a name missing on one side is treated
+    // as an empty relation there).
+    let mut names: Vec<&str> = a.names().chain(b.names()).collect();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        if let Some(ra) = a.get(name) {
+            for t in ra {
+                if let Some(img) = f.map_tuple(t) {
+                    let in_b = b.get(name).is_some_and(|rb| rb.contains(&img));
+                    if !in_b {
+                        return Err(format!(
+                            "{f}: {t} ∈ A({name}) but image {img} ∉ B({name})"
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(rb) = b.get(name) {
+            for t in rb {
+                if let Some(pre) = f.map_tuple_inverse(t) {
+                    let in_a = a.get(name).is_some_and(|ra| ra.contains(&pre));
+                    if !in_a {
+                        return Err(format!(
+                            "{f}: {t} ∈ B({name}) but preimage {pre} ∉ A({name})"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_storage::{tuple, Relation};
+
+    fn fig3_a() -> Database {
+        let mut d = Database::new();
+        d.set("R", Relation::from_int_rows(&[&[1, 2], &[2, 3]]));
+        d.set("S", Relation::from_int_rows(&[&[1, 2]]));
+        d.set("T", Relation::from_int_rows(&[&[2, 3]]));
+        d
+    }
+
+    fn fig3_b() -> Database {
+        let mut d = Database::new();
+        d.set(
+            "R",
+            Relation::from_int_rows(&[&[6, 7], &[7, 8], &[9, 10], &[10, 11]]),
+        );
+        d.set("S", Relation::from_int_rows(&[&[6, 7], &[9, 10]]));
+        d.set("T", Relation::from_int_rows(&[&[7, 8], &[10, 11]]));
+        d
+    }
+
+    #[test]
+    fn from_tuples_builds_componentwise_map() {
+        let f = PartialIso::from_tuples(&tuple![1, 2], &tuple![6, 7]).unwrap();
+        assert_eq!(f.apply(&Value::int(1)), Some(&Value::int(6)));
+        assert_eq!(f.apply(&Value::int(2)), Some(&Value::int(7)));
+        assert_eq!(f.apply_inverse(&Value::int(7)), Some(&Value::int(2)));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.to_string(), "{1→6, 2→7}");
+    }
+
+    #[test]
+    fn from_tuples_detects_inconsistency() {
+        // (1,1) → (6,7): 1 would map to both 6 and 7.
+        assert!(PartialIso::from_tuples(&tuple![1, 1], &tuple![6, 7]).is_err());
+        // (1,2) → (6,6): not injective.
+        assert!(PartialIso::from_tuples(&tuple![1, 2], &tuple![6, 6]).is_err());
+        // (1,1) → (6,6) is fine: {1→6}.
+        let f = PartialIso::from_tuples(&tuple![1, 1], &tuple![6, 6]).unwrap();
+        assert_eq!(f.len(), 1);
+        // arity mismatch
+        assert!(PartialIso::from_tuples(&tuple![1], &tuple![6, 7]).is_err());
+    }
+
+    #[test]
+    fn monotone_map() {
+        let x = [Value::int(1), Value::int(3)];
+        let y = [Value::int(10), Value::int(30)];
+        let f = PartialIso::monotone(&x, &y).unwrap();
+        assert_eq!(f.apply(&Value::int(3)), Some(&Value::int(30)));
+        assert!(PartialIso::monotone(&x, &y[..1]).is_none());
+        assert!(f.is_order_preserving());
+    }
+
+    #[test]
+    fn fig3_example_maps_are_partial_isos() {
+        let (a, b) = (fig3_a(), fig3_b());
+        for (at, bt) in [
+            (tuple![1, 2], tuple![6, 7]),
+            (tuple![2, 3], tuple![7, 8]),
+            (tuple![1, 2], tuple![9, 10]),
+            (tuple![2, 3], tuple![10, 11]),
+        ] {
+            let f = PartialIso::from_tuples(&at, &bt).unwrap();
+            check_c_partial_iso(&a, &b, &f, &[]).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn relation_pattern_violation_detected() {
+        let (a, b) = (fig3_a(), fig3_b());
+        // (1,2) → (7,8): (1,2) ∈ A(S) but (7,8) ∉ B(S).
+        let f = PartialIso::from_tuples(&tuple![1, 2], &tuple![7, 8]).unwrap();
+        let err = check_c_partial_iso(&a, &b, &f, &[]).unwrap_err();
+        assert!(err.contains("S"), "{err}");
+    }
+
+    #[test]
+    fn order_violation_detected() {
+        let a = Database::new();
+        let b = Database::new();
+        let f = PartialIso::from_tuples(&tuple![1, 2], &tuple![7, 6]).unwrap();
+        assert!(check_c_partial_iso(&a, &b, &f, &[]).is_err());
+    }
+
+    #[test]
+    fn constant_violation_detected() {
+        let a = Database::new();
+        let b = Database::new();
+        let f = PartialIso::from_tuples(&tuple![5], &tuple![6]).unwrap();
+        assert!(check_c_partial_iso(&a, &b, &f, &[Value::int(5)]).is_err());
+        assert!(check_c_partial_iso(&a, &b, &f, &[Value::int(6)]).is_err());
+        assert!(check_c_partial_iso(&a, &b, &f, &[Value::int(9)]).is_ok());
+        let id = PartialIso::from_tuples(&tuple![5], &tuple![5]).unwrap();
+        assert!(check_c_partial_iso(&a, &b, &id, &[Value::int(5)]).is_ok());
+    }
+
+    #[test]
+    fn agreement_checks() {
+        let f = PartialIso::from_tuples(&tuple![1, 2], &tuple![6, 7]).unwrap();
+        let g = PartialIso::from_tuples(&tuple![2, 3], &tuple![7, 8]).unwrap();
+        let h = PartialIso::from_tuples(&tuple![2, 3], &tuple![9, 8]).unwrap();
+        assert!(f.agrees_forward(&g, &[Value::int(2)]));
+        assert!(!f.agrees_forward(&h, &[Value::int(2)]));
+        assert!(f.agrees_backward(&g, &[Value::int(7)]));
+        // values outside either domain are ignored
+        assert!(f.agrees_forward(&g, &[Value::int(99)]));
+    }
+
+    #[test]
+    fn map_tuple_roundtrip() {
+        let f = PartialIso::from_tuples(&tuple![1, 2], &tuple![6, 7]).unwrap();
+        let img = f.map_tuple(&tuple![2, 1, 2]).unwrap();
+        assert_eq!(img, tuple![7, 6, 7]);
+        assert_eq!(f.map_tuple_inverse(&img).unwrap(), tuple![2, 1, 2]);
+        assert!(f.map_tuple(&tuple![3]).is_none());
+    }
+
+    #[test]
+    fn missing_relation_treated_as_empty() {
+        let mut a = Database::new();
+        a.set("R", Relation::from_int_rows(&[&[1]]));
+        let b = Database::new(); // no R at all
+        let f = PartialIso::from_tuples(&tuple![1], &tuple![2]).unwrap();
+        assert!(check_c_partial_iso(&a, &b, &f, &[]).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! # sj-bisim — guarded bisimulation
+//!
+//! The paper's inexpressibility tool: **C-guarded bisimulation**
+//! (Definitions 9–11). GF formulas — and hence, via Theorem 8, SA=
+//! expressions — cannot distinguish guarded-bisimilar databases
+//! (Proposition 13 / Corollary 14), so exhibiting a bisimulation between a
+//! database where a query answers and one where it does not proves the
+//! query is outside SA=, and therefore (Theorems 17/18) quadratic in RA.
+//!
+//! * [`iso`] — partial bijections and the C-partial-isomorphism check
+//!   (Definition 10).
+//! * [`check`] — verify a user-supplied set `I` is a bisimulation
+//!   (Definition 11) — used to machine-check the sets the paper exhibits
+//!   in Example 12, Proposition 26, and Section 4.1.
+//! * [`solver`] — compute the *maximal* guarded bisimulation and decide
+//!   `A, ā ∼ᶜ B, b̄` with certificates.
+
+pub mod check;
+pub mod iso;
+pub mod solver;
+
+pub use check::{check_bisimulation, Bisimulation};
+pub use iso::{check_c_partial_iso, PartialIso};
+pub use solver::{are_bisimilar, maximal_bisimulation};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use sj_storage::{Database, Relation, Tuple};
+
+    fn arb_relation(arity: usize) -> impl Strategy<Value = Relation> {
+        proptest::collection::vec(proptest::collection::vec(0i64..5, arity), 0..6)
+            .prop_map(move |rows| {
+                Relation::from_tuples(
+                    arity,
+                    rows.into_iter().map(|r| Tuple::from_ints(&r)),
+                )
+                .unwrap()
+            })
+    }
+
+    fn arb_db() -> impl Strategy<Value = Database> {
+        (arb_relation(2), arb_relation(1)).prop_map(|(r, s)| {
+            let mut db = Database::new();
+            db.set("R", r);
+            db.set("S", s);
+            db
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The maximal bisimulation, when nonempty, passes the full
+        /// Definition 11 check.
+        #[test]
+        fn maximal_is_valid(a in arb_db(), b in arb_db()) {
+            let m = maximal_bisimulation(&a, &b, &[]);
+            if !m.is_empty() {
+                check_bisimulation(&a, &b, &Bisimulation::new(m), &[]).unwrap();
+            }
+        }
+
+        /// Reflexivity: every stored tuple is bisimilar to itself in the
+        /// same database, with a verifying certificate.
+        #[test]
+        fn reflexive(a in arb_db()) {
+            for t in a.tuple_space_set() {
+                let cert = are_bisimilar(&a, &t, &a, &t, &[]);
+                prop_assert!(cert.is_some(), "identity on {} not bisimilar", t);
+                check_bisimulation(&a, &a, &cert.unwrap(), &[]).unwrap();
+            }
+        }
+
+        /// Symmetry: A,ā ∼ B,b̄ iff B,b̄ ∼ A,ā.
+        #[test]
+        fn symmetric(a in arb_db(), b in arb_db()) {
+            let ta = a.tuple_space_set();
+            let tb = b.tuple_space_set();
+            for x in ta.iter().take(3) {
+                for y in tb.iter().take(3) {
+                    let fwd = are_bisimilar(&a, x, &b, y, &[]).is_some();
+                    let bwd = are_bisimilar(&b, y, &a, x, &[]).is_some();
+                    prop_assert_eq!(fwd, bwd, "asymmetry at {} / {}", x, y);
+                }
+            }
+        }
+
+        /// An order-shifted isomorphic copy is bisimilar to the original
+        /// (shifting every integer by a constant preserves order and
+        /// relation patterns).
+        #[test]
+        fn shifted_copy_bisimilar(a in arb_db(), shift in 10i64..20) {
+            let b = a.map_values(|v| match v {
+                sj_storage::Value::Int(i) => sj_storage::Value::Int(i + shift),
+                other => other.clone(),
+            });
+            for t in a.tuple_space_set().iter().take(3) {
+                let shifted: Tuple = t.iter().map(|v| match v {
+                    sj_storage::Value::Int(i) => sj_storage::Value::Int(i + shift),
+                    other => other.clone(),
+                }).collect();
+                prop_assert!(
+                    are_bisimilar(&a, t, &b, &shifted, &[]).is_some(),
+                    "shifted copy of {} not bisimilar", t
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! The dichotomy analyzer: classify an RA expression as **linear** (with
+//! an SA= equivalent, per Theorem 18) or **quadratic** (with a Lemma 24
+//! witness), following the structure of the paper's proof.
+//!
+//! Exact linearity of an arbitrary RA expression is a semantic property;
+//! the analyzer combines the two constructive halves of the proof:
+//!
+//! * the **rewriter** ([`crate::rewrite::to_sa_eq`]) succeeds on joins
+//!   whose free-value condition holds for syntactic reasons → `Linear`,
+//!   with the SA= equivalent as certificate;
+//! * the **witness search** evaluates every join node on seed databases
+//!   and looks for a joining pair with both free-value sets nonempty — the
+//!   hypothesis of Lemma 24 → `Quadratic`, with the witness as
+//!   certificate (feed it to [`crate::pump::Pump`] to *measure* the n²
+//!   blow-up);
+//! * neither applies → `Undetermined` (more seeds may decide it).
+
+use crate::error::CoreError;
+use crate::freevals::{free_values_left, free_values_right};
+use crate::pump::Pump;
+use crate::rewrite::to_sa_eq;
+use sj_algebra::{Condition, Expr};
+use sj_eval::evaluate;
+use sj_storage::{Database, Schema, Tuple, Value};
+
+/// A Lemma 24 witness extracted from a concrete database.
+#[derive(Debug, Clone)]
+pub struct QuadraticWitness {
+    /// Pre-order id of the witnessed join node within the root expression.
+    pub node_id: usize,
+    /// The join condition θ of that node.
+    pub theta: Condition,
+    /// The witnessing database `D`.
+    pub db: Database,
+    /// The joining pair with nonempty free-value sets.
+    pub a: Tuple,
+    /// Right tuple of the pair.
+    pub b: Tuple,
+    /// `F₁ᴱ(ā)` — nonempty.
+    pub f1: Vec<Value>,
+    /// `F₂ᴱ(b̄)` — nonempty.
+    pub f2: Vec<Value>,
+}
+
+impl QuadraticWitness {
+    /// Instantiate the pump construction for this witness (integer
+    /// universes only).
+    pub fn pump(&self, constants: &[Value], max_n: usize) -> Result<Pump, CoreError> {
+        Pump::new(&self.db, &self.theta, &self.a, &self.b, constants, max_n)
+    }
+}
+
+/// The analyzer's verdict.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// The expression is linear; `sa_equivalent` is an SA= expression
+    /// computing the same query (Theorem 18's conclusion).
+    Linear {
+        /// The equivalent SA= expression.
+        sa_equivalent: Expr,
+    },
+    /// The expression is quadratic: some join node blows up on the pumped
+    /// family built from `witness` (Lemma 24).
+    Quadratic {
+        /// The extracted witness.
+        witness: Box<QuadraticWitness>,
+    },
+    /// Neither certificate was found with the given seeds.
+    Undetermined,
+}
+
+impl Verdict {
+    /// Convenience predicate.
+    pub fn is_linear(&self) -> bool {
+        matches!(self, Verdict::Linear { .. })
+    }
+
+    /// Convenience predicate.
+    pub fn is_quadratic(&self) -> bool {
+        matches!(self, Verdict::Quadratic { .. })
+    }
+}
+
+/// Classify `e` over `schema`, using `seeds` for the witness search.
+///
+/// Grouping (extended RA) is rejected — the dichotomy theorem is about RA.
+pub fn analyze(
+    e: &Expr,
+    schema: &Schema,
+    seeds: &[Database],
+) -> Result<Verdict, CoreError> {
+    e.arity(schema)?;
+    if e.is_extended() {
+        return Err(CoreError::NotLinearSafe(
+            "the dichotomy theorem applies to RA; grouping is the Section 5 \
+             extension"
+                .into(),
+        ));
+    }
+    // Half 1: the Theorem 18 rewriting.
+    if let Ok(sa) = to_sa_eq(e, schema) {
+        return Ok(Verdict::Linear { sa_equivalent: sa });
+    }
+    // Half 2: Lemma 24 witness search on the seeds.
+    if let Some(witness) = find_witness(e, schema, seeds)? {
+        return Ok(Verdict::Quadratic { witness: Box::new(witness) });
+    }
+    Ok(Verdict::Undetermined)
+}
+
+/// Search every join node of `e`, on every seed, for a joining pair with
+/// both free-value sets nonempty.
+///
+/// Lemma 24 is stated for `E₁ ⋈θ E₂` with `E₁, E₂ ∈ SA=`; the paper's
+/// induction guarantees this by rewriting non-quadratic subexpressions
+/// first. We mirror that: join nodes are visited children-before-parents
+/// (reverse pre-order) and, in a first pass, only nodes whose operands are
+/// SA=-rewritable are considered (those witnesses are *proofs*); a second
+/// pass accepts any node (heuristic evidence, still measurable by
+/// pumping).
+pub fn find_witness(
+    e: &Expr,
+    schema: &Schema,
+    seeds: &[Database],
+) -> Result<Option<QuadraticWitness>, CoreError> {
+    for require_sa_children in [true, false] {
+        if let Some(w) = find_witness_pass(e, schema, seeds, require_sa_children)? {
+            return Ok(Some(w));
+        }
+    }
+    Ok(None)
+}
+
+fn find_witness_pass(
+    e: &Expr,
+    schema: &Schema,
+    seeds: &[Database],
+    require_sa_children: bool,
+) -> Result<Option<QuadraticWitness>, CoreError> {
+    let constants = e.constants();
+    let subs = e.subexpressions();
+    for (node_id, sub) in subs.iter().enumerate().rev() {
+        let Expr::Join(theta, left, right) = sub else {
+            continue;
+        };
+        if require_sa_children
+            && (to_sa_eq(left, schema).is_err() || to_sa_eq(right, schema).is_err())
+        {
+            continue;
+        }
+        for db in seeds {
+            // Seeds must cover the schema; skip incompatible ones.
+            if e.arity(&db.schema()).is_err() {
+                continue;
+            }
+            let _ = schema; // validated at analyze() entry
+            let lrel = evaluate(left, db)?;
+            let rrel = evaluate(right, db)?;
+            for a in &lrel {
+                let f1 = free_values_left(theta, a, &constants);
+                if f1.is_empty() {
+                    continue;
+                }
+                for b in &rrel {
+                    if !theta.eval(a.values(), b.values()) {
+                        continue;
+                    }
+                    let f2 = free_values_right(theta, b, &constants);
+                    if f2.is_empty() {
+                        continue;
+                    }
+                    return Ok(Some(QuadraticWitness {
+                        node_id,
+                        theta: theta.clone(),
+                        db: db.clone(),
+                        a: a.clone(),
+                        b: b.clone(),
+                        f1,
+                        f2,
+                    }));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_algebra::division;
+    use sj_storage::Relation;
+
+    fn div_schema() -> Schema {
+        Schema::new([("R", 2), ("S", 1)])
+    }
+
+    fn div_seed() -> Database {
+        let mut d = Database::new();
+        d.set(
+            "R",
+            Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 7], &[3, 9]]),
+        );
+        d.set("S", Relation::from_int_rows(&[&[7], &[8]]));
+        d
+    }
+
+    #[test]
+    fn division_plan_is_quadratic_with_witness() {
+        let e = division::division_double_difference("R", "S");
+        let verdict = analyze(&e, &div_schema(), &[div_seed()]).unwrap();
+        let Verdict::Quadratic { witness } = verdict else {
+            panic!("division must be classified quadratic");
+        };
+        // The witness pumps into an actual n² family.
+        let pump = witness.pump(&[], 8).unwrap();
+        let (size, pairs) = pump.verify(8);
+        assert!(pairs >= 64);
+        assert!(size <= pump.size_constant() * 8);
+    }
+
+    #[test]
+    fn set_containment_join_plan_is_quadratic() {
+        let schema = Schema::new([("R", 2), ("S", 2)]);
+        let mut d = Database::new();
+        d.set("R", Relation::from_int_rows(&[&[1, 7], &[2, 8]]));
+        d.set("S", Relation::from_int_rows(&[&[5, 7], &[6, 8]]));
+        let e = division::set_containment_join_plan("R", "S");
+        let verdict = analyze(&e, &schema, &[d]).unwrap();
+        assert!(verdict.is_quadratic());
+    }
+
+    #[test]
+    fn linear_join_classified_linear() {
+        let schema = div_schema();
+        // R ⋈_{2=1} S: right side fully constrained.
+        let e = Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S"));
+        let verdict = analyze(&e, &schema, &[div_seed()]).unwrap();
+        let Verdict::Linear { sa_equivalent } = verdict else {
+            panic!("constrained join must be linear");
+        };
+        assert!(sa_equivalent.is_sa_eq());
+        // Certificate is equivalent.
+        let d = div_seed();
+        assert_eq!(
+            evaluate(&e, &d).unwrap(),
+            evaluate(&sa_equivalent, &d).unwrap()
+        );
+    }
+
+    #[test]
+    fn sa_expressions_are_linear() {
+        let schema = Schema::new([("Likes", 2), ("Serves", 2), ("Visits", 2)]);
+        let e = division::example3_lousy_bar_sa();
+        let verdict = analyze(&e, &schema, &[]).unwrap();
+        assert!(verdict.is_linear());
+    }
+
+    #[test]
+    fn cyclic_beer_query_is_quadratic() {
+        let schema = Schema::new([("Likes", 2), ("Serves", 2), ("Visits", 2)]);
+        let mut d = Database::new();
+        d.set("Visits", Relation::from_int_rows(&[&[1, 10]]));
+        d.set("Serves", Relation::from_int_rows(&[&[10, 20]]));
+        d.set("Likes", Relation::from_int_rows(&[&[1, 20]]));
+        let e = division::cyclic_beer_query_ra();
+        let verdict = analyze(&e, &schema, &[d]).unwrap();
+        assert!(verdict.is_quadratic(), "cyclic query must be quadratic");
+    }
+
+    #[test]
+    fn extended_rejected() {
+        let e = division::division_counting("R", "S");
+        assert!(analyze(&e, &div_schema(), &[]).is_err());
+    }
+
+    #[test]
+    fn no_seeds_gives_undetermined_for_unsafe_join() {
+        let schema = Schema::new([("R", 2), ("S", 2)]);
+        let e = Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S"));
+        let verdict = analyze(&e, &schema, &[]).unwrap();
+        assert!(matches!(verdict, Verdict::Undetermined));
+    }
+
+    #[test]
+    fn witness_respects_join_condition() {
+        let schema = Schema::new([("R", 2), ("S", 2)]);
+        let mut d = Database::new();
+        // No joining pairs at all: no witness despite free columns.
+        d.set("R", Relation::from_int_rows(&[&[1, 7]]));
+        d.set("S", Relation::from_int_rows(&[&[8, 2]]));
+        let e = Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S"));
+        let w = find_witness(&e, &schema, &[d]).unwrap();
+        assert!(w.is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Errors for the dichotomy machinery.
+
+use std::fmt;
+
+/// Errors from the pump construction, rewriter, and analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Lemma 24 requires both free-value sets nonempty.
+    EmptyFreeValues {
+        /// Which side ("left"/"right") was empty.
+        side: &'static str,
+    },
+    /// The witness pair does not satisfy the join condition.
+    WitnessDoesNotJoin,
+    /// The pump construction's fresh-value allocation is implemented for
+    /// the integer universe; a non-integer value was encountered.
+    NonIntegerUniverse,
+    /// A free value fell inside the constant range, which the re-spacing
+    /// scheme cannot stretch (cannot happen for values produced by
+    /// Definition 22; indicates misuse).
+    FreeValueInConstantRange,
+    /// The expression is outside the fragment an operation handles.
+    NotLinearSafe(String),
+    /// Underlying algebra error.
+    Algebra(sj_algebra::AlgebraError),
+    /// Underlying evaluation error.
+    Eval(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyFreeValues { side } => {
+                write!(f, "the {side} free-value set is empty (Lemma 24 needs both nonempty)")
+            }
+            CoreError::WitnessDoesNotJoin => {
+                write!(f, "the witness pair does not satisfy the join condition")
+            }
+            CoreError::NonIntegerUniverse => {
+                write!(f, "pump construction requires an integer universe")
+            }
+            CoreError::FreeValueInConstantRange => {
+                write!(f, "a free value lies inside the constant range")
+            }
+            CoreError::NotLinearSafe(m) => write!(f, "not linear-safe: {m}"),
+            CoreError::Algebra(e) => write!(f, "algebra error: {e}"),
+            CoreError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<sj_algebra::AlgebraError> for CoreError {
+    fn from(e: sj_algebra::AlgebraError) -> Self {
+        CoreError::Algebra(e)
+    }
+}
+
+impl From<sj_eval::EvalError> for CoreError {
+    fn from(e: sj_eval::EvalError) -> Self {
+        CoreError::Eval(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CoreError::EmptyFreeValues { side: "left" }
+            .to_string()
+            .contains("left"));
+        assert!(CoreError::NonIntegerUniverse.to_string().contains("integer"));
+        assert!(CoreError::NotLinearSafe("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Free values — Definition 22 of the paper.
+//!
+//! For `E = E₁ ⋈θ E₂` with constants `C = {c₁ < ⋯ < c_k}` and a tuple
+//! `d̄ ∈ E₁(D)`, the free values are
+//!
+//! ```text
+//! F₁ᴱ(d̄) = set(d̄) − { dᵢ | i ∈ constrained₁(E) } − C − ⋃ finite [cᵢ, cᵢ₊₁]
+//! ```
+//!
+//! and symmetrically for the right side. Free values are the ones the
+//! Lemma 24 pump construction may replace by fresh domain elements without
+//! disturbing the join: they are not pinned by an equality atom, are not
+//! constants, and do not sit inside a finite constant interval (where a
+//! fresh order-equivalent element might not exist).
+//!
+//! Over the integer universe every interval `[cᵢ, cᵢ₊₁]` is finite; over
+//! strings every nondegenerate interval is infinite. [`interval_contains`]
+//! encodes exactly this.
+
+use sj_algebra::Condition;
+use sj_storage::{Tuple, Value};
+
+/// Is `v` inside the **finite** interval `[lo, hi]`? Returns `false` when
+/// the interval is infinite (non-integer endpoints: between two strings,
+/// or between an integer and a string, infinitely many values exist).
+pub fn interval_contains(lo: &Value, hi: &Value, v: &Value) -> bool {
+    match (lo, hi) {
+        (Value::Int(_), Value::Int(_)) => lo <= v && v <= hi,
+        _ => false,
+    }
+}
+
+/// The generic free-value computation shared by both sides: values of the
+/// tuple, minus the values at `constrained` positions (1-based), minus the
+/// constants, minus every finite interval between consecutive constants.
+/// `constants` must be sorted.
+fn free_values(tuple: &Tuple, constrained: &[usize], constants: &[Value]) -> Vec<Value> {
+    debug_assert!(constants.windows(2).all(|w| w[0] <= w[1]), "constants sorted");
+    let pinned: Vec<&Value> = constrained
+        .iter()
+        .filter_map(|&i| tuple.get(i - 1))
+        .collect();
+    tuple
+        .value_set()
+        .into_iter()
+        .filter(|v| !pinned.contains(&v))
+        .filter(|v| !constants.contains(v))
+        .filter(|v| {
+            !constants
+                .windows(2)
+                .any(|w| interval_contains(&w[0], &w[1], v))
+        })
+        .collect()
+}
+
+/// `F₁ᴱ(d̄)` for `d̄ ∈ E₁(D)` under the join condition `theta`.
+pub fn free_values_left(theta: &Condition, tuple: &Tuple, constants: &[Value]) -> Vec<Value> {
+    free_values(tuple, &theta.constrained_left(), constants)
+}
+
+/// `F₂ᴱ(d̄)` for `d̄ ∈ E₂(D)` under the join condition `theta`.
+pub fn free_values_right(theta: &Condition, tuple: &Tuple, constants: &[Value]) -> Vec<Value> {
+    free_values(tuple, &theta.constrained_right(), constants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_storage::tuple;
+
+    #[test]
+    fn example_23_from_the_paper() {
+        // E = σ₂₌'2' R ⋈₃₌₁ σ₃₌'5' S over U = Z, C = {2, 5}.
+        let theta = Condition::eq(3, 1);
+        let c = [Value::int(2), Value::int(5)];
+        // r1 = (1,2,3): remove d₃ = 3 (constrained), 2 ∈ C, and [2,5] ∋ 3
+        // (already gone): F = {1}.
+        assert_eq!(
+            free_values_left(&theta, &tuple![1, 2, 3], &c),
+            vec![Value::int(1)]
+        );
+        // r2 = (4,6,3): remove d₃ = 3; 4 ∈ [2,5]: F = {6}.
+        assert_eq!(
+            free_values_left(&theta, &tuple![4, 6, 3], &c),
+            vec![Value::int(6)]
+        );
+        // s1 = (3,5,6): remove d₁ = 3; 5 ∈ C: F = {6}.
+        assert_eq!(
+            free_values_right(&theta, &tuple![3, 5, 6], &c),
+            vec![Value::int(6)]
+        );
+        // s2 = (1,1,1): remove d₁ = 1 — removes the value 1 everywhere: ∅.
+        assert!(free_values_right(&theta, &tuple![1, 1, 1], &c).is_empty());
+    }
+
+    #[test]
+    fn fig4_free_values() {
+        // E = (R ⋉₁₌₂ T) ⋈₃₌₁ (S ⋉₂₌₁ T), C = ∅:
+        // ā = (1,2,3): constrained₁ = {3} → F₁ = {1, 2};
+        // b̄ = (3,4,5): constrained₂ = {1} → F₂ = {4, 5}.
+        let theta = Condition::eq(3, 1);
+        assert_eq!(
+            free_values_left(&theta, &tuple![1, 2, 3], &[]),
+            vec![Value::int(1), Value::int(2)]
+        );
+        assert_eq!(
+            free_values_right(&theta, &tuple![3, 4, 5], &[]),
+            vec![Value::int(4), Value::int(5)]
+        );
+    }
+
+    #[test]
+    fn constrained_value_removed_even_if_repeated() {
+        // (3, 3) with column 2 constrained: the value 3 disappears
+        // entirely (Definition 22 subtracts the value, not the position).
+        let theta = Condition::eq(2, 1);
+        assert!(free_values_left(&theta, &tuple![3, 3], &[]).is_empty());
+    }
+
+    #[test]
+    fn string_intervals_are_infinite() {
+        let theta = Condition::always();
+        let c = [Value::str("a"), Value::str("z")];
+        // "m" lies between "a" and "z" but the interval is infinite, so
+        // "m" stays free.
+        assert_eq!(
+            free_values_left(&theta, &tuple!["m"], &c),
+            vec![Value::str("m")]
+        );
+        // The constants themselves are removed.
+        assert!(free_values_left(&theta, &tuple!["a"], &c).is_empty());
+    }
+
+    #[test]
+    fn interval_contains_cases() {
+        assert!(interval_contains(&Value::int(2), &Value::int(5), &Value::int(3)));
+        assert!(interval_contains(&Value::int(2), &Value::int(5), &Value::int(2)));
+        assert!(!interval_contains(&Value::int(2), &Value::int(5), &Value::int(6)));
+        assert!(!interval_contains(
+            &Value::str("a"),
+            &Value::str("z"),
+            &Value::str("m")
+        ));
+        assert!(!interval_contains(
+            &Value::int(1),
+            &Value::str("z"),
+            &Value::int(5)
+        ));
+    }
+
+    #[test]
+    fn cartesian_product_frees_everything() {
+        let theta = Condition::always();
+        assert_eq!(
+            free_values_left(&theta, &tuple![1, 2], &[]),
+            vec![Value::int(1), Value::int(2)]
+        );
+    }
+}

@@ -1,0 +1,450 @@
+//! The **Lemma 24 pump construction**: from one witness database with a
+//! joining pair whose free-value sets are both nonempty, build databases
+//! `Dₙ` of linear size on which the join produces ≥ n² tuples.
+//!
+//! Following the proof:
+//!
+//! 1. `D₁ = D`. For each step `k = 1 … n−1` and each free value `x`, a
+//!    fresh domain element `new⁽ᵏ⁾(x)` is created *with the same relative
+//!    order as x*.
+//! 2. Every tuple of the original tuple space touching a left free value
+//!    gets a copy with the free values replaced by their `new⁽ᵏ⁾`
+//!    versions, inserted into the same relations; same for the right free
+//!    values.
+//!
+//! The copies are guarded-bisimilar to the originals (the proof's set `I`),
+//! so all `n` left copies of `ā` stay in `E₁(Dₙ)` and all `n` right copies
+//! of `b̄` in `E₂(Dₙ)`, and every pair still joins: ≥ n² output tuples,
+//! while `|Dₙ| ≤ |D| + 2|D|(n−1)`.
+//!
+//! ### Fresh values with the right relative order
+//!
+//! The proof permits moving to an isomorphic copy of `Dₖ` whenever the
+//! order gap next to a free value is exhausted ("we can translate all
+//! elements…"). We realize this once, up front: all integer values are
+//! *re-spaced* by a gap factor `G > n`, stretching the regions below
+//! `min C`, above `max C` (and the whole line when `C = ∅`) while fixing
+//! every constant. Free values never lie inside `[min C, max C]` (over the
+//! integers that union of finite intervals is the whole range — see
+//! Definition 22), so every free value ends up with `G` empty slots above
+//! it and `new⁽ᵏ⁾(x) = respace(x) + k` is order-correct.
+
+use crate::error::CoreError;
+use crate::freevals::{free_values_left, free_values_right};
+use sj_algebra::Condition;
+use sj_storage::{Database, Tuple, Value};
+
+/// A prepared pump construction (one witness, any `n`).
+#[derive(Debug, Clone)]
+pub struct Pump {
+    /// The re-spaced base database `D` (isomorphic to the input).
+    base: Database,
+    /// Join condition of the witnessed join node.
+    theta: Condition,
+    /// Re-spaced witness tuples.
+    a: Tuple,
+    b: Tuple,
+    /// Re-spaced free values of `ā` / `b̄`.
+    f1: Vec<Value>,
+    f2: Vec<Value>,
+}
+
+/// Re-space integers around the constant range so that every value outside
+/// `[min C, max C]` is followed by at least `G − 1` unused slots.
+fn respace(v: i64, constants: &[i64], g: i64) -> i64 {
+    match (constants.first(), constants.last()) {
+        (Some(&lo), Some(&hi)) => {
+            if v < lo {
+                lo - (lo - v) * g
+            } else if v > hi {
+                hi + (v - hi) * g
+            } else {
+                v
+            }
+        }
+        _ => v * g,
+    }
+}
+
+impl Pump {
+    /// Prepare the construction. `db` is the witness database, `theta` the
+    /// join condition of the witnessed node `E₁ ⋈θ E₂`, `a ∈ E₁(db)` and
+    /// `b ∈ E₂(db)` a joining pair, `constants` the expression's constant
+    /// set `C` (sorted), and `max_n` the largest `n` that will be asked of
+    /// [`Pump::database`].
+    ///
+    /// Fails if the pair does not satisfy θ, if either free-value set is
+    /// empty (then Lemma 24 does not apply — the expression may well be
+    /// linear), or if the database contains non-integer values (fresh-value
+    /// allocation is implemented for the integer universe; all experiments
+    /// use it).
+    pub fn new(
+        db: &Database,
+        theta: &Condition,
+        a: &Tuple,
+        b: &Tuple,
+        constants: &[Value],
+        max_n: usize,
+    ) -> Result<Pump, CoreError> {
+        if !theta.eval(a.values(), b.values()) {
+            return Err(CoreError::WitnessDoesNotJoin);
+        }
+        let f1 = free_values_left(theta, a, constants);
+        let f2 = free_values_right(theta, b, constants);
+        if f1.is_empty() {
+            return Err(CoreError::EmptyFreeValues { side: "left" });
+        }
+        if f2.is_empty() {
+            return Err(CoreError::EmptyFreeValues { side: "right" });
+        }
+        let consts: Vec<i64> = constants
+            .iter()
+            .map(|c| c.as_int().ok_or(CoreError::NonIntegerUniverse))
+            .collect::<Result<_, _>>()?;
+        let g = max_n as i64 + 8;
+        let map_value = |v: &Value| -> Result<Value, CoreError> {
+            let i = v.as_int().ok_or(CoreError::NonIntegerUniverse)?;
+            Ok(Value::int(respace(i, &consts, g)))
+        };
+        // Free values must be strictly outside the constant range (over
+        // the integers, Definition 22 removes the whole [min C, max C]).
+        for v in f1.iter().chain(&f2) {
+            let i = v.as_int().ok_or(CoreError::NonIntegerUniverse)?;
+            if let (Some(&lo), Some(&hi)) = (consts.first(), consts.last()) {
+                if i >= lo && i <= hi {
+                    return Err(CoreError::FreeValueInConstantRange);
+                }
+            }
+        }
+        // Map everything; surface NonIntegerUniverse instead of panicking.
+        let mut bad = false;
+        let base = db.map_values(|v| match map_value(v) {
+            Ok(w) => w,
+            Err(_) => {
+                bad = true;
+                v.clone()
+            }
+        });
+        if bad {
+            return Err(CoreError::NonIntegerUniverse);
+        }
+        let remap_tuple = |t: &Tuple| -> Result<Tuple, CoreError> {
+            t.iter().map(&map_value).collect::<Result<Vec<_>, _>>().map(Tuple::new)
+        };
+        Ok(Pump {
+            base,
+            theta: theta.clone(),
+            a: remap_tuple(a)?,
+            b: remap_tuple(b)?,
+            f1: f1.iter().map(&map_value).collect::<Result<_, _>>()?,
+            f2: f2.iter().map(&map_value).collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// `new⁽ᵏ⁾(x)` — the k-th fresh copy of a (re-spaced) free value.
+    fn fresh(x: &Value, k: usize) -> Value {
+        Value::int(x.as_int().expect("integer universe checked") + k as i64)
+    }
+
+    /// Substitute free values by their k-th fresh copies in one tuple.
+    fn substitute(t: &Tuple, free: &[Value], k: usize) -> Tuple {
+        t.iter()
+            .map(|v| {
+                if free.contains(v) {
+                    Pump::fresh(v, k)
+                } else {
+                    v.clone()
+                }
+            })
+            .collect()
+    }
+
+    /// The database `Dₙ` of the constructed sequence (`n ≥ 1`;
+    /// `D₁ = base`).
+    pub fn database(&self, n: usize) -> Database {
+        let mut db = self.base.clone();
+        // Collect the base tuple space once; copies are always made from
+        // the ORIGINAL tuples (the proof's f⁽ᵏ⁾ maps act on T_D).
+        let touching_f1: Vec<(String, Tuple)> = self
+            .base
+            .tuple_space()
+            .into_iter()
+            .filter(|(_, t)| t.iter().any(|v| self.f1.contains(v)))
+            .map(|(name, t)| (name.to_string(), t.clone()))
+            .collect();
+        let touching_f2: Vec<(String, Tuple)> = self
+            .base
+            .tuple_space()
+            .into_iter()
+            .filter(|(_, t)| t.iter().any(|v| self.f2.contains(v)))
+            .map(|(name, t)| (name.to_string(), t.clone()))
+            .collect();
+        for k in 1..n {
+            for (name, t) in &touching_f1 {
+                let copy = Pump::substitute(t, &self.f1, k);
+                db.insert(name, copy).expect("same relation, same arity");
+            }
+            for (name, t) in &touching_f2 {
+                let copy = Pump::substitute(t, &self.f2, k);
+                db.insert(name, copy).expect("same relation, same arity");
+            }
+        }
+        db
+    }
+
+    /// The `n` left copies `f₁⁽ᵏ⁾(ā)`, `k = 0 … n−1` (`k = 0` is `ā`).
+    pub fn left_copies(&self, n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|k| {
+                if k == 0 {
+                    self.a.clone()
+                } else {
+                    Pump::substitute(&self.a, &self.f1, k)
+                }
+            })
+            .collect()
+    }
+
+    /// The `n` right copies `f₂⁽ᵏ⁾(b̄)`.
+    pub fn right_copies(&self, n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|k| {
+                if k == 0 {
+                    self.b.clone()
+                } else {
+                    Pump::substitute(&self.b, &self.f2, k)
+                }
+            })
+            .collect()
+    }
+
+    /// The re-spaced base database `D₁` (isomorphic to the input witness).
+    pub fn base(&self) -> &Database {
+        &self.base
+    }
+
+    /// The re-spaced witness pair.
+    pub fn witness(&self) -> (&Tuple, &Tuple) {
+        (&self.a, &self.b)
+    }
+
+    /// The re-spaced free-value sets.
+    pub fn free_values(&self) -> (&[Value], &[Value]) {
+        (&self.f1, &self.f2)
+    }
+
+    /// The Lemma 24 size constant: `|Dₙ| ≤ |D| + 2|D|(n−1) ≤ c·n` with
+    /// `c = 2|D|`.
+    pub fn size_constant(&self) -> usize {
+        2 * self.base.size()
+    }
+
+    /// Check the two guarantees of Lemma 24 for a given `n`, returning
+    /// `(|Dₙ|, pairs)` where `pairs` is the number of joining copy pairs
+    /// (≥ n² by the lemma; equality when all copies are distinct).
+    pub fn verify(&self, n: usize) -> (usize, usize) {
+        let dn = self.database(n);
+        let lc = self.left_copies(n);
+        let rc = self.right_copies(n);
+        let pairs = lc
+            .iter()
+            .flat_map(|l| rc.iter().map(move |r| (l, r)))
+            .filter(|(l, r)| self.theta.eval(l.values(), r.values()))
+            .count();
+        (dn.size(), pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_storage::{tuple, Relation};
+
+    /// The Fig. 4 witness: D with R, S ternary and T binary;
+    /// E = (R ⋉₁₌₂ T) ⋈₃₌₁ (S ⋉₂₌₁ T), ā = (1,2,3), b̄ = (3,4,5).
+    fn fig4_db() -> Database {
+        let mut d = Database::new();
+        d.set("R", Relation::from_int_rows(&[&[1, 2, 3], &[8, 9, 10]]));
+        d.set("S", Relation::from_int_rows(&[&[3, 4, 5]]));
+        d.set("T", Relation::from_int_rows(&[&[6, 1], &[4, 7]]));
+        d
+    }
+
+    fn fig4_pump(max_n: usize) -> Pump {
+        Pump::new(
+            &fig4_db(),
+            &Condition::eq(3, 1),
+            &tuple![1, 2, 3],
+            &tuple![3, 4, 5],
+            &[],
+            max_n,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig4_d1_is_isomorphic_base() {
+        let p = fig4_pump(4);
+        assert_eq!(p.database(1).size(), 5);
+        assert_eq!(p.base().size(), 5);
+    }
+
+    #[test]
+    fn fig4_sizes_match_paper() {
+        // D₂ adds 4 tuples (R′, T′ for F₁; S′, T′ for F₂); D₃ adds 8.
+        let p = fig4_pump(4);
+        assert_eq!(p.database(2).size(), 9);
+        assert_eq!(p.database(3).size(), 13);
+        // Linear growth: |Dₙ| = 5 + 4(n−1) ≤ 2·5·n.
+        for n in 1..=4 {
+            let (size, _) = p.verify(n);
+            assert_eq!(size, 5 + 4 * (n - 1));
+            assert!(size <= p.size_constant() * n);
+        }
+    }
+
+    #[test]
+    fn fig4_join_pairs_are_n_squared() {
+        let p = fig4_pump(6);
+        for n in 1..=6 {
+            let (_, pairs) = p.verify(n);
+            assert_eq!(pairs, n * n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fig4_structure_of_d2() {
+        // D₂ must contain copies mirroring the paper's primed tuples:
+        // R gains (1′,2′,3) — third component unchanged (3 is constrained);
+        // S gains (3,4′,5′); T gains (6,1′) and (4′,7).
+        let p = fig4_pump(3);
+        let d2 = p.database(2);
+        let r = d2.get("R").unwrap();
+        assert_eq!(r.len(), 3);
+        // The copy shares its third component with the original ā.
+        let (a, _) = p.witness();
+        let copies: Vec<&Tuple> = r
+            .iter()
+            .filter(|t| *t != a && t[2] == a[2] && t[0] != a[0])
+            .collect();
+        assert_eq!(copies.len(), 1);
+        let copy = copies[0];
+        // Fresh values directly above the originals, preserving order.
+        assert!(copy[0] > a[0] && copy[0] < a[1]);
+        assert!(copy[1] > a[1] && copy[1] < a[2]);
+        // T gains exactly two tuples.
+        assert_eq!(d2.get("T").unwrap().len(), 4);
+        assert_eq!(d2.get("S").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn copies_present_in_pumped_relations() {
+        let p = fig4_pump(5);
+        let d4 = p.database(4);
+        for c in p.left_copies(4) {
+            assert!(d4.get("R").unwrap().contains(&c), "missing left copy {c}");
+        }
+        for c in p.right_copies(4) {
+            assert!(d4.get("S").unwrap().contains(&c), "missing right copy {c}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_joining_witness() {
+        assert!(matches!(
+            Pump::new(
+                &fig4_db(),
+                &Condition::eq(3, 1),
+                &tuple![1, 2, 3],
+                &tuple![9, 4, 5],
+                &[],
+                3
+            ),
+            Err(CoreError::WitnessDoesNotJoin)
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_free_values() {
+        // Join pinning every column of the left tuple: F₁ = ∅.
+        let theta = Condition::eq_pairs([(1, 1), (2, 2), (3, 3)]);
+        let err = Pump::new(
+            &fig4_db(),
+            &theta,
+            &tuple![3, 4, 5],
+            &tuple![3, 4, 5],
+            &[],
+            3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::EmptyFreeValues { side: "left" }));
+    }
+
+    #[test]
+    fn rejects_string_universe() {
+        let mut d = Database::new();
+        d.set("R", Relation::from_str_rows(&[&["a", "b"]]));
+        let err = Pump::new(
+            &d,
+            &Condition::always(),
+            &tuple!["a", "b"],
+            &tuple!["a", "b"],
+            &[],
+            3,
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::NonIntegerUniverse);
+    }
+
+    #[test]
+    fn respacing_with_constants_fixes_them() {
+        // Constants {2,5}: values below 2 stretch downward, above 5 upward,
+        // inside [2,5] stay put.
+        let c = [2i64, 5];
+        assert_eq!(respace(2, &c, 10), 2);
+        assert_eq!(respace(5, &c, 10), 5);
+        assert_eq!(respace(3, &c, 10), 3);
+        assert_eq!(respace(1, &c, 10), 2 - 10);
+        assert_eq!(respace(6, &c, 10), 5 + 10);
+        assert_eq!(respace(0, &[], 10), 0);
+        assert_eq!(respace(7, &[], 10), 70);
+    }
+
+    #[test]
+    fn pump_with_constants() {
+        // Same Fig. 4 shape but with C = {100} (outside all values): the
+        // construction still works and the constant stays fixed.
+        let p = Pump::new(
+            &fig4_db(),
+            &Condition::eq(3, 1),
+            &tuple![1, 2, 3],
+            &tuple![3, 4, 5],
+            &[Value::int(100)],
+            4,
+        )
+        .unwrap();
+        let (size, pairs) = p.verify(3);
+        assert_eq!(size, 13);
+        assert_eq!(pairs, 9);
+    }
+
+    #[test]
+    fn product_join_pump() {
+        // A cartesian product: everything free; copies multiply directly.
+        let mut d = Database::new();
+        d.set("A", Relation::from_int_rows(&[&[1]]));
+        d.set("B", Relation::from_int_rows(&[&[2]]));
+        let p = Pump::new(
+            &d,
+            &Condition::always(),
+            &tuple![1],
+            &tuple![2],
+            &[],
+            10,
+        )
+        .unwrap();
+        let (size, pairs) = p.verify(10);
+        assert_eq!(size, 2 + 2 * 9);
+        assert_eq!(pairs, 100);
+    }
+}

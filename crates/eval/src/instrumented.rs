@@ -1,0 +1,255 @@
+//! The instrumented evaluator: evaluation plus per-subexpression
+//! cardinalities.
+//!
+//! Definition 16 of the paper assigns to every RA expression `E` the
+//! function `c(E)(n) = max{|E(D)| : |D| = n}` and calls `E` *linear* when
+//! `c(E') = O(n)` for **every subexpression** `E'`, *quadratic* when some
+//! subexpression is `Ω(n²)`. Measuring those intermediate sizes is the
+//! core experimental tool of this reproduction: the instrumented evaluator
+//! returns, along with the result, the cardinality of every node of the
+//! expression tree (identified by its pre-order index, matching
+//! [`Expr::subexpressions`]).
+
+use crate::error::EvalError;
+use crate::ops;
+use sj_algebra::Expr;
+use sj_storage::{Database, Relation};
+
+/// Statistics for one node of the expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStat {
+    /// Pre-order index of the node within the root expression.
+    pub id: usize,
+    /// Operator label (see [`Expr::label`]).
+    pub label: String,
+    /// Output arity of the node.
+    pub arity: usize,
+    /// Output cardinality `|E'(D)|`.
+    pub cardinality: usize,
+}
+
+/// The result of an instrumented evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// The query result (the root node's output).
+    pub result: Relation,
+    /// Per-node statistics in pre-order (index 0 is the root).
+    pub nodes: Vec<NodeStat>,
+    /// The input database size `|D|` (Definition 15).
+    pub db_size: usize,
+}
+
+impl EvalReport {
+    /// The largest intermediate (or final) result cardinality — the
+    /// quantity whose growth Theorem 17 shows is either `O(n)` or `Ω(n²)`.
+    pub fn max_intermediate(&self) -> usize {
+        self.nodes.iter().map(|n| n.cardinality).max().unwrap_or(0)
+    }
+
+    /// The node achieving the maximum intermediate size.
+    pub fn max_node(&self) -> Option<&NodeStat> {
+        self.nodes.iter().max_by_key(|n| n.cardinality)
+    }
+
+    /// `max_intermediate / |D|` — the "expansion factor"; bounded by a
+    /// constant across a scaling series iff the expression behaves linearly
+    /// on that series.
+    pub fn expansion_factor(&self) -> f64 {
+        if self.db_size == 0 {
+            0.0
+        } else {
+            self.max_intermediate() as f64 / self.db_size as f64
+        }
+    }
+
+    /// Render a per-node table (id, label, cardinality), for reports.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "|D| = {}, output = {}, max intermediate = {}\n",
+            self.db_size,
+            self.result.len(),
+            self.max_intermediate()
+        );
+        for n in &self.nodes {
+            out.push_str(&format!(
+                "  [{:>3}] {:<28} arity {}  card {}\n",
+                n.id, n.label, n.arity, n.cardinality
+            ));
+        }
+        out
+    }
+}
+
+/// Evaluate with instrumentation. Node ids follow pre-order, exactly the
+/// order of [`Expr::subexpressions`].
+pub fn evaluate_instrumented(expr: &Expr, db: &Database) -> Result<EvalReport, EvalError> {
+    expr.arity(&db.schema())?;
+    let mut nodes: Vec<Option<NodeStat>> = vec![None; expr.node_count()];
+    let mut counter = 0usize;
+    let result = eval_rec(expr, db, &mut nodes, &mut counter);
+    Ok(EvalReport {
+        result,
+        nodes: nodes.into_iter().map(|n| n.expect("every node visited")).collect(),
+        db_size: db.size(),
+    })
+}
+
+fn eval_rec(
+    expr: &Expr,
+    db: &Database,
+    nodes: &mut Vec<Option<NodeStat>>,
+    counter: &mut usize,
+) -> Relation {
+    let id = *counter;
+    *counter += 1;
+    let rel = match expr {
+        Expr::Rel(name) => db.get(name).expect("validated").clone(),
+        Expr::Union(a, b) => {
+            let ra = eval_rec(a, db, nodes, counter);
+            let rb = eval_rec(b, db, nodes, counter);
+            ra.union(&rb).expect("validated")
+        }
+        Expr::Diff(a, b) => {
+            let ra = eval_rec(a, db, nodes, counter);
+            let rb = eval_rec(b, db, nodes, counter);
+            ra.difference(&rb).expect("validated")
+        }
+        Expr::Project(cols, a) => ops::project(&eval_rec(a, db, nodes, counter), cols),
+        Expr::Select(sel, a) => ops::select(&eval_rec(a, db, nodes, counter), sel),
+        Expr::ConstTag(c, a) => ops::const_tag(&eval_rec(a, db, nodes, counter), c),
+        Expr::Join(theta, a, b) => {
+            let ra = eval_rec(a, db, nodes, counter);
+            let rb = eval_rec(b, db, nodes, counter);
+            ops::join(&ra, &rb, theta)
+        }
+        Expr::Semijoin(theta, a, b) => {
+            let ra = eval_rec(a, db, nodes, counter);
+            let rb = eval_rec(b, db, nodes, counter);
+            ops::semijoin(&ra, &rb, theta)
+        }
+        Expr::GroupCount(cols, a) => {
+            ops::group_count(&eval_rec(a, db, nodes, counter), cols)
+        }
+    };
+    nodes[id] = Some(NodeStat {
+        id,
+        label: expr.label(),
+        arity: rel.arity(),
+        cardinality: rel.len(),
+    });
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plain::evaluate;
+    use sj_algebra::{division, Condition};
+    use sj_storage::Relation;
+
+    fn division_db(groups: i64, divisor: i64) -> Database {
+        // R = {1..groups} × {1..divisor}, S = {1..divisor}: every A divides.
+        let mut r = Vec::new();
+        for a in 1..=groups {
+            for b in 1..=divisor {
+                r.push([a, b]);
+            }
+        }
+        let rows: Vec<&[i64]> = r.iter().map(|x| x.as_slice()).collect();
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&rows));
+        db.set(
+            "S",
+            Relation::unary((1..=divisor).map(sj_storage::Value::int)),
+        );
+        db
+    }
+
+    #[test]
+    fn instrumented_matches_plain() {
+        let db = division_db(4, 3);
+        let e = division::division_double_difference("R", "S");
+        let plain = evaluate(&e, &db).unwrap();
+        let inst = evaluate_instrumented(&e, &db).unwrap();
+        assert_eq!(plain, inst.result);
+    }
+
+    #[test]
+    fn node_ids_match_preorder_subexpressions() {
+        let db = division_db(3, 2);
+        let e = division::division_double_difference("R", "S");
+        let report = evaluate_instrumented(&e, &db).unwrap();
+        let subs = e.subexpressions();
+        assert_eq!(report.nodes.len(), subs.len());
+        for (stat, sub) in report.nodes.iter().zip(subs.iter()) {
+            assert_eq!(stat.label, sub.label(), "node {}", stat.id);
+        }
+    }
+
+    #[test]
+    fn division_plan_has_quadratic_intermediate_on_this_family() {
+        // On the all-divide family, π₁(R) × S has |A-values| · |S| tuples.
+        let db = division_db(10, 10);
+        let e = division::division_double_difference("R", "S");
+        let report = evaluate_instrumented(&e, &db).unwrap();
+        // |D| = 110; the product node has 100 tuples.
+        assert_eq!(report.db_size, 110);
+        assert!(report.max_intermediate() >= 100);
+        // The cartesian-product node itself carries 10 × 10 tuples.
+        let product = report
+            .nodes
+            .iter()
+            .find(|n| n.label.starts_with("join["))
+            .unwrap();
+        assert_eq!(product.cardinality, 100);
+    }
+
+    #[test]
+    fn semijoin_plan_never_exceeds_input() {
+        let mut db = Database::new();
+        db.set(
+            "Visits",
+            Relation::from_int_rows(&[&[1, 10], &[2, 20], &[3, 30]]),
+        );
+        db.set("Serves", Relation::from_int_rows(&[&[10, 5], &[20, 6]]));
+        db.set("Likes", Relation::from_int_rows(&[&[1, 5]]));
+        let e = division::example3_lousy_bar_sa();
+        let report = evaluate_instrumented(&e, &db).unwrap();
+        assert!(report.max_intermediate() <= report.db_size);
+    }
+
+    #[test]
+    fn expansion_factor_and_render() {
+        let db = division_db(5, 5);
+        let e = division::division_double_difference("R", "S");
+        let report = evaluate_instrumented(&e, &db).unwrap();
+        assert!(report.expansion_factor() > 0.0);
+        let s = report.render();
+        assert!(s.contains("max intermediate"));
+        assert!(s.contains("join["));
+    }
+
+    #[test]
+    fn union_children_both_counted() {
+        let mut db = Database::new();
+        db.set("A", Relation::from_int_rows(&[&[1], &[2]]));
+        db.set("B", Relation::from_int_rows(&[&[3]]));
+        let e = Expr::rel("A").union(Expr::rel("B"));
+        let report = evaluate_instrumented(&e, &db).unwrap();
+        assert_eq!(report.nodes.len(), 3);
+        assert_eq!(report.nodes[0].cardinality, 3); // union
+        assert_eq!(report.nodes[1].cardinality, 2); // A
+        assert_eq!(report.nodes[2].cardinality, 1); // B
+    }
+
+    #[test]
+    fn join_node_stats() {
+        let mut db = Database::new();
+        db.set("A", Relation::from_int_rows(&[&[1], &[2]]));
+        db.set("B", Relation::from_int_rows(&[&[1], &[3]]));
+        let e = Expr::rel("A").join(Condition::eq(1, 1), Expr::rel("B"));
+        let report = evaluate_instrumented(&e, &db).unwrap();
+        assert_eq!(report.nodes[0].arity, 2);
+        assert_eq!(report.nodes[0].cardinality, 1);
+    }
+}

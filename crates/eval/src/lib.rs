@@ -1,0 +1,180 @@
+//! # sj-eval — instrumented evaluation of algebra expressions
+//!
+//! Evaluators for the RA / SA / extended-RA expressions of `sj-algebra`
+//! over `sj-storage` databases:
+//!
+//! * [`evaluate`] — the plain evaluator: hash equi-joins/semijoins with
+//!   residual filters, merge-based set operations, hash grouping.
+//! * [`instrumented::evaluate_instrumented`] — the same evaluation, but
+//!   additionally reporting the cardinality of **every subexpression**.
+//!   This is the measurement instrument behind the paper's Definition 16
+//!   ("linear" = every intermediate O(n); "quadratic" = some intermediate
+//!   Ω(n²)) and is used by all dichotomy experiments.
+//! * [`reference::evaluate_reference`] — a naive nested-loop transliteration
+//!   of the paper's semantics, used to cross-validate the optimized
+//!   operators in unit and property tests.
+
+pub mod error;
+pub mod explain;
+pub mod instrumented;
+pub mod ops;
+pub mod plain;
+pub mod reference;
+
+pub use error::EvalError;
+pub use explain::explain;
+pub use instrumented::{evaluate_instrumented, EvalReport, NodeStat};
+pub use plain::evaluate;
+pub use reference::evaluate_reference;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use crate::instrumented::{evaluate_instrumented, EvalReport, NodeStat};
+    pub use crate::plain::evaluate;
+    pub use crate::reference::evaluate_reference;
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use sj_algebra::{Atom, CompOp, Condition, Expr};
+    use sj_storage::{Database, Relation, Tuple, Value};
+
+    fn arb_relation(arity: usize) -> impl Strategy<Value = Relation> {
+        proptest::collection::vec(
+            proptest::collection::vec(0i64..6, arity),
+            0..12,
+        )
+        .prop_map(move |rows| {
+            Relation::from_tuples(
+                arity,
+                rows.into_iter().map(|r| Tuple::from_ints(&r)),
+            )
+            .unwrap()
+        })
+    }
+
+    fn arb_db() -> impl Strategy<Value = Database> {
+        (arb_relation(2), arb_relation(2), arb_relation(1)).prop_map(|(r, s, t)| {
+            let mut db = Database::new();
+            db.set("R", r);
+            db.set("S", s);
+            db.set("T", t);
+            db
+        })
+    }
+
+    fn arb_condition() -> impl Strategy<Value = Condition> {
+        proptest::collection::vec(
+            (1usize..=2, 1usize..=2, 0u8..4).prop_map(|(l, r, o)| Atom {
+                left: l,
+                op: match o {
+                    0 => CompOp::Eq,
+                    1 => CompOp::Neq,
+                    2 => CompOp::Lt,
+                    _ => CompOp::Gt,
+                },
+                right: r,
+            }),
+            0..3,
+        )
+        .prop_map(Condition::new)
+    }
+
+    /// Arbitrary **valid** arity-2 expressions over R, S (arity 2).
+    fn arb_expr2() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![Just(Expr::rel("R")), Just(Expr::rel("S"))];
+        leaf.prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.diff(b)),
+                (1usize..=2, 1usize..=2, inner.clone())
+                    .prop_map(|(i, j, a)| a.select_eq(i, j)),
+                (1usize..=2, 1usize..=2, inner.clone())
+                    .prop_map(|(i, j, a)| a.select_lt(i, j)),
+                (0i64..6, inner.clone())
+                    .prop_map(|(c, a)| a.tag(Value::int(c)).project([1, 2])),
+                (arb_condition(), inner.clone(), inner.clone())
+                    .prop_map(|(t, a, b)| a.join(t, b).project([1, 2])),
+                (arb_condition(), inner.clone(), inner.clone())
+                    .prop_map(|(t, a, b)| a.semijoin(t, b)),
+                inner.clone().prop_map(|a| a.project([2, 1])),
+                inner.clone().prop_map(|a| a.group_count([1])),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Optimized and reference evaluators agree on random expressions
+        /// and databases.
+        #[test]
+        fn optimized_matches_reference(e in arb_expr2(), db in arb_db()) {
+            let fast = evaluate(&e, &db).unwrap();
+            let slow = evaluate_reference(&e, &db).unwrap();
+            prop_assert_eq!(fast, slow);
+        }
+
+        /// The instrumented evaluator computes the same result and one stat
+        /// per AST node.
+        #[test]
+        fn instrumented_consistent(e in arb_expr2(), db in arb_db()) {
+            let plain = evaluate(&e, &db).unwrap();
+            let report = evaluate_instrumented(&e, &db).unwrap();
+            prop_assert_eq!(&report.result, &plain);
+            prop_assert_eq!(report.nodes.len(), e.node_count());
+            prop_assert_eq!(report.nodes[0].cardinality, plain.len());
+            prop_assert!(report.max_intermediate() >= plain.len());
+        }
+
+        /// Semijoin is equivalent to join + project (the defining identity
+        /// used throughout the paper).
+        #[test]
+        fn semijoin_join_identity(t in arb_condition(), db in arb_db()) {
+            let sj = Expr::rel("R").semijoin(t.clone(), Expr::rel("S"));
+            let jp = Expr::rel("R").join(t, Expr::rel("S")).project([1, 2]);
+            prop_assert_eq!(evaluate(&sj, &db).unwrap(), evaluate(&jp, &db).unwrap());
+        }
+
+        /// Schema-aware semijoin→join lowering preserves semantics.
+        #[test]
+        fn semijoin_lowering_semantics(e in arb_expr2(), db in arb_db()) {
+            let lowered = sj_algebra::semijoins_to_joins_checked(&e, &db.schema()).unwrap();
+            prop_assert_eq!(evaluate(&e, &db).unwrap(), evaluate(&lowered, &db).unwrap());
+        }
+
+        /// The optimizer (selection pushdown, projection pruning, semijoin
+        /// reduction) preserves semantics on arbitrary expressions.
+        #[test]
+        fn optimizer_preserves_semantics(e in arb_expr2(), db in arb_db()) {
+            let opt = sj_algebra::optimize(&e, &db.schema()).unwrap();
+            prop_assert_eq!(
+                evaluate(&e, &db).unwrap(),
+                evaluate(&opt, &db).unwrap(),
+                "optimize({}) = {} changed semantics", e, opt
+            );
+        }
+
+        /// Semijoin reduction never increases the max intermediate size.
+        #[test]
+        fn optimizer_never_hurts_intermediates(e in arb_expr2(), db in arb_db()) {
+            let opt = sj_algebra::optimize(&e, &db.schema()).unwrap();
+            let before = evaluate_instrumented(&e, &db).unwrap().max_intermediate();
+            let after = evaluate_instrumented(&opt, &db).unwrap().max_intermediate();
+            prop_assert!(after <= before, "{}: {} -> {} ({} tuples -> {})",
+                e, e, opt, before, after);
+        }
+
+        /// A single semijoin never outgrows its left operand — the
+        /// "linear by definition" property of SA (Section 1).
+        #[test]
+        fn semijoins_bounded_by_operand(t in arb_condition(), db in arb_db()) {
+            let e = Expr::rel("R").semijoin(t, Expr::rel("S"));
+            let report = evaluate_instrumented(&e, &db).unwrap();
+            let r_size = db.get("R").unwrap().len();
+            prop_assert!(report.result.len() <= r_size);
+        }
+    }
+}

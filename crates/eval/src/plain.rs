@@ -1,0 +1,244 @@
+//! The plain (un-instrumented) recursive evaluator.
+
+use crate::error::EvalError;
+use crate::ops;
+use sj_algebra::Expr;
+use sj_storage::{Database, Relation};
+
+/// Evaluate `expr` on `db`.
+///
+/// The expression is validated against the database's induced schema first,
+/// so evaluation itself cannot encounter malformed column references.
+///
+/// ```
+/// use sj_algebra::{Condition, Expr};
+/// use sj_eval::evaluate;
+/// use sj_storage::{Database, Relation};
+///
+/// let mut db = Database::new();
+/// db.set("R", Relation::from_int_rows(&[&[1, 7], &[2, 8]]));
+/// db.set("S", Relation::from_int_rows(&[&[7]]));
+/// let e = Expr::rel("R").semijoin(Condition::eq(2, 1), Expr::rel("S"));
+/// let out = evaluate(&e, &db).unwrap();
+/// assert_eq!(out, Relation::from_int_rows(&[&[1, 7]]));
+/// ```
+pub fn evaluate(expr: &Expr, db: &Database) -> Result<Relation, EvalError> {
+    expr.arity(&db.schema())?;
+    Ok(eval_unchecked(expr, db))
+}
+
+/// Recursive evaluation without re-validation. `pub(crate)` so the
+/// instrumented evaluator shares the operator implementations.
+pub(crate) fn eval_unchecked(expr: &Expr, db: &Database) -> Relation {
+    match expr {
+        Expr::Rel(name) => db
+            .get(name)
+            .expect("validated: relation exists")
+            .clone(),
+        Expr::Union(a, b) => {
+            let ra = eval_unchecked(a, db);
+            let rb = eval_unchecked(b, db);
+            ra.union(&rb).expect("validated: arities agree")
+        }
+        Expr::Diff(a, b) => {
+            let ra = eval_unchecked(a, db);
+            let rb = eval_unchecked(b, db);
+            ra.difference(&rb).expect("validated: arities agree")
+        }
+        Expr::Project(cols, a) => ops::project(&eval_unchecked(a, db), cols),
+        Expr::Select(sel, a) => ops::select(&eval_unchecked(a, db), sel),
+        Expr::ConstTag(c, a) => ops::const_tag(&eval_unchecked(a, db), c),
+        Expr::Join(theta, a, b) => {
+            let ra = eval_unchecked(a, db);
+            let rb = eval_unchecked(b, db);
+            ops::join(&ra, &rb, theta)
+        }
+        Expr::Semijoin(theta, a, b) => {
+            let ra = eval_unchecked(a, db);
+            let rb = eval_unchecked(b, db);
+            ops::semijoin(&ra, &rb, theta)
+        }
+        Expr::GroupCount(cols, a) => ops::group_count(&eval_unchecked(a, db), cols),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_algebra::division;
+    use sj_storage::Relation;
+
+    /// The beer-drinkers database used in Examples 3 and 7 discussions —
+    /// small hand data with one lousy bar.
+    fn beer_db() -> Database {
+        let mut db = Database::new();
+        db.set(
+            "Visits",
+            Relation::from_str_rows(&[
+                &["an", "bad bar"],
+                &["bob", "good bar"],
+                &["carl", "empty bar"],
+            ]),
+        );
+        db.set(
+            "Serves",
+            Relation::from_str_rows(&[
+                &["bad bar", "swill"],
+                &["good bar", "nectar"],
+            ]),
+        );
+        db.set("Likes", Relation::from_str_rows(&[&["bob", "nectar"]]));
+        db
+    }
+
+    #[test]
+    fn example3_lousy_bar_query() {
+        // "bad bar" serves only unliked beers → an visits a lousy bar.
+        // "empty bar" serves nothing → not lousy (serves no unliked beer,
+        // but the expression asks for bars serving only unliked beers via
+        // π₁(Serves) − …, so bars serving nothing are not in π₁(Serves)).
+        let out = evaluate(&division::example3_lousy_bar_sa(), &beer_db()).unwrap();
+        assert_eq!(out, Relation::from_str_rows(&[&["an"]]));
+    }
+
+    #[test]
+    fn example3_ra_and_sa_agree() {
+        let db = beer_db();
+        let sa = evaluate(&division::example3_lousy_bar_sa(), &db).unwrap();
+        let ra = evaluate(&division::example3_lousy_bar_ra(), &db).unwrap();
+        assert_eq!(sa, ra);
+    }
+
+    #[test]
+    fn cyclic_query() {
+        let out = evaluate(&division::cyclic_beer_query_ra(), &beer_db()).unwrap();
+        assert_eq!(out, Relation::from_str_rows(&[&["bob"]]));
+    }
+
+    #[test]
+    fn division_double_difference_small() {
+        let mut db = Database::new();
+        db.set(
+            "R",
+            Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 7], &[3, 8]]),
+        );
+        db.set("S", Relation::from_int_rows(&[&[7], &[8]]));
+        let out = evaluate(&division::division_double_difference("R", "S"), &db).unwrap();
+        assert_eq!(out, Relation::from_int_rows(&[&[1]]));
+    }
+
+    #[test]
+    fn division_by_empty_divisor_returns_all_candidates() {
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&[&[1, 7], &[2, 8]]));
+        db.set("S", Relation::empty(1));
+        let out = evaluate(&division::division_double_difference("R", "S"), &db).unwrap();
+        // Every A trivially contains the empty set.
+        assert_eq!(out, Relation::from_int_rows(&[&[1], &[2]]));
+    }
+
+    #[test]
+    fn counting_division_agrees_with_double_difference() {
+        let mut db = Database::new();
+        db.set(
+            "R",
+            Relation::from_int_rows(&[
+                &[1, 7], &[1, 8], &[1, 9],
+                &[2, 7], &[2, 8],
+                &[3, 9],
+            ]),
+        );
+        db.set("S", Relation::from_int_rows(&[&[7], &[8]]));
+        let dd = evaluate(&division::division_double_difference("R", "S"), &db).unwrap();
+        let cnt = evaluate(&division::division_counting("R", "S"), &db).unwrap();
+        assert_eq!(dd, cnt);
+        assert_eq!(dd, Relation::from_int_rows(&[&[1], &[2]]));
+    }
+
+    #[test]
+    fn equality_division_variants_agree() {
+        let mut db = Database::new();
+        db.set(
+            "R",
+            Relation::from_int_rows(&[
+                &[1, 7], &[1, 8], &[1, 9], // superset of S
+                &[2, 7], &[2, 8],          // exactly S
+                &[3, 7],                   // proper subset
+            ]),
+        );
+        db.set("S", Relation::from_int_rows(&[&[7], &[8]]));
+        let eq_ra = evaluate(&division::division_equality("R", "S"), &db).unwrap();
+        let eq_cnt =
+            evaluate(&division::division_equality_counting("R", "S"), &db).unwrap();
+        assert_eq!(eq_ra, Relation::from_int_rows(&[&[2]]));
+        assert_eq!(eq_ra, eq_cnt);
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        let db = Database::new();
+        assert!(matches!(
+            evaluate(&Expr::rel("R"), &db),
+            Err(EvalError::Algebra(_))
+        ));
+        let mut db2 = Database::new();
+        db2.set("R", Relation::empty(1));
+        assert!(evaluate(&Expr::rel("R").project([2]), &db2).is_err());
+    }
+
+    #[test]
+    fn union_and_tag_evaluate() {
+        let mut db = Database::new();
+        db.set("A", Relation::from_int_rows(&[&[1]]));
+        db.set("B", Relation::from_int_rows(&[&[2]]));
+        let e = Expr::rel("A").union(Expr::rel("B")).tag(9);
+        let out = evaluate(&e, &db).unwrap();
+        assert_eq!(out, Relation::from_int_rows(&[&[1, 9], &[2, 9]]));
+    }
+
+    #[test]
+    fn select_const_sugar_equals_desugared() {
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&[&[1, 5], &[2, 6]]));
+        let e = Expr::rel("R").select_const(2, 5);
+        let d = e.desugared(&db.schema()).unwrap();
+        assert_eq!(evaluate(&e, &db).unwrap(), evaluate(&d, &db).unwrap());
+        assert_eq!(
+            evaluate(&e, &db).unwrap(),
+            Relation::from_int_rows(&[&[1, 5]])
+        );
+    }
+
+    #[test]
+    fn semijoin_lowering_preserves_semantics() {
+        let db = beer_db();
+        let sa = division::example3_lousy_bar_sa();
+        let lowered =
+            sj_algebra::semijoins_to_joins_checked(&sa, &db.schema()).unwrap();
+        assert_eq!(
+            evaluate(&sa, &db).unwrap(),
+            evaluate(&lowered, &db).unwrap()
+        );
+    }
+
+    #[test]
+    fn set_containment_join_plan_on_fig1_shape() {
+        // Minimal version of Fig. 1: the full figure is tested in the
+        // workload crate; here a 2-person variant.
+        let mut db = Database::new();
+        db.set(
+            "R", // person-symptom
+            Relation::from_str_rows(&[
+                &["an", "headache"],
+                &["an", "fever"],
+                &["bob", "headache"],
+            ]),
+        );
+        db.set(
+            "S", // disease-symptom
+            Relation::from_str_rows(&[&["flu", "headache"], &["flu", "fever"]]),
+        );
+        let out = evaluate(&division::set_containment_join_plan("R", "S"), &db).unwrap();
+        assert_eq!(out, Relation::from_str_rows(&[&["an", "flu"]]));
+    }
+}

@@ -1,0 +1,424 @@
+//! Distinguishing formulas — the constructive converse of Proposition 13.
+//!
+//! Proposition 13 says guarded-bisimilar pointed databases satisfy the
+//! same GF formulas. Contrapositively, when `A,ā` and `B,b̄` are **not**
+//! bisimilar, some GF formula separates them; this module *finds* one by
+//! searching the guarded bisimulation game to a bounded depth:
+//!
+//! * **round 0** — an atomic mismatch: an equality / order / constant
+//!   pattern or a relation atom over the current tuples that holds on one
+//!   side only;
+//! * **round k** — a Spoiler move: a guarded tuple `t̄′` of `A` such that
+//!   *every* compatible Duplicator response `ū′` in `B` is distinguished
+//!   at depth `k−1`; the formula is `∃ȳ (R(w̄) ∧ ⋀ δ_ū′)` with the
+//!   overlap variables shared — a guarded ∃, so the result is genuinely
+//!   in GF. Spoiler may also move on the `B` side, yielding a negated
+//!   guarded ∃.
+//!
+//! The returned formula `φ(x₁,…,x_k)` satisfies `A ⊨ φ(ā)` and
+//! `B ⊭ φ(b̄)` — machine-checked in the tests. A `None` result means the
+//! game has no Spoiler win within the depth bound (in particular,
+//! bisimilar pairs always yield `None`, at every depth).
+
+use crate::formula::{Formula, Var};
+use sj_storage::{Database, Tuple, Value};
+
+/// Try to find a GF formula `φ` with `A ⊨ φ(ā)` and `B ⊭ φ(b̄)`, searching
+/// the bisimulation game to `depth` rounds. Free variables are
+/// `x1..x{arity}`, one per position of the tuples (which must have equal
+/// arity).
+pub fn distinguishing_formula(
+    a: &Database,
+    a_tuple: &Tuple,
+    b: &Database,
+    b_tuple: &Tuple,
+    constants: &[Value],
+    depth: usize,
+) -> Option<(Formula, Vec<Var>)> {
+    assert_eq!(a_tuple.arity(), b_tuple.arity(), "pointed tuples must align");
+    let vars: Vec<Var> = (1..=a_tuple.arity()).map(|i| format!("x{i}")).collect();
+    let mut fresh = 0usize;
+    let f = go(a, a_tuple, b, b_tuple, &vars, constants, depth, &mut fresh)?;
+    Some((f, vars))
+}
+
+/// Core game search: find φ over `vars` (position i ↦ vars[i]) true at
+/// `at` in `a`, false at `bt` in `b`.
+#[allow(clippy::too_many_arguments)]
+fn go(
+    a: &Database,
+    at: &Tuple,
+    b: &Database,
+    bt: &Tuple,
+    vars: &[Var],
+    constants: &[Value],
+    depth: usize,
+    fresh: &mut usize,
+) -> Option<Formula> {
+    // Round 0: atomic mismatches.
+    if let Some(f) = atomic_mismatch(a, at, b, bt, vars, constants) {
+        return Some(f);
+    }
+    if depth == 0 {
+        return None;
+    }
+    // Spoiler moves in A: positive guarded ∃.
+    if let Some(f) = spoiler_move(a, at, b, bt, vars, constants, depth, fresh, false) {
+        return Some(f);
+    }
+    // Spoiler moves in B: ψ true at b̄, false at ā — return ¬ψ.
+    if let Some(f) = spoiler_move(b, bt, a, at, vars, constants, depth, fresh, true) {
+        return Some(f);
+    }
+    None
+}
+
+/// Equality/order/constant patterns and relation atoms over the current
+/// tuples.
+fn atomic_mismatch(
+    a: &Database,
+    at: &Tuple,
+    b: &Database,
+    bt: &Tuple,
+    vars: &[Var],
+    constants: &[Value],
+) -> Option<Formula> {
+    let n = at.arity();
+    for i in 0..n {
+        for j in 0..n {
+            let (ea, eb) = (at[i] == at[j], bt[i] == bt[j]);
+            if ea != eb {
+                let f = Formula::Eq(vars[i].clone(), vars[j].clone());
+                return Some(if ea { f } else { f.not() });
+            }
+            let (la, lb) = (at[i] < at[j], bt[i] < bt[j]);
+            if la != lb {
+                let f = Formula::Lt(vars[i].clone(), vars[j].clone());
+                return Some(if la { f } else { f.not() });
+            }
+        }
+        for c in constants {
+            let (ca, cb) = (&at[i] == c, &bt[i] == c);
+            if ca != cb {
+                let f = Formula::EqConst(vars[i].clone(), c.clone());
+                return Some(if ca { f } else { f.not() });
+            }
+        }
+    }
+    // Relation atoms over the tuple's values: every tuple of A(R) writable
+    // with ā's values must have its positional image in B(R), and vice
+    // versa. (Assumes the value-level map is consistent — an inconsistent
+    // map was caught by the equality patterns above.)
+    let mut names: Vec<&str> = a.names().chain(b.names()).collect();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        if let Some(ra) = a.get(name) {
+            for t in ra {
+                if let Some(idx) = positions_of(t, at) {
+                    let image: Tuple = idx.iter().map(|&i| bt[i].clone()).collect();
+                    if !b.get(name).is_some_and(|rb| rb.contains(&image)) {
+                        return Some(Formula::Rel(
+                            name.to_string(),
+                            idx.iter().map(|&i| vars[i].clone()).collect(),
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(rb) = b.get(name) {
+            for t in rb {
+                if let Some(idx) = positions_of(t, bt) {
+                    let pre: Tuple = idx.iter().map(|&i| at[i].clone()).collect();
+                    if !a.get(name).is_some_and(|ra| ra.contains(&pre)) {
+                        return Some(
+                            Formula::Rel(
+                                name.to_string(),
+                                idx.iter().map(|&i| vars[i].clone()).collect(),
+                            )
+                            .not(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Write each component of `t` as a position of `base` (first occurrence);
+/// `None` if some component is not among `base`'s values.
+fn positions_of(t: &Tuple, base: &Tuple) -> Option<Vec<usize>> {
+    t.iter()
+        .map(|v| base.iter().position(|w| w == v))
+        .collect()
+}
+
+/// One Spoiler round on the `sa` ("spoiler") side: find a guarded tuple
+/// `t̄′ ∈ T_sa` such that every compatible response in `sb` is
+/// recursively distinguished. `negate` marks that `sa` is really the `B`
+/// side (the result is wrapped in ¬).
+#[allow(clippy::too_many_arguments)]
+fn spoiler_move(
+    sa: &Database,
+    sat: &Tuple,
+    sb: &Database,
+    sbt: &Tuple,
+    vars: &[Var],
+    constants: &[Value],
+    depth: usize,
+    fresh: &mut usize,
+    negate: bool,
+) -> Option<Formula> {
+    for (rel_name, t_prime) in sa.tuple_space() {
+        let m = t_prime.arity();
+        // Guard variables: reuse x-vars for values shared with the
+        // current tuple, fresh y-vars for new values (same value ⇒ same
+        // variable, encoding the equality pattern in the guard atom).
+        let mut guard_vars: Vec<Var> = Vec::with_capacity(m);
+        let mut quantified: Vec<Var> = Vec::new();
+        let mut new_value_var: Vec<(Value, Var)> = Vec::new();
+        for p in 0..m {
+            let v = &t_prime[p];
+            if let Some(i) = sat.iter().position(|w| w == v) {
+                guard_vars.push(vars[i].clone());
+            } else if let Some((_, y)) =
+                new_value_var.iter().find(|(w, _)| w == v)
+            {
+                guard_vars.push(y.clone());
+            } else {
+                *fresh += 1;
+                let y = format!("y{fresh}");
+                new_value_var.push((v.clone(), y.clone()));
+                quantified.push(y.clone());
+                guard_vars.push(y);
+            }
+        }
+        // Candidate Duplicator responses: same-relation tuples with a
+        // compatible pattern and overlap.
+        let candidates: Vec<&Tuple> = sb
+            .get(rel_name)
+            .map(|r| {
+                r.iter()
+                    .filter(|u| compatible(t_prime, u, sat, sbt))
+                    .collect()
+            })
+            .unwrap_or_default();
+        // Recursively distinguish every candidate; positions of t̄′ are
+        // the new game tuple. The sub-formulas' variables are renamed to
+        // the guard variables.
+        let mut deltas: Vec<Formula> = Vec::with_capacity(candidates.len());
+        let mut all = true;
+        for u in &candidates {
+            let sub_vars: Vec<Var> =
+                (1..=m).map(|i| format!("p{i}_{fresh}")).collect();
+            match go(sa, t_prime, sb, u, &sub_vars, constants, depth - 1, fresh) {
+                Some(delta) => {
+                    let map: std::collections::BTreeMap<Var, Var> = sub_vars
+                        .iter()
+                        .cloned()
+                        .zip(guard_vars.iter().cloned())
+                        .collect();
+                    deltas.push(delta.rename_free(&map));
+                }
+                None => {
+                    all = false;
+                    break;
+                }
+            }
+        }
+        if !all {
+            continue;
+        }
+        // Pin the equality pattern: distinct guard variables stand for
+        // distinct values (true on the Spoiler side by construction).
+        // Without these conjuncts, a response with a *coarser* pattern
+        // (two positions collapsing to one value) could satisfy the
+        // formula even though `compatible` excluded it from the candidate
+        // set. Both variables occur in the guard, so the conjuncts are
+        // guarded. (Nothing more can be pinned in GF: a fresh value
+        // colliding with an *unshared* current value is invisible to the
+        // formula — and, matching that, a legal Duplicator response.)
+        let mut constraints: Vec<Formula> = Vec::new();
+        for p in 0..m {
+            for q in (p + 1)..m {
+                if guard_vars[p] != guard_vars[q] {
+                    constraints.push(
+                        Formula::Eq(guard_vars[p].clone(), guard_vars[q].clone())
+                            .not(),
+                    );
+                }
+            }
+        }
+        let body = Formula::and_all(constraints.into_iter().chain(deltas));
+        let phi = Formula::Exists {
+            vars: quantified,
+            guard_rel: rel_name.to_string(),
+            guard_args: guard_vars,
+            body: Box::new(body),
+        };
+        // Note: when `negate` is set the roles are swapped, so this φ
+        // holds at (sb-side view) … wrap accordingly.
+        let result = if negate { phi.not() } else { phi };
+        return Some(result);
+    }
+    None
+}
+
+/// Is `u` a witness the formula's guard + distinctness constraints would
+/// accept as a Duplicator response to Spoiler's `t`? Same equality
+/// pattern, and agreement with the current pair `(sat, sbt)` on shared
+/// domain values. (The converse direction — `u` touching a current
+/// *range* value whose domain partner is not in `t` — is deliberately
+/// allowed: GF cannot see it, and neither does Definition 11, which only
+/// demands agreement on `X ∩ X′`.)
+fn compatible(t: &Tuple, u: &Tuple, sat: &Tuple, sbt: &Tuple) -> bool {
+    let m = t.arity();
+    if u.arity() != m {
+        return false;
+    }
+    for p in 0..m {
+        for q in 0..m {
+            if (t[p] == t[q]) != (u[p] == u[q]) {
+                return false;
+            }
+        }
+        // Overlap with the current pair: a position of `sat` holding the
+        // same value must map to the corresponding `sbt` value.
+        if let Some(i) = sat.iter().position(|w| *w == t[p]) {
+            if u[p] != sbt[i] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::{satisfies, Assignment};
+    use sj_storage::{tuple, Relation};
+
+    fn env(vars: &[Var], t: &Tuple) -> Assignment {
+        vars.iter()
+            .cloned()
+            .zip(t.iter().cloned())
+            .collect()
+    }
+
+    /// Check the defining property of a distinguishing formula.
+    fn verify(
+        a: &Database,
+        at: &Tuple,
+        b: &Database,
+        bt: &Tuple,
+        f: &Formula,
+        vars: &[Var],
+    ) {
+        assert!(
+            satisfies(a, f, &env(vars, at)),
+            "φ must hold at A,{at}: {f}"
+        );
+        assert!(
+            !satisfies(b, f, &env(vars, bt)),
+            "φ must fail at B,{bt}: {f}"
+        );
+        assert!(f.check_guarded().is_ok(), "φ must be guarded: {f}");
+    }
+
+    #[test]
+    fn reflexive_loop_distinguished() {
+        let mut a = Database::new();
+        a.set("E", Relation::from_int_rows(&[&[1, 1]]));
+        let mut b = Database::new();
+        b.set("E", Relation::from_int_rows(&[&[5, 6]]));
+        let (f, vars) =
+            distinguishing_formula(&a, &tuple![1], &b, &tuple![5], &[], 2).unwrap();
+        verify(&a, &tuple![1], &b, &tuple![5], &f, &vars);
+    }
+
+    #[test]
+    fn relation_pattern_distinguished_at_depth_zero() {
+        // (1,2) ∈ A(S), image (7,8) ∉ B(S): a depth-0 relation atom.
+        let mut a = Database::new();
+        a.set("S", Relation::from_int_rows(&[&[1, 2]]));
+        let mut b = Database::new();
+        b.set("S", Relation::from_int_rows(&[&[9, 9]]));
+        let (f, vars) =
+            distinguishing_formula(&a, &tuple![1, 2], &b, &tuple![7, 8], &[], 0)
+                .unwrap();
+        verify(&a, &tuple![1, 2], &b, &tuple![7, 8], &f, &vars);
+    }
+
+    #[test]
+    fn equality_pattern_distinguished() {
+        let a = Database::new();
+        let b = Database::new();
+        // ā repeats a value, b̄ does not.
+        let (f, vars) =
+            distinguishing_formula(&a, &tuple![3, 3], &b, &tuple![4, 5], &[], 0)
+                .unwrap();
+        verify(&a, &tuple![3, 3], &b, &tuple![4, 5], &f, &vars);
+    }
+
+    #[test]
+    fn order_pattern_distinguished() {
+        let a = Database::new();
+        let b = Database::new();
+        let (f, vars) =
+            distinguishing_formula(&a, &tuple![1, 2], &b, &tuple![5, 4], &[], 0)
+                .unwrap();
+        verify(&a, &tuple![1, 2], &b, &tuple![5, 4], &f, &vars);
+    }
+
+    #[test]
+    fn constant_distinguished() {
+        let a = Database::new();
+        let b = Database::new();
+        let c = [Value::int(7)];
+        let (f, vars) =
+            distinguishing_formula(&a, &tuple![7], &b, &tuple![8], &c, 0).unwrap();
+        verify(&a, &tuple![7], &b, &tuple![8], &f, &vars);
+    }
+
+    #[test]
+    fn fig5_bisimilar_pair_not_distinguished() {
+        // A,1 ∼ B,1 (Proposition 26's witness): no distinguishing formula
+        // exists; the bounded search must return None at every depth.
+        let mut a = Database::new();
+        a.set("R", Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 7], &[2, 8]]));
+        a.set("S", Relation::from_int_rows(&[&[7], &[8]]));
+        let mut b = Database::new();
+        b.set(
+            "R",
+            Relation::from_int_rows(&[
+                &[1, 7], &[1, 8], &[2, 8], &[2, 9], &[3, 7], &[3, 9],
+            ]),
+        );
+        b.set("S", Relation::from_int_rows(&[&[7], &[8], &[9]]));
+        for depth in 0..=3 {
+            assert!(
+                distinguishing_formula(&a, &tuple![1], &b, &tuple![1], &[], depth)
+                    .is_none(),
+                "depth {depth} wrongly distinguished a bisimilar pair"
+            );
+        }
+    }
+
+    #[test]
+    fn two_round_game_needed() {
+        // A: a path of length 2 from 1; B: a path of length 1 from 1.
+        // Depth 1 sees "some edge from the end", depth 2 is needed to
+        // find the missing second step.
+        let mut a = Database::new();
+        a.set("E", Relation::from_int_rows(&[&[1, 2], &[2, 3]]));
+        let mut b = Database::new();
+        b.set("E", Relation::from_int_rows(&[&[1, 2]]));
+        let found = (0..=2).find_map(|d| {
+            distinguishing_formula(&a, &tuple![1], &b, &tuple![1], &[], d)
+        });
+        let (f, vars) = found.expect("paths of different length distinguishable");
+        verify(&a, &tuple![1], &b, &tuple![1], &f, &vars);
+    }
+}

@@ -1,0 +1,63 @@
+//! Errors for the logic layer.
+
+use std::fmt;
+
+/// Errors produced by GF validation and the Theorem 8 translations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// The formula violates the guardedness condition of Definition 6(4).
+    Unguarded(String),
+    /// A relation atom disagrees with the schema.
+    BadRelationAtom {
+        /// Relation name used in the atom.
+        relation: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The schema has no relation names, so the "C-stored tuples"
+    /// expression (which every translation case unions over) cannot be
+    /// formed.
+    EmptySchema,
+    /// The expression lies outside the fragment the translation handles.
+    UnsupportedExpression(String),
+    /// An underlying algebra error.
+    Algebra(sj_algebra::AlgebraError),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Unguarded(m) => write!(f, "formula is not guarded: {m}"),
+            LogicError::BadRelationAtom { relation, message } => {
+                write!(f, "bad relation atom {relation}: {message}")
+            }
+            LogicError::EmptySchema => write!(f, "schema has no relations"),
+            LogicError::UnsupportedExpression(m) => {
+                write!(f, "unsupported expression for translation: {m}")
+            }
+            LogicError::Algebra(e) => write!(f, "algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+impl From<sj_algebra::AlgebraError> for LogicError {
+    fn from(e: sj_algebra::AlgebraError) -> Self {
+        LogicError::Algebra(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(LogicError::EmptySchema.to_string().contains("no relations"));
+        assert!(LogicError::Unguarded("x".into()).to_string().contains("x"));
+        assert!(LogicError::UnsupportedExpression("tag".into())
+            .to_string()
+            .contains("tag"));
+    }
+}

@@ -1,0 +1,395 @@
+//! The guarded fragment (GF) of first-order logic — Definition 6 of the
+//! paper.
+//!
+//! * Atomic formulas `x = y`, `x < y`, `x = c` (c a constant).
+//! * Relation atoms `R(x₁, …, x_k)`.
+//! * Boolean connectives `¬, ∧, ∨, →, ↔`.
+//! * **Guarded quantification**: `∃ȳ (α(x̄, ȳ) ∧ φ(x̄, ȳ))` where the
+//!   *guard* α is a relation atom containing **all** free variables of φ.
+//!
+//! GF corresponds to SA= (Theorem 8, implemented in [`crate::translate`])
+//! and is invariant under guarded bisimulation (Proposition 13, exploited
+//! in `sj-bisim`).
+
+use sj_storage::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order variable (named).
+pub type Var = String;
+
+/// A GF formula.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// Constant truth value (⊤ / ⊥). Not an official GF atom but
+    /// convenient as the body of a bare guard (`∃w Likes(w, z)` is
+    /// `∃w (Likes(w, z) ∧ ⊤)`) and expressible in GF proper.
+    Bool(bool),
+    /// `x = y`.
+    Eq(Var, Var),
+    /// `x < y`.
+    Lt(Var, Var),
+    /// `x = c` for a constant `c ∈ U`.
+    EqConst(Var, Value),
+    /// Relation atom `R(x₁, …, x_k)`; variables may repeat.
+    Rel(String, Vec<Var>),
+    /// `¬φ`.
+    Not(Box<Formula>),
+    /// `φ ∧ ψ`.
+    And(Box<Formula>, Box<Formula>),
+    /// `φ ∨ ψ`.
+    Or(Box<Formula>, Box<Formula>),
+    /// `φ → ψ`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// `φ ↔ ψ`.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Guarded existential quantification
+    /// `∃ vars ( guard_rel(guard_args) ∧ body )`.
+    Exists {
+        /// The quantified variables ȳ.
+        vars: Vec<Var>,
+        /// Name of the guard relation α.
+        guard_rel: String,
+        /// Arguments of the guard atom (variables; may repeat).
+        guard_args: Vec<Var>,
+        /// The body φ.
+        body: Box<Formula>,
+    },
+}
+
+impl Formula {
+    /// Convenience: `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Convenience: `self ∧ other`.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience: `self ∨ other`.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience: `self → other`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience: `self ↔ other`.
+    pub fn iff(self, other: Formula) -> Formula {
+        Formula::Iff(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience constructor for guarded ∃.
+    pub fn exists(
+        vars: impl IntoIterator<Item = impl Into<Var>>,
+        guard_rel: impl Into<String>,
+        guard_args: impl IntoIterator<Item = impl Into<Var>>,
+        body: Formula,
+    ) -> Formula {
+        Formula::Exists {
+            vars: vars.into_iter().map(Into::into).collect(),
+            guard_rel: guard_rel.into(),
+            guard_args: guard_args.into_iter().map(Into::into).collect(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Conjunction of many formulas (⊤ for the empty list).
+    pub fn and_all(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut it = fs.into_iter();
+        match it.next() {
+            None => Formula::Bool(true),
+            Some(first) => it.fold(first, Formula::and),
+        }
+    }
+
+    /// Disjunction of many formulas (⊥ for the empty list).
+    pub fn or_all(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut it = fs.into_iter();
+        match it.next() {
+            None => Formula::Bool(false),
+            Some(first) => it.fold(first, Formula::or),
+        }
+    }
+
+    /// The free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        match self {
+            Formula::Bool(_) => BTreeSet::new(),
+            Formula::Eq(x, y) | Formula::Lt(x, y) => {
+                [x.clone(), y.clone()].into_iter().collect()
+            }
+            Formula::EqConst(x, _) => [x.clone()].into_iter().collect(),
+            Formula::Rel(_, args) => args.iter().cloned().collect(),
+            Formula::Not(f) => f.free_vars(),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => {
+                let mut s = a.free_vars();
+                s.extend(b.free_vars());
+                s
+            }
+            Formula::Exists { vars, guard_args, body, .. } => {
+                let mut s: BTreeSet<Var> = guard_args.iter().cloned().collect();
+                s.extend(body.free_vars());
+                for v in vars {
+                    s.remove(v);
+                }
+                s
+            }
+        }
+    }
+
+    /// The constants mentioned (the formula's set `C`), sorted.
+    pub fn constants(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        self.collect_constants(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_constants(&self, out: &mut Vec<Value>) {
+        match self {
+            Formula::EqConst(_, c) => out.push(c.clone()),
+            Formula::Not(f) => f.collect_constants(out),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => {
+                a.collect_constants(out);
+                b.collect_constants(out);
+            }
+            Formula::Exists { body, .. } => body.collect_constants(out),
+            _ => {}
+        }
+    }
+
+    /// Check the guardedness condition of Definition 6(4) throughout the
+    /// formula: in every `∃ȳ (α ∧ φ)`, all free variables of φ occur in α,
+    /// and every quantified variable occurs in α. Returns the first
+    /// violation as an error message.
+    pub fn check_guarded(&self) -> Result<(), String> {
+        match self {
+            Formula::Not(f) => f.check_guarded(),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => {
+                a.check_guarded()?;
+                b.check_guarded()
+            }
+            Formula::Exists { vars, guard_rel, guard_args, body } => {
+                let guard_set: BTreeSet<&Var> = guard_args.iter().collect();
+                for v in vars {
+                    if !guard_set.contains(v) {
+                        return Err(format!(
+                            "quantified variable {v} does not occur in guard {guard_rel}"
+                        ));
+                    }
+                }
+                for v in body.free_vars() {
+                    if !guard_set.contains(&v) {
+                        return Err(format!(
+                            "free variable {v} of the body does not occur in guard {guard_rel}"
+                        ));
+                    }
+                }
+                body.check_guarded()
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Rename **free** variables according to `map` (variables not in the
+    /// map are left unchanged). Bound variables are never renamed; callers
+    /// (the translations) keep bound names globally fresh, so capture
+    /// cannot occur — this is asserted in debug builds.
+    pub fn rename_free(&self, map: &std::collections::BTreeMap<Var, Var>) -> Formula {
+        let ren = |v: &Var| map.get(v).cloned().unwrap_or_else(|| v.clone());
+        match self {
+            Formula::Bool(b) => Formula::Bool(*b),
+            Formula::Eq(x, y) => Formula::Eq(ren(x), ren(y)),
+            Formula::Lt(x, y) => Formula::Lt(ren(x), ren(y)),
+            Formula::EqConst(x, c) => Formula::EqConst(ren(x), c.clone()),
+            Formula::Rel(r, args) => {
+                Formula::Rel(r.clone(), args.iter().map(&ren).collect())
+            }
+            Formula::Not(f) => f.rename_free(map).not(),
+            Formula::And(a, b) => a.rename_free(map).and(b.rename_free(map)),
+            Formula::Or(a, b) => a.rename_free(map).or(b.rename_free(map)),
+            Formula::Implies(a, b) => a.rename_free(map).implies(b.rename_free(map)),
+            Formula::Iff(a, b) => a.rename_free(map).iff(b.rename_free(map)),
+            Formula::Exists { vars, guard_rel, guard_args, body } => {
+                debug_assert!(
+                    vars.iter().all(|v| !map.contains_key(v)
+                        && !map.values().any(|w| w == v)),
+                    "bound variable capture: translations must keep bound names fresh"
+                );
+                let inner: std::collections::BTreeMap<Var, Var> = map
+                    .iter()
+                    .filter(|(k, _)| !vars.contains(k))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                Formula::Exists {
+                    vars: vars.clone(),
+                    guard_rel: guard_rel.clone(),
+                    guard_args: guard_args
+                        .iter()
+                        .map(|v| {
+                            if vars.contains(v) {
+                                v.clone()
+                            } else {
+                                inner.get(v).cloned().unwrap_or_else(|| v.clone())
+                            }
+                        })
+                        .collect(),
+                    body: Box::new(body.rename_free(&inner)),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Bool(true) => write!(f, "true"),
+            Formula::Bool(false) => write!(f, "false"),
+            Formula::Eq(x, y) => write!(f, "{x}={y}"),
+            Formula::Lt(x, y) => write!(f, "{x}<{y}"),
+            Formula::EqConst(x, c) => write!(f, "{x}='{c}'"),
+            Formula::Rel(r, args) => write!(f, "{r}({})", args.join(",")),
+            Formula::Not(g) => write!(f, "¬({g})"),
+            Formula::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Formula::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Formula::Implies(a, b) => write!(f, "({a} → {b})"),
+            Formula::Iff(a, b) => write!(f, "({a} ↔ {b})"),
+            Formula::Exists { vars, guard_rel, guard_args, body } => write!(
+                f,
+                "∃{}({}({}) ∧ {body})",
+                vars.join(","),
+                guard_rel,
+                guard_args.join(",")
+            ),
+        }
+    }
+}
+
+/// The GF formula of **Example 7**: drinkers visiting a lousy bar,
+/// `∃y (Visits(x,y) ∧ ¬∃z (Serves(y,z) ∧ ∃w Likes(w,z)))`.
+pub fn example7_lousy_bar() -> Formula {
+    Formula::exists(
+        ["y"],
+        "Visits",
+        ["x", "y"],
+        Formula::exists(
+            ["z"],
+            "Serves",
+            ["y", "z"],
+            Formula::exists(["w"], "Likes", ["w", "z"], Formula::Bool(true)),
+        )
+        .not(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn example7_shape() {
+        let f = example7_lousy_bar();
+        assert_eq!(
+            f.free_vars().into_iter().collect::<Vec<_>>(),
+            vec!["x".to_string()]
+        );
+        assert!(f.check_guarded().is_ok());
+        let s = f.to_string();
+        assert!(s.contains("Visits(x,y)"));
+        assert!(s.contains("¬"));
+    }
+
+    #[test]
+    fn free_vars_of_connectives() {
+        let f = Formula::Eq("x".into(), "y".into())
+            .and(Formula::Lt("y".into(), "z".into()));
+        let fv: Vec<Var> = f.free_vars().into_iter().collect();
+        assert_eq!(fv, vec!["x".to_string(), "y".to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn exists_binds() {
+        let f = Formula::exists(
+            ["y"],
+            "R",
+            ["x", "y"],
+            Formula::Eq("x".into(), "y".into()),
+        );
+        let fv: Vec<Var> = f.free_vars().into_iter().collect();
+        assert_eq!(fv, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn guardedness_violations_detected() {
+        // body free var z not in guard
+        let bad = Formula::exists(
+            ["y"],
+            "R",
+            ["x", "y"],
+            Formula::Eq("x".into(), "z".into()),
+        );
+        assert!(bad.check_guarded().is_err());
+        // quantified var not in guard
+        let bad2 = Formula::exists(["w"], "R", ["x", "y"], Formula::Bool(true));
+        assert!(bad2.check_guarded().is_err());
+        // nested violation found through connectives
+        let bad3 = bad.clone().not().and(Formula::Bool(true));
+        assert!(bad3.check_guarded().is_err());
+    }
+
+    #[test]
+    fn rename_free_respects_binding() {
+        let f = Formula::exists(
+            ["y"],
+            "R",
+            ["x", "y"],
+            Formula::Eq("x".into(), "y".into()),
+        );
+        let mut map = BTreeMap::new();
+        map.insert("x".to_string(), "u".to_string());
+        let g = f.rename_free(&map);
+        match &g {
+            Formula::Exists { guard_args, body, .. } => {
+                assert_eq!(guard_args, &vec!["u".to_string(), "y".to_string()]);
+                assert_eq!(**body, Formula::Eq("u".into(), "y".into()));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constants_collected() {
+        let f = Formula::EqConst("x".into(), Value::int(5))
+            .or(Formula::EqConst("y".into(), Value::int(2)));
+        assert_eq!(f.constants(), vec![Value::int(2), Value::int(5)]);
+    }
+
+    #[test]
+    fn and_all_or_all() {
+        assert_eq!(Formula::and_all([]), Formula::Bool(true));
+        assert_eq!(Formula::or_all([]), Formula::Bool(false));
+        let f = Formula::and_all([Formula::Bool(true), Formula::Bool(false)]);
+        assert_eq!(
+            f,
+            Formula::Bool(true).and(Formula::Bool(false))
+        );
+    }
+}

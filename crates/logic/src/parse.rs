@@ -1,0 +1,366 @@
+//! A parser and ASCII printer for GF formulas.
+//!
+//! Grammar (precedence low → high: `<->`, `->`, `|`, `&`, `!`):
+//!
+//! ```text
+//! formula := iff
+//! iff     := implies ( "<->" implies )*
+//! implies := or ( "->" or )*              -- right-associative
+//! or      := and ( "|" and )*
+//! and     := unary ( "&" unary )*
+//! unary   := "!" unary | atom
+//! atom    := "true" | "false"
+//!          | "exists" vars "(" IDENT "(" vars ")" "&" formula ")"
+//!          | IDENT "(" vars ")"           -- relation atom
+//!          | IDENT "=" (IDENT | literal)  -- x=y / x=c
+//!          | IDENT "<" IDENT              -- x<y
+//!          | "(" formula ")"
+//! vars    := IDENT ("," IDENT)*
+//! literal := "{" "-"? INT "}" | "'" chars "'"
+//! ```
+//!
+//! [`to_ascii`] prints a formula in exactly this grammar;
+//! `parse_formula(&to_ascii(f)) == f` up to connective re-association
+//! (the printer parenthesizes fully, so round-tripping is exact — see the
+//! property test).
+
+use crate::error::LogicError;
+use crate::formula::Formula;
+use sj_storage::Value;
+
+/// Render a formula in the parseable ASCII grammar (fully parenthesized).
+pub fn to_ascii(f: &Formula) -> String {
+    match f {
+        Formula::Bool(true) => "true".into(),
+        Formula::Bool(false) => "false".into(),
+        Formula::Eq(x, y) => format!("{x}={y}"),
+        Formula::Lt(x, y) => format!("{x}<{y}"),
+        Formula::EqConst(x, c) => match c {
+            Value::Int(i) => format!("{x}={{{i}}}"),
+            Value::Str(s) => format!("{x}='{s}'"),
+        },
+        Formula::Rel(r, args) => format!("{r}({})", args.join(",")),
+        Formula::Not(g) => format!("!({})", to_ascii(g)),
+        Formula::And(a, b) => format!("({} & {})", to_ascii(a), to_ascii(b)),
+        Formula::Or(a, b) => format!("({} | {})", to_ascii(a), to_ascii(b)),
+        Formula::Implies(a, b) => format!("({} -> {})", to_ascii(a), to_ascii(b)),
+        Formula::Iff(a, b) => format!("({} <-> {})", to_ascii(a), to_ascii(b)),
+        Formula::Exists { vars, guard_rel, guard_args, body } => format!(
+            "exists {} ({}({}) & {})",
+            vars.join(","),
+            guard_rel,
+            guard_args.join(","),
+            to_ascii(body)
+        ),
+    }
+}
+
+/// Parse a GF formula from the ASCII grammar. Guardedness is *not*
+/// enforced here (use [`Formula::check_guarded`]); the syntax is.
+pub fn parse_formula(input: &str) -> Result<Formula, LogicError> {
+    let mut p = P { b: input.as_bytes(), i: 0 };
+    let f = p.iff()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(f)
+}
+
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, m: &str) -> LogicError {
+        LogicError::Unguarded(format!("parse error at byte {}: {m}", self.i))
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.ws();
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), LogicError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {s:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LogicError> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len()
+            && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+        {
+            self.i += 1;
+        }
+        if self.i == start || self.b[start].is_ascii_digit() {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.b[start..self.i]).into_owned())
+    }
+
+    fn vars(&mut self) -> Result<Vec<String>, LogicError> {
+        let mut out = vec![self.ident()?];
+        while self.peek() == Some(b',') {
+            self.i += 1;
+            out.push(self.ident()?);
+        }
+        Ok(out)
+    }
+
+    fn literal(&mut self) -> Result<Value, LogicError> {
+        match self.peek() {
+            Some(b'{') => {
+                self.i += 1;
+                self.ws();
+                let start = self.i;
+                if self.peek() == Some(b'-') {
+                    self.i += 1;
+                }
+                while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+                    self.i += 1;
+                }
+                let n: i64 = std::str::from_utf8(&self.b[start..self.i])
+                    .unwrap()
+                    .trim()
+                    .parse()
+                    .map_err(|_| self.err("bad integer literal"))?;
+                self.expect("}")?;
+                Ok(Value::int(n))
+            }
+            Some(b'\'') => {
+                self.i += 1;
+                let start = self.i;
+                while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                    self.i += 1;
+                }
+                if self.i >= self.b.len() {
+                    return Err(self.err("unterminated string"));
+                }
+                let s = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+                self.i += 1;
+                Ok(Value::str(s))
+            }
+            _ => Err(self.err("expected literal")),
+        }
+    }
+
+    fn iff(&mut self) -> Result<Formula, LogicError> {
+        let mut f = self.implies()?;
+        while self.eat("<->") {
+            f = f.iff(self.implies()?);
+        }
+        Ok(f)
+    }
+
+    fn implies(&mut self) -> Result<Formula, LogicError> {
+        let f = self.or()?;
+        if self.eat("->") {
+            // right-associative
+            Ok(f.implies(self.implies()?))
+        } else {
+            Ok(f)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, LogicError> {
+        let mut f = self.and()?;
+        loop {
+            // careful not to consume the '|' of nothing else; '|' only.
+            self.ws();
+            if self.b.get(self.i) == Some(&b'|') {
+                self.i += 1;
+                f = f.or(self.and()?);
+            } else {
+                return Ok(f);
+            }
+        }
+    }
+
+    fn and(&mut self) -> Result<Formula, LogicError> {
+        let mut f = self.unary()?;
+        loop {
+            self.ws();
+            if self.b.get(self.i) == Some(&b'&') {
+                self.i += 1;
+                f = f.and(self.unary()?);
+            } else {
+                return Ok(f);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Formula, LogicError> {
+        if self.eat("!") {
+            return Ok(self.unary()?.not());
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Formula, LogicError> {
+        if self.peek() == Some(b'(') {
+            self.i += 1;
+            let f = self.iff()?;
+            self.expect(")")?;
+            return Ok(f);
+        }
+        let save = self.i;
+        let name = self.ident()?;
+        match name.as_str() {
+            "true" => return Ok(Formula::Bool(true)),
+            "false" => return Ok(Formula::Bool(false)),
+            "exists" => {
+                let vars = self.vars()?;
+                self.expect("(")?;
+                let guard_rel = self.ident()?;
+                self.expect("(")?;
+                let guard_args = self.vars()?;
+                self.expect(")")?;
+                self.expect("&")?;
+                let body = self.iff()?;
+                self.expect(")")?;
+                return Ok(Formula::Exists {
+                    vars,
+                    guard_rel,
+                    guard_args,
+                    body: Box::new(body),
+                });
+            }
+            _ => {}
+        }
+        // Relation atom, equality, or comparison.
+        match self.peek() {
+            Some(b'(') => {
+                self.i += 1;
+                let args = self.vars()?;
+                self.expect(")")?;
+                Ok(Formula::Rel(name, args))
+            }
+            Some(b'=') => {
+                self.i += 1;
+                match self.peek() {
+                    Some(b'{') | Some(b'\'') => {
+                        Ok(Formula::EqConst(name, self.literal()?))
+                    }
+                    _ => Ok(Formula::Eq(name, self.ident()?)),
+                }
+            }
+            Some(b'<') => {
+                // not '<->' (handled by iff); here a bare comparison
+                if self.b.get(self.i + 1) == Some(&b'-') {
+                    self.i = save;
+                    return Err(self.err("unexpected '<-'"));
+                }
+                self.i += 1;
+                Ok(Formula::Lt(name, self.ident()?))
+            }
+            _ => Err(self.err("expected '(', '=', or '<' after identifier")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::example7_lousy_bar;
+
+    #[test]
+    fn parses_example7() {
+        let text = "exists y (Visits(x,y) & !(exists z (Serves(y,z) & \
+                    exists w (Likes(w,z) & true))))";
+        let f = parse_formula(text).unwrap();
+        assert_eq!(f, example7_lousy_bar());
+        assert!(f.check_guarded().is_ok());
+    }
+
+    #[test]
+    fn ascii_roundtrip_examples() {
+        for f in [
+            Formula::Bool(true),
+            Formula::Bool(false),
+            Formula::Eq("x".into(), "y".into()),
+            Formula::Lt("a".into(), "b".into()),
+            Formula::EqConst("x".into(), Value::int(-5)),
+            Formula::EqConst("x".into(), Value::str("flu season")),
+            Formula::Rel("R".into(), vec!["x".into(), "x".into(), "z".into()]),
+            Formula::Eq("x".into(), "y".into()).not(),
+            Formula::Bool(true).and(Formula::Bool(false)),
+            Formula::Bool(true).or(Formula::Bool(false)),
+            Formula::Bool(true).implies(Formula::Bool(false)),
+            Formula::Bool(true).iff(Formula::Bool(false)),
+            example7_lousy_bar(),
+        ] {
+            let text = to_ascii(&f);
+            let parsed = parse_formula(&text)
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(parsed, f, "round trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        // a=b & c=d | e=f parses as ((a=b & c=d) | e=f)
+        let f = parse_formula("a=b & c=d | e=f").unwrap();
+        match f {
+            Formula::Or(l, _) => assert!(matches!(*l, Formula::And(..))),
+            other => panic!("{other:?}"),
+        }
+        // ! binds tighter than &
+        let g = parse_formula("!a=b & c=d").unwrap();
+        assert!(matches!(g, Formula::And(..)));
+        // -> is right-associative
+        let h = parse_formula("a=b -> c=d -> e=f").unwrap();
+        match h {
+            Formula::Implies(_, r) => assert!(matches!(*r, Formula::Implies(..))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        for bad in [
+            "",
+            "exists y Visits(x,y)",
+            "R(",
+            "x=",
+            "x<",
+            "(a=b",
+            "a=b extra",
+            "x={5",
+            "x='oops",
+            "3=x",
+        ] {
+            assert!(parse_formula(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let f = parse_formula("  exists  y , z ( R ( x , y )  &  y = z )  ").unwrap();
+        match f {
+            Formula::Exists { vars, .. } => assert_eq!(vars, vec!["y", "z"]),
+            other => panic!("{other:?}"),
+        }
+    }
+}

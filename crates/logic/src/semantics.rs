@@ -1,0 +1,244 @@
+//! Model-theoretic semantics of GF formulas over databases.
+//!
+//! Satisfaction is standard first-order, interpreted over the active domain
+//! (plus any constants supplied in assignments); the guarded quantifier
+//! ranges over the tuples of its guard relation, which keeps evaluation
+//! terminating and cheap without a separate domain enumeration.
+
+use crate::formula::{Formula, Var};
+use sj_storage::{Database, FxHashMap, Tuple, Value};
+
+/// A variable assignment.
+pub type Assignment = FxHashMap<Var, Value>;
+
+/// Does `db, env ⊨ f`? All free variables of `f` must be bound in `env`
+/// (unbound variables panic — callers validate with
+/// [`Formula::free_vars`]).
+pub fn satisfies(db: &Database, f: &Formula, env: &Assignment) -> bool {
+    match f {
+        Formula::Bool(b) => *b,
+        Formula::Eq(x, y) => env[x] == env[y],
+        Formula::Lt(x, y) => env[x] < env[y],
+        Formula::EqConst(x, c) => &env[x] == c,
+        Formula::Rel(r, args) => match db.get(r) {
+            None => false,
+            Some(rel) => {
+                let t: Tuple = args.iter().map(|v| env[v].clone()).collect();
+                rel.contains(&t)
+            }
+        },
+        Formula::Not(g) => !satisfies(db, g, env),
+        Formula::And(a, b) => satisfies(db, a, env) && satisfies(db, b, env),
+        Formula::Or(a, b) => satisfies(db, a, env) || satisfies(db, b, env),
+        Formula::Implies(a, b) => !satisfies(db, a, env) || satisfies(db, b, env),
+        Formula::Iff(a, b) => satisfies(db, a, env) == satisfies(db, b, env),
+        Formula::Exists { vars, guard_rel, guard_args, body } => {
+            let rel = match db.get(guard_rel) {
+                None => return false,
+                Some(r) => r,
+            };
+            'tuples: for t in rel {
+                if t.arity() != guard_args.len() {
+                    continue;
+                }
+                // Match the guard pattern against the tuple, binding the
+                // quantified variables consistently.
+                let mut extended = env.clone();
+                for (pos, v) in guard_args.iter().enumerate() {
+                    let val = &t[pos];
+                    if vars.contains(v) {
+                        match extended.get(v) {
+                            Some(bound) if bound != val => continue 'tuples,
+                            Some(_) => {}
+                            None => {
+                                extended.insert(v.clone(), val.clone());
+                            }
+                        }
+                    } else if &env[v] != val {
+                        continue 'tuples;
+                    }
+                }
+                // Re-check repeated quantified variables bound left-to-right:
+                // handled above because a second occurrence sees the binding.
+                if satisfies(db, body, &extended) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Evaluate a formula as a query: the set of tuples `d̄` over `candidates`
+/// (one candidate list per free variable, in `free_vars` order) such that
+/// `db ⊨ f(d̄)`. Used by the Theorem 8 tests to enumerate
+/// `{d̄ | D ⊨ φ(d̄)}` over the active domain plus sentinels.
+pub fn eval_query(
+    db: &Database,
+    f: &Formula,
+    free_vars: &[Var],
+    candidates: &[Value],
+) -> Vec<Tuple> {
+    let k = free_vars.len();
+    let mut out = Vec::new();
+    let mut idx = vec![0usize; k];
+    if candidates.is_empty() && k > 0 {
+        return out;
+    }
+    loop {
+        let env: Assignment = free_vars
+            .iter()
+            .zip(idx.iter())
+            .map(|(v, &i)| (v.clone(), candidates[i].clone()))
+            .collect();
+        if satisfies(db, f, &env) {
+            out.push(idx.iter().map(|&i| candidates[i].clone()).collect());
+        }
+        // Odometer increment.
+        let mut pos = k;
+        loop {
+            if pos == 0 {
+                out.sort_unstable();
+                out.dedup();
+                return out;
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < candidates.len() {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::example7_lousy_bar;
+    use sj_storage::Relation;
+
+    fn env(pairs: &[(&str, Value)]) -> Assignment {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    fn beer_db() -> Database {
+        let mut db = Database::new();
+        db.set(
+            "Visits",
+            Relation::from_str_rows(&[&["an", "bad bar"], &["bob", "good bar"]]),
+        );
+        db.set(
+            "Serves",
+            Relation::from_str_rows(&[&["bad bar", "swill"], &["good bar", "nectar"]]),
+        );
+        db.set("Likes", Relation::from_str_rows(&[&["bob", "nectar"]]));
+        db
+    }
+
+    #[test]
+    fn atoms() {
+        let db = beer_db();
+        let e = env(&[("x", Value::int(1)), ("y", Value::int(2))]);
+        assert!(!satisfies(&db, &Formula::Eq("x".into(), "y".into()), &e));
+        assert!(satisfies(&db, &Formula::Lt("x".into(), "y".into()), &e));
+        assert!(satisfies(
+            &db,
+            &Formula::EqConst("x".into(), Value::int(1)),
+            &e
+        ));
+        assert!(satisfies(&db, &Formula::Bool(true), &e));
+        assert!(!satisfies(&db, &Formula::Bool(false), &e));
+    }
+
+    #[test]
+    fn relation_atom() {
+        let db = beer_db();
+        let e = env(&[("d", Value::str("bob")), ("b", Value::str("nectar"))]);
+        assert!(satisfies(
+            &db,
+            &Formula::Rel("Likes".into(), vec!["d".into(), "b".into()]),
+            &e
+        ));
+        assert!(!satisfies(
+            &db,
+            &Formula::Rel("Likes".into(), vec!["b".into(), "d".into()]),
+            &e
+        ));
+        assert!(!satisfies(
+            &db,
+            &Formula::Rel("Missing".into(), vec!["d".into(), "b".into()]),
+            &e
+        ));
+    }
+
+    #[test]
+    fn connectives() {
+        let db = beer_db();
+        let e = env(&[("x", Value::int(1))]);
+        let t = Formula::Bool(true);
+        let f = Formula::Bool(false);
+        assert!(satisfies(&db, &t.clone().or(f.clone()), &e));
+        assert!(!satisfies(&db, &t.clone().and(f.clone()), &e));
+        assert!(satisfies(&db, &f.clone().implies(t.clone()), &e));
+        assert!(!satisfies(&db, &t.clone().implies(f.clone()), &e));
+        assert!(satisfies(&db, &f.clone().iff(f.clone()), &e));
+        assert!(!satisfies(&db, &t.clone().iff(f.clone()), &e));
+        assert!(satisfies(&db, &f.not(), &e));
+    }
+
+    #[test]
+    fn example7_identifies_lousy_bar_visitors() {
+        let db = beer_db();
+        let phi = example7_lousy_bar();
+        assert!(satisfies(&db, &phi, &env(&[("x", Value::str("an"))])));
+        assert!(!satisfies(&db, &phi, &env(&[("x", Value::str("bob"))])));
+    }
+
+    #[test]
+    fn eval_query_enumerates() {
+        let db = beer_db();
+        let phi = example7_lousy_bar();
+        let out = eval_query(&db, &phi, &["x".into()], &db.active_domain());
+        assert_eq!(out, vec![Tuple::from_strs(&["an"])]);
+    }
+
+    #[test]
+    fn guard_with_repeated_variables() {
+        // ∃y R(y, y): holds iff R has a diagonal tuple.
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&[&[1, 2], &[3, 3]]));
+        let phi = Formula::exists(["y"], "R", ["y", "y"], Formula::Bool(true));
+        assert!(satisfies(&db, &phi, &Assignment::default()));
+        let mut db2 = Database::new();
+        db2.set("R", Relation::from_int_rows(&[&[1, 2]]));
+        assert!(!satisfies(&db2, &phi, &Assignment::default()));
+    }
+
+    #[test]
+    fn guard_pins_free_variables() {
+        // ∃y Visits(x, y) with x = "an" must bind y only to an's bars.
+        let db = beer_db();
+        let phi = Formula::exists(
+            ["y"],
+            "Visits",
+            ["x", "y"],
+            Formula::EqConst("y".into(), Value::str("good bar")),
+        );
+        assert!(!satisfies(&db, &phi, &env(&[("x", Value::str("an"))])));
+        assert!(satisfies(&db, &phi, &env(&[("x", Value::str("bob"))])));
+    }
+
+    #[test]
+    fn eval_query_nullary() {
+        let db = beer_db();
+        let phi = Formula::exists(["w", "z"], "Likes", ["w", "z"], Formula::Bool(true));
+        let out = eval_query(&db, &phi, &[], &db.active_domain());
+        assert_eq!(out, vec![Tuple::empty()]);
+        let out2 = eval_query(&db, &phi.not(), &[], &db.active_domain());
+        assert!(out2.is_empty());
+    }
+}

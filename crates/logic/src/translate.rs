@@ -1,0 +1,871 @@
+//! The two directions of **Theorem 8**: SA= ↔ GF.
+//!
+//! * [`gf_to_sa`] — for every GF formula `φ(x₁,…,x_k)` with constants in
+//!   `C`, an SA= expression `E_φ` with
+//!   `E_φ(D) = { d̄ C-stored in D | D ⊨ φ(d̄) }`.
+//! * [`sa_to_gf`] — for every (constant-tagging-free) SA= expression `E` of
+//!   arity `k`, a GF formula `φ_E(x₁,…,x_k)` with
+//!   `{ d̄ | D ⊨ φ_E(d̄) } = E(D)`.
+//!
+//! Both constructions follow the authors' earlier paper (Leinders, Marx,
+//! Tyszkiewicz, Van den Bussche, *The semijoin algebra and the guarded
+//! fragment*, JoLLI 2005), which proves the correspondence in the
+//! constant-free setting; the present paper notes the extension to
+//! constants is routine. Our `gf_to_sa` handles constants fully (via
+//! `σᵢ₌c` and constant-tagging in the "stored-tuples" expression);
+//! `sa_to_gf` handles constant-free expressions plus `σᵢ₌c` selections
+//! (which map to the GF atom `x = c`), and rejects `τ_c` — exactly the
+//! fragment the cited proof covers.
+//!
+//! ### The key idea (both directions)
+//!
+//! Every SA= output tuple is **C-stored** (Definition 4): its non-constant
+//! values sit inside a single stored tuple. Therefore a projection or
+//! semijoin witness can always be *guarded* by a relation atom, by
+//! disjoining over all relation names `R` and all mappings from expression
+//! columns to positions of `R` — a finite case split that converts
+//! unguarded ∃ into guarded ∃. Conversely, GF's guarded ∃ quantifies over
+//! tuples of a single relation, which a semijoin against that relation
+//! simulates.
+
+use crate::error::LogicError;
+use crate::formula::{Formula, Var};
+use sj_algebra::{Condition, Expr, Selection};
+use sj_storage::{Schema, Value};
+use std::collections::BTreeMap;
+
+/// A translated query: an expression/formula plus the ordered free
+/// variables naming its columns.
+#[derive(Debug, Clone)]
+pub struct GfQuery {
+    /// The GF formula.
+    pub formula: Formula,
+    /// Free variables in column order (column i ↦ `free_vars[i]`).
+    pub free_vars: Vec<Var>,
+}
+
+/// A translated expression: SA= expression plus the ordered free variables
+/// naming its columns.
+#[derive(Debug, Clone)]
+pub struct SaQuery {
+    /// The SA= expression.
+    pub expr: Expr,
+    /// Free variables in column order.
+    pub free_vars: Vec<Var>,
+}
+
+// ---------------------------------------------------------------------------
+// The "all C-stored k-tuples" expression
+// ---------------------------------------------------------------------------
+
+/// Build the SA= expression whose value on any database `D` is the set of
+/// all C-stored `k`-tuples of `D`: the union, over every relation name `R`
+/// (arity m) and every map `g : {1..k} → {columns of R} ∪ C`, of
+/// `π_g(τ_C(R))`. Uses only projection, constant-tagging and union — all
+/// SA= operators.
+///
+/// Errors with [`LogicError::EmptySchema`] when the schema has no
+/// relations (then no tuple is C-stored and no expression exists).
+pub fn stored_tuples_expr(
+    schema: &Schema,
+    k: usize,
+    constants: &[Value],
+) -> Result<Expr, LogicError> {
+    let mut terms: Vec<Expr> = Vec::new();
+    for (name, m) in schema.iter() {
+        // Base: R tagged with all constants; columns m+1 .. m+|C| hold them.
+        let mut base = Expr::rel(name);
+        for c in constants {
+            base = base.tag(c.clone());
+        }
+        let pool = m + constants.len(); // columns to draw from
+        if k == 0 {
+            terms.push(base.project(Vec::<usize>::new()));
+            continue;
+        }
+        if pool == 0 {
+            continue; // arity-0 relation, no constants: nothing to draw
+        }
+        // Enumerate all maps {0..k} → {1..pool} with an odometer.
+        let mut idx = vec![1usize; k];
+        loop {
+            terms.push(base.clone().project(idx.clone()));
+            let mut pos = k;
+            let mut done = false;
+            loop {
+                if pos == 0 {
+                    done = true;
+                    break;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] <= pool {
+                    break;
+                }
+                idx[pos] = 1;
+            }
+            if done {
+                break;
+            }
+        }
+    }
+    terms
+        .into_iter()
+        .reduce(Expr::union)
+        .ok_or(LogicError::EmptySchema)
+}
+
+// ---------------------------------------------------------------------------
+// GF → SA=
+// ---------------------------------------------------------------------------
+
+/// Translate a GF formula into an SA= expression computing its C-stored
+/// answers (Theorem 8, second statement).
+///
+/// `constants` must contain every constant of the formula; pass the
+/// formula's own constants (`f.constants()`) for the tightest `C`.
+pub fn gf_to_sa(
+    f: &Formula,
+    schema: &Schema,
+    constants: &[Value],
+) -> Result<SaQuery, LogicError> {
+    f.check_guarded().map_err(LogicError::Unguarded)?;
+    for c in f.constants() {
+        if !constants.contains(&c) {
+            return Err(LogicError::UnsupportedExpression(format!(
+                "constant {c} of the formula is not in the supplied C"
+            )));
+        }
+    }
+    let desugared = desugar_bool(f);
+    translate_formula(&desugared, schema, constants)
+}
+
+/// Replace `→` and `↔` by `¬/∧/∨` so the core translation has fewer cases.
+fn desugar_bool(f: &Formula) -> Formula {
+    match f {
+        Formula::Implies(a, b) => desugar_bool(a).not().or(desugar_bool(b)),
+        Formula::Iff(a, b) => {
+            let (da, db) = (desugar_bool(a), desugar_bool(b));
+            (da.clone().not().or(db.clone())).and(db.not().or(da))
+        }
+        Formula::Not(a) => desugar_bool(a).not(),
+        Formula::And(a, b) => desugar_bool(a).and(desugar_bool(b)),
+        Formula::Or(a, b) => desugar_bool(a).or(desugar_bool(b)),
+        Formula::Exists { vars, guard_rel, guard_args, body } => Formula::Exists {
+            vars: vars.clone(),
+            guard_rel: guard_rel.clone(),
+            guard_args: guard_args.clone(),
+            body: Box::new(desugar_bool(body)),
+        },
+        atom => atom.clone(),
+    }
+}
+
+/// Semijoin `e_target ⋉ e_sub` keeping target tuples whose `vars_sub`
+/// columns (looked up by variable name in `vars_target`) match.
+fn expand_to(
+    e_sub: Expr,
+    vars_sub: &[Var],
+    vars_target: &[Var],
+    schema: &Schema,
+    constants: &[Value],
+) -> Result<Expr, LogicError> {
+    let stored = stored_tuples_expr(schema, vars_target.len(), constants)?;
+    let pairs: Vec<(usize, usize)> = vars_sub
+        .iter()
+        .enumerate()
+        .map(|(sub_pos, v)| {
+            let tgt_pos = vars_target
+                .iter()
+                .position(|w| w == v)
+                .expect("vars_sub ⊆ vars_target");
+            (tgt_pos + 1, sub_pos + 1)
+        })
+        .collect();
+    Ok(stored.semijoin(Condition::eq_pairs(pairs), e_sub))
+}
+
+fn translate_formula(
+    f: &Formula,
+    schema: &Schema,
+    constants: &[Value],
+) -> Result<SaQuery, LogicError> {
+    match f {
+        Formula::Bool(true) => Ok(SaQuery {
+            expr: stored_tuples_expr(schema, 0, constants)?,
+            free_vars: vec![],
+        }),
+        Formula::Bool(false) => {
+            let s = stored_tuples_expr(schema, 0, constants)?;
+            Ok(SaQuery { expr: s.clone().diff(s), free_vars: vec![] })
+        }
+        Formula::Eq(x, y) => {
+            if x == y {
+                Ok(SaQuery {
+                    expr: stored_tuples_expr(schema, 1, constants)?,
+                    free_vars: vec![x.clone()],
+                })
+            } else {
+                Ok(SaQuery {
+                    expr: stored_tuples_expr(schema, 2, constants)?.select_eq(1, 2),
+                    free_vars: vec![x.clone(), y.clone()],
+                })
+            }
+        }
+        Formula::Lt(x, y) => {
+            if x == y {
+                // x < x is unsatisfiable.
+                let s = stored_tuples_expr(schema, 1, constants)?;
+                Ok(SaQuery { expr: s.clone().diff(s), free_vars: vec![x.clone()] })
+            } else {
+                Ok(SaQuery {
+                    expr: stored_tuples_expr(schema, 2, constants)?.select_lt(1, 2),
+                    free_vars: vec![x.clone(), y.clone()],
+                })
+            }
+        }
+        Formula::EqConst(x, c) => Ok(SaQuery {
+            expr: stored_tuples_expr(schema, 1, constants)?
+                .select_const(1, c.clone()),
+            free_vars: vec![x.clone()],
+        }),
+        Formula::Rel(r, args) => {
+            let m = schema.arity_of(r).ok_or_else(|| LogicError::BadRelationAtom {
+                relation: r.clone(),
+                message: "not in schema".into(),
+            })?;
+            if m != args.len() {
+                return Err(LogicError::BadRelationAtom {
+                    relation: r.clone(),
+                    message: format!("arity {m} but {} arguments", args.len()),
+                });
+            }
+            // Distinct variables in first-occurrence order, equality
+            // selections for repeats.
+            let mut distinct: Vec<Var> = Vec::new();
+            let mut expr = Expr::rel(r);
+            let mut first_pos: Vec<usize> = Vec::new();
+            for (pos, v) in args.iter().enumerate() {
+                match args[..pos].iter().position(|w| w == v) {
+                    Some(first) => expr = expr.select_eq(first + 1, pos + 1),
+                    None => {
+                        distinct.push(v.clone());
+                        first_pos.push(pos + 1);
+                    }
+                }
+            }
+            Ok(SaQuery { expr: expr.project(first_pos), free_vars: distinct })
+        }
+        Formula::Not(g) => {
+            let sub = translate_formula(g, schema, constants)?;
+            let stored = stored_tuples_expr(schema, sub.free_vars.len(), constants)?;
+            Ok(SaQuery {
+                expr: stored.diff(sub.expr),
+                free_vars: sub.free_vars,
+            })
+        }
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            let sa = translate_formula(a, schema, constants)?;
+            let sb = translate_formula(b, schema, constants)?;
+            let mut target = sa.free_vars.clone();
+            for v in &sb.free_vars {
+                if !target.contains(v) {
+                    target.push(v.clone());
+                }
+            }
+            let xa = expand_to(sa.expr, &sa.free_vars, &target, schema, constants)?;
+            let xb = expand_to(sb.expr, &sb.free_vars, &target, schema, constants)?;
+            let expr = if matches!(f, Formula::And(..)) {
+                xa.intersect(xb)
+            } else {
+                xa.union(xb)
+            };
+            Ok(SaQuery { expr, free_vars: target })
+        }
+        Formula::Implies(..) | Formula::Iff(..) => {
+            unreachable!("desugared before translation")
+        }
+        Formula::Exists { vars, guard_rel, guard_args, body } => {
+            let m = schema
+                .arity_of(guard_rel)
+                .ok_or_else(|| LogicError::BadRelationAtom {
+                    relation: guard_rel.clone(),
+                    message: "not in schema".into(),
+                })?;
+            if m != guard_args.len() {
+                return Err(LogicError::BadRelationAtom {
+                    relation: guard_rel.clone(),
+                    message: format!("arity {m} but {} arguments", guard_args.len()),
+                });
+            }
+            // Guard with repeat-equalities (full arity kept).
+            let mut guard = Expr::rel(guard_rel);
+            let mut distinct: Vec<Var> = Vec::new();
+            let mut first_pos_of: BTreeMap<Var, usize> = BTreeMap::new();
+            for (pos, v) in guard_args.iter().enumerate() {
+                match first_pos_of.get(v) {
+                    Some(&first) => guard = guard.select_eq(first + 1, pos + 1),
+                    None => {
+                        distinct.push(v.clone());
+                        first_pos_of.insert(v.clone(), pos);
+                    }
+                }
+            }
+            // Filter by the body: semijoin on the body's free variables
+            // (all occur in the guard by guardedness).
+            let sub = translate_formula(body, schema, constants)?;
+            let pairs: Vec<(usize, usize)> = sub
+                .free_vars
+                .iter()
+                .enumerate()
+                .map(|(sub_pos, v)| {
+                    let gpos = first_pos_of
+                        .get(v)
+                        .expect("guardedness checked: body var occurs in guard");
+                    (gpos + 1, sub_pos + 1)
+                })
+                .collect();
+            let filtered = guard.semijoin(Condition::eq_pairs(pairs), sub.expr);
+            // Project onto the un-quantified guard variables.
+            let free: Vec<Var> = distinct
+                .iter()
+                .filter(|v| !vars.contains(v))
+                .cloned()
+                .collect();
+            let cols: Vec<usize> =
+                free.iter().map(|v| first_pos_of[v] + 1).collect();
+            Ok(SaQuery { expr: filtered.project(cols), free_vars: free })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SA= → GF
+// ---------------------------------------------------------------------------
+
+/// Fresh-variable supply. Free canonical variables are `v{n}`, bound ones
+/// `b{n}` — distinct prefixes guarantee substitution never captures.
+struct Fresh {
+    n: usize,
+}
+
+impl Fresh {
+    fn free(&mut self) -> Var {
+        self.n += 1;
+        format!("v{}", self.n)
+    }
+    fn bound(&mut self) -> Var {
+        self.n += 1;
+        format!("b{}", self.n)
+    }
+    fn frees(&mut self, k: usize) -> Vec<Var> {
+        (0..k).map(|_| self.free()).collect()
+    }
+}
+
+/// Translate an SA= expression into an equivalent GF formula (Theorem 8,
+/// first statement): `{d̄ | D ⊨ φ_E(d̄)} = E(D)` for every database `D`.
+///
+/// Handles the constant-free SA= fragment plus `σᵢ₌c` selections (which
+/// become `x = c` atoms); rejects `τ_c` (constant-tagging), joins, and
+/// grouping with [`LogicError::UnsupportedExpression`].
+pub fn sa_to_gf(e: &Expr, schema: &Schema) -> Result<GfQuery, LogicError> {
+    e.arity(schema)?;
+    let mut fresh = Fresh { n: 0 };
+    let (formula, free_vars) = translate_expr(e, schema, &mut fresh)?;
+    debug_assert!(formula.check_guarded().is_ok());
+    Ok(GfQuery { formula, free_vars })
+}
+
+fn rename(f: &Formula, from: &[Var], to: &[Var]) -> Formula {
+    let map: BTreeMap<Var, Var> = from
+        .iter()
+        .cloned()
+        .zip(to.iter().cloned())
+        .collect();
+    f.rename_free(&map)
+}
+
+fn translate_expr(
+    e: &Expr,
+    schema: &Schema,
+    fresh: &mut Fresh,
+) -> Result<(Formula, Vec<Var>), LogicError> {
+    match e {
+        Expr::Rel(r) => {
+            let k = schema.arity_of(r).expect("validated");
+            let vars = fresh.frees(k);
+            Ok((Formula::Rel(r.clone(), vars.clone()), vars))
+        }
+        Expr::Union(a, b) => {
+            let (fa, va) = translate_expr(a, schema, fresh)?;
+            let (fb, vb) = translate_expr(b, schema, fresh)?;
+            Ok((fa.or(rename(&fb, &vb, &va)), va))
+        }
+        Expr::Diff(a, b) => {
+            let (fa, va) = translate_expr(a, schema, fresh)?;
+            let (fb, vb) = translate_expr(b, schema, fresh)?;
+            Ok((fa.and(rename(&fb, &vb, &va).not()), va))
+        }
+        Expr::Select(sel, a) => {
+            let (fa, va) = translate_expr(a, schema, fresh)?;
+            let atom = match sel {
+                Selection::Eq(i, j) => {
+                    Formula::Eq(va[i - 1].clone(), va[j - 1].clone())
+                }
+                Selection::Lt(i, j) => {
+                    Formula::Lt(va[i - 1].clone(), va[j - 1].clone())
+                }
+                Selection::EqConst(i, c) => {
+                    Formula::EqConst(va[i - 1].clone(), c.clone())
+                }
+            };
+            Ok((fa.and(atom), va))
+        }
+        Expr::Project(cols, a) => {
+            let n = a.arity(schema).expect("validated");
+            let (fa, va) = translate_expr(a, schema, fresh)?;
+            if n == 0 {
+                // cols is necessarily empty.
+                return Ok((fa, vec![]));
+            }
+            let out_vars = fresh.frees(cols.len());
+            // Disjoin over every relation R and every map f from the
+            // subexpression's columns into R's positions: the output tuple,
+            // being ∅-stored, sits inside some stored R-tuple.
+            let mut cases: Vec<Formula> = Vec::new();
+            for (rel_name, m) in schema.iter() {
+                if m == 0 {
+                    continue;
+                }
+                let mut map_idx = vec![0usize; n];
+                loop {
+                    cases.push(projection_case(
+                        &fa, &va, cols, &out_vars, rel_name, m, &map_idx, fresh,
+                    ));
+                    // odometer over maps {0..n} → {0..m}
+                    let mut pos = n;
+                    let mut done = false;
+                    loop {
+                        if pos == 0 {
+                            done = true;
+                            break;
+                        }
+                        pos -= 1;
+                        map_idx[pos] += 1;
+                        if map_idx[pos] < m {
+                            break;
+                        }
+                        map_idx[pos] = 0;
+                    }
+                    if done {
+                        break;
+                    }
+                }
+            }
+            Ok((Formula::or_all(cases), out_vars))
+        }
+        Expr::Semijoin(theta, a, b) => {
+            if !theta.is_equi() {
+                return Err(LogicError::UnsupportedExpression(
+                    "sa_to_gf requires equality-only semijoin conditions (SA=)"
+                        .into(),
+                ));
+            }
+            let (fa, va) = translate_expr(a, schema, fresh)?;
+            let n2 = b.arity(schema).expect("validated");
+            let (fb, vb) = translate_expr(b, schema, fresh)?;
+            if n2 == 0 {
+                // Right side is nullary: the semijoin keeps the left side
+                // iff the right side is the nonempty nullary relation,
+                // i.e. iff φ_b (a sentence) holds.
+                return Ok((fa.and(fb), va));
+            }
+            let mut cases: Vec<Formula> = Vec::new();
+            for (rel_name, m) in schema.iter() {
+                if m == 0 {
+                    continue;
+                }
+                let mut map_idx = vec![0usize; n2];
+                loop {
+                    cases.push(semijoin_case(
+                        theta, &fb, &vb, &va, rel_name, m, &map_idx, fresh,
+                    ));
+                    let mut pos = n2;
+                    let mut done = false;
+                    loop {
+                        if pos == 0 {
+                            done = true;
+                            break;
+                        }
+                        pos -= 1;
+                        map_idx[pos] += 1;
+                        if map_idx[pos] < m {
+                            break;
+                        }
+                        map_idx[pos] = 0;
+                    }
+                    if done {
+                        break;
+                    }
+                }
+            }
+            Ok((fa.and(Formula::or_all(cases)), va))
+        }
+        Expr::ConstTag(..) => Err(LogicError::UnsupportedExpression(
+            "sa_to_gf does not handle constant-tagging (τ_c); the cited \
+             construction covers the constant-free fragment"
+                .into(),
+        )),
+        Expr::Join(..) => Err(LogicError::UnsupportedExpression(
+            "sa_to_gf translates the semijoin algebra; lower joins first".into(),
+        )),
+        Expr::GroupCount(..) => Err(LogicError::UnsupportedExpression(
+            "grouping/aggregation is outside first-order logic".into(),
+        )),
+    }
+}
+
+/// One `(R, f)` case of the projection translation:
+/// `⋀ outer-equalities ∧ ∃ȳ (R(ū) ∧ φ_a[column l ↦ u_{f(l)}])` where
+/// `u_{f(colsⱼ)}` is the output variable `xⱼ` (first claimant; later
+/// claimants contribute outer equalities) and the unclaimed positions are
+/// fresh quantified variables.
+#[allow(clippy::too_many_arguments)]
+fn projection_case(
+    fa: &Formula,
+    va: &[Var],
+    cols: &[usize],
+    out_vars: &[Var],
+    rel_name: &str,
+    m: usize,
+    map_idx: &[usize],
+    fresh: &mut Fresh,
+) -> Formula {
+    let mut guard_vars: Vec<Option<Var>> = vec![None; m];
+    let mut outer_eqs: Vec<Formula> = Vec::new();
+    for (j, &col) in cols.iter().enumerate() {
+        let p = map_idx[col - 1];
+        match &guard_vars[p] {
+            None => guard_vars[p] = Some(out_vars[j].clone()),
+            Some(u) => outer_eqs.push(Formula::Eq(out_vars[j].clone(), u.clone())),
+        }
+    }
+    let mut quantified: Vec<Var> = Vec::new();
+    let guard_args: Vec<Var> = guard_vars
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                let y = fresh.bound();
+                quantified.push(y.clone());
+                y
+            })
+        })
+        .collect();
+    let body_vars: Vec<Var> = (0..va.len())
+        .map(|l| guard_args[map_idx[l]].clone())
+        .collect();
+    let body = rename(fa, va, &body_vars);
+    let ex = Formula::Exists {
+        vars: quantified,
+        guard_rel: rel_name.to_string(),
+        guard_args,
+        body: Box::new(body),
+    };
+    Formula::and_all(outer_eqs.into_iter().chain([ex]))
+}
+
+/// One `(R, f)` case of the semijoin translation: the positions of `R`
+/// hosting θ-constrained right columns take the corresponding **left**
+/// variables (free), the rest are fresh quantified variables; the body is
+/// `φ_b` with its columns read off the guard.
+#[allow(clippy::too_many_arguments)]
+fn semijoin_case(
+    theta: &Condition,
+    fb: &Formula,
+    vb: &[Var],
+    va: &[Var],
+    rel_name: &str,
+    m: usize,
+    map_idx: &[usize],
+    fresh: &mut Fresh,
+) -> Formula {
+    let mut guard_vars: Vec<Option<Var>> = vec![None; m];
+    let mut outer_eqs: Vec<Formula> = Vec::new();
+    for atom in theta.atoms() {
+        let left_var = va[atom.left - 1].clone();
+        let p = map_idx[atom.right - 1];
+        match &guard_vars[p] {
+            None => guard_vars[p] = Some(left_var),
+            Some(u) => {
+                if *u != left_var {
+                    outer_eqs.push(Formula::Eq(left_var, u.clone()));
+                }
+            }
+        }
+    }
+    let mut quantified: Vec<Var> = Vec::new();
+    let guard_args: Vec<Var> = guard_vars
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                let y = fresh.bound();
+                quantified.push(y.clone());
+                y
+            })
+        })
+        .collect();
+    let body_vars: Vec<Var> = (0..vb.len())
+        .map(|j| guard_args[map_idx[j]].clone())
+        .collect();
+    let body = rename(fb, vb, &body_vars);
+    let ex = Formula::Exists {
+        vars: quantified,
+        guard_rel: rel_name.to_string(),
+        guard_args,
+        body: Box::new(body),
+    };
+    Formula::and_all(outer_eqs.into_iter().chain([ex]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::example7_lousy_bar;
+    use crate::semantics::eval_query;
+    use crate::stored::{all_c_stored_tuples, is_c_stored};
+    use sj_eval::evaluate;
+    use sj_storage::{Database, Relation, Tuple};
+
+    fn beer_schema() -> Schema {
+        Schema::new([("Likes", 2), ("Serves", 2), ("Visits", 2)])
+    }
+
+    fn beer_db() -> Database {
+        let mut db = Database::new();
+        db.set(
+            "Visits",
+            Relation::from_str_rows(&[
+                &["an", "bad bar"],
+                &["bob", "good bar"],
+                &["eve", "bad bar"],
+            ]),
+        );
+        db.set(
+            "Serves",
+            Relation::from_str_rows(&[
+                &["bad bar", "swill"],
+                &["good bar", "nectar"],
+                &["good bar", "swill"],
+            ]),
+        );
+        db.set("Likes", Relation::from_str_rows(&[&["bob", "nectar"]]));
+        db
+    }
+
+    /// Candidates for `{d̄ | D ⊨ φ(d̄)}`: the active domain plus sentinels
+    /// outside it, to catch formulas that wrongly hold off-domain.
+    fn candidates(db: &Database) -> Vec<Value> {
+        let mut v = db.active_domain();
+        v.push(Value::str("zzz-sentinel"));
+        v.push(Value::int(-99_999));
+        v
+    }
+
+    #[test]
+    fn stored_tuples_expr_computes_c_stored_set() {
+        let db = beer_db();
+        let schema = beer_schema();
+        for k in 0..=2 {
+            for consts in [vec![], vec![Value::str("swill")]] {
+                let e = stored_tuples_expr(&schema, k, &consts).unwrap();
+                assert!(e.is_sa_eq(), "stored expr must be SA=");
+                let got = evaluate(&e, &db).unwrap();
+                let want = all_c_stored_tuples(&db, k, &consts);
+                assert_eq!(
+                    got.tuples().to_vec(),
+                    want,
+                    "k={k}, C={consts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stored_tuples_expr_empty_schema_errors() {
+        assert!(matches!(
+            stored_tuples_expr(&Schema::empty(), 1, &[]),
+            Err(LogicError::EmptySchema)
+        ));
+    }
+
+    #[test]
+    fn gf_to_sa_example7_equals_sa_example3() {
+        let db = beer_db();
+        let schema = beer_schema();
+        let phi = example7_lousy_bar();
+        let translated = gf_to_sa(&phi, &schema, &[]).unwrap();
+        assert!(translated.expr.is_sa_eq());
+        let via_gf = evaluate(&translated.expr, &db).unwrap();
+        let direct = evaluate(&sj_algebra::division::example3_lousy_bar_sa(), &db).unwrap();
+        assert_eq!(via_gf, direct);
+        // an and eve visit the bad bar, which serves only swill (unliked).
+        assert_eq!(direct, Relation::from_str_rows(&[&["an"], &["eve"]]));
+    }
+
+    #[test]
+    fn gf_to_sa_matches_c_stored_semantics() {
+        let db = beer_db();
+        let schema = beer_schema();
+        let x = || "x".to_string();
+        let y = || "y".to_string();
+        let formulas: Vec<Formula> = vec![
+            Formula::Rel("Likes".into(), vec![x(), y()]),
+            Formula::Rel("Likes".into(), vec![x(), x()]),
+            Formula::Eq(x(), y()),
+            Formula::Lt(x(), y()),
+            Formula::EqConst(x(), Value::str("swill")),
+            Formula::Rel("Serves".into(), vec![x(), y()]).not(),
+            Formula::Rel("Serves".into(), vec![x(), y()])
+                .and(Formula::Rel("Visits".into(), vec![y(), x()]).not()),
+            Formula::Rel("Serves".into(), vec![x(), y()])
+                .or(Formula::Likes_xy()),
+            example7_lousy_bar(),
+            Formula::exists(["w"], "Likes", ["w", "z"], Formula::Bool(true)),
+            Formula::Rel("Visits".into(), vec![x(), y()])
+                .implies(Formula::Rel("Serves".into(), vec![y(), x()])),
+            Formula::Eq(x(), y()).iff(Formula::Lt(x(), y())),
+        ];
+        for phi in formulas {
+            let consts = phi.constants();
+            let q = gf_to_sa(&phi, &schema, &consts).unwrap();
+            assert!(q.expr.is_sa(), "{phi}");
+            let got = evaluate(&q.expr, &db).unwrap();
+            // Expected: C-stored tuples satisfying φ.
+            let sat = eval_query(&db, &phi, &q.free_vars, &candidates(&db));
+            let want: Vec<Tuple> = sat
+                .into_iter()
+                .filter(|t| is_c_stored(&db, t, &consts))
+                .collect();
+            assert_eq!(got.tuples().to_vec(), want, "φ = {phi}");
+        }
+    }
+
+    // Small helper used in the list above to keep it terse.
+    impl Formula {
+        #[allow(non_snake_case)]
+        fn Likes_xy() -> Formula {
+            Formula::Rel("Likes".into(), vec!["x".into(), "y".into()])
+        }
+    }
+
+    #[test]
+    fn sa_to_gf_example3_matches() {
+        let db = beer_db();
+        let schema = beer_schema();
+        let e = sj_algebra::division::example3_lousy_bar_sa();
+        let q = sa_to_gf(&e, &schema).unwrap();
+        assert!(q.formula.check_guarded().is_ok());
+        let want = evaluate(&e, &db).unwrap();
+        let got = eval_query(&db, &q.formula, &q.free_vars, &candidates(&db));
+        assert_eq!(got, want.tuples().to_vec());
+    }
+
+    #[test]
+    fn sa_to_gf_handles_each_operator() {
+        let db = beer_db();
+        let schema = beer_schema();
+        let exprs: Vec<Expr> = vec![
+            Expr::rel("Likes"),
+            Expr::rel("Likes").union(Expr::rel("Serves")),
+            Expr::rel("Likes").diff(Expr::rel("Serves")),
+            Expr::rel("Likes").project([2]),
+            Expr::rel("Likes").project([2, 1]),
+            Expr::rel("Likes").project([1, 1, 2]),
+            Expr::rel("Likes").project(Vec::<usize>::new()),
+            Expr::rel("Likes").select_eq(1, 2),
+            Expr::rel("Likes").select_lt(1, 2),
+            Expr::rel("Likes").select_const(2, Value::str("nectar")),
+            Expr::rel("Visits").semijoin(Condition::eq(2, 1), Expr::rel("Serves")),
+            Expr::rel("Visits").semijoin(Condition::always(), Expr::rel("Likes")),
+            Expr::rel("Visits")
+                .semijoin(Condition::eq_pairs([(2, 1), (2, 1)]), Expr::rel("Serves")),
+            Expr::rel("Visits").semijoin(
+                Condition::eq_pairs([(1, 1), (2, 2)]),
+                Expr::rel("Likes").union(Expr::rel("Serves")),
+            ),
+            Expr::rel("Serves")
+                .project([1])
+                .diff(Expr::rel("Serves").semijoin(Condition::eq(2, 2), Expr::rel("Likes")).project([1])),
+        ];
+        for e in exprs {
+            let q = sa_to_gf(&e, &schema).unwrap();
+            assert!(q.formula.check_guarded().is_ok(), "{e}");
+            let want = evaluate(&e, &db).unwrap();
+            let got = eval_query(&db, &q.formula, &q.free_vars, &candidates(&db));
+            assert_eq!(got, want.tuples().to_vec(), "E = {e}");
+        }
+    }
+
+    #[test]
+    fn sa_to_gf_rejects_unsupported() {
+        let schema = beer_schema();
+        assert!(matches!(
+            sa_to_gf(&Expr::rel("Likes").tag(Value::int(1)), &schema),
+            Err(LogicError::UnsupportedExpression(_))
+        ));
+        assert!(matches!(
+            sa_to_gf(
+                &Expr::rel("Likes").join(Condition::eq(1, 1), Expr::rel("Serves")),
+                &schema
+            ),
+            Err(LogicError::UnsupportedExpression(_))
+        ));
+        assert!(matches!(
+            sa_to_gf(&Expr::rel("Likes").group_count([1]), &schema),
+            Err(LogicError::UnsupportedExpression(_))
+        ));
+        assert!(matches!(
+            sa_to_gf(
+                &Expr::rel("Likes").semijoin(Condition::lt(1, 1), Expr::rel("Serves")),
+                &schema
+            ),
+            Err(LogicError::UnsupportedExpression(_))
+        ));
+    }
+
+    #[test]
+    fn gf_to_sa_rejects_unguarded_and_missing_constants() {
+        let schema = beer_schema();
+        let bad = Formula::exists(
+            ["y"],
+            "Likes",
+            ["x", "y"],
+            Formula::Eq("x".into(), "z".into()),
+        );
+        assert!(matches!(
+            gf_to_sa(&bad, &schema, &[]),
+            Err(LogicError::Unguarded(_))
+        ));
+        let with_const = Formula::EqConst("x".into(), Value::int(5));
+        assert!(matches!(
+            gf_to_sa(&with_const, &schema, &[]),
+            Err(LogicError::UnsupportedExpression(_))
+        ));
+    }
+
+    #[test]
+    fn full_roundtrip_sa_gf_sa() {
+        // E → φ_E → E': E'(D) must equal E(D) because SA= outputs are
+        // ∅-stored (Theorem 8 applied twice).
+        let db = beer_db();
+        let schema = beer_schema();
+        let e = sj_algebra::division::example3_lousy_bar_sa();
+        let q = sa_to_gf(&e, &schema).unwrap();
+        let back = gf_to_sa(&q.formula, &schema, &[]).unwrap();
+        let original = evaluate(&e, &db).unwrap();
+        let roundtripped = evaluate(&back.expr, &db).unwrap();
+        assert_eq!(original, roundtripped);
+    }
+}

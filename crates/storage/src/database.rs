@@ -1,0 +1,288 @@
+//! Databases: assignments of relations to relation names.
+
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A database `D` over a schema `S`: an assignment of a finite relation
+/// `D(R)` to each relation name `R ∈ S` (Section 2 of the paper).
+///
+/// Relation names are kept sorted so that iteration, display, and hashing
+/// are deterministic.
+///
+/// ```
+/// use sj_storage::{Database, Relation};
+/// let mut d = Database::new();
+/// d.set("R", Relation::from_int_rows(&[&[1, 2], &[2, 3]]));
+/// d.set("S", Relation::from_int_rows(&[&[1, 2]]));
+/// assert_eq!(d.size(), 3); // Definition 15: sum of cardinalities
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// The empty database (no relation names at all).
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Build a database from `(name, relation)` pairs.
+    pub fn from_relations<N: Into<String>>(
+        rels: impl IntoIterator<Item = (N, Relation)>,
+    ) -> Self {
+        Database {
+            relations: rels.into_iter().map(|(n, r)| (n.into(), r)).collect(),
+        }
+    }
+
+    /// A database over `schema` with every relation empty.
+    pub fn empty_over(schema: &Schema) -> Self {
+        Database {
+            relations: schema
+                .iter()
+                .map(|(n, a)| (n.to_string(), Relation::empty(a)))
+                .collect(),
+        }
+    }
+
+    /// Assign `rel` to `name`, replacing any previous assignment.
+    pub fn set(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// The relation assigned to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// The relation assigned to `name`, as an error-producing lookup.
+    pub fn require(&self, name: &str) -> crate::Result<&Relation> {
+        self.get(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutable access to a relation.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Insert a tuple into relation `name` (which must exist).
+    pub fn insert(&mut self, name: &str, t: Tuple) -> crate::Result<bool> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))?
+            .insert(t)
+    }
+
+    /// Iterate `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Relation names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(|n| n.as_str())
+    }
+
+    /// The schema induced by the stored relations.
+    pub fn schema(&self) -> Schema {
+        Schema::new(self.relations.iter().map(|(n, r)| (n.clone(), r.arity())))
+    }
+
+    /// **Definition 15**: the size `|D|` of the database — the sum of the
+    /// cardinalities of its relations.
+    pub fn size(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// The active domain: all values occurring in any relation, sorted and
+    /// deduplicated. GF formulas are interpreted over this set.
+    pub fn active_domain(&self) -> Vec<Value> {
+        let mut v: Vec<Value> = self
+            .relations
+            .values()
+            .flat_map(|r| r.iter().flat_map(|t| t.iter().cloned()))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// **Definition 25**: the tuple space `T_D` — the union of all relations
+    /// of the database, as a list of `(relation name, tuple)` pairs in
+    /// deterministic order. The same tuple may appear under several names;
+    /// both views are useful, see [`Database::tuple_space_set`].
+    pub fn tuple_space(&self) -> Vec<(&str, &Tuple)> {
+        let mut v = Vec::with_capacity(self.size());
+        for (n, r) in self.iter() {
+            for t in r {
+                v.push((n, t));
+            }
+        }
+        v
+    }
+
+    /// The tuple space as a deduplicated set of tuples (the paper's
+    /// `T_D = ⋃ {D(R) | R ∈ S}` — a set union, so duplicates across
+    /// relations collapse). Tuples of different arities coexist.
+    pub fn tuple_space_set(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self
+            .relations
+            .values()
+            .flat_map(|r| r.iter().cloned())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// **Definition 9**: the guarded sets of the database — sets of the form
+    /// `{d₁, …, dₙ}` for `(d₁, …, dₙ) ∈ D(R)`, each returned as a sorted,
+    /// deduplicated vector of values; the list itself is deduplicated.
+    pub fn guarded_sets(&self) -> Vec<Vec<Value>> {
+        let mut v: Vec<Vec<Value>> = self
+            .relations
+            .values()
+            .flat_map(|r| r.iter().map(Tuple::value_set))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Apply a value renaming to every tuple of every relation, producing a
+    /// new database. Used to build isomorphic copies (the re-spacing step in
+    /// the Lemma 24 pump construction).
+    pub fn map_values(&self, mut f: impl FnMut(&Value) -> Value) -> Database {
+        let relations = self
+            .relations
+            .iter()
+            .map(|(n, r)| {
+                let tuples = r
+                    .iter()
+                    .map(|t| t.iter().map(&mut f).collect::<Tuple>());
+                (
+                    n.clone(),
+                    Relation::from_tuples(r.arity(), tuples)
+                        .expect("map_values preserves arity"),
+                )
+            })
+            .collect();
+        Database { relations }
+    }
+
+    /// Number of relation names.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Database");
+        for (n, r) in &self.relations {
+            s.field(n, r);
+        }
+        s.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    /// The database of Fig. 2 of the paper: R, S ternary; T binary.
+    fn fig2() -> Database {
+        let mut d = Database::new();
+        d.set(
+            "R",
+            Relation::from_str_rows(&[&["a", "b", "c"], &["d", "e", "f"]]),
+        );
+        d.set("S", Relation::from_str_rows(&[&["d", "a", "b"]]));
+        d.set("T", Relation::from_str_rows(&[&["e", "a"], &["f", "c"]]));
+        d
+    }
+
+    #[test]
+    fn size_is_sum_of_cardinalities() {
+        assert_eq!(fig2().size(), 5);
+    }
+
+    #[test]
+    fn schema_induced() {
+        let s = fig2().schema();
+        assert_eq!(s.arity_of("R"), Some(3));
+        assert_eq!(s.arity_of("T"), Some(2));
+    }
+
+    #[test]
+    fn active_domain() {
+        let dom = fig2().active_domain();
+        let expect: Vec<Value> =
+            ["a", "b", "c", "d", "e", "f"].iter().map(Value::str).collect();
+        assert_eq!(dom, expect);
+    }
+
+    #[test]
+    fn tuple_space_has_every_stored_tuple() {
+        let d = fig2();
+        let ts = d.tuple_space();
+        assert_eq!(ts.len(), 5);
+        assert!(ts.contains(&("T", &tuple!["e", "a"])));
+        let set = d.tuple_space_set();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn guarded_sets_are_value_sets_of_tuples() {
+        let d = fig2();
+        let gs = d.guarded_sets();
+        // {a,b,c}, {d,e,f}, {a,b,d}, {a,e}, {c,f}
+        assert_eq!(gs.len(), 5);
+        assert!(gs.contains(&vec![Value::str("a"), Value::str("e")]));
+        assert!(gs.contains(&vec![Value::str("a"), Value::str("b"), Value::str("c")]));
+    }
+
+    #[test]
+    fn empty_over_schema() {
+        let s = Schema::new([("R", 2), ("S", 1)]);
+        let d = Database::empty_over(&s);
+        assert_eq!(d.size(), 0);
+        assert_eq!(d.get("R").unwrap().arity(), 2);
+        assert_eq!(d.get("S").unwrap().arity(), 1);
+    }
+
+    #[test]
+    fn insert_and_require() {
+        let mut d = Database::empty_over(&Schema::new([("R", 2)]));
+        assert!(d.insert("R", tuple![1, 2]).unwrap());
+        assert!(!d.insert("R", tuple![1, 2]).unwrap());
+        assert!(d.insert("Q", tuple![1]).is_err());
+        assert!(d.require("R").is_ok());
+        assert!(d.require("Q").is_err());
+    }
+
+    #[test]
+    fn map_values_renames() {
+        let d = fig2();
+        let e = d.map_values(|v| Value::str(format!("{}'", v.as_str().unwrap())));
+        assert!(e.get("S").unwrap().contains(&tuple!["d'", "a'", "b'"]));
+        assert_eq!(d.size(), e.size());
+    }
+
+    #[test]
+    fn duplicate_tuples_across_relations_collapse_in_tuple_space_set() {
+        let mut d = Database::new();
+        d.set("A", Relation::from_int_rows(&[&[1, 2]]));
+        d.set("B", Relation::from_int_rows(&[&[1, 2]]));
+        assert_eq!(d.size(), 2);
+        assert_eq!(d.tuple_space_set().len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! ASCII table rendering for relations and databases.
+//!
+//! The `experiments` binary reproduces the paper's figures as text; this
+//! module renders relations in the same style the paper prints them: a
+//! header with the relation name and column names, then one row per tuple.
+
+use crate::database::Database;
+use crate::relation::Relation;
+
+/// Render a relation as an ASCII table.
+///
+/// `title` is printed above the table; `columns` supplies header names (when
+/// its length does not match the arity, generic names `#1..#n` are used).
+///
+/// ```
+/// use sj_storage::{display::render_relation, Relation};
+/// let r = Relation::from_str_rows(&[&["An", "headache"]]);
+/// let s = render_relation(&r, "Person", &["pName", "Symptom"]);
+/// assert!(s.contains("pName"));
+/// assert!(s.contains("An"));
+/// ```
+pub fn render_relation(rel: &Relation, title: &str, columns: &[&str]) -> String {
+    let arity = rel.arity();
+    let headers: Vec<String> = if columns.len() == arity {
+        columns.iter().map(|s| s.to_string()).collect()
+    } else {
+        (1..=arity).map(|i| format!("#{i}")).collect()
+    };
+
+    // Column widths: max of header and all cells.
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    let rows: Vec<Vec<String>> = rel
+        .iter()
+        .map(|t| t.iter().map(|v| v.render().into_owned()).collect())
+        .collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let rule: String = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    if arity == 0 {
+        out.push_str(if rel.is_empty() { "  {}\n" } else { "  {()}\n" });
+        return out;
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    out.push_str(&rule);
+    out.push('\n');
+    for row in &rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out
+}
+
+/// Render every relation of a database, in name order.
+pub fn render_database(db: &Database, title: &str) -> String {
+    let mut out = format!("=== {title} (|D| = {}) ===\n", db.size());
+    for (name, rel) in db.iter() {
+        out.push_str(&render_relation(rel, name, &[]));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn renders_fig1_person_fragment() {
+        let person = Relation::from_str_rows(&[
+            &["An", "headache"],
+            &["An", "sore throat"],
+        ]);
+        let s = render_relation(&person, "Person", &["pName", "Symptom"]);
+        assert!(s.starts_with("Person\n"));
+        assert!(s.contains("| pName | Symptom     |"));
+        assert!(s.contains("| An    | headache    |"));
+        assert!(s.contains("| An    | sore throat |"));
+    }
+
+    #[test]
+    fn generic_headers_when_columns_missing() {
+        let r = Relation::from_int_rows(&[&[1, 2]]);
+        let s = render_relation(&r, "R", &[]);
+        assert!(s.contains("#1"));
+        assert!(s.contains("#2"));
+    }
+
+    #[test]
+    fn nullary_rendering() {
+        let t = Relation::from_tuples(0, vec![Tuple::empty()]).unwrap();
+        assert!(render_relation(&t, "True", &[]).contains("{()}"));
+        let f = Relation::empty(0);
+        assert!(render_relation(&f, "False", &[]).contains("{}"));
+    }
+
+    #[test]
+    fn database_rendering_includes_size() {
+        let mut d = Database::new();
+        d.set("R", Relation::from_int_rows(&[&[1], &[2]]));
+        let s = render_database(&d, "D");
+        assert!(s.contains("|D| = 2"));
+        assert!(s.contains("R\n"));
+    }
+}

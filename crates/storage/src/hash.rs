@@ -1,0 +1,138 @@
+//! Fast non-cryptographic hashing.
+//!
+//! The standard library's default SipHash 1-3 is robust against HashDoS but
+//! slow for the short keys (small tuples, single values, integer ids) that
+//! dominate this workspace. We implement the FxHash algorithm (the Firefox /
+//! rustc hash): a simple multiply-xor rolling hash, excellent for short keys.
+//! Inputs here are experiment-controlled, never adversarial, so HashDoS
+//! resistance is not needed.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit FxHash rotation-multiply constant (from rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FxHash hasher: `state = (state.rotate_left(5) ^ word) * SEED` per
+/// 8-byte word. Not DoS-resistant; do not expose to untrusted input.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Hash one hashable value to a `u64` with FxHash. Convenience for
+/// signature computations in the set-join algorithms.
+pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tuple, Tuple, Value};
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fx_hash_one(&42u64), fx_hash_one(&42u64));
+        assert_eq!(fx_hash_one(&tuple![1, 2]), fx_hash_one(&tuple![1, 2]));
+    }
+
+    #[test]
+    fn distinguishes_common_inputs() {
+        assert_ne!(fx_hash_one(&1u64), fx_hash_one(&2u64));
+        assert_ne!(fx_hash_one(&tuple![1, 2]), fx_hash_one(&tuple![2, 1]));
+        assert_ne!(
+            fx_hash_one(&Value::int(1)),
+            fx_hash_one(&Value::str("1"))
+        );
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<Tuple, usize> = FxHashMap::default();
+        m.insert(tuple![1, 2], 7);
+        assert_eq!(m.get(&tuple![1, 2]), Some(&7));
+        let mut s: FxHashSet<Value> = FxHashSet::default();
+        s.insert(Value::int(1));
+        assert!(s.contains(&Value::int(1)));
+        assert!(!s.contains(&Value::int(2)));
+    }
+
+    #[test]
+    fn bytes_tail_handling() {
+        // Inputs differing only in a sub-word tail byte must hash apart.
+        assert_ne!(fx_hash_one(&"abcdefghi"), fx_hash_one(&"abcdefghj"));
+        assert_ne!(fx_hash_one(&"a"), fx_hash_one(&"b"));
+    }
+
+    #[test]
+    fn spread_over_buckets() {
+        // Sanity: 1000 consecutive integers should hit many distinct hashes.
+        let mut hs = FxHashSet::default();
+        for i in 0..1000u64 {
+            hs.insert(fx_hash_one(&i));
+        }
+        assert_eq!(hs.len(), 1000);
+    }
+}

@@ -1,0 +1,364 @@
+//! Set-semantics relations.
+
+use crate::error::StorageError;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// A finite **set** of tuples of a fixed arity.
+///
+/// The paper's relations are sets (its Definition 15 measures size as
+/// *cardinality*), so `Relation` maintains a canonical representation:
+/// tuples are kept sorted and deduplicated at all times. Consequently
+///
+/// * structural equality (`==`) is set equality,
+/// * membership is a binary search,
+/// * iteration order is deterministic (lexicographic),
+/// * the set operators union / difference / intersection are linear merges.
+///
+/// An arity-0 relation is either empty (`{}`, "false") or contains the empty
+/// tuple (`{()}`, "true"); both are representable and behave correctly under
+/// the set operations.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Relation {
+    arity: usize,
+    /// Sorted, deduplicated.
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation { arity, tuples: Vec::new() }
+    }
+
+    /// Build a relation from tuples, canonicalizing (sort + dedup).
+    ///
+    /// Returns an error if some tuple has the wrong arity.
+    pub fn from_tuples(
+        arity: usize,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> crate::Result<Self> {
+        let mut v: Vec<Tuple> = Vec::new();
+        for t in tuples {
+            if t.arity() != arity {
+                return Err(StorageError::ArityMismatch {
+                    expected: arity,
+                    found: t.arity(),
+                });
+            }
+            v.push(t);
+        }
+        v.sort_unstable();
+        v.dedup();
+        Ok(Relation { arity, tuples: v })
+    }
+
+    /// Build from rows of integers; arity inferred from the first row
+    /// (0 rows ⇒ use [`Relation::empty`]). Panics on ragged rows — intended
+    /// for tests and the paper-figure constants.
+    pub fn from_int_rows(rows: &[&[i64]]) -> Self {
+        let arity = rows.first().map_or(0, |r| r.len());
+        Relation::from_tuples(arity, rows.iter().map(|r| Tuple::from_ints(r)))
+            .expect("ragged integer rows")
+    }
+
+    /// Build from rows of strings; arity inferred from the first row.
+    /// Panics on ragged rows — intended for tests and paper-figure constants.
+    pub fn from_str_rows(rows: &[&[&str]]) -> Self {
+        let arity = rows.first().map_or(0, |r| r.len());
+        Relation::from_tuples(arity, rows.iter().map(|r| Tuple::from_strs(r)))
+            .expect("ragged string rows")
+    }
+
+    /// Build an arity-1 relation out of single values.
+    pub fn unary(values: impl IntoIterator<Item = Value>) -> Self {
+        Relation::from_tuples(1, values.into_iter().map(|v| Tuple::new(vec![v])))
+            .expect("unary tuples always have arity 1")
+    }
+
+    /// The relation's arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Cardinality — the paper's notion of relation *size* (Definition 15).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation has no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Set membership (binary search over the canonical order).
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.binary_search(t).is_ok()
+    }
+
+    /// Insert a tuple, keeping the canonical order. Returns `true` if the
+    /// tuple was new. Errors on arity mismatch.
+    pub fn insert(&mut self, t: Tuple) -> crate::Result<bool> {
+        if t.arity() != self.arity {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity,
+                found: t.arity(),
+            });
+        }
+        match self.tuples.binary_search(&t) {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                self.tuples.insert(pos, t);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Remove a tuple. Returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        match self.tuples.binary_search(t) {
+            Ok(pos) => {
+                self.tuples.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterate tuples in canonical (sorted) order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples as a slice (sorted, deduplicated).
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Set union (arity must match). Linear merge of the two sorted runs.
+    pub fn union(&self, other: &Relation) -> crate::Result<Relation> {
+        self.check_same_arity(other)?;
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.tuples.len() && j < other.tuples.len() {
+            match self.tuples[i].cmp(&other.tuples[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.tuples[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.tuples[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.tuples[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.tuples[i..]);
+        out.extend_from_slice(&other.tuples[j..]);
+        Ok(Relation { arity: self.arity, tuples: out })
+    }
+
+    /// Set difference `self − other` (arity must match).
+    pub fn difference(&self, other: &Relation) -> crate::Result<Relation> {
+        self.check_same_arity(other)?;
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.tuples.len() {
+            if j >= other.tuples.len() {
+                out.extend_from_slice(&self.tuples[i..]);
+                break;
+            }
+            match self.tuples[i].cmp(&other.tuples[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.tuples[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Ok(Relation { arity: self.arity, tuples: out })
+    }
+
+    /// Set intersection (arity must match).
+    pub fn intersection(&self, other: &Relation) -> crate::Result<Relation> {
+        self.check_same_arity(other)?;
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.tuples.len() && j < other.tuples.len() {
+            match self.tuples[i].cmp(&other.tuples[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.tuples[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Ok(Relation { arity: self.arity, tuples: out })
+    }
+
+    /// True iff `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &Relation) -> bool {
+        self.arity == other.arity && self.tuples.iter().all(|t| other.contains(t))
+    }
+
+    /// All values occurring anywhere in the relation, sorted, deduplicated.
+    pub fn active_domain(&self) -> Vec<Value> {
+        let mut v: Vec<Value> = self
+            .tuples
+            .iter()
+            .flat_map(|t| t.iter().cloned())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn check_same_arity(&self, other: &Relation) -> crate::Result<()> {
+        if self.arity != other.arity {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity,
+                found: other.arity,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation(arity={}, {{", self.arity)?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t:?}")?;
+        }
+        write!(f, "}})")
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn r(rows: &[&[i64]]) -> Relation {
+        Relation::from_int_rows(rows)
+    }
+
+    #[test]
+    fn canonicalization_dedups_and_sorts() {
+        let a = r(&[&[2, 1], &[1, 2], &[2, 1]]);
+        assert_eq!(a.len(), 2);
+        let tuples: Vec<_> = a.iter().cloned().collect();
+        assert_eq!(tuples, vec![Tuple::from_ints(&[1, 2]), Tuple::from_ints(&[2, 1])]);
+    }
+
+    #[test]
+    fn set_equality_ignores_input_order() {
+        assert_eq!(r(&[&[1], &[2]]), r(&[&[2], &[1]]));
+    }
+
+    #[test]
+    fn arity_checked_on_build_and_insert() {
+        let e = Relation::from_tuples(2, vec![Tuple::from_ints(&[1])]);
+        assert!(matches!(e, Err(StorageError::ArityMismatch { expected: 2, found: 1 })));
+        let mut a = Relation::empty(1);
+        assert!(a.insert(Tuple::from_ints(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut a = Relation::empty(2);
+        assert!(a.insert(tuple![1, 2]).unwrap());
+        assert!(!a.insert(tuple![1, 2]).unwrap());
+        assert!(a.contains(&tuple![1, 2]));
+        assert!(!a.contains(&tuple![2, 1]));
+        assert!(a.remove(&tuple![1, 2]));
+        assert!(!a.remove(&tuple![1, 2]));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn union_difference_intersection() {
+        let a = r(&[&[1], &[2], &[3]]);
+        let b = r(&[&[2], &[4]]);
+        assert_eq!(a.union(&b).unwrap(), r(&[&[1], &[2], &[3], &[4]]));
+        assert_eq!(a.difference(&b).unwrap(), r(&[&[1], &[3]]));
+        assert_eq!(a.intersection(&b).unwrap(), r(&[&[2]]));
+        assert_eq!(b.difference(&a).unwrap(), r(&[&[4]]));
+    }
+
+    #[test]
+    fn set_ops_reject_arity_mismatch() {
+        let a = Relation::empty(1);
+        let b = Relation::empty(2);
+        assert!(a.union(&b).is_err());
+        assert!(a.difference(&b).is_err());
+        assert!(a.intersection(&b).is_err());
+    }
+
+    #[test]
+    fn subset() {
+        let a = r(&[&[1], &[2]]);
+        let b = r(&[&[1], &[2], &[3]]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(Relation::empty(1).is_subset_of(&a));
+        assert!(!Relation::empty(2).is_subset_of(&a));
+    }
+
+    #[test]
+    fn nullary_relations() {
+        let f = Relation::empty(0);
+        let t = Relation::from_tuples(0, vec![Tuple::empty()]).unwrap();
+        assert_eq!(f.len(), 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.union(&f).unwrap(), t);
+        assert_eq!(t.difference(&t).unwrap(), f);
+    }
+
+    #[test]
+    fn active_domain_sorted() {
+        let a = r(&[&[3, 1], &[2, 3]]);
+        assert_eq!(
+            a.active_domain(),
+            vec![Value::int(1), Value::int(2), Value::int(3)]
+        );
+    }
+
+    #[test]
+    fn unary_builder() {
+        let a = Relation::unary(vec![Value::int(7), Value::int(8), Value::int(7)]);
+        assert_eq!(a, r(&[&[7], &[8]]));
+    }
+
+    #[test]
+    fn str_rows() {
+        let a = Relation::from_str_rows(&[&["an", "headache"], &["bob", "sore throat"]]);
+        assert_eq!(a.arity(), 2);
+        assert!(a.contains(&tuple!["an", "headache"]));
+    }
+}

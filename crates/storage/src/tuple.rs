@@ -1,0 +1,241 @@
+//! Tuples `(a₁, …, aₙ)` over the universe.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// A tuple of [`Value`]s.
+///
+/// Tuples are immutable once constructed; they are stored as a boxed slice
+/// (two words) rather than a `Vec` (three words) because relations hold very
+/// many of them. The component order follows the paper's 1-based projection
+/// convention in the algebra crates, but the accessor here is 0-based like
+/// everything else in Rust; the algebra layer does the 1-based bookkeeping.
+///
+/// ```
+/// use sj_storage::Tuple;
+/// let t = Tuple::from_ints(&[1, 2, 3]);
+/// assert_eq!(t.arity(), 3);
+/// assert_eq!(t[0], 1.into());
+/// assert_eq!(t.project(&[2, 0]).to_vec(), Tuple::from_ints(&[3, 1]).to_vec());
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from a vector of values.
+    #[inline]
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values.into_boxed_slice())
+    }
+
+    /// The empty (arity-0) tuple.
+    #[inline]
+    pub fn empty() -> Self {
+        Tuple(Box::from([]))
+    }
+
+    /// Convenience constructor from integers.
+    pub fn from_ints(values: &[i64]) -> Self {
+        Tuple(values.iter().copied().map(Value::Int).collect())
+    }
+
+    /// Convenience constructor from strings.
+    pub fn from_strs(values: &[&str]) -> Self {
+        Tuple(values.iter().map(Value::str).collect())
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component access (0-based); `None` when out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// The components as a slice.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Copy the components out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<Value> {
+        self.0.to_vec()
+    }
+
+    /// Projection π onto the given **0-based** column indices; columns may
+    /// repeat and may appear in any order, exactly as in Definition 1(3).
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple(cols.iter().map(|&c| self.0[c].clone()).collect())
+    }
+
+    /// Concatenation `(ā, b̄)` as produced by the join operator.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v.into_boxed_slice())
+    }
+
+    /// The tuple extended with one extra value at the end — the
+    /// constant-tagging operator τ_c of Definition 1(5) at the tuple level.
+    pub fn tag(&self, c: Value) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(c);
+        Tuple(v.into_boxed_slice())
+    }
+
+    /// `set(d̄)`: the set of elements occurring in the tuple
+    /// (Definition 22 uses this notation). Returned sorted and deduplicated.
+    pub fn value_set(&self) -> Vec<Value> {
+        let mut v = self.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Iterate over components.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    #[inline]
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Build a [`Tuple`] from a comma-separated list of values convertible into
+/// [`Value`].
+///
+/// ```
+/// use sj_storage::{tuple, Tuple, Value};
+/// let t = tuple![1, "x", 3];
+/// assert_eq!(t[1], Value::str("x"));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_access() {
+        let t = Tuple::from_ints(&[10, 20, 30]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[1], Value::int(20));
+        assert_eq!(t.get(2), Some(&Value::int(30)));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::empty();
+        assert_eq!(t.arity(), 0);
+        assert_eq!(t, Tuple::new(vec![]));
+    }
+
+    #[test]
+    fn projection_repeats_and_reorders() {
+        let t = Tuple::from_ints(&[1, 2, 3]);
+        assert_eq!(t.project(&[2, 2, 0]), Tuple::from_ints(&[3, 3, 1]));
+        assert_eq!(t.project(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn concat_and_tag() {
+        let a = Tuple::from_ints(&[1, 2]);
+        let b = Tuple::from_ints(&[3]);
+        assert_eq!(a.concat(&b), Tuple::from_ints(&[1, 2, 3]));
+        assert_eq!(a.tag(Value::int(9)), Tuple::from_ints(&[1, 2, 9]));
+    }
+
+    #[test]
+    fn value_set_sorted_dedup() {
+        let t = Tuple::from_ints(&[3, 1, 3, 2, 1]);
+        assert_eq!(
+            t.value_set(),
+            vec![Value::int(1), Value::int(2), Value::int(3)]
+        );
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_components() {
+        assert!(Tuple::from_ints(&[1, 9]) < Tuple::from_ints(&[2, 0]));
+        assert!(Tuple::from_ints(&[1]) < Tuple::from_ints(&[1, 0]));
+    }
+
+    #[test]
+    fn macro_mixes_types() {
+        let t = tuple![1, "x"];
+        assert_eq!(t[0], Value::int(1));
+        assert_eq!(t[1], Value::str("x"));
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = tuple![1, "x"];
+        assert_eq!(t.to_string(), "(1, x)");
+        assert_eq!(format!("{t:?}"), "(1, \"x\")");
+    }
+}

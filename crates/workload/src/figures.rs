@@ -1,0 +1,242 @@
+//! The paper's figures as constant databases, reproduced cell for cell.
+//!
+//! | function | paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — Person / Disease / Symptoms |
+//! | [`fig2`] | Fig. 2 — the C-stored-tuple example database |
+//! | [`fig3_a`], [`fig3_b`] | Fig. 3 — the guarded-bisimulation pair |
+//! | [`fig4`] | Fig. 4 (top) — the pump-construction seed `D` |
+//! | [`fig5_a`], [`fig5_b`] | Fig. 5 — the division counterexample pair |
+//! | [`fig6_a`], [`fig6_b`] | Fig. 6 — the cyclic-query counterexample pair |
+//! | [`example3_beer_db`] | a small instance of Ullman's beer-drinkers schema |
+
+use sj_algebra::{Condition, Expr};
+use sj_storage::{Database, Relation};
+
+/// Fig. 1: the Person/Disease/Symptoms illustration of set-containment
+/// join and division.
+pub fn fig1() -> Database {
+    let mut d = Database::new();
+    d.set(
+        "Person",
+        Relation::from_str_rows(&[
+            &["An", "headache"],
+            &["An", "sore throat"],
+            &["An", "neck pain"],
+            &["Bob", "headache"],
+            &["Bob", "sore throat"],
+            &["Bob", "memory loss"],
+            &["Bob", "neck pain"],
+            &["Carol", "headache"],
+        ]),
+    );
+    d.set(
+        "Disease",
+        Relation::from_str_rows(&[
+            &["flu", "headache"],
+            &["flu", "sore throat"],
+            &["Lyme", "headache"],
+            &["Lyme", "sore throat"],
+            &["Lyme", "memory loss"],
+            &["Lyme", "neck pain"],
+        ]),
+    );
+    d.set(
+        "Symptoms",
+        Relation::from_str_rows(&[&["headache"], &["neck pain"]]),
+    );
+    d
+}
+
+/// Fig. 1's expected set-containment join result:
+/// `{(An, flu), (Bob, flu), (Bob, Lyme)}`.
+pub fn fig1_expected_join() -> Relation {
+    Relation::from_str_rows(&[&["An", "flu"], &["Bob", "flu"], &["Bob", "Lyme"]])
+}
+
+/// Fig. 1's expected division result: `{An, Bob}`.
+pub fn fig1_expected_division() -> Relation {
+    Relation::from_str_rows(&[&["An"], &["Bob"]])
+}
+
+/// Fig. 2: `R`, `S` ternary and `T` binary — the database of Example 5
+/// (C-stored tuples).
+pub fn fig2() -> Database {
+    let mut d = Database::new();
+    d.set(
+        "R",
+        Relation::from_str_rows(&[&["a", "b", "c"], &["d", "e", "f"]]),
+    );
+    d.set("S", Relation::from_str_rows(&[&["d", "a", "b"]]));
+    d.set("T", Relation::from_str_rows(&[&["e", "a"], &["f", "c"]]));
+    d
+}
+
+/// Fig. 3, database A (guarded bisimulation illustration).
+pub fn fig3_a() -> Database {
+    let mut d = Database::new();
+    d.set("R", Relation::from_int_rows(&[&[1, 2], &[2, 3]]));
+    d.set("S", Relation::from_int_rows(&[&[1, 2]]));
+    d.set("T", Relation::from_int_rows(&[&[2, 3]]));
+    d
+}
+
+/// Fig. 3, database B.
+pub fn fig3_b() -> Database {
+    let mut d = Database::new();
+    d.set(
+        "R",
+        Relation::from_int_rows(&[&[6, 7], &[7, 8], &[9, 10], &[10, 11]]),
+    );
+    d.set("S", Relation::from_int_rows(&[&[6, 7], &[9, 10]]));
+    d.set("T", Relation::from_int_rows(&[&[7, 8], &[10, 11]]));
+    d
+}
+
+/// Fig. 4 (top): the seed database `D` of the pump-construction example.
+pub fn fig4() -> Database {
+    let mut d = Database::new();
+    d.set("R", Relation::from_int_rows(&[&[1, 2, 3], &[8, 9, 10]]));
+    d.set("S", Relation::from_int_rows(&[&[3, 4, 5]]));
+    d.set("T", Relation::from_int_rows(&[&[6, 1], &[4, 7]]));
+    d
+}
+
+/// Fig. 4's expression `E = (R ⋉₁₌₂ T) ⋈₃₌₁ (S ⋉₂₌₁ T)` together with its
+/// left and right SA= operands.
+pub fn fig4_expression() -> (Expr, Expr, Expr) {
+    let e1 = Expr::rel("R").semijoin(Condition::eq(1, 2), Expr::rel("T"));
+    let e2 = Expr::rel("S").semijoin(Condition::eq(2, 1), Expr::rel("T"));
+    let e = e1.clone().join(Condition::eq(3, 1), e2.clone());
+    (e, e1, e2)
+}
+
+/// Fig. 5, database A: `R ÷ S = {1, 2}`.
+pub fn fig5_a() -> Database {
+    let mut d = Database::new();
+    d.set(
+        "R",
+        Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 7], &[2, 8]]),
+    );
+    d.set("S", Relation::from_int_rows(&[&[7], &[8]]));
+    d
+}
+
+/// Fig. 5, database B: `R ÷ S = ∅`, yet `B, 1` is guarded-bisimilar to
+/// `A, 1`.
+pub fn fig5_b() -> Database {
+    let mut d = Database::new();
+    d.set(
+        "R",
+        Relation::from_int_rows(&[
+            &[1, 7], &[1, 8], &[2, 8], &[2, 9], &[3, 7], &[3, 9],
+        ]),
+    );
+    d.set("S", Relation::from_int_rows(&[&[7], &[8], &[9]]));
+    d
+}
+
+/// Fig. 6, database A: Alex visits the Pareto bar, which serves
+/// Westmalle, which he likes.
+pub fn fig6_a() -> Database {
+    let mut d = Database::new();
+    d.set(
+        "Visits",
+        Relation::from_str_rows(&[&["alex", "pareto bar"]]),
+    );
+    d.set(
+        "Serves",
+        Relation::from_str_rows(&[&["pareto bar", "westmalle"]]),
+    );
+    d.set("Likes", Relation::from_str_rows(&[&["alex", "westmalle"]]));
+    d
+}
+
+/// Fig. 6, database B: nobody visits a bar serving a beer they like —
+/// yet `B, alex` is guarded-bisimilar to `A, alex`.
+pub fn fig6_b() -> Database {
+    let mut d = Database::new();
+    d.set(
+        "Visits",
+        Relation::from_str_rows(&[&["alex", "pareto bar"], &["bart", "qwerty bar"]]),
+    );
+    d.set(
+        "Serves",
+        Relation::from_str_rows(&[
+            &["pareto bar", "westmalle"],
+            &["qwerty bar", "westvleteren"],
+        ]),
+    );
+    d.set(
+        "Likes",
+        Relation::from_str_rows(&[
+            &["alex", "westvleteren"],
+            &["bart", "westmalle"],
+        ]),
+    );
+    d
+}
+
+/// A small beer-drinkers instance for Example 3 / Example 7 with one
+/// lousy bar ("bad bar", serving only unliked "swill").
+pub fn example3_beer_db() -> Database {
+    let mut db = Database::new();
+    db.set(
+        "Visits",
+        Relation::from_str_rows(&[
+            &["an", "bad bar"],
+            &["bob", "good bar"],
+            &["eve", "bad bar"],
+        ]),
+    );
+    db.set(
+        "Serves",
+        Relation::from_str_rows(&[
+            &["bad bar", "swill"],
+            &["good bar", "nectar"],
+            &["good bar", "swill"],
+        ]),
+    );
+    db.set("Likes", Relation::from_str_rows(&[&["bob", "nectar"]]));
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_the_printed_figures() {
+        assert_eq!(fig1().size(), 8 + 6 + 2);
+        assert_eq!(fig2().size(), 5);
+        assert_eq!(fig3_a().size(), 4);
+        assert_eq!(fig3_b().size(), 8);
+        assert_eq!(fig4().size(), 5);
+        assert_eq!(fig5_a().size(), 6);
+        assert_eq!(fig5_b().size(), 9);
+        assert_eq!(fig6_a().size(), 3);
+        assert_eq!(fig6_b().size(), 6);
+    }
+
+    #[test]
+    fn fig4_expression_arities() {
+        let (e, e1, e2) = fig4_expression();
+        let schema = fig4().schema();
+        assert_eq!(e1.arity(&schema).unwrap(), 3);
+        assert_eq!(e2.arity(&schema).unwrap(), 3);
+        assert_eq!(e.arity(&schema).unwrap(), 6);
+        assert!(e1.is_sa_eq() && e2.is_sa_eq());
+        assert!(!e.is_sa());
+    }
+
+    #[test]
+    fn schemas_are_as_expected() {
+        let s = fig1().schema();
+        assert_eq!(s.arity_of("Person"), Some(2));
+        assert_eq!(s.arity_of("Symptoms"), Some(1));
+        let s6 = fig6_a().schema();
+        assert_eq!(s6.arity_of("Visits"), Some(2));
+        assert_eq!(s6.arity_of("Serves"), Some(2));
+        assert_eq!(s6.arity_of("Likes"), Some(2));
+    }
+}

@@ -1,0 +1,411 @@
+//! Deterministic synthetic workloads for the experiments.
+//!
+//! All generators take an explicit seed and are bit-reproducible. Value
+//! layout convention: A-values (group keys) live in `1..=groups`, B-values
+//! (set elements) in `1_000_001..` — disjoint ranges so joins never match
+//! accidentally across roles.
+
+use crate::rng::{SplitMix64, Zipf};
+use sj_storage::{Database, Relation, Tuple, Value};
+
+/// Offset separating element values from group keys.
+pub const ELEMENT_BASE: i64 = 1_000_000;
+
+/// Parameters of a division workload `R(A,B) ÷ S(B)`.
+#[derive(Clone, Debug)]
+pub struct DivisionWorkload {
+    /// Number of A-groups in the dividend.
+    pub groups: usize,
+    /// Number of values in the divisor.
+    pub divisor_size: usize,
+    /// Fraction of groups that fully contain the divisor.
+    pub containment_fraction: f64,
+    /// Extra non-divisor B-values per group (uniform 0..=this).
+    pub extra_per_group: usize,
+    /// Size of the non-divisor element pool.
+    pub noise_domain: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for DivisionWorkload {
+    fn default() -> Self {
+        DivisionWorkload {
+            groups: 64,
+            divisor_size: 8,
+            containment_fraction: 0.5,
+            extra_per_group: 4,
+            noise_domain: 1024,
+            seed: 0xD1_71_51_0E,
+        }
+    }
+}
+
+impl DivisionWorkload {
+    /// Generate `(R, S, expected_containment_quotient)`.
+    ///
+    /// Non-containing groups get a proper subset of the divisor (possibly
+    /// empty) so they are *near misses*, plus noise; containing groups get
+    /// the whole divisor plus noise. The expected quotient is returned for
+    /// validation.
+    pub fn generate(&self) -> (Relation, Relation, Relation) {
+        let mut rng = SplitMix64::new(self.seed);
+        let divisor: Vec<i64> = (0..self.divisor_size)
+            .map(|i| ELEMENT_BASE + 1 + i as i64)
+            .collect();
+        let mut r_rows: Vec<Tuple> = Vec::new();
+        let mut winners: Vec<Tuple> = Vec::new();
+        for g in 1..=self.groups as i64 {
+            let contains = rng.chance(self.containment_fraction);
+            if contains {
+                for &b in &divisor {
+                    r_rows.push(Tuple::from_ints(&[g, b]));
+                }
+                winners.push(Tuple::from_ints(&[g]));
+            } else if !divisor.is_empty() {
+                // A proper subset: drop at least one divisor element.
+                let keep = if divisor.len() == 1 {
+                    0
+                } else {
+                    rng.below(divisor.len() as u64) as usize
+                };
+                for &ix in rng.sample_indices(divisor.len(), keep).iter() {
+                    r_rows.push(Tuple::from_ints(&[g, divisor[ix]]));
+                }
+            }
+            let extra = rng.below(self.extra_per_group as u64 + 1) as usize;
+            for _ in 0..extra {
+                let noise = ELEMENT_BASE
+                    + 1
+                    + self.divisor_size as i64
+                    + rng.below(self.noise_domain.max(1) as u64) as i64;
+                r_rows.push(Tuple::from_ints(&[g, noise]));
+            }
+        }
+        let r = Relation::from_tuples(2, r_rows).expect("binary rows");
+        let s = Relation::unary(divisor.iter().map(|&b| Value::int(b)));
+        // Empty divisor ⇒ every group that actually appears qualifies.
+        let expected = if self.divisor_size == 0 {
+            Relation::from_tuples(
+                1,
+                r.iter().map(|t| Tuple::new(vec![t[0].clone()])),
+            )
+            .expect("unary")
+        } else {
+            Relation::from_tuples(1, winners).expect("unary")
+        };
+        (r, s, expected)
+    }
+
+    /// The workload as a database over `{R/2, S/1}` (for RA-plan
+    /// evaluation).
+    pub fn database(&self) -> Database {
+        let (r, s, _) = self.generate();
+        let mut db = Database::new();
+        db.set("R", r);
+        db.set("S", s);
+        db
+    }
+}
+
+/// Element-set size distribution for set-join workloads.
+#[derive(Clone, Copy, Debug)]
+pub enum SetSizeDist {
+    /// Every group has exactly this many elements.
+    Fixed(usize),
+    /// Uniform in the inclusive range.
+    Uniform(usize, usize),
+}
+
+/// Element-value distribution.
+#[derive(Clone, Copy, Debug)]
+pub enum ElementDist {
+    /// Uniform over the domain.
+    Uniform,
+    /// Zipf with the given skew (θ); hot elements shared by many sets —
+    /// the adversarial regime for signature filters.
+    Zipf(f64),
+}
+
+/// Parameters of a set-join workload `R(A,B) ⋈_{BθD} S(C,D)`.
+#[derive(Clone, Debug)]
+pub struct SetJoinWorkload {
+    /// Number of groups on the left.
+    pub r_groups: usize,
+    /// Number of groups on the right.
+    pub s_groups: usize,
+    /// Set-size distribution for both sides.
+    pub set_size: SetSizeDist,
+    /// Element domain size.
+    pub domain: usize,
+    /// Element distribution.
+    pub elements: ElementDist,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for SetJoinWorkload {
+    fn default() -> Self {
+        SetJoinWorkload {
+            r_groups: 64,
+            s_groups: 64,
+            set_size: SetSizeDist::Uniform(2, 8),
+            domain: 256,
+            elements: ElementDist::Uniform,
+            seed: 0x5E_7C_0D_E5,
+        }
+    }
+}
+
+impl SetJoinWorkload {
+    fn one_side(&self, rng: &mut SplitMix64, groups: usize, key_base: i64) -> Relation {
+        let zipf = match self.elements {
+            ElementDist::Zipf(theta) => Some(Zipf::new(self.domain, theta)),
+            ElementDist::Uniform => None,
+        };
+        let mut rows: Vec<Tuple> = Vec::new();
+        for g in 0..groups as i64 {
+            let size = match self.set_size {
+                SetSizeDist::Fixed(k) => k,
+                SetSizeDist::Uniform(lo, hi) => {
+                    lo + rng.below((hi - lo) as u64 + 1) as usize
+                }
+            };
+            let mut chosen = std::collections::BTreeSet::new();
+            let mut attempts = 0;
+            while chosen.len() < size.min(self.domain) && attempts < size * 20 {
+                let e = match &zipf {
+                    Some(z) => z.sample(rng),
+                    None => rng.below(self.domain as u64) as usize,
+                };
+                chosen.insert(e);
+                attempts += 1;
+            }
+            for e in chosen {
+                rows.push(Tuple::from_ints(&[
+                    key_base + g,
+                    ELEMENT_BASE + 1 + e as i64,
+                ]));
+            }
+        }
+        Relation::from_tuples(2, rows).expect("binary rows")
+    }
+
+    /// Generate `(R, S)`.
+    pub fn generate(&self) -> (Relation, Relation) {
+        let mut rng = SplitMix64::new(self.seed);
+        let r = self.one_side(&mut rng, self.r_groups, 1);
+        // Right-side keys live in a disjoint range.
+        let s = self.one_side(&mut rng, self.s_groups, 500_001);
+        (r, s)
+    }
+}
+
+/// A random database over `{R/2, S/2, T/1}` with values in a small
+/// integer domain — the seed family for the dichotomy analyzer's witness
+/// search and for randomized correctness tests.
+pub fn random_database(seed: u64, tuples_per_relation: usize, domain: i64) -> Database {
+    let mut rng = SplitMix64::new(seed);
+    let mut db = Database::new();
+    let binary = |rng: &mut SplitMix64| {
+        Relation::from_tuples(
+            2,
+            (0..tuples_per_relation).map(|_| {
+                Tuple::from_ints(&[rng.range_i64(1, domain), rng.range_i64(1, domain)])
+            }),
+        )
+        .expect("binary")
+    };
+    let r = binary(&mut rng);
+    let s = binary(&mut rng);
+    let t = Relation::from_tuples(
+        1,
+        (0..tuples_per_relation).map(|_| Tuple::from_ints(&[rng.range_i64(1, domain)])),
+    )
+    .expect("unary");
+    db.set("R", r);
+    db.set("S", s);
+    db.set("T", t);
+    db
+}
+
+/// A scaling series of division databases with fixed shape parameters and
+/// growing group counts: the workhorse of the growth-exponent experiments.
+pub fn division_series(
+    group_counts: &[usize],
+    divisor_size: usize,
+    containment_fraction: f64,
+    seed: u64,
+) -> Vec<Database> {
+    group_counts
+        .iter()
+        .map(|&groups| {
+            DivisionWorkload {
+                groups,
+                divisor_size,
+                containment_fraction,
+                extra_per_group: 2,
+                noise_domain: 4 * groups,
+                seed: seed ^ groups as u64,
+            }
+            .database()
+        })
+        .collect()
+}
+
+/// The **adversarial** division family realizing Definition 16's max:
+/// `|D| = Θ(k)` while the classical plans' product node is `Θ(k²)`.
+///
+/// For each scale `k`: the divisor has `k` values; one designated group
+/// contains the whole divisor is *not* materialized (that would cost `k`
+/// tuples — fine, but the family stays sparser without it); every group
+/// `1..k` holds exactly one divisor element. So `|R| = k`, `|S| = k`,
+/// `|D| = 2k`, but `π_A(R) × S` has `k²` tuples — the Fig. 5 / Lemma 24
+/// regime. The quotient is empty (every group is a near miss), which is
+/// exactly the hard case: the plan must disprove containment for every
+/// (group, divisor-value) pair.
+pub fn adversarial_division_series(group_counts: &[usize], seed: u64) -> Vec<Database> {
+    group_counts
+        .iter()
+        .map(|&k| {
+            let mut rng = SplitMix64::new(seed ^ (k as u64).wrapping_mul(0x9E37));
+            let rows: Vec<Tuple> = (1..=k as i64)
+                .map(|g| {
+                    let b = ELEMENT_BASE + 1 + rng.below(k.max(1) as u64) as i64;
+                    Tuple::from_ints(&[g, b])
+                })
+                .collect();
+            let mut db = Database::new();
+            db.set("R", Relation::from_tuples(2, rows).expect("binary"));
+            db.set(
+                "S",
+                Relation::unary(
+                    (0..k as i64).map(|i| Value::int(ELEMENT_BASE + 1 + i)),
+                ),
+            );
+            db
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_setjoin::{divide, DivisionSemantics};
+
+    #[test]
+    fn division_workload_expected_quotient_is_correct() {
+        for seed in [1u64, 2, 3] {
+            let w = DivisionWorkload {
+                groups: 40,
+                divisor_size: 6,
+                containment_fraction: 0.4,
+                extra_per_group: 3,
+                noise_domain: 100,
+                seed,
+            };
+            let (r, s, expected) = w.generate();
+            assert_eq!(
+                divide(&r, &s, DivisionSemantics::Containment),
+                expected,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn division_workload_deterministic() {
+        let w = DivisionWorkload::default();
+        let (r1, s1, q1) = w.generate();
+        let (r2, s2, q2) = w.generate();
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn containment_fraction_respected_roughly() {
+        let w = DivisionWorkload {
+            groups: 400,
+            containment_fraction: 0.5,
+            ..DivisionWorkload::default()
+        };
+        let (r, s, expected) = w.generate();
+        assert!(!r.is_empty() && !s.is_empty());
+        let frac = expected.len() as f64 / 400.0;
+        assert!((0.4..0.6).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn empty_divisor_workload() {
+        let w = DivisionWorkload {
+            divisor_size: 0,
+            groups: 10,
+            extra_per_group: 2,
+            ..DivisionWorkload::default()
+        };
+        let (r, s, expected) = w.generate();
+        assert!(s.is_empty());
+        assert_eq!(divide(&r, &s, DivisionSemantics::Containment), expected);
+    }
+
+    #[test]
+    fn setjoin_workload_shapes() {
+        let w = SetJoinWorkload {
+            r_groups: 30,
+            s_groups: 20,
+            set_size: SetSizeDist::Fixed(5),
+            domain: 100,
+            elements: ElementDist::Uniform,
+            seed: 99,
+        };
+        let (r, s) = w.generate();
+        let rg = sj_setjoin::group_sets(&r);
+        assert_eq!(rg.len(), 30);
+        assert!(rg.iter().all(|(_, vs)| vs.len() == 5));
+        let sg = sj_setjoin::group_sets(&s);
+        assert_eq!(sg.len(), 20);
+        // Key ranges disjoint.
+        let max_r_key = r.iter().map(|t| t[0].clone()).max().unwrap();
+        let min_s_key = s.iter().map(|t| t[0].clone()).min().unwrap();
+        assert!(max_r_key < min_s_key);
+    }
+
+    #[test]
+    fn zipf_workload_has_hot_elements() {
+        let w = SetJoinWorkload {
+            r_groups: 200,
+            s_groups: 1,
+            set_size: SetSizeDist::Fixed(4),
+            domain: 1000,
+            elements: ElementDist::Zipf(1.2),
+            seed: 7,
+        };
+        let (r, _) = w.generate();
+        // The hottest element should appear in many groups.
+        let mut counts: std::collections::BTreeMap<Value, usize> = Default::default();
+        for t in &r {
+            *counts.entry(t[1].clone()).or_default() += 1;
+        }
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(hottest > 40, "hottest element count {hottest}");
+    }
+
+    #[test]
+    fn random_database_deterministic_and_shaped() {
+        let a = random_database(5, 10, 6);
+        let b = random_database(5, 10, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.get("R").unwrap().arity(), 2);
+        assert_eq!(a.get("T").unwrap().arity(), 1);
+        assert_ne!(a, random_database(6, 10, 6));
+    }
+
+    #[test]
+    fn division_series_scales() {
+        let series = division_series(&[8, 16, 32], 4, 0.5, 42);
+        assert_eq!(series.len(), 3);
+        let sizes: Vec<usize> = series.iter().map(|d| d.size()).collect();
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2]);
+    }
+}

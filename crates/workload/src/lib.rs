@@ -1,0 +1,20 @@
+//! # sj-workload — deterministic data generators and the paper's figures
+//!
+//! * [`rng`] — a seeded SplitMix64 PRNG and a Zipf sampler; every
+//!   workload in the workspace is bit-reproducible from its seed.
+//! * [`figures`] — Figs. 1–6 of the paper as constant databases, plus the
+//!   Fig. 4 expression and the Example 3 beer-drinkers instance.
+//! * [`generators`] — division workloads (group count, divisor size,
+//!   containment fraction), set-join workloads (set-size and element
+//!   distributions incl. Zipf), random databases for property tests, and
+//!   scaling series for the growth experiments.
+
+pub mod figures;
+pub mod generators;
+pub mod rng;
+
+pub use generators::{
+    adversarial_division_series, division_series, random_database, DivisionWorkload, ElementDist,
+    SetJoinWorkload, SetSizeDist, ELEMENT_BASE,
+};
+pub use rng::{SplitMix64, Zipf};

@@ -1,0 +1,213 @@
+//! A small deterministic PRNG (SplitMix64).
+//!
+//! Every experiment in this workspace must be bit-reproducible from a
+//! seed, across machines and Rust versions. SplitMix64 is ~10 lines,
+//! passes BigCrush, and needs no dependency — see DESIGN.md for why this
+//! is used instead of the `rand` crate.
+
+/// SplitMix64 generator state.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded construction; equal seeds give equal streams, forever.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero. Uses rejection
+    /// sampling to avoid modulo bias.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform in the inclusive integer range `[lo, hi]`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi);
+        lo + self.below((hi - lo) as u64 + 1) as i64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `0..n` (k ≤ n), ascending.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n);
+        // Floyd's algorithm.
+        let mut chosen = std::collections::BTreeSet::new();
+        for j in (n - k)..n {
+            let t = self.below(j as u64 + 1) as usize;
+            if !chosen.insert(t) {
+                chosen.insert(j);
+            }
+        }
+        chosen.into_iter().collect()
+    }
+}
+
+/// A Zipf(θ) sampler over `{0, …, n−1}` by inverse-CDF on precomputed
+/// cumulative weights. θ = 0 is uniform; θ ≈ 1 is the classic Zipf.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n` items with skew `theta ≥ 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!(theta >= 0.0);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 1..=n {
+            total += 1.0 / (i as f64).powf(theta);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draw one index.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.unit_f64();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+        // bound 1 always 0
+        assert_eq!(r.below(1), 0);
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = SplitMix64::new(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.range_i64(-3, 3);
+            assert!((-3..=3).contains(&v));
+            seen_lo |= v == -3;
+            seen_hi |= v == 3;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut r = SplitMix64::new(5);
+        let mean: f64 = (0..10_000).map(|_| r.unit_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SplitMix64::new(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_in_range() {
+        let mut r = SplitMix64::new(11);
+        for _ in 0..50 {
+            let s = r.sample_indices(20, 7);
+            assert_eq!(s.len(), 7);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&i| i < 20));
+        }
+        assert_eq!(r.sample_indices(5, 5), vec![0, 1, 2, 3, 4]);
+        assert!(r.sample_indices(5, 0).is_empty());
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut r = SplitMix64::new(17);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for c in counts {
+            assert!((1700..2300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_head() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = SplitMix64::new(23);
+        let mut head = 0usize;
+        for _ in 0..5000 {
+            if z.sample(&mut r) < 10 {
+                head += 1;
+            }
+        }
+        // With θ=1 over 100 items, the top-10 mass is ~56%.
+        assert!(head > 2000, "head mass {head}/5000");
+    }
+}

@@ -1,0 +1,97 @@
+//! The dichotomy analyzer as a tool: feed it relational-algebra plans (in
+//! the textual syntax) and get Linear/Quadratic verdicts with
+//! machine-checkable certificates.
+//!
+//! ```bash
+//! cargo run --example dichotomy_analyzer
+//! cargo run --example dichotomy_analyzer -- 'project[1](join[2=1](R, S))'
+//! ```
+
+use setjoins::prelude::*;
+use sj_core::{analyze, measure_growth, Verdict};
+use sj_workload::adversarial_division_series;
+
+fn main() {
+    let schema = Schema::new([("R", 2), ("S", 1)]);
+    let seeds = vec![sj_workload::DivisionWorkload {
+        groups: 6,
+        divisor_size: 3,
+        containment_fraction: 0.5,
+        extra_per_group: 2,
+        noise_domain: 16,
+        seed: 1,
+    }
+    .database()];
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let plans: Vec<String> = if args.is_empty() {
+        vec![
+            // The classical division plan (quadratic).
+            sj_algebra::to_text(&sj_algebra::division::division_double_difference(
+                "R", "S",
+            )),
+            // A key-foreign-key style join (linear).
+            "project[1](join[2=1](R, S))".to_string(),
+            // A semijoin plan (linear by construction).
+            "project[1](semijoin[2=1](R, S))".to_string(),
+            // A cartesian product (quadratic).
+            "join[true](project[1](R), S)".to_string(),
+            // Union/difference only (linear).
+            "diff(project[2](R), S)".to_string(),
+        ]
+    } else {
+        args
+    };
+
+    let series = adversarial_division_series(&[16, 32, 64, 128], 99);
+    for text in plans {
+        println!("plan: {text}");
+        let expr = match sj_algebra::parse(&text) {
+            Ok(e) => e,
+            Err(err) => {
+                println!("  parse error: {err}\n");
+                continue;
+            }
+        };
+        if let Err(err) = expr.arity(&schema) {
+            println!("  invalid over schema {schema}: {err}\n");
+            continue;
+        }
+        match analyze(&expr, &schema, &seeds) {
+            Ok(Verdict::Linear { sa_equivalent }) => {
+                println!("  verdict: LINEAR (Theorem 18)");
+                println!("  SA= equivalent: {sa_equivalent}");
+            }
+            Ok(Verdict::Quadratic { witness }) => {
+                println!(
+                    "  verdict: QUADRATIC (Lemma 24 witness at node {}: {} ⋈ {}, \
+                     free {:?} / {:?})",
+                    witness.node_id, witness.a, witness.b, witness.f1, witness.f2
+                );
+            }
+            Ok(Verdict::Undetermined) => println!("  verdict: undetermined"),
+            Err(err) => println!("  analyzer error: {err}"),
+        }
+        match measure_growth(&expr, &series) {
+            Ok(report) => {
+                println!(
+                    "  measured growth exponent on the adversarial family: {:.2} ({})",
+                    report.exponent,
+                    report.classification()
+                );
+                for p in &report.points {
+                    println!(
+                        "    |D| = {:>4}  max intermediate = {:>6}",
+                        p.db_size, p.max_intermediate
+                    );
+                }
+            }
+            Err(err) => println!("  measurement failed: {err}"),
+        }
+        println!();
+    }
+    println!(
+        "Theorem 17 guarantees the exponents you see are (asymptotically) \
+         either ≤ 1 or 2 — never in between."
+    );
+}

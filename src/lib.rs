@@ -1,0 +1,54 @@
+//! # setjoins — umbrella crate
+//!
+//! A production-quality Rust reproduction of
+//!
+//! > Dirk Leinders, Jan Van den Bussche.
+//! > *On the complexity of division and set joins in the relational algebra.*
+//! > PODS 2005; JCSS 73(3):538–549, 2007.
+//!
+//! This crate re-exports the whole workspace under stable module names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`storage`] | `sj-storage` | values, tuples, relations, databases |
+//! | [`algebra`] | `sj-algebra` | RA / SA / extended-RA expression ASTs |
+//! | [`eval`] | `sj-eval` | instrumented evaluators |
+//! | [`logic`] | `sj-logic` | guarded fragment, Theorem 8 translations |
+//! | [`bisim`] | `sj-bisim` | guarded bisimulation checker and solver |
+//! | [`core`] | `sj-core` | dichotomy theorem machinery (the paper's contribution) |
+//! | [`setjoin`] | `sj-setjoin` | division and set-join operators & algorithms |
+//! | [`workload`] | `sj-workload` | deterministic data generators, paper figures |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`, or:
+//!
+//! ```
+//! use setjoins::prelude::*;
+//!
+//! // Fig. 1: who has all the symptoms in the Symptoms table?
+//! let db = setjoins::workload::figures::fig1();
+//! let result = setjoins::setjoin::division::divide(
+//!     db.get("Person").unwrap(),
+//!     db.get("Symptoms").unwrap(),
+//!     DivisionSemantics::Containment,
+//! );
+//! assert_eq!(result.len(), 2); // An and Bob
+//! ```
+
+pub use sj_algebra as algebra;
+pub use sj_bisim as bisim;
+pub use sj_core as core;
+pub use sj_eval as eval;
+pub use sj_logic as logic;
+pub use sj_setjoin as setjoin;
+pub use sj_storage as storage;
+pub use sj_workload as workload;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use sj_algebra::{Condition, Expr};
+    pub use sj_eval::{evaluate, evaluate_instrumented, EvalReport};
+    pub use sj_setjoin::{divide, set_join, DivisionSemantics, SetPredicate};
+    pub use sj_storage::{tuple, Database, Relation, Schema, Tuple, Value};
+}

@@ -1,0 +1,133 @@
+//! Cross-crate theorem tests (E13, E14, E15 of DESIGN.md): Theorem 8
+//! round-trips on the running examples, Corollary 14 invariance on pumped
+//! copies, and Theorem 18 rewriting equivalence end to end.
+
+use setjoins::prelude::*;
+use sj_bisim::are_bisimilar;
+use sj_core::{to_sa_eq, Pump};
+use sj_eval::evaluate;
+use sj_logic::{eval_query, gf_to_sa, sa_to_gf};
+use sj_workload::figures;
+
+#[test]
+fn thm8_example3_to_example7_and_back() {
+    let db = figures::example3_beer_db();
+    let schema = db.schema();
+    let e3 = sj_algebra::division::example3_lousy_bar_sa();
+
+    // SA= → GF: the translated formula answers exactly E(D).
+    let gf = sa_to_gf(&e3, &schema).unwrap();
+    let mut candidates = db.active_domain();
+    candidates.push(Value::str("zz-outsider"));
+    let answers = eval_query(&db, &gf.formula, &gf.free_vars, &candidates);
+    assert_eq!(answers, evaluate(&e3, &db).unwrap().tuples().to_vec());
+
+    // GF → SA=: the paper's own Example 7 formula translates to an SA=
+    // expression equivalent to Example 3.
+    let phi7 = sj_logic::formula::example7_lousy_bar();
+    let back = gf_to_sa(&phi7, &schema, &[]).unwrap();
+    assert!(back.expr.is_sa_eq());
+    assert_eq!(
+        evaluate(&back.expr, &db).unwrap(),
+        evaluate(&e3, &db).unwrap()
+    );
+}
+
+#[test]
+fn cor14_pumped_copies_indistinguishable_by_sa() {
+    // E14: pump the Fig. 4 witness; every SA= expression of a small corpus
+    // answers the same on (D, ā) and (Dₙ, copy) — Corollary 14 made
+    // concrete via membership of the witness tuples.
+    let db = figures::fig4();
+    let pump = Pump::new(
+        &db,
+        &Condition::eq(3, 1),
+        &tuple![1, 2, 3],
+        &tuple![3, 4, 5],
+        &[],
+        4,
+    )
+    .unwrap();
+    let n = 3;
+    let dn = pump.database(n);
+    let base = pump.base();
+    let (a, _) = pump.witness();
+    let corpus: Vec<Expr> = vec![
+        Expr::rel("R"),
+        Expr::rel("R").semijoin(Condition::eq(1, 2), Expr::rel("T")),
+        Expr::rel("R").semijoin(Condition::eq(3, 1), Expr::rel("S")),
+        Expr::rel("R")
+            .semijoin(Condition::eq(1, 2), Expr::rel("T"))
+            .diff(Expr::rel("S")),
+        Expr::rel("R").select_lt(1, 2),
+    ];
+    for copy in pump.left_copies(n) {
+        // Guarded bisimilar …
+        assert!(are_bisimilar(base, a, &dn, &copy, &[]).is_some());
+        // … hence SA=-indistinguishable: ā ∈ E(base) ⟺ copy ∈ E(Dₙ).
+        for e in &corpus {
+            let on_base = evaluate(e, base).unwrap().contains(a);
+            let on_dn = evaluate(e, &dn).unwrap().contains(&copy);
+            assert_eq!(on_base, on_dn, "{e} distinguishes {a} from {copy}");
+        }
+    }
+}
+
+#[test]
+fn thm18_rewrites_preserve_semantics_on_workloads() {
+    // E15: linear-safe joins rewritten to SA= agree with the originals on
+    // generated workloads of several scales.
+    let schema = Schema::new([("R", 2), ("S", 1)]);
+    let plans: Vec<Expr> = vec![
+        Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S")),
+        Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .project([1]),
+        Expr::rel("R")
+            .join(Condition::eq(2, 1).and(1, sj_algebra::CompOp::Lt, 1), Expr::rel("S")),
+        Expr::rel("S")
+            .join(Condition::eq(1, 2), Expr::rel("R"))
+            .project([2, 3]),
+    ];
+    for plan in plans {
+        let sa = to_sa_eq(&plan, &schema).unwrap_or_else(|e| panic!("{plan}: {e}"));
+        assert!(sa.is_sa_eq());
+        for groups in [10usize, 50] {
+            let db = sj_workload::DivisionWorkload {
+                groups,
+                divisor_size: 4,
+                containment_fraction: 0.5,
+                extra_per_group: 2,
+                noise_domain: 32,
+                seed: groups as u64,
+            }
+            .database();
+            assert_eq!(
+                evaluate(&plan, &db).unwrap(),
+                evaluate(&sa, &db).unwrap(),
+                "{plan}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parse_analyze_rewrite_evaluate_pipeline() {
+    // End to end: a plan arrives as text, is parsed, analyzed, rewritten,
+    // and both versions evaluated.
+    let text = "project[1](join[2=1](R, S))";
+    let e = sj_algebra::parse(text).unwrap();
+    let schema = Schema::new([("R", 2), ("S", 1)]);
+    let verdict = sj_core::analyze(&e, &schema, &[]).unwrap();
+    let sj_core::Verdict::Linear { sa_equivalent } = verdict else {
+        panic!("expected linear");
+    };
+    let db = sj_workload::DivisionWorkload::default().database();
+    assert_eq!(
+        evaluate(&e, &db).unwrap(),
+        evaluate(&sa_equivalent, &db).unwrap()
+    );
+    // Round-trip the rewritten plan through text as well.
+    let reparsed = sj_algebra::parse(&sj_algebra::to_text(&sa_equivalent)).unwrap();
+    assert_eq!(reparsed, sa_equivalent);
+}
