@@ -96,27 +96,45 @@ impl Condition {
 
     /// Build from atoms.
     pub fn new(atoms: impl IntoIterator<Item = Atom>) -> Self {
-        Condition { atoms: atoms.into_iter().collect() }
+        Condition {
+            atoms: atoms.into_iter().collect(),
+        }
     }
 
     /// A single-atom condition `left = right`.
     pub fn eq(left: usize, right: usize) -> Self {
-        Condition::new([Atom { left, op: CompOp::Eq, right }])
+        Condition::new([Atom {
+            left,
+            op: CompOp::Eq,
+            right,
+        }])
     }
 
     /// A single-atom condition `left ≠ right`.
     pub fn neq(left: usize, right: usize) -> Self {
-        Condition::new([Atom { left, op: CompOp::Neq, right }])
+        Condition::new([Atom {
+            left,
+            op: CompOp::Neq,
+            right,
+        }])
     }
 
     /// A single-atom condition `left < right`.
     pub fn lt(left: usize, right: usize) -> Self {
-        Condition::new([Atom { left, op: CompOp::Lt, right }])
+        Condition::new([Atom {
+            left,
+            op: CompOp::Lt,
+            right,
+        }])
     }
 
     /// A single-atom condition `left > right`.
     pub fn gt(left: usize, right: usize) -> Self {
-        Condition::new([Atom { left, op: CompOp::Gt, right }])
+        Condition::new([Atom {
+            left,
+            op: CompOp::Gt,
+            right,
+        }])
     }
 
     /// Extend with a further conjunct (builder style).
@@ -132,11 +150,11 @@ impl Condition {
 
     /// A natural multi-equality condition: pairs of equal columns.
     pub fn eq_pairs(pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
-        Condition::new(
-            pairs
-                .into_iter()
-                .map(|(l, r)| Atom { left: l, op: CompOp::Eq, right: r }),
-        )
+        Condition::new(pairs.into_iter().map(|(l, r)| Atom {
+            left: l,
+            op: CompOp::Eq,
+            right: r,
+        }))
     }
 
     /// The conjuncts.

@@ -121,9 +121,7 @@ pub fn division_equality_counting(r: &str, s: &str) -> Expr {
 /// keeps the satisfied ones; the difference yields violated requirements
 /// whose (a, c) pairs are removed from all candidate pairs.
 pub fn set_containment_join_plan(r: &str, s: &str) -> Expr {
-    let all_pairs = Expr::rel(r)
-        .project([1])
-        .product(Expr::rel(s).project([1]));
+    let all_pairs = Expr::rel(r).project([1]).product(Expr::rel(s).project([1]));
     let requirements = Expr::rel(r).project([1]).product(Expr::rel(s));
     let satisfied = requirements
         .clone()
@@ -225,7 +223,10 @@ mod tests {
     #[test]
     fn counting_plans_are_extended_and_unary() {
         let s = div_schema();
-        for e in [division_counting("R", "S"), division_equality_counting("R", "S")] {
+        for e in [
+            division_counting("R", "S"),
+            division_equality_counting("R", "S"),
+        ] {
             assert_eq!(e.arity(&s).unwrap(), 1, "{e}");
             assert!(e.is_extended(), "{e}");
         }

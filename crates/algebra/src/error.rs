@@ -72,9 +72,12 @@ mod tests {
             AlgebraError::ArityMismatch { left: 1, right: 2 }.to_string(),
             "arity mismatch: left 1 vs right 2"
         );
-        assert!(AlgebraError::Parse { offset: 3, message: "x".into() }
-            .to_string()
-            .contains("byte 3"));
+        assert!(AlgebraError::Parse {
+            offset: 3,
+            message: "x".into()
+        }
+        .to_string()
+        .contains("byte 3"));
         assert!(AlgebraError::WrongFragment { required: "SA=" }
             .to_string()
             .contains("SA="));

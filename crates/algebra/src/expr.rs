@@ -148,11 +148,7 @@ impl Expr {
     }
 
     /// Equi-semijoin on explicit column pairs.
-    pub fn semijoin_eq(
-        self,
-        pairs: impl IntoIterator<Item = (usize, usize)>,
-        other: Expr,
-    ) -> Expr {
+    pub fn semijoin_eq(self, pairs: impl IntoIterator<Item = (usize, usize)>, other: Expr) -> Expr {
         self.semijoin(Condition::eq_pairs(pairs), other)
     }
 
@@ -179,7 +175,10 @@ impl Expr {
             Expr::Union(a, b) | Expr::Diff(a, b) => {
                 let (na, nb) = (a.arity(schema)?, b.arity(schema)?);
                 if na != nb {
-                    return Err(AlgebraError::ArityMismatch { left: na, right: nb });
+                    return Err(AlgebraError::ArityMismatch {
+                        left: na,
+                        right: nb,
+                    });
                 }
                 Ok(na)
             }
@@ -187,7 +186,10 @@ impl Expr {
                 let n = e.arity(schema)?;
                 for &c in cols {
                     if c == 0 || c > n {
-                        return Err(AlgebraError::ColumnOutOfRange { column: c, arity: n });
+                        return Err(AlgebraError::ColumnOutOfRange {
+                            column: c,
+                            arity: n,
+                        });
                     }
                 }
                 Ok(cols.len())
@@ -195,29 +197,41 @@ impl Expr {
             Expr::Select(sel, e) => {
                 let n = e.arity(schema)?;
                 sel.validate(n)
-                    .map_err(|c| AlgebraError::ColumnOutOfRange { column: c, arity: n })?;
+                    .map_err(|c| AlgebraError::ColumnOutOfRange {
+                        column: c,
+                        arity: n,
+                    })?;
                 Ok(n)
             }
             Expr::ConstTag(_, e) => Ok(e.arity(schema)? + 1),
             Expr::Join(theta, a, b) => {
                 let (na, nb) = (a.arity(schema)?, b.arity(schema)?);
-                theta.validate(na, nb).map_err(|(c, n)| {
-                    AlgebraError::ColumnOutOfRange { column: c, arity: n }
-                })?;
+                theta
+                    .validate(na, nb)
+                    .map_err(|(c, n)| AlgebraError::ColumnOutOfRange {
+                        column: c,
+                        arity: n,
+                    })?;
                 Ok(na + nb)
             }
             Expr::Semijoin(theta, a, b) => {
                 let (na, nb) = (a.arity(schema)?, b.arity(schema)?);
-                theta.validate(na, nb).map_err(|(c, n)| {
-                    AlgebraError::ColumnOutOfRange { column: c, arity: n }
-                })?;
+                theta
+                    .validate(na, nb)
+                    .map_err(|(c, n)| AlgebraError::ColumnOutOfRange {
+                        column: c,
+                        arity: n,
+                    })?;
                 Ok(na)
             }
             Expr::GroupCount(cols, e) => {
                 let n = e.arity(schema)?;
                 for &c in cols {
                     if c == 0 || c > n {
-                        return Err(AlgebraError::ColumnOutOfRange { column: c, arity: n });
+                        return Err(AlgebraError::ColumnOutOfRange {
+                            column: c,
+                            arity: n,
+                        });
                     }
                 }
                 Ok(cols.len() + 1)
@@ -229,7 +243,9 @@ impl Expr {
     pub fn children(&self) -> Vec<&Expr> {
         match self {
             Expr::Rel(_) => vec![],
-            Expr::Project(_, e) | Expr::Select(_, e) | Expr::ConstTag(_, e)
+            Expr::Project(_, e)
+            | Expr::Select(_, e)
+            | Expr::ConstTag(_, e)
             | Expr::GroupCount(_, e) => vec![e],
             Expr::Union(a, b) | Expr::Diff(a, b) => vec![a, b],
             Expr::Join(_, a, b) | Expr::Semijoin(_, a, b) => vec![a, b],
@@ -253,7 +269,11 @@ impl Expr {
 
     /// Number of AST nodes.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Height of the AST (a leaf has depth 1).
@@ -298,9 +318,9 @@ impl Expr {
     /// True iff the expression contains no semijoin and no grouping —
     /// i.e. belongs to RA (Definition 1).
     pub fn is_ra(&self) -> bool {
-        self.subexpressions().iter().all(|e| {
-            !matches!(e, Expr::Semijoin(..) | Expr::GroupCount(..))
-        })
+        self.subexpressions()
+            .iter()
+            .all(|e| !matches!(e, Expr::Semijoin(..) | Expr::GroupCount(..)))
     }
 
     /// True iff the expression is RA and every join condition is
@@ -358,9 +378,9 @@ impl Expr {
             Expr::Select(sel, e) => Expr::Select(sel.clone(), Box::new(e.desugared(schema)?)),
             Expr::ConstTag(c, e) => e.desugared(schema)?.tag(c.clone()),
             Expr::Join(t, a, b) => a.desugared(schema)?.join(t.clone(), b.desugared(schema)?),
-            Expr::Semijoin(t, a, b) => {
-                a.desugared(schema)?.semijoin(t.clone(), b.desugared(schema)?)
-            }
+            Expr::Semijoin(t, a, b) => a
+                .desugared(schema)?
+                .semijoin(t.clone(), b.desugared(schema)?),
             Expr::GroupCount(cols, e) => e.desugared(schema)?.group_count(cols.clone()),
         })
     }
@@ -373,7 +393,10 @@ impl Expr {
             Expr::Diff(..) => "diff".into(),
             Expr::Project(cols, _) => format!(
                 "project[{}]",
-                cols.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",")
+                cols.iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
             Expr::Select(Selection::Eq(i, j), _) => format!("select[{i}={j}]"),
             Expr::Select(Selection::Lt(i, j), _) => format!("select[{i}<{j}]"),
@@ -383,7 +406,10 @@ impl Expr {
             Expr::Semijoin(t, _, _) => format!("semijoin[{t}]"),
             Expr::GroupCount(cols, _) => format!(
                 "gcount[{}]",
-                cols.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",")
+                cols.iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
         }
     }
@@ -429,22 +455,33 @@ mod tests {
             Err(AlgebraError::UnknownRelation(_))
         ));
         assert!(matches!(
-            Expr::rel("Likes").union(Expr::rel("Likes").project([1])).arity(&s),
+            Expr::rel("Likes")
+                .union(Expr::rel("Likes").project([1]))
+                .arity(&s),
             Err(AlgebraError::ArityMismatch { left: 2, right: 1 })
         ));
         assert!(matches!(
             Expr::rel("Likes").project([3]).arity(&s),
-            Err(AlgebraError::ColumnOutOfRange { column: 3, arity: 2 })
+            Err(AlgebraError::ColumnOutOfRange {
+                column: 3,
+                arity: 2
+            })
         ));
         assert!(matches!(
             Expr::rel("Likes").select_eq(1, 0).arity(&s),
-            Err(AlgebraError::ColumnOutOfRange { column: 0, arity: 2 })
+            Err(AlgebraError::ColumnOutOfRange {
+                column: 0,
+                arity: 2
+            })
         ));
         assert!(matches!(
             Expr::rel("Likes")
                 .join(Condition::eq(3, 1), Expr::rel("Serves"))
                 .arity(&s),
-            Err(AlgebraError::ColumnOutOfRange { column: 3, arity: 2 })
+            Err(AlgebraError::ColumnOutOfRange {
+                column: 3,
+                arity: 2
+            })
         ));
     }
 
@@ -482,7 +519,7 @@ mod tests {
         let subs = e.subexpressions();
         assert_eq!(subs.len(), e.node_count());
         assert_eq!(subs[0], &e); // pre-order: root first
-        // π, ⋉, Visits, −, π, Serves, π, ⋉, Serves, Likes = 10 nodes
+                                 // π, ⋉, Visits, −, π, Serves, π, ⋉, Serves, Likes = 10 nodes
         assert_eq!(e.node_count(), 10);
         // π → ⋉ → − → π → ⋉ → Serves
         assert_eq!(e.depth(), 6);
@@ -500,7 +537,10 @@ mod tests {
 
     #[test]
     fn relation_names_sorted_dedup() {
-        assert_eq!(example3().relation_names(), vec!["Likes", "Serves", "Visits"]);
+        assert_eq!(
+            example3().relation_names(),
+            vec!["Likes", "Serves", "Visits"]
+        );
     }
 
     #[test]
@@ -539,7 +579,9 @@ mod tests {
         assert_eq!(Expr::rel("R").label(), "R");
         assert_eq!(Expr::rel("R").project([1, 2]).label(), "project[1,2]");
         assert_eq!(
-            Expr::rel("R").join(Condition::eq(1, 1), Expr::rel("S")).label(),
+            Expr::rel("R")
+                .join(Condition::eq(1, 1), Expr::rel("S"))
+                .label(),
             "join[1=1]"
         );
     }

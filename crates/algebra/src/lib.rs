@@ -58,7 +58,11 @@ mod proptests {
                     2 => CompOp::Lt,
                     _ => CompOp::Gt,
                 };
-                Atom { left: l, op, right: r }
+                Atom {
+                    left: l,
+                    op,
+                    right: r,
+                }
             }),
             0..4,
         )
@@ -77,14 +81,11 @@ mod proptests {
                 (inner.clone(), inner.clone()).prop_map(|(a, b)| a.diff(b)),
                 (proptest::collection::vec(1usize..=2, 0..3), inner.clone())
                     .prop_map(|(cols, a)| a.project(cols)),
-                (1usize..=2, 1usize..=2, inner.clone())
-                    .prop_map(|(i, j, a)| a.select_eq(i, j)),
-                (1usize..=2, 1usize..=2, inner.clone())
-                    .prop_map(|(i, j, a)| a.select_lt(i, j)),
+                (1usize..=2, 1usize..=2, inner.clone()).prop_map(|(i, j, a)| a.select_eq(i, j)),
+                (1usize..=2, 1usize..=2, inner.clone()).prop_map(|(i, j, a)| a.select_lt(i, j)),
                 (any::<i64>(), inner.clone()).prop_map(|(c, a)| a.tag(Value::int(c))),
                 ("[a-z ]{0,8}", inner.clone()).prop_map(|(s, a)| a.tag(Value::str(s))),
-                (arb_condition(), inner.clone(), inner.clone())
-                    .prop_map(|(t, a, b)| a.join(t, b)),
+                (arb_condition(), inner.clone(), inner.clone()).prop_map(|(t, a, b)| a.join(t, b)),
                 (arb_condition(), inner.clone(), inner.clone())
                     .prop_map(|(t, a, b)| a.semijoin(t, b)),
                 (proptest::collection::vec(1usize..=2, 0..3), inner)

@@ -47,15 +47,10 @@ pub fn push_down_selections(e: &Expr) -> Expr {
             let inner = push_down_selections(inner);
             match inner {
                 // σ(E₁ ∪ E₂) = σ(E₁) ∪ σ(E₂)
-                Expr::Union(a, b) => push_down_selections(&Expr::Select(
-                    sel.clone(),
-                    a,
-                ))
-                .union(push_down_selections(&Expr::Select(sel.clone(), b))),
+                Expr::Union(a, b) => push_down_selections(&Expr::Select(sel.clone(), a))
+                    .union(push_down_selections(&Expr::Select(sel.clone(), b))),
                 // σ(E₁ − E₂) = σ(E₁) − E₂  (difference filters the left)
-                Expr::Diff(a, b) => {
-                    push_down_selections(&Expr::Select(sel.clone(), a)).diff(*b)
-                }
+                Expr::Diff(a, b) => push_down_selections(&Expr::Select(sel.clone(), a)).diff(*b),
                 Expr::Semijoin(theta, a, b) => {
                     // A semijoin's output columns are the left operand's;
                     // every selection on it is a left selection.
@@ -65,15 +60,11 @@ pub fn push_down_selections(e: &Expr) -> Expr {
                 other => Expr::Select(sel.clone(), Box::new(other)),
             }
         }
-        Expr::Union(a, b) => {
-            push_down_selections(a).union(push_down_selections(b))
-        }
+        Expr::Union(a, b) => push_down_selections(a).union(push_down_selections(b)),
         Expr::Diff(a, b) => push_down_selections(a).diff(push_down_selections(b)),
         Expr::Project(cols, a) => push_down_selections(a).project(cols.clone()),
         Expr::ConstTag(c, a) => push_down_selections(a).tag(c.clone()),
-        Expr::Join(t, a, b) => {
-            push_down_selections(a).join(t.clone(), push_down_selections(b))
-        }
+        Expr::Join(t, a, b) => push_down_selections(a).join(t.clone(), push_down_selections(b)),
         Expr::Semijoin(t, a, b) => {
             push_down_selections(a).semijoin(t.clone(), push_down_selections(b))
         }
@@ -90,8 +81,7 @@ pub fn prune_projections(e: &Expr) -> Expr {
             let inner = prune_projections(inner);
             match inner {
                 Expr::Project(inner_cols, base) => {
-                    let composed: Vec<usize> =
-                        outer.iter().map(|&o| inner_cols[o - 1]).collect();
+                    let composed: Vec<usize> = outer.iter().map(|&o| inner_cols[o - 1]).collect();
                     prune_projections(&base.project(composed))
                 }
                 other => other.project(outer.clone()),
@@ -101,12 +91,8 @@ pub fn prune_projections(e: &Expr) -> Expr {
         Expr::Diff(a, b) => prune_projections(a).diff(prune_projections(b)),
         Expr::Select(s, a) => Expr::Select(s.clone(), Box::new(prune_projections(a))),
         Expr::ConstTag(c, a) => prune_projections(a).tag(c.clone()),
-        Expr::Join(t, a, b) => {
-            prune_projections(a).join(t.clone(), prune_projections(b))
-        }
-        Expr::Semijoin(t, a, b) => {
-            prune_projections(a).semijoin(t.clone(), prune_projections(b))
-        }
+        Expr::Join(t, a, b) => prune_projections(a).join(t.clone(), prune_projections(b)),
+        Expr::Semijoin(t, a, b) => prune_projections(a).semijoin(t.clone(), prune_projections(b)),
         Expr::GroupCount(cols, a) => prune_projections(a).group_count(cols.clone()),
         Expr::Rel(_) => e.clone(),
     }
@@ -140,23 +126,17 @@ pub fn joins_to_semijoins(e: &Expr, schema: &Schema) -> Result<Expr, AlgebraErro
             }
             joins_to_semijoins(inner, schema)?.project(cols.clone())
         }
-        Expr::Union(a, b) => {
-            joins_to_semijoins(a, schema)?.union(joins_to_semijoins(b, schema)?)
-        }
-        Expr::Diff(a, b) => {
-            joins_to_semijoins(a, schema)?.diff(joins_to_semijoins(b, schema)?)
-        }
-        Expr::Select(s, a) => {
-            Expr::Select(s.clone(), Box::new(joins_to_semijoins(a, schema)?))
-        }
+        Expr::Union(a, b) => joins_to_semijoins(a, schema)?.union(joins_to_semijoins(b, schema)?),
+        Expr::Diff(a, b) => joins_to_semijoins(a, schema)?.diff(joins_to_semijoins(b, schema)?),
+        Expr::Select(s, a) => Expr::Select(s.clone(), Box::new(joins_to_semijoins(a, schema)?)),
         Expr::ConstTag(c, a) => joins_to_semijoins(a, schema)?.tag(c.clone()),
-        Expr::Join(t, a, b) => joins_to_semijoins(a, schema)?
-            .join(t.clone(), joins_to_semijoins(b, schema)?),
-        Expr::Semijoin(t, a, b) => joins_to_semijoins(a, schema)?
-            .semijoin(t.clone(), joins_to_semijoins(b, schema)?),
-        Expr::GroupCount(cols, a) => {
-            joins_to_semijoins(a, schema)?.group_count(cols.clone())
+        Expr::Join(t, a, b) => {
+            joins_to_semijoins(a, schema)?.join(t.clone(), joins_to_semijoins(b, schema)?)
         }
+        Expr::Semijoin(t, a, b) => {
+            joins_to_semijoins(a, schema)?.semijoin(t.clone(), joins_to_semijoins(b, schema)?)
+        }
+        Expr::GroupCount(cols, a) => joins_to_semijoins(a, schema)?.group_count(cols.clone()),
         Expr::Rel(_) => e.clone(),
     })
 }

@@ -31,7 +31,10 @@ use sj_storage::Value;
 
 /// Parse an expression; see the module docs for the grammar.
 pub fn parse(input: &str) -> Result<Expr, AlgebraError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     let e = p.expr()?;
     p.skip_ws();
     if p.pos != p.input.len() {
@@ -47,7 +50,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> AlgebraError {
-        AlgebraError::Parse { offset: self.pos, message: message.into() }
+        AlgebraError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn skip_ws(&mut self) {

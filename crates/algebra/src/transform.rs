@@ -81,8 +81,7 @@ pub fn semijoins_to_joins_checked(
             Expr::Semijoin(theta, a, b) => {
                 let (ea, na) = go(a, schema)?;
                 let (eb, _) = go(b, schema)?;
-                let mut j_cols: Vec<usize> =
-                    theta.atoms().iter().map(|at| at.right).collect();
+                let mut j_cols: Vec<usize> = theta.atoms().iter().map(|at| at.right).collect();
                 j_cols.sort_unstable();
                 j_cols.dedup();
                 let remapped = Condition::new(theta.atoms().iter().map(|at| Atom {
@@ -90,9 +89,7 @@ pub fn semijoins_to_joins_checked(
                     op: at.op,
                     right: j_cols.binary_search(&at.right).unwrap() + 1,
                 }));
-                let lowered = ea
-                    .join(remapped, eb.project(j_cols))
-                    .project(1..=na);
+                let lowered = ea.join(remapped, eb.project(j_cols)).project(1..=na);
                 (lowered, na)
             }
         })
@@ -127,7 +124,10 @@ mod tests {
         let schema = Schema::new([("R", 2), ("S", 2)]);
         let e = Expr::rel("R").semijoin(Condition::always(), Expr::rel("S"));
         let lowered = semijoins_to_joins_checked(&e, &schema).unwrap();
-        assert_eq!(to_text(&lowered), "project[1,2](join[true](R, project[](S)))");
+        assert_eq!(
+            to_text(&lowered),
+            "project[1,2](join[true](R, project[](S)))"
+        );
     }
 
     #[test]

@@ -12,10 +12,19 @@ fn bench_dichotomy(c: &mut Criterion) {
     let scales = [64usize, 128, 256, 512];
     let series = adversarial_division_series(&scales, 0xC0FFEE);
     let plans: Vec<(&str, Expr)> = vec![
-        ("quadratic/double_difference", division::division_double_difference("R", "S")),
+        (
+            "quadratic/double_difference",
+            division::division_double_difference("R", "S"),
+        ),
         ("quadratic/product", Expr::rel("R").product(Expr::rel("S"))),
-        ("linear/semijoin", Expr::rel("R").semijoin(Condition::eq(2, 1), Expr::rel("S"))),
-        ("linear/fk_join", Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S"))),
+        (
+            "linear/semijoin",
+            Expr::rel("R").semijoin(Condition::eq(2, 1), Expr::rel("S")),
+        ),
+        (
+            "linear/fk_join",
+            Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S")),
+        ),
         ("linear/counting", division::division_counting("R", "S")),
     ];
     let mut group = c.benchmark_group("dichotomy");

@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
     for (scale, db) in scales.iter().zip(&series) {
         for (name, plan) in [
             ("counting", division::division_counting("R", "S")),
-            ("counting_equality", division::division_equality_counting("R", "S")),
+            (
+                "counting_equality",
+                division::division_equality_counting("R", "S"),
+            ),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(name, scale),

@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(800));
     for (scale, db) in scales.iter().zip(&series) {
         for (name, plan) in [
-            ("double_difference", division::division_double_difference("R", "S")),
+            (
+                "double_difference",
+                division::division_double_difference("R", "S"),
+            ),
             ("via_join", division::division_via_join("R", "S")),
             ("equality", division::division_equality("R", "S")),
         ] {

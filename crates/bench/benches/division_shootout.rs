@@ -28,17 +28,13 @@ fn bench(c: &mut Criterion) {
             if name == "nested-loop" && groups > 1024 {
                 continue; // keep total bench time sane
             }
-            group.bench_with_input(
-                BenchmarkId::new(name, groups),
-                &(&r, &s),
-                |b, (r, s)| {
-                    b.iter(|| {
-                        let out = alg(r, s, DivisionSemantics::Containment);
-                        debug_assert_eq!(out, expected);
-                        out
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, groups), &(&r, &s), |b, (r, s)| {
+                b.iter(|| {
+                    let out = alg(r, s, DivisionSemantics::Containment);
+                    debug_assert_eq!(out, expected);
+                    out
+                })
+            });
         }
     }
     group.finish();

@@ -12,9 +12,7 @@ fn random_relation(n: usize, domain: i64, seed: u64) -> Relation {
     let mut rng = SplitMix64::new(seed);
     Relation::from_tuples(
         2,
-        (0..n).map(|_| {
-            Tuple::from_ints(&[rng.range_i64(1, domain), rng.range_i64(1, domain)])
-        }),
+        (0..n).map(|_| Tuple::from_ints(&[rng.range_i64(1, domain), rng.range_i64(1, domain)])),
     )
     .unwrap()
 }

@@ -31,17 +31,13 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("build_dn", n), &n, |b, &n| {
             b.iter(|| pump.database(n))
         });
-        group.bench_with_input(
-            BenchmarkId::new("evaluate_fig4_expr", n),
-            &dn,
-            |b, dn| {
-                b.iter(|| {
-                    let out = evaluate(&e, dn).unwrap();
-                    debug_assert!(out.len() >= n * n);
-                    out
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("evaluate_fig4_expr", n), &dn, |b, dn| {
+            b.iter(|| {
+                let out = evaluate(&e, dn).unwrap();
+                debug_assert!(out.len() >= n * n);
+                out
+            })
+        });
     }
     group.finish();
 }

@@ -20,11 +20,9 @@ fn bench(c: &mut Criterion) {
             ("ra_lowered_join", division::example3_lousy_bar_ra()),
             ("cyclic_join", division::cyclic_beer_query_ra()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, k),
-                &(&plan, &db),
-                |b, (plan, db)| b.iter(|| evaluate(plan, db).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(name, k), &(&plan, &db), |b, (plan, db)| {
+                b.iter(|| evaluate(plan, db).unwrap())
+            });
         }
     }
     group.finish();

@@ -37,9 +37,7 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("signature/{dist_name}"), groups),
                 &(&r, &s),
-                |b, (r, s)| {
-                    b.iter(|| sj_setjoin::signature_set_join(r, s, SetPredicate::Contains))
-                },
+                |b, (r, s)| b.iter(|| sj_setjoin::signature_set_join(r, s, SetPredicate::Contains)),
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("equality_hash/{dist_name}"), groups),
@@ -55,14 +53,7 @@ fn bench(c: &mut Criterion) {
                 BenchmarkId::new(format!("signature256/{dist_name}"), groups),
                 &(&r, &s),
                 |b, (r, s)| {
-                    b.iter(|| {
-                        sj_setjoin::wide_signature_set_join(
-                            r,
-                            s,
-                            SetPredicate::Contains,
-                            4,
-                        )
-                    })
+                    b.iter(|| sj_setjoin::wide_signature_set_join(r, s, SetPredicate::Contains, 4))
                 },
             );
         }

@@ -11,8 +11,8 @@
 
 use sj_algebra::{division, Condition, Expr};
 use sj_bench::{
-    beer_database, beer_database_adversarial, standard_adversarial_series, time_median,
-    CsvSink, TIMING_SCALES,
+    beer_database, beer_database_adversarial, standard_adversarial_series, time_median, CsvSink,
+    TIMING_SCALES,
 };
 use sj_bisim::{are_bisimilar, check_bisimulation, Bisimulation, PartialIso};
 use sj_core::{analyze, measure_growth, Pump, Verdict};
@@ -81,7 +81,10 @@ fn fig1() {
         db.get("Symptoms").unwrap(),
         DivisionSemantics::Containment,
     );
-    print!("{}", render_relation(&quot, "Person ÷ Symptoms", &["pName"]));
+    print!(
+        "{}",
+        render_relation(&quot, "Person ÷ Symptoms", &["pName"])
+    );
     assert_eq!(quot, figures::fig1_expected_division());
     println!("fig1: REPRODUCED (join and division tables match the paper)");
 }
@@ -174,7 +177,10 @@ fn fig4() {
         ]);
     }
     let path = csv.finish().unwrap();
-    println!("fig4: REPRODUCED (D2/D3 sizes match; |E(Dn)| ≥ n²) → {}", path.display());
+    println!(
+        "fig4: REPRODUCED (D2/D3 sizes match; |E(Dn)| ≥ n²) → {}",
+        path.display()
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -199,8 +205,8 @@ fn fig5() {
     print!("{}", render_relation(&div_b, "B: R ÷ S", &["A"]));
     assert_eq!(div_a, Relation::from_int_rows(&[&[1], &[2]]));
     assert!(div_b.is_empty());
-    let cert = are_bisimilar(&a, &tuple![1], &b, &tuple![1], &[])
-        .expect("A,1 ~ B,1 per Proposition 26");
+    let cert =
+        are_bisimilar(&a, &tuple![1], &b, &tuple![1], &[]).expect("A,1 ~ B,1 per Proposition 26");
     println!(
         "A,1 ∼ B,1 via a guarded bisimulation with {} partial isomorphisms ⇒ \
          division ∉ SA= ⇒ every RA division plan is quadratic.",
@@ -223,8 +229,8 @@ fn fig6() {
     println!("Q(A) = {:?}   Q(B) = {:?}", qa.tuples(), qb.tuples());
     assert_eq!(qa, Relation::from_str_rows(&[&["alex"]]));
     assert!(qb.is_empty());
-    let cert = are_bisimilar(&a, &tuple!["alex"], &b, &tuple!["alex"], &[])
-        .expect("(A,alex) ~ (B,alex)");
+    let cert =
+        are_bisimilar(&a, &tuple!["alex"], &b, &tuple!["alex"], &[]).expect("(A,alex) ~ (B,alex)");
     println!(
         "(A, alex) ∼ (B, alex) with {} partial isomorphisms ⇒ Q ∉ SA= ⇒ \
          every RA plan for Q is quadratic.",
@@ -250,23 +256,41 @@ fn dichotomy() {
     .database()];
     let series = standard_adversarial_series();
     let corpus: Vec<(&str, Expr)> = vec![
-        ("division double-difference", division::division_double_difference("R", "S")),
+        (
+            "division double-difference",
+            division::division_double_difference("R", "S"),
+        ),
         ("division via join", division::division_via_join("R", "S")),
         ("division equality", division::division_equality("R", "S")),
         ("cartesian product", Expr::rel("R").product(Expr::rel("S"))),
-        ("fk join", Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S"))),
-        ("semijoin", Expr::rel("R").semijoin(Condition::eq(2, 1), Expr::rel("S"))),
+        (
+            "fk join",
+            Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S")),
+        ),
+        (
+            "semijoin",
+            Expr::rel("R").semijoin(Condition::eq(2, 1), Expr::rel("S")),
+        ),
         ("projection", Expr::rel("R").project([1])),
         ("union", Expr::rel("R").project([1]).union(Expr::rel("S"))),
-        ("selection+swap", Expr::rel("R").select_lt(1, 2).project([2, 1])),
-        ("difference", Expr::rel("R").diff(Expr::rel("R").select_eq(1, 2))),
+        (
+            "selection+swap",
+            Expr::rel("R").select_lt(1, 2).project([2, 1]),
+        ),
+        (
+            "difference",
+            Expr::rel("R").diff(Expr::rel("R").select_eq(1, 2)),
+        ),
         (
             "theta join <",
             Expr::rel("R").join(Condition::lt(1, 1), Expr::rel("S")),
         ),
     ];
     let mut csv = CsvSink::new("dichotomy", &["plan", "verdict", "exponent"]);
-    println!("{:<28} {:<14} exponent (max intermediate vs |D|)", "plan", "verdict");
+    println!(
+        "{:<28} {:<14} exponent (max intermediate vs |D|)",
+        "plan", "verdict"
+    );
     for (name, e) in corpus {
         let verdict = match analyze(&e, &schema, &seeds).unwrap() {
             Verdict::Linear { .. } => "linear",
@@ -275,7 +299,11 @@ fn dichotomy() {
         };
         let report = measure_growth(&e, &series).unwrap();
         println!("{name:<28} {verdict:<14} {:.2}", report.exponent);
-        csv.row(&[name.into(), verdict.into(), format!("{:.4}", report.exponent)]);
+        csv.row(&[
+            name.into(),
+            verdict.into(),
+            format!("{:.4}", report.exponent),
+        ]);
     }
     let path = csv.finish().unwrap();
     println!(
@@ -296,14 +324,20 @@ fn division_ra() {
         &["plan", "db_size", "max_intermediate"],
     );
     for (name, plan) in [
-        ("double-difference", division::division_double_difference("R", "S")),
+        (
+            "double-difference",
+            division::division_double_difference("R", "S"),
+        ),
         ("via-join", division::division_via_join("R", "S")),
         ("equality", division::division_equality("R", "S")),
     ] {
         let report = measure_growth(&plan, &series).unwrap();
         println!("plan {name}: exponent {:.2}", report.exponent);
         for p in &report.points {
-            println!("  |D| = {:>4}  max intermediate = {:>7}", p.db_size, p.max_intermediate);
+            println!(
+                "  |D| = {:>4}  max intermediate = {:>7}",
+                p.db_size, p.max_intermediate
+            );
             csv.row(&[
                 name.into(),
                 p.db_size.to_string(),
@@ -313,7 +347,10 @@ fn division_ra() {
         assert!(report.exponent > 1.7);
     }
     let path = csv.finish().unwrap();
-    println!("division-ra: all plans quadratic, as Proposition 26 demands → {}", path.display());
+    println!(
+        "division-ra: all plans quadratic, as Proposition 26 demands → {}",
+        path.display()
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -328,7 +365,10 @@ fn division_linear() {
     );
     for (name, plan) in [
         ("counting", division::division_counting("R", "S")),
-        ("counting-eq", division::division_equality_counting("R", "S")),
+        (
+            "counting-eq",
+            division::division_equality_counting("R", "S"),
+        ),
     ] {
         let report = measure_growth(&plan, &series).unwrap();
         println!("plan {name}: exponent {:.2}", report.exponent);
@@ -363,7 +403,10 @@ fn division_shootout() {
         "division_shootout",
         &["groups", "divisor", "algorithm", "ms"],
     );
-    println!("{:>7} {:>8} {:>14} {:>10}", "groups", "divisor", "algorithm", "ms");
+    println!(
+        "{:>7} {:>8} {:>14} {:>10}",
+        "groups", "divisor", "algorithm", "ms"
+    );
     for &groups in &TIMING_SCALES {
         let divisor = (groups as f64).sqrt() as usize;
         let w = DivisionWorkload {
@@ -432,15 +475,24 @@ fn setjoin_shootout() {
             let expected = sj_setjoin::nested_loop_set_join(&r, &s, SetPredicate::Contains);
             type SetJoinFn = Box<dyn Fn(&Relation, &Relation) -> Relation>;
             let algos: Vec<(&str, SetJoinFn)> = vec![
-                ("nested-loop", Box::new(|r: &Relation, s: &Relation| {
-                    sj_setjoin::nested_loop_set_join(r, s, SetPredicate::Contains)
-                })),
-                ("signature64", Box::new(|r: &Relation, s: &Relation| {
-                    sj_setjoin::signature_set_join(r, s, SetPredicate::Contains)
-                })),
-                ("signature256", Box::new(|r: &Relation, s: &Relation| {
-                    sj_setjoin::wide_signature_set_join(r, s, SetPredicate::Contains, 4)
-                })),
+                (
+                    "nested-loop",
+                    Box::new(|r: &Relation, s: &Relation| {
+                        sj_setjoin::nested_loop_set_join(r, s, SetPredicate::Contains)
+                    }),
+                ),
+                (
+                    "signature64",
+                    Box::new(|r: &Relation, s: &Relation| {
+                        sj_setjoin::signature_set_join(r, s, SetPredicate::Contains)
+                    }),
+                ),
+                (
+                    "signature256",
+                    Box::new(|r: &Relation, s: &Relation| {
+                        sj_setjoin::wide_signature_set_join(r, s, SetPredicate::Contains, 4)
+                    }),
+                ),
                 ("inverted-ix", Box::new(sj_setjoin::inverted_index_set_join)),
             ];
             for (name, f) in &algos {
@@ -489,12 +541,19 @@ fn setjoin_shootout() {
     .generate();
     let s = s_wide; // right side: small sets, same domain
     let truth = sj_setjoin::nested_loop_set_join(&r, &s, SetPredicate::Contains).len();
-    let mut ablation = CsvSink::new("setjoin_signature_ablation", &["bits", "survivors", "true_pairs"]);
+    let mut ablation = CsvSink::new(
+        "setjoin_signature_ablation",
+        &["bits", "survivors", "true_pairs"],
+    );
     println!("  true qualifying pairs: {truth}");
     for words in [1usize, 2, 4, 8] {
         let surv = sj_setjoin::filter_survivors(&r, &s, SetPredicate::Contains, words);
         println!("  {:>4} bits: {surv:>8} survivors", words * 64);
-        ablation.row(&[(words * 64).to_string(), surv.to_string(), truth.to_string()]);
+        ablation.row(&[
+            (words * 64).to_string(),
+            surv.to_string(),
+            truth.to_string(),
+        ]);
         assert!(surv >= truth);
     }
     let ap = ablation.finish().unwrap();
@@ -552,7 +611,10 @@ fn semijoin_linear() {
     // ~k² while the SA= lousy-bar query stays ≤ |D| — the dichotomy in
     // one table.
     println!("\nadversarial bar scene (all drinkers share one bar):");
-    println!("{:>6} {:>7} {:>26} {:>16}", "k", "|D|", "plan", "max intermediate");
+    println!(
+        "{:>6} {:>7} {:>26} {:>16}",
+        "k", "|D|", "plan", "max intermediate"
+    );
     for &k in &[32i64, 64, 128, 256] {
         let db = beer_database_adversarial(k);
         for (name, plan) in [
@@ -596,15 +658,13 @@ fn distinguish() {
     // search must come back empty.
     let (a5, b5) = (figures::fig5_a(), figures::fig5_b());
     for depth in 0..=3 {
-        assert!(distinguishing_formula(&a5, &tuple![1], &b5, &tuple![1], &[], depth)
-            .is_none());
+        assert!(distinguishing_formula(&a5, &tuple![1], &b5, &tuple![1], &[], depth).is_none());
     }
     println!("Fig. 5 pair (A,1)/(B,1): no distinguishing GF formula up to depth 3 ✓");
     // A non-bisimilar pair: a formula is produced and verified.
     let (a3, b3) = (figures::fig3_a(), figures::fig3_b());
-    let (f, vars) =
-        distinguishing_formula(&a3, &tuple![1, 2], &b3, &tuple![7, 8], &[], 2)
-            .expect("non-bisimilar pair");
+    let (f, vars) = distinguishing_formula(&a3, &tuple![1, 2], &b3, &tuple![7, 8], &[], 2)
+        .expect("non-bisimilar pair");
     let env_a: sj_logic::Assignment = vars
         .iter()
         .cloned()

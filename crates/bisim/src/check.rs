@@ -70,9 +70,10 @@ pub fn check_bisimulation(
         let ran = f.range();
         // Forth.
         for x_prime in &guarded_a {
-            let found = i.isos.iter().any(|g| {
-                g.domain() == *x_prime && f.agrees_forward(g, &dom)
-            });
+            let found = i
+                .isos
+                .iter()
+                .any(|g| g.domain() == *x_prime && f.agrees_forward(g, &dom));
             if !found {
                 return Err(format!(
                     "forth fails for {f} at guarded set {x_prime:?}: no g with that \
@@ -82,9 +83,10 @@ pub fn check_bisimulation(
         }
         // Back.
         for y_prime in &guarded_b {
-            let found = i.isos.iter().any(|g| {
-                g.range() == *y_prime && f.agrees_backward(g, &ran)
-            });
+            let found = i
+                .isos
+                .iter()
+                .any(|g| g.range() == *y_prime && f.agrees_backward(g, &ran));
             if !found {
                 return Err(format!(
                     "back fails for {f} at guarded set {y_prime:?}: no g with that \
@@ -163,8 +165,7 @@ mod tests {
     #[test]
     fn empty_set_rejected() {
         let (a, b) = (fig3_a(), fig3_b());
-        let err =
-            check_bisimulation(&a, &b, &Bisimulation::new([]), &[]).unwrap_err();
+        let err = check_bisimulation(&a, &b, &Bisimulation::new([]), &[]).unwrap_err();
         assert!(err.contains("nonempty"));
     }
 
@@ -195,7 +196,6 @@ mod tests {
             .iter()
             .map(|t: &Tuple| PartialIso::from_tuples(t, t).unwrap())
             .collect();
-        check_bisimulation(&a, &a, &Bisimulation::new(isos), &[])
-            .unwrap_or_else(|e| panic!("{e}"));
+        check_bisimulation(&a, &a, &Bisimulation::new(isos), &[]).unwrap_or_else(|e| panic!("{e}"));
     }
 }

@@ -20,9 +20,7 @@ pub struct PartialIso {
 impl PartialIso {
     /// Build from `(x, f(x))` pairs. Fails if the pairs are inconsistent
     /// (same x to two images) or non-injective (two x to the same image).
-    pub fn from_pairs(
-        pairs: impl IntoIterator<Item = (Value, Value)>,
-    ) -> Result<Self, String> {
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Value, Value)>) -> Result<Self, String> {
         let mut fwd = BTreeMap::new();
         let mut bwd = BTreeMap::new();
         for (x, y) in pairs {
@@ -49,11 +47,7 @@ impl PartialIso {
     /// the arities differ or the induced map is not a bijection.
     pub fn from_tuples(a: &Tuple, b: &Tuple) -> Result<Self, String> {
         if a.arity() != b.arity() {
-            return Err(format!(
-                "arity mismatch: {} vs {}",
-                a.arity(),
-                b.arity()
-            ));
+            return Err(format!("arity mismatch: {} vs {}", a.arity(), b.arity()));
         }
         PartialIso::from_pairs(a.iter().cloned().zip(b.iter().cloned()))
     }
@@ -66,8 +60,14 @@ impl PartialIso {
         if x.len() != y.len() {
             return None;
         }
-        debug_assert!(x.windows(2).all(|w| w[0] < w[1]), "domain must be sorted/dedup");
-        debug_assert!(y.windows(2).all(|w| w[0] < w[1]), "range must be sorted/dedup");
+        debug_assert!(
+            x.windows(2).all(|w| w[0] < w[1]),
+            "domain must be sorted/dedup"
+        );
+        debug_assert!(
+            y.windows(2).all(|w| w[0] < w[1]),
+            "range must be sorted/dedup"
+        );
         Some(PartialIso {
             fwd: x.iter().cloned().zip(y.iter().cloned()).collect(),
             bwd: y.iter().cloned().zip(x.iter().cloned()).collect(),
@@ -124,19 +124,21 @@ impl PartialIso {
     /// Do `self` and `other` agree on every value of `on` that lies in
     /// both domains? (The forth condition's "f and g agree on X ∩ X′".)
     pub fn agrees_forward(&self, other: &PartialIso, on: &[Value]) -> bool {
-        on.iter().all(|v| match (self.fwd.get(v), other.fwd.get(v)) {
-            (Some(a), Some(b)) => a == b,
-            _ => true,
-        })
+        on.iter()
+            .all(|v| match (self.fwd.get(v), other.fwd.get(v)) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            })
     }
 
     /// Do the inverses agree on every value of `on` in both ranges?
     /// (The back condition's "f⁻¹ and g⁻¹ agree on Y ∩ Y′".)
     pub fn agrees_backward(&self, other: &PartialIso, on: &[Value]) -> bool {
-        on.iter().all(|v| match (self.bwd.get(v), other.bwd.get(v)) {
-            (Some(a), Some(b)) => a == b,
-            _ => true,
-        })
+        on.iter()
+            .all(|v| match (self.bwd.get(v), other.bwd.get(v)) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            })
     }
 
     /// Is the map order-preserving: `x < y ⟺ f(x) < f(y)`? Equivalent to
@@ -207,9 +209,7 @@ pub fn check_c_partial_iso(
                 if let Some(img) = f.map_tuple(t) {
                     let in_b = b.get(name).is_some_and(|rb| rb.contains(&img));
                     if !in_b {
-                        return Err(format!(
-                            "{f}: {t} ∈ A({name}) but image {img} ∉ B({name})"
-                        ));
+                        return Err(format!("{f}: {t} ∈ A({name}) but image {img} ∉ B({name})"));
                     }
                 }
             }

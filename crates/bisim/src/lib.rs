@@ -30,14 +30,12 @@ mod proptests {
     use sj_storage::{Database, Relation, Tuple};
 
     fn arb_relation(arity: usize) -> impl Strategy<Value = Relation> {
-        proptest::collection::vec(proptest::collection::vec(0i64..5, arity), 0..6)
-            .prop_map(move |rows| {
-                Relation::from_tuples(
-                    arity,
-                    rows.into_iter().map(|r| Tuple::from_ints(&r)),
-                )
-                .unwrap()
-            })
+        proptest::collection::vec(proptest::collection::vec(0i64..5, arity), 0..6).prop_map(
+            move |rows| {
+                Relation::from_tuples(arity, rows.into_iter().map(|r| Tuple::from_ints(&r)))
+                    .unwrap()
+            },
+        )
     }
 
     fn arb_db() -> impl Strategy<Value = Database> {

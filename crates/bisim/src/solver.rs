@@ -28,11 +28,7 @@ use sj_storage::{Database, Tuple, Value};
 /// the largest set of C-partial isomorphisms with guarded domains/ranges
 /// satisfying back-and-forth. The result may be empty (then no guarded
 /// bisimulation between guarded sets exists).
-pub fn maximal_bisimulation(
-    a: &Database,
-    b: &Database,
-    constants: &[Value],
-) -> Vec<PartialIso> {
+pub fn maximal_bisimulation(a: &Database, b: &Database, constants: &[Value]) -> Vec<PartialIso> {
     let guarded_a = a.guarded_sets();
     let guarded_b = b.guarded_sets();
     // All monotone candidate maps that are C-partial isomorphisms.
@@ -153,9 +149,7 @@ mod tests {
         let mut d = Database::new();
         d.set(
             "R",
-            Relation::from_int_rows(&[
-                &[1, 7], &[1, 8], &[2, 8], &[2, 9], &[3, 7], &[3, 9],
-            ]),
+            Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 8], &[2, 9], &[3, 7], &[3, 9]]),
         );
         d.set("S", Relation::from_int_rows(&[&[7], &[8], &[9]]));
         d
@@ -220,8 +214,7 @@ mod tests {
                 isos.push(PartialIso::from_tuples(sa, sb).unwrap());
             }
         }
-        check_bisimulation(&a, &b, &Bisimulation::new(isos), &[])
-            .unwrap_or_else(|e| panic!("{e}"));
+        check_bisimulation(&a, &b, &Bisimulation::new(isos), &[]).unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]

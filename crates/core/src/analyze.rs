@@ -84,11 +84,7 @@ impl Verdict {
 /// Classify `e` over `schema`, using `seeds` for the witness search.
 ///
 /// Grouping (extended RA) is rejected — the dichotomy theorem is about RA.
-pub fn analyze(
-    e: &Expr,
-    schema: &Schema,
-    seeds: &[Database],
-) -> Result<Verdict, CoreError> {
+pub fn analyze(e: &Expr, schema: &Schema, seeds: &[Database]) -> Result<Verdict, CoreError> {
     e.arity(schema)?;
     if e.is_extended() {
         return Err(CoreError::NotLinearSafe(
@@ -103,7 +99,9 @@ pub fn analyze(
     }
     // Half 2: Lemma 24 witness search on the seeds.
     if let Some(witness) = find_witness(e, schema, seeds)? {
-        return Ok(Verdict::Quadratic { witness: Box::new(witness) });
+        return Ok(Verdict::Quadratic {
+            witness: Box::new(witness),
+        });
     }
     Ok(Verdict::Undetermined)
 }

@@ -31,7 +31,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::EmptyFreeValues { side } => {
-                write!(f, "the {side} free-value set is empty (Lemma 24 needs both nonempty)")
+                write!(
+                    f,
+                    "the {side} free-value set is empty (Lemma 24 needs both nonempty)"
+                )
             }
             CoreError::WitnessDoesNotJoin => {
                 write!(f, "the witness pair does not satisfy the join condition")
@@ -72,7 +75,11 @@ mod tests {
         assert!(CoreError::EmptyFreeValues { side: "left" }
             .to_string()
             .contains("left"));
-        assert!(CoreError::NonIntegerUniverse.to_string().contains("integer"));
-        assert!(CoreError::NotLinearSafe("x".into()).to_string().contains("x"));
+        assert!(CoreError::NonIntegerUniverse
+            .to_string()
+            .contains("integer"));
+        assert!(CoreError::NotLinearSafe("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

@@ -35,7 +35,10 @@ pub fn interval_contains(lo: &Value, hi: &Value, v: &Value) -> bool {
 /// constants, minus every finite interval between consecutive constants.
 /// `constants` must be sorted.
 fn free_values(tuple: &Tuple, constrained: &[usize], constants: &[Value]) -> Vec<Value> {
-    debug_assert!(constants.windows(2).all(|w| w[0] <= w[1]), "constants sorted");
+    debug_assert!(
+        constants.windows(2).all(|w| w[0] <= w[1]),
+        "constants sorted"
+    );
     let pinned: Vec<&Value> = constrained
         .iter()
         .filter_map(|&i| tuple.get(i - 1))
@@ -133,9 +136,21 @@ mod tests {
 
     #[test]
     fn interval_contains_cases() {
-        assert!(interval_contains(&Value::int(2), &Value::int(5), &Value::int(3)));
-        assert!(interval_contains(&Value::int(2), &Value::int(5), &Value::int(2)));
-        assert!(!interval_contains(&Value::int(2), &Value::int(5), &Value::int(6)));
+        assert!(interval_contains(
+            &Value::int(2),
+            &Value::int(5),
+            &Value::int(3)
+        ));
+        assert!(interval_contains(
+            &Value::int(2),
+            &Value::int(5),
+            &Value::int(2)
+        ));
+        assert!(!interval_contains(
+            &Value::int(2),
+            &Value::int(5),
+            &Value::int(6)
+        ));
         assert!(!interval_contains(
             &Value::str("a"),
             &Value::str("z"),

@@ -88,7 +88,10 @@ pub fn measure_growth(e: &Expr, series: &[Database]) -> Result<GrowthReport, Eva
         .iter()
         .map(|p| (p.db_size as f64, p.max_intermediate as f64))
         .collect();
-    Ok(GrowthReport { points, exponent: log_log_slope(&xy) })
+    Ok(GrowthReport {
+        points,
+        exponent: log_log_slope(&xy),
+    })
 }
 
 #[cfg(test)]
@@ -112,10 +115,7 @@ mod tests {
                 let slices: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
                 let mut db = Database::new();
                 db.set("R", Relation::from_int_rows(&slices));
-                db.set(
-                    "S",
-                    Relation::unary((1..=k).map(|b| Value::int(1000 + b))),
-                );
+                db.set("S", Relation::unary((1..=k).map(|b| Value::int(1000 + b))));
                 db
             })
             .collect()
@@ -125,8 +125,7 @@ mod tests {
     fn slope_of_exact_powers() {
         let lin: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * i as f64)).collect();
         assert!((log_log_slope(&lin) - 1.0).abs() < 1e-9);
-        let quad: Vec<(f64, f64)> =
-            (1..=10).map(|i| (i as f64, (i * i) as f64)).collect();
+        let quad: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, (i * i) as f64)).collect();
         assert!((log_log_slope(&quad) - 2.0).abs() < 1e-9);
         let nlogn: Vec<(f64, f64)> = (2..=12)
             .map(|i| {
@@ -165,15 +164,11 @@ mod tests {
         sizes
             .iter()
             .map(|&k| {
-                let rows: Vec<[i64; 2]> =
-                    (1..=k).map(|a| [a, 1000 + (a % k)]).collect();
+                let rows: Vec<[i64; 2]> = (1..=k).map(|a| [a, 1000 + (a % k)]).collect();
                 let slices: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
                 let mut db = Database::new();
                 db.set("R", Relation::from_int_rows(&slices));
-                db.set(
-                    "S",
-                    Relation::unary((0..k).map(|b| Value::int(1000 + b))),
-                );
+                db.set("S", Relation::unary((0..k).map(|b| Value::int(1000 + b))));
                 db
             })
             .collect()

@@ -142,11 +142,20 @@ mod integration {
         seed.set("S", Relation::from_int_rows(&[&[7], &[8]]));
         let corpus: Vec<(Expr, bool)> = vec![
             // (expression, expected_quadratic)
-            (sj_algebra::division::division_double_difference("R", "S"), true),
+            (
+                sj_algebra::division::division_double_difference("R", "S"),
+                true,
+            ),
             (sj_algebra::division::division_via_join("R", "S"), true),
             (sj_algebra::division::division_equality("R", "S"), true),
-            (Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S")), false),
-            (Expr::rel("R").semijoin(Condition::eq(2, 1), Expr::rel("S")), false),
+            (
+                Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S")),
+                false,
+            ),
+            (
+                Expr::rel("R").semijoin(Condition::eq(2, 1), Expr::rel("S")),
+                false,
+            ),
             (Expr::rel("R").project([1]).union(Expr::rel("S")), false),
             (Expr::rel("R").product(Expr::rel("S")), true),
         ];
@@ -192,8 +201,7 @@ mod integration {
     fn linear_certificate_is_actually_linear() {
         let schema = sj_storage::Schema::new([("R", 2), ("S", 1)]);
         let e = Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S"));
-        let Verdict::Linear { sa_equivalent } = analyze(&e, &schema, &[]).unwrap()
-        else {
+        let Verdict::Linear { sa_equivalent } = analyze(&e, &schema, &[]).unwrap() else {
             panic!("expected linear")
         };
         for k in [10i64, 40, 160] {
@@ -245,11 +253,8 @@ mod proptests {
                 );
                 db.set(
                     "S",
-                    Relation::from_tuples(
-                        1,
-                        divisor.into_iter().map(|b| Tuple::from_ints(&[b])),
-                    )
-                    .unwrap(),
+                    Relation::from_tuples(1, divisor.into_iter().map(|b| Tuple::from_ints(&[b])))
+                        .unwrap(),
                 );
                 db
             })

@@ -129,7 +129,10 @@ impl Pump {
             return Err(CoreError::NonIntegerUniverse);
         }
         let remap_tuple = |t: &Tuple| -> Result<Tuple, CoreError> {
-            t.iter().map(&map_value).collect::<Result<Vec<_>, _>>().map(Tuple::new)
+            t.iter()
+                .map(&map_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map(Tuple::new)
         };
         Ok(Pump {
             base,
@@ -434,15 +437,7 @@ mod tests {
         let mut d = Database::new();
         d.set("A", Relation::from_int_rows(&[&[1]]));
         d.set("B", Relation::from_int_rows(&[&[2]]));
-        let p = Pump::new(
-            &d,
-            &Condition::always(),
-            &tuple![1],
-            &tuple![2],
-            &[],
-            10,
-        )
-        .unwrap();
+        let p = Pump::new(&d, &Condition::always(), &tuple![1], &tuple![2], &[], 10).unwrap();
         let (size, pairs) = p.verify(10);
         assert_eq!(size, 2 + 2 * 9);
         assert_eq!(pairs, 100);

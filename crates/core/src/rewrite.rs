@@ -34,11 +34,9 @@ use sj_storage::{Schema, Value};
 pub fn constant_columns(e: &Expr, schema: &Schema) -> Result<Vec<Option<Value>>, CoreError> {
     Ok(match e {
         Expr::Rel(name) => {
-            let n = schema
-                .arity_of(name)
-                .ok_or_else(|| CoreError::Algebra(
-                    sj_algebra::AlgebraError::UnknownRelation(name.clone()),
-                ))?;
+            let n = schema.arity_of(name).ok_or_else(|| {
+                CoreError::Algebra(sj_algebra::AlgebraError::UnknownRelation(name.clone()))
+            })?;
             vec![None; n]
         }
         Expr::Union(a, b) => {
@@ -94,8 +92,7 @@ pub fn constant_columns(e: &Expr, schema: &Schema) -> Result<Vec<Option<Value>>,
         Expr::Semijoin(_, a, _) => constant_columns(a, schema)?,
         Expr::GroupCount(cols, a) => {
             let ca = constant_columns(a, schema)?;
-            let mut out: Vec<Option<Value>> =
-                cols.iter().map(|&c| ca[c - 1].clone()).collect();
+            let mut out: Vec<Option<Value>> = cols.iter().map(|&c| ca[c - 1].clone()).collect();
             out.push(None);
             out
         }
@@ -136,23 +133,19 @@ fn rewrite(e: &Expr, schema: &Schema) -> Result<Expr, CoreError> {
         Expr::Union(a, b) => rewrite(a, schema)?.union(rewrite(b, schema)?),
         Expr::Diff(a, b) => rewrite(a, schema)?.diff(rewrite(b, schema)?),
         Expr::Project(cols, a) => rewrite(a, schema)?.project(cols.clone()),
-        Expr::Select(sel, a) => {
-            Expr::Select(sel.clone(), Box::new(rewrite(a, schema)?))
-        }
+        Expr::Select(sel, a) => Expr::Select(sel.clone(), Box::new(rewrite(a, schema)?)),
         Expr::ConstTag(c, a) => rewrite(a, schema)?.tag(c.clone()),
         Expr::Semijoin(theta, a, b) => {
             if !theta.is_equi() {
                 return Err(CoreError::NotLinearSafe(
-                    "semijoin with a non-equality condition is linear but outside SA="
-                        .into(),
+                    "semijoin with a non-equality condition is linear but outside SA=".into(),
                 ));
             }
             rewrite(a, schema)?.semijoin(theta.clone(), rewrite(b, schema)?)
         }
         Expr::GroupCount(..) => {
             return Err(CoreError::NotLinearSafe(
-                "grouping is outside the relational algebra (Section 5 extension)"
-                    .into(),
+                "grouping is outside the relational algebra (Section 5 extension)".into(),
             ))
         }
         Expr::Join(theta, a, b) => {
@@ -164,10 +157,8 @@ fn rewrite(e: &Expr, schema: &Schema) -> Result<Expr, CoreError> {
             let cb = constant_columns(b, schema)?;
             let eq_left = theta.constrained_left();
             let eq_right = theta.constrained_right();
-            let right_determined = (1..=n2)
-                .all(|j| eq_right.contains(&j) || cb[j - 1].is_some());
-            let left_determined = (1..=n1)
-                .all(|i| eq_left.contains(&i) || ca[i - 1].is_some());
+            let right_determined = (1..=n2).all(|j| eq_right.contains(&j) || cb[j - 1].is_some());
+            let left_determined = (1..=n1).all(|i| eq_left.contains(&i) || ca[i - 1].is_some());
             if right_determined {
                 rewrite_right_determined(theta, sa, sb, n1, n2, &cb)?
             } else if left_determined {
@@ -233,9 +224,7 @@ fn rewrite_right_determined(
         }
     }
     // Semijoin on the equality part.
-    let eq_cond = Condition::new(
-        theta.atoms().iter().filter(|a| a.op == CompOp::Eq).copied(),
-    );
+    let eq_cond = Condition::new(theta.atoms().iter().filter(|a| a.op == CompOp::Eq).copied());
     let filtered = left.semijoin(eq_cond, sb);
     // Tag the constants needed for unconstrained right columns, then
     // project (ā, reconstructed b̄).
@@ -391,20 +380,11 @@ mod tests {
         // column unconstrained — use a fully constrained variant instead:
         // R ⋈_{2=1 ∧ 1<1} U1 — atom 1<1 is left1 < right1 with right1
         // constrained by 2=1: becomes σ₁<₂ on R.
-        let e = Expr::rel("R").join(
-            Condition::eq(2, 1).and(1, CompOp::Lt, 1),
-            Expr::rel("U1"),
-        );
+        let e = Expr::rel("R").join(Condition::eq(2, 1).and(1, CompOp::Lt, 1), Expr::rel("U1"));
         assert_rewrite_equivalent(&e);
-        let e2 = Expr::rel("R").join(
-            Condition::eq(2, 1).and(1, CompOp::Gt, 1),
-            Expr::rel("U1"),
-        );
+        let e2 = Expr::rel("R").join(Condition::eq(2, 1).and(1, CompOp::Gt, 1), Expr::rel("U1"));
         assert_rewrite_equivalent(&e2);
-        let e3 = Expr::rel("R").join(
-            Condition::eq(2, 1).and(1, CompOp::Neq, 1),
-            Expr::rel("U1"),
-        );
+        let e3 = Expr::rel("R").join(Condition::eq(2, 1).and(1, CompOp::Neq, 1), Expr::rel("U1"));
         assert_rewrite_equivalent(&e3);
     }
 
@@ -428,10 +408,7 @@ mod tests {
     #[test]
     fn tagged_right_via_tau_is_determined() {
         // E₂ = τ₇(U1): columns (u, 7); join on 2=1 binds u; col 2 constant.
-        let e = Expr::rel("R").join(
-            Condition::eq(2, 1),
-            Expr::rel("U1").tag(7),
-        );
+        let e = Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("U1").tag(7));
         assert_rewrite_equivalent(&e);
     }
 

@@ -89,7 +89,10 @@ pub fn evaluate_instrumented(expr: &Expr, db: &Database) -> Result<EvalReport, E
     let result = eval_rec(expr, db, &mut nodes, &mut counter);
     Ok(EvalReport {
         result,
-        nodes: nodes.into_iter().map(|n| n.expect("every node visited")).collect(),
+        nodes: nodes
+            .into_iter()
+            .map(|n| n.expect("every node visited"))
+            .collect(),
         db_size: db.size(),
     })
 }
@@ -127,9 +130,7 @@ fn eval_rec(
             let rb = eval_rec(b, db, nodes, counter);
             ops::semijoin(&ra, &rb, theta)
         }
-        Expr::GroupCount(cols, a) => {
-            ops::group_count(&eval_rec(a, db, nodes, counter), cols)
-        }
+        Expr::GroupCount(cols, a) => ops::group_count(&eval_rec(a, db, nodes, counter), cols),
     };
     nodes[id] = Some(NodeStat {
         id,

@@ -42,17 +42,12 @@ mod proptests {
     use sj_storage::{Database, Relation, Tuple, Value};
 
     fn arb_relation(arity: usize) -> impl Strategy<Value = Relation> {
-        proptest::collection::vec(
-            proptest::collection::vec(0i64..6, arity),
-            0..12,
+        proptest::collection::vec(proptest::collection::vec(0i64..6, arity), 0..12).prop_map(
+            move |rows| {
+                Relation::from_tuples(arity, rows.into_iter().map(|r| Tuple::from_ints(&r)))
+                    .unwrap()
+            },
         )
-        .prop_map(move |rows| {
-            Relation::from_tuples(
-                arity,
-                rows.into_iter().map(|r| Tuple::from_ints(&r)),
-            )
-            .unwrap()
-        })
     }
 
     fn arb_db() -> impl Strategy<Value = Database> {
@@ -89,12 +84,9 @@ mod proptests {
             prop_oneof![
                 (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
                 (inner.clone(), inner.clone()).prop_map(|(a, b)| a.diff(b)),
-                (1usize..=2, 1usize..=2, inner.clone())
-                    .prop_map(|(i, j, a)| a.select_eq(i, j)),
-                (1usize..=2, 1usize..=2, inner.clone())
-                    .prop_map(|(i, j, a)| a.select_lt(i, j)),
-                (0i64..6, inner.clone())
-                    .prop_map(|(c, a)| a.tag(Value::int(c)).project([1, 2])),
+                (1usize..=2, 1usize..=2, inner.clone()).prop_map(|(i, j, a)| a.select_eq(i, j)),
+                (1usize..=2, 1usize..=2, inner.clone()).prop_map(|(i, j, a)| a.select_lt(i, j)),
+                (0i64..6, inner.clone()).prop_map(|(c, a)| a.tag(Value::int(c)).project([1, 2])),
                 (arb_condition(), inner.clone(), inner.clone())
                     .prop_map(|(t, a, b)| a.join(t, b).project([1, 2])),
                 (arb_condition(), inner.clone(), inner.clone())

@@ -56,13 +56,7 @@ fn split_condition(theta: &Condition) -> (Vec<(usize, usize)>, Condition) {
         .filter(|a| a.op == CompOp::Eq)
         .map(|a| (a.left - 1, a.right - 1))
         .collect();
-    let residual = Condition::new(
-        theta
-            .atoms()
-            .iter()
-            .filter(|a| a.op != CompOp::Eq)
-            .copied(),
-    );
+    let residual = Condition::new(theta.atoms().iter().filter(|a| a.op != CompOp::Eq).copied());
     (eq, residual)
 }
 
@@ -135,9 +129,10 @@ pub fn semijoin(r1: &Relation, r2: &Relation, theta: &Condition) -> Relation {
         r1.iter()
             .filter(|t1| {
                 let key: Vec<Value> = left_cols.iter().map(|&c| t1[c].clone()).collect();
-                index.probe(&key).iter().any(|&pos| {
-                    residual.eval(t1.values(), r2.tuples()[pos].values())
-                })
+                index
+                    .probe(&key)
+                    .iter()
+                    .any(|&pos| residual.eval(t1.values(), r2.tuples()[pos].values()))
             })
             .cloned()
             .collect()
@@ -267,7 +262,10 @@ mod tests {
     #[test]
     fn unconditional_semijoin_is_emptiness_test() {
         let a = r(&[&[1], &[2]]);
-        assert_eq!(semijoin(&a, &Relation::empty(3), &Condition::always()), Relation::empty(1));
+        assert_eq!(
+            semijoin(&a, &Relation::empty(3), &Condition::always()),
+            Relation::empty(1)
+        );
         assert_eq!(semijoin(&a, &r(&[&[9]]), &Condition::always()), a);
     }
 

@@ -31,10 +31,7 @@ pub fn evaluate(expr: &Expr, db: &Database) -> Result<Relation, EvalError> {
 /// instrumented evaluator shares the operator implementations.
 pub(crate) fn eval_unchecked(expr: &Expr, db: &Database) -> Relation {
     match expr {
-        Expr::Rel(name) => db
-            .get(name)
-            .expect("validated: relation exists")
-            .clone(),
+        Expr::Rel(name) => db.get(name).expect("validated: relation exists").clone(),
         Expr::Union(a, b) => {
             let ra = eval_unchecked(a, db);
             let rb = eval_unchecked(b, db);
@@ -82,10 +79,7 @@ mod tests {
         );
         db.set(
             "Serves",
-            Relation::from_str_rows(&[
-                &["bad bar", "swill"],
-                &["good bar", "nectar"],
-            ]),
+            Relation::from_str_rows(&[&["bad bar", "swill"], &["good bar", "nectar"]]),
         );
         db.set("Likes", Relation::from_str_rows(&[&["bob", "nectar"]]));
         db
@@ -142,11 +136,7 @@ mod tests {
         let mut db = Database::new();
         db.set(
             "R",
-            Relation::from_int_rows(&[
-                &[1, 7], &[1, 8], &[1, 9],
-                &[2, 7], &[2, 8],
-                &[3, 9],
-            ]),
+            Relation::from_int_rows(&[&[1, 7], &[1, 8], &[1, 9], &[2, 7], &[2, 8], &[3, 9]]),
         );
         db.set("S", Relation::from_int_rows(&[&[7], &[8]]));
         let dd = evaluate(&division::division_double_difference("R", "S"), &db).unwrap();
@@ -161,15 +151,17 @@ mod tests {
         db.set(
             "R",
             Relation::from_int_rows(&[
-                &[1, 7], &[1, 8], &[1, 9], // superset of S
-                &[2, 7], &[2, 8],          // exactly S
-                &[3, 7],                   // proper subset
+                &[1, 7],
+                &[1, 8],
+                &[1, 9], // superset of S
+                &[2, 7],
+                &[2, 8], // exactly S
+                &[3, 7], // proper subset
             ]),
         );
         db.set("S", Relation::from_int_rows(&[&[7], &[8]]));
         let eq_ra = evaluate(&division::division_equality("R", "S"), &db).unwrap();
-        let eq_cnt =
-            evaluate(&division::division_equality_counting("R", "S"), &db).unwrap();
+        let eq_cnt = evaluate(&division::division_equality_counting("R", "S"), &db).unwrap();
         assert_eq!(eq_ra, Relation::from_int_rows(&[&[2]]));
         assert_eq!(eq_ra, eq_cnt);
     }
@@ -213,8 +205,7 @@ mod tests {
     fn semijoin_lowering_preserves_semantics() {
         let db = beer_db();
         let sa = division::example3_lousy_bar_sa();
-        let lowered =
-            sj_algebra::semijoins_to_joins_checked(&sa, &db.schema()).unwrap();
+        let lowered = sj_algebra::semijoins_to_joins_checked(&sa, &db.schema()).unwrap();
         assert_eq!(
             evaluate(&sa, &db).unwrap(),
             evaluate(&lowered, &db).unwrap()
@@ -228,11 +219,7 @@ mod tests {
         let mut db = Database::new();
         db.set(
             "R", // person-symptom
-            Relation::from_str_rows(&[
-                &["an", "headache"],
-                &["an", "fever"],
-                &["bob", "headache"],
-            ]),
+            Relation::from_str_rows(&[&["an", "headache"], &["an", "fever"], &["bob", "headache"]]),
         );
         db.set(
             "S", // disease-symptom

@@ -114,11 +114,16 @@ mod tests {
         for e in [
             Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S")),
             Expr::rel("R").semijoin(Condition::eq(2, 1).and_eq(1, 1), Expr::rel("S")),
-            Expr::rel("R").project([2, 2]).union(Expr::rel("S").project([1, 2])),
+            Expr::rel("R")
+                .project([2, 2])
+                .union(Expr::rel("S").project([1, 2])),
             Expr::rel("R").diff(Expr::rel("S")),
             Expr::rel("R").select_eq(1, 2).tag(7),
             Expr::rel("R").group_count([2]),
-            Expr::rel("R").join(Condition::lt(1, 2).and(2, sj_algebra::CompOp::Neq, 1), Expr::rel("S")),
+            Expr::rel("R").join(
+                Condition::lt(1, 2).and(2, sj_algebra::CompOp::Neq, 1),
+                Expr::rel("S"),
+            ),
         ] {
             assert_eq!(
                 evaluate(&e, &db).unwrap(),

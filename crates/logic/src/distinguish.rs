@@ -35,7 +35,11 @@ pub fn distinguishing_formula(
     constants: &[Value],
     depth: usize,
 ) -> Option<(Formula, Vec<Var>)> {
-    assert_eq!(a_tuple.arity(), b_tuple.arity(), "pointed tuples must align");
+    assert_eq!(
+        a_tuple.arity(),
+        b_tuple.arity(),
+        "pointed tuples must align"
+    );
     let vars: Vec<Var> = (1..=a_tuple.arity()).map(|i| format!("x{i}")).collect();
     let mut fresh = 0usize;
     let f = go(a, a_tuple, b, b_tuple, &vars, constants, depth, &mut fresh)?;
@@ -149,9 +153,7 @@ fn atomic_mismatch(
 /// Write each component of `t` as a position of `base` (first occurrence);
 /// `None` if some component is not among `base`'s values.
 fn positions_of(t: &Tuple, base: &Tuple) -> Option<Vec<usize>> {
-    t.iter()
-        .map(|v| base.iter().position(|w| w == v))
-        .collect()
+    t.iter().map(|v| base.iter().position(|w| w == v)).collect()
 }
 
 /// One Spoiler round on the `sa` ("spoiler") side: find a guarded tuple
@@ -182,9 +184,7 @@ fn spoiler_move(
             let v = &t_prime[p];
             if let Some(i) = sat.iter().position(|w| w == v) {
                 guard_vars.push(vars[i].clone());
-            } else if let Some((_, y)) =
-                new_value_var.iter().find(|(w, _)| w == v)
-            {
+            } else if let Some((_, y)) = new_value_var.iter().find(|(w, _)| w == v) {
                 guard_vars.push(y.clone());
             } else {
                 *fresh += 1;
@@ -210,8 +210,7 @@ fn spoiler_move(
         let mut deltas: Vec<Formula> = Vec::with_capacity(candidates.len());
         let mut all = true;
         for u in &candidates {
-            let sub_vars: Vec<Var> =
-                (1..=m).map(|i| format!("p{i}_{fresh}")).collect();
+            let sub_vars: Vec<Var> = (1..=m).map(|i| format!("p{i}_{fresh}")).collect();
             match go(sa, t_prime, sb, u, &sub_vars, constants, depth - 1, fresh) {
                 Some(delta) => {
                     let map: std::collections::BTreeMap<Var, Var> = sub_vars
@@ -243,10 +242,8 @@ fn spoiler_move(
         for p in 0..m {
             for q in (p + 1)..m {
                 if guard_vars[p] != guard_vars[q] {
-                    constraints.push(
-                        Formula::Eq(guard_vars[p].clone(), guard_vars[q].clone())
-                            .not(),
-                    );
+                    constraints
+                        .push(Formula::Eq(guard_vars[p].clone(), guard_vars[q].clone()).not());
                 }
             }
         }
@@ -301,21 +298,11 @@ mod tests {
     use sj_storage::{tuple, Relation};
 
     fn env(vars: &[Var], t: &Tuple) -> Assignment {
-        vars.iter()
-            .cloned()
-            .zip(t.iter().cloned())
-            .collect()
+        vars.iter().cloned().zip(t.iter().cloned()).collect()
     }
 
     /// Check the defining property of a distinguishing formula.
-    fn verify(
-        a: &Database,
-        at: &Tuple,
-        b: &Database,
-        bt: &Tuple,
-        f: &Formula,
-        vars: &[Var],
-    ) {
+    fn verify(a: &Database, at: &Tuple, b: &Database, bt: &Tuple, f: &Formula, vars: &[Var]) {
         assert!(
             satisfies(a, f, &env(vars, at)),
             "φ must hold at A,{at}: {f}"
@@ -333,8 +320,7 @@ mod tests {
         a.set("E", Relation::from_int_rows(&[&[1, 1]]));
         let mut b = Database::new();
         b.set("E", Relation::from_int_rows(&[&[5, 6]]));
-        let (f, vars) =
-            distinguishing_formula(&a, &tuple![1], &b, &tuple![5], &[], 2).unwrap();
+        let (f, vars) = distinguishing_formula(&a, &tuple![1], &b, &tuple![5], &[], 2).unwrap();
         verify(&a, &tuple![1], &b, &tuple![5], &f, &vars);
     }
 
@@ -346,8 +332,7 @@ mod tests {
         let mut b = Database::new();
         b.set("S", Relation::from_int_rows(&[&[9, 9]]));
         let (f, vars) =
-            distinguishing_formula(&a, &tuple![1, 2], &b, &tuple![7, 8], &[], 0)
-                .unwrap();
+            distinguishing_formula(&a, &tuple![1, 2], &b, &tuple![7, 8], &[], 0).unwrap();
         verify(&a, &tuple![1, 2], &b, &tuple![7, 8], &f, &vars);
     }
 
@@ -357,8 +342,7 @@ mod tests {
         let b = Database::new();
         // ā repeats a value, b̄ does not.
         let (f, vars) =
-            distinguishing_formula(&a, &tuple![3, 3], &b, &tuple![4, 5], &[], 0)
-                .unwrap();
+            distinguishing_formula(&a, &tuple![3, 3], &b, &tuple![4, 5], &[], 0).unwrap();
         verify(&a, &tuple![3, 3], &b, &tuple![4, 5], &f, &vars);
     }
 
@@ -367,8 +351,7 @@ mod tests {
         let a = Database::new();
         let b = Database::new();
         let (f, vars) =
-            distinguishing_formula(&a, &tuple![1, 2], &b, &tuple![5, 4], &[], 0)
-                .unwrap();
+            distinguishing_formula(&a, &tuple![1, 2], &b, &tuple![5, 4], &[], 0).unwrap();
         verify(&a, &tuple![1, 2], &b, &tuple![5, 4], &f, &vars);
     }
 
@@ -377,8 +360,7 @@ mod tests {
         let a = Database::new();
         let b = Database::new();
         let c = [Value::int(7)];
-        let (f, vars) =
-            distinguishing_formula(&a, &tuple![7], &b, &tuple![8], &c, 0).unwrap();
+        let (f, vars) = distinguishing_formula(&a, &tuple![7], &b, &tuple![8], &c, 0).unwrap();
         verify(&a, &tuple![7], &b, &tuple![8], &f, &vars);
     }
 
@@ -387,20 +369,20 @@ mod tests {
         // A,1 ∼ B,1 (Proposition 26's witness): no distinguishing formula
         // exists; the bounded search must return None at every depth.
         let mut a = Database::new();
-        a.set("R", Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 7], &[2, 8]]));
+        a.set(
+            "R",
+            Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 7], &[2, 8]]),
+        );
         a.set("S", Relation::from_int_rows(&[&[7], &[8]]));
         let mut b = Database::new();
         b.set(
             "R",
-            Relation::from_int_rows(&[
-                &[1, 7], &[1, 8], &[2, 8], &[2, 9], &[3, 7], &[3, 9],
-            ]),
+            Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 8], &[2, 9], &[3, 7], &[3, 9]]),
         );
         b.set("S", Relation::from_int_rows(&[&[7], &[8], &[9]]));
         for depth in 0..=3 {
             assert!(
-                distinguishing_formula(&a, &tuple![1], &b, &tuple![1], &[], depth)
-                    .is_none(),
+                distinguishing_formula(&a, &tuple![1], &b, &tuple![1], &[], depth).is_none(),
                 "depth {depth} wrongly distinguished a bisimilar pair"
             );
         }
@@ -415,9 +397,8 @@ mod tests {
         a.set("E", Relation::from_int_rows(&[&[1, 2], &[2, 3]]));
         let mut b = Database::new();
         b.set("E", Relation::from_int_rows(&[&[1, 2]]));
-        let found = (0..=2).find_map(|d| {
-            distinguishing_formula(&a, &tuple![1], &b, &tuple![1], &[], d)
-        });
+        let found =
+            (0..=2).find_map(|d| distinguishing_formula(&a, &tuple![1], &b, &tuple![1], &[], d));
         let (f, vars) = found.expect("paths of different length distinguishable");
         verify(&a, &tuple![1], &b, &tuple![1], &f, &vars);
     }

@@ -121,9 +121,7 @@ impl Formula {
     pub fn free_vars(&self) -> BTreeSet<Var> {
         match self {
             Formula::Bool(_) => BTreeSet::new(),
-            Formula::Eq(x, y) | Formula::Lt(x, y) => {
-                [x.clone(), y.clone()].into_iter().collect()
-            }
+            Formula::Eq(x, y) | Formula::Lt(x, y) => [x.clone(), y.clone()].into_iter().collect(),
             Formula::EqConst(x, _) => [x.clone()].into_iter().collect(),
             Formula::Rel(_, args) => args.iter().cloned().collect(),
             Formula::Not(f) => f.free_vars(),
@@ -135,7 +133,12 @@ impl Formula {
                 s.extend(b.free_vars());
                 s
             }
-            Formula::Exists { vars, guard_args, body, .. } => {
+            Formula::Exists {
+                vars,
+                guard_args,
+                body,
+                ..
+            } => {
                 let mut s: BTreeSet<Var> = guard_args.iter().cloned().collect();
                 s.extend(body.free_vars());
                 for v in vars {
@@ -185,7 +188,12 @@ impl Formula {
                 a.check_guarded()?;
                 b.check_guarded()
             }
-            Formula::Exists { vars, guard_rel, guard_args, body } => {
+            Formula::Exists {
+                vars,
+                guard_rel,
+                guard_args,
+                body,
+            } => {
                 let guard_set: BTreeSet<&Var> = guard_args.iter().collect();
                 for v in vars {
                     if !guard_set.contains(v) {
@@ -218,18 +226,21 @@ impl Formula {
             Formula::Eq(x, y) => Formula::Eq(ren(x), ren(y)),
             Formula::Lt(x, y) => Formula::Lt(ren(x), ren(y)),
             Formula::EqConst(x, c) => Formula::EqConst(ren(x), c.clone()),
-            Formula::Rel(r, args) => {
-                Formula::Rel(r.clone(), args.iter().map(&ren).collect())
-            }
+            Formula::Rel(r, args) => Formula::Rel(r.clone(), args.iter().map(&ren).collect()),
             Formula::Not(f) => f.rename_free(map).not(),
             Formula::And(a, b) => a.rename_free(map).and(b.rename_free(map)),
             Formula::Or(a, b) => a.rename_free(map).or(b.rename_free(map)),
             Formula::Implies(a, b) => a.rename_free(map).implies(b.rename_free(map)),
             Formula::Iff(a, b) => a.rename_free(map).iff(b.rename_free(map)),
-            Formula::Exists { vars, guard_rel, guard_args, body } => {
+            Formula::Exists {
+                vars,
+                guard_rel,
+                guard_args,
+                body,
+            } => {
                 debug_assert!(
-                    vars.iter().all(|v| !map.contains_key(v)
-                        && !map.values().any(|w| w == v)),
+                    vars.iter()
+                        .all(|v| !map.contains_key(v) && !map.values().any(|w| w == v)),
                     "bound variable capture: translations must keep bound names fresh"
                 );
                 let inner: std::collections::BTreeMap<Var, Var> = map
@@ -271,7 +282,12 @@ impl fmt::Display for Formula {
             Formula::Or(a, b) => write!(f, "({a} ∨ {b})"),
             Formula::Implies(a, b) => write!(f, "({a} → {b})"),
             Formula::Iff(a, b) => write!(f, "({a} ↔ {b})"),
-            Formula::Exists { vars, guard_rel, guard_args, body } => write!(
+            Formula::Exists {
+                vars,
+                guard_rel,
+                guard_args,
+                body,
+            } => write!(
                 f,
                 "∃{}({}({}) ∧ {body})",
                 vars.join(","),
@@ -319,20 +335,14 @@ mod tests {
 
     #[test]
     fn free_vars_of_connectives() {
-        let f = Formula::Eq("x".into(), "y".into())
-            .and(Formula::Lt("y".into(), "z".into()));
+        let f = Formula::Eq("x".into(), "y".into()).and(Formula::Lt("y".into(), "z".into()));
         let fv: Vec<Var> = f.free_vars().into_iter().collect();
         assert_eq!(fv, vec!["x".to_string(), "y".to_string(), "z".to_string()]);
     }
 
     #[test]
     fn exists_binds() {
-        let f = Formula::exists(
-            ["y"],
-            "R",
-            ["x", "y"],
-            Formula::Eq("x".into(), "y".into()),
-        );
+        let f = Formula::exists(["y"], "R", ["x", "y"], Formula::Eq("x".into(), "y".into()));
         let fv: Vec<Var> = f.free_vars().into_iter().collect();
         assert_eq!(fv, vec!["x".to_string()]);
     }
@@ -340,12 +350,7 @@ mod tests {
     #[test]
     fn guardedness_violations_detected() {
         // body free var z not in guard
-        let bad = Formula::exists(
-            ["y"],
-            "R",
-            ["x", "y"],
-            Formula::Eq("x".into(), "z".into()),
-        );
+        let bad = Formula::exists(["y"], "R", ["x", "y"], Formula::Eq("x".into(), "z".into()));
         assert!(bad.check_guarded().is_err());
         // quantified var not in guard
         let bad2 = Formula::exists(["w"], "R", ["x", "y"], Formula::Bool(true));
@@ -357,17 +362,14 @@ mod tests {
 
     #[test]
     fn rename_free_respects_binding() {
-        let f = Formula::exists(
-            ["y"],
-            "R",
-            ["x", "y"],
-            Formula::Eq("x".into(), "y".into()),
-        );
+        let f = Formula::exists(["y"], "R", ["x", "y"], Formula::Eq("x".into(), "y".into()));
         let mut map = BTreeMap::new();
         map.insert("x".to_string(), "u".to_string());
         let g = f.rename_free(&map);
         match &g {
-            Formula::Exists { guard_args, body, .. } => {
+            Formula::Exists {
+                guard_args, body, ..
+            } => {
                 assert_eq!(guard_args, &vec!["u".to_string(), "y".to_string()]);
                 assert_eq!(**body, Formula::Eq("u".into(), "y".into()));
             }
@@ -387,9 +389,6 @@ mod tests {
         assert_eq!(Formula::and_all([]), Formula::Bool(true));
         assert_eq!(Formula::or_all([]), Formula::Bool(false));
         let f = Formula::and_all([Formula::Bool(true), Formula::Bool(false)]);
-        assert_eq!(
-            f,
-            Formula::Bool(true).and(Formula::Bool(false))
-        );
+        assert_eq!(f, Formula::Bool(true).and(Formula::Bool(false)));
     }
 }

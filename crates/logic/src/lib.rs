@@ -43,14 +43,12 @@ mod proptests {
     }
 
     fn arb_relation(arity: usize) -> impl Strategy<Value = Relation> {
-        proptest::collection::vec(proptest::collection::vec(0i64..5, arity), 0..8)
-            .prop_map(move |rows| {
-                Relation::from_tuples(
-                    arity,
-                    rows.into_iter().map(|r| Tuple::from_ints(&r)),
-                )
-                .unwrap()
-            })
+        proptest::collection::vec(proptest::collection::vec(0i64..5, arity), 0..8).prop_map(
+            move |rows| {
+                Relation::from_tuples(arity, rows.into_iter().map(|r| Tuple::from_ints(&r)))
+                    .unwrap()
+            },
+        )
     }
 
     fn arb_db() -> impl Strategy<Value = Database> {
@@ -105,10 +103,8 @@ mod proptests {
         let leaf = prop_oneof![
             Just(Formula::Bool(true)),
             Just(Formula::Bool(false)),
-            (var.clone(), var.clone())
-                .prop_map(|(a, b)| Formula::Eq(a.into(), b.into())),
-            (var.clone(), var.clone())
-                .prop_map(|(a, b)| Formula::Lt(a.into(), b.into())),
+            (var.clone(), var.clone()).prop_map(|(a, b)| Formula::Eq(a.into(), b.into())),
+            (var.clone(), var.clone()).prop_map(|(a, b)| Formula::Lt(a.into(), b.into())),
             (var.clone(), any::<i64>())
                 .prop_map(|(a, c)| Formula::EqConst(a.into(), Value::int(c))),
             (var.clone(), "[a-z ]{0,6}")

@@ -45,7 +45,12 @@ pub fn to_ascii(f: &Formula) -> String {
         Formula::Or(a, b) => format!("({} | {})", to_ascii(a), to_ascii(b)),
         Formula::Implies(a, b) => format!("({} -> {})", to_ascii(a), to_ascii(b)),
         Formula::Iff(a, b) => format!("({} <-> {})", to_ascii(a), to_ascii(b)),
-        Formula::Exists { vars, guard_rel, guard_args, body } => format!(
+        Formula::Exists {
+            vars,
+            guard_rel,
+            guard_args,
+            body,
+        } => format!(
             "exists {} ({}({}) & {})",
             vars.join(","),
             guard_rel,
@@ -58,7 +63,10 @@ pub fn to_ascii(f: &Formula) -> String {
 /// Parse a GF formula from the ASCII grammar. Guardedness is *not*
 /// enforced here (use [`Formula::check_guarded`]); the syntax is.
 pub fn parse_formula(input: &str) -> Result<Formula, LogicError> {
-    let mut p = P { b: input.as_bytes(), i: 0 };
+    let mut p = P {
+        b: input.as_bytes(),
+        i: 0,
+    };
     let f = p.iff()?;
     p.ws();
     if p.i != p.b.len() {
@@ -260,9 +268,7 @@ impl<'a> P<'a> {
             Some(b'=') => {
                 self.i += 1;
                 match self.peek() {
-                    Some(b'{') | Some(b'\'') => {
-                        Ok(Formula::EqConst(name, self.literal()?))
-                    }
+                    Some(b'{') | Some(b'\'') => Ok(Formula::EqConst(name, self.literal()?)),
                     _ => Ok(Formula::Eq(name, self.ident()?)),
                 }
             }
@@ -312,8 +318,7 @@ mod tests {
             example7_lousy_bar(),
         ] {
             let text = to_ascii(&f);
-            let parsed = parse_formula(&text)
-                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            let parsed = parse_formula(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
             assert_eq!(parsed, f, "round trip failed for {text}");
         }
     }

@@ -32,7 +32,12 @@ pub fn satisfies(db: &Database, f: &Formula, env: &Assignment) -> bool {
         Formula::Or(a, b) => satisfies(db, a, env) || satisfies(db, b, env),
         Formula::Implies(a, b) => !satisfies(db, a, env) || satisfies(db, b, env),
         Formula::Iff(a, b) => satisfies(db, a, env) == satisfies(db, b, env),
-        Formula::Exists { vars, guard_rel, guard_args, body } => {
+        Formula::Exists {
+            vars,
+            guard_rel,
+            guard_args,
+            body,
+        } => {
             let rel = match db.get(guard_rel) {
                 None => return false,
                 Some(r) => r,

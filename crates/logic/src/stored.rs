@@ -13,21 +13,15 @@ use sj_storage::{Database, Tuple, Value};
 
 /// Is `t` C-stored in `db` (Definition 4)?
 pub fn is_c_stored(db: &Database, t: &Tuple, constants: &[Value]) -> bool {
-    let residual: Vec<&Value> = t
-        .iter()
-        .filter(|v| !constants.contains(v))
-        .collect();
+    let residual: Vec<&Value> = t.iter().filter(|v| !constants.contains(v)).collect();
     if residual.is_empty() {
         // The empty tuple lies in the nullary projection π() (D(R)) of any
         // nonempty relation.
         return db.iter().any(|(_, r)| !r.is_empty());
     }
     db.iter().any(|(_, rel)| {
-        rel.iter().any(|stored| {
-            residual
-                .iter()
-                .all(|v| stored.iter().any(|w| w == *v))
-        })
+        rel.iter()
+            .any(|stored| residual.iter().all(|v| stored.iter().any(|w| w == *v)))
     })
 }
 
@@ -138,11 +132,7 @@ mod tests {
                 for x in &pool {
                     for y in &pool {
                         let t = Tuple::new(vec![x.clone(), y.clone()]);
-                        assert_eq!(
-                            all.contains(&t),
-                            is_c_stored(&db, &t, &c),
-                            "{t:?}"
-                        );
+                        assert_eq!(all.contains(&t), is_c_stored(&db, &t, &c), "{t:?}");
                     }
                 }
             }

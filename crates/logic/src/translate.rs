@@ -124,11 +124,7 @@ pub fn stored_tuples_expr(
 ///
 /// `constants` must contain every constant of the formula; pass the
 /// formula's own constants (`f.constants()`) for the tightest `C`.
-pub fn gf_to_sa(
-    f: &Formula,
-    schema: &Schema,
-    constants: &[Value],
-) -> Result<SaQuery, LogicError> {
+pub fn gf_to_sa(f: &Formula, schema: &Schema, constants: &[Value]) -> Result<SaQuery, LogicError> {
     f.check_guarded().map_err(LogicError::Unguarded)?;
     for c in f.constants() {
         if !constants.contains(&c) {
@@ -152,7 +148,12 @@ fn desugar_bool(f: &Formula) -> Formula {
         Formula::Not(a) => desugar_bool(a).not(),
         Formula::And(a, b) => desugar_bool(a).and(desugar_bool(b)),
         Formula::Or(a, b) => desugar_bool(a).or(desugar_bool(b)),
-        Formula::Exists { vars, guard_rel, guard_args, body } => Formula::Exists {
+        Formula::Exists {
+            vars,
+            guard_rel,
+            guard_args,
+            body,
+        } => Formula::Exists {
             vars: vars.clone(),
             guard_rel: guard_rel.clone(),
             guard_args: guard_args.clone(),
@@ -198,7 +199,10 @@ fn translate_formula(
         }),
         Formula::Bool(false) => {
             let s = stored_tuples_expr(schema, 0, constants)?;
-            Ok(SaQuery { expr: s.clone().diff(s), free_vars: vec![] })
+            Ok(SaQuery {
+                expr: s.clone().diff(s),
+                free_vars: vec![],
+            })
         }
         Formula::Eq(x, y) => {
             if x == y {
@@ -217,7 +221,10 @@ fn translate_formula(
             if x == y {
                 // x < x is unsatisfiable.
                 let s = stored_tuples_expr(schema, 1, constants)?;
-                Ok(SaQuery { expr: s.clone().diff(s), free_vars: vec![x.clone()] })
+                Ok(SaQuery {
+                    expr: s.clone().diff(s),
+                    free_vars: vec![x.clone()],
+                })
             } else {
                 Ok(SaQuery {
                     expr: stored_tuples_expr(schema, 2, constants)?.select_lt(1, 2),
@@ -226,15 +233,16 @@ fn translate_formula(
             }
         }
         Formula::EqConst(x, c) => Ok(SaQuery {
-            expr: stored_tuples_expr(schema, 1, constants)?
-                .select_const(1, c.clone()),
+            expr: stored_tuples_expr(schema, 1, constants)?.select_const(1, c.clone()),
             free_vars: vec![x.clone()],
         }),
         Formula::Rel(r, args) => {
-            let m = schema.arity_of(r).ok_or_else(|| LogicError::BadRelationAtom {
-                relation: r.clone(),
-                message: "not in schema".into(),
-            })?;
+            let m = schema
+                .arity_of(r)
+                .ok_or_else(|| LogicError::BadRelationAtom {
+                    relation: r.clone(),
+                    message: "not in schema".into(),
+                })?;
             if m != args.len() {
                 return Err(LogicError::BadRelationAtom {
                     relation: r.clone(),
@@ -255,7 +263,10 @@ fn translate_formula(
                     }
                 }
             }
-            Ok(SaQuery { expr: expr.project(first_pos), free_vars: distinct })
+            Ok(SaQuery {
+                expr: expr.project(first_pos),
+                free_vars: distinct,
+            })
         }
         Formula::Not(g) => {
             let sub = translate_formula(g, schema, constants)?;
@@ -281,12 +292,20 @@ fn translate_formula(
             } else {
                 xa.union(xb)
             };
-            Ok(SaQuery { expr, free_vars: target })
+            Ok(SaQuery {
+                expr,
+                free_vars: target,
+            })
         }
         Formula::Implies(..) | Formula::Iff(..) => {
             unreachable!("desugared before translation")
         }
-        Formula::Exists { vars, guard_rel, guard_args, body } => {
+        Formula::Exists {
+            vars,
+            guard_rel,
+            guard_args,
+            body,
+        } => {
             let m = schema
                 .arity_of(guard_rel)
                 .ok_or_else(|| LogicError::BadRelationAtom {
@@ -333,9 +352,11 @@ fn translate_formula(
                 .filter(|v| !vars.contains(v))
                 .cloned()
                 .collect();
-            let cols: Vec<usize> =
-                free.iter().map(|v| first_pos_of[v] + 1).collect();
-            Ok(SaQuery { expr: filtered.project(cols), free_vars: free })
+            let cols: Vec<usize> = free.iter().map(|v| first_pos_of[v] + 1).collect();
+            Ok(SaQuery {
+                expr: filtered.project(cols),
+                free_vars: free,
+            })
         }
     }
 }
@@ -379,11 +400,7 @@ pub fn sa_to_gf(e: &Expr, schema: &Schema) -> Result<GfQuery, LogicError> {
 }
 
 fn rename(f: &Formula, from: &[Var], to: &[Var]) -> Formula {
-    let map: BTreeMap<Var, Var> = from
-        .iter()
-        .cloned()
-        .zip(to.iter().cloned())
-        .collect();
+    let map: BTreeMap<Var, Var> = from.iter().cloned().zip(to.iter().cloned()).collect();
     f.rename_free(&map)
 }
 
@@ -411,15 +428,9 @@ fn translate_expr(
         Expr::Select(sel, a) => {
             let (fa, va) = translate_expr(a, schema, fresh)?;
             let atom = match sel {
-                Selection::Eq(i, j) => {
-                    Formula::Eq(va[i - 1].clone(), va[j - 1].clone())
-                }
-                Selection::Lt(i, j) => {
-                    Formula::Lt(va[i - 1].clone(), va[j - 1].clone())
-                }
-                Selection::EqConst(i, c) => {
-                    Formula::EqConst(va[i - 1].clone(), c.clone())
-                }
+                Selection::Eq(i, j) => Formula::Eq(va[i - 1].clone(), va[j - 1].clone()),
+                Selection::Lt(i, j) => Formula::Lt(va[i - 1].clone(), va[j - 1].clone()),
+                Selection::EqConst(i, c) => Formula::EqConst(va[i - 1].clone(), c.clone()),
             };
             Ok((fa.and(atom), va))
         }
@@ -469,8 +480,7 @@ fn translate_expr(
         Expr::Semijoin(theta, a, b) => {
             if !theta.is_equi() {
                 return Err(LogicError::UnsupportedExpression(
-                    "sa_to_gf requires equality-only semijoin conditions (SA=)"
-                        .into(),
+                    "sa_to_gf requires equality-only semijoin conditions (SA=)".into(),
                 ));
             }
             let (fa, va) = translate_expr(a, schema, fresh)?;
@@ -683,11 +693,7 @@ mod tests {
                 assert!(e.is_sa_eq(), "stored expr must be SA=");
                 let got = evaluate(&e, &db).unwrap();
                 let want = all_c_stored_tuples(&db, k, &consts);
-                assert_eq!(
-                    got.tuples().to_vec(),
-                    want,
-                    "k={k}, C={consts:?}"
-                );
+                assert_eq!(got.tuples().to_vec(), want, "k={k}, C={consts:?}");
             }
         }
     }
@@ -729,8 +735,7 @@ mod tests {
             Formula::Rel("Serves".into(), vec![x(), y()]).not(),
             Formula::Rel("Serves".into(), vec![x(), y()])
                 .and(Formula::Rel("Visits".into(), vec![y(), x()]).not()),
-            Formula::Rel("Serves".into(), vec![x(), y()])
-                .or(Formula::Likes_xy()),
+            Formula::Rel("Serves".into(), vec![x(), y()]).or(Formula::Likes_xy()),
             example7_lousy_bar(),
             Formula::exists(["w"], "Likes", ["w", "z"], Formula::Bool(true)),
             Formula::Rel("Visits".into(), vec![x(), y()])
@@ -795,9 +800,11 @@ mod tests {
                 Condition::eq_pairs([(1, 1), (2, 2)]),
                 Expr::rel("Likes").union(Expr::rel("Serves")),
             ),
-            Expr::rel("Serves")
-                .project([1])
-                .diff(Expr::rel("Serves").semijoin(Condition::eq(2, 2), Expr::rel("Likes")).project([1])),
+            Expr::rel("Serves").project([1]).diff(
+                Expr::rel("Serves")
+                    .semijoin(Condition::eq(2, 2), Expr::rel("Likes"))
+                    .project([1]),
+            ),
         ];
         for e in exprs {
             let q = sa_to_gf(&e, &schema).unwrap();

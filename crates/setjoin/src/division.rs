@@ -44,11 +44,7 @@ pub fn divide(r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation {
 /// Nested-loop division: for every candidate A-value, probe `R` for every
 /// divisor value. The quadratic baseline (deliberately so — it mirrors the
 /// work pattern of the quadratic RA plans).
-pub fn nested_loop_division(
-    r: &Relation,
-    s: &Relation,
-    sem: DivisionSemantics,
-) -> Relation {
+pub fn nested_loop_division(r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation {
     check_shapes(r, s);
     let mut candidates: Vec<Value> = r.iter().map(|t| t[0].clone()).collect();
     candidates.dedup(); // canonical order ⇒ equal As adjacent
@@ -77,11 +73,7 @@ pub fn nested_loop_division(
 /// each A-group's B-list appears in order; one merge pass against the
 /// (sorted) divisor decides each group. Linear after sorting — this is the
 /// O(n log n) strategy the paper's footnote 1 refers to.
-pub fn sort_merge_division(
-    r: &Relation,
-    s: &Relation,
-    sem: DivisionSemantics,
-) -> Relation {
+pub fn sort_merge_division(r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation {
     check_shapes(r, s);
     let divisor: Vec<&Value> = s.iter().map(|t| &t[0]).collect();
     let tuples = r.tuples();
@@ -112,9 +104,7 @@ pub fn sort_merge_division(
         let group_size = j - i;
         let qualifies = match sem {
             DivisionSemantics::Containment => matched == divisor.len(),
-            DivisionSemantics::Equality => {
-                matched == divisor.len() && group_size == divisor.len()
-            }
+            DivisionSemantics::Equality => matched == divisor.len() && group_size == divisor.len(),
         };
         if qualifies {
             out.push(Tuple::new(vec![a.clone()]));
@@ -176,11 +166,7 @@ pub fn hash_division(r: &Relation, s: &Relation, sem: DivisionSemantics) -> Rela
 /// Unlike the *expression* (whose inner join drops groups with zero
 /// matches), the direct implementation handles the empty divisor:
 /// `R ÷ ∅ = π_A(R)` under containment.
-pub fn counting_division(
-    r: &Relation,
-    s: &Relation,
-    sem: DivisionSemantics,
-) -> Relation {
+pub fn counting_division(r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation {
     check_shapes(r, s);
     let divisor: FxHashSet<&Value> = s.iter().map(|t| &t[0]).collect();
     // matched and total counts per A (distinct (A,B) guaranteed by set
@@ -225,10 +211,13 @@ mod tests {
 
     fn r() -> Relation {
         Relation::from_int_rows(&[
-            &[1, 7], &[1, 8], &[1, 9], // superset of S
-            &[2, 7], &[2, 8],          // exactly S
-            &[3, 7],                   // proper subset
-            &[4, 9],                   // disjoint
+            &[1, 7],
+            &[1, 8],
+            &[1, 9], // superset of S
+            &[2, 7],
+            &[2, 8], // exactly S
+            &[3, 7], // proper subset
+            &[4, 9], // disjoint
         ])
     }
 

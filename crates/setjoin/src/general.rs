@@ -120,9 +120,7 @@ mod tests {
 
     #[test]
     fn reduces_to_binary_division() {
-        let r = Relation::from_int_rows(&[
-            &[1, 7], &[1, 8], &[2, 7], &[3, 7], &[3, 8], &[3, 9],
-        ]);
+        let r = Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 7], &[3, 7], &[3, 8], &[3, 9]]);
         let s = Relation::from_int_rows(&[&[7], &[8]]);
         for sem in [Containment, Equality] {
             assert_eq!(
@@ -143,11 +141,7 @@ mod tests {
     fn duplicate_pairs_across_other_columns_counted_once() {
         // (key, payload, value): the same (key, value) appears under two
         // payloads — must count once.
-        let r = Relation::from_int_rows(&[
-            &[1, 100, 7],
-            &[1, 200, 7],
-            &[1, 100, 8],
-        ]);
+        let r = Relation::from_int_rows(&[&[1, 100, 7], &[1, 200, 7], &[1, 100, 8]]);
         let s = Relation::from_int_rows(&[&[7], &[8]]);
         let got = divide_general(&r, &[1], 3, &s, Containment);
         assert_eq!(got, Relation::from_int_rows(&[&[1]]));

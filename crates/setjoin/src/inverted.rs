@@ -127,9 +127,13 @@ mod tests {
     #[test]
     fn multiple_matches() {
         let r = Relation::from_int_rows(&[
-            &[1, 10], &[1, 11], &[1, 12],
-            &[2, 10], &[2, 11],
-            &[3, 11], &[3, 12],
+            &[1, 10],
+            &[1, 11],
+            &[1, 12],
+            &[2, 10],
+            &[2, 11],
+            &[3, 11],
+            &[3, 12],
         ]);
         let s = Relation::from_int_rows(&[&[7, 10], &[7, 11], &[8, 11]]);
         let got = inverted_index_set_join(&r, &s);

@@ -22,14 +22,14 @@ pub mod setjoin;
 pub mod wide_signature;
 
 pub use division::{
-    counting_division, divide, hash_division, nested_loop_division,
-    sort_merge_division, DivisionSemantics,
+    counting_division, divide, hash_division, nested_loop_division, sort_merge_division,
+    DivisionSemantics,
 };
 pub use general::divide_general;
 pub use inverted::inverted_index_set_join;
 pub use setjoin::{
-    group_sets, hash_set_equality_join, intersect_join_via_equijoin,
-    nested_loop_set_join, set_join, signature_set_join, SetPredicate,
+    group_sets, hash_set_equality_join, intersect_join_via_equijoin, nested_loop_set_join,
+    set_join, signature_set_join, SetPredicate,
 };
 pub use wide_signature::{filter_survivors, wide_signature_set_join, WideSignature};
 
@@ -41,30 +41,19 @@ mod proptests {
 
     fn arb_pairs(max_key: i64, max_val: i64, len: usize) -> impl Strategy<Value = Relation> {
         proptest::collection::vec((1..=max_key, 1..=max_val), 0..len).prop_map(|rows| {
-            Relation::from_tuples(
-                2,
-                rows.into_iter().map(|(a, b)| Tuple::from_ints(&[a, b])),
-            )
-            .unwrap()
+            Relation::from_tuples(2, rows.into_iter().map(|(a, b)| Tuple::from_ints(&[a, b])))
+                .unwrap()
         })
     }
 
     fn arb_divisor(max_val: i64, len: usize) -> impl Strategy<Value = Relation> {
         proptest::collection::vec(1..=max_val, 0..len).prop_map(|vals| {
-            Relation::from_tuples(
-                1,
-                vals.into_iter().map(|v| Tuple::from_ints(&[v])),
-            )
-            .unwrap()
+            Relation::from_tuples(1, vals.into_iter().map(|v| Tuple::from_ints(&[v]))).unwrap()
         })
     }
 
     /// Brute-force division oracle.
-    fn oracle_divide(
-        r: &Relation,
-        s: &Relation,
-        sem: DivisionSemantics,
-    ) -> Relation {
+    fn oracle_divide(r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation {
         let divisor: Vec<_> = s.iter().map(|t| t[0].clone()).collect();
         let mut keys: Vec<_> = r.iter().map(|t| t[0].clone()).collect();
         keys.sort();
@@ -76,9 +65,7 @@ mod proptests {
                 .map(|t| t[1].clone())
                 .collect();
             match sem {
-                DivisionSemantics::Containment => {
-                    divisor.iter().all(|d| bs.contains(d))
-                }
+                DivisionSemantics::Containment => divisor.iter().all(|d| bs.contains(d)),
                 DivisionSemantics::Equality => {
                     divisor.iter().all(|d| bs.contains(d)) && bs.len() == divisor.len()
                 }

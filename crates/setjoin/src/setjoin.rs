@@ -68,11 +68,7 @@ fn sorted_subset(sub: &[Value], sup: &[Value]) -> bool {
 
 /// Exact predicate check on two sorted value lists (crate-internal API
 /// shared with the wide-signature variant).
-pub(crate) fn predicate_holds_public(
-    pred: SetPredicate,
-    b: &[Value],
-    d: &[Value],
-) -> bool {
+pub(crate) fn predicate_holds_public(pred: SetPredicate, b: &[Value], d: &[Value]) -> bool {
     predicate_holds(pred, b, d)
 }
 
@@ -231,11 +227,7 @@ mod tests {
     #[test]
     fn fig1_set_containment_join() {
         // Person ⋈_{Symptom ⊇ Symptom} Disease = {(An,flu),(Bob,flu),(Bob,Lyme)}.
-        let want = Relation::from_str_rows(&[
-            &["An", "flu"],
-            &["Bob", "flu"],
-            &["Bob", "Lyme"],
-        ]);
+        let want = Relation::from_str_rows(&[&["An", "flu"], &["Bob", "flu"], &["Bob", "Lyme"]]);
         assert_eq!(nested_loop_set_join(&person(), &disease(), Contains), want);
         assert_eq!(signature_set_join(&person(), &disease(), Contains), want);
         assert_eq!(set_join(&person(), &disease(), Contains), want);
@@ -244,11 +236,15 @@ mod tests {
     #[test]
     fn all_predicates_agree_between_algorithms() {
         let r = Relation::from_int_rows(&[
-            &[1, 10], &[1, 11], &[2, 10], &[3, 12], &[3, 13], &[4, 10], &[4, 11],
+            &[1, 10],
+            &[1, 11],
+            &[2, 10],
+            &[3, 12],
+            &[3, 13],
+            &[4, 10],
+            &[4, 11],
         ]);
-        let s = Relation::from_int_rows(&[
-            &[5, 10], &[5, 11], &[6, 10], &[7, 13], &[8, 20],
-        ]);
+        let s = Relation::from_int_rows(&[&[5, 10], &[5, 11], &[6, 10], &[7, 13], &[8, 20]]);
         for pred in [Contains, ContainedIn, Equals, IntersectsNonempty] {
             let naive = nested_loop_set_join(&r, &s, pred);
             assert_eq!(
@@ -256,7 +252,11 @@ mod tests {
                 naive,
                 "signature vs naive on {pred:?}"
             );
-            assert_eq!(set_join(&r, &s, pred), naive, "default vs naive on {pred:?}");
+            assert_eq!(
+                set_join(&r, &s, pred),
+                naive,
+                "default vs naive on {pred:?}"
+            );
         }
         assert_eq!(
             hash_set_equality_join(&r, &s),

@@ -83,9 +83,7 @@ pub fn wide_signature_set_join(
                 SetPredicate::Contains => sd.subset_of(sb),
                 SetPredicate::ContainedIn => sb.subset_of(sd),
                 SetPredicate::Equals => sb == sd,
-                SetPredicate::IntersectsNonempty => {
-                    sb.intersects(sd) || b_set.is_empty()
-                }
+                SetPredicate::IntersectsNonempty => sb.intersects(sd) || b_set.is_empty(),
             };
             if may && crate::setjoin::predicate_holds_public(pred, b_set, d_set) {
                 out.push(Tuple::new(vec![a.clone(), c.clone()]));
@@ -98,12 +96,7 @@ pub fn wide_signature_set_join(
 /// Count how many candidate pairs survive the signature filter (before
 /// exact verification) — the measurement behind the width-ablation
 /// experiment: larger `words` ⇒ fewer false positives.
-pub fn filter_survivors(
-    r: &Relation,
-    s: &Relation,
-    pred: SetPredicate,
-    words: usize,
-) -> usize {
+pub fn filter_survivors(r: &Relation, s: &Relation, pred: SetPredicate, words: usize) -> usize {
     let rg = group_sets(r);
     let sg = group_sets(s);
     let rsig: Vec<WideSignature> = rg
@@ -121,9 +114,7 @@ pub fn filter_survivors(
                 SetPredicate::Contains => sd.subset_of(sb),
                 SetPredicate::ContainedIn => sb.subset_of(sd),
                 SetPredicate::Equals => *sb == *sd,
-                SetPredicate::IntersectsNonempty => {
-                    sb.intersects(sd) || b_set.is_empty()
-                }
+                SetPredicate::IntersectsNonempty => sb.intersects(sd) || b_set.is_empty(),
             };
             if may {
                 survivors += 1;
@@ -145,12 +136,7 @@ mod tests {
     mod sj_workload_free_random {
         use sj_storage::{Relation, Tuple};
 
-        pub fn relation_of_sets(
-            groups: i64,
-            size: i64,
-            domain: i64,
-            mut seed: u64,
-        ) -> Relation {
+        pub fn relation_of_sets(groups: i64, size: i64, domain: i64, mut seed: u64) -> Relation {
             let mut rows = Vec::new();
             for g in 0..groups {
                 for k in 0..size {
@@ -198,7 +184,10 @@ mod tests {
         for words in [1usize, 2, 4, 8] {
             let surv = filter_survivors(&r, &s, SetPredicate::Contains, words);
             assert!(surv >= truth, "filter lost true pairs");
-            assert!(surv <= last, "width {words} filtered worse: {surv} > {last}");
+            assert!(
+                surv <= last,
+                "width {words} filtered worse: {surv} > {last}"
+            );
             last = surv;
         }
     }
@@ -206,10 +195,7 @@ mod tests {
     #[test]
     fn signature_basics() {
         let a = WideSignature::of(&[Value::int(1), Value::int(2)], 2);
-        let b = WideSignature::of(
-            &[Value::int(1), Value::int(2), Value::int(3)],
-            2,
-        );
+        let b = WideSignature::of(&[Value::int(1), Value::int(2), Value::int(3)], 2);
         assert!(a.subset_of(&b));
         assert!(a.intersects(&b));
         assert!(a.popcount() <= 2);

@@ -33,9 +33,7 @@ impl Database {
     }
 
     /// Build a database from `(name, relation)` pairs.
-    pub fn from_relations<N: Into<String>>(
-        rels: impl IntoIterator<Item = (N, Relation)>,
-    ) -> Self {
+    pub fn from_relations<N: Into<String>>(rels: impl IntoIterator<Item = (N, Relation)>) -> Self {
         Database {
             relations: rels.into_iter().map(|(n, r)| (n.into(), r)).collect(),
         }
@@ -164,13 +162,10 @@ impl Database {
             .relations
             .iter()
             .map(|(n, r)| {
-                let tuples = r
-                    .iter()
-                    .map(|t| t.iter().map(&mut f).collect::<Tuple>());
+                let tuples = r.iter().map(|t| t.iter().map(&mut f).collect::<Tuple>());
                 (
                     n.clone(),
-                    Relation::from_tuples(r.arity(), tuples)
-                        .expect("map_values preserves arity"),
+                    Relation::from_tuples(r.arity(), tuples).expect("map_values preserves arity"),
                 )
             })
             .collect();
@@ -225,8 +220,10 @@ mod tests {
     #[test]
     fn active_domain() {
         let dom = fig2().active_domain();
-        let expect: Vec<Value> =
-            ["a", "b", "c", "d", "e", "f"].iter().map(Value::str).collect();
+        let expect: Vec<Value> = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .map(Value::str)
+            .collect();
         assert_eq!(dom, expect);
     }
 

@@ -92,10 +92,7 @@ mod tests {
 
     #[test]
     fn renders_fig1_person_fragment() {
-        let person = Relation::from_str_rows(&[
-            &["An", "headache"],
-            &["An", "sore throat"],
-        ]);
+        let person = Relation::from_str_rows(&[&["An", "headache"], &["An", "sore throat"]]);
         let s = render_relation(&person, "Person", &["pName", "Symptom"]);
         assert!(s.starts_with("Person\n"));
         assert!(s.contains("| pName | Symptom     |"));

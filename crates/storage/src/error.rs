@@ -46,7 +46,11 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(
-            StorageError::ArityMismatch { expected: 2, found: 3 }.to_string(),
+            StorageError::ArityMismatch {
+                expected: 2,
+                found: 3
+            }
+            .to_string(),
             "arity mismatch: expected 2, found 3"
         );
         assert_eq!(
@@ -54,7 +58,11 @@ mod tests {
             "unknown relation: R"
         );
         assert_eq!(
-            StorageError::ColumnOutOfRange { column: 4, arity: 2 }.to_string(),
+            StorageError::ColumnOutOfRange {
+                column: 4,
+                arity: 2
+            }
+            .to_string(),
             "column 4 out of range for arity 2"
         );
     }

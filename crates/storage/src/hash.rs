@@ -102,10 +102,7 @@ mod tests {
     fn distinguishes_common_inputs() {
         assert_ne!(fx_hash_one(&1u64), fx_hash_one(&2u64));
         assert_ne!(fx_hash_one(&tuple![1, 2]), fx_hash_one(&tuple![2, 1]));
-        assert_ne!(
-            fx_hash_one(&Value::int(1)),
-            fx_hash_one(&Value::str("1"))
-        );
+        assert_ne!(fx_hash_one(&Value::int(1)), fx_hash_one(&Value::str("1")));
     }
 
     #[test]

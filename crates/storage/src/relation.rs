@@ -29,7 +29,10 @@ pub struct Relation {
 impl Relation {
     /// The empty relation of the given arity.
     pub fn empty(arity: usize) -> Self {
-        Relation { arity, tuples: Vec::new() }
+        Relation {
+            arity,
+            tuples: Vec::new(),
+        }
     }
 
     /// Build a relation from tuples, canonicalizing (sort + dedup).
@@ -163,7 +166,10 @@ impl Relation {
         }
         out.extend_from_slice(&self.tuples[i..]);
         out.extend_from_slice(&other.tuples[j..]);
-        Ok(Relation { arity: self.arity, tuples: out })
+        Ok(Relation {
+            arity: self.arity,
+            tuples: out,
+        })
     }
 
     /// Set difference `self − other` (arity must match).
@@ -188,7 +194,10 @@ impl Relation {
                 }
             }
         }
-        Ok(Relation { arity: self.arity, tuples: out })
+        Ok(Relation {
+            arity: self.arity,
+            tuples: out,
+        })
     }
 
     /// Set intersection (arity must match).
@@ -207,7 +216,10 @@ impl Relation {
                 }
             }
         }
-        Ok(Relation { arity: self.arity, tuples: out })
+        Ok(Relation {
+            arity: self.arity,
+            tuples: out,
+        })
     }
 
     /// True iff `self ⊆ other`.
@@ -217,11 +229,7 @@ impl Relation {
 
     /// All values occurring anywhere in the relation, sorted, deduplicated.
     pub fn active_domain(&self) -> Vec<Value> {
-        let mut v: Vec<Value> = self
-            .tuples
-            .iter()
-            .flat_map(|t| t.iter().cloned())
-            .collect();
+        let mut v: Vec<Value> = self.tuples.iter().flat_map(|t| t.iter().cloned()).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -273,7 +281,10 @@ mod tests {
         let a = r(&[&[2, 1], &[1, 2], &[2, 1]]);
         assert_eq!(a.len(), 2);
         let tuples: Vec<_> = a.iter().cloned().collect();
-        assert_eq!(tuples, vec![Tuple::from_ints(&[1, 2]), Tuple::from_ints(&[2, 1])]);
+        assert_eq!(
+            tuples,
+            vec![Tuple::from_ints(&[1, 2]), Tuple::from_ints(&[2, 1])]
+        );
     }
 
     #[test]
@@ -284,7 +295,13 @@ mod tests {
     #[test]
     fn arity_checked_on_build_and_insert() {
         let e = Relation::from_tuples(2, vec![Tuple::from_ints(&[1])]);
-        assert!(matches!(e, Err(StorageError::ArityMismatch { expected: 2, found: 1 })));
+        assert!(matches!(
+            e,
+            Err(StorageError::ArityMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
         let mut a = Relation::empty(1);
         assert!(a.insert(Tuple::from_ints(&[1, 2])).is_err());
     }

@@ -23,10 +23,7 @@ impl Schema {
     /// override earlier ones.
     pub fn new<N: Into<String>>(relations: impl IntoIterator<Item = (N, usize)>) -> Self {
         Schema {
-            arities: relations
-                .into_iter()
-                .map(|(n, a)| (n.into(), a))
-                .collect(),
+            arities: relations.into_iter().map(|(n, a)| (n.into(), a)).collect(),
         }
     }
 

@@ -128,9 +128,7 @@ pub fn fig5_b() -> Database {
     let mut d = Database::new();
     d.set(
         "R",
-        Relation::from_int_rows(&[
-            &[1, 7], &[1, 8], &[2, 8], &[2, 9], &[3, 7], &[3, 9],
-        ]),
+        Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 8], &[2, 9], &[3, 7], &[3, 9]]),
     );
     d.set("S", Relation::from_int_rows(&[&[7], &[8], &[9]]));
     d
@@ -169,10 +167,7 @@ pub fn fig6_b() -> Database {
     );
     d.set(
         "Likes",
-        Relation::from_str_rows(&[
-            &["alex", "westvleteren"],
-            &["bart", "westmalle"],
-        ]),
+        Relation::from_str_rows(&[&["alex", "westvleteren"], &["bart", "westmalle"]]),
     );
     d
 }

@@ -86,11 +86,8 @@ impl DivisionWorkload {
         let s = Relation::unary(divisor.iter().map(|&b| Value::int(b)));
         // Empty divisor ⇒ every group that actually appears qualifies.
         let expected = if self.divisor_size == 0 {
-            Relation::from_tuples(
-                1,
-                r.iter().map(|t| Tuple::new(vec![t[0].clone()])),
-            )
-            .expect("unary")
+            Relation::from_tuples(1, r.iter().map(|t| Tuple::new(vec![t[0].clone()])))
+                .expect("unary")
         } else {
             Relation::from_tuples(1, winners).expect("unary")
         };
@@ -167,9 +164,7 @@ impl SetJoinWorkload {
         for g in 0..groups as i64 {
             let size = match self.set_size {
                 SetSizeDist::Fixed(k) => k,
-                SetSizeDist::Uniform(lo, hi) => {
-                    lo + rng.below((hi - lo) as u64 + 1) as usize
-                }
+                SetSizeDist::Uniform(lo, hi) => lo + rng.below((hi - lo) as u64 + 1) as usize,
             };
             let mut chosen = std::collections::BTreeSet::new();
             let mut attempts = 0;
@@ -210,9 +205,8 @@ pub fn random_database(seed: u64, tuples_per_relation: usize, domain: i64) -> Da
     let binary = |rng: &mut SplitMix64| {
         Relation::from_tuples(
             2,
-            (0..tuples_per_relation).map(|_| {
-                Tuple::from_ints(&[rng.range_i64(1, domain), rng.range_i64(1, domain)])
-            }),
+            (0..tuples_per_relation)
+                .map(|_| Tuple::from_ints(&[rng.range_i64(1, domain), rng.range_i64(1, domain)])),
         )
         .expect("binary")
     };
@@ -279,9 +273,7 @@ pub fn adversarial_division_series(group_counts: &[usize], seed: u64) -> Vec<Dat
             db.set("R", Relation::from_tuples(2, rows).expect("binary"));
             db.set(
                 "S",
-                Relation::unary(
-                    (0..k as i64).map(|i| Value::int(ELEMENT_BASE + 1 + i)),
-                ),
+                Relation::unary((0..k as i64).map(|i| Value::int(ELEMENT_BASE + 1 + i))),
             );
             db
         })

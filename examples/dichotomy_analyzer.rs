@@ -27,9 +27,7 @@ fn main() {
     let plans: Vec<String> = if args.is_empty() {
         vec![
             // The classical division plan (quadratic).
-            sj_algebra::to_text(&sj_algebra::division::division_double_difference(
-                "R", "S",
-            )),
+            sj_algebra::to_text(&sj_algebra::division::division_double_difference("R", "S")),
             // A key-foreign-key style join (linear).
             "project[1](join[2=1](R, S))".to_string(),
             // A semijoin plan (linear by construction).

@@ -16,8 +16,14 @@ fn main() {
     let symptoms = db.get("Symptoms").unwrap();
 
     println!("== Fig. 1 of Leinders & Van den Bussche ==\n");
-    println!("{}", render_relation(person, "Person", &["pName", "Symptom"]));
-    println!("{}", render_relation(disease, "Disease", &["dName", "Symptom"]));
+    println!(
+        "{}",
+        render_relation(person, "Person", &["pName", "Symptom"])
+    );
+    println!(
+        "{}",
+        render_relation(disease, "Disease", &["dName", "Symptom"])
+    );
     println!("{}", render_relation(symptoms, "Symptoms", &["Symptom"]));
 
     // Set-containment join: which persons show ALL symptoms of which

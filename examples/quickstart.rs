@@ -21,12 +21,18 @@ fn main() {
     ]);
     let required = Relation::from_str_rows(&[&["algebra"], &["databases"]]);
 
-    println!("{}", render_relation(&enrolled, "Enrolled", &["student", "course"]));
+    println!(
+        "{}",
+        render_relation(&enrolled, "Enrolled", &["student", "course"])
+    );
     println!("{}", render_relation(&required, "Required", &["course"]));
 
     // 2. Division, directly: who takes ALL required courses?
     let graduates = divide(&enrolled, &required, DivisionSemantics::Containment);
-    println!("{}", render_relation(&graduates, "Enrolled ÷ Required", &["student"]));
+    println!(
+        "{}",
+        render_relation(&graduates, "Enrolled ÷ Required", &["student"])
+    );
 
     // 3. The same query as a classical relational-algebra plan …
     let mut db = Database::new();
@@ -59,9 +65,7 @@ fn main() {
             // values over the integers; renumber the string data first.
             let mut dict: Vec<Value> = witness.db.active_domain();
             dict.sort();
-            let renum = |v: &Value| {
-                Value::int(dict.iter().position(|w| w == v).unwrap() as i64)
-            };
+            let renum = |v: &Value| Value::int(dict.iter().position(|w| w == v).unwrap() as i64);
             let int_witness = sj_core::QuadraticWitness {
                 db: witness.db.map_values(renum),
                 a: witness.a.iter().map(renum).collect(),
@@ -74,7 +78,9 @@ fn main() {
             println!("pumping the witness (Lemma 24):");
             for n in [2usize, 4, 8, 16] {
                 let (size, pairs) = pump.verify(n);
-                println!("  n = {n:>2}: |Dn| = {size:>3} (linear), joining pairs = {pairs:>4} (= n²)");
+                println!(
+                    "  n = {n:>2}: |Dn| = {size:>3} (linear), joining pairs = {pairs:>4} (= n²)"
+                );
             }
         }
         other => println!("analyzer verdict: {other:?}"),

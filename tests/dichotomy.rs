@@ -21,9 +21,18 @@ fn series() -> Vec<Database> {
 fn ra_division_plans_measured_quadratic() {
     let series = series();
     for (name, plan) in [
-        ("double-difference", sj_algebra::division::division_double_difference("R", "S")),
-        ("via-join", sj_algebra::division::division_via_join("R", "S")),
-        ("equality", sj_algebra::division::division_equality("R", "S")),
+        (
+            "double-difference",
+            sj_algebra::division::division_double_difference("R", "S"),
+        ),
+        (
+            "via-join",
+            sj_algebra::division::division_via_join("R", "S"),
+        ),
+        (
+            "equality",
+            sj_algebra::division::division_equality("R", "S"),
+        ),
     ] {
         let report = measure_growth(&plan, &series).unwrap();
         assert!(
@@ -41,8 +50,14 @@ fn ra_division_plans_measured_quadratic() {
 fn counting_division_measured_linear() {
     let series = series();
     for (name, plan) in [
-        ("counting", sj_algebra::division::division_counting("R", "S")),
-        ("counting-eq", sj_algebra::division::division_equality_counting("R", "S")),
+        (
+            "counting",
+            sj_algebra::division::division_counting("R", "S"),
+        ),
+        (
+            "counting-eq",
+            sj_algebra::division::division_equality_counting("R", "S"),
+        ),
     ] {
         let report = measure_growth(&plan, &series).unwrap();
         assert!(
@@ -84,8 +99,7 @@ fn all_division_routes_agree_on_workloads() {
             &db,
         )
         .unwrap();
-        let cnt =
-            evaluate(&sj_algebra::division::division_counting("R", "S"), &db).unwrap();
+        let cnt = evaluate(&sj_algebra::division::division_counting("R", "S"), &db).unwrap();
         assert_eq!(dd, expected);
         assert_eq!(cnt, expected);
         assert_eq!(divide(&r, &s, DivisionSemantics::Containment), expected);
@@ -174,7 +188,11 @@ fn semijoin_plans_linear_on_series() {
     let schema = Schema::new([("R", 2), ("S", 1)]);
     let lowered = sj_algebra::semijoins_to_joins_checked(&sa, &schema).unwrap();
     let report2 = measure_growth(&lowered, &series).unwrap();
-    assert!(report2.exponent < 1.3, "lowered exponent {}", report2.exponent);
+    assert!(
+        report2.exponent < 1.3,
+        "lowered exponent {}",
+        report2.exponent
+    );
     for (db, p) in series.iter().zip(&report2.points) {
         assert_eq!(
             evaluate(&sa, db).unwrap().len(),
@@ -193,8 +211,7 @@ fn witness_pump_exponent_two() {
     seed.set("R", Relation::from_int_rows(&[&[1, 7], &[2, 8]]));
     seed.set("S", Relation::from_int_rows(&[&[7], &[8]]));
     let e = sj_algebra::division::division_double_difference("R", "S");
-    let Verdict::Quadratic { witness } =
-        analyze(&e, &schema, std::slice::from_ref(&seed)).unwrap()
+    let Verdict::Quadratic { witness } = analyze(&e, &schema, std::slice::from_ref(&seed)).unwrap()
     else {
         panic!("expected quadratic");
     };

@@ -17,8 +17,7 @@ fn fig5_pair_has_no_distinguishing_formula() {
     assert!(are_bisimilar(&a, &tuple![1], &b, &tuple![1], &[]).is_some());
     for depth in 0..=3 {
         assert!(
-            distinguishing_formula(&a, &tuple![1], &b, &tuple![1], &[], depth)
-                .is_none(),
+            distinguishing_formula(&a, &tuple![1], &b, &tuple![1], &[], depth).is_none(),
             "depth {depth}"
         );
     }
@@ -28,15 +27,9 @@ fn fig5_pair_has_no_distinguishing_formula() {
 fn fig6_pair_has_no_distinguishing_formula() {
     let (a, b) = (figures::fig6_a(), figures::fig6_b());
     for depth in 0..=3 {
-        assert!(distinguishing_formula(
-            &a,
-            &tuple!["alex"],
-            &b,
-            &tuple!["alex"],
-            &[],
-            depth
-        )
-        .is_none());
+        assert!(
+            distinguishing_formula(&a, &tuple!["alex"], &b, &tuple!["alex"], &[], depth).is_none()
+        );
     }
 }
 
@@ -46,9 +39,8 @@ fn non_bisimilar_fig3_tuples_distinguished() {
     // the formula verifies.
     let (a, b) = (figures::fig3_a(), figures::fig3_b());
     assert!(are_bisimilar(&a, &tuple![1, 2], &b, &tuple![7, 8], &[]).is_none());
-    let (f, vars) =
-        distinguishing_formula(&a, &tuple![1, 2], &b, &tuple![7, 8], &[], 2)
-            .expect("non-bisimilar pair must be distinguishable");
+    let (f, vars) = distinguishing_formula(&a, &tuple![1, 2], &b, &tuple![7, 8], &[], 2)
+        .expect("non-bisimilar pair must be distinguishable");
     assert!(f.check_guarded().is_ok());
     assert!(satisfies(&a, &f, &env_of(&vars, &tuple![1, 2])));
     assert!(!satisfies(&b, &f, &env_of(&vars, &tuple![7, 8])));
@@ -79,14 +71,8 @@ fn solver_and_formula_search_agree_on_random_pairs() {
                     }
                     (false, Some((f, vars))) => {
                         assert!(f.check_guarded().is_ok(), "{f}");
-                        assert!(
-                            satisfies(&a, &f, &env_of(&vars, x)),
-                            "{f} fails at A,{x}"
-                        );
-                        assert!(
-                            !satisfies(&b, &f, &env_of(&vars, y)),
-                            "{f} holds at B,{y}"
-                        );
+                        assert!(satisfies(&a, &f, &env_of(&vars, x)), "{f} fails at A,{x}");
+                        assert!(!satisfies(&b, &f, &env_of(&vars, y)), "{f} holds at B,{y}");
                         checked_formulas += 1;
                     }
                     (true, None) => checked_bisimilar += 1,

@@ -1,0 +1,80 @@
+//! Smoke tests: every `examples/` binary must run to completion,
+//! exit successfully, and print something — so examples can't rot
+//! silently while the library evolves.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Locate the compiled example binary next to this test executable
+/// (`target/<profile>/examples/<name>`). `cargo test` builds all
+/// examples before running integration tests, so the binary normally
+/// exists; if it doesn't (e.g. a filtered build), fall back to
+/// `cargo build --example` first.
+fn example_binary(name: &str) -> PathBuf {
+    let mut dir = std::env::current_exe().expect("current_exe");
+    dir.pop(); // the test binary itself
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let path = dir
+        .join("examples")
+        .join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    if !path.exists() {
+        // Build with the profile this test binary was built with, so the
+        // example lands at `path` rather than under another profile dir.
+        let mut args = vec!["build", "--example", name];
+        if dir.ends_with("release") {
+            args.push("--release");
+        }
+        let status = Command::new(env!("CARGO"))
+            .args(&args)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .status()
+            .expect("failed to spawn cargo to build the example");
+        assert!(status.success(), "cargo build --example {name} failed");
+    }
+    path
+}
+
+fn run_example(name: &str) {
+    let bin = example_binary(name);
+    let output = Command::new(&bin)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {}: {e}", bin.display()));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example `{name}` printed nothing on stdout"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn beer_drinkers_runs() {
+    run_example("beer_drinkers");
+}
+
+#[test]
+fn medical_diagnosis_runs() {
+    run_example("medical_diagnosis");
+}
+
+#[test]
+fn explain_and_optimize_runs() {
+    run_example("explain_and_optimize");
+}
+
+#[test]
+fn dichotomy_analyzer_runs() {
+    run_example("dichotomy_analyzer");
+}

@@ -48,10 +48,7 @@ fn gf_with_constants_pipeline() {
     // A formula with a constant: drinkers of 'nectar' specifically.
     let db = figures::example3_beer_db();
     let schema = db.schema();
-    let phi = parse_formula(
-        "exists y (Likes(x,y) & y='nectar')",
-    )
-    .unwrap();
+    let phi = parse_formula("exists y (Likes(x,y) & y='nectar')").unwrap();
     phi.check_guarded().unwrap();
     let consts = phi.constants();
     assert_eq!(consts, vec![Value::str("nectar")]);

@@ -176,8 +176,7 @@ fn fig5_proof_set_i_verifies() {
             }
         }
     }
-    check_bisimulation(&a, &b, &Bisimulation::new(isos), &[])
-        .unwrap_or_else(|e| panic!("{e}"));
+    check_bisimulation(&a, &b, &Bisimulation::new(isos), &[]).unwrap_or_else(|e| panic!("{e}"));
 }
 
 #[test]
@@ -186,14 +185,7 @@ fn fig5_set_join_variant_with_tag_column() {
     // with always the same value 4": the bisimulation survives.
     let (mut a, mut b) = (figures::fig5_a(), figures::fig5_b());
     let tag = |db: &Database| {
-        Relation::from_tuples(
-            2,
-            db.get("S")
-                .unwrap()
-                .iter()
-                .map(|t| tuple![4].concat(t)),
-        )
-        .unwrap()
+        Relation::from_tuples(2, db.get("S").unwrap().iter().map(|t| tuple![4].concat(t))).unwrap()
     };
     let (sa, sb) = (tag(&a), tag(&b));
     a.set("S", sa);
@@ -230,16 +222,14 @@ fn fig6_query_differs_but_databases_bisimilar() {
     // In B, nobody does.
     assert!(evaluate(&q, &b).unwrap().is_empty());
     // Yet (A, alex) ∼ (B, alex).
-    let cert =
-        are_bisimilar(&a, &tuple!["alex"], &b, &tuple!["alex"], &[]).expect("bisimilar");
+    let cert = are_bisimilar(&a, &tuple!["alex"], &b, &tuple!["alex"], &[]).expect("bisimilar");
     check_bisimulation(&a, &b, &cert, &[]).unwrap();
 }
 
 #[test]
 fn fig6_proof_set_i_verifies() {
     let (a, b) = (figures::fig6_a(), figures::fig6_b());
-    let mut isos =
-        vec![PartialIso::from_tuples(&tuple!["alex"], &tuple!["alex"]).unwrap()];
+    let mut isos = vec![PartialIso::from_tuples(&tuple!["alex"], &tuple!["alex"]).unwrap()];
     for rel in ["Visits", "Serves", "Likes"] {
         for ta in a.get(rel).unwrap() {
             for tb in b.get(rel).unwrap() {
@@ -247,8 +237,7 @@ fn fig6_proof_set_i_verifies() {
             }
         }
     }
-    check_bisimulation(&a, &b, &Bisimulation::new(isos), &[])
-        .unwrap_or_else(|e| panic!("{e}"));
+    check_bisimulation(&a, &b, &Bisimulation::new(isos), &[]).unwrap_or_else(|e| panic!("{e}"));
 }
 
 #[test]
@@ -257,7 +246,8 @@ fn fig6_gf_formula_invariance() {
     // query) evaluates identically on alex in both Fig. 6 databases.
     let (a, b) = (figures::fig6_a(), figures::fig6_b());
     let phi = sj_logic::formula::example7_lousy_bar();
-    let env: sj_logic::Assignment =
-        [("x".to_string(), Value::str("alex"))].into_iter().collect();
+    let env: sj_logic::Assignment = [("x".to_string(), Value::str("alex"))]
+        .into_iter()
+        .collect();
     assert_eq!(satisfies(&a, &phi, &env), satisfies(&b, &phi, &env));
 }

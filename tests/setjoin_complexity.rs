@@ -60,10 +60,8 @@ fn set_equality_ra_plan_is_quadratic_but_hash_join_is_not() {
     let points: Vec<(f64, f64)> = series
         .iter()
         .map(|db| {
-            let out = sj_setjoin::hash_set_equality_join(
-                db.get("R").unwrap(),
-                db.get("S").unwrap(),
-            );
+            let out =
+                sj_setjoin::hash_set_equality_join(db.get("R").unwrap(), db.get("S").unwrap());
             (db.size() as f64, (out.len() + 1) as f64)
         })
         .collect();
@@ -84,7 +82,10 @@ fn all_set_join_algorithms_agree_at_scale() {
         };
         let (r, s) = w.generate();
         let want = sj_setjoin::nested_loop_set_join(&r, &s, SetPredicate::Contains);
-        assert_eq!(sj_setjoin::signature_set_join(&r, &s, SetPredicate::Contains), want);
+        assert_eq!(
+            sj_setjoin::signature_set_join(&r, &s, SetPredicate::Contains),
+            want
+        );
         assert_eq!(
             sj_setjoin::wide_signature_set_join(&r, &s, SetPredicate::Contains, 4),
             want
@@ -140,21 +141,10 @@ fn generalized_division_on_workload() {
     let (r2, _) = w.generate();
     // Lift to arity 3 by tagging a payload column, then divide on col 1
     // with values in col 2.
-    let r3 = Relation::from_tuples(
-        3,
-        r2.iter().map(|t| t.tag(Value::int(42))),
-    )
-    .unwrap();
-    let divisor = Relation::unary(
-        r2.iter().take(3).map(|t| t[1].clone()),
-    );
-    let via_general = sj_setjoin::divide_general(
-        &r3,
-        &[1],
-        2,
-        &divisor,
-        DivisionSemantics::Containment,
-    );
+    let r3 = Relation::from_tuples(3, r2.iter().map(|t| t.tag(Value::int(42)))).unwrap();
+    let divisor = Relation::unary(r2.iter().take(3).map(|t| t[1].clone()));
+    let via_general =
+        sj_setjoin::divide_general(&r3, &[1], 2, &divisor, DivisionSemantics::Containment);
     let via_binary = sj_setjoin::divide(&r2, &divisor, DivisionSemantics::Containment);
     assert_eq!(via_general, via_binary);
 }

@@ -2,9 +2,7 @@
 //! tuples (debug-build friendly — only the linear paths run at full size).
 
 use setjoins::prelude::*;
-use sj_setjoin::{
-    counting_division, hash_division, sort_merge_division, DivisionSemantics,
-};
+use sj_setjoin::{counting_division, hash_division, sort_merge_division, DivisionSemantics};
 use sj_workload::{DivisionWorkload, ElementDist, SetJoinWorkload, SetSizeDist};
 
 #[test]

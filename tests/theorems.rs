@@ -83,8 +83,10 @@ fn thm18_rewrites_preserve_semantics_on_workloads() {
         Expr::rel("R")
             .join(Condition::eq(2, 1), Expr::rel("S"))
             .project([1]),
-        Expr::rel("R")
-            .join(Condition::eq(2, 1).and(1, sj_algebra::CompOp::Lt, 1), Expr::rel("S")),
+        Expr::rel("R").join(
+            Condition::eq(2, 1).and(1, sj_algebra::CompOp::Lt, 1),
+            Expr::rel("S"),
+        ),
         Expr::rel("S")
             .join(Condition::eq(1, 2), Expr::rel("R"))
             .project([2, 3]),

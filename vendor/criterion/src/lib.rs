@@ -1,0 +1,215 @@
+//! Minimal, offline, API-compatible stand-in for the `criterion` crate.
+//!
+//! Supports the surface used by this workspace's benches: `Criterion`,
+//! `BenchmarkId`, `Throughput`, `BenchmarkGroup` (with `sample_size`,
+//! `warm_up_time`, `measurement_time`, `throughput`, `bench_with_input`,
+//! `bench_function`, `finish`), `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Benches really execute and report per-iteration wall-clock means on
+//! stdout; there is no statistical analysis, HTML report, or baseline
+//! comparison. Sample counts are kept small so `cargo bench` stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let group = self.benchmark_group(name.clone());
+        let mut b = Bencher::new(group.sample_size, group.measurement_time);
+        f(&mut b);
+        b.report(&name, None);
+        group.finish();
+        self
+    }
+}
+
+/// A named benchmark with a displayable parameter.
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function_name.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function_name, self.parameter)
+        }
+    }
+}
+
+/// Throughput hint; recorded but only echoed in the report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b, input);
+        b.report(&self.name, Some(&id));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = BenchmarkId::from_parameter(id);
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        b.report(&self.name, Some(&id));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Bencher {
+            sample_size,
+            measurement_time,
+            mean: None,
+        }
+    }
+
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine()); // warm-up
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while iters < self.sample_size as u32 {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+        self.mean = Some(start.elapsed() / iters.max(1));
+    }
+
+    fn report(&self, group: &str, id: Option<&BenchmarkId>) {
+        let label = match id {
+            Some(id) => format!("{group}/{id}"),
+            None => group.to_string(),
+        };
+        match self.mean {
+            Some(mean) => println!("{label:<60} {:>12.3?}/iter", mean),
+            None => println!("{label:<60} (no measurement)"),
+        }
+    }
+}
+
+/// Defines a function running each listed bench target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main()` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
