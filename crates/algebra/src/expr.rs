@@ -385,6 +385,21 @@ impl Expr {
         })
     }
 
+    /// A structural hash of the expression: structurally identical
+    /// subtrees hash identically (it is the derived [`Hash`] run through
+    /// the workspace's [`FxHasher`](sj_storage::FxHasher)). The physical
+    /// planner in `sj-eval` uses this to hash-cons the expression tree
+    /// into a DAG, so that repeated subexpressions — `division_double_difference`
+    /// mentions `R` three times and `π₁(R)` twice — are planned and
+    /// evaluated exactly once. Collisions are possible as with any 64-bit
+    /// hash; consumers must confirm with `==`.
+    pub fn structural_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = sj_storage::FxHasher::default();
+        self.hash(&mut h);
+        h.finish()
+    }
+
     /// A short operator label, used in instrumentation reports.
     pub fn label(&self) -> String {
         match self {
@@ -572,6 +587,27 @@ mod tests {
         let e = Expr::rel("Likes").intersect(Expr::rel("Serves"));
         assert_eq!(e.arity(&s).unwrap(), 2);
         assert!(e.is_ra());
+    }
+
+    #[test]
+    fn structural_hash_agrees_with_equality() {
+        let a = example3();
+        let b = example3();
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        // Shared subtrees hash equally from different occurrences.
+        let e = Expr::rel("R").project([1]);
+        let twice = e.clone().diff(e.clone());
+        let subs = twice.subexpressions();
+        assert_eq!(subs[1].structural_hash(), subs[3].structural_hash());
+        // Different shapes (almost surely) hash differently.
+        assert_ne!(
+            Expr::rel("R").structural_hash(),
+            Expr::rel("S").structural_hash()
+        );
+        assert_ne!(
+            e.structural_hash(),
+            Expr::rel("R").project([2]).structural_hash()
+        );
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! rewrites, all semantics-preserving (property-tested against the
 //! evaluator in `sj-eval`):
 //!
-//! * [`push_down_selections`] — move `σ` below `∪`, through `π` (when the
-//!   columns survive), and into the relevant side of `⋈`/`⋉`.
+//! * [`push_down_selections`] — move `σ` below `∪` and `−`, through `π`
+//!   (remapping column references), into the left side of `⋈` when every
+//!   referenced column is a left column, and into the left of `⋉` always.
 //! * [`prune_projections`] — collapse `π∘π`, drop identity projections.
 //! * [`joins_to_semijoins`] — **semijoin reduction**: rewrite
 //!   `π_cols(E₁ ⋈θ E₂)` into `π_cols(E₁ ⋉θ E₂)` whenever `cols` only
@@ -19,7 +20,7 @@
 //! * [`optimize`] — a fixpoint driver applying all of the above.
 
 use crate::error::AlgebraError;
-use crate::expr::Expr;
+use crate::expr::{Expr, Selection};
 use sj_storage::Schema;
 
 /// Apply all rewrites to a fixpoint (bounded, since every rewrite strictly
@@ -28,9 +29,10 @@ pub fn optimize(e: &Expr, schema: &Schema) -> Result<Expr, AlgebraError> {
     e.arity(schema)?;
     let mut current = e.clone();
     for _ in 0..32 {
-        let next = prune_projections(&push_down_selections(&joins_to_semijoins(
-            &current, schema,
-        )?));
+        let next = prune_projections(&push_down_selections(
+            &joins_to_semijoins(&current, schema)?,
+            schema,
+        ));
         if next == current {
             break;
         }
@@ -39,48 +41,93 @@ pub fn optimize(e: &Expr, schema: &Schema) -> Result<Expr, AlgebraError> {
     Ok(current)
 }
 
+/// Remap a selection through a projection: column `i` of `π_cols(E)`'s
+/// output is column `cols[i-1]` of `E`, so `σ(π_cols(E)) = π_cols(σ'(E))`
+/// with every column reference substituted. Returns `None` when a
+/// referenced column is out of the projection's range (malformed input —
+/// leave the node unchanged rather than rewrite or panic).
+fn remap_selection(sel: &Selection, cols: &[usize]) -> Option<Selection> {
+    let remap = |i: usize| cols.get(i.checked_sub(1)?).copied();
+    Some(match sel {
+        Selection::Eq(i, j) => Selection::Eq(remap(*i)?, remap(*j)?),
+        Selection::Lt(i, j) => Selection::Lt(remap(*i)?, remap(*j)?),
+        Selection::EqConst(i, c) => Selection::EqConst(remap(*i)?, c.clone()),
+    })
+}
+
 /// Push selections toward the leaves. Only structurally safe moves are
-/// made; anything else is left in place.
-pub fn push_down_selections(e: &Expr) -> Expr {
+/// made; anything else is left in place. The schema is consulted for the
+/// operand arities of `⋈`/`⋉` (to decide whether a selection is a pure
+/// left-side selection); subexpressions whose arity cannot be determined
+/// are conservatively left untouched.
+pub fn push_down_selections(e: &Expr, schema: &Schema) -> Expr {
     match e {
         Expr::Select(sel, inner) => {
-            let inner = push_down_selections(inner);
+            let inner = push_down_selections(inner, schema);
             match inner {
                 // σ(E₁ ∪ E₂) = σ(E₁) ∪ σ(E₂)
-                Expr::Union(a, b) => push_down_selections(&Expr::Select(sel.clone(), a))
-                    .union(push_down_selections(&Expr::Select(sel.clone(), b))),
+                Expr::Union(a, b) => push_down_selections(&Expr::Select(sel.clone(), a), schema)
+                    .union(push_down_selections(&Expr::Select(sel.clone(), b), schema)),
                 // σ(E₁ − E₂) = σ(E₁) − E₂  (difference filters the left)
-                Expr::Diff(a, b) => push_down_selections(&Expr::Select(sel.clone(), a)).diff(*b),
+                Expr::Diff(a, b) => {
+                    push_down_selections(&Expr::Select(sel.clone(), a), schema).diff(*b)
+                }
+                // σ(π_cols(E)) = π_cols(σ'(E)) with columns remapped —
+                // every output column of π is an input column, so any
+                // selection survives the trip below the projection.
+                Expr::Project(cols, a) => match remap_selection(sel, &cols) {
+                    Some(remapped) => {
+                        push_down_selections(&Expr::Select(remapped, a), schema).project(cols)
+                    }
+                    None => Expr::Select(sel.clone(), Box::new(a.project(cols))),
+                },
+                // σ(E₁ ⋈θ E₂) = σ(E₁) ⋈θ E₂ when σ only references the
+                // left operand's columns (all ≤ n₁).
+                Expr::Join(theta, a, b) => match a.arity(schema) {
+                    Ok(n1) if sel.columns().iter().all(|&c| c >= 1 && c <= n1) => {
+                        push_down_selections(&Expr::Select(sel.clone(), a), schema).join(theta, *b)
+                    }
+                    _ => Expr::Select(sel.clone(), Box::new(a.join(theta, *b))),
+                },
                 Expr::Semijoin(theta, a, b) => {
                     // A semijoin's output columns are the left operand's;
                     // every selection on it is a left selection.
-                    let pushed = push_down_selections(&Expr::Select(sel.clone(), a));
+                    let pushed = push_down_selections(&Expr::Select(sel.clone(), a), schema);
                     pushed.semijoin(theta, *b)
                 }
                 other => Expr::Select(sel.clone(), Box::new(other)),
             }
         }
-        Expr::Union(a, b) => push_down_selections(a).union(push_down_selections(b)),
-        Expr::Diff(a, b) => push_down_selections(a).diff(push_down_selections(b)),
-        Expr::Project(cols, a) => push_down_selections(a).project(cols.clone()),
-        Expr::ConstTag(c, a) => push_down_selections(a).tag(c.clone()),
-        Expr::Join(t, a, b) => push_down_selections(a).join(t.clone(), push_down_selections(b)),
-        Expr::Semijoin(t, a, b) => {
-            push_down_selections(a).semijoin(t.clone(), push_down_selections(b))
+        Expr::Union(a, b) => push_down_selections(a, schema).union(push_down_selections(b, schema)),
+        Expr::Diff(a, b) => push_down_selections(a, schema).diff(push_down_selections(b, schema)),
+        Expr::Project(cols, a) => push_down_selections(a, schema).project(cols.clone()),
+        Expr::ConstTag(c, a) => push_down_selections(a, schema).tag(c.clone()),
+        Expr::Join(t, a, b) => {
+            push_down_selections(a, schema).join(t.clone(), push_down_selections(b, schema))
         }
-        Expr::GroupCount(cols, a) => push_down_selections(a).group_count(cols.clone()),
+        Expr::Semijoin(t, a, b) => {
+            push_down_selections(a, schema).semijoin(t.clone(), push_down_selections(b, schema))
+        }
+        Expr::GroupCount(cols, a) => push_down_selections(a, schema).group_count(cols.clone()),
         Expr::Rel(_) => e.clone(),
     }
 }
 
 /// Merge nested projections (`π_p(π_q(E)) = π_{q∘p}(E)`) and drop
 /// identity projections when the arity is syntactically evident.
+///
+/// Malformed nodes (an outer column outside the inner projection's range)
+/// are left unchanged rather than composed: the rewrite is total on any
+/// input, validated or not, and never panics — `optimize` validates up
+/// front, but this function is public on its own.
 pub fn prune_projections(e: &Expr) -> Expr {
     match e {
         Expr::Project(outer, inner) => {
             let inner = prune_projections(inner);
             match inner {
-                Expr::Project(inner_cols, base) => {
+                Expr::Project(inner_cols, base)
+                    if outer.iter().all(|&o| o >= 1 && o <= inner_cols.len()) =>
+                {
                     let composed: Vec<usize> = outer.iter().map(|&o| inner_cols[o - 1]).collect();
                     prune_projections(&base.project(composed))
                 }
@@ -195,10 +242,10 @@ mod tests {
     #[test]
     fn selection_pushes_through_union_and_diff() {
         let e = Expr::rel("R").union(Expr::rel("S")).select_eq(1, 2);
-        let o = push_down_selections(&e);
+        let o = push_down_selections(&e, &schema());
         assert_eq!(to_text(&o), "union(select[1=2](R), select[1=2](S))");
         let d = Expr::rel("R").diff(Expr::rel("S")).select_lt(1, 2);
-        let od = push_down_selections(&d);
+        let od = push_down_selections(&d, &schema());
         assert_eq!(to_text(&od), "diff(select[1<2](R), S)");
     }
 
@@ -207,8 +254,116 @@ mod tests {
         let e = Expr::rel("R")
             .semijoin(Condition::eq(2, 1), Expr::rel("T"))
             .select_eq(1, 2);
-        let o = push_down_selections(&e);
+        let o = push_down_selections(&e, &schema());
         assert_eq!(to_text(&o), "semijoin[2=1](select[1=2](R), T)");
+    }
+
+    #[test]
+    fn selection_pushes_through_projection_with_remap() {
+        // σ₁₌₂(π₂,₁(R)) = π₂,₁(σ₂₌₁(R)): output column 1 is input column
+        // 2 and vice versa.
+        let e = Expr::rel("R").project([2, 1]).select_eq(1, 2);
+        let o = push_down_selections(&e, &schema());
+        assert_eq!(to_text(&o), "project[2,1](select[2=1](R))");
+        // The constant form remaps its single column.
+        let c = Expr::rel("R")
+            .project([2])
+            .select_const(1, sj_storage::Value::int(7));
+        let oc = push_down_selections(&c, &schema());
+        assert_eq!(to_text(&oc), "project[2](select[2={7}](R))");
+        // Duplicated projection columns remap to the same source column.
+        let d = Expr::rel("R").project([2, 2]).select_lt(1, 2);
+        let od = push_down_selections(&d, &schema());
+        assert_eq!(to_text(&od), "project[2,2](select[2<2](R))");
+    }
+
+    #[test]
+    fn selection_pushes_into_join_left() {
+        let e = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .select_lt(1, 2);
+        let o = push_down_selections(&e, &schema());
+        assert_eq!(to_text(&o), "join[2=1](select[1<2](R), S)");
+    }
+
+    #[test]
+    fn selection_referencing_right_join_columns_stays_put() {
+        // Column 3 belongs to S — the selection must not move.
+        let e = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .select_eq(1, 3);
+        let o = push_down_selections(&e, &schema());
+        assert_eq!(o, e);
+    }
+
+    #[test]
+    fn pushdown_leaves_malformed_projection_selection_alone() {
+        // σ₃₌₁ over a 1-column projection is malformed; no rewrite, no
+        // panic.
+        let e = Expr::rel("R").project([1]).select_eq(3, 1);
+        let o = push_down_selections(&e, &schema());
+        assert_eq!(o, e);
+        // Same for an unknown relation under a join: arity is unknowable,
+        // so the selection stays put.
+        let u = Expr::rel("Nope")
+            .join(Condition::always(), Expr::rel("S"))
+            .select_eq(1, 1);
+        let ou = push_down_selections(&u, &schema());
+        assert_eq!(ou, u);
+    }
+
+    #[test]
+    fn pushdown_semantics_on_remapped_projection() {
+        // End-to-end check that the π-remap rewrite preserves results.
+        use sj_storage::{Database, Relation};
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&[&[1, 2], &[2, 2], &[3, 1]]));
+        let e = Expr::rel("R").project([2, 1]).select_eq(1, 2);
+        let o = push_down_selections(&e, &db.schema());
+        assert_ne!(o, e, "rewrite should fire");
+        // Evaluate both by hand through the reference semantics: compare
+        // projected-selected row sets.
+        let rows = |ex: &Expr| -> Vec<Vec<i64>> {
+            // tiny structural interpreter for this test's two shapes
+            fn eval(ex: &Expr, r: &[(i64, i64)]) -> Vec<Vec<i64>> {
+                match ex {
+                    Expr::Rel(_) => r.iter().map(|&(a, b)| vec![a, b]).collect(),
+                    Expr::Project(cols, inner) => {
+                        let mut out: Vec<Vec<i64>> = eval(inner, r)
+                            .into_iter()
+                            .map(|t| cols.iter().map(|&c| t[c - 1]).collect())
+                            .collect();
+                        out.sort_unstable();
+                        out.dedup();
+                        out
+                    }
+                    Expr::Select(Selection::Eq(i, j), inner) => eval(inner, r)
+                        .into_iter()
+                        .filter(|t| t[i - 1] == t[j - 1])
+                        .collect(),
+                    _ => unreachable!("test shapes only"),
+                }
+            }
+            eval(ex, &[(1, 2), (2, 2), (3, 1)])
+        };
+        assert_eq!(rows(&e), rows(&o));
+    }
+
+    #[test]
+    fn prune_projections_tolerates_out_of_range_columns() {
+        // π₅(π₁(R)) is malformed (5 > 1); before the fix this panicked on
+        // `inner_cols[o - 1]`. Now the node is left unchanged.
+        let e = Expr::rel("R").project([1]).project([5]);
+        let o = prune_projections(&e);
+        assert_eq!(o, e);
+        // A zero column is equally out of range.
+        let z = Expr::rel("R").project([1, 2]).project([0]);
+        let oz = prune_projections(&z);
+        assert_eq!(oz, z);
+        // Well-formed composition still fires around malformed nodes.
+        let mixed = Expr::rel("R").project([2, 1]).project([2, 2]).project([9]);
+        let om = prune_projections(&mixed);
+        assert_eq!(to_text(&om), "project[9](project[1,1](R))");
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Planned (DAG-memoizing) vs naive (tree-walking) evaluation.
+//!
+//! The division plans repeat subexpressions (`division_double_difference`
+//! evaluates `R` three times and `π₁(R)` twice under the naive evaluator)
+//! and every leaf scan deep-clones its relation; the planner hash-conses
+//! the tree and scans leaves by `Arc`. This bench quantifies the constant
+//! factor on the division and semijoin workloads, plus the merge-vs-hash
+//! operator choice on an aligned-prefix key.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_algebra::{division, Condition, Expr};
+use sj_bench::beer_database;
+use sj_eval::{evaluate, evaluate_planned};
+use sj_workload::DivisionWorkload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planned_vs_naive");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for groups in [256usize, 1024] {
+        let w = DivisionWorkload {
+            groups,
+            divisor_size: (groups as f64).sqrt() as usize,
+            containment_fraction: 0.1,
+            extra_per_group: 4,
+            noise_domain: 4 * groups,
+            seed: 0xD1CE,
+        };
+        let db = w.database();
+        let e = division::division_double_difference("R", "S");
+        group.bench_with_input(BenchmarkId::new("division_naive", groups), &db, |b, db| {
+            b.iter(|| evaluate(&e, db).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("division_planned", groups),
+            &db,
+            |b, db| b.iter(|| evaluate_planned(&e, db).unwrap()),
+        );
+    }
+    for k in [1024i64, 4096] {
+        let db = beer_database(k, 0xBEE5);
+        let e = division::example3_lousy_bar_sa();
+        group.bench_with_input(BenchmarkId::new("lousy_bar_naive", k), &db, |b, db| {
+            b.iter(|| evaluate(&e, db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lousy_bar_planned", k), &db, |b, db| {
+            b.iter(|| evaluate_planned(&e, db).unwrap())
+        });
+        // Aligned-prefix semijoin: the planner runs a sort-free merge
+        // where the naive evaluator builds a hash set.
+        let prefix = Expr::rel("Serves").semijoin(Condition::eq(1, 1), Expr::rel("Serves"));
+        group.bench_with_input(BenchmarkId::new("prefix_sj_naive", k), &db, |b, db| {
+            b.iter(|| evaluate(&prefix, db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("prefix_sj_planned", k), &db, |b, db| {
+            b.iter(|| evaluate_planned(&prefix, db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,7 +16,7 @@ use sj_bench::{
 };
 use sj_bisim::{are_bisimilar, check_bisimulation, Bisimulation, PartialIso};
 use sj_core::{analyze, measure_growth, Pump, Verdict};
-use sj_eval::{evaluate, evaluate_instrumented};
+use sj_eval::{evaluate, evaluate_instrumented, evaluate_planned, PhysicalPlan};
 use sj_setjoin::{DivisionSemantics, SetPredicate};
 use sj_storage::display::{render_database, render_relation};
 use sj_storage::{tuple, Relation, Schema};
@@ -56,6 +56,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("division-shootout", division_shootout),
     ("setjoin", setjoin_shootout),
     ("semijoin", semijoin_linear),
+    ("planner", planner),
     ("distinguish", distinguish),
 ];
 
@@ -644,6 +645,114 @@ fn semijoin_linear() {
     println!(
         "semijoin: SA= plans stay ≤ |D| on every workload; the cyclic query \
          (∉ SA=) hits k² on the adversarial scene → {}",
+        path.display()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Planned (DAG-memoizing) vs naive evaluation — the constant factor the
+// physical planner wins back on repeated subexpressions and leaf scans
+// ---------------------------------------------------------------------------
+
+fn planner() {
+    let mut csv = CsvSink::new(
+        "planner_vs_naive",
+        &[
+            "query",
+            "scale",
+            "db_size",
+            "tree_nodes",
+            "plan_nodes",
+            "naive_ms",
+            "planned_ms",
+            "speedup",
+        ],
+    );
+    println!(
+        "{:<26} {:>6} {:>7} {:>5}/{:<5} {:>10} {:>11} {:>8}",
+        "query", "scale", "|D|", "plan", "tree", "naive ms", "planned ms", "speedup"
+    );
+    let mut cases: Vec<(String, usize, sj_storage::Database, Expr)> = Vec::new();
+    for &groups in &[256usize, 1024, 4096] {
+        let w = DivisionWorkload {
+            groups,
+            divisor_size: (groups as f64).sqrt() as usize,
+            containment_fraction: 0.1,
+            extra_per_group: 4,
+            noise_domain: 4 * groups,
+            seed: 0xD1CE,
+        };
+        let db = w.database();
+        cases.push((
+            "division double-difference".into(),
+            groups,
+            db.clone(),
+            division::division_double_difference("R", "S"),
+        ));
+        cases.push((
+            "division equality".into(),
+            groups,
+            db.clone(),
+            division::division_equality("R", "S"),
+        ));
+        cases.push((
+            "division counting".into(),
+            groups,
+            db,
+            division::division_counting("R", "S"),
+        ));
+    }
+    for &k in &[1024i64, 4096] {
+        let db = beer_database(k, 0xBEE5);
+        cases.push((
+            "lousy-bar SA=".into(),
+            k as usize,
+            db.clone(),
+            division::example3_lousy_bar_sa(),
+        ));
+        cases.push((
+            "prefix merge semijoin".into(),
+            k as usize,
+            db,
+            Expr::rel("Visits").semijoin(Condition::eq(1, 1), Expr::rel("Likes")),
+        ));
+    }
+    for (name, scale, db, e) in &cases {
+        let plan = PhysicalPlan::of(e, &db.schema()).unwrap();
+        let expected = evaluate(e, db).unwrap();
+        assert_eq!(
+            plan.execute(db).unwrap(),
+            expected,
+            "planned result diverged on {name}"
+        );
+        let naive_ms = time_median(5, || evaluate(e, db).unwrap());
+        let planned_ms = time_median(5, || evaluate_planned(e, db).unwrap());
+        let speedup = naive_ms / planned_ms.max(1e-9);
+        println!(
+            "{name:<26} {scale:>6} {:>7} {:>5}/{:<5} {naive_ms:>10.3} {planned_ms:>11.3} {speedup:>7.2}x",
+            db.size(),
+            plan.node_count(),
+            plan.expr_node_count(),
+        );
+        csv.row(&[
+            name.clone(),
+            scale.to_string(),
+            db.size().to_string(),
+            plan.expr_node_count().to_string(),
+            plan.node_count().to_string(),
+            format!("{naive_ms:.4}"),
+            format!("{planned_ms:.4}"),
+            format!("{speedup:.3}"),
+        ]);
+    }
+    // Show the memoized DAG once: R ×3, π₁(R) ×2 collapse to 7 nodes.
+    let schema = Schema::new([("R", 2), ("S", 1)]);
+    let plan = PhysicalPlan::of(&division::division_double_difference("R", "S"), &schema).unwrap();
+    print!("\n{}", plan.explain());
+    let path = csv.finish().unwrap();
+    println!(
+        "planner: memoized DAG + Arc scans beat the naive tree walk on the \
+         repeated-subexpression division plans → {}",
         path.display()
     );
 }

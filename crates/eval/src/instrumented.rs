@@ -14,18 +14,28 @@ use crate::error::EvalError;
 use crate::ops;
 use sj_algebra::Expr;
 use sj_storage::{Database, Relation};
+use std::time::{Duration, Instant};
 
-/// Statistics for one node of the expression tree.
+/// Statistics for one node of the expression tree (or, for the planned
+/// evaluator, of the physical-plan DAG).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeStat {
-    /// Pre-order index of the node within the root expression.
+    /// Pre-order index of the node within the root expression (plan-node
+    /// id, in topological order, for [`crate::plan::PlannedReport`]).
     pub id: usize,
     /// Operator label (see [`Expr::label`]).
     pub label: String,
+    /// The physical operator that produced this node's output (e.g.
+    /// `hash-join`, `merge-semijoin`, `scan`). The planner chooses per
+    /// node; the naive evaluator reports the fixed choice `ops` makes.
+    pub operator: String,
     /// Output arity of the node.
     pub arity: usize,
     /// Output cardinality `|E'(D)|`.
     pub cardinality: usize,
+    /// Wall-clock time spent in this node's own operator, children
+    /// excluded.
+    pub elapsed: Duration,
 }
 
 /// The result of an instrumented evaluation.
@@ -62,7 +72,13 @@ impl EvalReport {
         }
     }
 
-    /// Render a per-node table (id, label, cardinality), for reports.
+    /// Total time across all nodes (the sum of per-node self times).
+    pub fn total_elapsed(&self) -> Duration {
+        self.nodes.iter().map(|n| n.elapsed).sum()
+    }
+
+    /// Render a per-node table (id, label, operator, cardinality), for
+    /// reports.
     pub fn render(&self) -> String {
         let mut out = format!(
             "|D| = {}, output = {}, max intermediate = {}\n",
@@ -72,11 +88,28 @@ impl EvalReport {
         );
         for n in &self.nodes {
             out.push_str(&format!(
-                "  [{:>3}] {:<28} arity {}  card {}\n",
-                n.id, n.label, n.arity, n.cardinality
+                "  [{:>3}] {:<28} {:<20} arity {}  card {}\n",
+                n.id, n.label, n.operator, n.arity, n.cardinality
             ));
         }
         out
+    }
+}
+
+/// The physical operator the naive (tree-walking) evaluator uses for a
+/// node — the fixed dispatch of [`crate::ops`], reported in [`NodeStat`]
+/// so naive and planned reports are comparable.
+pub(crate) fn naive_operator(expr: &Expr) -> &'static str {
+    match expr {
+        Expr::Rel(_) => "scan",
+        Expr::Union(..) => "merge-union",
+        Expr::Diff(..) => "merge-diff",
+        Expr::Project(..) => "project",
+        Expr::Select(..) => "filter",
+        Expr::ConstTag(..) => "tag",
+        Expr::GroupCount(..) => "hash-group",
+        Expr::Join(theta, _, _) => ops::join_dispatch(theta),
+        Expr::Semijoin(theta, _, _) => ops::semijoin_dispatch(theta),
     }
 }
 
@@ -105,38 +138,66 @@ fn eval_rec(
 ) -> Relation {
     let id = *counter;
     *counter += 1;
-    let rel = match expr {
-        Expr::Rel(name) => db.get(name).expect("validated").clone(),
+    // Children are evaluated before the node's own operator is timed, so
+    // `elapsed` is self time.
+    let (rel, elapsed) = match expr {
+        Expr::Rel(name) => {
+            let start = Instant::now();
+            let rel = db.get(name).expect("validated").clone();
+            (rel, start.elapsed())
+        }
         Expr::Union(a, b) => {
             let ra = eval_rec(a, db, nodes, counter);
             let rb = eval_rec(b, db, nodes, counter);
-            ra.union(&rb).expect("validated")
+            let start = Instant::now();
+            (ra.union(&rb).expect("validated"), start.elapsed())
         }
         Expr::Diff(a, b) => {
             let ra = eval_rec(a, db, nodes, counter);
             let rb = eval_rec(b, db, nodes, counter);
-            ra.difference(&rb).expect("validated")
+            let start = Instant::now();
+            (ra.difference(&rb).expect("validated"), start.elapsed())
         }
-        Expr::Project(cols, a) => ops::project(&eval_rec(a, db, nodes, counter), cols),
-        Expr::Select(sel, a) => ops::select(&eval_rec(a, db, nodes, counter), sel),
-        Expr::ConstTag(c, a) => ops::const_tag(&eval_rec(a, db, nodes, counter), c),
+        Expr::Project(cols, a) => {
+            let ra = eval_rec(a, db, nodes, counter);
+            let start = Instant::now();
+            (ops::project(&ra, cols), start.elapsed())
+        }
+        Expr::Select(sel, a) => {
+            let ra = eval_rec(a, db, nodes, counter);
+            let start = Instant::now();
+            (ops::select(&ra, sel), start.elapsed())
+        }
+        Expr::ConstTag(c, a) => {
+            let ra = eval_rec(a, db, nodes, counter);
+            let start = Instant::now();
+            (ops::const_tag(&ra, c), start.elapsed())
+        }
         Expr::Join(theta, a, b) => {
             let ra = eval_rec(a, db, nodes, counter);
             let rb = eval_rec(b, db, nodes, counter);
-            ops::join(&ra, &rb, theta)
+            let start = Instant::now();
+            (ops::join(&ra, &rb, theta), start.elapsed())
         }
         Expr::Semijoin(theta, a, b) => {
             let ra = eval_rec(a, db, nodes, counter);
             let rb = eval_rec(b, db, nodes, counter);
-            ops::semijoin(&ra, &rb, theta)
+            let start = Instant::now();
+            (ops::semijoin(&ra, &rb, theta), start.elapsed())
         }
-        Expr::GroupCount(cols, a) => ops::group_count(&eval_rec(a, db, nodes, counter), cols),
+        Expr::GroupCount(cols, a) => {
+            let ra = eval_rec(a, db, nodes, counter);
+            let start = Instant::now();
+            (ops::group_count(&ra, cols), start.elapsed())
+        }
     };
     nodes[id] = Some(NodeStat {
         id,
         label: expr.label(),
+        operator: naive_operator(expr).to_string(),
         arity: rel.arity(),
         cardinality: rel.len(),
+        elapsed,
     });
     rel
 }

@@ -13,24 +13,36 @@
 //! * [`reference::evaluate_reference`] — a naive nested-loop transliteration
 //!   of the paper's semantics, used to cross-validate the optimized
 //!   operators in unit and property tests.
+//! * [`plan::evaluate_planned`] — the physical planner: the expression is
+//!   hash-consed into an operator DAG so each **distinct** subexpression
+//!   is evaluated exactly once, leaf relations are scanned zero-copy via
+//!   `Arc` handles, and joins/semijoins whose equality keys align with
+//!   the canonical sort order run as sort-free merges. See [`plan`] for
+//!   the design; [`plan::explain_plan`] renders the chosen operators.
 
 pub mod error;
 pub mod explain;
 pub mod instrumented;
 pub mod ops;
 pub mod plain;
+pub mod plan;
 pub mod reference;
 
 pub use error::EvalError;
 pub use explain::explain;
 pub use instrumented::{evaluate_instrumented, EvalReport, NodeStat};
 pub use plain::evaluate;
+pub use plan::{
+    evaluate_planned, evaluate_planned_instrumented, explain_plan, PhysOp, PhysicalPlan,
+    PlannedReport,
+};
 pub use reference::evaluate_reference;
 
 /// Most-used items in one import.
 pub mod prelude {
     pub use crate::instrumented::{evaluate_instrumented, EvalReport, NodeStat};
     pub use crate::plain::evaluate;
+    pub use crate::plan::{evaluate_planned, evaluate_planned_instrumented, PlannedReport};
     pub use crate::reference::evaluate_reference;
 }
 
@@ -135,6 +147,45 @@ mod proptests {
         fn semijoin_lowering_semantics(e in arb_expr2(), db in arb_db()) {
             let lowered = sj_algebra::semijoins_to_joins_checked(&e, &db.schema()).unwrap();
             prop_assert_eq!(evaluate(&e, &db).unwrap(), evaluate(&lowered, &db).unwrap());
+        }
+
+        /// The planned (DAG-memoizing) evaluator agrees with the naive
+        /// evaluator on random expressions and databases.
+        #[test]
+        fn planned_matches_naive(e in arb_expr2(), db in arb_db()) {
+            prop_assert_eq!(
+                evaluate_planned(&e, &db).unwrap(),
+                evaluate(&e, &db).unwrap(),
+                "evaluate_planned({}) diverged", e
+            );
+        }
+
+        /// Planning the *optimized* expression still agrees with naively
+        /// evaluating the original — the optimizer and the planner
+        /// compose without changing semantics.
+        #[test]
+        fn optimized_planned_matches_naive(e in arb_expr2(), db in arb_db()) {
+            let opt = sj_algebra::optimize(&e, &db.schema()).unwrap();
+            prop_assert_eq!(
+                evaluate_planned(&opt, &db).unwrap(),
+                evaluate(&e, &db).unwrap(),
+                "optimize({}) = {} then plan diverged", e, opt
+            );
+        }
+
+        /// The planned instrumented report is consistent: same result, one
+        /// stat per *distinct* subexpression, never more stats than tree
+        /// nodes.
+        #[test]
+        fn planned_instrumented_consistent(e in arb_expr2(), db in arb_db()) {
+            let plain = evaluate(&e, &db).unwrap();
+            let report = evaluate_planned_instrumented(&e, &db).unwrap();
+            prop_assert_eq!(&report.result, &plain);
+            prop_assert!(report.nodes.len() <= e.node_count());
+            prop_assert_eq!(report.expr_nodes, e.node_count());
+            // Occurrences over plan nodes sum to the tree size.
+            prop_assert_eq!(report.occurrences.iter().sum::<usize>(), e.node_count());
+            prop_assert_eq!(report.nodes.last().unwrap().cardinality, plain.len());
         }
 
         /// The optimizer (selection pushdown, projection pruning, semijoin

@@ -1,0 +1,800 @@
+//! The physical planner: logical `Expr` trees lowered to a memoized
+//! operator DAG.
+//!
+//! The paper's dichotomy (Theorem 17) is about intermediate *sizes*, but a
+//! tree-walking evaluator also wastes *constants* wherever the same
+//! subexpression occurs more than once: `division_double_difference`
+//! mentions `R` three times and `π₁(R)` twice, and the naive evaluator
+//! re-evaluates (and deep-clones) every occurrence. This module removes
+//! that waste in three steps:
+//!
+//! 1. **Hash-consing.** Lowering walks the expression bottom-up and keys
+//!    each node by [`Expr::structural_hash`] (confirmed with `==`), so
+//!    structurally identical subtrees collapse into one [`PlanNode`]. The
+//!    result is a DAG in which every distinct subexpression is evaluated
+//!    exactly once per query.
+//! 2. **Shared leaves.** Scans take an [`Arc`] handle from
+//!    [`Database::get_shared`] instead of cloning the relation; all
+//!    intermediate results flow through the DAG as `Arc<Relation>`, so a
+//!    node consumed by several parents is never copied.
+//! 3. **Physical operator choice.** Relations are stored in canonical
+//!    (lexicographic) order, so when a join/semijoin's equality atoms pair
+//!    an aligned column prefix (`1=1, …, k=k` — see
+//!    [`ops::merge_prefix_len`]) both operands are *already sorted by the
+//!    key* and the planner picks a sort-free merge join/semijoin; other
+//!    equality conditions get the hash variants, and equality-free
+//!    conditions fall back to filtered nested loops. Non-equality atoms
+//!    ride along as residual filters, reusing the `ops` machinery.
+//!
+//! Entry points: [`evaluate_planned`] (drop-in replacement for
+//! [`crate::evaluate`]), [`evaluate_planned_instrumented`] (returns a
+//! [`PlannedReport`] with per-node operator choice, cardinality and
+//! timing), and [`PhysicalPlan::explain`] (an `EXPLAIN`-style rendering of
+//! the DAG with sharing annotations).
+
+use crate::error::EvalError;
+use crate::instrumented::NodeStat;
+use crate::ops;
+use sj_algebra::{AlgebraError, Condition, Expr, Selection};
+use sj_storage::{Database, FxHashMap, Relation, Schema, Value};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Index of a node within a [`PhysicalPlan`] (topological: children come
+/// before parents, the root is the last node).
+pub type NodeId = usize;
+
+/// The physical operator executing one DAG node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhysOp {
+    /// Leaf scan: a shared handle to a stored relation (no copy).
+    Scan(String),
+    /// Set union as a linear merge of the two canonical runs.
+    MergeUnion,
+    /// Set difference as a linear merge.
+    MergeDiff,
+    /// Projection (1-based columns), with re-canonicalization.
+    Project(Vec<usize>),
+    /// Selection filter.
+    Filter(Selection),
+    /// Constant tagging.
+    Tag(Value),
+    /// Hash equi-join (+ residual filter) — build right, probe left.
+    HashJoin(Condition),
+    /// Sort-free merge join: the equality atoms pair the first `prefix`
+    /// columns of both operands in order, which both canonical inputs are
+    /// already sorted by.
+    MergeJoin { theta: Condition, prefix: usize },
+    /// Filtered nested-loop join (no equality atom to index on).
+    NestedLoopJoin(Condition),
+    /// Hash equi-semijoin (+ residual filter).
+    HashSemijoin(Condition),
+    /// Sort-free merge semijoin on an aligned key prefix.
+    MergeSemijoin { theta: Condition, prefix: usize },
+    /// Nested-loop semijoin (no equality atom).
+    NestedLoopSemijoin(Condition),
+    /// Hash grouping with a count aggregate.
+    HashGroupCount(Vec<usize>),
+}
+
+impl PhysOp {
+    /// Short operator name for reports and `explain` output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysOp::Scan(_) => "scan",
+            PhysOp::MergeUnion => "merge-union",
+            PhysOp::MergeDiff => "merge-diff",
+            PhysOp::Project(_) => "project",
+            PhysOp::Filter(_) => "filter",
+            PhysOp::Tag(_) => "tag",
+            PhysOp::HashJoin(_) => "hash-join",
+            PhysOp::MergeJoin { .. } => "merge-join",
+            PhysOp::NestedLoopJoin(_) => "nested-loop-join",
+            PhysOp::HashSemijoin(_) => "hash-semijoin",
+            PhysOp::MergeSemijoin { .. } => "merge-semijoin",
+            PhysOp::NestedLoopSemijoin(_) => "nested-loop-semijoin",
+            PhysOp::HashGroupCount(_) => "hash-group",
+        }
+    }
+}
+
+/// One node of the physical DAG.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    /// The physical operator.
+    pub op: PhysOp,
+    /// Child node ids (left to right).
+    pub children: Vec<NodeId>,
+    /// Logical label of the subexpression this node computes
+    /// ([`Expr::label`]).
+    pub label: String,
+    /// Output arity.
+    pub arity: usize,
+    /// How many times the subexpression occurs in the original tree —
+    /// `> 1` means the naive evaluator would have re-evaluated it.
+    pub occurrences: usize,
+}
+
+/// A lowered, hash-consed physical plan.
+///
+/// Nodes are stored in topological order (children before parents), so
+/// execution is a single forward pass with every node evaluated exactly
+/// once.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    nodes: Vec<PlanNode>,
+    root: NodeId,
+    expr_nodes: usize,
+}
+
+impl PhysicalPlan {
+    /// Validate `expr` against `schema` and lower it to a physical DAG.
+    pub fn of(expr: &Expr, schema: &Schema) -> Result<PhysicalPlan, EvalError> {
+        expr.arity(schema)?;
+        let mut planner = Planner {
+            schema,
+            nodes: Vec::new(),
+            memo: FxHashMap::default(),
+        };
+        let root = planner.lower(expr);
+        // Occurrence counts need a full tree walk: lowering stops at the
+        // first memo hit, so descendants of a shared subtree would be
+        // undercounted (R under a second π₁(R) occurrence, say).
+        planner.count_occurrences(expr);
+        Ok(PhysicalPlan {
+            nodes: planner.nodes,
+            root,
+            expr_nodes: expr.node_count(),
+        })
+    }
+
+    /// The DAG nodes in topological order.
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// The root node id (always the last node).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of DAG nodes — distinct subexpressions of the query.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes of the *logical* expression tree; the difference
+    /// to [`PhysicalPlan::node_count`] is work the memoization saves.
+    pub fn expr_node_count(&self) -> usize {
+        self.expr_nodes
+    }
+
+    /// Nodes whose subexpression occurs more than once in the tree.
+    pub fn shared_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.occurrences > 1).count()
+    }
+
+    /// Execute the plan. The database must conform to the schema the plan
+    /// was built against; scans re-check name and arity (the cheap part)
+    /// and error out on mismatch, everything else was validated at plan
+    /// time.
+    pub fn execute(&self, db: &Database) -> Result<Relation, EvalError> {
+        let root = self.run(db, |_, _, _, _| {})?;
+        Ok(Arc::try_unwrap(root).unwrap_or_else(|arc| arc.as_ref().clone()))
+    }
+
+    /// Execute with per-node instrumentation.
+    pub fn execute_instrumented(&self, db: &Database) -> Result<PlannedReport, EvalError> {
+        let mut nodes: Vec<NodeStat> = Vec::with_capacity(self.nodes.len());
+        let root = self.run(db, |id, node: &PlanNode, rel: &Relation, elapsed| {
+            nodes.push(NodeStat {
+                id,
+                label: node.label.clone(),
+                operator: node.op.name().to_string(),
+                arity: rel.arity(),
+                cardinality: rel.len(),
+                elapsed,
+            });
+        })?;
+        Ok(PlannedReport {
+            result: Arc::try_unwrap(root).unwrap_or_else(|arc| arc.as_ref().clone()),
+            occurrences: self.nodes.iter().map(|n| n.occurrences).collect(),
+            nodes,
+            db_size: db.size(),
+            expr_nodes: self.expr_nodes,
+        })
+    }
+
+    /// One forward pass over the DAG; `observe` sees every node's output.
+    ///
+    /// Each intermediate is dropped as soon as its last consumer has run,
+    /// so peak memory tracks the live frontier of the DAG rather than the
+    /// sum of all intermediates.
+    fn run(
+        &self,
+        db: &Database,
+        mut observe: impl FnMut(NodeId, &PlanNode, &Relation, Duration),
+    ) -> Result<Arc<Relation>, EvalError> {
+        let mut pending_consumers = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for &c in &node.children {
+                pending_consumers[c] += 1;
+            }
+        }
+        pending_consumers[self.root] += 1; // the caller consumes the root
+        let mut results: Vec<Option<Arc<Relation>>> = vec![None; self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            let child = |i: usize| -> &Relation {
+                results[node.children[i]]
+                    .as_deref()
+                    .expect("topological order: children computed first")
+            };
+            let start = Instant::now();
+            let rel: Arc<Relation> = match &node.op {
+                PhysOp::Scan(name) => {
+                    let r = db.get_shared(name).ok_or_else(|| {
+                        EvalError::Algebra(AlgebraError::UnknownRelation(name.clone()))
+                    })?;
+                    if r.arity() != node.arity {
+                        return Err(EvalError::Algebra(AlgebraError::ArityMismatch {
+                            left: node.arity,
+                            right: r.arity(),
+                        }));
+                    }
+                    r
+                }
+                PhysOp::MergeUnion => {
+                    Arc::new(child(0).union(child(1)).expect("validated: arities agree"))
+                }
+                PhysOp::MergeDiff => Arc::new(
+                    child(0)
+                        .difference(child(1))
+                        .expect("validated: arities agree"),
+                ),
+                PhysOp::Project(cols) => Arc::new(ops::project(child(0), cols)),
+                PhysOp::Filter(sel) => Arc::new(ops::select(child(0), sel)),
+                PhysOp::Tag(c) => Arc::new(ops::const_tag(child(0), c)),
+                PhysOp::HashJoin(theta) | PhysOp::NestedLoopJoin(theta) => {
+                    Arc::new(ops::join(child(0), child(1), theta))
+                }
+                PhysOp::MergeJoin { theta, prefix } => {
+                    let (_, residual) = ops::split_condition(theta);
+                    Arc::new(ops::merge_join(child(0), child(1), *prefix, &residual))
+                }
+                PhysOp::HashSemijoin(theta) | PhysOp::NestedLoopSemijoin(theta) => {
+                    Arc::new(ops::semijoin(child(0), child(1), theta))
+                }
+                PhysOp::MergeSemijoin { theta, prefix } => {
+                    let (_, residual) = ops::split_condition(theta);
+                    Arc::new(ops::merge_semijoin(child(0), child(1), *prefix, &residual))
+                }
+                PhysOp::HashGroupCount(cols) => Arc::new(ops::group_count(child(0), cols)),
+            };
+            observe(id, node, &rel, start.elapsed());
+            results[id] = Some(rel);
+            for &c in &node.children {
+                pending_consumers[c] -= 1;
+                if pending_consumers[c] == 0 {
+                    results[c] = None;
+                }
+            }
+        }
+        Ok(results[self.root].take().expect("root computed"))
+    }
+
+    /// Render the DAG as an `EXPLAIN`-style tree. The first occurrence of
+    /// a shared node is expanded and tagged `×n`; later occurrences are
+    /// printed as back-references (`… see #id`), making the memoization
+    /// visible:
+    ///
+    /// ```text
+    /// #6 merge-diff            diff
+    /// ├─ #1 project            project[1]  ×2
+    /// │  └─ #0 scan            R  ×3
+    /// └─ #5 project            project[1]
+    ///    └─ ...
+    /// ```
+    pub fn explain(&self) -> String {
+        let mut out = format!(
+            "physical plan: {} nodes for {} logical nodes ({} shared)\n",
+            self.node_count(),
+            self.expr_nodes,
+            self.shared_node_count()
+        );
+        let mut seen = vec![false; self.nodes.len()];
+        self.render(self.root, "", true, true, &mut seen, &mut out);
+        out
+    }
+
+    #[allow(clippy::only_used_in_recursion)]
+    fn render(
+        &self,
+        id: NodeId,
+        prefix: &str,
+        is_last: bool,
+        is_root: bool,
+        seen: &mut [bool],
+        out: &mut String,
+    ) {
+        let (branch, child_prefix) = if is_root {
+            (String::new(), String::new())
+        } else if is_last {
+            (format!("{prefix}└─ "), format!("{prefix}   "))
+        } else {
+            (format!("{prefix}├─ "), format!("{prefix}│  "))
+        };
+        let node = &self.nodes[id];
+        if seen[id] {
+            out.push_str(&format!("{branch}#{id} … see above\n"));
+            return;
+        }
+        seen[id] = true;
+        let shared = if node.occurrences > 1 {
+            format!("  ×{}", node.occurrences)
+        } else {
+            String::new()
+        };
+        let head = format!("{branch}#{id} {}", node.op.name());
+        out.push_str(&format!("{head:<40} {}{shared}\n", node.label));
+        let n = node.children.len();
+        for (i, &c) in node.children.iter().enumerate() {
+            self.render(c, &child_prefix, i + 1 == n, false, seen, out);
+        }
+    }
+}
+
+/// Bottom-up lowering state: hash-consing memo keyed by structural hash,
+/// confirmed by full equality (hash collisions must not merge distinct
+/// subtrees).
+///
+/// Each memo lookup hashes the probed subtree, so lowering costs
+/// `O(n · depth)` hashing overall — microseconds at the expression sizes
+/// of this reproduction (tens of nodes). Should machine-generated
+/// expressions ever make this the bottleneck, the memo can be re-keyed by
+/// `(operator, child NodeIds)` after lowering children for `O(n)` total.
+struct Planner<'a> {
+    schema: &'a Schema,
+    nodes: Vec<PlanNode>,
+    memo: FxHashMap<u64, Vec<(&'a Expr, NodeId)>>,
+}
+
+impl<'a> Planner<'a> {
+    /// The plan node a (sub)expression with structural hash `h` lowered
+    /// to, if already planned.
+    fn find_hashed(&self, e: &Expr, h: u64) -> Option<NodeId> {
+        self.memo
+            .get(&h)?
+            .iter()
+            .find(|(cand, _)| *cand == e)
+            .map(|&(_, id)| id)
+    }
+
+    /// Count every occurrence of every subexpression in the tree into the
+    /// corresponding plan node.
+    fn count_occurrences(&mut self, e: &Expr) {
+        let id = self
+            .find_hashed(e, e.structural_hash())
+            .expect("lowered before counting");
+        self.nodes[id].occurrences += 1;
+        for c in e.children() {
+            self.count_occurrences(c);
+        }
+    }
+
+    fn lower(&mut self, e: &'a Expr) -> NodeId {
+        let h = e.structural_hash();
+        if let Some(id) = self.find_hashed(e, h) {
+            return id;
+        }
+        let (op, children) = match e {
+            Expr::Rel(name) => (PhysOp::Scan(name.clone()), vec![]),
+            Expr::Union(a, b) => (PhysOp::MergeUnion, vec![self.lower(a), self.lower(b)]),
+            Expr::Diff(a, b) => (PhysOp::MergeDiff, vec![self.lower(a), self.lower(b)]),
+            Expr::Project(cols, a) => (PhysOp::Project(cols.clone()), vec![self.lower(a)]),
+            Expr::Select(sel, a) => (PhysOp::Filter(sel.clone()), vec![self.lower(a)]),
+            Expr::ConstTag(c, a) => (PhysOp::Tag(c.clone()), vec![self.lower(a)]),
+            Expr::Join(theta, a, b) => {
+                (Self::choose_join(theta), vec![self.lower(a), self.lower(b)])
+            }
+            Expr::Semijoin(theta, a, b) => (
+                Self::choose_semijoin(theta),
+                vec![self.lower(a), self.lower(b)],
+            ),
+            Expr::GroupCount(cols, a) => {
+                (PhysOp::HashGroupCount(cols.clone()), vec![self.lower(a)])
+            }
+        };
+        let arity = match (&op, children.as_slice()) {
+            (PhysOp::Scan(name), _) => self
+                .schema
+                .arity_of(name)
+                .expect("validated: relation exists"),
+            (PhysOp::Project(cols), _) => cols.len(),
+            (PhysOp::Tag(_), &[c]) => self.nodes[c].arity + 1,
+            (PhysOp::HashGroupCount(cols), _) => cols.len() + 1,
+            (
+                PhysOp::HashJoin(_) | PhysOp::MergeJoin { .. } | PhysOp::NestedLoopJoin(_),
+                &[l, r],
+            ) => self.nodes[l].arity + self.nodes[r].arity,
+            (_, &[c, ..]) => self.nodes[c].arity,
+            _ => unreachable!("every non-scan operator has children"),
+        };
+        let id = self.nodes.len();
+        self.nodes.push(PlanNode {
+            op,
+            children,
+            label: e.label(),
+            arity,
+            occurrences: 0, // filled by `count_occurrences`
+        });
+        self.memo.entry(h).or_default().push((e, id));
+        id
+    }
+
+    fn choose_join(theta: &Condition) -> PhysOp {
+        if let Some(prefix) = ops::merge_prefix_len(theta) {
+            PhysOp::MergeJoin {
+                theta: theta.clone(),
+                prefix,
+            }
+        } else if !ops::split_condition(theta).0.is_empty() {
+            PhysOp::HashJoin(theta.clone())
+        } else {
+            PhysOp::NestedLoopJoin(theta.clone())
+        }
+    }
+
+    fn choose_semijoin(theta: &Condition) -> PhysOp {
+        if let Some(prefix) = ops::merge_prefix_len(theta) {
+            PhysOp::MergeSemijoin {
+                theta: theta.clone(),
+                prefix,
+            }
+        } else if !ops::split_condition(theta).0.is_empty() {
+            PhysOp::HashSemijoin(theta.clone())
+        } else {
+            PhysOp::NestedLoopSemijoin(theta.clone())
+        }
+    }
+}
+
+/// The result of an instrumented planned evaluation: one [`NodeStat`] per
+/// **DAG node** (not per tree node — that is the point), in topological
+/// order with the root last.
+#[derive(Debug, Clone)]
+pub struct PlannedReport {
+    /// The query result (the root node's output).
+    pub result: Relation,
+    /// Per-node statistics, indexed by [`NodeId`]. Each node appears
+    /// exactly once: the planned evaluator computes every distinct
+    /// subexpression once.
+    pub nodes: Vec<NodeStat>,
+    /// Per-node occurrence counts in the logical tree (parallel to
+    /// `nodes`).
+    pub occurrences: Vec<usize>,
+    /// The input database size `|D|`.
+    pub db_size: usize,
+    /// Size of the logical expression tree.
+    pub expr_nodes: usize,
+}
+
+impl PlannedReport {
+    /// The largest intermediate (or final) cardinality.
+    pub fn max_intermediate(&self) -> usize {
+        self.nodes.iter().map(|n| n.cardinality).max().unwrap_or(0)
+    }
+
+    /// Total time across all plan nodes.
+    pub fn total_elapsed(&self) -> Duration {
+        self.nodes.iter().map(|n| n.elapsed).sum()
+    }
+
+    /// Tree-node evaluations the memoization avoided
+    /// (`expr_nodes − plan nodes`).
+    pub fn evaluations_saved(&self) -> usize {
+        self.expr_nodes - self.nodes.len()
+    }
+
+    /// Render a per-node table (id, operator, label, cardinality, ×occ).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "|D| = {}, output = {}, max intermediate = {}, {} plan nodes for {} tree nodes\n",
+            self.db_size,
+            self.result.len(),
+            self.max_intermediate(),
+            self.nodes.len(),
+            self.expr_nodes,
+        );
+        for (n, &occ) in self.nodes.iter().zip(&self.occurrences) {
+            let shared = if occ > 1 {
+                format!("  ×{occ}")
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  [{:>3}] {:<20} {:<28} arity {}  card {}{shared}\n",
+                n.id, n.operator, n.label, n.arity, n.cardinality
+            ));
+        }
+        out
+    }
+}
+
+/// Evaluate `expr` on `db` through the physical planner: plan against the
+/// database's induced schema, then execute the DAG. Agrees with
+/// [`crate::evaluate`] on every valid expression, but evaluates each
+/// distinct subexpression once and never deep-clones a stored relation.
+///
+/// ```
+/// use sj_algebra::division;
+/// use sj_eval::{evaluate, evaluate_planned};
+/// use sj_storage::{Database, Relation};
+///
+/// let mut db = Database::new();
+/// db.set("R", Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 7]]));
+/// db.set("S", Relation::from_int_rows(&[&[7], &[8]]));
+/// let e = division::division_double_difference("R", "S");
+/// assert_eq!(
+///     evaluate_planned(&e, &db).unwrap(),
+///     evaluate(&e, &db).unwrap()
+/// );
+/// ```
+pub fn evaluate_planned(expr: &Expr, db: &Database) -> Result<Relation, EvalError> {
+    PhysicalPlan::of(expr, &db.schema())?.execute(db)
+}
+
+/// Planned evaluation with per-DAG-node instrumentation.
+pub fn evaluate_planned_instrumented(
+    expr: &Expr,
+    db: &Database,
+) -> Result<PlannedReport, EvalError> {
+    PhysicalPlan::of(expr, &db.schema())?.execute_instrumented(db)
+}
+
+/// Plan and render the physical DAG without executing it.
+pub fn explain_plan(expr: &Expr, schema: &Schema) -> Result<String, EvalError> {
+    Ok(PhysicalPlan::of(expr, schema)?.explain())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plain::evaluate;
+    use sj_algebra::division;
+
+    fn division_db() -> Database {
+        let mut db = Database::new();
+        db.set(
+            "R",
+            Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 7], &[3, 8], &[3, 9]]),
+        );
+        db.set("S", Relation::from_int_rows(&[&[7], &[8]]));
+        db
+    }
+
+    #[test]
+    fn division_dag_shares_r_and_its_projection() {
+        let e = division::division_double_difference("R", "S");
+        let plan = PhysicalPlan::of(&e, &division_db().schema()).unwrap();
+        // 10 tree nodes collapse to 7 distinct subexpressions.
+        assert_eq!(plan.expr_node_count(), 10);
+        assert_eq!(plan.node_count(), 7);
+        let scan_r = plan
+            .nodes()
+            .iter()
+            .find(|n| n.op == PhysOp::Scan("R".into()))
+            .unwrap();
+        assert_eq!(scan_r.occurrences, 3);
+        let proj = plan
+            .nodes()
+            .iter()
+            .find(|n| n.label == "project[1]" && n.occurrences > 1)
+            .unwrap();
+        assert_eq!(proj.occurrences, 2);
+    }
+
+    #[test]
+    fn division_each_distinct_subtree_evaluated_exactly_once() {
+        // The acceptance check of the planner issue: instrumentation shows
+        // one evaluation per distinct subtree — R once (the tree has it
+        // three times), π₁(R) once (twice in the tree).
+        let e = division::division_double_difference("R", "S");
+        let db = division_db();
+        let report = evaluate_planned_instrumented(&e, &db).unwrap();
+        assert_eq!(report.expr_nodes, 10);
+        assert_eq!(report.nodes.len(), 7);
+        assert_eq!(report.evaluations_saved(), 3);
+        assert_eq!(report.nodes.iter().filter(|n| n.label == "R").count(), 1);
+        assert_eq!(
+            report
+                .nodes
+                .iter()
+                .filter(|n| n.label == "project[1]")
+                .count(),
+            2, // π₁(R) and π₁(diff) are distinct subexpressions
+        );
+        // Ids are assigned in topological order and are exactly 0..n.
+        for (i, n) in report.nodes.iter().enumerate() {
+            assert_eq!(n.id, i);
+        }
+        assert_eq!(report.result, evaluate(&e, &db).unwrap());
+    }
+
+    #[test]
+    fn planned_agrees_with_naive_on_running_examples() {
+        let mut db = Database::new();
+        db.set(
+            "Visits",
+            Relation::from_str_rows(&[
+                &["an", "bad bar"],
+                &["bob", "good bar"],
+                &["carl", "empty bar"],
+            ]),
+        );
+        db.set(
+            "Serves",
+            Relation::from_str_rows(&[&["bad bar", "swill"], &["good bar", "nectar"]]),
+        );
+        db.set("Likes", Relation::from_str_rows(&[&["bob", "nectar"]]));
+        for e in [
+            division::example3_lousy_bar_sa(),
+            division::example3_lousy_bar_ra(),
+            division::cyclic_beer_query_ra(),
+        ] {
+            assert_eq!(
+                evaluate_planned(&e, &db).unwrap(),
+                evaluate(&e, &db).unwrap(),
+                "{e}"
+            );
+        }
+        let ddb = division_db();
+        for e in [
+            division::division_double_difference("R", "S"),
+            division::division_via_join("R", "S"),
+            division::division_equality("R", "S"),
+            division::division_counting("R", "S"),
+            division::division_equality_counting("R", "S"),
+        ] {
+            assert_eq!(
+                evaluate_planned(&e, &ddb).unwrap(),
+                evaluate(&e, &ddb).unwrap(),
+                "{e}"
+            );
+        }
+    }
+
+    #[test]
+    fn operator_choice_prefers_merge_on_aligned_prefix() {
+        let schema = Schema::new([("R", 2), ("S", 2)]);
+        let cases = [
+            (
+                Expr::rel("R").semijoin(Condition::eq(1, 1), Expr::rel("S")),
+                "merge-semijoin",
+            ),
+            (
+                Expr::rel("R").join(Condition::eq_pairs([(1, 1), (2, 2)]), Expr::rel("S")),
+                "merge-join",
+            ),
+            (
+                Expr::rel("R").semijoin(Condition::eq(2, 1), Expr::rel("S")),
+                "hash-semijoin",
+            ),
+            (
+                Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S")),
+                "hash-join",
+            ),
+            (
+                Expr::rel("R").join(Condition::lt(1, 1), Expr::rel("S")),
+                "nested-loop-join",
+            ),
+            (
+                Expr::rel("R").semijoin(Condition::always(), Expr::rel("S")),
+                "nested-loop-semijoin",
+            ),
+            (
+                // Merge with a residual: 1=1 aligned, 2<2 rides along.
+                Expr::rel("R").join(
+                    Condition::eq(1, 1).and(2, sj_algebra::CompOp::Lt, 2),
+                    Expr::rel("S"),
+                ),
+                "merge-join",
+            ),
+        ];
+        for (e, expect) in cases {
+            let plan = PhysicalPlan::of(&e, &schema).unwrap();
+            let root = &plan.nodes()[plan.root()];
+            assert_eq!(root.op.name(), expect, "{e}");
+        }
+    }
+
+    #[test]
+    fn merge_operators_agree_with_naive_evaluation() {
+        let mut db = Database::new();
+        db.set(
+            "R",
+            Relation::from_int_rows(&[&[1, 10], &[1, 20], &[2, 5], &[3, 1], &[3, 2]]),
+        );
+        db.set(
+            "S",
+            Relation::from_int_rows(&[&[1, 15], &[1, 30], &[3, 0], &[4, 9]]),
+        );
+        let exprs = [
+            Expr::rel("R").join(Condition::eq(1, 1), Expr::rel("S")),
+            Expr::rel("R").semijoin(Condition::eq(1, 1), Expr::rel("S")),
+            Expr::rel("R").join(
+                Condition::eq(1, 1).and(2, sj_algebra::CompOp::Lt, 2),
+                Expr::rel("S"),
+            ),
+            Expr::rel("R").semijoin(
+                Condition::eq(1, 1).and(2, sj_algebra::CompOp::Gt, 2),
+                Expr::rel("S"),
+            ),
+        ];
+        for e in exprs {
+            assert_eq!(
+                evaluate_planned(&e, &db).unwrap(),
+                evaluate(&e, &db).unwrap(),
+                "{e}"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_shows_operators_and_sharing() {
+        let e = division::division_double_difference("R", "S");
+        let s = explain_plan(&e, &division_db().schema()).unwrap();
+        assert!(s.contains("physical plan: 7 nodes for 10 logical nodes"));
+        assert!(s.contains("scan"));
+        assert!(s.contains("nested-loop-join"));
+        assert!(s.contains("×3"), "R is shared three times:\n{s}");
+        assert!(s.contains("… see above"), "{s}");
+    }
+
+    #[test]
+    fn execute_rejects_mismatched_database() {
+        let e = Expr::rel("R").project([1]);
+        let plan = PhysicalPlan::of(&e, &Schema::new([("R", 2)])).unwrap();
+        // Missing relation.
+        let empty = Database::new();
+        assert!(matches!(
+            plan.execute(&empty),
+            Err(EvalError::Algebra(AlgebraError::UnknownRelation(_)))
+        ));
+        // Wrong arity.
+        let mut wrong = Database::new();
+        wrong.set("R", Relation::from_int_rows(&[&[1, 2, 3]]));
+        assert!(matches!(
+            plan.execute(&wrong),
+            Err(EvalError::Algebra(AlgebraError::ArityMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn planned_validation_errors_surface_like_plain() {
+        let db = Database::new();
+        assert!(evaluate_planned(&Expr::rel("R"), &db).is_err());
+        let mut db2 = Database::new();
+        db2.set("R", Relation::empty(1));
+        assert!(evaluate_planned(&Expr::rel("R").project([2]), &db2).is_err());
+    }
+
+    #[test]
+    fn scan_is_zero_copy() {
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&[&[1], &[2]]));
+        let plan = PhysicalPlan::of(&Expr::rel("R"), &db.schema()).unwrap();
+        // A bare scan's result must be the stored allocation itself.
+        let shared = plan.run(&db, |_, _, _, _| {}).unwrap();
+        assert!(std::ptr::eq(shared.as_ref(), db.get("R").unwrap()));
+    }
+
+    #[test]
+    fn report_render_mentions_sharing_and_plan_size() {
+        let e = division::division_double_difference("R", "S");
+        let report = evaluate_planned_instrumented(&e, &division_db()).unwrap();
+        let s = report.render();
+        assert!(s.contains("7 plan nodes for 10 tree nodes"), "{s}");
+        assert!(s.contains("×3"), "{s}");
+        assert!(s.contains("scan"), "{s}");
+    }
+}

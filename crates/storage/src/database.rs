@@ -7,12 +7,19 @@ use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A database `D` over a schema `S`: an assignment of a finite relation
 /// `D(R)` to each relation name `R ∈ S` (Section 2 of the paper).
 ///
 /// Relation names are kept sorted so that iteration, display, and hashing
 /// are deterministic.
+///
+/// Relations are stored behind [`Arc`] so that evaluators can take
+/// zero-copy handles to leaf relations ([`Database::get_shared`]) instead
+/// of deep-cloning them per scan; mutation goes through
+/// [`Arc::make_mut`] (copy-on-write), so the plain `&Relation` /
+/// `&mut Relation` API is unchanged.
 ///
 /// ```
 /// use sj_storage::{Database, Relation};
@@ -23,7 +30,7 @@ use std::fmt;
 /// ```
 #[derive(Clone, PartialEq, Eq, Default)]
 pub struct Database {
-    relations: BTreeMap<String, Relation>,
+    relations: BTreeMap<String, Arc<Relation>>,
 }
 
 impl Database {
@@ -35,7 +42,10 @@ impl Database {
     /// Build a database from `(name, relation)` pairs.
     pub fn from_relations<N: Into<String>>(rels: impl IntoIterator<Item = (N, Relation)>) -> Self {
         Database {
-            relations: rels.into_iter().map(|(n, r)| (n.into(), r)).collect(),
+            relations: rels
+                .into_iter()
+                .map(|(n, r)| (n.into(), Arc::new(r)))
+                .collect(),
         }
     }
 
@@ -44,19 +54,31 @@ impl Database {
         Database {
             relations: schema
                 .iter()
-                .map(|(n, a)| (n.to_string(), Relation::empty(a)))
+                .map(|(n, a)| (n.to_string(), Arc::new(Relation::empty(a))))
                 .collect(),
         }
     }
 
     /// Assign `rel` to `name`, replacing any previous assignment.
     pub fn set(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), Arc::new(rel));
+    }
+
+    /// Assign an already-shared relation to `name` without copying it.
+    pub fn set_shared(&mut self, name: impl Into<String>, rel: Arc<Relation>) {
         self.relations.insert(name.into(), rel);
     }
 
     /// The relation assigned to `name`, if any.
     pub fn get(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+        self.relations.get(name).map(|r| r.as_ref())
+    }
+
+    /// A shared, zero-copy handle to the relation assigned to `name`.
+    /// This is how the planned evaluator scans leaves: bumping the
+    /// reference count instead of deep-cloning the tuple vector.
+    pub fn get_shared(&self, name: &str) -> Option<Arc<Relation>> {
+        self.relations.get(name).cloned()
     }
 
     /// The relation assigned to `name`, as an error-producing lookup.
@@ -65,22 +87,22 @@ impl Database {
             .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
     }
 
-    /// Mutable access to a relation.
+    /// Mutable access to a relation (copy-on-write if the relation is
+    /// currently shared with an evaluator).
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
-        self.relations.get_mut(name)
+        self.relations.get_mut(name).map(Arc::make_mut)
     }
 
     /// Insert a tuple into relation `name` (which must exist).
     pub fn insert(&mut self, name: &str, t: Tuple) -> crate::Result<bool> {
-        self.relations
-            .get_mut(name)
+        self.get_mut(name)
             .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))?
             .insert(t)
     }
 
     /// Iterate `(name, relation)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
-        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+        self.relations.iter().map(|(n, r)| (n.as_str(), r.as_ref()))
     }
 
     /// Relation names in sorted order.
@@ -96,7 +118,7 @@ impl Database {
     /// **Definition 15**: the size `|D|` of the database — the sum of the
     /// cardinalities of its relations.
     pub fn size(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|r| r.len()).sum()
     }
 
     /// The active domain: all values occurring in any relation, sorted and
@@ -165,7 +187,10 @@ impl Database {
                 let tuples = r.iter().map(|t| t.iter().map(&mut f).collect::<Tuple>());
                 (
                     n.clone(),
-                    Relation::from_tuples(r.arity(), tuples).expect("map_values preserves arity"),
+                    Arc::new(
+                        Relation::from_tuples(r.arity(), tuples)
+                            .expect("map_values preserves arity"),
+                    ),
                 )
             })
             .collect();
@@ -272,6 +297,24 @@ mod tests {
         let e = d.map_values(|v| Value::str(format!("{}'", v.as_str().unwrap())));
         assert!(e.get("S").unwrap().contains(&tuple!["d'", "a'", "b'"]));
         assert_eq!(d.size(), e.size());
+    }
+
+    #[test]
+    fn shared_handles_are_zero_copy_and_cow() {
+        let mut d = fig2();
+        let shared = d.get_shared("R").unwrap();
+        // The handle aliases the stored relation, not a copy.
+        assert!(std::ptr::eq(shared.as_ref(), d.get("R").unwrap()));
+        // Mutation while shared copies on write: the handle keeps the old
+        // contents, the database sees the new ones.
+        d.insert("R", tuple!["x", "y", "z"]).unwrap();
+        assert_eq!(shared.len(), 2);
+        assert_eq!(d.get("R").unwrap().len(), 3);
+        assert!(!std::ptr::eq(shared.as_ref(), d.get("R").unwrap()));
+        // set_shared stores without copying.
+        let mut e = Database::new();
+        e.set_shared("R2", shared.clone());
+        assert!(std::ptr::eq(shared.as_ref(), e.get("R2").unwrap()));
     }
 
     #[test]

@@ -31,11 +31,23 @@ impl HashIndex {
     /// Panics if a key column is out of range for the relation's arity —
     /// callers (the evaluators) validate column references first.
     pub fn build(rel: &Relation, key_cols: &[usize]) -> Self {
+        // No up-front `reserve(rel.len())`: the number of buckets is the
+        // number of *distinct keys*, which on low-cardinality keys is far
+        // below the row count — pre-sizing to the row count wasted memory
+        // proportional to |rel| per index. Amortized growth is cheap.
         let mut buckets: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
-        buckets.reserve(rel.len());
+        let mut scratch: Vec<Value> = Vec::with_capacity(key_cols.len());
         for (pos, t) in rel.iter().enumerate() {
-            let key: Vec<Value> = key_cols.iter().map(|&c| t[c].clone()).collect();
-            buckets.entry(key).or_default().push(pos);
+            scratch.clear();
+            scratch.extend(key_cols.iter().map(|&c| t[c].clone()));
+            // Probe with the reused scratch buffer; only materialize an
+            // owned key for the first row of each distinct key.
+            match buckets.get_mut(scratch.as_slice()) {
+                Some(rows) => rows.push(pos),
+                None => {
+                    buckets.insert(scratch.clone(), vec![pos]);
+                }
+            }
         }
         HashIndex {
             key_cols: key_cols.to_vec(),

@@ -57,6 +57,29 @@ impl Relation {
         Ok(Relation { arity, tuples: v })
     }
 
+    /// Build a relation from tuples **already in canonical order**
+    /// (strictly increasing, hence deduplicated) without re-sorting.
+    ///
+    /// The merge-based physical operators in `sj-eval` produce their
+    /// output in canonical order; this constructor lets them skip the
+    /// `O(n log n)` canonicalization of [`Relation::from_tuples`]. The
+    /// order claim is verified with a linear scan: input that is *not*
+    /// strictly increasing is canonicalized (sorted + deduplicated)
+    /// instead of silently breaking the representation invariant — the
+    /// constructor is total, misuse merely forfeits the fast path. Arity
+    /// agreement is debug-checked like the other trusted paths.
+    pub fn from_sorted_tuples(arity: usize, mut tuples: Vec<Tuple>) -> Self {
+        debug_assert!(
+            tuples.iter().all(|t| t.arity() == arity),
+            "from_sorted_tuples: arity mismatch"
+        );
+        if !tuples.windows(2).all(|w| w[0] < w[1]) {
+            tuples.sort_unstable();
+            tuples.dedup();
+        }
+        Relation { arity, tuples }
+    }
+
     /// Build from rows of integers; arity inferred from the first row
     /// (0 rows ⇒ use [`Relation::empty`]). Panics on ragged rows — intended
     /// for tests and the paper-figure constants.
@@ -290,6 +313,22 @@ mod tests {
     #[test]
     fn set_equality_ignores_input_order() {
         assert_eq!(r(&[&[1], &[2]]), r(&[&[2], &[1]]));
+    }
+
+    #[test]
+    fn from_sorted_tuples_trusts_sorted_and_repairs_unsorted() {
+        let sorted = vec![Tuple::from_ints(&[1, 2]), Tuple::from_ints(&[2, 1])];
+        let a = Relation::from_sorted_tuples(2, sorted);
+        assert_eq!(a, r(&[&[1, 2], &[2, 1]]));
+        // Unsorted / duplicated input is canonicalized, not trusted.
+        let unsorted = vec![
+            Tuple::from_ints(&[2, 1]),
+            Tuple::from_ints(&[1, 2]),
+            Tuple::from_ints(&[2, 1]),
+        ];
+        let b = Relation::from_sorted_tuples(2, unsorted);
+        assert_eq!(b, a);
+        assert_eq!(b.len(), 2);
     }
 
     #[test]
