@@ -3,7 +3,7 @@
 //! Two forms are provided:
 //!
 //! * [`to_text`] — a plain ASCII, fully parenthesized form accepted back by
-//!   the parser in [`crate::parse`]: `project[1](semijoin[2=1](Visits, …))`.
+//!   the parser in [`mod@crate::parse`]: `project[1](semijoin[2=1](Visits, …))`.
 //! * [`to_unicode`] — a display form using the paper's symbols
 //!   (`π`, `σ`, `τ`, `⋈`, `⋉`, `∪`, `−`, `γ`), for reports and docs.
 

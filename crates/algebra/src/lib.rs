@@ -19,7 +19,7 @@
 //!   fragment predicates, subexpression traversal.
 //! * [`condition`] — join/semijoin conditions θ and the Definition 20
 //!   machinery (`constrainedₗ` / `uncₗ`).
-//! * [`display`] / [`parse`] — round-tripping text forms.
+//! * [`display`] / [`mod@parse`] — round-tripping text forms.
 //! * [`division`] — the classical division / set-join plans whose
 //!   complexity the paper analyzes, and the running-example queries.
 //! * [`transform`] — semijoin → join lowering (the linearity note under
@@ -38,7 +38,7 @@ pub use condition::{Atom, CompOp, Condition};
 pub use display::{to_text, to_unicode};
 pub use error::AlgebraError;
 pub use expr::{Expr, Selection};
-pub use optimize::optimize;
+pub use optimize::{optimize, OptimizeLevel, Pass, Pipeline};
 pub use parse::parse;
 pub use transform::semijoins_to_joins_checked;
 

@@ -1,6 +1,6 @@
 //! Expression transformations.
 //!
-//! The central one is [`semijoins_to_joins`]: the paper notes (below
+//! The central one is [`semijoins_to_joins_checked`]: the paper notes (below
 //! Theorem 18) that the equi-semijoin is expressible in RA *in a linear
 //! way*, e.g. for binary `R`, `S`:
 //!

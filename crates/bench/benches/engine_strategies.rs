@@ -1,0 +1,73 @@
+//! Engine facade overhead and strategy ablation.
+//!
+//! The `Engine` adds a layer (builder config, optimizer pipeline dispatch,
+//! registry lookup) over the free functions; this bench pins that layer's
+//! cost to ~nothing and records the Planned-vs-Naive-vs-Reference strategy
+//! spread on the division workload, plus registry-routed division against
+//! the direct call.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_algebra::division;
+use sj_eval::{evaluate_planned, Engine, Strategy};
+use sj_setjoin::DivisionSemantics;
+use sj_workload::DivisionWorkload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_strategies");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for groups in [256usize, 1024] {
+        let w = DivisionWorkload {
+            groups,
+            divisor_size: (groups as f64).sqrt() as usize,
+            containment_fraction: 0.1,
+            extra_per_group: 4,
+            noise_domain: 4 * groups,
+            seed: 0xE46,
+        };
+        let db = w.database();
+        let e = division::division_double_difference("R", "S");
+        // Baseline: the free function the engine wraps.
+        group.bench_with_input(BenchmarkId::new("free_planned", groups), &db, |b, db| {
+            b.iter(|| evaluate_planned(&e, db).unwrap())
+        });
+        for (name, strategy) in [
+            ("engine_planned", Strategy::Planned),
+            ("engine_naive", Strategy::Naive),
+        ] {
+            let engine = Engine::new(db.clone()).strategy(strategy);
+            group.bench_with_input(BenchmarkId::new(name, groups), &engine, |b, engine| {
+                b.iter(|| engine.query(e.clone()).run().unwrap())
+            });
+        }
+        // Registry-routed division (auto selector) vs the direct operator.
+        let engine = Engine::new(db.clone());
+        group.bench_with_input(
+            BenchmarkId::new("engine_divide_auto", groups),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    engine
+                        .divide("R", "S", DivisionSemantics::Containment)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("free_divide", groups), &db, |b, db| {
+            b.iter(|| {
+                sj_setjoin::divide(
+                    db.get("R").unwrap(),
+                    db.get("S").unwrap(),
+                    DivisionSemantics::Containment,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,11 +16,19 @@ use sj_bench::{
 };
 use sj_bisim::{are_bisimilar, check_bisimulation, Bisimulation, PartialIso};
 use sj_core::{analyze, measure_growth, Pump, Verdict};
-use sj_eval::{evaluate, evaluate_instrumented, evaluate_planned, PhysicalPlan};
-use sj_setjoin::{DivisionSemantics, SetPredicate};
+use sj_eval::{AlgorithmChoice, Engine, Instrument, Strategy};
+use sj_setjoin::{DivisionSemantics, Registry, SetPredicate};
 use sj_storage::display::{render_database, render_relation};
-use sj_storage::{tuple, Relation, Schema};
+use sj_storage::{tuple, Database, Relation, Schema};
 use sj_workload::{figures, DivisionWorkload, ElementDist, SetJoinWorkload, SetSizeDist};
+
+/// An instrumented naive engine — the measurement instrument for all the
+/// per-tree-node intermediate-size experiments.
+fn measuring_engine(db: Database) -> Engine {
+    Engine::new(db)
+        .strategy(Strategy::Naive)
+        .instrument(Instrument::Cardinalities)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,29 +73,28 @@ const EXPERIMENTS: &[(&str, fn())] = &[
 // ---------------------------------------------------------------------------
 
 fn fig1() {
-    let db = figures::fig1();
-    print!("{}", render_database(&db, "Fig. 1 input"));
-    let join = sj_setjoin::set_join(
-        db.get("Person").unwrap(),
-        db.get("Disease").unwrap(),
-        SetPredicate::Contains,
-    );
+    let engine = Engine::new(figures::fig1());
+    print!("{}", render_database(engine.db(), "Fig. 1 input"));
+    let join = engine
+        .set_join("Person", "Disease", SetPredicate::Contains)
+        .unwrap();
     print!(
         "{}",
-        render_relation(&join, "Person ⋈[⊇] Disease", &["pName", "dName"])
+        render_relation(&join.relation, "Person ⋈[⊇] Disease", &["pName", "dName"])
     );
-    assert_eq!(join, figures::fig1_expected_join());
-    let quot = sj_setjoin::divide(
-        db.get("Person").unwrap(),
-        db.get("Symptoms").unwrap(),
-        DivisionSemantics::Containment,
-    );
+    assert_eq!(join.relation, figures::fig1_expected_join());
+    let quot = engine
+        .divide("Person", "Symptoms", DivisionSemantics::Containment)
+        .unwrap();
     print!(
         "{}",
-        render_relation(&quot, "Person ÷ Symptoms", &["pName"])
+        render_relation(&quot.relation, "Person ÷ Symptoms", &["pName"])
     );
-    assert_eq!(quot, figures::fig1_expected_division());
-    println!("fig1: REPRODUCED (join and division tables match the paper)");
+    assert_eq!(quot.relation, figures::fig1_expected_division());
+    println!(
+        "fig1: REPRODUCED (join via {}, division via {} — both registry-routed)",
+        join.algorithm, quot.algorithm
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -167,7 +174,12 @@ fn fig4() {
     println!("  n   |Dn|   |E(Dn)|   n²");
     for n in [1usize, 2, 4, 8, 16, 32, 64] {
         let dn = pump.database(n);
-        let out = evaluate(&e, &dn).unwrap().len();
+        let out = Engine::new(dn.clone())
+            .query(e.clone())
+            .run()
+            .unwrap()
+            .relation
+            .len();
         println!("{n:>3}  {:>5}  {out:>8}  {:>5}", dn.size(), n * n);
         assert!(out >= n * n);
         csv.row(&[
@@ -192,16 +204,13 @@ fn fig5() {
     let (a, b) = (figures::fig5_a(), figures::fig5_b());
     print!("{}", render_database(&a, "Fig. 5, A"));
     print!("{}", render_database(&b, "Fig. 5, B"));
-    let div_a = sj_setjoin::divide(
-        a.get("R").unwrap(),
-        a.get("S").unwrap(),
-        DivisionSemantics::Containment,
-    );
-    let div_b = sj_setjoin::divide(
-        b.get("R").unwrap(),
-        b.get("S").unwrap(),
-        DivisionSemantics::Containment,
-    );
+    let div = |db: &Database| {
+        Engine::new(db.clone())
+            .divide("R", "S", DivisionSemantics::Containment)
+            .unwrap()
+            .relation
+    };
+    let (div_a, div_b) = (div(&a), div(&b));
     print!("{}", render_relation(&div_a, "A: R ÷ S", &["A"]));
     print!("{}", render_relation(&div_b, "B: R ÷ S", &["A"]));
     assert_eq!(div_a, Relation::from_int_rows(&[&[1], &[2]]));
@@ -225,8 +234,16 @@ fn fig6() {
     print!("{}", render_database(&a, "Fig. 6, A"));
     print!("{}", render_database(&b, "Fig. 6, B"));
     let q = division::cyclic_beer_query_ra();
-    let qa = evaluate(&q, &a).unwrap();
-    let qb = evaluate(&q, &b).unwrap();
+    let qa = Engine::new(a.clone())
+        .query(q.clone())
+        .run()
+        .unwrap()
+        .relation;
+    let qb = Engine::new(b.clone())
+        .query(q.clone())
+        .run()
+        .unwrap()
+        .relation;
     println!("Q(A) = {:?}   Q(B) = {:?}", qa.tuples(), qb.tuples());
     assert_eq!(qa, Relation::from_str_rows(&[&["alex"]]));
     assert!(qb.is_empty());
@@ -419,13 +436,14 @@ fn division_shootout() {
             seed: 0xD1ADE,
         };
         let (r, s, expected) = w.generate();
-        for (name, alg) in sj_setjoin::division::all_algorithms() {
+        for alg in Registry::standard().division_algorithms() {
+            let name = alg.name();
             // Nested-loop at the largest scale is too slow to be fun.
             if name == "nested-loop" && groups > 4096 {
                 continue;
             }
             let ms = time_median(3, || {
-                let out = alg(&r, &s, DivisionSemantics::Containment);
+                let out = alg.run(&r, &s, DivisionSemantics::Containment);
                 assert_eq!(out, expected);
                 out
             });
@@ -437,6 +455,13 @@ fn division_shootout() {
                 format!("{ms:.4}"),
             ]);
         }
+        let auto = Registry::standard()
+            .auto_division(&r, &s, DivisionSemantics::Containment)
+            .unwrap();
+        println!(
+            "{groups:>7} {divisor:>8} {:>14}",
+            format!("auto={}", auto.name())
+        );
     }
     let path = csv.finish().unwrap();
     println!(
@@ -474,46 +499,46 @@ fn setjoin_shootout() {
             };
             let (r, s) = w.generate();
             let expected = sj_setjoin::nested_loop_set_join(&r, &s, SetPredicate::Contains);
-            type SetJoinFn = Box<dyn Fn(&Relation, &Relation) -> Relation>;
-            let algos: Vec<(&str, SetJoinFn)> = vec![
-                (
-                    "nested-loop",
-                    Box::new(|r: &Relation, s: &Relation| {
-                        sj_setjoin::nested_loop_set_join(r, s, SetPredicate::Contains)
-                    }),
-                ),
-                (
-                    "signature64",
-                    Box::new(|r: &Relation, s: &Relation| {
-                        sj_setjoin::signature_set_join(r, s, SetPredicate::Contains)
-                    }),
-                ),
-                (
-                    "signature256",
-                    Box::new(|r: &Relation, s: &Relation| {
-                        sj_setjoin::wide_signature_set_join(r, s, SetPredicate::Contains, 4)
-                    }),
-                ),
-                ("inverted-ix", Box::new(sj_setjoin::inverted_index_set_join)),
-            ];
-            for (name, f) in &algos {
+            // Every registered algorithm that implements ⊇, straight from
+            // the registry — ablation is iteration, not wiring.
+            for alg in Registry::standard().set_join_algorithms() {
+                if !alg.supports(SetPredicate::Contains) {
+                    continue;
+                }
+                let name = alg.name();
                 let ms = time_median(3, || {
-                    let out = f(&r, &s);
+                    let out = alg.run(&r, &s, SetPredicate::Contains);
                     assert_eq!(out, expected);
                     out
                 });
                 println!(
-                    "{groups:>7} {dist_name:>9} {name:>12} {ms:>10.3} {:>8}",
+                    "{groups:>7} {dist_name:>9} {name:>14} {ms:>10.3} {:>8}",
                     expected.len()
                 );
                 csv.row(&[
                     groups.to_string(),
                     dist_name.into(),
-                    (*name).into(),
+                    name.into(),
                     format!("{ms:.4}"),
                     expected.len().to_string(),
                 ]);
             }
+            // The engine's auto selector, end to end: must agree with the
+            // baseline and pick a signature algorithm at these sizes.
+            let mut db = Database::new();
+            db.set("R", r.clone());
+            db.set("S", s.clone());
+            let auto = Engine::new(db)
+                .algorithm(AlgorithmChoice::Auto)
+                .set_join("R", "S", SetPredicate::Contains)
+                .unwrap();
+            assert_eq!(auto.relation, expected);
+            println!(
+                "{groups:>7} {dist_name:>9} {:>14} {:>10.3} {:>8}",
+                format!("auto={}", auto.algorithm),
+                auto.elapsed.as_secs_f64() * 1e3,
+                expected.len()
+            );
         }
     }
     // Signature-width ablation: survivors of the filter before exact
@@ -585,26 +610,26 @@ fn semijoin_linear() {
         "k", "|D|", "plan", "max intermediate"
     );
     for &k in &[64i64, 256, 1024, 4096] {
-        let db = beer_database(k, 0xBEE5);
+        let engine = measuring_engine(beer_database(k, 0xBEE5));
         for (name, plan) in [
             ("lousy-bar SA= (semijoin)", &sa),
             ("lousy-bar RA (join)", &ra),
             ("cyclic query (join)", &cyclic),
         ] {
-            let report = evaluate_instrumented(plan, &db).unwrap();
+            let report = engine.query((*plan).clone()).run().unwrap().report.unwrap();
             println!(
                 "{k:>6} {:>7} {name:>22} {:>16}",
-                report.db_size,
+                report.db_size(),
                 report.max_intermediate()
             );
             csv.row(&[
                 k.to_string(),
-                report.db_size.to_string(),
+                report.db_size().to_string(),
                 name.into(),
                 report.max_intermediate().to_string(),
             ]);
             if name.contains("SA=") {
-                assert!(report.max_intermediate() <= report.db_size);
+                assert!(report.max_intermediate() <= report.db_size());
             }
         }
     }
@@ -617,25 +642,25 @@ fn semijoin_linear() {
         "k", "|D|", "plan", "max intermediate"
     );
     for &k in &[32i64, 64, 128, 256] {
-        let db = beer_database_adversarial(k);
+        let engine = measuring_engine(beer_database_adversarial(k));
         for (name, plan) in [
             ("lousy-bar SA= (semijoin)", &sa),
             ("cyclic query (join)", &cyclic),
         ] {
-            let report = evaluate_instrumented(plan, &db).unwrap();
+            let report = engine.query((*plan).clone()).run().unwrap().report.unwrap();
             println!(
                 "{k:>6} {:>7} {name:>26} {:>16}",
-                report.db_size,
+                report.db_size(),
                 report.max_intermediate()
             );
             csv.row(&[
                 format!("adv-{k}"),
-                report.db_size.to_string(),
+                report.db_size().to_string(),
                 name.into(),
                 report.max_intermediate().to_string(),
             ]);
             if name.contains("SA=") {
-                assert!(report.max_intermediate() <= report.db_size);
+                assert!(report.max_intermediate() <= report.db_size());
             } else {
                 assert!(report.max_intermediate() >= (k * k) as usize);
             }
@@ -718,15 +743,15 @@ fn planner() {
         ));
     }
     for (name, scale, db, e) in &cases {
-        let plan = PhysicalPlan::of(e, &db.schema()).unwrap();
-        let expected = evaluate(e, db).unwrap();
-        assert_eq!(
-            plan.execute(db).unwrap(),
-            expected,
-            "planned result diverged on {name}"
-        );
-        let naive_ms = time_median(5, || evaluate(e, db).unwrap());
-        let planned_ms = time_median(5, || evaluate_planned(e, db).unwrap());
+        // The strategy ablation the engine makes a one-line change.
+        let naive = Engine::new(db.clone()).strategy(Strategy::Naive);
+        let planned = Engine::new(db.clone()).strategy(Strategy::Planned);
+        let expected = naive.query(e.clone()).run().unwrap().relation;
+        let out = planned.query(e.clone()).run().unwrap();
+        assert_eq!(out.relation, expected, "planned result diverged on {name}");
+        let plan = out.plan.expect("Strategy::Planned returns its plan");
+        let naive_ms = time_median(5, || naive.query(e.clone()).run().unwrap());
+        let planned_ms = time_median(5, || planned.query(e.clone()).run().unwrap());
         let speedup = naive_ms / planned_ms.max(1e-9);
         println!(
             "{name:<26} {scale:>6} {:>7} {:>5}/{:<5} {naive_ms:>10.3} {planned_ms:>11.3} {speedup:>7.2}x",
@@ -746,9 +771,16 @@ fn planner() {
         ]);
     }
     // Show the memoized DAG once: R ×3, π₁(R) ×2 collapse to 7 nodes.
-    let schema = Schema::new([("R", 2), ("S", 1)]);
-    let plan = PhysicalPlan::of(&division::division_double_difference("R", "S"), &schema).unwrap();
-    print!("\n{}", plan.explain());
+    let mut demo = Database::new();
+    demo.set("R", Relation::empty(2));
+    demo.set("S", Relation::empty(1));
+    print!(
+        "\n{}",
+        Engine::new(demo)
+            .query(division::division_double_difference("R", "S"))
+            .explain()
+            .unwrap()
+    );
     let path = csv.finish().unwrap();
     println!(
         "planner: memoized DAG + Arc scans beat the naive tree walk on the \

@@ -13,7 +13,7 @@
 //! * [`rewrite`] — the **Theorem 18 rewriter** turning syntactically
 //!   determined joins into SA= (the `Z₁ ∪ Z₂` construction, specialized to
 //!   the syntactically recognizable case).
-//! * [`analyze`] — the dichotomy analyzer combining both halves into a
+//! * [`mod@analyze`] — the dichotomy analyzer combining both halves into a
 //!   `Linear { sa_equivalent } / Quadratic { witness } / Undetermined`
 //!   verdict with machine-checkable certificates.
 //! * [`growth`] — measured growth exponents (log-log least squares) that

@@ -20,7 +20,7 @@
 //! degenerates, because a column that is "retrievable from the constants
 //! and finite intervals" without being constant cannot be recognized
 //! syntactically. The semantic residue is handled by the witness search in
-//! [`crate::analyze`] (which proves quadraticness via Lemma 24 instead).
+//! [`mod@crate::analyze`] (which proves quadraticness via Lemma 24 instead).
 //!
 //! The output is a genuine SA= expression: semijoins with equality
 //! conditions, plus `σ/π/τ/∪/−`.

@@ -1,0 +1,762 @@
+//! The [`Engine`]: one configurable entry point for every way this
+//! workspace can answer a query.
+//!
+//! Before the engine existed, every caller hand-wired its own pipeline
+//! out of ~15 free functions: pick an optimizer call, pick an evaluator
+//! (`evaluate` / `evaluate_instrumented` / `evaluate_planned` /
+//! `evaluate_reference`), pick a division or set-join algorithm, and pick
+//! one of two `explain` flavors. The paper's dichotomy is fundamentally a
+//! statement about *which plan/algorithm gets picked* — so that choice
+//! should be configuration on one object, not copy-pasted call sites:
+//!
+//! ```
+//! use sj_eval::{Engine, Instrument, Strategy};
+//! use sj_algebra::{division, OptimizeLevel};
+//! use sj_storage::{Database, Relation};
+//!
+//! let mut db = Database::new();
+//! db.set("R", Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 7]]));
+//! db.set("S", Relation::from_int_rows(&[&[7], &[8]]));
+//!
+//! let engine = Engine::new(db)
+//!     .optimize(OptimizeLevel::Full)
+//!     .strategy(Strategy::Planned)
+//!     .instrument(Instrument::Cardinalities);
+//!
+//! let out = engine
+//!     .query(division::division_double_difference("R", "S"))
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(out.relation, Relation::from_int_rows(&[&[1]]));
+//! assert!(out.plan.is_some());                      // Strategy::Planned
+//! assert!(out.report.unwrap().max_intermediate() >= 1);
+//! ```
+//!
+//! * [`Engine::query`] builds a [`Query`]; [`Query::run`] returns a
+//!   single [`QueryOutput`] `{ relation, report, plan }`, and
+//!   [`Query::explain`] unifies the old `explain` / `explain_plan` pair.
+//! * [`Engine::divide`] and [`Engine::set_join`] route the direct
+//!   division/set-join operators through the
+//!   [`sj_setjoin::Registry`], so algorithm ablations are a
+//!   one-line [`Engine::algorithm`] change; the default
+//!   [`AlgorithmChoice::Auto`] picks by predicate and input statistics.
+
+use crate::error::EvalError;
+use crate::explain::render_tree;
+use crate::instrumented::{evaluate_instrumented, EvalReport};
+use crate::plain::evaluate;
+use crate::plan::{PhysicalPlan, PlannedReport};
+use crate::reference::evaluate_reference;
+use sj_algebra::{AlgebraError, Expr, OptimizeLevel, Pipeline};
+use sj_setjoin::registry::{ComplexityClass, Registry};
+use sj_setjoin::{DivisionSemantics, SetPredicate};
+use sj_storage::{Database, Relation};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which evaluator executes the (optimized) expression.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum Strategy {
+    /// The DAG-memoizing physical planner ([`crate::evaluate_planned`]):
+    /// every distinct subexpression evaluated once, zero-copy leaf scans,
+    /// merge operators on aligned key prefixes. The production default.
+    #[default]
+    Planned,
+    /// The tree-walking evaluator ([`crate::evaluate`]): one evaluation
+    /// per *tree* node — the measurement instrument for the paper's
+    /// Definition 16 experiments, where per-occurrence cardinalities are
+    /// the point.
+    Naive,
+    /// The nested-loop transliteration of the paper's semantics
+    /// ([`crate::evaluate_reference`]): slow, obviously correct, used to
+    /// cross-validate the other two.
+    Reference,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Planned => write!(f, "planned"),
+            Strategy::Naive => write!(f, "naive"),
+            Strategy::Reference => write!(f, "reference"),
+        }
+    }
+}
+
+/// How much measurement a [`Query::run`] performs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum Instrument {
+    /// No per-node statistics; fastest. [`QueryOutput::report`] is `None`.
+    #[default]
+    Off,
+    /// Record per-node cardinalities (the Definition 16 quantities).
+    Cardinalities,
+    /// Cardinalities plus wall-clock timing: per-node self times in the
+    /// report and the end-to-end [`QueryOutput::elapsed`].
+    Timings,
+}
+
+/// How [`Engine::divide`] / [`Engine::set_join`] pick their algorithm
+/// from the registry.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Hash)]
+pub enum AlgorithmChoice {
+    /// Let [`Registry::auto_set_join`] / [`Registry::auto_division`]
+    /// choose from the predicate and input statistics.
+    #[default]
+    Auto,
+    /// Always use the named algorithm (registry lookup by name).
+    Named(String),
+}
+
+impl AlgorithmChoice {
+    /// Convenience constructor for the named form.
+    pub fn named(name: impl Into<String>) -> AlgorithmChoice {
+        AlgorithmChoice::Named(name.into())
+    }
+}
+
+/// The per-node statistics of an instrumented run, from whichever
+/// evaluator produced them.
+#[derive(Debug, Clone)]
+pub enum Report {
+    /// One [`crate::NodeStat`] per expression-tree node (pre-order).
+    Naive(EvalReport),
+    /// One [`crate::NodeStat`] per physical-plan DAG node (topological).
+    Planned(PlannedReport),
+}
+
+impl Report {
+    /// The query result the instrumented run computed.
+    pub fn result(&self) -> &Relation {
+        match self {
+            Report::Naive(r) => &r.result,
+            Report::Planned(r) => &r.result,
+        }
+    }
+
+    /// The largest intermediate (or final) cardinality — the quantity the
+    /// dichotomy theorem is about.
+    pub fn max_intermediate(&self) -> usize {
+        match self {
+            Report::Naive(r) => r.max_intermediate(),
+            Report::Planned(r) => r.max_intermediate(),
+        }
+    }
+
+    /// The input database size `|D|`.
+    pub fn db_size(&self) -> usize {
+        match self {
+            Report::Naive(r) => r.db_size,
+            Report::Planned(r) => r.db_size,
+        }
+    }
+
+    /// Sum of per-node self times.
+    pub fn total_elapsed(&self) -> Duration {
+        match self {
+            Report::Naive(r) => r.total_elapsed(),
+            Report::Planned(r) => r.total_elapsed(),
+        }
+    }
+
+    /// Render the per-node table of whichever report this is.
+    pub fn render(&self) -> String {
+        match self {
+            Report::Naive(r) => r.render(),
+            Report::Planned(r) => r.render(),
+        }
+    }
+
+    /// The naive (per-tree-node) report, when that evaluator ran.
+    pub fn as_naive(&self) -> Option<&EvalReport> {
+        match self {
+            Report::Naive(r) => Some(r),
+            Report::Planned(_) => None,
+        }
+    }
+
+    /// The planned (per-DAG-node) report, when the planner ran.
+    pub fn as_planned(&self) -> Option<&PlannedReport> {
+        match self {
+            Report::Naive(_) => None,
+            Report::Planned(r) => Some(r),
+        }
+    }
+}
+
+/// Everything a [`Query::run`] produces.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The query result.
+    pub relation: Relation,
+    /// Per-node statistics, present iff [`Instrument`] is not `Off` and
+    /// the strategy supports instrumentation (the reference evaluator
+    /// does not).
+    pub report: Option<Report>,
+    /// The physical plan that was executed ([`Strategy::Planned`] only).
+    pub plan: Option<PhysicalPlan>,
+    /// End-to-end wall-clock time (optimize + plan + execute), recorded
+    /// under [`Instrument::Timings`].
+    pub elapsed: Option<Duration>,
+}
+
+/// The result of a registry-routed [`Engine::divide`] /
+/// [`Engine::set_join`], carrying which algorithm ran.
+#[derive(Debug, Clone)]
+pub struct SetOpOutput {
+    /// The operator result.
+    pub relation: Relation,
+    /// Name of the algorithm the registry supplied.
+    pub algorithm: &'static str,
+    /// Its complexity class for the executed predicate/semantics.
+    pub complexity: ComplexityClass,
+    /// Wall-clock time of the algorithm run.
+    pub elapsed: Duration,
+}
+
+/// The unified query engine: a database plus evaluation configuration.
+///
+/// Construction is builder-style — each setter consumes and returns the
+/// engine, so a fully configured engine is one expression. See the
+/// [module docs](self) for a complete example.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    db: Database,
+    pipeline: Pipeline,
+    strategy: Strategy,
+    instrument: Instrument,
+    algorithm: AlgorithmChoice,
+    registry: Arc<Registry>,
+}
+
+impl Engine {
+    /// An engine over `db` with the default configuration: no rewrites
+    /// ([`OptimizeLevel::Off`] — the expression runs as written),
+    /// [`Strategy::Planned`], [`Instrument::Off`],
+    /// [`AlgorithmChoice::Auto`] over the standard registry.
+    pub fn new(db: Database) -> Engine {
+        Engine {
+            db,
+            pipeline: OptimizeLevel::Off.pipeline(),
+            strategy: Strategy::default(),
+            instrument: Instrument::default(),
+            algorithm: AlgorithmChoice::default(),
+            registry: Registry::standard_shared(),
+        }
+    }
+
+    /// Set the optimizer level (a named pass pipeline).
+    pub fn optimize(mut self, level: OptimizeLevel) -> Engine {
+        self.pipeline = level.pipeline();
+        self
+    }
+
+    /// Set a custom optimizer pass pipeline (finer-grained than
+    /// [`Engine::optimize`]).
+    pub fn passes(mut self, pipeline: Pipeline) -> Engine {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Set the evaluation strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Engine {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the instrumentation level.
+    pub fn instrument(mut self, instrument: Instrument) -> Engine {
+        self.instrument = instrument;
+        self
+    }
+
+    /// Set how [`Engine::divide`] / [`Engine::set_join`] pick their
+    /// algorithm.
+    pub fn algorithm(mut self, choice: AlgorithmChoice) -> Engine {
+        self.algorithm = choice;
+        self
+    }
+
+    /// Swap in a custom algorithm registry (e.g. with tuned variants
+    /// shadowing the standard entries).
+    pub fn registry(mut self, registry: Arc<Registry>) -> Engine {
+        self.registry = registry;
+        self
+    }
+
+    /// The engine's database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the engine's database (loads, inserts).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Consume the engine, returning its database.
+    pub fn into_db(self) -> Database {
+        self.db
+    }
+
+    /// The configured optimizer pipeline.
+    pub fn optimizer(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The configured algorithm registry.
+    pub fn algorithms(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Build a [`Query`] for `expr` against this engine's configuration.
+    pub fn query(&self, expr: Expr) -> Query<'_> {
+        Query { engine: self, expr }
+    }
+
+    /// Division `dividend ÷ divisor`, routed through the registry
+    /// ([`AlgorithmChoice::Auto`] picks by semantics and input size).
+    pub fn divide(
+        &self,
+        dividend: &str,
+        divisor: &str,
+        sem: DivisionSemantics,
+    ) -> Result<SetOpOutput, EvalError> {
+        let r = self.operand(dividend, 2)?;
+        let s = self.operand(divisor, 1)?;
+        let alg = match &self.algorithm {
+            AlgorithmChoice::Auto => self
+                .registry
+                .auto_division(r, s, sem)
+                .ok_or_else(|| EvalError::UnknownAlgorithm("auto (empty registry)".into()))?,
+            AlgorithmChoice::Named(name) => self
+                .registry
+                .find_division(name)
+                .ok_or_else(|| EvalError::UnknownAlgorithm(name.clone()))?,
+        };
+        let start = Instant::now();
+        let relation = alg.run(r, s, sem);
+        Ok(SetOpOutput {
+            relation,
+            algorithm: alg.name(),
+            complexity: alg.complexity(sem),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Set join `left ⋈_{B pred D} right`, routed through the registry.
+    ///
+    /// Errors with [`EvalError::UnsupportedPredicate`] when a
+    /// [`AlgorithmChoice::Named`] algorithm does not implement `pred`
+    /// (e.g. `inverted-index` asked for `⊆`), or when no registered
+    /// algorithm does under [`AlgorithmChoice::Auto`].
+    pub fn set_join(
+        &self,
+        left: &str,
+        right: &str,
+        pred: SetPredicate,
+    ) -> Result<SetOpOutput, EvalError> {
+        let r = self.operand(left, 2)?;
+        let s = self.operand(right, 2)?;
+        let alg = match &self.algorithm {
+            AlgorithmChoice::Auto => {
+                self.registry.auto_set_join(r, s, pred).ok_or_else(|| {
+                    // None means nothing registered supports the predicate
+                    // — distinguish that from a genuinely empty registry.
+                    if self.registry.set_join_algorithms().is_empty() {
+                        EvalError::UnknownAlgorithm("auto (empty registry)".into())
+                    } else {
+                        EvalError::UnsupportedPredicate {
+                            algorithm: "auto".into(),
+                            predicate: format!("{pred:?}"),
+                        }
+                    }
+                })?
+            }
+            AlgorithmChoice::Named(name) => {
+                let alg = self
+                    .registry
+                    .find_set_join(name)
+                    .ok_or_else(|| EvalError::UnknownAlgorithm(name.clone()))?;
+                if !alg.supports(pred) {
+                    return Err(EvalError::UnsupportedPredicate {
+                        algorithm: name.clone(),
+                        predicate: format!("{pred:?}"),
+                    });
+                }
+                alg
+            }
+        };
+        let start = Instant::now();
+        let relation = alg.run(r, s, pred);
+        Ok(SetOpOutput {
+            relation,
+            algorithm: alg.name(),
+            complexity: alg.complexity(pred),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Look up a set-operator operand and check its arity.
+    fn operand(&self, name: &str, expected: usize) -> Result<&Relation, EvalError> {
+        let rel = self
+            .db
+            .get(name)
+            .ok_or_else(|| EvalError::Algebra(AlgebraError::UnknownRelation(name.to_string())))?;
+        if rel.arity() != expected {
+            return Err(EvalError::InvalidSetOperand {
+                relation: name.to_string(),
+                arity: rel.arity(),
+                expected,
+            });
+        }
+        Ok(rel)
+    }
+}
+
+/// An expression bound to an [`Engine`]; run it with [`Query::run`] or
+/// render it with [`Query::explain`].
+#[derive(Clone, Debug)]
+pub struct Query<'e> {
+    engine: &'e Engine,
+    expr: Expr,
+}
+
+impl Query<'_> {
+    /// The expression as submitted (before optimization).
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The expression after the engine's optimizer pipeline.
+    pub fn optimized(&self) -> Result<Expr, EvalError> {
+        Ok(self
+            .engine
+            .pipeline
+            .run(&self.expr, &self.engine.db.schema())?)
+    }
+
+    /// Optimize, plan (under [`Strategy::Planned`]), and execute.
+    ///
+    /// Instrumented runs hand the result out twice — as
+    /// [`QueryOutput::relation`] and inside the report, whose `result`
+    /// field the report renderers use — at the cost of one copy of the
+    /// result relation. Turn instrumentation [`Instrument::Off`] on hot
+    /// paths where only the relation matters.
+    pub fn run(&self) -> Result<QueryOutput, EvalError> {
+        let engine = self.engine;
+        let start = Instant::now();
+        let expr = self.optimized()?;
+        let instrumented = engine.instrument != Instrument::Off;
+        let mut out = match engine.strategy {
+            Strategy::Reference => QueryOutput {
+                relation: evaluate_reference(&expr, &engine.db)?,
+                report: None,
+                plan: None,
+                elapsed: None,
+            },
+            Strategy::Naive => {
+                if instrumented {
+                    let report = evaluate_instrumented(&expr, &engine.db)?;
+                    QueryOutput {
+                        relation: report.result.clone(),
+                        report: Some(Report::Naive(report)),
+                        plan: None,
+                        elapsed: None,
+                    }
+                } else {
+                    QueryOutput {
+                        relation: evaluate(&expr, &engine.db)?,
+                        report: None,
+                        plan: None,
+                        elapsed: None,
+                    }
+                }
+            }
+            Strategy::Planned => {
+                let plan = PhysicalPlan::of(&expr, &engine.db.schema())?;
+                if instrumented {
+                    let report = plan.execute_instrumented(&engine.db)?;
+                    QueryOutput {
+                        relation: report.result.clone(),
+                        report: Some(Report::Planned(report)),
+                        plan: Some(plan),
+                        elapsed: None,
+                    }
+                } else {
+                    QueryOutput {
+                        relation: plan.execute(&engine.db)?,
+                        report: None,
+                        plan: Some(plan),
+                        elapsed: None,
+                    }
+                }
+            }
+        };
+        if engine.instrument == Instrument::Timings {
+            out.elapsed = Some(start.elapsed());
+        }
+        Ok(out)
+    }
+
+    /// Render the query plan, unifying the two historical flavors:
+    ///
+    /// * under [`Strategy::Planned`], the physical DAG with operator
+    ///   choices and sharing annotations (no execution) — the old
+    ///   `explain_plan`;
+    /// * under [`Strategy::Naive`] / [`Strategy::Reference`], an
+    ///   `EXPLAIN ANALYZE`-style tree with actual per-node cardinalities
+    ///   (runs the instrumented tree evaluator) — the old `explain`.
+    pub fn explain(&self) -> Result<String, EvalError> {
+        let expr = self.optimized()?;
+        match self.engine.strategy {
+            Strategy::Planned => Ok(PhysicalPlan::of(&expr, &self.engine.db.schema())?.explain()),
+            Strategy::Naive | Strategy::Reference => {
+                let report = evaluate_instrumented(&expr, &self.engine.db)?;
+                Ok(render_tree(&expr, &report))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_algebra::division;
+    use sj_algebra::Condition;
+
+    fn division_db() -> Database {
+        let mut db = Database::new();
+        db.set(
+            "R",
+            Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 7], &[3, 8], &[3, 9]]),
+        );
+        db.set("S", Relation::from_int_rows(&[&[7], &[8]]));
+        db
+    }
+
+    fn fig1_db() -> Database {
+        let mut db = Database::new();
+        db.set(
+            "Person",
+            Relation::from_str_rows(&[
+                &["An", "headache"],
+                &["An", "neck pain"],
+                &["Bob", "headache"],
+                &["Bob", "neck pain"],
+                &["Carol", "headache"],
+            ]),
+        );
+        db.set(
+            "Symptoms",
+            Relation::from_str_rows(&[&["headache"], &["neck pain"]]),
+        );
+        db
+    }
+
+    #[test]
+    fn all_strategies_agree_on_the_division_plan() {
+        let e = division::division_double_difference("R", "S");
+        let expected = Relation::from_int_rows(&[&[1]]);
+        for strategy in [Strategy::Planned, Strategy::Naive, Strategy::Reference] {
+            let engine = Engine::new(division_db()).strategy(strategy);
+            let out = engine.query(e.clone()).run().unwrap();
+            assert_eq!(out.relation, expected, "{strategy}");
+            assert_eq!(out.plan.is_some(), strategy == Strategy::Planned);
+            assert!(out.report.is_none(), "Instrument::Off ⇒ no report");
+            assert!(out.elapsed.is_none());
+        }
+    }
+
+    #[test]
+    fn instrumentation_produces_the_right_report_flavor() {
+        let e = division::division_double_difference("R", "S");
+        let naive = Engine::new(division_db())
+            .strategy(Strategy::Naive)
+            .instrument(Instrument::Cardinalities);
+        let out = naive.query(e.clone()).run().unwrap();
+        let report = out.report.unwrap();
+        assert!(report.as_naive().is_some());
+        assert_eq!(report.as_naive().unwrap().nodes.len(), e.node_count());
+        assert_eq!(report.result(), &out.relation);
+
+        let planned = Engine::new(division_db())
+            .strategy(Strategy::Planned)
+            .instrument(Instrument::Cardinalities);
+        let out = planned.query(e.clone()).run().unwrap();
+        let report = out.report.unwrap();
+        assert!(report.as_planned().is_some());
+        assert_eq!(report.as_planned().unwrap().nodes.len(), 7);
+        assert!(out.elapsed.is_none(), "Cardinalities ⇒ no wall clock");
+
+        // The reference evaluator has no instrumentation: report is None.
+        let reference = Engine::new(division_db())
+            .strategy(Strategy::Reference)
+            .instrument(Instrument::Cardinalities);
+        assert!(reference.query(e).run().unwrap().report.is_none());
+    }
+
+    #[test]
+    fn timings_record_wall_clock() {
+        let e = division::division_double_difference("R", "S");
+        let engine = Engine::new(division_db()).instrument(Instrument::Timings);
+        let out = engine.query(e).run().unwrap();
+        assert!(out.elapsed.is_some());
+        assert!(out.report.unwrap().total_elapsed() <= out.elapsed.unwrap());
+    }
+
+    #[test]
+    fn optimizer_levels_are_applied() {
+        let e = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .project([1]);
+        let off = Engine::new(division_db());
+        assert_eq!(off.query(e.clone()).optimized().unwrap(), e);
+        let full = Engine::new(division_db()).optimize(OptimizeLevel::Full);
+        let opt = full.query(e.clone()).optimized().unwrap();
+        assert!(
+            opt.subexpressions()
+                .iter()
+                .any(|s| matches!(s, Expr::Semijoin(..))),
+            "Full level runs semijoin reduction: {opt}"
+        );
+        assert_eq!(
+            full.query(e.clone()).run().unwrap().relation,
+            off.query(e).run().unwrap().relation
+        );
+    }
+
+    #[test]
+    fn custom_pass_pipeline_is_respected() {
+        use sj_algebra::{Pass, Pipeline};
+        let e = Expr::rel("R").project([2, 1]).project([2, 2]);
+        let engine = Engine::new(division_db()).passes(Pipeline::new([Pass::ProjectionPruning]));
+        let opt = engine.query(e).optimized().unwrap();
+        assert_eq!(sj_algebra::to_text(&opt), "project[1,1](R)");
+    }
+
+    #[test]
+    fn explain_unifies_both_flavors() {
+        let e = division::division_double_difference("R", "S");
+        let planned = Engine::new(division_db())
+            .query(e.clone())
+            .explain()
+            .unwrap();
+        assert!(planned.contains("physical plan"), "{planned}");
+        assert!(planned.contains("scan"), "{planned}");
+        let naive = Engine::new(division_db())
+            .strategy(Strategy::Naive)
+            .query(e)
+            .explain()
+            .unwrap();
+        assert!(naive.contains("max intermediate"), "{naive}");
+        assert!(naive.contains("◀ largest"), "{naive}");
+    }
+
+    #[test]
+    fn divide_routes_through_the_registry() {
+        let engine = Engine::new(fig1_db());
+        let out = engine
+            .divide("Person", "Symptoms", DivisionSemantics::Containment)
+            .unwrap();
+        assert_eq!(out.relation, Relation::from_str_rows(&[&["An"], &["Bob"]]));
+        // Tiny input → the auto selector picks the sort-free merge.
+        assert_eq!(out.algorithm, "sort-merge");
+        assert_eq!(out.complexity, ComplexityClass::Linear);
+        // Algorithm ablation is a one-line config change.
+        let nested = engine
+            .clone()
+            .algorithm(AlgorithmChoice::named("nested-loop"))
+            .divide("Person", "Symptoms", DivisionSemantics::Containment)
+            .unwrap();
+        assert_eq!(nested.relation, out.relation);
+        assert_eq!(nested.algorithm, "nested-loop");
+        assert_eq!(nested.complexity, ComplexityClass::Quadratic);
+    }
+
+    #[test]
+    fn set_join_routes_through_the_registry() {
+        let mut db = fig1_db();
+        db.set(
+            "Disease",
+            Relation::from_str_rows(&[&["flu", "headache"], &["meningitis", "neck pain"]]),
+        );
+        let engine = Engine::new(db);
+        let auto = engine
+            .set_join("Person", "Disease", SetPredicate::Contains)
+            .unwrap();
+        let named = engine
+            .clone()
+            .algorithm(AlgorithmChoice::named("signature64"))
+            .set_join("Person", "Disease", SetPredicate::Contains)
+            .unwrap();
+        assert_eq!(auto.relation, named.relation);
+        assert_eq!(named.algorithm, "signature64");
+    }
+
+    #[test]
+    fn set_op_errors_are_typed() {
+        let engine = Engine::new(fig1_db());
+        assert!(matches!(
+            engine.divide("Nope", "Symptoms", DivisionSemantics::Containment),
+            Err(EvalError::Algebra(AlgebraError::UnknownRelation(_)))
+        ));
+        assert!(matches!(
+            engine.divide("Symptoms", "Symptoms", DivisionSemantics::Containment),
+            Err(EvalError::InvalidSetOperand { expected: 2, .. })
+        ));
+        assert!(matches!(
+            engine
+                .clone()
+                .algorithm(AlgorithmChoice::named("no-such"))
+                .divide("Person", "Symptoms", DivisionSemantics::Containment),
+            Err(EvalError::UnknownAlgorithm(_))
+        ));
+        assert!(matches!(
+            engine
+                .clone()
+                .algorithm(AlgorithmChoice::named("inverted-index"))
+                .set_join("Person", "Person", SetPredicate::ContainedIn),
+            Err(EvalError::UnsupportedPredicate { .. })
+        ));
+        // Auto over a registry that has algorithms, none supporting the
+        // predicate: the error blames the predicate, not the registry.
+        let mut contains_only = Registry::new();
+        contains_only.register_set_join(Arc::new(sj_setjoin::registry::InvertedIndexSetJoin));
+        let err = engine
+            .clone()
+            .registry(Arc::new(contains_only))
+            .set_join("Person", "Person", SetPredicate::ContainedIn)
+            .unwrap_err();
+        assert!(
+            matches!(&err, EvalError::UnsupportedPredicate { algorithm, .. } if algorithm == "auto"),
+            "{err}"
+        );
+        // A genuinely empty registry is reported as such.
+        assert!(matches!(
+            engine.clone().registry(Arc::new(Registry::new())).set_join(
+                "Person",
+                "Person",
+                SetPredicate::Contains
+            ),
+            Err(EvalError::UnknownAlgorithm(_))
+        ));
+    }
+
+    #[test]
+    fn db_access_and_mutation() {
+        let mut engine = Engine::new(division_db());
+        assert_eq!(engine.db().size(), 7);
+        engine.db_mut().insert("S", sj_storage::tuple![9]).unwrap();
+        assert_eq!(engine.db().size(), 8);
+        assert_eq!(engine.into_db().size(), 8);
+    }
+
+    #[test]
+    fn run_surfaces_validation_errors() {
+        let engine = Engine::new(Database::new());
+        assert!(engine.query(Expr::rel("R")).run().is_err());
+        assert!(engine.query(Expr::rel("R")).explain().is_err());
+    }
+}

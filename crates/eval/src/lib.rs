@@ -19,7 +19,14 @@
 //!   `Arc` handles, and joins/semijoins whose equality keys align with
 //!   the canonical sort order run as sort-free merges. See [`plan`] for
 //!   the design; [`plan::explain_plan`] renders the chosen operators.
+//! * [`engine::Engine`] — **the recommended entry point**: one facade
+//!   over all of the above plus the `sj-setjoin` algorithm registry.
+//!   Optimizer pipeline, evaluation strategy, instrumentation, and
+//!   set-join algorithm selection are builder configuration; queries
+//!   return a single [`engine::QueryOutput`]. The free functions above
+//!   remain as thin direct wrappers around the same machinery.
 
+pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod instrumented;
@@ -28,6 +35,9 @@ pub mod plain;
 pub mod plan;
 pub mod reference;
 
+pub use engine::{
+    AlgorithmChoice, Engine, Instrument, Query, QueryOutput, Report, SetOpOutput, Strategy,
+};
 pub use error::EvalError;
 pub use explain::explain;
 pub use instrumented::{evaluate_instrumented, EvalReport, NodeStat};
@@ -40,6 +50,9 @@ pub use reference::evaluate_reference;
 
 /// Most-used items in one import.
 pub mod prelude {
+    pub use crate::engine::{
+        AlgorithmChoice, Engine, Instrument, Query, QueryOutput, Report, SetOpOutput, Strategy,
+    };
     pub use crate::instrumented::{evaluate_instrumented, EvalReport, NodeStat};
     pub use crate::plain::evaluate;
     pub use crate::plan::{evaluate_planned, evaluate_planned_instrumented, PlannedReport};
@@ -48,7 +61,12 @@ pub mod prelude {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
+    // `engine::Strategy` would shadow proptest's `Strategy` trait under a
+    // glob, so the evaluator entry points are imported explicitly.
+    use super::{
+        evaluate, evaluate_instrumented, evaluate_planned, evaluate_planned_instrumented,
+        evaluate_reference,
+    };
     use proptest::prelude::*;
     use sj_algebra::{Atom, CompOp, Condition, Expr};
     use sj_storage::{Database, Relation, Tuple, Value};

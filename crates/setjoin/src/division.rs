@@ -1,7 +1,7 @@
 //! Relational division `R(A, B) ÷ S(B)` — "the prototypical set join"
 //! (Codd; Section 1 of the paper) — with the four classical algorithm
 //! families surveyed by Graefe ("Relational division: four algorithms and
-//! their performance", ICDE 1989 — reference [11] of the paper):
+//! their performance", ICDE 1989 — reference \[11\] of the paper):
 //!
 //! | algorithm | paper-era name | complexity |
 //! |---|---|---|
@@ -37,6 +37,11 @@ fn check_shapes(r: &Relation, s: &Relation) {
 }
 
 /// Division by the default algorithm ([`hash_division`]).
+///
+/// Thin wrapper kept for convenience; algorithm-aware callers should go
+/// through [`crate::registry::Registry`] (or `sj-eval`'s `Engine`), where
+/// the choice is configuration and the `auto` selector consults input
+/// statistics.
 pub fn divide(r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation {
     hash_division(r, s, sem)
 }
@@ -190,12 +195,15 @@ pub fn counting_division(r: &Relation, s: &Relation, sem: DivisionSemantics) -> 
     Relation::from_tuples(1, out).expect("unary output")
 }
 
-/// A named division algorithm entry.
-pub type DivisionAlgorithm = fn(&Relation, &Relation, DivisionSemantics) -> Relation;
+/// A division algorithm as a plain function pointer. The trait-object
+/// form lives in [`crate::registry::DivisionAlgorithm`]; this alias
+/// remains for the benchmark/test helpers below.
+pub type DivisionFn = fn(&Relation, &Relation, DivisionSemantics) -> Relation;
 
 /// All four algorithms, labeled — convenient for the shoot-out benchmark
-/// and the cross-validation tests.
-pub fn all_algorithms() -> Vec<(&'static str, DivisionAlgorithm)> {
+/// and the cross-validation tests. Thin wrapper over the same entries
+/// [`crate::registry::Registry::standard`] registers.
+pub fn all_algorithms() -> Vec<(&'static str, DivisionFn)> {
     vec![
         ("nested-loop", nested_loop_division),
         ("sort-merge", sort_merge_division),

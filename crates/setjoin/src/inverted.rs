@@ -1,5 +1,5 @@
 //! Inverted-index set-containment join (the PSJ/"the good" family of
-//! Ramasamy, Patel, Naughton & Kaushik, VLDB 2000 — reference [16] of the
+//! Ramasamy, Patel, Naughton & Kaushik, VLDB 2000 — reference \[16\] of the
 //! paper).
 //!
 //! Build an inverted index from element → the (sorted) list of left groups

@@ -14,10 +14,20 @@
 //!
 //! Every algorithm is cross-validated against the others and against the
 //! RA plans of `sj_algebra::division` evaluated by `sj-eval`.
+//!
+//! All algorithms are also available through the [`registry`] — trait
+//! objects behind [`registry::SetJoinAlgorithm`] /
+//! [`registry::DivisionAlgorithm`] with the deterministic
+//! [`registry::Registry::auto_set_join`] and
+//! [`registry::Registry::auto_division`] selectors. The free functions
+//! below remain the convenient direct entry points; prefer the registry
+//! (or `sj-eval`'s `Engine`, which routes through it) when the algorithm
+//! choice should be configuration rather than code.
 
 pub mod division;
 pub mod general;
 pub mod inverted;
+pub mod registry;
 pub mod setjoin;
 pub mod wide_signature;
 
@@ -27,6 +37,7 @@ pub use division::{
 };
 pub use general::divide_general;
 pub use inverted::inverted_index_set_join;
+pub use registry::{ComplexityClass, DivisionAlgorithm, Registry, SetJoinAlgorithm};
 pub use setjoin::{
     group_sets, hash_set_equality_join, intersect_join_via_equijoin, nested_loop_set_join,
     set_join, signature_set_join, SetPredicate,

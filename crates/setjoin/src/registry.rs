@@ -1,0 +1,696 @@
+//! The set-join / division **algorithm registry**: every algorithm of this
+//! crate behind one trait object, with a deterministic `auto` selector.
+//!
+//! The paper's dichotomy is ultimately a statement about *which algorithm a
+//! query processor is allowed to pick*: inside plain RA every division plan
+//! is quadratic (Proposition 26), while the direct operators of this crate
+//! are linear or quasilinear. The registry makes that choice a first-class,
+//! inspectable object instead of a hard-wired function call:
+//!
+//! * [`SetJoinAlgorithm`] / [`DivisionAlgorithm`] — name, supported
+//!   predicates, complexity class per Definition 16, and `run`.
+//! * [`Registry`] — a named collection of algorithms;
+//!   [`Registry::standard`] holds every algorithm this crate implements.
+//! * [`Registry::auto_set_join`] / [`Registry::auto_division`] — pick an
+//!   algorithm from the predicate and input statistics ([`Relation::len`];
+//!   canonical storage order means both operands are always sorted, so the
+//!   merge-based algorithms never need a sort pass).
+//!
+//! The free functions of [`crate::division`] and [`crate::setjoin`] remain
+//! available as thin wrappers; `sj-eval`'s `Engine` routes its division and
+//! set-join entry points through this registry, so swapping algorithms in
+//! an experiment is a one-line configuration change.
+
+use crate::division::{
+    counting_division, hash_division, nested_loop_division, sort_merge_division, DivisionSemantics,
+};
+use crate::inverted::inverted_index_set_join;
+use crate::setjoin::{
+    hash_set_equality_join, intersect_join_via_equijoin, nested_loop_set_join, signature_set_join,
+    SetPredicate,
+};
+use crate::wide_signature::wide_signature_set_join;
+use sj_storage::Relation;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Asymptotic running-time class of an algorithm, in the spirit of
+/// Definition 16 of the paper (which classifies *expressions* by the
+/// growth of their largest intermediate; for direct algorithms the
+/// analogous measure is total work in the input size `n`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum ComplexityClass {
+    /// `O(n)` (possibly expected, for hash-based algorithms) plus output.
+    Linear,
+    /// `O(n log n)` plus output — the "sorting or counting tricks" of the
+    /// paper's footnote 1.
+    Quasilinear,
+    /// `Ω(n²)` worst case — the class Proposition 26 proves unavoidable
+    /// for division *inside* RA, and the best known bound for
+    /// set-containment joins.
+    Quadratic,
+}
+
+impl fmt::Display for ComplexityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComplexityClass::Linear => write!(f, "O(n)"),
+            ComplexityClass::Quasilinear => write!(f, "O(n log n)"),
+            ComplexityClass::Quadratic => write!(f, "O(n²)"),
+        }
+    }
+}
+
+/// A named set-join algorithm `R(A,B) ⋈_{B θ D} S(C,D)`.
+///
+/// Implementations must agree with [`nested_loop_set_join`] on every
+/// supported predicate (cross-validated by property tests).
+pub trait SetJoinAlgorithm: Send + Sync {
+    /// Stable name used for registry lookup and reports.
+    fn name(&self) -> &'static str;
+    /// Does the algorithm implement this predicate?
+    fn supports(&self, pred: SetPredicate) -> bool;
+    /// Complexity class when run on `pred` (worst case over inputs).
+    fn complexity(&self, pred: SetPredicate) -> ComplexityClass;
+    /// Execute the set join. Callers must check [`Self::supports`] first;
+    /// implementations may panic on unsupported predicates.
+    fn run(&self, r: &Relation, s: &Relation, pred: SetPredicate) -> Relation;
+}
+
+/// A named division algorithm `R(A,B) ÷ S(B)` (both semantics).
+///
+/// Implementations must agree with the brute-force oracle on both
+/// [`DivisionSemantics`] variants (cross-validated by property tests).
+pub trait DivisionAlgorithm: Send + Sync {
+    /// Stable name used for registry lookup and reports.
+    fn name(&self) -> &'static str;
+    /// Complexity class under `sem` (worst case over inputs).
+    fn complexity(&self, sem: DivisionSemantics) -> ComplexityClass;
+    /// Execute the division.
+    fn run(&self, r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation;
+}
+
+// ---------------------------------------------------------------------------
+// Set-join algorithm implementations (wrapping the crate's free functions)
+// ---------------------------------------------------------------------------
+
+/// [`nested_loop_set_join`]: every group pair verified exactly.
+pub struct NestedLoopSetJoin;
+
+impl SetJoinAlgorithm for NestedLoopSetJoin {
+    fn name(&self) -> &'static str {
+        "nested-loop"
+    }
+    fn supports(&self, _pred: SetPredicate) -> bool {
+        true
+    }
+    fn complexity(&self, _pred: SetPredicate) -> ComplexityClass {
+        ComplexityClass::Quadratic
+    }
+    fn run(&self, r: &Relation, s: &Relation, pred: SetPredicate) -> Relation {
+        nested_loop_set_join(r, s, pred)
+    }
+}
+
+/// [`signature_set_join`]: 64-bit Bloom signatures prune pairs before the
+/// exact merge verification.
+pub struct SignatureSetJoin;
+
+impl SetJoinAlgorithm for SignatureSetJoin {
+    fn name(&self) -> &'static str {
+        "signature64"
+    }
+    fn supports(&self, _pred: SetPredicate) -> bool {
+        true
+    }
+    fn complexity(&self, _pred: SetPredicate) -> ComplexityClass {
+        // Same worst case as nested loops; the filter is a constant factor.
+        ComplexityClass::Quadratic
+    }
+    fn run(&self, r: &Relation, s: &Relation, pred: SetPredicate) -> Relation {
+        signature_set_join(r, s, pred)
+    }
+}
+
+/// [`wide_signature_set_join`] with a configurable signature width. The
+/// reported name tracks the width (`signature128`, `signature256`, …), so
+/// a re-registered variant never masquerades as the standard entry.
+pub struct WideSignatureSetJoin {
+    /// Signature width in 64-bit words.
+    pub words: usize,
+}
+
+impl SetJoinAlgorithm for WideSignatureSetJoin {
+    fn name(&self) -> &'static str {
+        // `words == 1` deliberately does NOT reuse "signature64": that
+        // name belongs to [`SignatureSetJoin`], and the wide variant must
+        // never shadow it.
+        match self.words {
+            2 => "signature128",
+            4 => "signature256",
+            8 => "signature512",
+            _ => "signature-wide",
+        }
+    }
+    fn supports(&self, pred: SetPredicate) -> bool {
+        matches!(
+            pred,
+            SetPredicate::Contains | SetPredicate::ContainedIn | SetPredicate::Equals
+        )
+    }
+    fn complexity(&self, _pred: SetPredicate) -> ComplexityClass {
+        ComplexityClass::Quadratic
+    }
+    fn run(&self, r: &Relation, s: &Relation, pred: SetPredicate) -> Relation {
+        wide_signature_set_join(r, s, pred, self.words)
+    }
+}
+
+/// [`inverted_index_set_join`]: per-element postings intersection; only the
+/// set-containment direction `B ⊇ D`.
+pub struct InvertedIndexSetJoin;
+
+impl SetJoinAlgorithm for InvertedIndexSetJoin {
+    fn name(&self) -> &'static str {
+        "inverted-index"
+    }
+    fn supports(&self, pred: SetPredicate) -> bool {
+        pred == SetPredicate::Contains
+    }
+    fn complexity(&self, _pred: SetPredicate) -> ComplexityClass {
+        ComplexityClass::Quadratic
+    }
+    fn run(&self, r: &Relation, s: &Relation, pred: SetPredicate) -> Relation {
+        assert_eq!(pred, SetPredicate::Contains, "inverted-index: ⊇ only");
+        inverted_index_set_join(r, s)
+    }
+}
+
+/// [`hash_set_equality_join`]: hash each group's canonical value list;
+/// set-equality only.
+pub struct HashSetEqualityJoin;
+
+impl SetJoinAlgorithm for HashSetEqualityJoin {
+    fn name(&self) -> &'static str {
+        "hash-set-equality"
+    }
+    fn supports(&self, pred: SetPredicate) -> bool {
+        pred == SetPredicate::Equals
+    }
+    fn complexity(&self, _pred: SetPredicate) -> ComplexityClass {
+        ComplexityClass::Quasilinear
+    }
+    fn run(&self, r: &Relation, s: &Relation, pred: SetPredicate) -> Relation {
+        assert_eq!(pred, SetPredicate::Equals, "hash-set-equality: = only");
+        hash_set_equality_join(r, s)
+    }
+}
+
+/// [`intersect_join_via_equijoin`]: the `∩ ≠ ∅` predicate as an ordinary
+/// equijoin — the paper's remark made executable.
+pub struct EquijoinIntersect;
+
+impl SetJoinAlgorithm for EquijoinIntersect {
+    fn name(&self) -> &'static str {
+        "equijoin-intersect"
+    }
+    fn supports(&self, pred: SetPredicate) -> bool {
+        pred == SetPredicate::IntersectsNonempty
+    }
+    fn complexity(&self, _pred: SetPredicate) -> ComplexityClass {
+        ComplexityClass::Linear
+    }
+    fn run(&self, r: &Relation, s: &Relation, pred: SetPredicate) -> Relation {
+        assert_eq!(
+            pred,
+            SetPredicate::IntersectsNonempty,
+            "equijoin-intersect: ∩≠∅ only"
+        );
+        intersect_join_via_equijoin(r, s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Division algorithm implementations
+// ---------------------------------------------------------------------------
+
+/// [`nested_loop_division`]: the deliberate quadratic baseline.
+pub struct NestedLoopDivision;
+
+impl DivisionAlgorithm for NestedLoopDivision {
+    fn name(&self) -> &'static str {
+        "nested-loop"
+    }
+    fn complexity(&self, _sem: DivisionSemantics) -> ComplexityClass {
+        ComplexityClass::Quadratic
+    }
+    fn run(&self, r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation {
+        nested_loop_division(r, s, sem)
+    }
+}
+
+/// [`sort_merge_division`]: one merge pass per A-group; sort-free because
+/// relations are stored in canonical order.
+pub struct SortMergeDivision;
+
+impl DivisionAlgorithm for SortMergeDivision {
+    fn name(&self) -> &'static str {
+        "sort-merge"
+    }
+    fn complexity(&self, _sem: DivisionSemantics) -> ComplexityClass {
+        // Canonical storage order has already paid the sort.
+        ComplexityClass::Linear
+    }
+    fn run(&self, r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation {
+        sort_merge_division(r, s, sem)
+    }
+}
+
+/// [`hash_division`]: Graefe's bitmap hash-division.
+pub struct HashDivision;
+
+impl DivisionAlgorithm for HashDivision {
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+    fn complexity(&self, _sem: DivisionSemantics) -> ComplexityClass {
+        ComplexityClass::Linear
+    }
+    fn run(&self, r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation {
+        hash_division(r, s, sem)
+    }
+}
+
+/// [`counting_division`]: the Section 5 grouping/counting strategy.
+pub struct CountingDivision;
+
+impl DivisionAlgorithm for CountingDivision {
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+    fn complexity(&self, _sem: DivisionSemantics) -> ComplexityClass {
+        ComplexityClass::Linear
+    }
+    fn run(&self, r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation {
+        counting_division(r, s, sem)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------------
+
+/// A collection of set-join and division algorithms, addressable by name,
+/// with a deterministic `auto` selector.
+#[derive(Clone, Default)]
+pub struct Registry {
+    set_joins: Vec<Arc<dyn SetJoinAlgorithm>>,
+    divisions: Vec<Arc<dyn DivisionAlgorithm>>,
+}
+
+/// Inputs at or below this many tuples (both operands together) skip
+/// signature/hash machinery: the setup cost dominates at toy sizes.
+const SMALL_INPUT: usize = 64;
+
+/// Average group size at which the `auto` selector widens signatures from
+/// one to four words (large sets saturate 64-bit signatures).
+const WIDE_SET_THRESHOLD: usize = 16;
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The standard registry: every algorithm this crate implements.
+    ///
+    /// Set joins: `nested-loop`, `signature64`, `signature256`,
+    /// `inverted-index`, `hash-set-equality`, `equijoin-intersect`.
+    /// Divisions: `nested-loop`, `sort-merge`, `hash`, `counting`.
+    pub fn standard() -> &'static Registry {
+        Self::standard_cell()
+    }
+
+    /// The standard registry as a shared handle — the same process-wide
+    /// instance [`Registry::standard`] borrows, never a copy. This is
+    /// what `sj-eval`'s `Engine` holds by default.
+    pub fn standard_shared() -> Arc<Registry> {
+        Self::standard_cell().clone()
+    }
+
+    fn standard_cell() -> &'static Arc<Registry> {
+        static STANDARD: OnceLock<Arc<Registry>> = OnceLock::new();
+        STANDARD.get_or_init(|| {
+            let mut reg = Registry::new();
+            reg.register_set_join(Arc::new(NestedLoopSetJoin));
+            reg.register_set_join(Arc::new(SignatureSetJoin));
+            reg.register_set_join(Arc::new(WideSignatureSetJoin { words: 4 }));
+            reg.register_set_join(Arc::new(InvertedIndexSetJoin));
+            reg.register_set_join(Arc::new(HashSetEqualityJoin));
+            reg.register_set_join(Arc::new(EquijoinIntersect));
+            reg.register_division(Arc::new(NestedLoopDivision));
+            reg.register_division(Arc::new(SortMergeDivision));
+            reg.register_division(Arc::new(HashDivision));
+            reg.register_division(Arc::new(CountingDivision));
+            Arc::new(reg)
+        })
+    }
+
+    /// Add a set-join algorithm. Last registration wins on name clashes
+    /// (lookup scans from the back), so callers can shadow a standard
+    /// algorithm with a tuned variant.
+    pub fn register_set_join(&mut self, alg: Arc<dyn SetJoinAlgorithm>) {
+        self.set_joins.push(alg);
+    }
+
+    /// Add a division algorithm (same shadowing rule).
+    pub fn register_division(&mut self, alg: Arc<dyn DivisionAlgorithm>) {
+        self.divisions.push(alg);
+    }
+
+    /// All registered set-join algorithms, in registration order.
+    pub fn set_join_algorithms(&self) -> &[Arc<dyn SetJoinAlgorithm>] {
+        &self.set_joins
+    }
+
+    /// All registered division algorithms, in registration order.
+    pub fn division_algorithms(&self) -> &[Arc<dyn DivisionAlgorithm>] {
+        &self.divisions
+    }
+
+    /// Look up a set-join algorithm by name.
+    pub fn find_set_join(&self, name: &str) -> Option<Arc<dyn SetJoinAlgorithm>> {
+        self.set_joins
+            .iter()
+            .rev()
+            .find(|a| a.name() == name)
+            .cloned()
+    }
+
+    /// Look up a division algorithm by name.
+    pub fn find_division(&self, name: &str) -> Option<Arc<dyn DivisionAlgorithm>> {
+        self.divisions
+            .iter()
+            .rev()
+            .find(|a| a.name() == name)
+            .cloned()
+    }
+
+    /// Pick a set-join algorithm from the predicate and input statistics.
+    ///
+    /// Deterministic rules, in order:
+    ///
+    /// 1. `=` → `hash-set-equality` (quasilinear beats any pair scan).
+    /// 2. `∩ ≠ ∅` → `equijoin-intersect` (the paper's equijoin remark).
+    /// 3. Tiny inputs (≤ 64 tuples total) → `nested-loop`: signature
+    ///    setup costs more than it saves.
+    /// 4. Large average group size (≥ 16 values) → `signature256`:
+    ///    64-bit signatures saturate and stop filtering.
+    /// 5. Otherwise → `signature64`.
+    ///
+    /// Returns `None` only when the registry lacks an algorithm for the
+    /// predicate (never for [`Registry::standard`]).
+    pub fn auto_set_join(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        pred: SetPredicate,
+    ) -> Option<Arc<dyn SetJoinAlgorithm>> {
+        let pick = |name: &str| self.find_set_join(name).filter(|a| a.supports(pred));
+        let fallback = || {
+            self.set_joins
+                .iter()
+                .rev()
+                .find(|a| a.supports(pred))
+                .cloned()
+        };
+        let n = r.len() + s.len();
+        let preferred = match pred {
+            SetPredicate::Equals => pick("hash-set-equality"),
+            SetPredicate::IntersectsNonempty => pick("equijoin-intersect"),
+            SetPredicate::Contains | SetPredicate::ContainedIn => {
+                if n <= SMALL_INPUT {
+                    pick("nested-loop")
+                } else if avg_group_size(r).max(avg_group_size(s)) >= WIDE_SET_THRESHOLD {
+                    pick("signature256")
+                } else {
+                    pick("signature64")
+                }
+            }
+        };
+        preferred.or_else(fallback)
+    }
+
+    /// Pick a division algorithm from the semantics and input statistics.
+    ///
+    /// Deterministic rules, in order:
+    ///
+    /// 1. Tiny inputs (≤ 64 tuples total) → `sort-merge`: canonical
+    ///    storage order makes it sort-free, and it allocates nothing.
+    /// 2. Equality semantics → `counting` (group sizes fall out of the
+    ///    single counting pass).
+    /// 3. Otherwise → `hash` (Graefe's bitmap division).
+    ///
+    /// Returns `None` only for an empty registry.
+    pub fn auto_division(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        sem: DivisionSemantics,
+    ) -> Option<Arc<dyn DivisionAlgorithm>> {
+        let pick = |name: &str| self.find_division(name);
+        let preferred = if r.len() + s.len() <= SMALL_INPUT {
+            pick("sort-merge")
+        } else if sem == DivisionSemantics::Equality {
+            pick("counting")
+        } else {
+            pick("hash")
+        };
+        preferred.or_else(|| self.divisions.last().cloned())
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field(
+                "set_joins",
+                &self.set_joins.iter().map(|a| a.name()).collect::<Vec<_>>(),
+            )
+            .field(
+                "divisions",
+                &self.divisions.iter().map(|a| a.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// Average number of values per group of a binary relation (0 when empty).
+fn avg_group_size(r: &Relation) -> usize {
+    // Canonical storage order keeps equal keys adjacent: counting group
+    // boundaries is one allocation-free scan (materializing `group_sets`
+    // here would clone every value just to take a length).
+    let mut groups = 0usize;
+    let mut prev = None;
+    for t in r {
+        if prev != Some(&t[0]) {
+            groups += 1;
+            prev = Some(&t[0]);
+        }
+    }
+    r.len().checked_div(groups).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_storage::{Relation, Tuple};
+
+    fn pairs(rows: &[[i64; 2]]) -> Relation {
+        Relation::from_tuples(2, rows.iter().map(|r| Tuple::from_ints(r))).unwrap()
+    }
+
+    #[test]
+    fn standard_registry_has_all_algorithms() {
+        let reg = Registry::standard();
+        assert_eq!(reg.set_join_algorithms().len(), 6);
+        assert_eq!(reg.division_algorithms().len(), 4);
+        for name in [
+            "nested-loop",
+            "signature64",
+            "signature256",
+            "inverted-index",
+            "hash-set-equality",
+            "equijoin-intersect",
+        ] {
+            assert!(reg.find_set_join(name).is_some(), "{name}");
+        }
+        for name in ["nested-loop", "sort-merge", "hash", "counting"] {
+            assert!(reg.find_division(name).is_some(), "{name}");
+        }
+        assert!(reg.find_set_join("no-such").is_none());
+        assert!(reg.find_division("no-such").is_none());
+    }
+
+    #[test]
+    fn every_registered_algorithm_matches_the_baseline() {
+        let r = pairs(&[[1, 10], [1, 11], [2, 10], [3, 12], [3, 13]]);
+        let s = pairs(&[[5, 10], [5, 11], [6, 10], [7, 13]]);
+        let reg = Registry::standard();
+        for pred in [
+            SetPredicate::Contains,
+            SetPredicate::ContainedIn,
+            SetPredicate::Equals,
+            SetPredicate::IntersectsNonempty,
+        ] {
+            let want = nested_loop_set_join(&r, &s, pred);
+            for alg in reg.set_join_algorithms() {
+                if alg.supports(pred) {
+                    assert_eq!(alg.run(&r, &s, pred), want, "{} on {pred:?}", alg.name());
+                }
+            }
+        }
+        let divisor = Relation::from_int_rows(&[&[10], &[11]]);
+        for sem in [DivisionSemantics::Containment, DivisionSemantics::Equality] {
+            let want = crate::division::divide(&r, &divisor, sem);
+            for alg in reg.division_algorithms() {
+                assert_eq!(alg.run(&r, &divisor, sem), want, "{} {sem:?}", alg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn auto_set_join_picks_by_predicate() {
+        let reg = Registry::standard();
+        let r = pairs(&[[1, 10], [1, 11]]);
+        let s = pairs(&[[5, 10]]);
+        assert_eq!(
+            reg.auto_set_join(&r, &s, SetPredicate::Equals)
+                .unwrap()
+                .name(),
+            "hash-set-equality"
+        );
+        assert_eq!(
+            reg.auto_set_join(&r, &s, SetPredicate::IntersectsNonempty)
+                .unwrap()
+                .name(),
+            "equijoin-intersect"
+        );
+        // Tiny containment input → nested loops.
+        assert_eq!(
+            reg.auto_set_join(&r, &s, SetPredicate::Contains)
+                .unwrap()
+                .name(),
+            "nested-loop"
+        );
+    }
+
+    #[test]
+    fn auto_set_join_scales_with_input_stats() {
+        let reg = Registry::standard();
+        // > SMALL_INPUT tuples, small groups → 64-bit signatures.
+        let rows: Vec<[i64; 2]> = (0..60).flat_map(|g| [[g, 2 * g], [g, 2 * g + 1]]).collect();
+        let big = pairs(&rows);
+        assert_eq!(
+            reg.auto_set_join(&big, &big, SetPredicate::Contains)
+                .unwrap()
+                .name(),
+            "signature64"
+        );
+        // Wide groups (≥ WIDE_SET_THRESHOLD values each) → wide signatures.
+        let wide_rows: Vec<[i64; 2]> = (0..4).flat_map(|g| (0..20).map(move |v| [g, v])).collect();
+        let wide = pairs(&wide_rows);
+        assert_eq!(
+            reg.auto_set_join(&wide, &wide, SetPredicate::Contains)
+                .unwrap()
+                .name(),
+            "signature256"
+        );
+    }
+
+    #[test]
+    fn auto_division_picks_by_stats_and_semantics() {
+        let reg = Registry::standard();
+        let small = pairs(&[[1, 7], [2, 7]]);
+        let divisor = Relation::from_int_rows(&[&[7]]);
+        assert_eq!(
+            reg.auto_division(&small, &divisor, DivisionSemantics::Containment)
+                .unwrap()
+                .name(),
+            "sort-merge"
+        );
+        let rows: Vec<[i64; 2]> = (0..200).map(|i| [i / 4, i % 4]).collect();
+        let big = pairs(&rows);
+        assert_eq!(
+            reg.auto_division(&big, &divisor, DivisionSemantics::Containment)
+                .unwrap()
+                .name(),
+            "hash"
+        );
+        assert_eq!(
+            reg.auto_division(&big, &divisor, DivisionSemantics::Equality)
+                .unwrap()
+                .name(),
+            "counting"
+        );
+    }
+
+    #[test]
+    fn auto_never_picks_an_unsupported_algorithm() {
+        let reg = Registry::standard();
+        let r = pairs(&[[1, 10]]);
+        for pred in [
+            SetPredicate::Contains,
+            SetPredicate::ContainedIn,
+            SetPredicate::Equals,
+            SetPredicate::IntersectsNonempty,
+        ] {
+            let alg = reg.auto_set_join(&r, &r, pred).unwrap();
+            assert!(alg.supports(pred), "{} vs {pred:?}", alg.name());
+        }
+    }
+
+    #[test]
+    fn registration_shadows_by_name() {
+        struct Always;
+        impl SetJoinAlgorithm for Always {
+            fn name(&self) -> &'static str {
+                "nested-loop"
+            }
+            fn supports(&self, _p: SetPredicate) -> bool {
+                true
+            }
+            fn complexity(&self, _p: SetPredicate) -> ComplexityClass {
+                ComplexityClass::Linear
+            }
+            fn run(&self, r: &Relation, _s: &Relation, _p: SetPredicate) -> Relation {
+                r.clone()
+            }
+        }
+        let mut reg = Registry::standard().clone();
+        reg.register_set_join(Arc::new(Always));
+        let got = reg.find_set_join("nested-loop").unwrap();
+        assert_eq!(
+            got.complexity(SetPredicate::Contains),
+            ComplexityClass::Linear,
+            "later registration must shadow the standard entry"
+        );
+    }
+
+    #[test]
+    fn wide_signature_name_tracks_width() {
+        assert_eq!(WideSignatureSetJoin { words: 2 }.name(), "signature128");
+        assert_eq!(WideSignatureSetJoin { words: 4 }.name(), "signature256");
+        assert_eq!(WideSignatureSetJoin { words: 3 }.name(), "signature-wide");
+        // A one-word wide signature must not shadow the standard entry.
+        assert_eq!(WideSignatureSetJoin { words: 1 }.name(), "signature-wide");
+    }
+
+    #[test]
+    fn complexity_classes_render() {
+        assert_eq!(ComplexityClass::Linear.to_string(), "O(n)");
+        assert_eq!(ComplexityClass::Quasilinear.to_string(), "O(n log n)");
+        assert_eq!(ComplexityClass::Quadratic.to_string(), "O(n²)");
+        assert!(ComplexityClass::Linear < ComplexityClass::Quadratic);
+    }
+}

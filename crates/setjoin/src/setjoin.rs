@@ -93,6 +93,11 @@ fn predicate_holds(pred: SetPredicate, b: &[Value], d: &[Value]) -> bool {
 
 /// Set join by the default strategy: hash for `Equals`, equijoin for
 /// `IntersectsNonempty`, signatures otherwise.
+///
+/// Thin wrapper kept for convenience; algorithm-aware callers should go
+/// through [`crate::registry::Registry`] (or `sj-eval`'s `Engine`), where
+/// the choice is configuration and the `auto` selector also consults
+/// input statistics.
 pub fn set_join(r: &Relation, s: &Relation, pred: SetPredicate) -> Relation {
     match pred {
         SetPredicate::Equals => hash_set_equality_join(r, s),

@@ -3,7 +3,7 @@
 //! The 64-bit signatures in [`crate::setjoin`] saturate once sets exceed a
 //! few dozen elements, killing the filter's selectivity (visible in the
 //! Zipf benchmark). This module generalizes to `W × 64` bits, the knob
-//! studied by Helmer & Moerkotte (VLDB 1997 — reference [13] of the
+//! studied by Helmer & Moerkotte (VLDB 1997 — reference \[13\] of the
 //! paper): wider signatures trade memory and per-pair AND cost for a lower
 //! false-positive rate.
 

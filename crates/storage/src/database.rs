@@ -87,8 +87,11 @@ impl Database {
             .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
     }
 
-    /// Mutable access to a relation (copy-on-write if the relation is
-    /// currently shared with an evaluator).
+    /// Mutable access to a relation. Copy-on-write via [`Arc::make_mut`]:
+    /// when the `Arc` is uniquely held (no evaluator holds a
+    /// [`Database::get_shared`] handle) the stored allocation is mutated
+    /// in place — **no clone** — and only a relation still shared with a
+    /// reader is copied before mutation.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
         self.relations.get_mut(name).map(Arc::make_mut)
     }
@@ -315,6 +318,34 @@ mod tests {
         let mut e = Database::new();
         e.set_shared("R2", shared.clone());
         assert!(std::ptr::eq(shared.as_ref(), e.get("R2").unwrap()));
+    }
+
+    #[test]
+    fn get_mut_on_unique_handle_does_not_clone() {
+        let mut d = fig2();
+        // No outstanding shared handle: the Arc is uniquely held, so
+        // Arc::make_mut must hand back the stored allocation itself.
+        let before = d.get("R").unwrap() as *const Relation;
+        let via_mut = d.get_mut("R").unwrap() as *mut Relation as *const Relation;
+        assert_eq!(before, via_mut, "unique handle must be mutated in place");
+        assert_eq!(d.get("R").unwrap() as *const Relation, before);
+        // Mutation through get_mut keeps the allocation too.
+        d.insert("R", tuple!["x", "y", "z"]).unwrap();
+        assert_eq!(d.get("R").unwrap() as *const Relation, before);
+        assert_eq!(d.get("R").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn get_mut_on_shared_handle_copies_once() {
+        let mut d = fig2();
+        let shared = d.get_shared("R").unwrap();
+        // Shared with a reader: get_mut must copy on write...
+        let cow = d.get_mut("R").unwrap() as *mut Relation as *const Relation;
+        assert!(!std::ptr::eq(cow, shared.as_ref() as *const Relation));
+        drop(shared);
+        // ...and once the handle is gone, the copy is unique again.
+        let again = d.get_mut("R").unwrap() as *mut Relation as *const Relation;
+        assert_eq!(cow, again, "second get_mut must not clone again");
     }
 
     #[test]

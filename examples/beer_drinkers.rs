@@ -1,6 +1,7 @@
 //! Ullman's beer-drinkers schema (Examples 3 and 7, Fig. 6): the semijoin
 //! algebra, the guarded fragment, their Theorem 8 translations, and a
-//! guarded-bisimulation inexpressibility proof — all executed.
+//! guarded-bisimulation inexpressibility proof — all executed through the
+//! [`Engine`].
 //!
 //! ```bash
 //! cargo run --example beer_drinkers
@@ -8,25 +9,24 @@
 
 use setjoins::prelude::*;
 use sj_bisim::are_bisimilar;
-use sj_eval::evaluate;
 use sj_logic::{eval_query, gf_to_sa, sa_to_gf};
 use sj_workload::figures;
 
 fn main() {
-    let db = figures::example3_beer_db();
-    let schema = db.schema();
+    let engine = Engine::new(figures::example3_beer_db());
+    let schema = engine.db().schema();
 
     // Example 3: the lousy-bar query in the semijoin algebra SA=.
     let e3 = sj_algebra::division::example3_lousy_bar_sa();
     println!("Example 3 (SA=):\n  {e3}");
-    let drinkers = evaluate(&e3, &db).unwrap();
+    let drinkers = engine.query(e3.clone()).run().unwrap().relation;
     println!("  drinkers visiting a lousy bar: {:?}\n", drinkers.tuples());
 
     // Example 7: the same query in the guarded fragment GF.
     let phi = sj_logic::formula::example7_lousy_bar();
     println!("Example 7 (GF):\n  {phi}");
-    let candidates = db.active_domain();
-    let via_gf = eval_query(&db, &phi, &["x".into()], &candidates);
+    let candidates = engine.db().active_domain();
+    let via_gf = eval_query(engine.db(), &phi, &["x".into()], &candidates);
     println!("  GF answers: {via_gf:?}\n");
     assert_eq!(via_gf, drinkers.tuples().to_vec());
 
@@ -35,7 +35,7 @@ fn main() {
     println!("Theorem 8, SA= → GF:\n  {}\n", gf.formula);
     let sa = gf_to_sa(&phi, &schema, &[]).unwrap();
     println!("Theorem 8, GF → SA=:\n  {}\n", sa.expr);
-    assert_eq!(evaluate(&sa.expr, &db).unwrap(), drinkers);
+    assert_eq!(engine.query(sa.expr).run().unwrap().relation, drinkers);
 
     // Section 4.1: the CYCLIC query "drinkers visiting a bar serving a
     // beer they like" is NOT expressible in SA= — shown by the Fig. 6
@@ -43,8 +43,9 @@ fn main() {
     let (a, b) = (figures::fig6_a(), figures::fig6_b());
     let q = sj_algebra::division::cyclic_beer_query_ra();
     println!("Cyclic query Q (RA):\n  {q}");
-    println!("  Q on Fig. 6 A: {:?}", evaluate(&q, &a).unwrap().tuples());
-    println!("  Q on Fig. 6 B: {:?}", evaluate(&q, &b).unwrap().tuples());
+    let on = |db: Database| Engine::new(db).query(q.clone()).run().unwrap().relation;
+    println!("  Q on Fig. 6 A: {:?}", on(a.clone()).tuples());
+    println!("  Q on Fig. 6 B: {:?}", on(b.clone()).tuples());
     let cert = are_bisimilar(&a, &tuple!["alex"], &b, &tuple!["alex"], &[])
         .expect("Fig. 6 pair is guarded bisimilar");
     println!(
@@ -57,7 +58,8 @@ fn main() {
          expression for Q is quadratic."
     );
 
-    // Measure it: the join plan's intermediates on a growing bar scene.
+    // Measure it: the join plan's intermediates on a growing bar scene,
+    // via an instrumented naive engine (per-tree-node cardinalities).
     println!("\nIntermediate sizes of the cyclic-query join plan:");
     for k in [20i64, 40, 80, 160] {
         let mut big = Database::new();
@@ -75,12 +77,18 @@ fn main() {
         big.set("Visits", to_rel(&visits));
         big.set("Serves", to_rel(&serves));
         big.set("Likes", to_rel(&likes));
-        let report = evaluate_instrumented(&q, &big).unwrap();
+        let out = Engine::new(big)
+            .strategy(Strategy::Naive)
+            .instrument(Instrument::Cardinalities)
+            .query(q.clone())
+            .run()
+            .unwrap();
+        let report = out.report.unwrap();
         println!(
             "  |D| = {:>4}  max intermediate = {:>6}  output = {}",
-            report.db_size,
+            report.db_size(),
             report.max_intermediate(),
-            report.result.len()
+            out.relation.len()
         );
     }
 }

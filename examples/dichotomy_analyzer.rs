@@ -1,6 +1,7 @@
 //! The dichotomy analyzer as a tool: feed it relational-algebra plans (in
 //! the textual syntax) and get Linear/Quadratic verdicts with
-//! machine-checkable certificates.
+//! machine-checkable certificates, plus an instrumented [`Engine`] run on
+//! the seed database.
 //!
 //! ```bash
 //! cargo run --example dichotomy_analyzer
@@ -42,6 +43,8 @@ fn main() {
     };
 
     let series = adversarial_division_series(&[16, 32, 64, 128], 99);
+    // One engine over the seed database answers every submitted plan.
+    let engine = Engine::new(seeds[0].clone()).instrument(Instrument::Cardinalities);
     for text in plans {
         println!("plan: {text}");
         let expr = match sj_algebra::parse(&text) {
@@ -55,6 +58,14 @@ fn main() {
             println!("  invalid over schema {schema}: {err}\n");
             continue;
         }
+        let out = engine.query(expr.clone()).run().unwrap();
+        println!(
+            "  on the seed database: output = {} tuples, max intermediate = {} \
+             ({} physical nodes)",
+            out.relation.len(),
+            out.report.as_ref().map_or(0, |r| r.max_intermediate()),
+            out.plan.as_ref().map_or(0, |p| p.node_count()),
+        );
         match analyze(&expr, &schema, &seeds) {
             Ok(Verdict::Linear { sa_equivalent }) => {
                 println!("  verdict: LINEAR (Theorem 18)");

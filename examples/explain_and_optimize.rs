@@ -1,12 +1,16 @@
-//! EXPLAIN ANALYZE + the semijoin-reduction optimizer: watch the paper's
-//! theory fix a real plan.
+//! `Query::explain` + the semijoin-reduction optimizer: watch the paper's
+//! theory fix a real plan, all through one [`Engine`].
+//!
+//! The engine unifies what used to be two explain flavors: under
+//! `Strategy::Naive` it renders the expression tree with actual
+//! cardinalities (`EXPLAIN ANALYZE`), under `Strategy::Planned` the
+//! memoized physical DAG with operator choices (`EXPLAIN`).
 //!
 //! ```bash
 //! cargo run --example explain_and_optimize
 //! ```
 
 use setjoins::prelude::*;
-use sj_eval::explain;
 use sj_workload::DivisionWorkload;
 
 fn main() {
@@ -19,40 +23,58 @@ fn main() {
         seed: 7,
     }
     .database();
-    let schema = db.schema();
+
+    // Two engines over the same data: one runs plans exactly as written,
+    // one applies the full optimizer pipeline (semijoin reduction,
+    // selection pushdown, projection pruning).
+    let raw = Engine::new(db.clone()).strategy(Strategy::Naive);
+    let optimized = raw.clone().optimize(OptimizeLevel::Full);
 
     // A join plan a naive planner might emit for "A-values related to
     // some divisor value": join then project the left columns.
-    let naive = Expr::rel("R")
+    let naive_plan = Expr::rel("R")
         .join(Condition::eq(2, 1), Expr::rel("S"))
         .project([1]);
-    println!("== naive plan ==\n{naive}\n");
-    println!("{}", explain(&naive, &db).unwrap());
+    println!("== naive plan ==\n{naive_plan}\n");
+    println!("{}", raw.query(naive_plan.clone()).explain().unwrap());
 
     // The optimizer recognizes the projection only keeps left columns and
     // rewrites the join into a semijoin (the paper's linear core).
-    let optimized = sj_algebra::optimize(&naive, &schema).unwrap();
-    println!("== optimized plan ==\n{optimized}\n");
-    println!("{}", explain(&optimized, &db).unwrap());
+    let q = optimized.query(naive_plan.clone());
+    println!("== optimized plan ==\n{}\n", q.optimized().unwrap());
+    println!("{}", q.explain().unwrap());
 
     assert_eq!(
-        evaluate(&naive, &db).unwrap(),
-        evaluate(&optimized, &db).unwrap()
+        raw.query(naive_plan.clone()).run().unwrap().relation,
+        q.run().unwrap().relation
+    );
+
+    // The planned strategy explains the physical DAG instead — operator
+    // choices (hash vs merge vs nested-loop) and memoized sharing.
+    println!("== physical DAG of the optimized plan ==");
+    println!(
+        "{}",
+        optimized
+            .clone()
+            .strategy(Strategy::Planned)
+            .query(naive_plan)
+            .explain()
+            .unwrap()
     );
 
     // Division, though, cannot be fixed this way: Proposition 26 says the
     // quadratic node is unavoidable in plain RA.
     let division = sj_algebra::division::division_double_difference("R", "S");
     println!("== division plan (quadratic by Proposition 26) ==\n{division}\n");
-    println!("{}", explain(&division, &db).unwrap());
-    let optimized_division = sj_algebra::optimize(&division, &schema).unwrap();
+    println!("{}", raw.query(division.clone()).explain().unwrap());
     println!(
         "after optimization the largest intermediate remains (the product \
          feeds a difference, not a projection):"
     );
-    println!("{}", explain(&optimized_division, &db).unwrap());
+    println!("{}", optimized.query(division).explain().unwrap());
     println!(
         "the only escape is leaving RA: grouping+counting (Section 5) or a \
-         direct division operator."
+         direct division operator — `Engine::divide`, which routes through \
+         the linear algorithms of the registry."
     );
 }

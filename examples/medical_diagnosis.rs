@@ -1,5 +1,6 @@
 //! The paper's Fig. 1 scenario: diagnosing patients by set-containment
-//! join, end to end — exactly the tables printed in the paper.
+//! join, end to end — exactly the tables printed in the paper, run
+//! through the [`Engine`] and its algorithm registry.
 //!
 //! ```bash
 //! cargo run --example medical_diagnosis
@@ -10,45 +11,58 @@ use sj_storage::display::render_relation;
 use sj_workload::figures;
 
 fn main() {
-    let db = figures::fig1();
-    let person = db.get("Person").unwrap();
-    let disease = db.get("Disease").unwrap();
-    let symptoms = db.get("Symptoms").unwrap();
+    let engine = Engine::new(figures::fig1());
+    let db = engine.db();
 
     println!("== Fig. 1 of Leinders & Van den Bussche ==\n");
     println!(
         "{}",
-        render_relation(person, "Person", &["pName", "Symptom"])
+        render_relation(db.get("Person").unwrap(), "Person", &["pName", "Symptom"])
     );
     println!(
         "{}",
-        render_relation(disease, "Disease", &["dName", "Symptom"])
+        render_relation(db.get("Disease").unwrap(), "Disease", &["dName", "Symptom"])
     );
-    println!("{}", render_relation(symptoms, "Symptoms", &["Symptom"]));
+    println!(
+        "{}",
+        render_relation(db.get("Symptoms").unwrap(), "Symptoms", &["Symptom"])
+    );
 
     // Set-containment join: which persons show ALL symptoms of which
-    // disease?
-    let diagnosis = set_join(person, disease, SetPredicate::Contains);
+    // disease? The engine's auto selector picks the algorithm.
+    let diagnosis = engine
+        .set_join("Person", "Disease", SetPredicate::Contains)
+        .unwrap();
     println!(
         "{}",
         render_relation(
-            &diagnosis,
+            &diagnosis.relation,
             "Person ⋈[Person.Symptom ⊇ Disease.Symptom] Disease",
             &["pName", "dName"]
         )
     );
-    assert_eq!(diagnosis, figures::fig1_expected_join());
+    println!(
+        "(set join ran {} — {})\n",
+        diagnosis.algorithm, diagnosis.complexity
+    );
+    assert_eq!(diagnosis.relation, figures::fig1_expected_join());
 
     // Division: who has every symptom in the Symptoms checklist?
-    let quotient = divide(person, symptoms, DivisionSemantics::Containment);
+    let quotient = engine
+        .divide("Person", "Symptoms", DivisionSemantics::Containment)
+        .unwrap();
     println!(
         "{}",
-        render_relation(&quotient, "Person ÷ Symptoms", &["pName"])
+        render_relation(&quotient.relation, "Person ÷ Symptoms", &["pName"])
     );
-    assert_eq!(quotient, figures::fig1_expected_division());
+    println!(
+        "(division ran {} — {})\n",
+        quotient.algorithm, quotient.complexity
+    );
+    assert_eq!(quotient.relation, figures::fig1_expected_division());
 
-    // Compare algorithm families on a scaled-up version of the same
-    // workload.
+    // Compare the registered algorithm families on a scaled-up version of
+    // the same workload: ablation is one `.algorithm(...)` away.
     println!("== scaled workload: 2,000 patients, 12-symptom checklist ==\n");
     let w = sj_workload::DivisionWorkload {
         groups: 2_000,
@@ -59,17 +73,29 @@ fn main() {
         seed: 20_260_613,
     };
     let (r, s, expected) = w.generate();
-    for (name, alg) in sj_setjoin::division::all_algorithms() {
-        let start = std::time::Instant::now();
-        let out = alg(&r, &s, DivisionSemantics::Containment);
-        let took = start.elapsed();
-        assert_eq!(out, expected);
+    let mut big = Database::new();
+    big.set("Person", r);
+    big.set("Symptoms", s);
+    let big_engine = Engine::new(big);
+    for alg in Registry::standard().division_algorithms() {
+        let run = big_engine
+            .clone()
+            .algorithm(AlgorithmChoice::named(alg.name()))
+            .divide("Person", "Symptoms", DivisionSemantics::Containment)
+            .unwrap();
+        assert_eq!(run.relation, expected);
         println!(
-            "  {name:<12} {:>8.1?}  → {} qualifying patients",
-            took,
-            out.len()
+            "  {:<12} {:>8.1?}  → {} qualifying patients ({})",
+            run.algorithm,
+            run.elapsed,
+            run.relation.len(),
+            run.complexity
         );
     }
+    let auto = big_engine
+        .divide("Person", "Symptoms", DivisionSemantics::Containment)
+        .unwrap();
+    println!("  auto selector picked: {}", auto.algorithm);
     println!(
         "\n(The paper proves why the nested-loop pattern — the only one \
          plain RA can express — must fall behind.)"

@@ -1,5 +1,5 @@
-//! Quickstart: build a database, run a division three ways, and watch the
-//! dichotomy.
+//! Quickstart: build an [`Engine`], run a division three ways, and watch
+//! the dichotomy.
 //!
 //! ```bash
 //! cargo run --example quickstart
@@ -27,34 +27,47 @@ fn main() {
     );
     println!("{}", render_relation(&required, "Required", &["course"]));
 
-    // 2. Division, directly: who takes ALL required courses?
-    let graduates = divide(&enrolled, &required, DivisionSemantics::Containment);
-    println!(
-        "{}",
-        render_relation(&graduates, "Enrolled ÷ Required", &["student"])
-    );
-
-    // 3. The same query as a classical relational-algebra plan …
+    // 2. One engine over the data. Division routes through the algorithm
+    // registry — the default `AlgorithmChoice::Auto` picks from the
+    // semantics and input size; naming an algorithm is a one-line change.
     let mut db = Database::new();
     db.set("R", enrolled);
     db.set("S", required);
+    let engine = Engine::new(db)
+        .strategy(Strategy::Naive)
+        .instrument(Instrument::Cardinalities);
+    let graduates = engine
+        .divide("R", "S", DivisionSemantics::Containment)
+        .unwrap();
+    println!(
+        "{}",
+        render_relation(&graduates.relation, "Enrolled ÷ Required", &["student"])
+    );
+    println!(
+        "(direct division ran {} — {})",
+        graduates.algorithm, graduates.complexity
+    );
+
+    // 3. The same query as a classical relational-algebra plan …
     let plan = sj_algebra::division::division_double_difference("R", "S");
-    println!("classical RA plan: {plan}");
-    let report = evaluate_instrumented(&plan, &db).unwrap();
-    assert_eq!(report.result, graduates);
+    println!("\nclassical RA plan: {plan}");
+    let out = engine.query(plan).run().unwrap();
+    assert_eq!(out.relation, graduates.relation);
+    let report = out.report.unwrap();
     println!(
         "same answer; but the plan's largest intermediate holds {} tuples \
          on a {}-tuple database:",
         report.max_intermediate(),
-        report.db_size
+        report.db_size()
     );
     println!("{}", report.render());
 
     // 4. … and the paper explains why: division is not expressible in the
     // semijoin algebra, so EVERY RA plan has a quadratic intermediate
     // (Proposition 26). The analyzer finds the witness:
-    let schema = db.schema();
-    match analyze(&plan, &schema, &[db]).unwrap() {
+    let plan = sj_algebra::division::division_double_difference("R", "S");
+    let schema = engine.db().schema();
+    match analyze(&plan, &schema, &[engine.db().clone()]).unwrap() {
         Verdict::Quadratic { witness } => {
             println!(
                 "analyzer verdict: QUADRATIC — witnessed at join node {} by the \

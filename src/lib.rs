@@ -11,30 +11,52 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`storage`] | `sj-storage` | values, tuples, relations, databases |
-//! | [`algebra`] | `sj-algebra` | RA / SA / extended-RA expression ASTs |
-//! | [`eval`] | `sj-eval` | instrumented evaluators |
+//! | [`algebra`] | `sj-algebra` | RA / SA / extended-RA expression ASTs, optimizer pass pipeline |
+//! | [`eval`] | `sj-eval` | the [`Engine`] facade and the underlying evaluators |
 //! | [`logic`] | `sj-logic` | guarded fragment, Theorem 8 translations |
 //! | [`bisim`] | `sj-bisim` | guarded bisimulation checker and solver |
 //! | [`core`] | `sj-core` | dichotomy theorem machinery (the paper's contribution) |
-//! | [`setjoin`] | `sj-setjoin` | division and set-join operators & algorithms |
+//! | [`setjoin`] | `sj-setjoin` | division and set-join algorithms & their [`Registry`] |
 //! | [`workload`] | `sj-workload` | deterministic data generators, paper figures |
 //!
 //! ## Quickstart
 //!
-//! See `examples/quickstart.rs`, or:
+//! The [`Engine`] is the single entry point: build it over a database,
+//! configure optimizer level / evaluation strategy / instrumentation /
+//! set-join algorithm choice, then run queries and set operators:
 //!
 //! ```
 //! use setjoins::prelude::*;
 //!
 //! // Fig. 1: who has all the symptoms in the Symptoms table?
-//! let db = setjoins::workload::figures::fig1();
-//! let result = setjoins::setjoin::division::divide(
-//!     db.get("Person").unwrap(),
-//!     db.get("Symptoms").unwrap(),
-//!     DivisionSemantics::Containment,
-//! );
-//! assert_eq!(result.len(), 2); // An and Bob
+//! let engine = Engine::new(setjoins::workload::figures::fig1())
+//!     .strategy(Strategy::Planned)
+//!     .instrument(Instrument::Cardinalities);
+//!
+//! // Division and set joins route through the algorithm registry; the
+//! // default `AlgorithmChoice::Auto` picks by predicate and input size.
+//! let division = engine
+//!     .divide("Person", "Symptoms", DivisionSemantics::Containment)
+//!     .unwrap();
+//! assert_eq!(division.relation.len(), 2); // An and Bob
+//!
+//! let diagnosis = engine
+//!     .set_join("Person", "Disease", SetPredicate::Contains)
+//!     .unwrap();
+//! assert_eq!(diagnosis.relation.len(), 3);
+//!
+//! // Relational-algebra queries return relation + report + plan at once.
+//! let plan = setjoins::algebra::division::division_double_difference("Person", "Symptoms");
+//! let out = engine.query(plan).run().unwrap();
+//! assert_eq!(out.relation, division.relation);
+//! assert!(out.plan.is_some()); // the memoized physical DAG
+//! assert!(out.report.unwrap().max_intermediate() >= 2);
 //! ```
+//!
+//! The pre-`Engine` free functions (`evaluate`, `evaluate_planned`,
+//! `divide`, `set_join`, …) remain exported: they are thin wrappers over
+//! the same operators and registry entries, convenient for one-off calls
+//! on bare relations.
 
 pub use sj_algebra as algebra;
 pub use sj_bisim as bisim;
@@ -45,10 +67,18 @@ pub use sj_setjoin as setjoin;
 pub use sj_storage as storage;
 pub use sj_workload as workload;
 
+pub use sj_eval::{Engine, Instrument, Query, QueryOutput, Strategy};
+pub use sj_setjoin::Registry;
+
 /// Most-used items in one import.
 pub mod prelude {
-    pub use sj_algebra::{Condition, Expr};
-    pub use sj_eval::{evaluate, evaluate_instrumented, EvalReport};
-    pub use sj_setjoin::{divide, set_join, DivisionSemantics, SetPredicate};
+    pub use sj_algebra::{Condition, Expr, OptimizeLevel, Pass, Pipeline};
+    pub use sj_eval::{
+        evaluate, evaluate_instrumented, AlgorithmChoice, Engine, EvalReport, Instrument, Query,
+        QueryOutput, Report, SetOpOutput, Strategy,
+    };
+    pub use sj_setjoin::{
+        divide, set_join, ComplexityClass, DivisionSemantics, Registry, SetPredicate,
+    };
     pub use sj_storage::{tuple, Database, Relation, Schema, Tuple, Value};
 }

@@ -15,24 +15,20 @@ use sj_workload::figures;
 
 #[test]
 fn fig1_set_containment_join_table() {
-    let db = figures::fig1();
-    let got = sj_setjoin::set_join(
-        db.get("Person").unwrap(),
-        db.get("Disease").unwrap(),
-        SetPredicate::Contains,
-    );
-    assert_eq!(got, figures::fig1_expected_join());
+    let engine = Engine::new(figures::fig1());
+    let got = engine
+        .set_join("Person", "Disease", SetPredicate::Contains)
+        .unwrap();
+    assert_eq!(got.relation, figures::fig1_expected_join());
 }
 
 #[test]
 fn fig1_division_table() {
-    let db = figures::fig1();
-    let got = divide(
-        db.get("Person").unwrap(),
-        db.get("Symptoms").unwrap(),
-        DivisionSemantics::Containment,
-    );
-    assert_eq!(got, figures::fig1_expected_division());
+    let engine = Engine::new(figures::fig1());
+    let got = engine
+        .divide("Person", "Symptoms", DivisionSemantics::Containment)
+        .unwrap();
+    assert_eq!(got.relation, figures::fig1_expected_division());
 }
 
 #[test]
@@ -40,11 +36,19 @@ fn fig1_every_algorithm_and_the_ra_plan_agree() {
     let db = figures::fig1();
     let person = db.get("Person").unwrap();
     let symptoms = db.get("Symptoms").unwrap();
-    for (name, alg) in sj_setjoin::division::all_algorithms() {
+    // Every registered division algorithm, via the engine's named choice.
+    let engine = Engine::new(db.clone());
+    for alg in Registry::standard().division_algorithms() {
+        let out = engine
+            .clone()
+            .algorithm(AlgorithmChoice::named(alg.name()))
+            .divide("Person", "Symptoms", DivisionSemantics::Containment)
+            .unwrap();
         assert_eq!(
-            alg(person, symptoms, DivisionSemantics::Containment),
+            out.relation,
             figures::fig1_expected_division(),
-            "{name}"
+            "{}",
+            out.algorithm
         );
     }
     // The quadratic RA plan computes the same table.
@@ -149,15 +153,14 @@ fn fig4_pump_reproduces_d2_and_d3() {
 fn fig5_division_differs_but_databases_bisimilar() {
     let (a, b) = (figures::fig5_a(), figures::fig5_b());
     // R ÷ S = {1, 2} on A …
-    let div_a = divide(
-        a.get("R").unwrap(),
-        a.get("S").unwrap(),
-        DivisionSemantics::Containment,
-    );
-    assert_eq!(div_a, Relation::from_int_rows(&[&[1], &[2]]));
+    let div_a = Engine::new(a.clone())
+        .divide("R", "S", DivisionSemantics::Containment)
+        .unwrap();
+    assert_eq!(div_a.relation, Relation::from_int_rows(&[&[1], &[2]]));
     // … and ∅ on B, in both variants.
+    let eb = Engine::new(b.clone());
     for sem in [DivisionSemantics::Containment, DivisionSemantics::Equality] {
-        assert!(divide(b.get("R").unwrap(), b.get("S").unwrap(), sem).is_empty());
+        assert!(eb.divide("R", "S", sem).unwrap().relation.is_empty());
     }
     // Yet A,1 ∼ B,1: no SA= expression can express division (Cor. 14).
     let cert = are_bisimilar(&a, &tuple![1], &b, &tuple![1], &[]).expect("bisimilar");
@@ -192,18 +195,14 @@ fn fig5_set_join_variant_with_tag_column() {
     b.set("S", sb);
     assert!(are_bisimilar(&a, &tuple![1], &b, &tuple![1], &[]).is_some());
     // The set-containment join is nonempty on A, empty on B.
-    let ja = sj_setjoin::set_join(
-        a.get("R").unwrap(),
-        a.get("S").unwrap(),
-        SetPredicate::Contains,
-    );
-    let jb = sj_setjoin::set_join(
-        b.get("R").unwrap(),
-        b.get("S").unwrap(),
-        SetPredicate::Contains,
-    );
-    assert!(!ja.is_empty());
-    assert!(jb.is_empty());
+    let join = |db: &Database| {
+        Engine::new(db.clone())
+            .set_join("R", "S", SetPredicate::Contains)
+            .unwrap()
+            .relation
+    };
+    assert!(!join(&a).is_empty());
+    assert!(join(&b).is_empty());
 }
 
 // ---------------------------------------------------------------------------

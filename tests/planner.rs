@@ -145,6 +145,23 @@ fn planner_explain_marks_merge_operators_and_sharing() {
 }
 
 #[test]
+fn engine_planned_strategy_returns_the_same_plan_shape() {
+    // The Engine's Planned strategy must expose exactly the plan the
+    // low-level API builds: 7 DAG nodes for the 10-node division tree.
+    let mut db = Database::new();
+    db.set("R", Relation::from_int_rows(&[&[1, 7], &[1, 8], &[2, 7]]));
+    db.set("S", Relation::from_int_rows(&[&[7], &[8]]));
+    let e = division::division_double_difference("R", "S");
+    let direct = PhysicalPlan::of(&e, &db.schema()).unwrap();
+    let out = sj_eval::Engine::new(db).query(e).run().unwrap();
+    let via_engine = out.plan.expect("Planned strategy returns its plan");
+    assert_eq!(via_engine.node_count(), direct.node_count());
+    assert_eq!(via_engine.expr_node_count(), direct.expr_node_count());
+    assert_eq!(via_engine.explain(), direct.explain());
+    assert_eq!(out.relation, Relation::from_int_rows(&[&[1]]));
+}
+
+#[test]
 fn planned_instrumentation_reports_operators_and_timing() {
     let db = beer_db();
     let e = division::example3_lousy_bar_sa();
