@@ -1,0 +1,100 @@
+//! Partition-parallel vs serial execution on fig-scale division and
+//! set-join workloads — the benchmark behind `experiments -- parallel`
+//! (which additionally writes `results/parallel_scaling.csv`).
+//!
+//! Three workloads, each at `Parallelism::Serial` and `Threads(2/4/8)`:
+//! registry-routed division (hash vs partitioned hash), registry-routed
+//! set-containment join (monolithic signature filter vs the
+//! partition-based set join), and a planned merge-semijoin query (serial
+//! DAG executor vs concurrent levels + partitioned operators).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_algebra::{Condition, Expr};
+use sj_bench::beer_database;
+use sj_eval::{Engine, Parallelism};
+use sj_setjoin::{DivisionSemantics, SetPredicate};
+use sj_storage::Database;
+use sj_workload::{DivisionWorkload, ElementDist, SetJoinWorkload, SetSizeDist};
+use std::time::Duration;
+
+fn parallelisms() -> Vec<(String, Parallelism)> {
+    let mut v = vec![("serial".to_string(), Parallelism::Serial)];
+    for n in [2usize, 4, 8] {
+        v.push((format!("threads{n}"), Parallelism::Threads(n)));
+    }
+    v
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    // Division: fig-scale dividend, registry-routed through the engine.
+    let w = DivisionWorkload {
+        groups: 16_384,
+        divisor_size: 128,
+        containment_fraction: 0.1,
+        extra_per_group: 4,
+        noise_domain: 4 * 16_384,
+        seed: 0xD1ADE,
+    };
+    let db = w.database();
+    for (name, par) in parallelisms() {
+        let engine = Engine::new(db.clone()).parallelism(par);
+        group.bench_with_input(
+            BenchmarkId::new("division_auto", name),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    engine
+                        .divide("R", "S", DivisionSemantics::Containment)
+                        .unwrap()
+                })
+            },
+        );
+    }
+
+    // Set-containment join: the quadratic workload where partitioning
+    // prunes candidate pairs as well as sharding them.
+    let (r, s) = SetJoinWorkload {
+        r_groups: 2_048,
+        s_groups: 2_048,
+        set_size: SetSizeDist::Uniform(2, 10),
+        domain: 64,
+        elements: ElementDist::Uniform,
+        seed: 0x5E71,
+    }
+    .generate();
+    let mut sdb = Database::new();
+    sdb.set("R", r);
+    sdb.set("S", s);
+    for (name, par) in parallelisms() {
+        let engine = Engine::new(sdb.clone()).parallelism(par);
+        group.bench_with_input(
+            BenchmarkId::new("setjoin_contains_auto", name),
+            &engine,
+            |b, engine| b.iter(|| engine.set_join("R", "S", SetPredicate::Contains).unwrap()),
+        );
+    }
+
+    // Planned query: foreign-key hash join over the beer scene — the DAG
+    // executor's concurrent levels + partition-parallel hash join.
+    let bdb = beer_database(16_384, 0xBEE5);
+    let e = Expr::rel("Visits").join(Condition::eq(2, 1), Expr::rel("Serves"));
+    for (name, par) in parallelisms() {
+        let engine = Engine::new(bdb.clone()).parallelism(par);
+        let query = e.clone();
+        group.bench_with_input(
+            BenchmarkId::new("planned_fk_hash_join", name),
+            &engine,
+            |b, engine| b.iter(|| engine.query(query.clone()).run().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

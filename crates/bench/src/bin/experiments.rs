@@ -16,7 +16,7 @@ use sj_bench::{
 };
 use sj_bisim::{are_bisimilar, check_bisimulation, Bisimulation, PartialIso};
 use sj_core::{analyze, measure_growth, Pump, Verdict};
-use sj_eval::{AlgorithmChoice, Engine, Instrument, Strategy};
+use sj_eval::{AlgorithmChoice, Engine, Instrument, Parallelism, Strategy};
 use sj_setjoin::{DivisionSemantics, Registry, SetPredicate};
 use sj_storage::display::{render_database, render_relation};
 use sj_storage::{tuple, Database, Relation, Schema};
@@ -65,6 +65,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("setjoin", setjoin_shootout),
     ("semijoin", semijoin_linear),
     ("planner", planner),
+    ("parallel", parallel_scaling),
     ("distinguish", distinguish),
 ];
 
@@ -785,6 +786,156 @@ fn planner() {
     println!(
         "planner: memoized DAG + Arc scans beat the naive tree walk on the \
          repeated-subexpression division plans → {}",
+        path.display()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Partition-parallel execution — serial vs Threads(2/4/8) on fig-scale
+// division, set-join and planned-semijoin workloads
+// ---------------------------------------------------------------------------
+
+fn parallel_scaling() {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "host parallelism: {host} CPU(s). Speedups combine two effects:\n\
+         thread-level scaling (needs > 1 CPU) and, for the set joins, the\n\
+         partition-based pruning of candidate pairs (independent of CPUs\n\
+         — more workers ⇒ more element partitions ⇒ fewer pair tests)."
+    );
+    let mut csv = CsvSink::new(
+        "parallel_scaling",
+        &[
+            "workload",
+            "scale",
+            "threads",
+            "algorithm",
+            "ms",
+            "speedup_vs_serial",
+        ],
+    );
+    println!(
+        "{:<26} {:>7} {:>8} {:>22} {:>10} {:>9}",
+        "workload", "scale", "threads", "algorithm", "ms", "speedup"
+    );
+    // Each case: a fig-scale workload run through one engine closure at
+    // Serial, then Threads(2/4/8); timings are medians of 5.
+    let mut best_at_4 = (f64::NAN, "none");
+    let mut run_case = |workload: &'static str,
+                        scale: usize,
+                        run: &dyn Fn(Parallelism) -> (String, Relation)| {
+        let serial_ms = time_median(5, || run(Parallelism::Serial));
+        let (serial_alg, serial_out) = run(Parallelism::Serial);
+        println!(
+            "{workload:<26} {scale:>7} {:>8} {serial_alg:>22} {serial_ms:>10.3} {:>8.2}x",
+            "serial", 1.0
+        );
+        csv.row(&[
+            workload.into(),
+            scale.to_string(),
+            "1".into(),
+            serial_alg,
+            format!("{serial_ms:.4}"),
+            "1.000".into(),
+        ]);
+        for threads in [2usize, 4, 8] {
+            let par = Parallelism::Threads(threads);
+            let ms = time_median(5, || run(par));
+            let (alg, out) = run(par);
+            assert_eq!(out, serial_out, "{workload}: parallel ≢ serial");
+            let speedup = serial_ms / ms.max(1e-9);
+            if threads == 4 && (best_at_4.0.is_nan() || speedup > best_at_4.0) {
+                best_at_4 = (speedup, workload);
+            }
+            println!("{workload:<26} {scale:>7} {threads:>8} {alg:>22} {ms:>10.3} {speedup:>8.2}x");
+            csv.row(&[
+                workload.into(),
+                scale.to_string(),
+                threads.to_string(),
+                alg,
+                format!("{ms:.4}"),
+                format!("{speedup:.3}"),
+            ]);
+        }
+    };
+
+    // E16a — registry-routed division, fig scale (TIMING_SCALES top).
+    let groups = 16_384usize;
+    let w = DivisionWorkload {
+        groups,
+        divisor_size: 128,
+        containment_fraction: 0.1,
+        extra_per_group: 4,
+        noise_domain: 4 * groups,
+        seed: 0xD1ADE,
+    };
+    let ddb = {
+        let mut db = Database::new();
+        let (r, s, _) = w.generate();
+        db.set("R", r);
+        db.set("S", s);
+        db
+    };
+    run_case("division ÷ (auto)", groups, &|par| {
+        let out = Engine::new(ddb.clone())
+            .parallelism(par)
+            .divide("R", "S", DivisionSemantics::Containment)
+            .unwrap();
+        (out.algorithm.to_string(), out.relation)
+    });
+
+    // E16b — registry-routed set-containment join, fig scale (the
+    // setjoin shoot-out's largest point), both element distributions.
+    let sj_groups = 2_048usize;
+    for (dist_name, dist) in [
+        ("setjoin ⊇ uniform (auto)", ElementDist::Uniform),
+        ("setjoin ⊇ zipf1.0 (auto)", ElementDist::Zipf(1.0)),
+    ] {
+        let sdb = {
+            let (r, s) = SetJoinWorkload {
+                r_groups: sj_groups,
+                s_groups: sj_groups,
+                set_size: SetSizeDist::Uniform(2, 10),
+                domain: 64,
+                elements: dist,
+                seed: 0x5E71,
+            }
+            .generate();
+            let mut db = Database::new();
+            db.set("R", r);
+            db.set("S", s);
+            db
+        };
+        run_case(dist_name, sj_groups, &move |par| {
+            let out = Engine::new(sdb.clone())
+                .parallelism(par)
+                .set_join("R", "S", SetPredicate::Contains)
+                .unwrap();
+            (out.algorithm.to_string(), out.relation)
+        });
+    }
+
+    // E16c — a planned query (foreign-key hash join on the beer scene):
+    // concurrent DAG levels + partition-parallel hash join. On a 1-CPU
+    // host this row shows the partitioning overhead with nothing to
+    // amortize it — the knob defaults to Serial for exactly this reason.
+    let k = 16_384i64;
+    let bdb = beer_database(k, 0xBEE5);
+    let fk = Expr::rel("Visits").join(Condition::eq(2, 1), Expr::rel("Serves"));
+    run_case("planned ⋈ hash", k as usize, &|par| {
+        let out = Engine::new(bdb.clone())
+            .parallelism(par)
+            .query(fk.clone())
+            .run()
+            .unwrap();
+        ("hash-join".to_string(), out.relation)
+    });
+
+    let path = csv.finish().unwrap();
+    println!(
+        "parallel: best speedup at 4 threads = {:.2}x ({}) on a {host}-CPU host → {}",
+        best_at_4.0,
+        best_at_4.1,
         path.display()
     );
 }

@@ -44,6 +44,7 @@
 use crate::error::EvalError;
 use crate::explain::render_tree;
 use crate::instrumented::{evaluate_instrumented, EvalReport};
+use crate::par::Parallelism;
 use crate::plain::evaluate;
 use crate::plan::{PhysicalPlan, PlannedReport};
 use crate::reference::evaluate_reference;
@@ -199,6 +200,10 @@ pub struct QueryOutput {
     /// End-to-end wall-clock time (optimize + plan + execute), recorded
     /// under [`Instrument::Timings`].
     pub elapsed: Option<Duration>,
+    /// The parallelism the engine ran the query under. Worker counts and
+    /// per-partition timings appear in the planned report
+    /// ([`PlannedReport::workers`], [`crate::NodeStat::partitions`]).
+    pub parallelism: Parallelism,
 }
 
 /// The result of a registry-routed [`Engine::divide`] /
@@ -228,13 +233,15 @@ pub struct Engine {
     instrument: Instrument,
     algorithm: AlgorithmChoice,
     registry: Arc<Registry>,
+    parallelism: Parallelism,
 }
 
 impl Engine {
     /// An engine over `db` with the default configuration: no rewrites
     /// ([`OptimizeLevel::Off`] — the expression runs as written),
     /// [`Strategy::Planned`], [`Instrument::Off`],
-    /// [`AlgorithmChoice::Auto`] over the standard registry.
+    /// [`AlgorithmChoice::Auto`] over the standard registry,
+    /// [`Parallelism::Serial`].
     pub fn new(db: Database) -> Engine {
         Engine {
             db,
@@ -243,6 +250,7 @@ impl Engine {
             instrument: Instrument::default(),
             algorithm: AlgorithmChoice::default(),
             registry: Registry::standard_shared(),
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -282,6 +290,20 @@ impl Engine {
     /// shadowing the standard entries).
     pub fn registry(mut self, registry: Arc<Registry>) -> Engine {
         self.registry = registry;
+        self
+    }
+
+    /// Set the execution parallelism. Under [`Parallelism::Threads`] the
+    /// planned executor runs independent DAG nodes concurrently and
+    /// join/semijoin nodes partition-parallel, and the registry's `auto`
+    /// selectors may pick the partition-parallel division/set-join
+    /// variants for large inputs. Results are byte-identical to
+    /// [`Parallelism::Serial`] (the default) for every worker count; the
+    /// tree-walking [`Strategy::Naive`] and [`Strategy::Reference`]
+    /// evaluators — measurement instruments, not production paths —
+    /// always run serially.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Engine {
+        self.parallelism = parallelism;
         self
     }
 
@@ -325,10 +347,11 @@ impl Engine {
     ) -> Result<SetOpOutput, EvalError> {
         let r = self.operand(dividend, 2)?;
         let s = self.operand(divisor, 1)?;
+        let workers = self.parallelism.workers();
         let alg = match &self.algorithm {
             AlgorithmChoice::Auto => self
                 .registry
-                .auto_division(r, s, sem)
+                .auto_division_with(r, s, sem, workers)
                 .ok_or_else(|| EvalError::UnknownAlgorithm("auto (empty registry)".into()))?,
             AlgorithmChoice::Named(name) => self
                 .registry
@@ -336,7 +359,7 @@ impl Engine {
                 .ok_or_else(|| EvalError::UnknownAlgorithm(name.clone()))?,
         };
         let start = Instant::now();
-        let relation = alg.run(r, s, sem);
+        let relation = alg.run_with_workers(r, s, sem, workers);
         Ok(SetOpOutput {
             relation,
             algorithm: alg.name(),
@@ -359,20 +382,23 @@ impl Engine {
     ) -> Result<SetOpOutput, EvalError> {
         let r = self.operand(left, 2)?;
         let s = self.operand(right, 2)?;
+        let workers = self.parallelism.workers();
         let alg = match &self.algorithm {
             AlgorithmChoice::Auto => {
-                self.registry.auto_set_join(r, s, pred).ok_or_else(|| {
-                    // None means nothing registered supports the predicate
-                    // — distinguish that from a genuinely empty registry.
-                    if self.registry.set_join_algorithms().is_empty() {
-                        EvalError::UnknownAlgorithm("auto (empty registry)".into())
-                    } else {
-                        EvalError::UnsupportedPredicate {
-                            algorithm: "auto".into(),
-                            predicate: format!("{pred:?}"),
+                self.registry
+                    .auto_set_join_with(r, s, pred, workers)
+                    .ok_or_else(|| {
+                        // None means nothing registered supports the predicate
+                        // — distinguish that from a genuinely empty registry.
+                        if self.registry.set_join_algorithms().is_empty() {
+                            EvalError::UnknownAlgorithm("auto (empty registry)".into())
+                        } else {
+                            EvalError::UnsupportedPredicate {
+                                algorithm: "auto".into(),
+                                predicate: format!("{pred:?}"),
+                            }
                         }
-                    }
-                })?
+                    })?
             }
             AlgorithmChoice::Named(name) => {
                 let alg = self
@@ -389,7 +415,7 @@ impl Engine {
             }
         };
         let start = Instant::now();
-        let relation = alg.run(r, s, pred);
+        let relation = alg.run_with_workers(r, s, pred, workers);
         Ok(SetOpOutput {
             relation,
             algorithm: alg.name(),
@@ -449,12 +475,20 @@ impl Query<'_> {
         let start = Instant::now();
         let expr = self.optimized()?;
         let instrumented = engine.instrument != Instrument::Off;
+        // The tree-walking evaluators are measurement instruments (one
+        // evaluation per tree node is their point); only the planned
+        // executor honors the parallelism knob.
+        let parallelism = match engine.strategy {
+            Strategy::Planned => engine.parallelism,
+            Strategy::Naive | Strategy::Reference => Parallelism::Serial,
+        };
         let mut out = match engine.strategy {
             Strategy::Reference => QueryOutput {
                 relation: evaluate_reference(&expr, &engine.db)?,
                 report: None,
                 plan: None,
                 elapsed: None,
+                parallelism,
             },
             Strategy::Naive => {
                 if instrumented {
@@ -464,6 +498,7 @@ impl Query<'_> {
                         report: Some(Report::Naive(report)),
                         plan: None,
                         elapsed: None,
+                        parallelism,
                     }
                 } else {
                     QueryOutput {
@@ -471,25 +506,28 @@ impl Query<'_> {
                         report: None,
                         plan: None,
                         elapsed: None,
+                        parallelism,
                     }
                 }
             }
             Strategy::Planned => {
                 let plan = PhysicalPlan::of(&expr, &engine.db.schema())?;
                 if instrumented {
-                    let report = plan.execute_instrumented(&engine.db)?;
+                    let report = plan.execute_instrumented_with(&engine.db, parallelism)?;
                     QueryOutput {
                         relation: report.result.clone(),
                         report: Some(Report::Planned(report)),
                         plan: Some(plan),
                         elapsed: None,
+                        parallelism,
                     }
                 } else {
                     QueryOutput {
-                        relation: plan.execute(&engine.db)?,
+                        relation: plan.execute_with(&engine.db, parallelism)?,
                         report: None,
                         plan: Some(plan),
                         elapsed: None,
+                        parallelism,
                     }
                 }
             }
@@ -742,6 +780,65 @@ mod tests {
             ),
             Err(EvalError::UnknownAlgorithm(_))
         ));
+    }
+
+    #[test]
+    fn parallelism_knob_preserves_results_and_reports_workers() {
+        let e = division::division_double_difference("R", "S");
+        let serial = Engine::new(division_db())
+            .instrument(Instrument::Cardinalities)
+            .query(e.clone())
+            .run()
+            .unwrap();
+        assert_eq!(serial.parallelism, Parallelism::Serial);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(4)] {
+            let out = Engine::new(division_db())
+                .parallelism(par)
+                .instrument(Instrument::Cardinalities)
+                .query(e.clone())
+                .run()
+                .unwrap();
+            assert_eq!(out.relation, serial.relation, "{par}");
+            assert_eq!(out.parallelism, par);
+            let report = out.report.unwrap();
+            assert_eq!(report.as_planned().unwrap().workers, par.workers());
+            assert_eq!(
+                report.max_intermediate(),
+                serial.report.as_ref().unwrap().max_intermediate()
+            );
+        }
+        // The tree-walking strategies ignore the knob: they are the
+        // measurement instruments and always run serially.
+        let naive = Engine::new(division_db())
+            .strategy(Strategy::Naive)
+            .parallelism(Parallelism::Threads(4))
+            .query(e)
+            .run()
+            .unwrap();
+        assert_eq!(naive.parallelism, Parallelism::Serial);
+        assert_eq!(naive.relation, serial.relation);
+    }
+
+    #[test]
+    fn parallel_auto_picks_partition_variants_on_large_set_ops() {
+        // Fig-scale dividend: big enough for the parallel auto rules.
+        let rows: Vec<Vec<i64>> = (0..12_000).map(|i| vec![i / 3, i % 3]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&refs));
+        db.set("S", Relation::from_int_rows(&[&[0], &[1], &[2]]));
+        let serial = Engine::new(db.clone());
+        let threaded = Engine::new(db).parallelism(Parallelism::Threads(4));
+        let a = serial
+            .divide("R", "S", DivisionSemantics::Containment)
+            .unwrap();
+        let b = threaded
+            .divide("R", "S", DivisionSemantics::Containment)
+            .unwrap();
+        assert_eq!(a.algorithm, "hash");
+        assert_eq!(b.algorithm, "parallel-hash");
+        assert_eq!(a.relation, b.relation, "parallel ≡ serial");
+        assert_eq!(b.complexity, ComplexityClass::Linear);
     }
 
     #[test]

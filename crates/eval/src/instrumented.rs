@@ -36,6 +36,10 @@ pub struct NodeStat {
     /// Wall-clock time spent in this node's own operator, children
     /// excluded.
     pub elapsed: Duration,
+    /// Per-partition timings when the node ran partition-parallel
+    /// ([`crate::ops::PartitionStat`]); empty for serial operators and
+    /// serial runs.
+    pub partitions: Vec<crate::ops::PartitionStat>,
 }
 
 /// The result of an instrumented evaluation.
@@ -198,6 +202,7 @@ fn eval_rec(
         arity: rel.arity(),
         cardinality: rel.len(),
         elapsed,
+        partitions: Vec::new(),
     });
     rel
 }

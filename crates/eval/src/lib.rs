@@ -31,6 +31,7 @@ pub mod error;
 pub mod explain;
 pub mod instrumented;
 pub mod ops;
+pub mod par;
 pub mod plain;
 pub mod plan;
 pub mod reference;
@@ -41,6 +42,8 @@ pub use engine::{
 pub use error::EvalError;
 pub use explain::explain;
 pub use instrumented::{evaluate_instrumented, EvalReport, NodeStat};
+pub use ops::PartitionStat;
+pub use par::Parallelism;
 pub use plain::evaluate;
 pub use plan::{
     evaluate_planned, evaluate_planned_instrumented, explain_plan, PhysOp, PhysicalPlan,
@@ -54,6 +57,8 @@ pub mod prelude {
         AlgorithmChoice, Engine, Instrument, Query, QueryOutput, Report, SetOpOutput, Strategy,
     };
     pub use crate::instrumented::{evaluate_instrumented, EvalReport, NodeStat};
+    pub use crate::ops::PartitionStat;
+    pub use crate::par::Parallelism;
     pub use crate::plain::evaluate;
     pub use crate::plan::{evaluate_planned, evaluate_planned_instrumented, PlannedReport};
     pub use crate::reference::evaluate_reference;

@@ -11,7 +11,9 @@
 //! in range); they index slices directly.
 
 use sj_algebra::{CompOp, Condition, Selection};
+use sj_setjoin::parallel::fan_out;
 use sj_storage::{FxHashMap, FxHashSet, HashIndex, Relation, Tuple, Value};
+use std::time::{Duration, Instant};
 
 /// `π_{cols}(r)` — 1-based columns, may repeat and reorder (Definition 1(3)).
 pub fn project(r: &Relation, cols: &[usize]) -> Relation {
@@ -270,6 +272,181 @@ pub fn merge_semijoin(r1: &Relation, r2: &Relation, k: usize, residual: &Conditi
     Relation::from_sorted_tuples(r1.arity(), out)
 }
 
+// ---------------------------------------------------------------------------
+// Partition-parallel join and semijoin
+// ---------------------------------------------------------------------------
+
+/// Execution record of one partition of a partition-parallel operator,
+/// surfaced through [`crate::NodeStat::partitions`] so instrumented runs
+/// expose the per-partition build/probe timings and the skew between
+/// partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionStat {
+    /// Partition index (stable: a pure function of the tuple key hash).
+    pub partition: usize,
+    /// Left-operand tuples routed to this partition.
+    pub left_rows: usize,
+    /// Right-operand tuples routed to this partition.
+    pub right_rows: usize,
+    /// Output tuples this partition produced.
+    pub out_rows: usize,
+    /// Wall-clock time of this partition's build + probe.
+    pub elapsed: Duration,
+}
+
+/// Split a relation into at most `n` contiguous chunks (each a strictly
+/// increasing subsequence, hence canonical without re-sorting) — the
+/// partitioning used when θ has no equality atom to hash on.
+fn chunk_rows(r: &Relation, n: usize) -> Vec<Relation> {
+    let n = n.max(1).min(r.len().max(1));
+    let per = r.len().div_ceil(n);
+    r.tuples()
+        .chunks(per.max(1))
+        .map(|c| Relation::from_sorted_tuples(r.arity(), c.to_vec()))
+        .collect()
+}
+
+/// Run a binary operator partition-parallel: hash-partition both sides
+/// on the equality key (`left_cols` / `right_cols`, 0-based) so matching
+/// keys co-locate, fan the partition pairs out over `workers` scoped
+/// threads, and union the per-partition outputs back into canonical
+/// order. With no equality columns the left side is chunked instead and
+/// every chunk sees the full right side.
+fn par_binary(
+    r1: &Relation,
+    r2: &Relation,
+    left_cols: &[usize],
+    right_cols: &[usize],
+    workers: usize,
+    out_arity: usize,
+    op: impl Fn(&Relation, &Relation) -> Relation + Sync,
+) -> (Relation, Vec<PartitionStat>) {
+    let workers = workers.max(1);
+    let timed = |a: &Relation, b: &Relation| {
+        let start = Instant::now();
+        let out = op(a, b);
+        let elapsed = start.elapsed();
+        (a.len(), b.len(), out, elapsed)
+    };
+    let outputs = if left_cols.is_empty() {
+        // No key to co-partition on: chunk the left side, share the
+        // right side by reference — never clone it per chunk.
+        fan_out(chunk_rows(r1, workers), workers, |a| timed(&a, r2))
+    } else {
+        let pairs: Vec<(Relation, Relation)> = r1
+            .partition_by_hash(left_cols, workers)
+            .into_iter()
+            .zip(r2.partition_by_hash(right_cols, workers))
+            .collect();
+        fan_out(pairs, workers, |(a, b)| timed(&a, &b))
+    };
+    let mut stats = Vec::with_capacity(outputs.len());
+    let mut tuples: Vec<Tuple> = Vec::new();
+    for (partition, (left_rows, right_rows, out, elapsed)) in outputs.into_iter().enumerate() {
+        stats.push(PartitionStat {
+            partition,
+            left_rows,
+            right_rows,
+            out_rows: out.len(),
+            elapsed,
+        });
+        tuples.extend_from_slice(out.tuples());
+    }
+    // Partitions are key-disjoint (or, for the chunked no-equality path,
+    // row-disjoint), so the flattened outputs contain no duplicates; one
+    // canonicalization pass restores the global order.
+    let merged = Relation::from_tuples(out_arity, tuples).expect("partition arities agree");
+    (merged, stats)
+}
+
+/// Partition-parallel [`join`]: byte-identical output for every worker
+/// count (partition placement is deterministic and the merge restores
+/// canonical order).
+pub fn par_join(r1: &Relation, r2: &Relation, theta: &Condition, workers: usize) -> Relation {
+    par_join_stats(r1, r2, theta, workers).0
+}
+
+/// [`par_join`] plus per-partition statistics for instrumentation.
+pub fn par_join_stats(
+    r1: &Relation,
+    r2: &Relation,
+    theta: &Condition,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    let (eq, _) = split_condition(theta);
+    let left_cols: Vec<usize> = eq.iter().map(|&(lc, _)| lc).collect();
+    let right_cols: Vec<usize> = eq.iter().map(|&(_, rc)| rc).collect();
+    let out_arity = r1.arity() + r2.arity();
+    par_binary(
+        r1,
+        r2,
+        &left_cols,
+        &right_cols,
+        workers,
+        out_arity,
+        |a, b| join(a, b, theta),
+    )
+}
+
+/// Partition-parallel [`semijoin`] (same determinism guarantee as
+/// [`par_join`]).
+pub fn par_semijoin(r1: &Relation, r2: &Relation, theta: &Condition, workers: usize) -> Relation {
+    par_semijoin_stats(r1, r2, theta, workers).0
+}
+
+/// [`par_semijoin`] plus per-partition statistics.
+pub fn par_semijoin_stats(
+    r1: &Relation,
+    r2: &Relation,
+    theta: &Condition,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    let (eq, _) = split_condition(theta);
+    let left_cols: Vec<usize> = eq.iter().map(|&(lc, _)| lc).collect();
+    let right_cols: Vec<usize> = eq.iter().map(|&(_, rc)| rc).collect();
+    par_binary(
+        r1,
+        r2,
+        &left_cols,
+        &right_cols,
+        workers,
+        r1.arity(),
+        |a, b| semijoin(a, b, theta),
+    )
+}
+
+/// Partition-parallel [`merge_join`] on an aligned key prefix: both
+/// sides are hash-partitioned on the prefix columns (partitions stay
+/// canonically sorted — they are subsequences), merged per partition,
+/// and unioned back.
+pub fn par_merge_join_stats(
+    r1: &Relation,
+    r2: &Relation,
+    k: usize,
+    residual: &Condition,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    let cols: Vec<usize> = (0..k).collect();
+    let out_arity = r1.arity() + r2.arity();
+    par_binary(r1, r2, &cols, &cols, workers, out_arity, |a, b| {
+        merge_join(a, b, k, residual)
+    })
+}
+
+/// Partition-parallel [`merge_semijoin`] on an aligned key prefix.
+pub fn par_merge_semijoin_stats(
+    r1: &Relation,
+    r2: &Relation,
+    k: usize,
+    residual: &Condition,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    let cols: Vec<usize> = (0..k).collect();
+    par_binary(r1, r2, &cols, &cols, workers, r1.arity(), |a, b| {
+        merge_semijoin(a, b, k, residual)
+    })
+}
+
 /// `γ_{cols; count}(r)` — group by the 1-based `cols` and append the group
 /// cardinality as an integer (Section 5). With `cols` empty the result is a
 /// single `(count,)` tuple — `{(0,)}` for an empty input, matching SQL's
@@ -509,6 +686,103 @@ mod tests {
             merge_semijoin(&a, &Relation::empty(2), 1, &Condition::always()),
             Relation::empty(2)
         );
+    }
+
+    #[test]
+    fn par_join_and_semijoin_match_serial_at_every_worker_count() {
+        // 300 left / 200 right tuples over 23 keys: every partition of
+        // every tested worker count is populated.
+        let lrows: Vec<Vec<i64>> = (0..300).map(|i| vec![i % 23, i]).collect();
+        let lrefs: Vec<&[i64]> = lrows.iter().map(|r| r.as_slice()).collect();
+        let a = r(&lrefs);
+        let rrows: Vec<Vec<i64>> = (0..200).map(|i| vec![i % 23, i % 17]).collect();
+        let rrefs: Vec<&[i64]> = rrows.iter().map(|r| r.as_slice()).collect();
+        let b = r(&rrefs);
+        for theta in [
+            Condition::eq(1, 1),                       // merge-able prefix
+            Condition::eq(2, 1),                       // hash
+            Condition::eq(1, 1).and(2, CompOp::Lt, 2), // hash + residual
+            Condition::lt(1, 1),                       // nested loop
+            Condition::always(),                       // cartesian
+        ] {
+            let want_join = join(&a, &b, &theta);
+            let want_semi = semijoin(&a, &b, &theta);
+            for workers in [1usize, 2, 4, 8] {
+                assert_eq!(
+                    par_join(&a, &b, &theta, workers),
+                    want_join,
+                    "join {theta} @ {workers}"
+                );
+                assert_eq!(
+                    par_semijoin(&a, &b, &theta, workers),
+                    want_semi,
+                    "semijoin {theta} @ {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_merge_variants_match_serial() {
+        let lrows: Vec<Vec<i64>> = (0..240).map(|i| vec![i % 19, i]).collect();
+        let lrefs: Vec<&[i64]> = lrows.iter().map(|r| r.as_slice()).collect();
+        let a = r(&lrefs);
+        let rrows: Vec<Vec<i64>> = (0..160).map(|i| vec![i % 19, i % 13]).collect();
+        let rrefs: Vec<&[i64]> = rrows.iter().map(|r| r.as_slice()).collect();
+        let b = r(&rrefs);
+        let theta = Condition::eq(1, 1).and(2, CompOp::Neq, 2);
+        let k = merge_prefix_len(&theta).unwrap();
+        let (_, residual) = split_condition(&theta);
+        let want_join = merge_join(&a, &b, k, &residual);
+        let want_semi = merge_semijoin(&a, &b, k, &residual);
+        for workers in [1usize, 3, 4] {
+            let (j, jstats) = par_merge_join_stats(&a, &b, k, &residual, workers);
+            assert_eq!(j, want_join, "merge-join @ {workers}");
+            assert_eq!(jstats.len(), workers);
+            let (s, _) = par_merge_semijoin_stats(&a, &b, k, &residual, workers);
+            assert_eq!(s, want_semi, "merge-semijoin @ {workers}");
+        }
+    }
+
+    #[test]
+    fn par_stats_account_for_every_tuple() {
+        let lrows: Vec<Vec<i64>> = (0..100).map(|i| vec![i % 11, i]).collect();
+        let lrefs: Vec<&[i64]> = lrows.iter().map(|r| r.as_slice()).collect();
+        let a = r(&lrefs);
+        let b = r(&[&[1, 5], &[2, 9], &[3, 1]]);
+        let (out, stats) = par_join_stats(&a, &b, &Condition::eq(1, 1), 4);
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.left_rows).sum::<usize>(), a.len());
+        assert_eq!(stats.iter().map(|s| s.right_rows).sum::<usize>(), b.len());
+        assert_eq!(stats.iter().map(|s| s.out_rows).sum::<usize>(), out.len());
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(s.partition, i);
+        }
+        // The no-equality path chunks the left side and replicates the
+        // right side into every chunk.
+        let (_, nl_stats) = par_join_stats(&a, &b, &Condition::always(), 4);
+        assert!(nl_stats.iter().all(|s| s.right_rows == b.len()));
+        assert_eq!(nl_stats.iter().map(|s| s.left_rows).sum::<usize>(), a.len());
+    }
+
+    #[test]
+    fn par_operators_on_empty_inputs() {
+        let e2 = Relation::empty(2);
+        let b = r(&[&[1, 5]]);
+        for workers in [1usize, 4] {
+            assert_eq!(
+                par_join(&e2, &b, &Condition::eq(1, 1), workers),
+                Relation::empty(4)
+            );
+            assert_eq!(
+                par_semijoin(&e2, &b, &Condition::always(), workers),
+                Relation::empty(2)
+            );
+            assert_eq!(
+                par_join(&b, &e2, &Condition::eq(1, 1), workers),
+                Relation::empty(4)
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,8 @@
 use crate::error::EvalError;
 use crate::instrumented::NodeStat;
 use crate::ops;
+use crate::ops::PartitionStat;
+use crate::par::Parallelism;
 use sj_algebra::{AlgebraError, Condition, Expr, Selection};
 use sj_storage::{Database, FxHashMap, Relation, Schema, Value};
 use std::sync::Arc;
@@ -43,6 +45,12 @@ use std::time::{Duration, Instant};
 /// Index of a node within a [`PhysicalPlan`] (topological: children come
 /// before parents, the root is the last node).
 pub type NodeId = usize;
+
+/// Combined input size (tuples, both children) below which a binary
+/// operator node runs serially even under `Parallelism::Threads` —
+/// mirrors the registry's input-size gates for the direct set
+/// operators.
+const PAR_MIN_NODE_INPUT: usize = 4096;
 
 /// The physical operator executing one DAG node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,38 +182,158 @@ impl PhysicalPlan {
         self.nodes.iter().filter(|n| n.occurrences > 1).count()
     }
 
-    /// Execute the plan. The database must conform to the schema the plan
-    /// was built against; scans re-check name and arity (the cheap part)
-    /// and error out on mismatch, everything else was validated at plan
-    /// time.
+    /// Execute the plan serially. The database must conform to the schema
+    /// the plan was built against; scans re-check name and arity (the
+    /// cheap part) and error out on mismatch, everything else was
+    /// validated at plan time.
     pub fn execute(&self, db: &Database) -> Result<Relation, EvalError> {
-        let root = self.run(db, |_, _, _, _| {})?;
+        self.execute_with(db, Parallelism::Serial)
+    }
+
+    /// Execute the plan under the given [`Parallelism`]. With more than
+    /// one worker, independent DAG nodes (same dependency depth) run on
+    /// concurrent scoped threads and join/semijoin nodes additionally run
+    /// partition-parallel ([`ops::par_join`] and friends). Output is
+    /// byte-identical to [`PhysicalPlan::execute`] for every worker
+    /// count.
+    pub fn execute_with(&self, db: &Database, par: Parallelism) -> Result<Relation, EvalError> {
+        let root = self.run(db, par.workers(), |_, _, _, _, _| {})?;
         Ok(Arc::try_unwrap(root).unwrap_or_else(|arc| arc.as_ref().clone()))
     }
 
-    /// Execute with per-node instrumentation.
+    /// Execute with per-node instrumentation (serial).
     pub fn execute_instrumented(&self, db: &Database) -> Result<PlannedReport, EvalError> {
-        let mut nodes: Vec<NodeStat> = Vec::with_capacity(self.nodes.len());
-        let root = self.run(db, |id, node: &PlanNode, rel: &Relation, elapsed| {
-            nodes.push(NodeStat {
-                id,
-                label: node.label.clone(),
-                operator: node.op.name().to_string(),
-                arity: rel.arity(),
-                cardinality: rel.len(),
-                elapsed,
-            });
-        })?;
+        self.execute_instrumented_with(db, Parallelism::Serial)
+    }
+
+    /// Execute under the given [`Parallelism`] with per-node
+    /// instrumentation; parallel operator nodes additionally report their
+    /// per-partition build/probe timings ([`NodeStat::partitions`]), and
+    /// the report records the worker count.
+    pub fn execute_instrumented_with(
+        &self,
+        db: &Database,
+        par: Parallelism,
+    ) -> Result<PlannedReport, EvalError> {
+        let workers = par.workers();
+        let mut slots: Vec<Option<NodeStat>> = vec![None; self.nodes.len()];
+        let root = self.run(
+            db,
+            workers,
+            |id, node: &PlanNode, rel: &Relation, elapsed, partitions: &[PartitionStat]| {
+                slots[id] = Some(NodeStat {
+                    id,
+                    label: node.label.clone(),
+                    operator: node.op.name().to_string(),
+                    arity: rel.arity(),
+                    cardinality: rel.len(),
+                    elapsed,
+                    partitions: partitions.to_vec(),
+                });
+            },
+        )?;
         Ok(PlannedReport {
             result: Arc::try_unwrap(root).unwrap_or_else(|arc| arc.as_ref().clone()),
             occurrences: self.nodes.iter().map(|n| n.occurrences).collect(),
-            nodes,
+            nodes: slots
+                .into_iter()
+                .map(|n| n.expect("every node observed"))
+                .collect(),
             db_size: db.size(),
             expr_nodes: self.expr_nodes,
+            workers,
         })
     }
 
-    /// One forward pass over the DAG; `observe` sees every node's output.
+    /// Execute one node against its already-computed children. Binary
+    /// join/semijoin operators go partition-parallel when `workers > 1`
+    /// **and** the combined input reaches [`PAR_MIN_NODE_INPUT`] — below
+    /// that, partitioning (tuple clones plus the re-canonicalizing
+    /// merge) costs more than the operator itself, as the `planned`
+    /// rows of `results/parallel_scaling.csv` document. The cheap
+    /// linear operators (scan, merge set ops, projection, filter, tag,
+    /// grouping) always run serially — their cost is one pass over
+    /// input the partitioning itself would have to make.
+    fn exec_op(
+        &self,
+        node: &PlanNode,
+        kids: &[&Relation],
+        db: &Database,
+        workers: usize,
+    ) -> Result<(Arc<Relation>, Vec<PartitionStat>), EvalError> {
+        let serial = |r: Relation| (Arc::new(r), Vec::new());
+        let workers = if kids.len() == 2 && kids[0].len() + kids[1].len() < PAR_MIN_NODE_INPUT {
+            1
+        } else {
+            workers
+        };
+        Ok(match &node.op {
+            PhysOp::Scan(name) => {
+                let r = db.get_shared(name).ok_or_else(|| {
+                    EvalError::Algebra(AlgebraError::UnknownRelation(name.clone()))
+                })?;
+                if r.arity() != node.arity {
+                    return Err(EvalError::Algebra(AlgebraError::ArityMismatch {
+                        left: node.arity,
+                        right: r.arity(),
+                    }));
+                }
+                (r, Vec::new())
+            }
+            PhysOp::MergeUnion => serial(kids[0].union(kids[1]).expect("validated: arities agree")),
+            PhysOp::MergeDiff => serial(
+                kids[0]
+                    .difference(kids[1])
+                    .expect("validated: arities agree"),
+            ),
+            PhysOp::Project(cols) => serial(ops::project(kids[0], cols)),
+            PhysOp::Filter(sel) => serial(ops::select(kids[0], sel)),
+            PhysOp::Tag(c) => serial(ops::const_tag(kids[0], c)),
+            PhysOp::HashJoin(theta) | PhysOp::NestedLoopJoin(theta) => {
+                if workers > 1 {
+                    let (rel, parts) = ops::par_join_stats(kids[0], kids[1], theta, workers);
+                    (Arc::new(rel), parts)
+                } else {
+                    serial(ops::join(kids[0], kids[1], theta))
+                }
+            }
+            PhysOp::MergeJoin { theta, prefix } => {
+                let (_, residual) = ops::split_condition(theta);
+                if workers > 1 {
+                    let (rel, parts) =
+                        ops::par_merge_join_stats(kids[0], kids[1], *prefix, &residual, workers);
+                    (Arc::new(rel), parts)
+                } else {
+                    serial(ops::merge_join(kids[0], kids[1], *prefix, &residual))
+                }
+            }
+            PhysOp::HashSemijoin(theta) | PhysOp::NestedLoopSemijoin(theta) => {
+                if workers > 1 {
+                    let (rel, parts) = ops::par_semijoin_stats(kids[0], kids[1], theta, workers);
+                    (Arc::new(rel), parts)
+                } else {
+                    serial(ops::semijoin(kids[0], kids[1], theta))
+                }
+            }
+            PhysOp::MergeSemijoin { theta, prefix } => {
+                let (_, residual) = ops::split_condition(theta);
+                if workers > 1 {
+                    let (rel, parts) = ops::par_merge_semijoin_stats(
+                        kids[0], kids[1], *prefix, &residual, workers,
+                    );
+                    (Arc::new(rel), parts)
+                } else {
+                    serial(ops::merge_semijoin(kids[0], kids[1], *prefix, &residual))
+                }
+            }
+            PhysOp::HashGroupCount(cols) => serial(ops::group_count(kids[0], cols)),
+        })
+    }
+
+    /// One pass over the DAG; `observe` sees every node's output. With
+    /// `workers > 1` the pass proceeds level by level (a node's level is
+    /// its dependency depth): nodes on the same level have no path
+    /// between them, so each level fans out over scoped threads.
     ///
     /// Each intermediate is dropped as soon as its last consumer has run,
     /// so peak memory tracks the live frontier of the DAG rather than the
@@ -213,7 +341,8 @@ impl PhysicalPlan {
     fn run(
         &self,
         db: &Database,
-        mut observe: impl FnMut(NodeId, &PlanNode, &Relation, Duration),
+        workers: usize,
+        mut observe: impl FnMut(NodeId, &PlanNode, &Relation, Duration, &[PartitionStat]),
     ) -> Result<Arc<Relation>, EvalError> {
         let mut pending_consumers = vec![0usize; self.nodes.len()];
         for node in &self.nodes {
@@ -223,63 +352,110 @@ impl PhysicalPlan {
         }
         pending_consumers[self.root] += 1; // the caller consumes the root
         let mut results: Vec<Option<Arc<Relation>>> = vec![None; self.nodes.len()];
-        for (id, node) in self.nodes.iter().enumerate() {
-            let child = |i: usize| -> &Relation {
-                results[node.children[i]]
-                    .as_deref()
-                    .expect("topological order: children computed first")
-            };
-            let start = Instant::now();
-            let rel: Arc<Relation> = match &node.op {
-                PhysOp::Scan(name) => {
-                    let r = db.get_shared(name).ok_or_else(|| {
-                        EvalError::Algebra(AlgebraError::UnknownRelation(name.clone()))
-                    })?;
-                    if r.arity() != node.arity {
-                        return Err(EvalError::Algebra(AlgebraError::ArityMismatch {
-                            left: node.arity,
-                            right: r.arity(),
-                        }));
+        let evict =
+            |id: NodeId, results: &mut Vec<Option<Arc<Relation>>>, pending: &mut Vec<usize>| {
+                for &c in &self.nodes[id].children {
+                    pending[c] -= 1;
+                    if pending[c] == 0 {
+                        results[c] = None;
                     }
-                    r
                 }
-                PhysOp::MergeUnion => {
-                    Arc::new(child(0).union(child(1)).expect("validated: arities agree"))
-                }
-                PhysOp::MergeDiff => Arc::new(
-                    child(0)
-                        .difference(child(1))
-                        .expect("validated: arities agree"),
-                ),
-                PhysOp::Project(cols) => Arc::new(ops::project(child(0), cols)),
-                PhysOp::Filter(sel) => Arc::new(ops::select(child(0), sel)),
-                PhysOp::Tag(c) => Arc::new(ops::const_tag(child(0), c)),
-                PhysOp::HashJoin(theta) | PhysOp::NestedLoopJoin(theta) => {
-                    Arc::new(ops::join(child(0), child(1), theta))
-                }
-                PhysOp::MergeJoin { theta, prefix } => {
-                    let (_, residual) = ops::split_condition(theta);
-                    Arc::new(ops::merge_join(child(0), child(1), *prefix, &residual))
-                }
-                PhysOp::HashSemijoin(theta) | PhysOp::NestedLoopSemijoin(theta) => {
-                    Arc::new(ops::semijoin(child(0), child(1), theta))
-                }
-                PhysOp::MergeSemijoin { theta, prefix } => {
-                    let (_, residual) = ops::split_condition(theta);
-                    Arc::new(ops::merge_semijoin(child(0), child(1), *prefix, &residual))
-                }
-                PhysOp::HashGroupCount(cols) => Arc::new(ops::group_count(child(0), cols)),
             };
-            observe(id, node, &rel, start.elapsed());
-            results[id] = Some(rel);
-            for &c in &node.children {
-                pending_consumers[c] -= 1;
-                if pending_consumers[c] == 0 {
-                    results[c] = None;
+        if workers <= 1 {
+            for (id, node) in self.nodes.iter().enumerate() {
+                let kids: Vec<&Relation> = node
+                    .children
+                    .iter()
+                    .map(|&c| {
+                        results[c]
+                            .as_deref()
+                            .expect("topological order: children computed first")
+                    })
+                    .collect();
+                let start = Instant::now();
+                let (rel, parts) = self.exec_op(node, &kids, db, 1)?;
+                observe(id, node, &rel, start.elapsed(), &parts);
+                results[id] = Some(rel);
+                evict(id, &mut results, &mut pending_consumers);
+            }
+        } else {
+            for level in self.levels() {
+                // One node: run inline, skip the thread machinery (but
+                // keep intra-operator partition parallelism).
+                let outputs: Vec<(NodeId, Result<_, EvalError>, Duration)> = if level.len() == 1 {
+                    let id = level[0];
+                    let node = &self.nodes[id];
+                    let kids: Vec<&Relation> = node
+                        .children
+                        .iter()
+                        .map(|&c| results[c].as_deref().expect("children on lower levels"))
+                        .collect();
+                    let start = Instant::now();
+                    let out = self.exec_op(node, &kids, db, workers);
+                    vec![(id, out, start.elapsed())]
+                } else {
+                    // The worker budget is split across the level's
+                    // concurrent nodes so intra-operator partitioning
+                    // never oversubscribes the budget quadratically.
+                    let node_workers = (workers / level.len()).max(1);
+                    let results = &results;
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = level
+                            .iter()
+                            .map(|&id| {
+                                let node = &self.nodes[id];
+                                s.spawn(move || {
+                                    let kids: Vec<&Relation> = node
+                                        .children
+                                        .iter()
+                                        .map(|&c| {
+                                            results[c].as_deref().expect("children on lower levels")
+                                        })
+                                        .collect();
+                                    let start = Instant::now();
+                                    let out = self.exec_op(node, &kids, db, node_workers);
+                                    (id, out, start.elapsed())
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("plan worker panicked"))
+                            .collect()
+                    })
+                };
+                for (id, out, elapsed) in outputs {
+                    let (rel, parts) = out?;
+                    observe(id, &self.nodes[id], &rel, elapsed, &parts);
+                    results[id] = Some(rel);
+                }
+                for &id in &level {
+                    evict(id, &mut results, &mut pending_consumers);
                 }
             }
         }
         Ok(results[self.root].take().expect("root computed"))
+    }
+
+    /// Group node ids by dependency depth (level 0 = leaves), each level
+    /// in ascending id order. Children always sit on strictly lower
+    /// levels, so the nodes of one level are pairwise independent.
+    fn levels(&self) -> Vec<Vec<NodeId>> {
+        let mut level = vec![0usize; self.nodes.len()];
+        let mut out: Vec<Vec<NodeId>> = Vec::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            level[id] = node
+                .children
+                .iter()
+                .map(|&c| level[c] + 1)
+                .max()
+                .unwrap_or(0);
+            if out.len() <= level[id] {
+                out.resize_with(level[id] + 1, Vec::new);
+            }
+            out[level[id]].push(id);
+        }
+        out
     }
 
     /// Render the DAG as an `EXPLAIN`-style tree. The first occurrence of
@@ -476,6 +652,8 @@ pub struct PlannedReport {
     pub db_size: usize,
     /// Size of the logical expression tree.
     pub expr_nodes: usize,
+    /// Worker threads the executor ran with (1 for serial runs).
+    pub workers: usize,
 }
 
 impl PlannedReport {
@@ -495,10 +673,18 @@ impl PlannedReport {
         self.expr_nodes - self.nodes.len()
     }
 
-    /// Render a per-node table (id, operator, label, cardinality, ×occ).
+    /// Render a per-node table (id, operator, label, cardinality, ×occ,
+    /// partition count). Deliberately **stable across runs** of the same
+    /// configuration: cardinalities, operator choices, worker and
+    /// partition counts are deterministic; wall-clock times are omitted.
     pub fn render(&self) -> String {
+        let workers = if self.workers > 1 {
+            format!(", {} workers", self.workers)
+        } else {
+            String::new()
+        };
         let mut out = format!(
-            "|D| = {}, output = {}, max intermediate = {}, {} plan nodes for {} tree nodes\n",
+            "|D| = {}, output = {}, max intermediate = {}, {} plan nodes for {} tree nodes{workers}\n",
             self.db_size,
             self.result.len(),
             self.max_intermediate(),
@@ -511,8 +697,13 @@ impl PlannedReport {
             } else {
                 String::new()
             };
+            let parts = if n.partitions.is_empty() {
+                String::new()
+            } else {
+                format!("  [{} partitions]", n.partitions.len())
+            };
             out.push_str(&format!(
-                "  [{:>3}] {:<20} {:<28} arity {}  card {}{shared}\n",
+                "  [{:>3}] {:<20} {:<28} arity {}  card {}{shared}{parts}\n",
                 n.id, n.operator, n.label, n.arity, n.cardinality
             ));
         }
@@ -784,8 +975,119 @@ mod tests {
         db.set("R", Relation::from_int_rows(&[&[1], &[2]]));
         let plan = PhysicalPlan::of(&Expr::rel("R"), &db.schema()).unwrap();
         // A bare scan's result must be the stored allocation itself.
-        let shared = plan.run(&db, |_, _, _, _| {}).unwrap();
+        let shared = plan.run(&db, 1, |_, _, _, _, _| {}).unwrap();
         assert!(std::ptr::eq(shared.as_ref(), db.get("R").unwrap()));
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_to_serial() {
+        let mut db = Database::new();
+        let rows: Vec<Vec<i64>> = (0..400).map(|i| vec![i % 29, i % 7]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        db.set("R", Relation::from_int_rows(&refs));
+        db.set("S", Relation::unary((0..7).map(Value::int)));
+        let exprs = [
+            division::division_double_difference("R", "S"),
+            division::division_counting("R", "S"),
+            Expr::rel("R").join(Condition::eq(1, 1), Expr::rel("R")),
+            Expr::rel("R").semijoin(Condition::eq(2, 1), Expr::rel("S")),
+        ];
+        for e in exprs {
+            let plan = PhysicalPlan::of(&e, &db.schema()).unwrap();
+            let want = plan.execute(&db).unwrap();
+            for par in [
+                Parallelism::Threads(1),
+                Parallelism::Threads(2),
+                Parallelism::Threads(4),
+                Parallelism::Threads(8),
+            ] {
+                assert_eq!(
+                    plan.execute_with(&db, par).unwrap(),
+                    want,
+                    "{e} under {par}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_instrumented_report_is_ordered_and_records_workers() {
+        let e = division::division_double_difference("R", "S");
+        // Large enough that the join nodes clear PAR_MIN_NODE_INPUT and
+        // actually run partitioned (tiny inputs are gated to serial).
+        let mut db = Database::new();
+        let rows: Vec<Vec<i64>> = (0..PAR_MIN_NODE_INPUT as i64 * 2)
+            .map(|i| vec![i % 5000, i % 3])
+            .collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        db.set("R", Relation::from_int_rows(&refs));
+        db.set("S", Relation::from_int_rows(&[&[0], &[1], &[2]]));
+        let plan = PhysicalPlan::of(&e, &db.schema()).unwrap();
+        let serial = plan.execute_instrumented(&db).unwrap();
+        assert_eq!(serial.workers, 1);
+        let par = plan
+            .execute_instrumented_with(&db, Parallelism::Threads(4))
+            .unwrap();
+        assert_eq!(par.workers, 4);
+        assert_eq!(par.result, serial.result);
+        // Same shape as the serial report: one stat per DAG node, ids in
+        // topological order, identical cardinalities.
+        assert_eq!(par.nodes.len(), serial.nodes.len());
+        for (p, s) in par.nodes.iter().zip(&serial.nodes) {
+            assert_eq!(p.id, s.id);
+            assert_eq!(p.label, s.label);
+            assert_eq!(p.operator, s.operator);
+            assert_eq!(p.cardinality, s.cardinality);
+        }
+        // Parallel join/semijoin nodes report their partitions; serial
+        // runs never do.
+        assert!(serial.nodes.iter().all(|n| n.partitions.is_empty()));
+        let join_node = par
+            .nodes
+            .iter()
+            .find(|n| n.operator.contains("join"))
+            .expect("division plan joins");
+        // Chunk partitioning never makes more partitions than input rows.
+        assert!(
+            (2..=4).contains(&join_node.partitions.len()),
+            "{join_node:?}"
+        );
+        assert_eq!(
+            join_node
+                .partitions
+                .iter()
+                .map(|p| p.out_rows)
+                .sum::<usize>(),
+            join_node.cardinality,
+            "partition outputs are disjoint and cover the node output"
+        );
+        assert!(par.render().contains("4 workers"), "{}", par.render());
+        assert!(par.render().contains("partitions]"), "{}", par.render());
+    }
+
+    #[test]
+    fn levels_respect_dependencies() {
+        let e = division::division_double_difference("R", "S");
+        let plan = PhysicalPlan::of(&e, &division_db().schema()).unwrap();
+        let levels = plan.levels();
+        assert_eq!(
+            levels.iter().map(|l| l.len()).sum::<usize>(),
+            plan.node_count()
+        );
+        let mut level_of = vec![0usize; plan.node_count()];
+        for (d, level) in levels.iter().enumerate() {
+            for &id in level {
+                level_of[id] = d;
+            }
+        }
+        for (id, node) in plan.nodes().iter().enumerate() {
+            for &c in &node.children {
+                assert!(level_of[c] < level_of[id], "child {c} not below {id}");
+            }
+        }
+        // The division DAG starts from two independent leaves: level 0
+        // holds both scans — the executor runs them concurrently.
+        assert_eq!(levels[0].len(), 2);
     }
 
     #[test]

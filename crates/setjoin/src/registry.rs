@@ -25,6 +25,7 @@ use crate::division::{
     counting_division, hash_division, nested_loop_division, sort_merge_division, DivisionSemantics,
 };
 use crate::inverted::inverted_index_set_join;
+use crate::parallel::{parallel_hash_division, parallel_signature_set_join};
 use crate::setjoin::{
     hash_set_equality_join, intersect_join_via_equijoin, nested_loop_set_join, signature_set_join,
     SetPredicate,
@@ -75,6 +76,20 @@ pub trait SetJoinAlgorithm: Send + Sync {
     /// Execute the set join. Callers must check [`Self::supports`] first;
     /// implementations may panic on unsupported predicates.
     fn run(&self, r: &Relation, s: &Relation, pred: SetPredicate) -> Relation;
+    /// Execute with a caller-supplied worker-count hint. Serial
+    /// algorithms ignore the hint (the default); partition-parallel
+    /// algorithms fan out over `workers` threads (`0` = one per CPU).
+    /// Results are byte-identical for every worker count.
+    fn run_with_workers(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        pred: SetPredicate,
+        workers: usize,
+    ) -> Relation {
+        let _ = workers;
+        self.run(r, s, pred)
+    }
 }
 
 /// A named division algorithm `R(A,B) ÷ S(B)` (both semantics).
@@ -88,6 +103,19 @@ pub trait DivisionAlgorithm: Send + Sync {
     fn complexity(&self, sem: DivisionSemantics) -> ComplexityClass;
     /// Execute the division.
     fn run(&self, r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation;
+    /// Execute with a caller-supplied worker-count hint (see
+    /// [`SetJoinAlgorithm::run_with_workers`]; serial algorithms ignore
+    /// it).
+    fn run_with_workers(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        sem: DivisionSemantics,
+        workers: usize,
+    ) -> Relation {
+        let _ = workers;
+        self.run(r, s, sem)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -230,6 +258,45 @@ impl SetJoinAlgorithm for EquijoinIntersect {
     }
 }
 
+/// [`parallel_signature_set_join`]: the partition-based set join —
+/// groups partitioned by anchor element, signature-filtered exact tests
+/// per partition, fanned out over scoped worker threads. Same worst case
+/// as the monolithic signature join, but the partitioning prunes the
+/// candidate pair space even at one worker.
+pub struct ParallelSignatureSetJoin {
+    /// Worker threads; `0` = one per available CPU (capped at 8).
+    pub threads: usize,
+}
+
+impl SetJoinAlgorithm for ParallelSignatureSetJoin {
+    fn name(&self) -> &'static str {
+        "parallel-signature"
+    }
+    fn supports(&self, pred: SetPredicate) -> bool {
+        // ∩ ≠ ∅ has no anchor element; it is an equijoin anyway.
+        matches!(
+            pred,
+            SetPredicate::Contains | SetPredicate::ContainedIn | SetPredicate::Equals
+        )
+    }
+    fn complexity(&self, _pred: SetPredicate) -> ComplexityClass {
+        // All groups can share one anchor partition in the worst case.
+        ComplexityClass::Quadratic
+    }
+    fn run(&self, r: &Relation, s: &Relation, pred: SetPredicate) -> Relation {
+        parallel_signature_set_join(r, s, pred, self.threads)
+    }
+    fn run_with_workers(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        pred: SetPredicate,
+        workers: usize,
+    ) -> Relation {
+        parallel_signature_set_join(r, s, pred, workers)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Division algorithm implementations
 // ---------------------------------------------------------------------------
@@ -296,6 +363,34 @@ impl DivisionAlgorithm for CountingDivision {
     }
 }
 
+/// [`parallel_hash_division`]: Graefe's hash-division with the dividend
+/// hash-partitioned on A across scoped worker threads.
+pub struct ParallelHashDivision {
+    /// Worker threads; `0` = one per available CPU (capped at 8).
+    pub threads: usize,
+}
+
+impl DivisionAlgorithm for ParallelHashDivision {
+    fn name(&self) -> &'static str {
+        "parallel-hash"
+    }
+    fn complexity(&self, _sem: DivisionSemantics) -> ComplexityClass {
+        ComplexityClass::Linear
+    }
+    fn run(&self, r: &Relation, s: &Relation, sem: DivisionSemantics) -> Relation {
+        parallel_hash_division(r, s, sem, self.threads)
+    }
+    fn run_with_workers(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        sem: DivisionSemantics,
+        workers: usize,
+    ) -> Relation {
+        parallel_hash_division(r, s, sem, workers)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The registry
 // ---------------------------------------------------------------------------
@@ -316,6 +411,16 @@ const SMALL_INPUT: usize = 64;
 /// one to four words (large sets saturate 64-bit signatures).
 const WIDE_SET_THRESHOLD: usize = 16;
 
+/// Combined input size (tuples, both operands) above which the `auto`
+/// selectors prefer the partition-parallel set-join variant when the
+/// caller signals a parallel execution context (`workers > 1`). Below
+/// it, partition bookkeeping outweighs the pruning.
+const PARALLEL_SETJOIN_INPUT: usize = 4096;
+
+/// Combined input size above which the `auto` selectors prefer the
+/// partition-parallel division when `workers > 1`.
+const PARALLEL_DIVISION_INPUT: usize = 8192;
+
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
@@ -325,8 +430,10 @@ impl Registry {
     /// The standard registry: every algorithm this crate implements.
     ///
     /// Set joins: `nested-loop`, `signature64`, `signature256`,
-    /// `inverted-index`, `hash-set-equality`, `equijoin-intersect`.
-    /// Divisions: `nested-loop`, `sort-merge`, `hash`, `counting`.
+    /// `inverted-index`, `hash-set-equality`, `equijoin-intersect`,
+    /// `parallel-signature`.
+    /// Divisions: `nested-loop`, `sort-merge`, `hash`, `counting`,
+    /// `parallel-hash`.
     pub fn standard() -> &'static Registry {
         Self::standard_cell()
     }
@@ -348,10 +455,12 @@ impl Registry {
             reg.register_set_join(Arc::new(InvertedIndexSetJoin));
             reg.register_set_join(Arc::new(HashSetEqualityJoin));
             reg.register_set_join(Arc::new(EquijoinIntersect));
+            reg.register_set_join(Arc::new(ParallelSignatureSetJoin { threads: 0 }));
             reg.register_division(Arc::new(NestedLoopDivision));
             reg.register_division(Arc::new(SortMergeDivision));
             reg.register_division(Arc::new(HashDivision));
             reg.register_division(Arc::new(CountingDivision));
+            reg.register_division(Arc::new(ParallelHashDivision { threads: 0 }));
             Arc::new(reg)
         })
     }
@@ -416,6 +525,25 @@ impl Registry {
         s: &Relation,
         pred: SetPredicate,
     ) -> Option<Arc<dyn SetJoinAlgorithm>> {
+        self.auto_set_join_with(r, s, pred, 1)
+    }
+
+    /// [`Registry::auto_set_join`] with a parallel-context hint: when the
+    /// caller will execute with `workers > 1` threads (the `Engine`
+    /// passes its parallelism degree) and the containment input is large
+    /// (≥ 4096 tuples combined), the partition-parallel
+    /// `parallel-signature` variant is preferred — the anchor-element
+    /// partitioning both prunes candidate pairs and gives the workers
+    /// independent shards. `workers ≤ 1` reproduces the serial choice
+    /// exactly; `=` and `∩ ≠ ∅` keep their dedicated (quasi)linear
+    /// algorithms at every worker count.
+    pub fn auto_set_join_with(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        pred: SetPredicate,
+        workers: usize,
+    ) -> Option<Arc<dyn SetJoinAlgorithm>> {
         let pick = |name: &str| self.find_set_join(name).filter(|a| a.supports(pred));
         let fallback = || {
             self.set_joins
@@ -429,7 +557,9 @@ impl Registry {
             SetPredicate::Equals => pick("hash-set-equality"),
             SetPredicate::IntersectsNonempty => pick("equijoin-intersect"),
             SetPredicate::Contains | SetPredicate::ContainedIn => {
-                if n <= SMALL_INPUT {
+                if workers > 1 && n >= PARALLEL_SETJOIN_INPUT {
+                    pick("parallel-signature")
+                } else if n <= SMALL_INPUT {
                     pick("nested-loop")
                 } else if avg_group_size(r).max(avg_group_size(s)) >= WIDE_SET_THRESHOLD {
                     pick("signature256")
@@ -458,8 +588,25 @@ impl Registry {
         s: &Relation,
         sem: DivisionSemantics,
     ) -> Option<Arc<dyn DivisionAlgorithm>> {
+        self.auto_division_with(r, s, sem, 1)
+    }
+
+    /// [`Registry::auto_division`] with a parallel-context hint: with
+    /// `workers > 1` and a large dividend (≥ 8192 tuples combined) the
+    /// hash-partitioned `parallel-hash` variant is preferred so the
+    /// build/probe pass shards across the worker threads. `workers ≤ 1`
+    /// reproduces the serial choice exactly.
+    pub fn auto_division_with(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        sem: DivisionSemantics,
+        workers: usize,
+    ) -> Option<Arc<dyn DivisionAlgorithm>> {
         let pick = |name: &str| self.find_division(name);
-        let preferred = if r.len() + s.len() <= SMALL_INPUT {
+        let preferred = if workers > 1 && r.len() + s.len() >= PARALLEL_DIVISION_INPUT {
+            pick("parallel-hash")
+        } else if r.len() + s.len() <= SMALL_INPUT {
             pick("sort-merge")
         } else if sem == DivisionSemantics::Equality {
             pick("counting")
@@ -513,8 +660,8 @@ mod tests {
     #[test]
     fn standard_registry_has_all_algorithms() {
         let reg = Registry::standard();
-        assert_eq!(reg.set_join_algorithms().len(), 6);
-        assert_eq!(reg.division_algorithms().len(), 4);
+        assert_eq!(reg.set_join_algorithms().len(), 7);
+        assert_eq!(reg.division_algorithms().len(), 5);
         for name in [
             "nested-loop",
             "signature64",
@@ -522,10 +669,17 @@ mod tests {
             "inverted-index",
             "hash-set-equality",
             "equijoin-intersect",
+            "parallel-signature",
         ] {
             assert!(reg.find_set_join(name).is_some(), "{name}");
         }
-        for name in ["nested-loop", "sort-merge", "hash", "counting"] {
+        for name in [
+            "nested-loop",
+            "sort-merge",
+            "hash",
+            "counting",
+            "parallel-hash",
+        ] {
             assert!(reg.find_division(name).is_some(), "{name}");
         }
         assert!(reg.find_set_join("no-such").is_none());
@@ -633,6 +787,91 @@ mod tests {
                 .name(),
             "counting"
         );
+    }
+
+    #[test]
+    fn auto_with_workers_prefers_parallel_variants_on_large_inputs() {
+        let reg = Registry::standard();
+        // Fig-scale containment input: > PARALLEL_SETJOIN_INPUT tuples.
+        let rows: Vec<[i64; 2]> = (0..1200)
+            .flat_map(|g| (0..2).map(move |v| [g, v]))
+            .collect();
+        let big = pairs(&rows);
+        assert_eq!(
+            reg.auto_set_join_with(&big, &big, SetPredicate::Contains, 4)
+                .unwrap()
+                .name(),
+            "parallel-signature"
+        );
+        // Same input, serial context: the serial pick is unchanged.
+        assert_eq!(
+            reg.auto_set_join_with(&big, &big, SetPredicate::Contains, 1)
+                .unwrap()
+                .name(),
+            reg.auto_set_join(&big, &big, SetPredicate::Contains)
+                .unwrap()
+                .name()
+        );
+        // Equality keeps its dedicated quasilinear algorithm even in a
+        // parallel context.
+        assert_eq!(
+            reg.auto_set_join_with(&big, &big, SetPredicate::Equals, 8)
+                .unwrap()
+                .name(),
+            "hash-set-equality"
+        );
+        // Division: large dividend + workers ⇒ parallel-hash; serial
+        // context unchanged.
+        let drows: Vec<[i64; 2]> = (0..10_000).map(|i| [i / 4, i % 4]).collect();
+        let dividend = pairs(&drows);
+        let divisor = Relation::from_int_rows(&[&[0], &[1]]);
+        assert_eq!(
+            reg.auto_division_with(&dividend, &divisor, DivisionSemantics::Containment, 4)
+                .unwrap()
+                .name(),
+            "parallel-hash"
+        );
+        assert_eq!(
+            reg.auto_division_with(&dividend, &divisor, DivisionSemantics::Containment, 1)
+                .unwrap()
+                .name(),
+            "hash"
+        );
+        // Small inputs never trigger the parallel variants, whatever the
+        // worker count.
+        let small = pairs(&[[1, 7], [2, 7]]);
+        assert_eq!(
+            reg.auto_division_with(&small, &divisor, DivisionSemantics::Containment, 8)
+                .unwrap()
+                .name(),
+            "sort-merge"
+        );
+    }
+
+    #[test]
+    fn run_with_workers_defaults_to_run_for_serial_algorithms() {
+        let reg = Registry::standard();
+        let r = pairs(&[[1, 10], [1, 11], [2, 10]]);
+        let s = pairs(&[[5, 10], [5, 11]]);
+        for alg in reg.set_join_algorithms() {
+            if alg.supports(SetPredicate::Contains) {
+                assert_eq!(
+                    alg.run_with_workers(&r, &s, SetPredicate::Contains, 4),
+                    alg.run(&r, &s, SetPredicate::Contains),
+                    "{}",
+                    alg.name()
+                );
+            }
+        }
+        let divisor = Relation::from_int_rows(&[&[10], &[11]]);
+        for alg in reg.division_algorithms() {
+            assert_eq!(
+                alg.run_with_workers(&r, &divisor, DivisionSemantics::Containment, 4),
+                alg.run(&r, &divisor, DivisionSemantics::Containment),
+                "{}",
+                alg.name()
+            );
+        }
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Set-semantics relations.
 
 use crate::error::StorageError;
+use crate::hash::FxHasher;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A finite **set** of tuples of a fixed arity.
 ///
@@ -245,6 +248,76 @@ impl Relation {
         })
     }
 
+    /// The hash-partition index of a tuple under a key of 0-based
+    /// `cols` and `n` partitions — the single source of truth for
+    /// [`Relation::partition_by_hash`], exposed so operators and tests
+    /// can predict placement. With `cols` empty every tuple lands in
+    /// partition 0. `n = 0` is treated as one partition.
+    pub fn partition_of(t: &Tuple, cols: &[usize], n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let mut h = FxHasher::default();
+        for &c in cols {
+            t[c].hash(&mut h);
+        }
+        (h.finish() % n as u64) as usize
+    }
+
+    /// Split the relation into `n` disjoint hash partitions keyed on the
+    /// 0-based `cols`: every tuple goes to exactly one partition
+    /// ([`Relation::partition_of`]), so equal keys always co-locate and
+    /// the union of the partitions round-trips to the input.
+    ///
+    /// Tuples are visited in canonical order, so each partition is a
+    /// strictly increasing subsequence and inherits the canonical
+    /// representation without re-sorting. The partition-parallel
+    /// operators in `sj-eval` and `sj-setjoin` are built on this: build
+    /// and probe run per partition, and any per-partition results can be
+    /// merged back without global re-deduplication (keys never span
+    /// partitions).
+    pub fn partition_by_hash(&self, cols: &[usize], n: usize) -> Vec<Relation> {
+        let n = n.max(1);
+        debug_assert!(
+            cols.iter().all(|&c| c < self.arity),
+            "partition_by_hash: key column out of range"
+        );
+        let mut parts: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+        if n > 1 {
+            for t in &self.tuples {
+                parts[Self::partition_of(t, cols, n)].push(t.clone());
+            }
+        } else {
+            parts[0] = self.tuples.clone();
+        }
+        parts
+            .into_iter()
+            .map(|p| Relation {
+                arity: self.arity,
+                tuples: p,
+            })
+            .collect()
+    }
+
+    /// [`Relation::partition_by_hash`] on a shared handle, returning
+    /// `Arc`-shared partitions. The degenerate single-partition case is
+    /// clone-free: the one "partition" is the input's own allocation
+    /// (`Arc::clone`), which is what lets a parallelism degree of 1 cost
+    /// nothing over the serial path.
+    pub fn partition_by_hash_shared(
+        self: &Arc<Self>,
+        cols: &[usize],
+        n: usize,
+    ) -> Vec<Arc<Relation>> {
+        if n <= 1 {
+            return vec![Arc::clone(self)];
+        }
+        self.partition_by_hash(cols, n)
+            .into_iter()
+            .map(Arc::new)
+            .collect()
+    }
+
     /// True iff `self ⊆ other`.
     pub fn is_subset_of(&self, other: &Relation) -> bool {
         self.arity == other.arity && self.tuples.iter().all(|t| other.contains(t))
@@ -409,6 +482,89 @@ mod tests {
     fn unary_builder() {
         let a = Relation::unary(vec![Value::int(7), Value::int(8), Value::int(7)]);
         assert_eq!(a, r(&[&[7], &[8]]));
+    }
+
+    #[test]
+    fn partition_by_hash_is_a_disjoint_cover() {
+        let rows: Vec<Vec<i64>> = (0..200).map(|i| vec![i % 37, i]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Relation::from_int_rows(&refs);
+        for n in [1usize, 2, 3, 4, 8] {
+            let parts = a.partition_by_hash(&[0], n);
+            assert_eq!(parts.len(), n);
+            // Arity preserved, disjoint, union round-trips to the input.
+            let mut union = Relation::empty(a.arity());
+            let mut total = 0;
+            for p in &parts {
+                assert_eq!(p.arity(), a.arity());
+                assert!(p.intersection(&union).unwrap().is_empty(), "n = {n}");
+                union = union.union(p).unwrap();
+                total += p.len();
+            }
+            assert_eq!(total, a.len(), "partitions are disjoint at n = {n}");
+            assert_eq!(union, a, "partitions cover the input at n = {n}");
+        }
+    }
+
+    #[test]
+    fn partition_by_hash_keeps_equal_keys_together() {
+        let rows: Vec<Vec<i64>> = (0..120).map(|i| vec![i % 10, i]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Relation::from_int_rows(&refs);
+        let n = 4;
+        let parts = a.partition_by_hash(&[0], n);
+        for (pi, p) in parts.iter().enumerate() {
+            for t in p {
+                assert_eq!(
+                    Relation::partition_of(t, &[0], n),
+                    pi,
+                    "tuple {t:?} in the wrong partition"
+                );
+            }
+        }
+        // Same key ⇒ same partition: each of the 10 keys appears in
+        // exactly one partition.
+        for key in 0..10i64 {
+            let holding = parts
+                .iter()
+                .filter(|p| p.iter().any(|t| t[0] == Value::int(key)))
+                .count();
+            assert_eq!(holding, 1, "key {key} spans partitions");
+        }
+        // Each partition is itself canonical (strictly increasing).
+        for p in &parts {
+            assert!(p.tuples().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn partition_single_degenerates_to_arc_share() {
+        let a = Arc::new(r(&[&[1, 2], &[3, 4]]));
+        let parts = a.partition_by_hash_shared(&[0], 1);
+        assert_eq!(parts.len(), 1);
+        assert!(
+            Arc::ptr_eq(&a, &parts[0]),
+            "n = 1 must share the input allocation, not clone it"
+        );
+        // n = 0 is treated as one partition, same sharing guarantee.
+        let parts0 = a.partition_by_hash_shared(&[0], 0);
+        assert!(Arc::ptr_eq(&a, &parts0[0]));
+        // The plain variant at n = 1 returns the input as its only part.
+        let plain = a.partition_by_hash(&[0], 1);
+        assert_eq!(plain, vec![(*a).clone()]);
+    }
+
+    #[test]
+    fn partition_by_hash_empty_key_and_empty_input() {
+        let a = r(&[&[1, 2], &[3, 4]]);
+        // Empty key: every tuple hashes alike — all land in partition 0.
+        let parts = a.partition_by_hash(&[], 3);
+        assert_eq!(parts[0], a);
+        assert!(parts[1].is_empty() && parts[2].is_empty());
+        // Empty input: n empty partitions of the right arity.
+        let parts = Relation::empty(2).partition_by_hash(&[0, 1], 4);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|p| p.is_empty() && p.arity() == 2));
     }
 
     #[test]

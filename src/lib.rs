@@ -67,15 +67,15 @@ pub use sj_setjoin as setjoin;
 pub use sj_storage as storage;
 pub use sj_workload as workload;
 
-pub use sj_eval::{Engine, Instrument, Query, QueryOutput, Strategy};
+pub use sj_eval::{Engine, Instrument, Parallelism, Query, QueryOutput, Strategy};
 pub use sj_setjoin::Registry;
 
 /// Most-used items in one import.
 pub mod prelude {
     pub use sj_algebra::{Condition, Expr, OptimizeLevel, Pass, Pipeline};
     pub use sj_eval::{
-        evaluate, evaluate_instrumented, AlgorithmChoice, Engine, EvalReport, Instrument, Query,
-        QueryOutput, Report, SetOpOutput, Strategy,
+        evaluate, evaluate_instrumented, AlgorithmChoice, Engine, EvalReport, Instrument,
+        Parallelism, Query, QueryOutput, Report, SetOpOutput, Strategy,
     };
     pub use sj_setjoin::{
         divide, set_join, ComplexityClass, DivisionSemantics, Registry, SetPredicate,

@@ -1,0 +1,376 @@
+//! Differential suite proving **parallel ≡ serial**: every registered
+//! set-join and division algorithm, every evaluation [`Strategy`], and
+//! every [`OptimizeLevel`] must produce byte-identical relations under
+//! [`Parallelism::Serial`] and [`Parallelism::Threads(n)`] for every
+//! tested worker count — on random inputs (property tests) as well as on
+//! the adversarial shapes hash partitioning finds hardest: empty
+//! operands, skewed keys (every tuple in one partition) and
+//! all-duplicate inputs.
+//!
+//! The tested worker counts default to `{1, 2, 4, 8}`;
+//! `SETJOINS_TEST_THREADS` (a comma-separated list or a single number)
+//! narrows them, which CI uses to run the whole suite once at `1` and
+//! once at `4`.
+
+use proptest::prelude::*;
+// `engine::Strategy` (the enum) and proptest's `Strategy` (the trait)
+// collide under the two globs: bind each explicitly.
+use proptest::strategy::Strategy as PropStrategy;
+use setjoins::eval::{Parallelism, Strategy};
+use setjoins::prelude::*;
+use sj_algebra::division;
+use sj_setjoin::nested_loop_set_join;
+use sj_workload::{DivisionWorkload, ElementDist, SetJoinWorkload, SetSizeDist};
+
+/// Worker counts under test (see module docs).
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("SETJOINS_TEST_THREADS") {
+        Ok(s) => {
+            let counts: Vec<usize> = s
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n| n >= 1)
+                .collect();
+            assert!(
+                !counts.is_empty(),
+                "SETJOINS_TEST_THREADS={s:?} has no usable counts"
+            );
+            counts
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial deterministic inputs
+// ---------------------------------------------------------------------------
+
+/// Build a binary relation from `[A, B]` rows (duplicates welcome — the
+/// canonical representation dedups them, which is itself under test).
+fn pairs(rows: impl IntoIterator<Item = [i64; 2]>) -> Relation {
+    Relation::from_tuples(2, rows.into_iter().map(|r| Tuple::from_ints(&r))).unwrap()
+}
+
+/// Binary relations that stress the partitioning: empty, skewed onto one
+/// key (one partition holds everything), all-duplicate rows (canonical
+/// dedup leaves a single tuple), one value shared by every key, and a
+/// benign mixed shape.
+fn adversarial_pairs() -> Vec<(&'static str, Relation)> {
+    vec![
+        ("empty", Relation::empty(2)),
+        ("skewed-key", pairs((0..60).map(|i| [7, i]))),
+        ("all-duplicate", pairs((0..50).map(|_| [3, 9]))),
+        ("shared-value", pairs((0..40).map(|i| [i, 5]))),
+        ("mixed", pairs((0..80).map(|i| [i % 13, i % 7]))),
+    ]
+}
+
+fn divisors() -> Vec<(&'static str, Relation)> {
+    vec![
+        ("empty", Relation::empty(1)),
+        ("single", Relation::from_int_rows(&[&[5]])),
+        ("several", Relation::from_int_rows(&[&[0], &[5], &[9]])),
+    ]
+}
+
+/// Every registered division algorithm, every worker count, every
+/// adversarial input: byte-identical to its own serial run and to the
+/// registry baseline.
+#[test]
+fn division_algorithms_parallel_equals_serial_on_adversarial_inputs() {
+    let reg = Registry::standard();
+    for (rname, r) in adversarial_pairs() {
+        for (sname, s) in divisors() {
+            for sem in [DivisionSemantics::Containment, DivisionSemantics::Equality] {
+                let baseline = sj_setjoin::nested_loop_division(&r, &s, sem);
+                for alg in reg.division_algorithms() {
+                    assert_eq!(
+                        alg.run(&r, &s, sem),
+                        baseline,
+                        "{} serial on {rname}÷{sname} {sem:?}",
+                        alg.name()
+                    );
+                    for &n in &thread_counts() {
+                        assert_eq!(
+                            alg.run_with_workers(&r, &s, sem, n),
+                            baseline,
+                            "{} @{n} workers on {rname}÷{sname} {sem:?}",
+                            alg.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Every registered set-join algorithm, every supported predicate, every
+/// worker count, every adversarial input pair.
+#[test]
+fn set_join_algorithms_parallel_equals_serial_on_adversarial_inputs() {
+    let reg = Registry::standard();
+    let preds = [
+        SetPredicate::Contains,
+        SetPredicate::ContainedIn,
+        SetPredicate::Equals,
+        SetPredicate::IntersectsNonempty,
+    ];
+    for (rname, r) in adversarial_pairs() {
+        for (sname, s) in adversarial_pairs() {
+            for pred in preds {
+                let baseline = nested_loop_set_join(&r, &s, pred);
+                for alg in reg.set_join_algorithms() {
+                    if !alg.supports(pred) {
+                        continue;
+                    }
+                    for &n in &thread_counts() {
+                        assert_eq!(
+                            alg.run_with_workers(&r, &s, pred, n),
+                            baseline,
+                            "{} @{n} workers on {rname}⋈{sname} {pred:?}",
+                            alg.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The engine end to end on the paper's division plans: every strategy ×
+/// every optimize level × every worker count agrees with the serial
+/// reference run, on a real workload and on the adversarial shapes.
+#[test]
+fn engine_division_plans_parallel_equals_serial() {
+    let mut dbs: Vec<(String, Database)> = vec![(
+        "workload".into(),
+        DivisionWorkload {
+            groups: 200,
+            divisor_size: 8,
+            containment_fraction: 0.3,
+            extra_per_group: 3,
+            noise_domain: 64,
+            seed: 0xFA12A11E1,
+        }
+        .database(),
+    )];
+    for (name, r) in adversarial_pairs() {
+        let mut db = Database::new();
+        db.set("R", r);
+        db.set("S", Relation::from_int_rows(&[&[5], &[9]]));
+        dbs.push((format!("adversarial-{name}"), db));
+    }
+    let plans = [
+        division::division_double_difference("R", "S"),
+        division::division_counting("R", "S"),
+        division::division_equality("R", "S"),
+    ];
+    for (dbname, db) in &dbs {
+        for e in &plans {
+            for level in [
+                OptimizeLevel::Off,
+                OptimizeLevel::Structural,
+                OptimizeLevel::Full,
+            ] {
+                let reference = Engine::new(db.clone())
+                    .optimize(level)
+                    .query(e.clone())
+                    .run()
+                    .unwrap()
+                    .relation;
+                for strategy in [Strategy::Planned, Strategy::Naive, Strategy::Reference] {
+                    for &n in &thread_counts() {
+                        let out = Engine::new(db.clone())
+                            .optimize(level)
+                            .strategy(strategy)
+                            .parallelism(Parallelism::Threads(n))
+                            .query(e.clone())
+                            .run()
+                            .unwrap();
+                        assert_eq!(
+                            out.relation, reference,
+                            "{dbname} {e} {strategy} {level:?} @{n} workers"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Registry-routed engine set operators under the parallelism knob: the
+/// auto pick may change (that is the point) but the relation never does.
+#[test]
+fn engine_set_operators_parallel_equals_serial() {
+    let w = SetJoinWorkload {
+        r_groups: 600,
+        s_groups: 600,
+        set_size: SetSizeDist::Uniform(2, 8),
+        domain: 48,
+        elements: ElementDist::Zipf(0.8),
+        seed: 0x9A11E1,
+    };
+    let (r, s) = w.generate();
+    let mut db = Database::new();
+    db.set("R", r.clone());
+    db.set("S", s.clone());
+    db.set(
+        "D",
+        Relation::unary((0..4).map(|v| Value::int(1_000_001 + v))),
+    );
+    let serial = Engine::new(db.clone());
+    for &n in &thread_counts() {
+        let threaded = Engine::new(db.clone()).parallelism(Parallelism::Threads(n));
+        for pred in [
+            SetPredicate::Contains,
+            SetPredicate::ContainedIn,
+            SetPredicate::Equals,
+            SetPredicate::IntersectsNonempty,
+        ] {
+            let a = serial.set_join("R", "S", pred).unwrap();
+            let b = threaded.set_join("R", "S", pred).unwrap();
+            assert_eq!(a.relation, b.relation, "{pred:?} @{n} workers");
+        }
+        for sem in [DivisionSemantics::Containment, DivisionSemantics::Equality] {
+            let a = serial.divide("R", "D", sem).unwrap();
+            let b = threaded.divide("R", "D", sem).unwrap();
+            assert_eq!(a.relation, b.relation, "division {sem:?} @{n} workers");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------------
+
+fn arb_relation(arity: usize) -> impl PropStrategy<Value = Relation> {
+    proptest::collection::vec(proptest::collection::vec(0i64..6, arity), 0..14).prop_map(
+        move |rows| {
+            Relation::from_tuples(arity, rows.into_iter().map(|r| Tuple::from_ints(&r))).unwrap()
+        },
+    )
+}
+
+fn arb_db() -> impl PropStrategy<Value = Database> {
+    (arb_relation(2), arb_relation(2), arb_relation(1)).prop_map(|(r, s, t)| {
+        let mut db = Database::new();
+        db.set("R", r);
+        db.set("S", s);
+        db.set("T", t);
+        db
+    })
+}
+
+/// Arbitrary valid arity-2 expressions over R, S (both arity 2) that
+/// exercise every operator the planner can parallelize.
+fn arb_expr() -> impl PropStrategy<Value = Expr> {
+    let leaf = prop_oneof![Just(Expr::rel("R")), Just(Expr::rel("S"))];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.diff(b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| a.join(Condition::eq(1, 1), b).project([1, 2])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| a.join(Condition::eq(2, 1), b).project([2, 1])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.semijoin(Condition::eq(1, 1), b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.semijoin(Condition::lt(1, 2), b)),
+            inner.clone().prop_map(|a| a.project([2, 1])),
+            inner.clone().prop_map(|a| a.select_eq(1, 2)),
+            inner.clone().prop_map(|a| a.group_count([1])),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random expression × random database × every strategy × every
+    /// optimize level × every worker count: identical to the serial run.
+    #[test]
+    fn parallel_equals_serial_on_random_expressions(e in arb_expr(), db in arb_db()) {
+        for level in [OptimizeLevel::Off, OptimizeLevel::Full] {
+            let reference = Engine::new(db.clone())
+                .optimize(level)
+                .query(e.clone())
+                .run()
+                .unwrap()
+                .relation;
+            for strategy in [Strategy::Planned, Strategy::Naive, Strategy::Reference] {
+                for &n in &thread_counts() {
+                    let out = Engine::new(db.clone())
+                        .optimize(level)
+                        .strategy(strategy)
+                        .parallelism(Parallelism::Threads(n))
+                        .query(e.clone())
+                        .run()
+                        .unwrap();
+                    prop_assert_eq!(
+                        &out.relation, &reference,
+                        "{} under {} {:?} @{} workers", e, strategy, level, n
+                    );
+                }
+            }
+        }
+    }
+
+    /// Random binary relations: every registered algorithm at every
+    /// worker count equals the nested-loop baselines.
+    #[test]
+    fn parallel_set_ops_equal_serial_on_random_relations(
+        r in arb_relation(2),
+        s in arb_relation(2),
+        d in arb_relation(1),
+    ) {
+        let reg = Registry::standard();
+        for pred in [SetPredicate::Contains, SetPredicate::ContainedIn, SetPredicate::Equals] {
+            let baseline = nested_loop_set_join(&r, &s, pred);
+            for alg in reg.set_join_algorithms() {
+                if !alg.supports(pred) {
+                    continue;
+                }
+                for &n in &thread_counts() {
+                    prop_assert_eq!(
+                        alg.run_with_workers(&r, &s, pred, n),
+                        baseline.clone(),
+                        "{} {:?} @{}", alg.name(), pred, n
+                    );
+                }
+            }
+        }
+        for sem in [DivisionSemantics::Containment, DivisionSemantics::Equality] {
+            let baseline = sj_setjoin::nested_loop_division(&r, &d, sem);
+            for alg in reg.division_algorithms() {
+                for &n in &thread_counts() {
+                    prop_assert_eq!(
+                        alg.run_with_workers(&r, &d, sem, n),
+                        baseline.clone(),
+                        "{} {:?} @{}", alg.name(), sem, n
+                    );
+                }
+            }
+        }
+    }
+
+    /// Relation::partition_by_hash invariants on random relations: the
+    /// partitions are a disjoint cover with stable key placement.
+    #[test]
+    fn partitioning_round_trips(r in arb_relation(2), n in 1usize..9) {
+        let parts = r.partition_by_hash(&[0], n);
+        prop_assert_eq!(parts.len(), n);
+        let mut union = Relation::empty(2);
+        let mut total = 0usize;
+        for p in &parts {
+            prop_assert!(p.intersection(&union).unwrap().is_empty());
+            total += p.len();
+            union = union.union(p).unwrap();
+        }
+        prop_assert_eq!(total, r.len());
+        prop_assert_eq!(union, r.clone());
+        for (pi, p) in parts.iter().enumerate() {
+            for t in p {
+                prop_assert_eq!(Relation::partition_of(t, &[0], n), pi);
+            }
+        }
+    }
+}

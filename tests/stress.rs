@@ -1,8 +1,12 @@
 //! Larger-scale smoke tests: the fast algorithms at tens of thousands of
 //! tuples (debug-build friendly — only the linear paths run at full size).
 
+use setjoins::eval::Parallelism;
 use setjoins::prelude::*;
-use sj_setjoin::{counting_division, hash_division, sort_merge_division, DivisionSemantics};
+use sj_setjoin::{
+    counting_division, hash_division, parallel_hash_division, parallel_signature_set_join,
+    sort_merge_division, DivisionSemantics,
+};
 use sj_workload::{DivisionWorkload, ElementDist, SetJoinWorkload, SetSizeDist};
 
 #[test]
@@ -79,6 +83,90 @@ fn pump_construction_at_large_n() {
     let (size, pairs) = pump.verify(512);
     assert_eq!(size, 5 + 4 * 511);
     assert_eq!(pairs, 512 * 512);
+}
+
+#[test]
+fn parallel_division_workload_is_deterministic_across_runs() {
+    // Fixed-seed fig-scale division workload, executed twice under
+    // Threads(4): same tuples, same `render()`-stable instrumentation
+    // shape (cardinalities, operators, worker and partition counts are
+    // deterministic; the renders omit wall-clock times precisely so this
+    // holds).
+    let db = DivisionWorkload {
+        groups: 6_000,
+        divisor_size: 12,
+        containment_fraction: 0.1,
+        extra_per_group: 4,
+        noise_domain: 6_000,
+        seed: 0xDE7E12,
+    }
+    .database();
+    for plan in [
+        sj_algebra::division::division_counting("R", "S"),
+        sj_algebra::division::division_double_difference("R", "S"),
+    ] {
+        let run = || {
+            Engine::new(db.clone())
+                .parallelism(Parallelism::Threads(4))
+                .instrument(Instrument::Timings)
+                .query(plan.clone())
+                .run()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(
+            a.relation.tuples(),
+            b.relation.tuples(),
+            "identical tuples across runs: {plan}"
+        );
+        let (ra, rb) = (a.report.unwrap(), b.report.unwrap());
+        assert_eq!(ra.render(), rb.render(), "render()-stable shape: {plan}");
+        // ... and identical to the serial run.
+        let serial = Engine::new(db.clone()).query(plan.clone()).run().unwrap();
+        assert_eq!(a.relation, serial.relation, "parallel ≡ serial: {plan}");
+    }
+}
+
+#[test]
+fn parallel_set_join_workload_is_deterministic_across_runs() {
+    // Fixed-seed fig-scale set-join workload: the partition-based join
+    // at 4 workers, twice, against the serial signature join.
+    let (r, s) = SetJoinWorkload {
+        r_groups: 1_200,
+        s_groups: 1_200,
+        set_size: SetSizeDist::Uniform(2, 8),
+        domain: 72,
+        elements: ElementDist::Zipf(0.9),
+        seed: 0x57AB1E,
+    }
+    .generate();
+    for pred in [SetPredicate::Contains, SetPredicate::ContainedIn] {
+        let once = parallel_signature_set_join(&r, &s, pred, 4);
+        let twice = parallel_signature_set_join(&r, &s, pred, 4);
+        assert_eq!(once.tuples(), twice.tuples(), "{pred:?}");
+        assert_eq!(
+            once,
+            sj_setjoin::signature_set_join(&r, &s, pred),
+            "parallel ≡ serial on {pred:?}"
+        );
+    }
+    // Division at the same scale through the direct parallel operator.
+    let (dr, ds, expected) = DivisionWorkload {
+        groups: 10_000,
+        divisor_size: 12,
+        containment_fraction: 0.05,
+        extra_per_group: 4,
+        noise_domain: 10_000,
+        seed: 0x57E55,
+    }
+    .generate();
+    for workers in [2, 4, 8] {
+        assert_eq!(
+            parallel_hash_division(&dr, &ds, DivisionSemantics::Containment, workers),
+            expected,
+            "parallel hash division @{workers}"
+        );
+    }
 }
 
 #[test]
