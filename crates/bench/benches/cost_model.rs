@@ -1,0 +1,93 @@
+//! Overhead of the statistics subsystem on the set-operator hot path:
+//! `ANALYZE` cost per relation, selector cost (threshold vs cost-based
+//! vs cached), and the end-to-end engine spread across `StatsMode`s.
+//!
+//! The point to pin: cost-based selection must cost microseconds —
+//! negligible against the operators it chooses between — and
+//! `StatsMode::Cached` must amortize the `ANALYZE` pass away entirely.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_eval::{Engine, StatsMode};
+use sj_setjoin::{DivisionSemantics, Registry};
+use sj_stats::{CostModel, StatsCatalog, TableStats};
+use sj_workload::DivisionWorkload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let model = CostModel::default();
+    let reg = Registry::standard();
+    for groups in [256usize, 4096] {
+        let w = DivisionWorkload {
+            groups,
+            divisor_size: (groups as f64).sqrt() as usize,
+            containment_fraction: 0.1,
+            extra_per_group: 4,
+            noise_domain: 4 * groups,
+            seed: 0xC057,
+        };
+        let db = w.database();
+        let (r, s) = (db.get("R").unwrap(), db.get("S").unwrap());
+
+        // The ANALYZE pass itself.
+        group.bench_with_input(BenchmarkId::new("analyze", groups), r, |b, r| {
+            b.iter(|| TableStats::analyze(r))
+        });
+
+        // Selector-only costs, stats in hand.
+        let (rs, ss) = (TableStats::analyze(r), TableStats::analyze(s));
+        group.bench_with_input(BenchmarkId::new("select_threshold", groups), &(), |b, _| {
+            b.iter(|| {
+                reg.auto_division_with(r, s, DivisionSemantics::Containment, 1)
+                    .unwrap()
+                    .name()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("select_costed", groups), &(), |b, _| {
+            b.iter(|| {
+                reg.auto_division_costed(
+                    r,
+                    s,
+                    DivisionSemantics::Containment,
+                    1,
+                    Some((&rs, &ss)),
+                    &model,
+                )
+                .unwrap()
+                .name()
+            })
+        });
+
+        // Catalog hit path (pointer check + clone).
+        let catalog = StatsCatalog::new();
+        catalog.stats_for(&db, "R");
+        group.bench_with_input(BenchmarkId::new("catalog_hit", groups), &(), |b, _| {
+            b.iter(|| catalog.stats_for(&db, "R").unwrap())
+        });
+
+        // End to end: the registry-routed division per StatsMode.
+        for (name, mode) in [
+            ("engine_stats_off", StatsMode::Off),
+            ("engine_stats_analyze", StatsMode::Analyze),
+            ("engine_stats_cached", StatsMode::Cached),
+        ] {
+            let engine = Engine::new(db.clone()).stats(mode);
+            group.bench_with_input(BenchmarkId::new(name, groups), &(), |b, _| {
+                b.iter(|| {
+                    engine
+                        .divide("R", "S", DivisionSemantics::Containment)
+                        .unwrap()
+                        .relation
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

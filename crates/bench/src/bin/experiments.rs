@@ -66,6 +66,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("semijoin", semijoin_linear),
     ("planner", planner),
     ("parallel", parallel_scaling),
+    ("cost", cost_model_run),
     ("distinguish", distinguish),
 ];
 
@@ -936,6 +937,237 @@ fn parallel_scaling() {
         "parallel: best speedup at 4 threads = {:.2}x ({}) on a {host}-CPU host → {}",
         best_at_4.0,
         best_at_4.1,
+        path.display()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based selection vs thresholds vs the per-algorithm oracle
+// ---------------------------------------------------------------------------
+
+/// For every figure workload: measure **every** registered algorithm
+/// (the oracle table), then compare three selectors against it — the
+/// per-algorithm oracle best, the stats-free threshold selector (PR 4
+/// behavior), and the cost-based selector over fresh `ANALYZE`
+/// statistics. Asserts the acceptance criteria: the cost-based pick is
+/// never more than 2× the oracle best and never behind the threshold
+/// pick (up to a 1.25× timing-jitter allowance — when both selectors
+/// pick the same algorithm the comparison reuses one measurement and
+/// is exact).
+fn cost_model_run() {
+    use sj_stats::{CostModel, TableStats};
+    let model = CostModel::default();
+    let reg = Registry::standard();
+    let mut csv = CsvSink::new(
+        "cost_model",
+        &[
+            "workload",
+            "scale",
+            "op",
+            "oracle",
+            "oracle_ms",
+            "threshold",
+            "threshold_ms",
+            "cost_based",
+            "cost_ms",
+            "cost_vs_oracle",
+        ],
+    );
+    println!(
+        "{:<18} {:>6} {:>4} {:>2}w | {:>24} {:>24} {:>24} {:>6}",
+        "workload", "scale", "op", "", "oracle", "threshold pick", "cost-based pick", "ratio"
+    );
+    let mut emit = |workload: &str,
+                    scale: usize,
+                    op: &str,
+                    workers: usize,
+                    measured: &[(&str, f64)],
+                    thresh: &str,
+                    costp: &str| {
+        let ms_of = |name: &str| {
+            measured
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|&(_, ms)| ms)
+                .expect("pick was measured")
+        };
+        let (oracle, oracle_ms) = measured
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("nonempty oracle table");
+        let (t_ms, c_ms) = (ms_of(thresh), ms_of(costp));
+        let ratio = c_ms / oracle_ms.max(1e-9);
+        println!(
+            "{workload:<18} {scale:>6} {op:>4} {workers:>2}w | {:>24} {:>24} {:>24} {ratio:>5.2}x",
+            format!("{oracle} {oracle_ms:.2}ms"),
+            format!("{thresh} {t_ms:.2}ms"),
+            format!("{costp} {c_ms:.2}ms"),
+        );
+        csv.row(&[
+            workload.into(),
+            scale.to_string(),
+            op.into(),
+            oracle.into(),
+            format!("{oracle_ms:.4}"),
+            thresh.into(),
+            format!("{t_ms:.4}"),
+            costp.into(),
+            format!("{c_ms:.4}"),
+            format!("{ratio:.3}"),
+        ]);
+        // A small absolute slack absorbs scheduler/cache noise on the
+        // sub-millisecond rows (median-of-5 handles the larger ones);
+        // same-pick rows reuse one measurement and compare exactly.
+        const SLACK_MS: f64 = 0.05;
+        assert!(
+            c_ms <= 2.0 * oracle_ms + SLACK_MS,
+            "{workload}@{scale}: cost-based pick {costp} ({c_ms:.3}ms) is more than \
+             2x the oracle {oracle} ({oracle_ms:.3}ms)"
+        );
+        assert!(
+            c_ms <= t_ms * 1.25 + SLACK_MS,
+            "{workload}@{scale}: cost-based pick {costp} ({c_ms:.3}ms) is behind the \
+             threshold pick {thresh} ({t_ms:.3}ms)"
+        );
+    };
+
+    // Division on the shoot-out workloads, both semantics, plus one
+    // parallel-context row (workers = 4 exercises the spawn-cost side
+    // of the model).
+    for &groups in &TIMING_SCALES {
+        let w = DivisionWorkload {
+            groups,
+            divisor_size: (groups as f64).sqrt() as usize,
+            containment_fraction: 0.1,
+            extra_per_group: 4,
+            noise_domain: 4 * groups,
+            seed: 0xC057,
+        };
+        let (r, s, _) = w.generate();
+        let (rs, ss) = (TableStats::analyze(&r), TableStats::analyze(&s));
+        let workers_axis: &[usize] = if groups == 16_384 { &[1, 4] } else { &[1] };
+        for sem in [DivisionSemantics::Containment, DivisionSemantics::Equality] {
+            let expected = sj_setjoin::divide(&r, &s, sem);
+            for &workers in workers_axis {
+                let mut measured: Vec<(&str, f64)> = Vec::new();
+                for alg in reg.division_algorithms() {
+                    if alg.name() == "nested-loop" && groups > 4096 {
+                        continue; // minutes of quadratic time, never the oracle
+                    }
+                    let ms = time_median(5, || {
+                        let out = alg.run_with_workers(&r, &s, sem, workers);
+                        assert_eq!(out, expected, "{} diverged", alg.name());
+                        out
+                    });
+                    measured.push((alg.name(), ms));
+                }
+                let thresh = reg.auto_division_with(&r, &s, sem, workers).unwrap();
+                let costp = reg
+                    .auto_division_costed(&r, &s, sem, workers, Some((&rs, &ss)), &model)
+                    .unwrap();
+                let op = if sem == DivisionSemantics::Containment {
+                    "÷⊇"
+                } else {
+                    "÷="
+                };
+                emit(
+                    "division",
+                    groups,
+                    op,
+                    workers,
+                    &measured,
+                    thresh.name(),
+                    costp.name(),
+                );
+            }
+        }
+    }
+
+    // Set-containment joins: the shoot-out scales for both element
+    // distributions, plus the wide-set regime (where the threshold
+    // selector reaches for 256-bit signatures).
+    let sj_cases: &[(&str, usize, SetSizeDist, usize, ElementDist)] = &[
+        (
+            "setjoin-uniform",
+            128,
+            SetSizeDist::Uniform(2, 10),
+            64,
+            ElementDist::Uniform,
+        ),
+        (
+            "setjoin-uniform",
+            512,
+            SetSizeDist::Uniform(2, 10),
+            64,
+            ElementDist::Uniform,
+        ),
+        (
+            "setjoin-uniform",
+            2048,
+            SetSizeDist::Uniform(2, 10),
+            64,
+            ElementDist::Uniform,
+        ),
+        (
+            "setjoin-zipf",
+            128,
+            SetSizeDist::Uniform(2, 10),
+            64,
+            ElementDist::Zipf(1.0),
+        ),
+        (
+            "setjoin-zipf",
+            2048,
+            SetSizeDist::Uniform(2, 10),
+            64,
+            ElementDist::Zipf(1.0),
+        ),
+        (
+            "setjoin-wide",
+            512,
+            SetSizeDist::Uniform(18, 28),
+            512,
+            ElementDist::Uniform,
+        ),
+    ];
+    for &(name, groups, set_size, domain, dist) in sj_cases {
+        let (r, s) = SetJoinWorkload {
+            r_groups: groups,
+            s_groups: groups,
+            set_size,
+            domain,
+            elements: dist,
+            seed: 0xC057,
+        }
+        .generate();
+        let (rs, ss) = (TableStats::analyze(&r), TableStats::analyze(&s));
+        let expected = sj_setjoin::nested_loop_set_join(&r, &s, SetPredicate::Contains);
+        let mut measured: Vec<(&str, f64)> = Vec::new();
+        for alg in reg.set_join_algorithms() {
+            if !alg.supports(SetPredicate::Contains) {
+                continue;
+            }
+            let ms = time_median(5, || {
+                let out = alg.run_with_workers(&r, &s, SetPredicate::Contains, 1);
+                assert_eq!(out, expected, "{} diverged", alg.name());
+                out
+            });
+            measured.push((alg.name(), ms));
+        }
+        let thresh = reg
+            .auto_set_join_with(&r, &s, SetPredicate::Contains, 1)
+            .unwrap();
+        let costp = reg
+            .auto_set_join_costed(&r, &s, SetPredicate::Contains, 1, Some((&rs, &ss)), &model)
+            .unwrap();
+        emit(name, groups, "⊇", 1, &measured, thresh.name(), costp.name());
+    }
+
+    let path = csv.finish().unwrap();
+    println!(
+        "cost: cost-based picks within 2x of the per-algorithm oracle and never \
+         behind the threshold picks on any row → {}",
         path.display()
     );
 }

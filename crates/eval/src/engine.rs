@@ -51,6 +51,7 @@ use crate::reference::evaluate_reference;
 use sj_algebra::{AlgebraError, Expr, OptimizeLevel, Pipeline};
 use sj_setjoin::registry::{ComplexityClass, Registry};
 use sj_setjoin::{DivisionSemantics, SetPredicate};
+use sj_stats::{AnalyzeSource, CatalogSource, CostModel, StatsCatalog, TableStats};
 use sj_storage::{Database, Relation};
 use std::fmt;
 use std::sync::Arc;
@@ -96,6 +97,44 @@ pub enum Instrument {
     /// Cardinalities plus wall-clock timing: per-node self times in the
     /// report and the end-to-end [`QueryOutput::elapsed`].
     Timings,
+}
+
+/// Whether (and how) the engine collects per-relation statistics for
+/// cost-based decisions.
+///
+/// With statistics, [`Engine::divide`] / [`Engine::set_join`] pick the
+/// estimated-cheapest registry algorithm
+/// ([`Registry::auto_division_costed`]), and [`Strategy::Planned`]
+/// queries plan with per-node cardinality estimates (operator choice,
+/// the partition-parallelism gate, `est≈` annotations in [`Query::explain`]
+/// and instrumented reports). Results never depend on the mode — only
+/// which algorithm/operator computes them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum StatsMode {
+    /// No statistics. Selection falls back to the fixed thresholds of
+    /// [`sj_setjoin::registry::thresholds`] — byte-identical behavior
+    /// to engines predating the statistics subsystem.
+    #[default]
+    Off,
+    /// Analyze operand relations afresh on every call: always-current
+    /// statistics at the price of one `ANALYZE` pass per operand
+    /// (linear in the relation — usually dwarfed by the operator
+    /// itself).
+    Analyze,
+    /// Analyze on first use and cache per relation name in a shared
+    /// [`StatsCatalog`]; the cache invalidates copy-on-write whenever
+    /// a relation is replaced or mutated (see [`StatsCatalog`]).
+    Cached,
+}
+
+impl fmt::Display for StatsMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsMode::Off => write!(f, "off"),
+            StatsMode::Analyze => write!(f, "analyze"),
+            StatsMode::Cached => write!(f, "cached"),
+        }
+    }
 }
 
 /// How [`Engine::divide`] / [`Engine::set_join`] pick their algorithm
@@ -234,6 +273,9 @@ pub struct Engine {
     algorithm: AlgorithmChoice,
     registry: Arc<Registry>,
     parallelism: Parallelism,
+    stats: StatsMode,
+    catalog: Arc<StatsCatalog>,
+    cost_model: Arc<CostModel>,
 }
 
 impl Engine {
@@ -251,6 +293,9 @@ impl Engine {
             algorithm: AlgorithmChoice::default(),
             registry: Registry::standard_shared(),
             parallelism: Parallelism::default(),
+            stats: StatsMode::default(),
+            catalog: Arc::new(StatsCatalog::new()),
+            cost_model: Arc::new(CostModel::default()),
         }
     }
 
@@ -307,6 +352,32 @@ impl Engine {
         self
     }
 
+    /// Set the statistics mode (see [`StatsMode`]). Clones of a
+    /// [`StatsMode::Cached`] engine share one catalog, so statistics
+    /// analyzed by one clone benefit the others.
+    pub fn stats(mut self, mode: StatsMode) -> Engine {
+        self.stats = mode;
+        self
+    }
+
+    /// Swap in a custom [`CostModel`] (e.g. re-calibrated constants
+    /// for different hardware).
+    pub fn cost_model(mut self, model: CostModel) -> Engine {
+        self.cost_model = Arc::new(model);
+        self
+    }
+
+    /// The configured statistics mode.
+    pub fn stats_mode(&self) -> StatsMode {
+        self.stats
+    }
+
+    /// The shared statistics catalog ([`StatsMode::Cached`] fills it;
+    /// the other modes leave it empty).
+    pub fn catalog(&self) -> &StatsCatalog {
+        &self.catalog
+    }
+
     /// The engine's database.
     pub fn db(&self) -> &Database {
         &self.db
@@ -349,10 +420,14 @@ impl Engine {
         let s = self.operand(divisor, 1)?;
         let workers = self.parallelism.workers();
         let alg = match &self.algorithm {
-            AlgorithmChoice::Auto => self
-                .registry
-                .auto_division_with(r, s, sem, workers)
-                .ok_or_else(|| EvalError::UnknownAlgorithm("auto (empty registry)".into()))?,
+            AlgorithmChoice::Auto => {
+                let rs = self.operand_stats(dividend, r);
+                let ss = self.operand_stats(divisor, s);
+                let stats = rs.as_deref().zip(ss.as_deref());
+                self.registry
+                    .auto_division_costed(r, s, sem, workers, stats, &self.cost_model)
+                    .ok_or_else(|| EvalError::UnknownAlgorithm("auto (empty registry)".into()))?
+            }
             AlgorithmChoice::Named(name) => self
                 .registry
                 .find_division(name)
@@ -385,8 +460,11 @@ impl Engine {
         let workers = self.parallelism.workers();
         let alg = match &self.algorithm {
             AlgorithmChoice::Auto => {
+                let rs = self.operand_stats(left, r);
+                let ss = self.operand_stats(right, s);
+                let stats = rs.as_deref().zip(ss.as_deref());
                 self.registry
-                    .auto_set_join_with(r, s, pred, workers)
+                    .auto_set_join_costed(r, s, pred, workers, stats, &self.cost_model)
                     .ok_or_else(|| {
                         // None means nothing registered supports the predicate
                         // — distinguish that from a genuinely empty registry.
@@ -422,6 +500,34 @@ impl Engine {
             complexity: alg.complexity(pred),
             elapsed: start.elapsed(),
         })
+    }
+
+    /// Build the physical plan for an (optimized) expression: plain
+    /// under [`StatsMode::Off`], estimate-annotated and cost-gated
+    /// otherwise.
+    fn plan_for(&self, expr: &Expr) -> Result<PhysicalPlan, EvalError> {
+        let schema = self.db.schema();
+        match self.stats {
+            StatsMode::Off => PhysicalPlan::of(expr, &schema),
+            StatsMode::Analyze => {
+                let src = AnalyzeSource::new(&self.db);
+                PhysicalPlan::of_costed(expr, &schema, &src, &self.cost_model)
+            }
+            StatsMode::Cached => {
+                let src = CatalogSource::new(&self.catalog, &self.db);
+                PhysicalPlan::of_costed(expr, &schema, &src, &self.cost_model)
+            }
+        }
+    }
+
+    /// Statistics for a set-operator operand per the configured
+    /// [`StatsMode`]: `None` (off), a fresh analysis, or a catalog hit.
+    fn operand_stats(&self, name: &str, rel: &Relation) -> Option<Arc<TableStats>> {
+        match self.stats {
+            StatsMode::Off => None,
+            StatsMode::Analyze => Some(Arc::new(TableStats::analyze(rel))),
+            StatsMode::Cached => self.catalog.stats_for(&self.db, name),
+        }
     }
 
     /// Look up a set-operator operand and check its arity.
@@ -511,7 +617,7 @@ impl Query<'_> {
                 }
             }
             Strategy::Planned => {
-                let plan = PhysicalPlan::of(&expr, &engine.db.schema())?;
+                let plan = engine.plan_for(&expr)?;
                 if instrumented {
                     let report = plan.execute_instrumented_with(&engine.db, parallelism)?;
                     QueryOutput {
@@ -549,7 +655,10 @@ impl Query<'_> {
     pub fn explain(&self) -> Result<String, EvalError> {
         let expr = self.optimized()?;
         match self.engine.strategy {
-            Strategy::Planned => Ok(PhysicalPlan::of(&expr, &self.engine.db.schema())?.explain()),
+            // With statistics enabled the rendered DAG carries `~N
+            // rows` estimates per node (compare against the actuals in
+            // an instrumented run's report).
+            Strategy::Planned => Ok(self.engine.plan_for(&expr)?.explain()),
             Strategy::Naive | Strategy::Reference => {
                 let report = evaluate_instrumented(&expr, &self.engine.db)?;
                 Ok(render_tree(&expr, &report))
@@ -839,6 +948,139 @@ mod tests {
         assert_eq!(b.algorithm, "parallel-hash");
         assert_eq!(a.relation, b.relation, "parallel ≡ serial");
         assert_eq!(b.complexity, ComplexityClass::Linear);
+    }
+
+    #[test]
+    fn stats_modes_preserve_results_and_refine_picks() {
+        // Fig-scale selective containment input: the threshold selector
+        // stays with signature64, the cost-based one prices the anchor
+        // pruning and picks the partition-based join even serially.
+        let rows: Vec<Vec<i64>> = (0..2000)
+            .flat_map(|g| (0..6).map(move |v| vec![g, (g * 7 + v) % 64]))
+            .collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&refs));
+        db.set("S", Relation::from_int_rows(&refs));
+        let off = Engine::new(db.clone());
+        let analyze = Engine::new(db.clone()).stats(StatsMode::Analyze);
+        let cached = Engine::new(db).stats(StatsMode::Cached);
+        let a = off.set_join("R", "S", SetPredicate::Contains).unwrap();
+        let b = analyze.set_join("R", "S", SetPredicate::Contains).unwrap();
+        let c = cached.set_join("R", "S", SetPredicate::Contains).unwrap();
+        assert_eq!(a.algorithm, "signature64", "threshold pick unchanged");
+        assert_eq!(b.algorithm, "parallel-signature", "cost-based pick");
+        assert_eq!(c.algorithm, b.algorithm);
+        assert_eq!(a.relation, b.relation, "mode never changes results");
+        assert_eq!(a.relation, c.relation);
+        // Cached mode filled the shared catalog; Analyze did not.
+        assert_eq!(cached.catalog().len(), 2);
+        assert!(analyze.catalog().is_empty());
+        // Queries keep their results too, at every mode.
+        let e = division::division_double_difference("R", "S2");
+        let mut qdb = division_db();
+        qdb.set("S2", Relation::from_int_rows(&[&[7], &[8]]));
+        let want = Engine::new(qdb.clone()).query(e.clone()).run().unwrap();
+        for mode in [StatsMode::Analyze, StatsMode::Cached] {
+            let out = Engine::new(qdb.clone())
+                .stats(mode)
+                .query(e.clone())
+                .run()
+                .unwrap();
+            assert_eq!(out.relation, want.relation, "{mode}");
+        }
+    }
+
+    #[test]
+    fn cached_stats_invalidate_when_the_db_changes() {
+        // Tiny relations: cost-based selection picks nested-loop.
+        let mut engine = Engine::new(fig1_db()).stats(StatsMode::Cached);
+        let small = engine
+            .set_join("Person", "Person", SetPredicate::Contains)
+            .unwrap();
+        assert_eq!(small.algorithm, "nested-loop");
+        // Replace Person with a fig-scale relation through db_mut: the
+        // catalog entry must be refreshed, flipping the pick.
+        let rows: Vec<Vec<i64>> = (0..2000)
+            .flat_map(|g| (0..6).map(move |v| vec![g, (g * 7 + v) % 64]))
+            .collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        engine
+            .db_mut()
+            .set("Person", Relation::from_int_rows(&refs));
+        let big = engine
+            .set_join("Person", "Person", SetPredicate::Contains)
+            .unwrap();
+        assert_eq!(big.algorithm, "parallel-signature");
+    }
+
+    #[test]
+    fn explain_is_annotated_with_estimates_under_stats() {
+        let e = division::division_double_difference("R", "S");
+        let plain = Engine::new(division_db())
+            .query(e.clone())
+            .explain()
+            .unwrap();
+        assert!(!plain.contains("rows"), "{plain}");
+        let annotated = Engine::new(division_db())
+            .stats(StatsMode::Analyze)
+            .query(e.clone())
+            .explain()
+            .unwrap();
+        assert!(annotated.contains("~"), "{annotated}");
+        assert!(annotated.contains("rows"), "{annotated}");
+        // Instrumented runs put estimated next to actual per node.
+        let out = Engine::new(division_db())
+            .stats(StatsMode::Analyze)
+            .instrument(Instrument::Cardinalities)
+            .query(e)
+            .run()
+            .unwrap();
+        let report = out.report.unwrap();
+        let rendered = report.render();
+        assert!(rendered.contains("est≈"), "{rendered}");
+        assert!(rendered.contains("card"), "{rendered}");
+    }
+
+    #[test]
+    fn stats_off_is_byte_identical_to_the_threshold_selector() {
+        // The PR-4 boundary behaviors: tiny division → sort-merge, big
+        // containment division → hash, equality → counting; parallel
+        // hints flip to the partition variants only past the documented
+        // thresholds. StatsMode::Off must reproduce all of it (it
+        // routes through the identical threshold code path).
+        use sj_setjoin::registry::thresholds::*;
+        let rows: Vec<Vec<i64>> = (0..(PARALLEL_DIVISION_INPUT as i64))
+            .map(|i| vec![i / 4, i % 4])
+            .collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&refs));
+        db.set("S", Relation::from_int_rows(&[&[0], &[1]]));
+        let serial = Engine::new(db.clone());
+        assert_eq!(serial.stats_mode(), StatsMode::Off);
+        assert_eq!(
+            serial
+                .divide("R", "S", DivisionSemantics::Containment)
+                .unwrap()
+                .algorithm,
+            "hash"
+        );
+        assert_eq!(
+            serial
+                .divide("R", "S", DivisionSemantics::Equality)
+                .unwrap()
+                .algorithm,
+            "counting"
+        );
+        let threaded = Engine::new(db).parallelism(Parallelism::Threads(4));
+        assert_eq!(
+            threaded
+                .divide("R", "S", DivisionSemantics::Containment)
+                .unwrap()
+                .algorithm,
+            "parallel-hash"
+        );
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub mod plan;
 pub mod reference;
 
 pub use engine::{
-    AlgorithmChoice, Engine, Instrument, Query, QueryOutput, Report, SetOpOutput, Strategy,
+    AlgorithmChoice, Engine, Instrument, Query, QueryOutput, Report, SetOpOutput, StatsMode,
+    Strategy,
 };
 pub use error::EvalError;
 pub use explain::explain;
@@ -54,7 +55,8 @@ pub use reference::evaluate_reference;
 /// Most-used items in one import.
 pub mod prelude {
     pub use crate::engine::{
-        AlgorithmChoice, Engine, Instrument, Query, QueryOutput, Report, SetOpOutput, Strategy,
+        AlgorithmChoice, Engine, Instrument, Query, QueryOutput, Report, SetOpOutput, StatsMode,
+        Strategy,
     };
     pub use crate::instrumented::{evaluate_instrumented, EvalReport, NodeStat};
     pub use crate::ops::PartitionStat;

@@ -38,6 +38,7 @@ use crate::ops;
 use crate::ops::PartitionStat;
 use crate::par::Parallelism;
 use sj_algebra::{AlgebraError, Condition, Expr, Selection};
+use sj_stats::{CostModel, Estimator, StatsSource};
 use sj_storage::{Database, FxHashMap, Relation, Schema, Value};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -121,6 +122,11 @@ pub struct PlanNode {
     /// How many times the subexpression occurs in the original tree —
     /// `> 1` means the naive evaluator would have re-evaluated it.
     pub occurrences: usize,
+    /// Estimated output cardinality, present when the plan was built
+    /// with statistics ([`PhysicalPlan::of_costed`]). Purely advisory:
+    /// it drives operator choice and appears in `explain` output, never
+    /// in results.
+    pub est_rows: Option<f64>,
 }
 
 /// A lowered, hash-consed physical plan.
@@ -133,14 +139,44 @@ pub struct PhysicalPlan {
     nodes: Vec<PlanNode>,
     root: NodeId,
     expr_nodes: usize,
+    /// Present when the plan was built with statistics: gates
+    /// partition-parallelism per node from actual operand sizes at
+    /// execution time (replacing the fixed [`PAR_MIN_NODE_INPUT`]).
+    cost_model: Option<CostModel>,
 }
 
 impl PhysicalPlan {
     /// Validate `expr` against `schema` and lower it to a physical DAG.
     pub fn of(expr: &Expr, schema: &Schema) -> Result<PhysicalPlan, EvalError> {
+        Self::build(expr, schema, None)
+    }
+
+    /// [`PhysicalPlan::of`] with statistics: every node carries an
+    /// estimated output cardinality ([`PlanNode::est_rows`], shown by
+    /// [`PhysicalPlan::explain`] and compared against actuals in
+    /// instrumented reports), binary operator choice consults the
+    /// estimates (a join whose operands are provably tiny skips the
+    /// hash build), and partition-parallel execution is gated by the
+    /// [`CostModel`] instead of a fixed input-size threshold. Results
+    /// are identical to the stats-free plan — only constants change.
+    pub fn of_costed(
+        expr: &Expr,
+        schema: &Schema,
+        source: &dyn StatsSource,
+        model: &CostModel,
+    ) -> Result<PhysicalPlan, EvalError> {
+        Self::build(expr, schema, Some((source, model)))
+    }
+
+    fn build(
+        expr: &Expr,
+        schema: &Schema,
+        stats: Option<(&dyn StatsSource, &CostModel)>,
+    ) -> Result<PhysicalPlan, EvalError> {
         expr.arity(schema)?;
         let mut planner = Planner {
             schema,
+            stats,
             nodes: Vec::new(),
             memo: FxHashMap::default(),
         };
@@ -149,10 +185,12 @@ impl PhysicalPlan {
         // first memo hit, so descendants of a shared subtree would be
         // undercounted (R under a second π₁(R) occurrence, say).
         planner.count_occurrences(expr);
+        planner.annotate_estimates();
         Ok(PhysicalPlan {
             nodes: planner.nodes,
             root,
             expr_nodes: expr.node_count(),
+            cost_model: stats.map(|(_, m)| m.clone()),
         })
     }
 
@@ -235,6 +273,7 @@ impl PhysicalPlan {
         Ok(PlannedReport {
             result: Arc::try_unwrap(root).unwrap_or_else(|arc| arc.as_ref().clone()),
             occurrences: self.nodes.iter().map(|n| n.occurrences).collect(),
+            estimates: self.nodes.iter().map(|n| n.est_rows).collect(),
             nodes: slots
                 .into_iter()
                 .map(|n| n.expect("every node observed"))
@@ -247,12 +286,14 @@ impl PhysicalPlan {
 
     /// Execute one node against its already-computed children. Binary
     /// join/semijoin operators go partition-parallel when `workers > 1`
-    /// **and** the combined input reaches [`PAR_MIN_NODE_INPUT`] — below
-    /// that, partitioning (tuple clones plus the re-canonicalizing
-    /// merge) costs more than the operator itself, as the `planned`
-    /// rows of `results/parallel_scaling.csv` document. The cheap
-    /// linear operators (scan, merge set ops, projection, filter, tag,
-    /// grouping) always run serially — their cost is one pass over
+    /// **and** the operand sizes justify it: plans built with
+    /// statistics ask the [`CostModel`] (spawn + partitioning overhead
+    /// vs the work the extra workers take over), stats-free plans use
+    /// the fixed [`PAR_MIN_NODE_INPUT`] cutoff — below either bar,
+    /// partitioning costs more than the operator itself, as the
+    /// `planned` rows of `results/parallel_scaling.csv` document. The
+    /// cheap linear operators (scan, merge set ops, projection, filter,
+    /// tag, grouping) always run serially — their cost is one pass over
     /// input the partitioning itself would have to make.
     fn exec_op(
         &self,
@@ -262,8 +303,17 @@ impl PhysicalPlan {
         workers: usize,
     ) -> Result<(Arc<Relation>, Vec<PartitionStat>), EvalError> {
         let serial = |r: Relation| (Arc::new(r), Vec::new());
-        let workers = if kids.len() == 2 && kids[0].len() + kids[1].len() < PAR_MIN_NODE_INPUT {
-            1
+        let workers = if kids.len() == 2 {
+            let (l, r) = (kids[0].len(), kids[1].len());
+            let worthwhile = match &self.cost_model {
+                Some(m) => m.parallel_node_worthwhile(l, r, workers),
+                None => l + r >= PAR_MIN_NODE_INPUT,
+            };
+            if worthwhile {
+                workers
+            } else {
+                1
+            }
         } else {
             workers
         };
@@ -510,8 +560,12 @@ impl PhysicalPlan {
         } else {
             String::new()
         };
+        let est = match node.est_rows {
+            Some(e) => format!("  ~{e:.0} rows"),
+            None => String::new(),
+        };
         let head = format!("{branch}#{id} {}", node.op.name());
-        out.push_str(&format!("{head:<40} {}{shared}\n", node.label));
+        out.push_str(&format!("{head:<40} {}{est}{shared}\n", node.label));
         let n = node.children.len();
         for (i, &c) in node.children.iter().enumerate() {
             self.render(c, &child_prefix, i + 1 == n, false, seen, out);
@@ -530,6 +584,10 @@ impl PhysicalPlan {
 /// `(operator, child NodeIds)` after lowering children for `O(n)` total.
 struct Planner<'a> {
     schema: &'a Schema,
+    /// Statistics context when planning cost-based
+    /// ([`PhysicalPlan::of_costed`]): a stats source for the leaves and
+    /// the cost model that turns estimates into operator choices.
+    stats: Option<(&'a dyn StatsSource, &'a CostModel)>,
     nodes: Vec<PlanNode>,
     memo: FxHashMap<u64, Vec<(&'a Expr, NodeId)>>,
 }
@@ -569,11 +627,12 @@ impl<'a> Planner<'a> {
             Expr::Project(cols, a) => (PhysOp::Project(cols.clone()), vec![self.lower(a)]),
             Expr::Select(sel, a) => (PhysOp::Filter(sel.clone()), vec![self.lower(a)]),
             Expr::ConstTag(c, a) => (PhysOp::Tag(c.clone()), vec![self.lower(a)]),
-            Expr::Join(theta, a, b) => {
-                (Self::choose_join(theta), vec![self.lower(a), self.lower(b)])
-            }
+            Expr::Join(theta, a, b) => (
+                self.choose_join_for(theta, a, b),
+                vec![self.lower(a), self.lower(b)],
+            ),
             Expr::Semijoin(theta, a, b) => (
-                Self::choose_semijoin(theta),
+                self.choose_semijoin_for(theta, a, b),
                 vec![self.lower(a), self.lower(b)],
             ),
             Expr::GroupCount(cols, a) => {
@@ -602,31 +661,66 @@ impl<'a> Planner<'a> {
             label: e.label(),
             arity,
             occurrences: 0, // filled by `count_occurrences`
+            est_rows: None, // filled by `annotate_estimates`
         });
         self.memo.entry(h).or_default().push((e, id));
         id
     }
 
-    fn choose_join(theta: &Condition) -> PhysOp {
+    /// Record an estimated output cardinality on every plan node
+    /// (cost-based plans only). One estimator pass per distinct
+    /// subexpression — quadratic in the expression size, microseconds
+    /// at this workspace's scales.
+    fn annotate_estimates(&mut self) {
+        let Some((src, _)) = self.stats else { return };
+        let estimator = Estimator::new(src);
+        let ids: Vec<(&Expr, NodeId)> =
+            self.memo.values().flat_map(|v| v.iter().copied()).collect();
+        for (e, id) in ids {
+            self.nodes[id].est_rows = estimator.estimate(e).map(|c| c.rows);
+        }
+    }
+
+    /// Are both join operands **provably** small enough that a
+    /// filtered nested loop beats paying for the hash build? The
+    /// decision uses the estimator's guaranteed upper bounds
+    /// (`CardEst::upper`), never the selectivity-scaled row estimates:
+    /// an optimistic estimate on correlated data must not be able to
+    /// demote an `O(n)` hash join into an `Ω(n²)` nested loop. Missing
+    /// statistics keep the default.
+    fn hash_build_pays_off(&self, a: &Expr, b: &Expr) -> bool {
+        let Some((src, model)) = self.stats else {
+            return true;
+        };
+        let estimator = Estimator::new(src);
+        match (estimator.estimate(a), estimator.estimate(b)) {
+            (Some(ea), Some(eb)) => model.hash_worthwhile(ea.upper, eb.upper),
+            _ => true,
+        }
+    }
+
+    fn choose_join_for(&self, theta: &Condition, a: &Expr, b: &Expr) -> PhysOp {
         if let Some(prefix) = ops::merge_prefix_len(theta) {
+            // Merge on an aligned prefix is sort-free either way —
+            // statistics cannot improve on it.
             PhysOp::MergeJoin {
                 theta: theta.clone(),
                 prefix,
             }
-        } else if !ops::split_condition(theta).0.is_empty() {
+        } else if !ops::split_condition(theta).0.is_empty() && self.hash_build_pays_off(a, b) {
             PhysOp::HashJoin(theta.clone())
         } else {
             PhysOp::NestedLoopJoin(theta.clone())
         }
     }
 
-    fn choose_semijoin(theta: &Condition) -> PhysOp {
+    fn choose_semijoin_for(&self, theta: &Condition, a: &Expr, b: &Expr) -> PhysOp {
         if let Some(prefix) = ops::merge_prefix_len(theta) {
             PhysOp::MergeSemijoin {
                 theta: theta.clone(),
                 prefix,
             }
-        } else if !ops::split_condition(theta).0.is_empty() {
+        } else if !ops::split_condition(theta).0.is_empty() && self.hash_build_pays_off(a, b) {
             PhysOp::HashSemijoin(theta.clone())
         } else {
             PhysOp::NestedLoopSemijoin(theta.clone())
@@ -648,6 +742,11 @@ pub struct PlannedReport {
     /// Per-node occurrence counts in the logical tree (parallel to
     /// `nodes`).
     pub occurrences: Vec<usize>,
+    /// Per-node estimated cardinalities (parallel to `nodes`), present
+    /// for plans built with statistics — `render` prints them next to
+    /// the actual cardinalities, making estimator error visible per
+    /// node.
+    pub estimates: Vec<Option<f64>>,
     /// The input database size `|D|`.
     pub db_size: usize,
     /// Size of the logical expression tree.
@@ -691,7 +790,12 @@ impl PlannedReport {
             self.nodes.len(),
             self.expr_nodes,
         );
-        for (n, &occ) in self.nodes.iter().zip(&self.occurrences) {
+        for ((n, &occ), est) in self
+            .nodes
+            .iter()
+            .zip(&self.occurrences)
+            .zip(&self.estimates)
+        {
             let shared = if occ > 1 {
                 format!("  ×{occ}")
             } else {
@@ -702,8 +806,12 @@ impl PlannedReport {
             } else {
                 format!("  [{} partitions]", n.partitions.len())
             };
+            let est = match est {
+                Some(e) => format!("  est≈{e:.0}"),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "  [{:>3}] {:<20} {:<28} arity {}  card {}{shared}{parts}\n",
+                "  [{:>3}] {:<20} {:<28} arity {}  card {}{est}{shared}{parts}\n",
                 n.id, n.operator, n.label, n.arity, n.cardinality
             ));
         }
@@ -1088,6 +1196,101 @@ mod tests {
         // The division DAG starts from two independent leaves: level 0
         // holds both scans — the executor runs them concurrently.
         assert_eq!(levels[0].len(), 2);
+    }
+
+    #[test]
+    fn costed_plan_annotates_estimates_and_preserves_results() {
+        use sj_stats::{AnalyzeSource, CostModel};
+        let db = division_db();
+        let e = division::division_double_difference("R", "S");
+        let plain = PhysicalPlan::of(&e, &db.schema()).unwrap();
+        assert!(plain.nodes().iter().all(|n| n.est_rows.is_none()));
+        let src = AnalyzeSource::new(&db);
+        let model = CostModel::default();
+        let costed = PhysicalPlan::of_costed(&e, &db.schema(), &src, &model).unwrap();
+        assert_eq!(costed.node_count(), plain.node_count());
+        assert!(
+            costed.nodes().iter().all(|n| n.est_rows.is_some()),
+            "every node gets an estimate"
+        );
+        // Leaf scans are estimated exactly.
+        let scan_r = costed
+            .nodes()
+            .iter()
+            .find(|n| n.op == PhysOp::Scan("R".into()))
+            .unwrap();
+        assert_eq!(scan_r.est_rows, Some(5.0));
+        // Same results as the plain plan; explain carries the estimates.
+        assert_eq!(costed.execute(&db).unwrap(), plain.execute(&db).unwrap());
+        assert!(costed.explain().contains("~"), "{}", costed.explain());
+        assert!(!plain.explain().contains("~5 rows"));
+        // Instrumented report pairs estimates with actuals.
+        let report = costed.execute_instrumented(&db).unwrap();
+        assert_eq!(report.estimates.len(), report.nodes.len());
+        assert!(report.estimates.iter().all(|e| e.is_some()));
+        assert!(report.render().contains("est≈"), "{}", report.render());
+    }
+
+    #[test]
+    fn costed_plan_demotes_hash_on_provably_tiny_inputs() {
+        use sj_stats::{AnalyzeSource, CostModel};
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&[&[1, 10], &[2, 20]]));
+        db.set("S", Relation::from_int_rows(&[&[10, 1], &[20, 2]]));
+        // Off-prefix equality: the static planner always hashes…
+        let e = Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("S"));
+        let plain = PhysicalPlan::of(&e, &db.schema()).unwrap();
+        assert_eq!(plain.nodes()[plain.root()].op.name(), "hash-join");
+        // …the costed planner sees 2×2 rows and skips the build.
+        let src = AnalyzeSource::new(&db);
+        let model = CostModel::default();
+        let costed = PhysicalPlan::of_costed(&e, &db.schema(), &src, &model).unwrap();
+        assert_eq!(costed.nodes()[costed.root()].op.name(), "nested-loop-join");
+        assert_eq!(costed.execute(&db).unwrap(), plain.execute(&db).unwrap());
+        // At scale the hash join stays.
+        let rows: Vec<Vec<i64>> = (0..500).map(|i| vec![i, i % 50]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut big = Database::new();
+        big.set("R", Relation::from_int_rows(&refs));
+        big.set("S", Relation::from_int_rows(&refs));
+        let src = AnalyzeSource::new(&big);
+        let costed = PhysicalPlan::of_costed(&e, &big.schema(), &src, &model).unwrap();
+        assert_eq!(costed.nodes()[costed.root()].op.name(), "hash-join");
+        // Merge on aligned prefixes is never demoted.
+        let aligned = Expr::rel("R").join(Condition::eq(1, 1), Expr::rel("S"));
+        let src = AnalyzeSource::new(&db);
+        let costed = PhysicalPlan::of_costed(&aligned, &db.schema(), &src, &model).unwrap();
+        assert_eq!(costed.nodes()[costed.root()].op.name(), "merge-join");
+    }
+
+    #[test]
+    fn correlated_selection_estimates_never_demote_hash_joins() {
+        use sj_stats::{AnalyzeSource, CostModel};
+        // Every tuple satisfies σ₁₌₂, but the independence assumption
+        // estimates the selection at |R|/distinct ≈ 1 row. The demotion
+        // gate must use the guaranteed upper bound (|R|), not that
+        // optimistic estimate — otherwise stats would turn an O(n)
+        // hash join into an Ω(n²) nested loop here.
+        let rows: Vec<Vec<i64>> = (0..2000).map(|i| vec![i, i]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&refs));
+        db.set("S", Relation::from_int_rows(&refs));
+        let e = Expr::rel("R")
+            .select_eq(1, 2)
+            .join(Condition::eq(2, 1), Expr::rel("S").select_eq(1, 2));
+        let src = AnalyzeSource::new(&db);
+        let costed =
+            PhysicalPlan::of_costed(&e, &db.schema(), &src, &CostModel::default()).unwrap();
+        assert_eq!(costed.nodes()[costed.root()].op.name(), "hash-join");
+        // The (deliberately optimistic) row estimate on the selection
+        // nodes really is tiny — the point is that it must not matter.
+        let sel_node = costed
+            .nodes()
+            .iter()
+            .find(|n| n.op.name() == "filter")
+            .unwrap();
+        assert!(sel_node.est_rows.unwrap() < 100.0);
     }
 
     #[test]

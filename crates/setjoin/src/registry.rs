@@ -31,36 +31,16 @@ use crate::setjoin::{
     SetPredicate,
 };
 use crate::wide_signature::wide_signature_set_join;
+use sj_stats::{containment_selectivity, CostModel, TableStats};
 use sj_storage::Relation;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
-/// Asymptotic running-time class of an algorithm, in the spirit of
-/// Definition 16 of the paper (which classifies *expressions* by the
-/// growth of their largest intermediate; for direct algorithms the
-/// analogous measure is total work in the input size `n`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
-pub enum ComplexityClass {
-    /// `O(n)` (possibly expected, for hash-based algorithms) plus output.
-    Linear,
-    /// `O(n log n)` plus output — the "sorting or counting tricks" of the
-    /// paper's footnote 1.
-    Quasilinear,
-    /// `Ω(n²)` worst case — the class Proposition 26 proves unavoidable
-    /// for division *inside* RA, and the best known bound for
-    /// set-containment joins.
-    Quadratic,
-}
-
-impl fmt::Display for ComplexityClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ComplexityClass::Linear => write!(f, "O(n)"),
-            ComplexityClass::Quasilinear => write!(f, "O(n log n)"),
-            ComplexityClass::Quadratic => write!(f, "O(n²)"),
-        }
-    }
-}
+// `ComplexityClass` (Definition 16's running-time classes) lives in
+// `sj-stats` — the bottom of the crate graph — so the cost model can
+// price it without a dependency cycle; this re-export keeps the
+// historical `sj_setjoin::registry::ComplexityClass` path working.
+pub use sj_stats::ComplexityClass;
 
 /// A named set-join algorithm `R(A,B) ⋈_{B θ D} S(C,D)`.
 ///
@@ -403,23 +383,36 @@ pub struct Registry {
     divisions: Vec<Arc<dyn DivisionAlgorithm>>,
 }
 
-/// Inputs at or below this many tuples (both operands together) skip
-/// signature/hash machinery: the setup cost dominates at toy sizes.
-const SMALL_INPUT: usize = 64;
+/// The selection thresholds of the stats-free `auto` selectors
+/// ([`Registry::auto_set_join_with`] / [`Registry::auto_division_with`]),
+/// named and documented in one place and public so tests and experiments
+/// can construct inputs exactly on either side of each boundary. The
+/// cost-based selectors ([`Registry::auto_set_join_costed`] /
+/// [`Registry::auto_division_costed`]) replace these fixed cutoffs with
+/// [`CostModel`] estimates when statistics are available.
+pub mod thresholds {
+    /// Inputs at or below this many tuples (both operands together) skip
+    /// signature/hash machinery: the setup cost dominates at toy sizes.
+    pub const SMALL_INPUT: usize = 64;
 
-/// Average group size at which the `auto` selector widens signatures from
-/// one to four words (large sets saturate 64-bit signatures).
-const WIDE_SET_THRESHOLD: usize = 16;
+    /// Average group size at which the `auto` selector widens signatures
+    /// from one to four words (large sets saturate 64-bit signatures).
+    pub const WIDE_SET_THRESHOLD: usize = 16;
 
-/// Combined input size (tuples, both operands) above which the `auto`
-/// selectors prefer the partition-parallel set-join variant when the
-/// caller signals a parallel execution context (`workers > 1`). Below
-/// it, partition bookkeeping outweighs the pruning.
-const PARALLEL_SETJOIN_INPUT: usize = 4096;
+    /// Combined input size (tuples, both operands) above which the `auto`
+    /// selectors prefer the partition-parallel set-join variant when the
+    /// caller signals a parallel execution context (`workers > 1`). Below
+    /// it, partition bookkeeping outweighs the pruning.
+    pub const PARALLEL_SETJOIN_INPUT: usize = 4096;
 
-/// Combined input size above which the `auto` selectors prefer the
-/// partition-parallel division when `workers > 1`.
-const PARALLEL_DIVISION_INPUT: usize = 8192;
+    /// Combined input size above which the `auto` selectors prefer the
+    /// partition-parallel division when `workers > 1`.
+    pub const PARALLEL_DIVISION_INPUT: usize = 8192;
+}
+
+use thresholds::{
+    PARALLEL_DIVISION_INPUT, PARALLEL_SETJOIN_INPUT, SMALL_INPUT, WIDE_SET_THRESHOLD,
+};
 
 impl Registry {
     /// An empty registry.
@@ -614,6 +607,244 @@ impl Registry {
             pick("hash")
         };
         preferred.or_else(|| self.divisions.last().cloned())
+    }
+
+    /// **Cost-based** division selection: with statistics, every
+    /// registered algorithm is priced by [`division_cost`] and the
+    /// cheapest wins; without statistics this is exactly
+    /// [`Registry::auto_division_with`] (the threshold rules), so
+    /// engines with statistics disabled behave identically to engines
+    /// predating the cost model.
+    ///
+    /// Deterministic: identical statistics produce identical picks; on
+    /// exact cost ties the latest registration of a name wins (matching
+    /// the [`Registry::find_division`] shadowing rule).
+    pub fn auto_division_costed(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        sem: DivisionSemantics,
+        workers: usize,
+        stats: Option<(&TableStats, &TableStats)>,
+        model: &CostModel,
+    ) -> Option<Arc<dyn DivisionAlgorithm>> {
+        let Some((rs, ss)) = stats else {
+            return self.auto_division_with(r, s, sem, workers);
+        };
+        let mut best: Option<(f64, Arc<dyn DivisionAlgorithm>)> = None;
+        let mut seen: Vec<&str> = Vec::new();
+        for alg in self.divisions.iter().rev() {
+            if seen.contains(&alg.name()) {
+                continue; // shadowed by a later registration
+            }
+            seen.push(alg.name());
+            let cost = division_cost(model, alg.as_ref(), rs, ss, sem, workers);
+            if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                best = Some((cost, alg.clone()));
+            }
+        }
+        best.map(|(_, a)| a)
+    }
+
+    /// **Cost-based** set-join selection over the algorithms supporting
+    /// `pred` (see [`Registry::auto_division_costed`]; prices come from
+    /// [`set_join_cost`]). Falls back to the threshold rules of
+    /// [`Registry::auto_set_join_with`] when `stats` is `None`.
+    pub fn auto_set_join_costed(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        pred: SetPredicate,
+        workers: usize,
+        stats: Option<(&TableStats, &TableStats)>,
+        model: &CostModel,
+    ) -> Option<Arc<dyn SetJoinAlgorithm>> {
+        let Some((rs, ss)) = stats else {
+            return self.auto_set_join_with(r, s, pred, workers);
+        };
+        let mut best: Option<(f64, Arc<dyn SetJoinAlgorithm>)> = None;
+        let mut seen: Vec<&str> = Vec::new();
+        for alg in self.set_joins.iter().rev() {
+            if seen.contains(&alg.name()) {
+                continue;
+            }
+            seen.push(alg.name());
+            if !alg.supports(pred) {
+                continue;
+            }
+            let cost = set_join_cost(model, alg.as_ref(), rs, ss, pred, workers);
+            if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                best = Some((cost, alg.clone()));
+            }
+        }
+        best.map(|(_, a)| a)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The cost formulas
+// ---------------------------------------------------------------------------
+
+/// Verification work per nested-loop candidate pair, in
+/// [`CostModel::verify`] units — calibrated against the measured
+/// `results/setjoin_shootout.csv` medians (the exact merge test bails
+/// out early on most non-matching pairs, so the effective per-pair cost
+/// is a small constant rather than the full set size).
+const NL_PAIR: f64 = 2.4;
+
+/// Per-candidate scan factor of the inverted-index join's postings
+/// intersection (calibrated like [`NL_PAIR`]).
+const INV_SCAN: f64 = 0.55;
+
+/// Per-probe-group bookkeeping of the inverted-index join (it
+/// allocates a candidate-count map per contained group) — dominant at
+/// small group counts, where the measured medians sit well above the
+/// pure postings-scan cost.
+const INV_GROUP: f64 = 100.0;
+
+/// Per-candidate anchor-postings probe cost of the partition-based set
+/// join, on top of the signature test.
+const PSJ_PROBE: f64 = 0.2;
+
+/// Estimated cost, in [`CostModel`] units, of running a division
+/// algorithm on inputs with the given statistics.
+///
+/// The standard algorithm names get refined formulas (constants
+/// calibrated against `results/division_shootout.csv`); anything else
+/// is priced by the generic [`CostModel::class_cost`] of its declared
+/// [`ComplexityClass`] — so user-registered algorithms participate in
+/// cost-based selection from their class alone.
+pub fn division_cost(
+    model: &CostModel,
+    alg: &dyn DivisionAlgorithm,
+    r: &TableStats,
+    s: &TableStats,
+    sem: DivisionSemantics,
+    workers: usize,
+) -> f64 {
+    let w = workers.max(1) as f64;
+    let (n_r, n_s) = (r.rows as f64, s.rows as f64);
+    let g = r.groups() as f64;
+    let mean = r.mean_set();
+    match alg.name() {
+        // Each (group, divisor value) probe scans half the group.
+        "nested-loop" => model.tuple_pass * g * n_s * (1.0 + mean / 2.0),
+        // One allocation-free merge per group: the whole divisor is
+        // re-walked per group, the dividend once in total.
+        "sort-merge" => 0.7 * model.tuple_pass * (n_r + g * n_s),
+        // Graefe's bitmap division: build the divisor table, one hash
+        // probe per dividend tuple.
+        "hash" => model.setup + model.tuple_pass * n_s + model.hash_op * n_r,
+        // The counting pass touches the same tuples with a slightly
+        // leaner per-tuple operation (counter bump vs bitmap index).
+        "counting" => model.setup + model.tuple_pass * n_s + 0.95 * model.hash_op * n_r,
+        // Shared divisor index + group-aligned zero-copy dividend
+        // slices: the probe pass shards across workers, everything
+        // else (spawn, partition bookkeeping, merge) is overhead.
+        "parallel-hash" => {
+            model.setup
+                + model.partition_setup
+                + model.spawn * w
+                + model.tuple_pass * (n_s + g)
+                + 0.95 * model.hash_op * n_r / w
+        }
+        _ => model.setup + model.class_cost(alg.complexity(sem), n_r + n_s),
+    }
+}
+
+/// Estimated cost, in [`CostModel`] units, of running a set-join
+/// algorithm on inputs with the given statistics (see
+/// [`division_cost`]; constants calibrated against
+/// `results/setjoin_shootout.csv`).
+///
+/// The quadratic algorithms are priced on the **group-pair space**
+/// `G_R · G_S` with the expected exact-verification work derived from
+/// [`containment_selectivity`] and the signature false-positive rate
+/// from the sets' signature-bit saturation; the partition-based join
+/// additionally gets the anchor-element pruning factor
+/// `mean-set / distinct-elements` — the same quantity that makes it
+/// win even single-threaded on selective workloads.
+pub fn set_join_cost(
+    model: &CostModel,
+    alg: &dyn SetJoinAlgorithm,
+    r: &TableStats,
+    s: &TableStats,
+    pred: SetPredicate,
+    workers: usize,
+) -> f64 {
+    let w = workers.max(1) as f64;
+    let (n_r, n_s) = (r.rows as f64, s.rows as f64);
+    let n = n_r + n_s;
+    let (g_r, g_s) = (r.groups() as f64, s.groups() as f64);
+    let pairs = g_r * g_s;
+    // The side whose sets must cover the other's.
+    let (containing, contained) = match pred {
+        SetPredicate::ContainedIn => (s, r),
+        _ => (r, s),
+    };
+    let mean_b = containing.mean_set();
+    let mean_d = contained.mean_set();
+    let d_elems = containing.distinct(1).max(1) as f64;
+    // Probability a candidate pair passes the exact test; drives the
+    // verification work that survives a signature filter.
+    let sel = match pred {
+        SetPredicate::Contains | SetPredicate::ContainedIn => {
+            containment_selectivity(containing, contained)
+        }
+        // Equality is containment with a size match on top.
+        SetPredicate::Equals => 0.5 * containment_selectivity(containing, contained),
+        // Any shared element qualifies — selective only on tiny sets.
+        SetPredicate::IntersectsNonempty => 0.5,
+    };
+    // Exact verification merges both sorted sets.
+    let verify_pair = model.verify * (mean_b + mean_d) / 2.0;
+    // Signature false-positive rate at a given width: the probability
+    // that all of the contained set's signature bits land inside the
+    // containing set's occupied bits.
+    let fp = |bits: f64| {
+        let occ = 1.0 - (-mean_b / bits).exp();
+        occ.powf(mean_d.clamp(1.0, bits))
+    };
+    match alg.name() {
+        "nested-loop" => model.tuple_pass * n + NL_PAIR * model.verify * pairs,
+        "signature64" => {
+            model.setup
+                + model.tuple_pass * n
+                + pairs * (model.sig_test + (sel + fp(64.0)) * verify_pair)
+        }
+        "signature128" | "signature256" | "signature512" | "signature-wide" => {
+            model.setup
+                + 4.0 * model.tuple_pass * n
+                + pairs * (2.2 * model.sig_test + (sel + fp(256.0)) * verify_pair)
+        }
+        // Postings over the containing side; every element of every
+        // contained set scans its postings list (average length
+        // `rows / distinct-elements`), with a per-group candidate map
+        // on top.
+        "inverted-index" => {
+            model.setup
+                + 1.5 * model.tuple_pass * containing.rows as f64
+                + INV_GROUP * contained.groups() as f64
+                + INV_SCAN * contained.rows as f64 * (containing.rows as f64 / d_elems)
+        }
+        "hash-set-equality" => model.setup + model.hash_op * n + model.tuple_pass * (g_r + g_s),
+        "equijoin-intersect" => model.setup + model.hash_op * n,
+        "parallel-signature" => {
+            let base = model.partition_setup + 2.0 * model.tuple_pass * n + model.spawn * w;
+            match pred {
+                // Set-hash partitioning: candidate pairs collapse to
+                // the per-partition collisions, dominated by the group
+                // hashing itself.
+                SetPredicate::Equals => base + model.hash_op * (g_r + g_s) / w,
+                _ => {
+                    // Anchor pruning: a contained group is only tested
+                    // against groups holding its anchor element.
+                    let pruned = pairs * (mean_b / d_elems).min(1.0);
+                    base + (pruned * (model.sig_test + PSJ_PROBE) + pairs * sel * verify_pair) / w
+                }
+            }
+        }
+        _ => model.setup + model.class_cost(alg.complexity(pred), n),
     }
 }
 
@@ -923,6 +1154,233 @@ mod tests {
         assert_eq!(WideSignatureSetJoin { words: 3 }.name(), "signature-wide");
         // A one-word wide signature must not shadow the standard entry.
         assert_eq!(WideSignatureSetJoin { words: 1 }.name(), "signature-wide");
+    }
+
+    fn stats_pair(r: &Relation, s: &Relation) -> (TableStats, TableStats) {
+        (TableStats::analyze(r), TableStats::analyze(s))
+    }
+
+    #[test]
+    fn costed_auto_without_stats_is_the_threshold_selector() {
+        let reg = Registry::standard();
+        let model = CostModel::default();
+        let rows: Vec<[i64; 2]> = (0..500).map(|i| [i / 4, i % 4]).collect();
+        let big = pairs(&rows);
+        let small = pairs(&[[1, 7], [2, 7]]);
+        let divisor = Relation::from_int_rows(&[&[7]]);
+        for (r, s) in [(&big, &divisor), (&small, &divisor)] {
+            for sem in [DivisionSemantics::Containment, DivisionSemantics::Equality] {
+                for workers in [1usize, 4] {
+                    assert_eq!(
+                        reg.auto_division_costed(r, s, sem, workers, None, &model)
+                            .unwrap()
+                            .name(),
+                        reg.auto_division_with(r, s, sem, workers).unwrap().name(),
+                        "stats off must reproduce the threshold pick"
+                    );
+                }
+            }
+        }
+        for pred in [
+            SetPredicate::Contains,
+            SetPredicate::Equals,
+            SetPredicate::IntersectsNonempty,
+        ] {
+            assert_eq!(
+                reg.auto_set_join_costed(&big, &big, pred, 1, None, &model)
+                    .unwrap()
+                    .name(),
+                reg.auto_set_join_with(&big, &big, pred, 1).unwrap().name()
+            );
+        }
+    }
+
+    #[test]
+    fn costed_division_picks_by_scale_and_workers() {
+        let reg = Registry::standard();
+        let model = CostModel::default();
+        // A divisor comfortably larger than the mean set size: per-group
+        // divisor merges (sort-merge's cost) outweigh per-tuple hashing.
+        let drows: Vec<[i64; 1]> = (0..8).map(|i| [i]).collect();
+        let divisor = Relation::from_tuples(1, drows.iter().map(|r| Tuple::from_ints(r))).unwrap();
+        // Tiny input: the allocation-free merge wins on setup cost.
+        let small = pairs(&[[1, 0], [1, 1], [2, 0]]);
+        let (rs, ss) = stats_pair(&small, &divisor);
+        let pick = |r: &Relation, st: &(TableStats, TableStats), workers| {
+            reg.auto_division_costed(
+                r,
+                &divisor,
+                DivisionSemantics::Containment,
+                workers,
+                Some((&st.0, &st.1)),
+                &model,
+            )
+            .unwrap()
+            .name()
+        };
+        assert_eq!(pick(&small, &(rs, ss), 1), "sort-merge");
+        // Fig-scale input: the one-pass counting division wins serial…
+        let rows: Vec<[i64; 2]> = (0..60_000).map(|i| [i / 4, i % 4]).collect();
+        let big = pairs(&rows);
+        let st = stats_pair(&big, &divisor);
+        assert_eq!(pick(&big, &st, 1), "counting");
+        // …and the partitioned variant wins once workers amortize the
+        // spawn cost.
+        assert_eq!(pick(&big, &st, 4), "parallel-hash");
+    }
+
+    #[test]
+    fn costed_set_join_prices_the_anchor_pruning() {
+        let reg = Registry::standard();
+        let model = CostModel::default();
+        // Many groups over a small element domain — the regime where
+        // anchor partitioning prunes the pair space and the
+        // partition-based join wins even single-threaded.
+        let rows: Vec<[i64; 2]> = (0..2000)
+            .flat_map(|g| (0..6).map(move |v| [g, (g * 7 + v) % 64]))
+            .collect();
+        let big = pairs(&rows);
+        let (rs, ss) = stats_pair(&big, &big);
+        let alg = reg
+            .auto_set_join_costed(
+                &big,
+                &big,
+                SetPredicate::Contains,
+                1,
+                Some((&rs, &ss)),
+                &model,
+            )
+            .unwrap();
+        assert_eq!(alg.name(), "parallel-signature");
+        // Small group counts: signatures win (spawn/partition overhead
+        // dominates), and tiny inputs fall back to nested loops.
+        let mid_rows: Vec<[i64; 2]> = (0..128)
+            .flat_map(|g| (0..6).map(move |v| [g, (g * 7 + v) % 64]))
+            .collect();
+        let mid = pairs(&mid_rows);
+        let (ms, _) = stats_pair(&mid, &mid);
+        let alg = reg
+            .auto_set_join_costed(
+                &mid,
+                &mid,
+                SetPredicate::Contains,
+                1,
+                Some((&ms, &ms)),
+                &model,
+            )
+            .unwrap();
+        assert_eq!(alg.name(), "signature64");
+        let tiny = pairs(&[[1, 10], [1, 11], [2, 10]]);
+        let (ts, _) = stats_pair(&tiny, &tiny);
+        let alg = reg
+            .auto_set_join_costed(
+                &tiny,
+                &tiny,
+                SetPredicate::Contains,
+                1,
+                Some((&ts, &ts)),
+                &model,
+            )
+            .unwrap();
+        assert_eq!(alg.name(), "nested-loop");
+        // Dedicated (quasi)linear algorithms keep their predicates.
+        let alg = reg
+            .auto_set_join_costed(
+                &big,
+                &big,
+                SetPredicate::Equals,
+                1,
+                Some((&rs, &ss)),
+                &model,
+            )
+            .unwrap();
+        assert_eq!(alg.name(), "hash-set-equality");
+        let alg = reg
+            .auto_set_join_costed(
+                &big,
+                &big,
+                SetPredicate::IntersectsNonempty,
+                1,
+                Some((&rs, &ss)),
+                &model,
+            )
+            .unwrap();
+        assert_eq!(alg.name(), "equijoin-intersect");
+    }
+
+    #[test]
+    fn costed_auto_never_picks_unsupported_and_prices_unknown_by_class() {
+        struct Custom;
+        impl SetJoinAlgorithm for Custom {
+            fn name(&self) -> &'static str {
+                "custom-linear"
+            }
+            fn supports(&self, p: SetPredicate) -> bool {
+                p == SetPredicate::Contains
+            }
+            fn complexity(&self, _p: SetPredicate) -> ComplexityClass {
+                ComplexityClass::Linear
+            }
+            fn run(&self, r: &Relation, _s: &Relation, _p: SetPredicate) -> Relation {
+                r.clone()
+            }
+        }
+        let mut reg = Registry::standard().clone();
+        reg.register_set_join(Arc::new(Custom));
+        let model = CostModel::default();
+        let rows: Vec<[i64; 2]> = (0..4000).map(|i| [i / 4, i % 16]).collect();
+        let big = pairs(&rows);
+        let st = TableStats::analyze(&big);
+        // A (claimed) linear algorithm beats every quadratic formula at
+        // scale: the generic class fallback prices it competitively.
+        let alg = reg
+            .auto_set_join_costed(
+                &big,
+                &big,
+                SetPredicate::Contains,
+                1,
+                Some((&st, &st)),
+                &model,
+            )
+            .unwrap();
+        assert_eq!(alg.name(), "custom-linear");
+        // Unsupported predicates never see it.
+        let alg = reg
+            .auto_set_join_costed(
+                &big,
+                &big,
+                SetPredicate::Equals,
+                1,
+                Some((&st, &st)),
+                &model,
+            )
+            .unwrap();
+        assert!(alg.supports(SetPredicate::Equals), "{}", alg.name());
+    }
+
+    #[test]
+    fn thresholds_are_exposed_and_used() {
+        // The constants are public so tests can sit exactly on the
+        // boundary: one tuple past SMALL_INPUT flips the division pick.
+        use super::thresholds::*;
+        let divisor = Relation::from_int_rows(&[&[0]]);
+        let at: Vec<[i64; 2]> = (0..SMALL_INPUT as i64 - 1).map(|i| [i, 0]).collect();
+        let over: Vec<[i64; 2]> = (0..SMALL_INPUT as i64).map(|i| [i, 0]).collect();
+        let reg = Registry::standard();
+        assert_eq!(
+            reg.auto_division(&pairs(&at), &divisor, DivisionSemantics::Containment)
+                .unwrap()
+                .name(),
+            "sort-merge"
+        );
+        assert_eq!(
+            reg.auto_division(&pairs(&over), &divisor, DivisionSemantics::Containment)
+                .unwrap()
+                .name(),
+            "hash"
+        );
+        const { assert!(WIDE_SET_THRESHOLD > 0) };
+        const { assert!(PARALLEL_SETJOIN_INPUT < PARALLEL_DIVISION_INPUT) };
     }
 
     #[test]

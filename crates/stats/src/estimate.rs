@@ -1,0 +1,469 @@
+//! Cardinality estimation for algebra expressions and the direct set
+//! operators.
+//!
+//! The estimator walks an [`Expr`] bottom-up, carrying per-column
+//! distinct counts (and, where available, histograms) through the
+//! operators:
+//!
+//! * **selection** selectivity comes from the column histogram for
+//!   constant predicates and the distinct-count uniform assumption for
+//!   column-column predicates;
+//! * **join** cardinality uses the classical
+//!   `|R|·|S| / max(d_R(a), d_S(b))` distinct-count formula per
+//!   equality atom, capped by the `|R|·|S|` product — the binary
+//!   special case of the AGM output bound (*Size bounds and query
+//!   plans for relational joins*, Atserias–Grohe–Marx), which is what
+//!   makes the estimate safe to use as an upper bound for operator
+//!   gating;
+//! * **division** output is estimated from the dividend's group
+//!   statistics: each group qualifies with probability
+//!   `p^|S|` where `p` is the per-element coverage probability
+//!   ([`division_rows`]).
+//!
+//! Estimates are deliberately *upper-leaning*: the planner uses them to
+//! rule out hash machinery and partitioning on provably tiny inputs,
+//! where an overestimate merely forfeits a micro-optimization while an
+//! underestimate would pick a quadratic loop on a large node.
+
+use crate::catalog::StatsSource;
+use crate::histogram::Histogram;
+use crate::table::TableStats;
+use sj_algebra::{CompOp, Condition, Expr, Selection};
+
+/// Default selectivity of a `<` / `>` atom (the System R convention).
+const RANGE_SEL: f64 = 1.0 / 3.0;
+/// Default selectivity of a `≠` atom.
+const NEQ_SEL: f64 = 0.9;
+
+/// Estimated shape of one column of an intermediate result.
+#[derive(Debug, Clone)]
+pub struct ColEst {
+    /// Estimated distinct values.
+    pub distinct: f64,
+    /// Histogram inherited from the base relation, when the column is
+    /// a structural copy of a base column (selections and reorderings
+    /// preserve it; unions, differences and aggregates drop it).
+    pub histogram: Option<Histogram>,
+}
+
+/// Estimated shape of an intermediate result.
+#[derive(Debug, Clone)]
+pub struct CardEst {
+    /// Estimated output cardinality.
+    pub rows: f64,
+    /// **Guaranteed** upper bound on the output cardinality, derived
+    /// without any selectivity assumption (selections and semijoins
+    /// cannot grow their input, a join cannot exceed the operand
+    /// product, a union cannot exceed the operand sum). Unlike
+    /// [`CardEst::rows`] this can never under-estimate, so it is the
+    /// safe quantity for decisions where an underestimate would be
+    /// catastrophic — e.g. demoting a hash join to a nested loop.
+    pub upper: f64,
+    /// Per-column estimates (length = output arity).
+    pub cols: Vec<ColEst>,
+}
+
+impl CardEst {
+    /// Output arity of the estimated expression.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Clamp the row estimate by the guaranteed upper bound and every
+    /// per-column distinct estimate by the row estimate (distinct
+    /// values can never exceed rows).
+    fn clamped(mut self) -> CardEst {
+        self.rows = self.rows.min(self.upper);
+        for c in &mut self.cols {
+            c.distinct = c.distinct.min(self.rows).max(0.0);
+        }
+        self
+    }
+}
+
+/// The expression cardinality estimator over a [`StatsSource`].
+pub struct Estimator<'a> {
+    src: &'a dyn StatsSource,
+}
+
+impl<'a> Estimator<'a> {
+    /// An estimator reading base-relation statistics from `src`.
+    pub fn new(src: &'a dyn StatsSource) -> Estimator<'a> {
+        Estimator { src }
+    }
+
+    /// Estimate the output shape of `expr`; `None` when statistics for
+    /// some leaf relation are unavailable.
+    pub fn estimate(&self, expr: &Expr) -> Option<CardEst> {
+        Some(match expr {
+            Expr::Rel(name) => {
+                let t = self.src.table_stats(name)?;
+                CardEst {
+                    rows: t.rows as f64,
+                    upper: t.rows as f64,
+                    cols: t
+                        .columns
+                        .iter()
+                        .map(|c| ColEst {
+                            distinct: c.distinct as f64,
+                            histogram: Some(c.histogram.clone()),
+                        })
+                        .collect(),
+                }
+            }
+            Expr::Union(a, b) => {
+                let (a, b) = (self.estimate(a)?, self.estimate(b)?);
+                CardEst {
+                    rows: a.rows + b.rows,
+                    upper: a.upper + b.upper,
+                    cols: a
+                        .cols
+                        .iter()
+                        .zip(&b.cols)
+                        .map(|(x, y)| ColEst {
+                            distinct: x.distinct + y.distinct,
+                            histogram: None,
+                        })
+                        .collect(),
+                }
+                .clamped()
+            }
+            Expr::Diff(a, b) => {
+                // Upper bound: the difference never outgrows the left
+                // operand (estimating the overlap would need value-level
+                // correlation the statistics don't carry).
+                let a = self.estimate(a)?;
+                let _ = self.estimate(b)?;
+                a
+            }
+            Expr::Project(cols, a) => {
+                let a = self.estimate(a)?;
+                let kept: Vec<ColEst> = cols.iter().map(|&c| a.cols[c - 1].clone()).collect();
+                // Set semantics dedups: output rows are bounded by the
+                // joint distinct count of the kept columns.
+                let joint: f64 = kept.iter().map(|c| c.distinct.max(1.0)).product();
+                CardEst {
+                    rows: a.rows.min(joint),
+                    upper: a.upper,
+                    cols: kept,
+                }
+                .clamped()
+            }
+            Expr::Select(sel, a) => {
+                let a = self.estimate(a)?;
+                let s = selection_selectivity(sel, &a);
+                CardEst {
+                    rows: a.rows * s,
+                    // No selectivity assumption: a filter passes at
+                    // worst everything.
+                    upper: a.upper,
+                    cols: a.cols,
+                }
+                .clamped()
+            }
+            Expr::ConstTag(_, a) => {
+                let mut a = self.estimate(a)?;
+                a.cols.push(ColEst {
+                    distinct: 1.0,
+                    histogram: None,
+                });
+                a
+            }
+            Expr::Join(theta, a, b) => {
+                let (a, b) = (self.estimate(a)?, self.estimate(b)?);
+                let rows = join_rows(theta, &a, &b);
+                let upper = a.upper * b.upper;
+                let cols = a.cols.into_iter().chain(b.cols).collect();
+                CardEst { rows, upper, cols }.clamped()
+            }
+            Expr::Semijoin(theta, a, b) => {
+                let (a, b) = (self.estimate(a)?, self.estimate(b)?);
+                let rows = a.rows * semijoin_selectivity(theta, &a, &b);
+                CardEst {
+                    rows,
+                    upper: a.upper,
+                    cols: a.cols,
+                }
+                .clamped()
+            }
+            Expr::GroupCount(cols, a) => {
+                let a = self.estimate(a)?;
+                let kept: Vec<ColEst> = cols
+                    .iter()
+                    .map(|&c| ColEst {
+                        distinct: a.cols[c - 1].distinct,
+                        histogram: None,
+                    })
+                    .collect();
+                let joint: f64 = kept.iter().map(|c| c.distinct.max(1.0)).product();
+                let rows = if cols.is_empty() {
+                    1.0
+                } else {
+                    a.rows.min(joint)
+                };
+                let count_col = ColEst {
+                    distinct: rows.sqrt().max(1.0),
+                    histogram: None,
+                };
+                CardEst {
+                    rows,
+                    // γ emits at most one row per input row (plus the
+                    // global-count row on empty input).
+                    upper: a.upper.max(1.0),
+                    cols: kept.into_iter().chain([count_col]).collect(),
+                }
+                .clamped()
+            }
+        })
+    }
+}
+
+/// Selectivity of one selection predicate against an input estimate.
+fn selection_selectivity(sel: &Selection, input: &CardEst) -> f64 {
+    match sel {
+        Selection::Eq(i, j) => {
+            let (di, dj) = (input.cols[i - 1].distinct, input.cols[j - 1].distinct);
+            1.0 / di.max(dj).max(1.0)
+        }
+        Selection::Lt(_, _) => RANGE_SEL,
+        Selection::EqConst(i, c) => {
+            let col = &input.cols[i - 1];
+            match &col.histogram {
+                Some(h) if h.count() > 0 => (h.estimate_eq(c) / h.count() as f64).clamp(0.0, 1.0),
+                _ => 1.0 / col.distinct.max(1.0),
+            }
+        }
+    }
+}
+
+/// Estimated join output: the distinct-count formula per equality
+/// atom, default selectivities for the inequality atoms, capped by the
+/// AGM product bound.
+fn join_rows(theta: &Condition, a: &CardEst, b: &CardEst) -> f64 {
+    let product = a.rows * b.rows;
+    let mut rows = product;
+    for atom in theta.atoms() {
+        let (da, db) = (
+            a.cols[atom.left - 1].distinct,
+            b.cols[atom.right - 1].distinct,
+        );
+        rows *= match atom.op {
+            CompOp::Eq => 1.0 / da.max(db).max(1.0),
+            CompOp::Neq => NEQ_SEL,
+            CompOp::Lt | CompOp::Gt => RANGE_SEL,
+        };
+    }
+    rows.min(product)
+}
+
+/// Estimated fraction of left tuples surviving `a ⋉θ b`: per equality
+/// atom, the probability the left key value occurs on the right under
+/// the domain-containment assumption.
+fn semijoin_selectivity(theta: &Condition, a: &CardEst, b: &CardEst) -> f64 {
+    if theta.is_empty() {
+        // Unconditional semijoin = emptiness test on the right side.
+        return if b.rows >= 0.5 { 1.0 } else { 0.0 };
+    }
+    let mut sel = 1.0;
+    for atom in theta.atoms() {
+        let (da, db) = (
+            a.cols[atom.left - 1].distinct,
+            b.cols[atom.right - 1].distinct,
+        );
+        sel *= match atom.op {
+            CompOp::Eq => (db / da.max(1.0)).min(1.0),
+            CompOp::Neq => 1.0,
+            CompOp::Lt | CompOp::Gt => 1.0 - RANGE_SEL * 0.5,
+        };
+    }
+    sel.clamp(0.0, 1.0)
+}
+
+/// Estimated division output `R(A,B) ÷ S(B)` from the dividend's group
+/// statistics: under the uniform-coverage assumption each group holds
+/// a given divisor element with probability
+/// `p = min(1, mean_set / distinct_B)`, so a group contains all of `S`
+/// with probability `p^|S|` — and only groups at least as large as the
+/// divisor can qualify at all. The equality semantics additionally
+/// requires the exact size match, modeled as one draw from the
+/// observed set-size range.
+pub fn division_rows(r: &TableStats, s_rows: usize, equality: bool) -> f64 {
+    let Some(g) = &r.group else { return 0.0 };
+    if g.groups == 0 {
+        return 0.0;
+    }
+    if s_rows == 0 {
+        // R ÷ ∅: every group qualifies under containment; equality
+        // requires an empty set, which set semantics cannot store.
+        return if equality { 0.0 } else { g.groups as f64 };
+    }
+    if g.max_set < s_rows {
+        return 0.0;
+    }
+    let p_elem = (g.mean_set / r.distinct(1).max(1) as f64).min(1.0);
+    let mut est = g.groups as f64 * p_elem.powi(s_rows.min(i32::MAX as usize) as i32);
+    if equality {
+        let size_span = (g.max_set - g.min_set + 1) as f64;
+        est /= size_span;
+    }
+    est.clamp(0.0, g.groups as f64)
+}
+
+/// Estimated selectivity of `B-set ⊇ D-set` over group pairs: the
+/// probability that one `containing` group covers one `contained`
+/// group, under the same uniform-coverage assumption as
+/// [`division_rows`]. Used by the cost model to price the exact
+/// verification work behind a signature filter.
+pub fn containment_selectivity(containing: &TableStats, contained: &TableStats) -> f64 {
+    let (Some(cg), Some(dg)) = (&containing.group, &contained.group) else {
+        return 0.0;
+    };
+    if cg.groups == 0 || dg.groups == 0 {
+        return 0.0;
+    }
+    let p_elem = (cg.mean_set / containing.distinct(1).max(1) as f64).min(1.0);
+    p_elem.powf(dg.mean_set.max(1.0)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_storage::{FxHashMap, Relation, Tuple, Value};
+    use std::sync::Arc;
+
+    fn pairs(rows: &[[i64; 2]]) -> Relation {
+        Relation::from_tuples(2, rows.iter().map(|r| Tuple::from_ints(r))).unwrap()
+    }
+
+    fn source(rels: &[(&str, &Relation)]) -> FxHashMap<String, Arc<TableStats>> {
+        rels.iter()
+            .map(|(n, r)| (n.to_string(), Arc::new(TableStats::analyze(r))))
+            .collect()
+    }
+
+    #[test]
+    fn leaf_estimate_matches_stats() {
+        let r = pairs(&[[1, 10], [1, 11], [2, 10]]);
+        let src = source(&[("R", &r)]);
+        let est = Estimator::new(&src).estimate(&Expr::rel("R")).unwrap();
+        assert_eq!(est.rows, 3.0);
+        assert_eq!(est.arity(), 2);
+        assert_eq!(est.cols[0].distinct, 2.0);
+        assert_eq!(est.cols[1].distinct, 2.0);
+        assert!(Estimator::new(&src)
+            .estimate(&Expr::rel("missing"))
+            .is_none());
+    }
+
+    #[test]
+    fn selection_and_projection_estimates() {
+        let rows: Vec<[i64; 2]> = (0..100).map(|i| [i % 10, i]).collect();
+        let r = pairs(&rows);
+        let src = source(&[("R", &r)]);
+        let e = Estimator::new(&src);
+        // σ₁₌c: 10 rows per key, histogram-exact (narrow range).
+        let sel = e
+            .estimate(&Expr::rel("R").select_const(1, Value::int(3)))
+            .unwrap();
+        assert!((sel.rows - 10.0).abs() < 2.0, "rows = {}", sel.rows);
+        // π₁ dedups to the 10 keys.
+        let proj = e.estimate(&Expr::rel("R").project([1])).unwrap();
+        assert!((proj.rows - 10.0).abs() < 1e-9);
+        // Tag appends a constant column.
+        let tag = e.estimate(&Expr::rel("R").tag(Value::int(9))).unwrap();
+        assert_eq!(tag.arity(), 3);
+        assert_eq!(tag.rows, 100.0);
+    }
+
+    #[test]
+    fn join_estimate_uses_distinct_counts_and_caps_at_product() {
+        let rows: Vec<[i64; 2]> = (0..100).map(|i| [i % 10, i]).collect();
+        let r = pairs(&rows);
+        let src = source(&[("R", &r)]);
+        let e = Estimator::new(&src);
+        // Self-join on the key: 100·100/10 = 1000 (actual: 10 keys ×
+        // 10×10 pairs = 1000 — exact on this uniform input).
+        let j = e
+            .estimate(&Expr::rel("R").join(sj_algebra::Condition::eq(1, 1), Expr::rel("R")))
+            .unwrap();
+        assert!((j.rows - 1000.0).abs() < 1e-9);
+        assert_eq!(j.arity(), 4);
+        // The cartesian product is the AGM cap.
+        let x = e
+            .estimate(&Expr::rel("R").join(sj_algebra::Condition::always(), Expr::rel("R")))
+            .unwrap();
+        assert!((x.rows - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semijoin_estimate_never_exceeds_left() {
+        let rows: Vec<[i64; 2]> = (0..60).map(|i| [i % 6, i]).collect();
+        let r = pairs(&rows);
+        let s = pairs(&[[0, 1], [1, 2], [2, 3]]);
+        let src = source(&[("R", &r), ("S", &s)]);
+        let e = Estimator::new(&src);
+        let sj = e
+            .estimate(&Expr::rel("R").semijoin(sj_algebra::Condition::eq(1, 1), Expr::rel("S")))
+            .unwrap();
+        assert!(sj.rows <= 60.0);
+        // 3 of 6 keys survive: 30 rows.
+        assert!((sj.rows - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn division_rows_estimates() {
+        // 20 groups over a 10-element domain, each group ~5 elements:
+        // p = 0.5, |S| = 2 ⇒ about a quarter of the groups qualify.
+        let rows: Vec<[i64; 2]> = (0..20)
+            .flat_map(|g| (0..5).map(move |v| [g, (g * 3 + v * 2) % 10]))
+            .collect();
+        let r = TableStats::analyze(&pairs(&rows));
+        let est = division_rows(&r, 2, false);
+        assert!((3.0..8.0).contains(&est), "est = {est}");
+        // Empty divisor: every group qualifies (containment).
+        assert_eq!(division_rows(&r, 0, false), 20.0);
+        assert_eq!(division_rows(&r, 0, true), 0.0);
+        // Divisor larger than the largest set: impossible.
+        assert_eq!(division_rows(&r, 50, false), 0.0);
+        // Equality semantics is strictly more selective.
+        assert!(division_rows(&r, 2, true) <= est);
+    }
+
+    #[test]
+    fn containment_selectivity_bounds() {
+        let rows: Vec<[i64; 2]> = (0..30)
+            .flat_map(|g| (0..4).map(move |v| [g, (g + v) % 8]))
+            .collect();
+        let t = TableStats::analyze(&pairs(&rows));
+        let sel = containment_selectivity(&t, &t);
+        assert!((0.0..=1.0).contains(&sel));
+        assert!(sel > 0.0);
+        let empty = TableStats::analyze(&Relation::empty(2));
+        assert_eq!(containment_selectivity(&empty, &t), 0.0);
+    }
+
+    #[test]
+    fn union_and_diff_estimates_are_safe_upper_bounds() {
+        let a = pairs(&[[1, 1], [2, 2]]);
+        let b = pairs(&[[1, 1], [3, 3]]);
+        let src = source(&[("A", &a), ("B", &b)]);
+        let e = Estimator::new(&src);
+        let u = e.estimate(&Expr::rel("A").union(Expr::rel("B"))).unwrap();
+        assert!(u.rows >= 3.0, "union actual is 3, estimate {}", u.rows);
+        let d = e.estimate(&Expr::rel("A").diff(Expr::rel("B"))).unwrap();
+        assert_eq!(d.rows, 2.0, "difference upper bound = |A|");
+    }
+
+    #[test]
+    fn group_count_estimate() {
+        let rows: Vec<[i64; 2]> = (0..40).map(|i| [i % 4, i]).collect();
+        let r = pairs(&rows);
+        let src = source(&[("R", &r)]);
+        let e = Estimator::new(&src);
+        let g = e.estimate(&Expr::rel("R").group_count([1])).unwrap();
+        assert!((g.rows - 4.0).abs() < 1e-9);
+        assert_eq!(g.arity(), 2);
+        let global = e.estimate(&Expr::rel("R").group_count([])).unwrap();
+        assert_eq!(global.rows, 1.0);
+    }
+}

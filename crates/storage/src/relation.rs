@@ -299,6 +299,39 @@ impl Relation {
             .collect()
     }
 
+    /// The **zero-copy** variant of [`Relation::partition_by_hash`]:
+    /// the same disjoint hash partitions, but as lists of tuple
+    /// *indices* into [`Relation::tuples`] instead of cloned tuples.
+    /// Each list is strictly ascending, so visiting a partition's
+    /// indices walks its tuples in canonical order — partition-parallel
+    /// operators can build and probe through these views without ever
+    /// copying a tuple (the scheme the `sj-setjoin` parallel operators
+    /// pioneered, ported here for `sj-eval`'s planned-query path).
+    ///
+    /// `n = 0` is treated as one partition; with `cols` empty every
+    /// tuple lands in partition 0 (same conventions as
+    /// [`Relation::partition_of`]).
+    pub fn partition_indices(&self, cols: &[usize], n: usize) -> Vec<Vec<u32>> {
+        let n = n.max(1);
+        debug_assert!(
+            cols.iter().all(|&c| c < self.arity),
+            "partition_indices: key column out of range"
+        );
+        debug_assert!(
+            self.tuples.len() <= u32::MAX as usize,
+            "partition_indices: relation too large for u32 indices"
+        );
+        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); n];
+        if n > 1 {
+            for (i, t) in self.tuples.iter().enumerate() {
+                parts[Self::partition_of(t, cols, n)].push(i as u32);
+            }
+        } else {
+            parts[0] = (0..self.tuples.len() as u32).collect();
+        }
+        parts
+    }
+
     /// [`Relation::partition_by_hash`] on a shared handle, returning
     /// `Arc`-shared partitions. The degenerate single-partition case is
     /// clone-free: the one "partition" is the input's own allocation
@@ -535,6 +568,38 @@ mod tests {
         for p in &parts {
             assert!(p.tuples().windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn partition_indices_agree_with_partition_by_hash() {
+        let rows: Vec<Vec<i64>> = (0..200).map(|i| vec![i % 37, i]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Relation::from_int_rows(&refs);
+        for n in [1usize, 2, 4, 8] {
+            let by_tuple = a.partition_by_hash(&[0], n);
+            let by_index = a.partition_indices(&[0], n);
+            assert_eq!(by_index.len(), n);
+            for (p_rel, p_idx) in by_tuple.iter().zip(&by_index) {
+                // Same tuples in the same order, and indices ascending
+                // (canonical order preserved through the view).
+                let via_idx: Vec<&Tuple> = p_idx.iter().map(|&i| &a.tuples()[i as usize]).collect();
+                let direct: Vec<&Tuple> = p_rel.iter().collect();
+                assert_eq!(via_idx, direct, "n = {n}");
+                assert!(p_idx.windows(2).all(|w| w[0] < w[1]), "n = {n}");
+            }
+            let total: usize = by_index.iter().map(|p| p.len()).sum();
+            assert_eq!(total, a.len());
+        }
+        // Empty key and empty input conventions match partition_by_hash.
+        let idx = a.partition_indices(&[], 3);
+        assert_eq!(idx[0].len(), a.len());
+        assert!(idx[1].is_empty() && idx[2].is_empty());
+        assert!(Relation::empty(2)
+            .partition_indices(&[0], 4)
+            .iter()
+            .all(|p| p.is_empty()));
+        // n = 0 behaves as one partition.
+        assert_eq!(a.partition_indices(&[0], 0).len(), 1);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`bisim`] | `sj-bisim` | guarded bisimulation checker and solver |
 //! | [`core`] | `sj-core` | dichotomy theorem machinery (the paper's contribution) |
 //! | [`setjoin`] | `sj-setjoin` | division and set-join algorithms & their [`Registry`] |
+//! | [`stats`] | `sj-stats` | per-relation statistics, cardinality estimation, the cost model |
 //! | [`workload`] | `sj-workload` | deterministic data generators, paper figures |
 //!
 //! ## Quickstart
@@ -64,21 +65,24 @@ pub use sj_core as core;
 pub use sj_eval as eval;
 pub use sj_logic as logic;
 pub use sj_setjoin as setjoin;
+pub use sj_stats as stats;
 pub use sj_storage as storage;
 pub use sj_workload as workload;
 
-pub use sj_eval::{Engine, Instrument, Parallelism, Query, QueryOutput, Strategy};
+pub use sj_eval::{Engine, Instrument, Parallelism, Query, QueryOutput, StatsMode, Strategy};
 pub use sj_setjoin::Registry;
+pub use sj_stats::{CostModel, TableStats};
 
 /// Most-used items in one import.
 pub mod prelude {
     pub use sj_algebra::{Condition, Expr, OptimizeLevel, Pass, Pipeline};
     pub use sj_eval::{
         evaluate, evaluate_instrumented, AlgorithmChoice, Engine, EvalReport, Instrument,
-        Parallelism, Query, QueryOutput, Report, SetOpOutput, Strategy,
+        Parallelism, Query, QueryOutput, Report, SetOpOutput, StatsMode, Strategy,
     };
     pub use sj_setjoin::{
         divide, set_join, ComplexityClass, DivisionSemantics, Registry, SetPredicate,
     };
+    pub use sj_stats::{CostModel, StatsCatalog, TableStats};
     pub use sj_storage::{tuple, Database, Relation, Schema, Tuple, Value};
 }

@@ -1,0 +1,230 @@
+//! Integration suite for the statistics subsystem: `StatsMode` end to
+//! end through the `Engine`, invariants the acceptance criteria demand
+//! (stats off ⇒ byte-identical PR-4 selection; stats on ⇒ identical
+//! *results* with cost-refined *picks*), catalog invalidation through
+//! engine mutation, and the explain/report annotations.
+
+use setjoins::prelude::*;
+use sj_algebra::division;
+use sj_setjoin::registry::thresholds;
+use sj_workload::{DivisionWorkload, ElementDist, SetJoinWorkload, SetSizeDist};
+
+fn division_db(groups: usize) -> Database {
+    DivisionWorkload {
+        groups,
+        divisor_size: (groups as f64).sqrt() as usize,
+        containment_fraction: 0.1,
+        extra_per_group: 4,
+        noise_domain: 4 * groups,
+        seed: 0x57A7,
+    }
+    .database()
+}
+
+fn setjoin_db(groups: usize, dist: ElementDist) -> Database {
+    let (r, s) = SetJoinWorkload {
+        r_groups: groups,
+        s_groups: groups,
+        set_size: SetSizeDist::Uniform(2, 10),
+        domain: 64,
+        elements: dist,
+        seed: 0x57A8,
+    }
+    .generate();
+    let mut db = Database::new();
+    db.set("R", r);
+    db.set("S", s);
+    db
+}
+
+/// Every stats mode produces identical relations for queries and both
+/// set operators, across scales and predicates — the mode may only
+/// change *which algorithm* computes the answer.
+#[test]
+fn stats_modes_never_change_results() {
+    for groups in [32usize, 2048] {
+        let ddb = division_db(groups);
+        let sdb = setjoin_db(groups.min(512), ElementDist::Zipf(1.0));
+        let baseline = Engine::new(ddb.clone());
+        let sj_baseline = Engine::new(sdb.clone());
+        for mode in [StatsMode::Analyze, StatsMode::Cached] {
+            let engine = Engine::new(ddb.clone()).stats(mode);
+            for sem in [DivisionSemantics::Containment, DivisionSemantics::Equality] {
+                assert_eq!(
+                    engine.divide("R", "S", sem).unwrap().relation,
+                    baseline.divide("R", "S", sem).unwrap().relation,
+                    "{mode} {sem:?} at {groups} groups"
+                );
+            }
+            let e = division::division_counting("R", "S");
+            assert_eq!(
+                engine.query(e.clone()).run().unwrap().relation,
+                baseline.query(e).run().unwrap().relation,
+                "{mode} query at {groups} groups"
+            );
+            let sj_engine = Engine::new(sdb.clone()).stats(mode);
+            for pred in [
+                SetPredicate::Contains,
+                SetPredicate::ContainedIn,
+                SetPredicate::Equals,
+                SetPredicate::IntersectsNonempty,
+            ] {
+                assert_eq!(
+                    sj_engine.set_join("R", "S", pred).unwrap().relation,
+                    sj_baseline.set_join("R", "S", pred).unwrap().relation,
+                    "{mode} {pred:?}"
+                );
+            }
+        }
+    }
+}
+
+/// With stats off, selection is the PR-4 threshold behavior, pinned at
+/// the exposed threshold constants.
+#[test]
+fn stats_off_reproduces_threshold_selection_at_the_boundaries() {
+    // One tuple below/above SMALL_INPUT flips sort-merge → hash.
+    let divisor = Relation::from_int_rows(&[&[0]]);
+    let mk = |n: usize| {
+        let rows: Vec<Vec<i64>> = (0..n as i64 - 1).map(|i| vec![i, 0]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&refs));
+        db.set("S", divisor.clone());
+        db
+    };
+    let at = Engine::new(mk(thresholds::SMALL_INPUT));
+    assert_eq!(
+        at.divide("R", "S", DivisionSemantics::Containment)
+            .unwrap()
+            .algorithm,
+        "sort-merge"
+    );
+    let over = Engine::new(mk(thresholds::SMALL_INPUT + 2));
+    assert_eq!(
+        over.divide("R", "S", DivisionSemantics::Containment)
+            .unwrap()
+            .algorithm,
+        "hash"
+    );
+}
+
+/// Cost-based selection upgrades the serial containment pick on the
+/// selective fig-scale workload (the measured regime where the
+/// partition-based join's anchor pruning wins even single-threaded),
+/// while tiny inputs keep the setup-free nested loop.
+#[test]
+fn cost_based_selection_refines_the_containment_pick() {
+    let db = setjoin_db(2048, ElementDist::Uniform);
+    let threshold = Engine::new(db.clone())
+        .set_join("R", "S", SetPredicate::Contains)
+        .unwrap();
+    let costed = Engine::new(db)
+        .stats(StatsMode::Analyze)
+        .set_join("R", "S", SetPredicate::Contains)
+        .unwrap();
+    assert_eq!(threshold.algorithm, "signature64");
+    assert_eq!(costed.algorithm, "parallel-signature");
+    assert_eq!(threshold.relation, costed.relation);
+    let tiny = setjoin_db(4, ElementDist::Uniform);
+    let costed = Engine::new(tiny)
+        .stats(StatsMode::Analyze)
+        .set_join("R", "S", SetPredicate::Contains)
+        .unwrap();
+    assert_eq!(costed.algorithm, "nested-loop");
+}
+
+/// The cached catalog follows database mutation through the engine
+/// (copy-on-write invalidation end to end).
+#[test]
+fn cached_mode_tracks_engine_db_mutation() {
+    let mut engine = Engine::new(division_db(16)).stats(StatsMode::Cached);
+    let before = engine
+        .divide("R", "S", DivisionSemantics::Containment)
+        .unwrap();
+    assert_eq!(engine.catalog().len(), 2);
+    // Replace R with the fig-scale dividend: the pick must follow the
+    // new statistics, not the cached ones.
+    let big = division_db(16_384);
+    let r = big.get("R").unwrap().clone();
+    let s = big.get("S").unwrap().clone();
+    engine.db_mut().set("R", r);
+    engine.db_mut().set("S", s);
+    let after = engine
+        .divide("R", "S", DivisionSemantics::Containment)
+        .unwrap();
+    assert_eq!(before.algorithm, "sort-merge");
+    assert_eq!(after.algorithm, "counting");
+}
+
+/// Explain output and instrumented reports carry estimated-vs-actual
+/// row annotations exactly when statistics are enabled.
+#[test]
+fn explain_and_reports_annotate_estimates() {
+    let db = division_db(256);
+    let e = division::division_double_difference("R", "S");
+    let plain = Engine::new(db.clone()).query(e.clone()).explain().unwrap();
+    assert!(!plain.contains("rows"), "{plain}");
+    let annotated = Engine::new(db.clone())
+        .stats(StatsMode::Cached)
+        .query(e.clone())
+        .explain()
+        .unwrap();
+    assert!(annotated.contains("rows"), "{annotated}");
+    let out = Engine::new(db)
+        .stats(StatsMode::Analyze)
+        .instrument(Instrument::Cardinalities)
+        .query(e)
+        .run()
+        .unwrap();
+    let planned = out.report.unwrap();
+    let planned = planned.as_planned().unwrap();
+    assert_eq!(planned.estimates.len(), planned.nodes.len());
+    assert!(planned.estimates.iter().all(Option::is_some));
+    assert!(planned.render().contains("est≈"));
+    // Scan estimates are exact: est == actual cardinality on leaves.
+    for (stat, est) in planned.nodes.iter().zip(&planned.estimates) {
+        if stat.operator == "scan" {
+            assert_eq!(est.unwrap() as usize, stat.cardinality, "{}", stat.label);
+        }
+    }
+}
+
+/// Stats-driven planning composes with optimization, parallelism and
+/// both instrumented strategies without changing any result.
+#[test]
+fn stats_compose_with_optimizer_and_parallelism() {
+    let db = division_db(512);
+    let e = division::division_via_join("R", "S");
+    let want = Engine::new(db.clone()).query(e.clone()).run().unwrap();
+    for level in [
+        OptimizeLevel::Off,
+        OptimizeLevel::Structural,
+        OptimizeLevel::Full,
+    ] {
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let out = Engine::new(db.clone())
+                .stats(StatsMode::Cached)
+                .optimize(level)
+                .parallelism(par)
+                .query(e.clone())
+                .run()
+                .unwrap();
+            assert_eq!(out.relation, want.relation, "{level:?} {par}");
+        }
+    }
+}
+
+/// The statistics types are reachable through the umbrella crate and
+/// prelude (API surface pin).
+#[test]
+fn stats_api_is_exported() {
+    let stats = TableStats::analyze(&Relation::from_int_rows(&[&[1, 2], &[1, 3]]));
+    assert_eq!(stats.rows, 2);
+    assert_eq!(stats.groups(), 1);
+    let model = CostModel::default();
+    assert!(model.class_cost(ComplexityClass::Quadratic, 100.0) > 0.0);
+    let catalog: StatsCatalog = StatsCatalog::new();
+    assert!(catalog.is_empty());
+    let _ = setjoins::stats::Histogram::empty();
+}
