@@ -66,6 +66,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("semijoin", semijoin_linear),
     ("planner", planner),
     ("parallel", parallel_scaling),
+    ("vectorized", vectorized_scaling_run),
     ("cost", cost_model_run),
     ("distinguish", distinguish),
 ];
@@ -887,7 +888,7 @@ fn parallel_scaling() {
 
     // E16b — registry-routed set-containment join, fig scale (the
     // setjoin shoot-out's largest point), both element distributions.
-    let sj_groups = 2_048usize;
+    let sj_groups = 512usize;
     for (dist_name, dist) in [
         ("setjoin ⊇ uniform (auto)", ElementDist::Uniform),
         ("setjoin ⊇ zipf1.0 (auto)", ElementDist::Zipf(1.0)),
@@ -937,6 +938,176 @@ fn parallel_scaling() {
         "parallel: best speedup at 4 threads = {:.2}x ({}) on a {host}-CPU host → {}",
         best_at_4.0,
         best_at_4.1,
+        path.display()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized vs row-at-a-time execution
+// ---------------------------------------------------------------------------
+
+/// Row-at-a-time vs vectorized execution, serial and at 4 workers, on
+/// planner-routed figure workloads plus the set-join shoot-out's
+/// columnar signature path. Every measured pair is asserted
+/// byte-identical before it is reported. The 4-worker rows isolate
+/// what vectorization adds *on top of* partition parallelism: the
+/// partitioned operator kernels themselves are row-based (vectorizing
+/// per-partition index views is future work), so those rows hover near
+/// parity while the serial rows carry the columnar win.
+fn vectorized_scaling_run() {
+    use sj_eval::Execution;
+    use sj_setjoin::{parallel_signature_set_join, signature_set_join, signature_set_join_rowwise};
+    let mut csv = CsvSink::new(
+        "vectorized_scaling",
+        &[
+            "workload",
+            "scale",
+            "threads",
+            "row_ms",
+            "vectorized_ms",
+            "speedup",
+        ],
+    );
+    println!(
+        "{:<26} {:>8} {:>8} {:>10} {:>10} {:>9}",
+        "workload", "scale", "threads", "row ms", "vec ms", "speedup"
+    );
+    let mut run_case = |workload: &str,
+                        scale: usize,
+                        threads: usize,
+                        row: &dyn Fn() -> Relation,
+                        vec_: &dyn Fn() -> Relation| {
+        assert_eq!(row(), vec_(), "{workload} @{threads}: vectorized ≢ row");
+        // Interleave the samples so slow drift (frequency scaling, a
+        // noisy co-tenant) hits both modes alike, then take medians.
+        let reps = 9;
+        let mut row_t: Vec<f64> = Vec::with_capacity(reps);
+        let mut vec_t: Vec<f64> = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            row_t.push(sj_bench::time_once(row).1);
+            vec_t.push(sj_bench::time_once(vec_).1);
+        }
+        let med = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let (row_ms, vec_ms) = (med(&mut row_t), med(&mut vec_t));
+        let speedup = row_ms / vec_ms.max(1e-9);
+        println!(
+            "{workload:<26} {scale:>8} {threads:>8} {row_ms:>10.3} {vec_ms:>10.3} {speedup:>8.2}x"
+        );
+        csv.row(&[
+            workload.into(),
+            scale.to_string(),
+            threads.to_string(),
+            format!("{row_ms:.4}"),
+            format!("{vec_ms:.4}"),
+            format!("{speedup:.3}"),
+        ]);
+    };
+
+    // Planner-routed engine queries under the Execution knob.
+    let mut engine_case = |workload: &str, scale: usize, db: &Database, e: &Expr| {
+        for threads in [1usize, 4] {
+            let run = |exec: Execution| {
+                let db = db.clone();
+                let e = e.clone();
+                move || {
+                    Engine::new(db.clone())
+                        .parallelism(Parallelism::Threads(threads))
+                        .execution(exec)
+                        .query(e.clone())
+                        .run()
+                        .unwrap()
+                        .relation
+                }
+            };
+            run_case(
+                workload,
+                scale,
+                threads,
+                &run(Execution::RowAtATime),
+                &run(Execution::Vectorized),
+            );
+        }
+    };
+
+    // E17a — selection scan: σ₁<₂ over a wide-domain binary relation.
+    // The vectorized path runs a dense i64 compare per chunk and gathers
+    // sorted survivors without re-sorting.
+    let n = 262_144usize;
+    let scan_db = {
+        let mut rng = sj_workload::SplitMix64::new(0x5CA11);
+        let dom = n as i64;
+        let mut db = Database::new();
+        db.set(
+            "R",
+            Relation::from_tuples(
+                2,
+                (0..n).map(|_| {
+                    sj_storage::Tuple::from_ints(&[rng.range_i64(1, dom), rng.range_i64(1, dom)])
+                }),
+            )
+            .unwrap(),
+        );
+        db
+    };
+    engine_case(
+        "planned σ1<2 scan",
+        n,
+        &scan_db,
+        &Expr::rel("R").select_lt(1, 2),
+    );
+
+    // E17b — foreign-key hash join on the beer scene (same shape as the
+    // parallel-scaling experiment): integer keys hash straight from the
+    // dense column, no per-tuple key vectors.
+    let k = 16_384i64;
+    let bdb = beer_database(k, 0xBEE5);
+    engine_case(
+        "planned ⋈ hash fk",
+        k as usize,
+        &bdb,
+        &Expr::rel("Visits").join(Condition::eq(2, 1), Expr::rel("Serves")),
+    );
+
+    // E17c — the set-join shoot-out's signature containment join:
+    // row-wise grouping + Value signatures vs the columnar group-range /
+    // dense-signature path. Serial compares the two implementations
+    // directly; at 4 workers both modes share the row-based
+    // partition-parallel path (the parity row).
+    // Wide sets over a medium domain: signatures saturate, so the exact
+    // verification merges (where the columnar path runs on dense i64
+    // slices) carry the cost, not the pairwise filter loop.
+    let sj_groups = 512usize;
+    let (sr, ss) = SetJoinWorkload {
+        r_groups: sj_groups,
+        s_groups: sj_groups,
+        set_size: SetSizeDist::Uniform(32, 128),
+        domain: 128,
+        elements: ElementDist::Zipf(0.8),
+        seed: 0x5E71,
+    }
+    .generate();
+    let _ = (sr.columns(), ss.columns());
+    run_case(
+        "setjoin ⊇ signature64",
+        sj_groups,
+        1,
+        &|| signature_set_join_rowwise(&sr, &ss, SetPredicate::Contains),
+        &|| signature_set_join(&sr, &ss, SetPredicate::Contains),
+    );
+    run_case(
+        "setjoin ⊇ partitioned",
+        sj_groups,
+        4,
+        &|| parallel_signature_set_join(&sr, &ss, SetPredicate::Contains, 4),
+        &|| parallel_signature_set_join(&sr, &ss, SetPredicate::Contains, 4),
+    );
+
+    let path = csv.finish().unwrap();
+    println!(
+        "vectorized: rows verified byte-identical → {}",
         path.display()
     );
 }

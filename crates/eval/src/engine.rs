@@ -42,6 +42,7 @@
 //!   [`AlgorithmChoice::Auto`] picks by predicate and input statistics.
 
 use crate::error::EvalError;
+use crate::exec::Execution;
 use crate::explain::render_tree;
 use crate::instrumented::{evaluate_instrumented, EvalReport};
 use crate::par::Parallelism;
@@ -273,6 +274,7 @@ pub struct Engine {
     algorithm: AlgorithmChoice,
     registry: Arc<Registry>,
     parallelism: Parallelism,
+    execution: Execution,
     stats: StatsMode,
     catalog: Arc<StatsCatalog>,
     cost_model: Arc<CostModel>,
@@ -293,6 +295,7 @@ impl Engine {
             algorithm: AlgorithmChoice::default(),
             registry: Registry::standard_shared(),
             parallelism: Parallelism::default(),
+            execution: Execution::from_env(),
             stats: StatsMode::default(),
             catalog: Arc::new(StatsCatalog::new()),
             cost_model: Arc::new(CostModel::default()),
@@ -350,6 +353,25 @@ impl Engine {
     pub fn parallelism(mut self, parallelism: Parallelism) -> Engine {
         self.parallelism = parallelism;
         self
+    }
+
+    /// Set the execution mode for the planned path's serial operator
+    /// work: [`Execution::Vectorized`] (the default) runs the chunked
+    /// columnar kernels of [`crate::ops_vec`], [`Execution::RowAtATime`]
+    /// the classic tuple operators of [`crate::ops`]. Results are
+    /// byte-identical either way; like [`Engine::parallelism`] the knob
+    /// is ignored by the tree-walking [`Strategy::Naive`] and
+    /// [`Strategy::Reference`] evaluators (tuple-at-a-time by
+    /// definition). The process default honors the `SETJOINS_EXECUTION`
+    /// environment variable ([`Execution::from_env`]).
+    pub fn execution(mut self, execution: Execution) -> Engine {
+        self.execution = execution;
+        self
+    }
+
+    /// The configured execution mode.
+    pub fn execution_mode(&self) -> Execution {
+        self.execution
     }
 
     /// Set the statistics mode (see [`StatsMode`]). Clones of a
@@ -619,7 +641,11 @@ impl Query<'_> {
             Strategy::Planned => {
                 let plan = engine.plan_for(&expr)?;
                 if instrumented {
-                    let report = plan.execute_instrumented_with(&engine.db, parallelism)?;
+                    let report = plan.execute_instrumented_with_execution(
+                        &engine.db,
+                        parallelism,
+                        engine.execution,
+                    )?;
                     QueryOutput {
                         relation: report.result.clone(),
                         report: Some(Report::Planned(report)),
@@ -629,7 +655,11 @@ impl Query<'_> {
                     }
                 } else {
                     QueryOutput {
-                        relation: plan.execute_with(&engine.db, parallelism)?,
+                        relation: plan.execute_with_execution(
+                            &engine.db,
+                            parallelism,
+                            engine.execution,
+                        )?,
                         report: None,
                         plan: Some(plan),
                         elapsed: None,

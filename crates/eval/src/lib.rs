@@ -28,9 +28,11 @@
 
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod explain;
 pub mod instrumented;
 pub mod ops;
+pub mod ops_vec;
 pub mod par;
 pub mod plain;
 pub mod plan;
@@ -41,6 +43,7 @@ pub use engine::{
     Strategy,
 };
 pub use error::EvalError;
+pub use exec::Execution;
 pub use explain::explain;
 pub use instrumented::{evaluate_instrumented, EvalReport, NodeStat};
 pub use ops::PartitionStat;
@@ -58,6 +61,7 @@ pub mod prelude {
         AlgorithmChoice, Engine, Instrument, Query, QueryOutput, Report, SetOpOutput, StatsMode,
         Strategy,
     };
+    pub use crate::exec::Execution;
     pub use crate::instrumented::{evaluate_instrumented, EvalReport, NodeStat};
     pub use crate::ops::PartitionStat;
     pub use crate::par::Parallelism;

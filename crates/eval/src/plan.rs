@@ -33,9 +33,11 @@
 //! the DAG with sharing annotations).
 
 use crate::error::EvalError;
+use crate::exec::Execution;
 use crate::instrumented::NodeStat;
 use crate::ops;
 use crate::ops::PartitionStat;
+use crate::ops_vec;
 use crate::par::Parallelism;
 use sj_algebra::{AlgebraError, Condition, Expr, Selection};
 use sj_stats::{CostModel, Estimator, StatsSource};
@@ -233,9 +235,23 @@ impl PhysicalPlan {
     /// concurrent scoped threads and join/semijoin nodes additionally run
     /// partition-parallel ([`ops::par_join`] and friends). Output is
     /// byte-identical to [`PhysicalPlan::execute`] for every worker
-    /// count.
+    /// count. Serial per-node work uses the process-default
+    /// [`Execution`] mode ([`Execution::from_env`]); use
+    /// [`PhysicalPlan::execute_with_execution`] to pin it.
     pub fn execute_with(&self, db: &Database, par: Parallelism) -> Result<Relation, EvalError> {
-        let root = self.run(db, par.workers(), |_, _, _, _, _| {})?;
+        self.execute_with_execution(db, par, Execution::from_env())
+    }
+
+    /// Execute under explicit [`Parallelism`] **and** [`Execution`]
+    /// knobs. Output is byte-identical across all four combinations —
+    /// the knobs choose implementations, never semantics.
+    pub fn execute_with_execution(
+        &self,
+        db: &Database,
+        par: Parallelism,
+        exec: Execution,
+    ) -> Result<Relation, EvalError> {
+        let root = self.run(db, par.workers(), exec, |_, _, _, _, _| {})?;
         Ok(Arc::try_unwrap(root).unwrap_or_else(|arc| arc.as_ref().clone()))
     }
 
@@ -253,11 +269,23 @@ impl PhysicalPlan {
         db: &Database,
         par: Parallelism,
     ) -> Result<PlannedReport, EvalError> {
+        self.execute_instrumented_with_execution(db, par, Execution::from_env())
+    }
+
+    /// [`PhysicalPlan::execute_instrumented_with`] under an explicit
+    /// [`Execution`] mode.
+    pub fn execute_instrumented_with_execution(
+        &self,
+        db: &Database,
+        par: Parallelism,
+        exec: Execution,
+    ) -> Result<PlannedReport, EvalError> {
         let workers = par.workers();
         let mut slots: Vec<Option<NodeStat>> = vec![None; self.nodes.len()];
         let root = self.run(
             db,
             workers,
+            exec,
             |id, node: &PlanNode, rel: &Relation, elapsed, partitions: &[PartitionStat]| {
                 slots[id] = Some(NodeStat {
                     id,
@@ -295,12 +323,20 @@ impl PhysicalPlan {
     /// cheap linear operators (scan, merge set ops, projection, filter,
     /// tag, grouping) always run serially — their cost is one pass over
     /// input the partitioning itself would have to make.
+    ///
+    /// Serial filter/join/semijoin work dispatches on `exec`: under
+    /// [`Execution::Vectorized`] the chunked columnar kernels of
+    /// [`ops_vec`] run instead of the row operators (same output,
+    /// byte-identical). The partition-parallel variants stay row-based —
+    /// they already amortize per-tuple dispatch across workers, and
+    /// their per-partition index views are orthogonal to chunking.
     fn exec_op(
         &self,
         node: &PlanNode,
         kids: &[&Relation],
         db: &Database,
         workers: usize,
+        exec: Execution,
     ) -> Result<(Arc<Relation>, Vec<PartitionStat>), EvalError> {
         let serial = |r: Relation| (Arc::new(r), Vec::new());
         let workers = if kids.len() == 2 {
@@ -337,12 +373,20 @@ impl PhysicalPlan {
                     .expect("validated: arities agree"),
             ),
             PhysOp::Project(cols) => serial(ops::project(kids[0], cols)),
-            PhysOp::Filter(sel) => serial(ops::select(kids[0], sel)),
+            PhysOp::Filter(sel) => serial(if exec.is_vectorized() {
+                ops_vec::select(kids[0], sel)
+            } else {
+                ops::select(kids[0], sel)
+            }),
             PhysOp::Tag(c) => serial(ops::const_tag(kids[0], c)),
             PhysOp::HashJoin(theta) | PhysOp::NestedLoopJoin(theta) => {
                 if workers > 1 {
                     let (rel, parts) = ops::par_join_stats(kids[0], kids[1], theta, workers);
                     (Arc::new(rel), parts)
+                } else if exec.is_vectorized() {
+                    // No-equality conditions (the nested-loop case) fall
+                    // back to the row loop inside `ops_vec::join`.
+                    serial(ops_vec::join(kids[0], kids[1], theta))
                 } else {
                     serial(ops::join(kids[0], kids[1], theta))
                 }
@@ -353,6 +397,8 @@ impl PhysicalPlan {
                     let (rel, parts) =
                         ops::par_merge_join_stats(kids[0], kids[1], *prefix, &residual, workers);
                     (Arc::new(rel), parts)
+                } else if exec.is_vectorized() {
+                    serial(ops_vec::merge_join(kids[0], kids[1], *prefix, &residual))
                 } else {
                     serial(ops::merge_join(kids[0], kids[1], *prefix, &residual))
                 }
@@ -361,6 +407,8 @@ impl PhysicalPlan {
                 if workers > 1 {
                     let (rel, parts) = ops::par_semijoin_stats(kids[0], kids[1], theta, workers);
                     (Arc::new(rel), parts)
+                } else if exec.is_vectorized() {
+                    serial(ops_vec::semijoin(kids[0], kids[1], theta))
                 } else {
                     serial(ops::semijoin(kids[0], kids[1], theta))
                 }
@@ -372,6 +420,10 @@ impl PhysicalPlan {
                         kids[0], kids[1], *prefix, &residual, workers,
                     );
                     (Arc::new(rel), parts)
+                } else if exec.is_vectorized() {
+                    serial(ops_vec::merge_semijoin(
+                        kids[0], kids[1], *prefix, &residual,
+                    ))
                 } else {
                     serial(ops::merge_semijoin(kids[0], kids[1], *prefix, &residual))
                 }
@@ -392,6 +444,7 @@ impl PhysicalPlan {
         &self,
         db: &Database,
         workers: usize,
+        exec: Execution,
         mut observe: impl FnMut(NodeId, &PlanNode, &Relation, Duration, &[PartitionStat]),
     ) -> Result<Arc<Relation>, EvalError> {
         let mut pending_consumers = vec![0usize; self.nodes.len()];
@@ -423,7 +476,7 @@ impl PhysicalPlan {
                     })
                     .collect();
                 let start = Instant::now();
-                let (rel, parts) = self.exec_op(node, &kids, db, 1)?;
+                let (rel, parts) = self.exec_op(node, &kids, db, 1, exec)?;
                 observe(id, node, &rel, start.elapsed(), &parts);
                 results[id] = Some(rel);
                 evict(id, &mut results, &mut pending_consumers);
@@ -441,7 +494,7 @@ impl PhysicalPlan {
                         .map(|&c| results[c].as_deref().expect("children on lower levels"))
                         .collect();
                     let start = Instant::now();
-                    let out = self.exec_op(node, &kids, db, workers);
+                    let out = self.exec_op(node, &kids, db, workers, exec);
                     vec![(id, out, start.elapsed())]
                 } else {
                     // The worker budget is split across the level's
@@ -463,7 +516,7 @@ impl PhysicalPlan {
                                         })
                                         .collect();
                                     let start = Instant::now();
-                                    let out = self.exec_op(node, &kids, db, node_workers);
+                                    let out = self.exec_op(node, &kids, db, node_workers, exec);
                                     (id, out, start.elapsed())
                                 })
                             })
@@ -1083,7 +1136,9 @@ mod tests {
         db.set("R", Relation::from_int_rows(&[&[1], &[2]]));
         let plan = PhysicalPlan::of(&Expr::rel("R"), &db.schema()).unwrap();
         // A bare scan's result must be the stored allocation itself.
-        let shared = plan.run(&db, 1, |_, _, _, _, _| {}).unwrap();
+        let shared = plan
+            .run(&db, 1, Execution::default(), |_, _, _, _, _| {})
+            .unwrap();
         assert!(std::ptr::eq(shared.as_ref(), db.get("R").unwrap()));
     }
 

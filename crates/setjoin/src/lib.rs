@@ -24,6 +24,7 @@
 //! (or `sj-eval`'s `Engine`, which routes through it) when the algorithm
 //! choice should be configuration rather than code.
 
+pub mod columnar;
 pub mod division;
 pub mod general;
 pub mod inverted;
@@ -32,6 +33,7 @@ pub mod registry;
 pub mod setjoin;
 pub mod wide_signature;
 
+pub use columnar::{columnar_signature_set_join, group_ranges, joint_codes};
 pub use division::{
     counting_division, divide, hash_division, nested_loop_division, sort_merge_division,
     DivisionSemantics,
@@ -42,7 +44,7 @@ pub use parallel::{parallel_hash_division, parallel_signature_set_join};
 pub use registry::{ComplexityClass, DivisionAlgorithm, Registry, SetJoinAlgorithm};
 pub use setjoin::{
     group_sets, hash_set_equality_join, intersect_join_via_equijoin, nested_loop_set_join,
-    set_join, signature_set_join, SetPredicate,
+    set_join, signature_set_join, signature_set_join_rowwise, SetPredicate,
 };
 pub use wide_signature::{filter_survivors, wide_signature_set_join, WideSignature};
 

@@ -26,7 +26,7 @@
 //! underestimate would pick a quadratic loop on a large node.
 
 use crate::catalog::StatsSource;
-use crate::histogram::Histogram;
+use crate::histogram::{Histogram, StringHistogram};
 use crate::table::TableStats;
 use sj_algebra::{CompOp, Condition, Expr, Selection};
 
@@ -44,6 +44,9 @@ pub struct ColEst {
     /// a structural copy of a base column (selections and reorderings
     /// preserve it; unions, differences and aggregates drop it).
     pub histogram: Option<Histogram>,
+    /// Dictionary-code histogram of a string base column, inherited
+    /// under the same structural-copy rule as [`ColEst::histogram`].
+    pub strings: Option<StringHistogram>,
 }
 
 /// Estimated shape of an intermediate result.
@@ -107,6 +110,7 @@ impl<'a> Estimator<'a> {
                         .map(|c| ColEst {
                             distinct: c.distinct as f64,
                             histogram: Some(c.histogram.clone()),
+                            strings: c.strings.clone(),
                         })
                         .collect(),
                 }
@@ -123,6 +127,7 @@ impl<'a> Estimator<'a> {
                         .map(|(x, y)| ColEst {
                             distinct: x.distinct + y.distinct,
                             histogram: None,
+                            strings: None,
                         })
                         .collect(),
                 }
@@ -166,6 +171,7 @@ impl<'a> Estimator<'a> {
                 a.cols.push(ColEst {
                     distinct: 1.0,
                     histogram: None,
+                    strings: None,
                 });
                 a
             }
@@ -193,6 +199,7 @@ impl<'a> Estimator<'a> {
                     .map(|&c| ColEst {
                         distinct: a.cols[c - 1].distinct,
                         histogram: None,
+                        strings: None,
                     })
                     .collect();
                 let joint: f64 = kept.iter().map(|c| c.distinct.max(1.0)).product();
@@ -204,6 +211,7 @@ impl<'a> Estimator<'a> {
                 let count_col = ColEst {
                     distinct: rows.sqrt().max(1.0),
                     histogram: None,
+                    strings: None,
                 };
                 CardEst {
                     rows,
@@ -228,6 +236,14 @@ fn selection_selectivity(sel: &Selection, input: &CardEst) -> f64 {
         Selection::Lt(_, _) => RANGE_SEL,
         Selection::EqConst(i, c) => {
             let col = &input.cols[i - 1];
+            // A string constant against a dictionary-encoded column:
+            // the code histogram answers directly, and a constant
+            // outside the dictionary selects exactly nothing.
+            if let (Some(s), Some(sh)) = (c.as_str(), col.strings.as_ref()) {
+                if sh.count() > 0 {
+                    return (sh.estimate_eq(s) / sh.count() as f64).clamp(0.0, 1.0);
+                }
+            }
             match &col.histogram {
                 Some(h) if h.count() > 0 => (h.estimate_eq(c) / h.count() as f64).clamp(0.0, 1.0),
                 _ => 1.0 / col.distinct.max(1.0),
@@ -440,6 +456,28 @@ mod tests {
         assert!(sel > 0.0);
         let empty = TableStats::analyze(&Relation::empty(2));
         assert_eq!(containment_selectivity(&empty, &t), 0.0);
+    }
+
+    #[test]
+    fn string_constant_selection_uses_the_code_histogram() {
+        // 3 rows of "flu", 1 of "ague"; "pox" never occurs.
+        let r = Relation::from_str_rows(&[
+            &["an", "flu"],
+            &["bob", "flu"],
+            &["cal", "flu"],
+            &["dee", "ague"],
+        ]);
+        let src = source(&[("R", &r)]);
+        let e = Estimator::new(&src);
+        let est = |s: &str| {
+            e.estimate(&Expr::rel("R").select_const(2, Value::str(s)))
+                .unwrap()
+                .rows
+        };
+        assert!((est("flu") - 3.0).abs() < 1e-9, "flu = {}", est("flu"));
+        assert!((est("ague") - 1.0).abs() < 1e-9);
+        assert_eq!(est("pox"), 0.0, "outside the dictionary: provably empty");
+        // Before the code histogram this fell back to 1/distinct = 2 rows.
     }
 
     #[test]

@@ -3,12 +3,17 @@
 //! The estimator's selectivity primitives need a distribution summary
 //! that is cheap to build (one pass after min/max), cheap to store
 //! (a handful of bucket counters), and deterministic. Equi-width
-//! buckets over the `i64` payload of [`Value::Int`] are exactly that;
-//! string values fall back to the distinct-count uniform assumption
-//! (the workloads of this reproduction are numeric except the figure
-//! constants, which are tiny).
+//! buckets over the `i64` payload of [`Value::Int`] are exactly that.
+//! String columns get the same treatment through their dictionary
+//! encoding: [`StringHistogram`] bins the dictionary *codes* (code
+//! order equals string order within one dictionary, so equi-width code
+//! buckets are order-respecting) and resolves constants through
+//! [`StrDict::code_of`] — a constant absent from the dictionary is
+//! **provably absent** from the relation and estimates exactly zero,
+//! instead of the distinct-count uniform fallback.
 
-use sj_storage::Value;
+use sj_storage::{StrDict, Value};
+use std::sync::Arc;
 
 /// Default number of buckets for [`Histogram::build`]. Narrow enough to
 /// keep [`crate::TableStats`] a few cache lines per column, wide enough
@@ -159,6 +164,53 @@ impl Histogram {
     }
 }
 
+/// An equi-width histogram over a dictionary-encoded string column:
+/// bucket counts over the column's dictionary codes, plus the shared
+/// dictionary to resolve constant strings to codes.
+///
+/// Built in the same fused `ANALYZE` scan as the integer statistics
+/// (the code range `0..dict.len()` is known before the scan starts, so
+/// counting needs no separate min/max pass). Estimates are exact-zero
+/// for strings outside the dictionary — the dictionary is a perfect
+/// membership index over the *whole relation's* string values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StringHistogram {
+    dict: Arc<StrDict>,
+    hist: Histogram,
+}
+
+impl StringHistogram {
+    /// Build from a column of dictionary codes and the relation's
+    /// shared dictionary (every code must be `< dict.len()`).
+    pub fn build(dict: Arc<StrDict>, codes: &[u32]) -> StringHistogram {
+        let hist = if dict.is_empty() || codes.is_empty() {
+            Histogram::empty()
+        } else {
+            Histogram::build_range(
+                codes.iter().map(|&c| c as i64),
+                0,
+                dict.len() as i64 - 1,
+                DEFAULT_BUCKETS,
+            )
+        };
+        StringHistogram { dict, hist }
+    }
+
+    /// Total string values counted.
+    pub fn count(&self) -> usize {
+        self.hist.count()
+    }
+
+    /// Estimated number of rows whose column equals the string `s`.
+    /// Exactly zero when `s` is not in the dictionary.
+    pub fn estimate_eq(&self, s: &str) -> f64 {
+        match self.dict.code_of(s) {
+            Some(code) => self.hist.estimate_eq(&Value::int(code as i64)),
+            None => 0.0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +277,25 @@ mod tests {
         assert_eq!(h.count(), 3);
         assert!(h.estimate_eq(&Value::int(0)) >= 0.0);
         assert!(h.estimate_lt(i64::MAX) >= 2.0);
+    }
+
+    #[test]
+    fn string_histogram_estimates() {
+        let dict = Arc::new(StrDict::from_strings(["ague", "flu", "pox"].map(Arc::from)));
+        // Column: ague ×1, flu ×3 (codes 0, 1, 1, 1).
+        let h = StringHistogram::build(dict, &[0, 1, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.estimate_eq("flu"), 3.0, "narrow dict: exact");
+        assert_eq!(h.estimate_eq("ague"), 1.0);
+        assert_eq!(h.estimate_eq("pox"), 0.0, "in dict, not in column");
+        assert_eq!(h.estimate_eq("absent"), 0.0, "outside the dictionary");
+    }
+
+    #[test]
+    fn string_histogram_empty_cases() {
+        let dict = Arc::new(StrDict::from_strings(["x"].map(Arc::from)));
+        assert_eq!(StringHistogram::build(dict, &[]).estimate_eq("x"), 0.0);
+        let none = StringHistogram::build(Arc::new(StrDict::default()), &[]);
+        assert_eq!(none.count(), 0);
     }
 }

@@ -40,5 +40,5 @@ pub mod table;
 pub use catalog::{AnalyzeSource, CatalogSource, StatsCatalog, StatsSource};
 pub use cost::{ComplexityClass, CostModel};
 pub use estimate::{containment_selectivity, division_rows, CardEst, ColEst, Estimator};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, StringHistogram};
 pub use table::{ColumnStats, GroupStats, TableStats};

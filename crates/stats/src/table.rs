@@ -1,21 +1,34 @@
 //! Per-relation statistics: `ANALYZE` for canonical set-semantics
 //! relations.
 //!
-//! [`TableStats::analyze`] makes two fused passes per column over a
-//! [`Relation`] (distinct/min-max/range, then histogram counting) and
-//! produces everything the cost model and the cardinality estimator
-//! consume:
+//! [`TableStats::analyze`] runs directly on the relation's columnar
+//! view ([`sj_storage::Columns`]): each column gets fused dense scans
+//! matched to its physical representation —
 //!
-//! * per-column distinct count, min/max, and an equi-width
-//!   [`Histogram`] ([`ColumnStats`]);
+//! * **integer columns** — one `i64` scan for distinct/min/max/range,
+//!   one counting scan for the [`Histogram`] (the range gates the
+//!   bucket layout, so counting cannot start earlier);
+//! * **string columns** — a *single* scan over the dictionary codes: a
+//!   code bitmap gives the exact distinct count, code order equals
+//!   string order so min/max are code min/max, and the code range is
+//!   known before the scan starts, so the [`StringHistogram`] counts in
+//!   the same pass;
+//! * **mixed-variant columns** (rare) — the row-wise `Value` scan.
+//!
+//! The output feeds the cost model and the cardinality estimator:
+//!
+//! * per-column distinct count, min/max, an equi-width [`Histogram`]
+//!   over integer values, and a [`StringHistogram`] over dictionary
+//!   codes for string columns ([`ColumnStats`]);
 //! * for binary relations, the **set-join view** grouped on the first
 //!   column ([`GroupStats`]): group count and the set-size distribution
 //!   (min/mean/max and the second moment, which quadratic-cost
 //!   estimates need — Definition 15 measures inputs by cardinality, but
 //!   the set-join algorithms' work is governed by *group* structure).
 
-use crate::histogram::Histogram;
-use sj_storage::{FxHashSet, Relation, Value};
+use crate::histogram::{Histogram, StringHistogram, DEFAULT_BUCKETS};
+use sj_storage::{ColumnData, FxHashSet, Relation, StrDict, Value};
+use std::sync::Arc;
 
 /// Statistics for one column of a relation.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +41,9 @@ pub struct ColumnStats {
     pub max: Option<Value>,
     /// Equi-width histogram over the column's integer values.
     pub histogram: Histogram,
+    /// Histogram over the dictionary codes of a string column (`None`
+    /// unless the column is dictionary-encoded).
+    pub strings: Option<StringHistogram>,
 }
 
 /// The set-join view of a binary relation `R(A, B)`: statistics of the
@@ -62,69 +78,25 @@ pub struct TableStats {
 }
 
 impl TableStats {
-    /// Analyze a relation: **two passes per column** (one fused scan
-    /// for distinct count, min/max, and the integer value range; one
-    /// counting pass for the histogram, which needs the range first)
-    /// plus the group scan — `StatsMode::Analyze` runs this per
-    /// operator call, so the scan count matters.
+    /// Analyze a relation through its columnar view: fused dense scans
+    /// per column (see the module docs for the per-representation
+    /// breakdown) plus the group scan over column 0's run lengths —
+    /// `StatsMode::Analyze` runs this per operator call, so the scan
+    /// count matters.
     ///
     /// Canonical storage order makes the leading column's distinct
     /// count and the group boundaries allocation-free run counts; only
-    /// the non-leading distinct counts need a hash set.
+    /// the non-leading distinct counts need a hash set (integers) or a
+    /// code bitmap (strings).
     pub fn analyze(r: &Relation) -> TableStats {
+        let view = r.columns();
         let arity = r.arity();
         let mut columns = Vec::with_capacity(arity);
         for c in 0..arity {
-            // Pass 1 (fused): distinct, min/max, integer range.
-            // Sorted order makes the leading column's distinct count a
-            // run count; other columns go through a hash set.
-            let mut runs = 0usize;
-            let mut prev: Option<&Value> = None;
-            let mut seen: FxHashSet<&Value> = FxHashSet::default();
-            if c != 0 {
-                seen.reserve(r.len());
-            }
-            let mut min: Option<&Value> = None;
-            let mut max: Option<&Value> = None;
-            let mut int_range: Option<(i64, i64)> = None;
-            for t in r {
-                let v = &t[c];
-                if c == 0 {
-                    if prev != Some(v) {
-                        runs += 1;
-                        prev = Some(v);
-                    }
-                } else {
-                    seen.insert(v);
-                }
-                if min.is_none_or(|m| v < m) {
-                    min = Some(v);
-                }
-                if max.is_none_or(|m| v > m) {
-                    max = Some(v);
-                }
-                if let Some(i) = v.as_int() {
-                    int_range = Some(match int_range {
-                        None => (i, i),
-                        Some((lo, hi)) => (lo.min(i), hi.max(i)),
-                    });
-                }
-            }
-            // Pass 2: bucket counting over the precomputed range.
-            let histogram = match int_range {
-                Some((lo, hi)) => Histogram::build_range(
-                    r.iter().filter_map(|t| t[c].as_int()),
-                    lo,
-                    hi,
-                    crate::histogram::DEFAULT_BUCKETS,
-                ),
-                None => Histogram::empty(),
-            };
-            columns.push(ColumnStats {
-                distinct: if c == 0 { runs } else { seen.len() },
-                min: min.cloned(),
-                max: max.cloned(),
-                histogram,
+            columns.push(match view.col(c) {
+                ColumnData::Int(v) => Self::analyze_int(v, c == 0),
+                ColumnData::Str(codes) => Self::analyze_str(codes, view.dict(), c == 0),
+                ColumnData::Mixed(vals) => Self::analyze_mixed(vals, c == 0),
             });
         }
         let group = (arity == 2).then(|| Self::group_scan(r));
@@ -136,31 +108,176 @@ impl TableStats {
         }
     }
 
+    /// Integer column: fused distinct/min/max scan over the dense
+    /// `i64` slice, then one counting scan for the histogram.
+    fn analyze_int(v: &[i64], leading: bool) -> ColumnStats {
+        let Some((&first, rest)) = v.split_first() else {
+            return Self::empty_column();
+        };
+        let (mut lo, mut hi) = (first, first);
+        let mut distinct = 1usize;
+        let mut prev = first;
+        let mut seen: FxHashSet<i64> = FxHashSet::default();
+        if !leading {
+            seen.reserve(v.len());
+            seen.insert(first);
+        }
+        for &x in rest {
+            lo = lo.min(x);
+            hi = hi.max(x);
+            if leading {
+                // Sorted order: distinct = run count.
+                if x != prev {
+                    distinct += 1;
+                    prev = x;
+                }
+            } else if seen.insert(x) {
+                distinct += 1;
+            }
+        }
+        ColumnStats {
+            distinct,
+            min: Some(Value::int(lo)),
+            max: Some(Value::int(hi)),
+            histogram: Histogram::build_range(v.iter().copied(), lo, hi, DEFAULT_BUCKETS),
+            strings: None,
+        }
+    }
+
+    /// String column: one fused scan over the dictionary codes —
+    /// distinct via a code bitmap, min/max via code order (code order
+    /// equals string order), and histogram counting over the known
+    /// code range `0..dict.len()`.
+    fn analyze_str(codes: &[u32], dict: &Arc<StrDict>, leading: bool) -> ColumnStats {
+        let Some((&first, rest)) = codes.split_first() else {
+            return Self::empty_column();
+        };
+        let (mut lo, mut hi) = (first, first);
+        let mut distinct = 1usize;
+        let mut prev = first;
+        let mut seen = vec![false; dict.len()];
+        seen[first as usize] = true;
+        for &x in rest {
+            lo = lo.min(x);
+            hi = hi.max(x);
+            if leading {
+                if x != prev {
+                    distinct += 1;
+                    prev = x;
+                }
+            } else if !std::mem::replace(&mut seen[x as usize], true) {
+                distinct += 1;
+            }
+        }
+        ColumnStats {
+            distinct,
+            min: Some(Value::Str(dict.get(lo).clone())),
+            max: Some(Value::Str(dict.get(hi).clone())),
+            // No integer values: the classic histogram stays empty, the
+            // dictionary-code histogram carries the distribution.
+            histogram: Histogram::empty(),
+            strings: Some(StringHistogram::build(dict.clone(), codes)),
+        }
+    }
+
+    /// Mixed-variant column: the row-wise `Value` scan (two passes, as
+    /// the histogram needs the integer range first).
+    fn analyze_mixed(vals: &[Value], leading: bool) -> ColumnStats {
+        let mut runs = 0usize;
+        let mut prev: Option<&Value> = None;
+        let mut seen: FxHashSet<&Value> = FxHashSet::default();
+        if !leading {
+            seen.reserve(vals.len());
+        }
+        let mut min: Option<&Value> = None;
+        let mut max: Option<&Value> = None;
+        let mut int_range: Option<(i64, i64)> = None;
+        for v in vals {
+            if leading {
+                if prev != Some(v) {
+                    runs += 1;
+                    prev = Some(v);
+                }
+            } else {
+                seen.insert(v);
+            }
+            if min.is_none_or(|m| v < m) {
+                min = Some(v);
+            }
+            if max.is_none_or(|m| v > m) {
+                max = Some(v);
+            }
+            if let Some(i) = v.as_int() {
+                int_range = Some(match int_range {
+                    None => (i, i),
+                    Some((lo, hi)) => (lo.min(i), hi.max(i)),
+                });
+            }
+        }
+        let histogram = match int_range {
+            Some((lo, hi)) => Histogram::build_range(
+                vals.iter().filter_map(|v| v.as_int()),
+                lo,
+                hi,
+                DEFAULT_BUCKETS,
+            ),
+            None => Histogram::empty(),
+        };
+        ColumnStats {
+            distinct: if leading { runs } else { seen.len() },
+            min: min.cloned(),
+            max: max.cloned(),
+            histogram,
+            strings: None,
+        }
+    }
+
+    fn empty_column() -> ColumnStats {
+        ColumnStats {
+            distinct: 0,
+            min: None,
+            max: None,
+            histogram: Histogram::empty(),
+            strings: None,
+        }
+    }
+
+    /// Set-size moments from column 0's run lengths — a dense scan
+    /// over the physical column, no `Value` comparisons for typed
+    /// columns.
     fn group_scan(r: &Relation) -> GroupStats {
+        let view = r.columns();
         let mut groups = 0usize;
         let (mut min_set, mut max_set) = (usize::MAX, 0usize);
         let mut sum_sq = 0f64;
-        let mut run = 0usize;
-        let mut prev: Option<&Value> = None;
-        let mut close = |run: usize, min_set: &mut usize, max_set: &mut usize| {
-            *min_set = (*min_set).min(run);
-            *max_set = (*max_set).max(run);
-            sum_sq += (run * run) as f64;
-        };
-        for t in r {
-            if prev == Some(&t[0]) {
-                run += 1;
-            } else {
-                if run > 0 {
-                    close(run, &mut min_set, &mut max_set);
-                }
+        {
+            let mut close = |run: usize| {
                 groups += 1;
-                run = 1;
-                prev = Some(&t[0]);
+                min_set = min_set.min(run);
+                max_set = max_set.max(run);
+                sum_sq += (run * run) as f64;
+            };
+            fn runs<T: PartialEq>(v: &[T], close: &mut impl FnMut(usize)) {
+                let mut run = 0usize;
+                for i in 0..v.len() {
+                    if run > 0 && v[i] == v[i - 1] {
+                        run += 1;
+                    } else {
+                        if run > 0 {
+                            close(run);
+                        }
+                        run = 1;
+                    }
+                }
+                if run > 0 {
+                    close(run);
+                }
             }
-        }
-        if run > 0 {
-            close(run, &mut min_set, &mut max_set);
+            match view.col(0) {
+                ColumnData::Int(v) => runs(v, &mut close),
+                ColumnData::Str(v) => runs(v, &mut close),
+                ColumnData::Mixed(v) => runs(v, &mut close),
+            }
         }
         GroupStats {
             groups,
@@ -270,8 +387,46 @@ mod tests {
         let s = TableStats::analyze(&names);
         assert_eq!(s.distinct(0), 1);
         assert_eq!(s.distinct(1), 2);
-        assert_eq!(s.columns[0].histogram.count(), 0, "strings not binned");
+        assert_eq!(s.columns[0].histogram.count(), 0, "no integer bins");
         assert_eq!(s.columns[0].min, Some(Value::str("an")));
+        assert_eq!(s.columns[0].max, Some(Value::str("an")));
+        // The dictionary-code histograms carry the string distribution.
+        let h0 = s.columns[0].strings.as_ref().unwrap();
+        assert_eq!(h0.count(), 2);
+        assert_eq!(h0.estimate_eq("an"), 2.0);
+        assert_eq!(h0.estimate_eq("bob"), 0.0, "other column's string");
+        let h1 = s.columns[1].strings.as_ref().unwrap();
+        assert_eq!(h1.estimate_eq("carol"), 1.0);
+        assert_eq!(h1.estimate_eq("zed"), 0.0, "absent from the dictionary");
+    }
+
+    #[test]
+    fn columnar_analyze_matches_on_mixed_columns() {
+        // A column holding both variants goes through the row-wise
+        // fallback; distinct/min/max/histogram still line up.
+        let r = Relation::from_tuples(
+            2,
+            vec![
+                sj_storage::tuple![1, 5],
+                sj_storage::tuple![1, "x"],
+                sj_storage::tuple![2, 5],
+                sj_storage::tuple![3, 9],
+            ],
+        )
+        .unwrap();
+        let s = TableStats::analyze(&r);
+        assert_eq!(s.distinct(0), 3);
+        assert_eq!(s.distinct(1), 3);
+        assert_eq!(s.columns[1].min, Some(Value::int(5)));
+        assert_eq!(
+            s.columns[1].max,
+            Some(Value::str("x")),
+            "ints sort before strings"
+        );
+        assert_eq!(s.columns[1].histogram.count(), 3, "integer subset binned");
+        assert!(s.columns[1].strings.is_none());
+        let g = s.group.as_ref().unwrap();
+        assert_eq!((g.groups, g.min_set, g.max_set), (3, 1, 2));
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub enum StorageError {
         /// The arity it was checked against.
         arity: usize,
     },
+    /// A relation exceeded the `u32::MAX`-row capacity of the zero-copy
+    /// `u32` tuple-index views ([`crate::relation::ensure_u32_indexable`]).
+    RelationTooLarge {
+        /// The offending row count.
+        rows: usize,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -32,6 +38,13 @@ impl fmt::Display for StorageError {
             StorageError::UnknownRelation(n) => write!(f, "unknown relation: {n}"),
             StorageError::ColumnOutOfRange { column, arity } => {
                 write!(f, "column {column} out of range for arity {arity}")
+            }
+            StorageError::RelationTooLarge { rows } => {
+                write!(
+                    f,
+                    "relation of {rows} rows exceeds the u32 index-view capacity ({})",
+                    u32::MAX
+                )
             }
         }
     }
@@ -64,6 +77,13 @@ mod tests {
             }
             .to_string(),
             "column 4 out of range for arity 2"
+        );
+        assert_eq!(
+            StorageError::RelationTooLarge {
+                rows: 5_000_000_000
+            }
+            .to_string(),
+            "relation of 5000000000 rows exceeds the u32 index-view capacity (4294967295)"
         );
     }
 }

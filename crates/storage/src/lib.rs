@@ -14,7 +14,11 @@
 //! * [`Tuple`] — a finite sequence of values, `(a₁, …, aₙ)`.
 //! * [`Relation`] — a finite *set* of tuples of a fixed arity, stored
 //!   canonically (sorted, deduplicated) so that set equality is structural
-//!   equality and membership is a binary search.
+//!   equality and membership is a binary search. Each relation also
+//!   carries a lazily built **columnar view** ([`Relation::columns`]) —
+//!   typed per-column vectors with dictionary-encoded strings, chunked
+//!   into [`Chunk`]s for the vectorized operators in `sj-eval` (see
+//!   [`mod@column`]).
 //! * [`Database`] — an assignment of relations to relation names, together
 //!   with the notions the paper defines on databases: size (Definition 15 —
 //!   the sum of relation cardinalities), active domain, tuple space
@@ -31,6 +35,7 @@
 //! relations and databases are fully defined (sorted), so every experiment
 //! in the workspace is reproducible bit-for-bit.
 
+pub mod column;
 pub mod database;
 pub mod display;
 pub mod error;
@@ -41,11 +46,12 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use column::{Chunk, ColSlice, ColumnData, Columns, StrDict, DEFAULT_CHUNK_ROWS};
 pub use database::Database;
 pub use error::StorageError;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;
-pub use relation::Relation;
+pub use relation::{ensure_u32_indexable, Relation};
 pub use schema::Schema;
 pub use tuple::Tuple;
 pub use value::Value;

@@ -1,12 +1,13 @@
 //! Set-semantics relations.
 
+use crate::column::Columns;
 use crate::error::StorageError;
 use crate::hash::FxHasher;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A finite **set** of tuples of a fixed arity.
 ///
@@ -22,20 +23,52 @@ use std::sync::Arc;
 /// An arity-0 relation is either empty (`{}`, "false") or contains the empty
 /// tuple (`{()}`, "true"); both are representable and behave correctly under
 /// the set operations.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// Alongside the canonical row representation the relation carries a
+/// lazily built, cached **columnar view** ([`Relation::columns`]) used by
+/// the vectorized operators in `sj-eval`; the cache is derived state — it
+/// never participates in equality or hashing and is invalidated by the
+/// mutating operations.
+#[derive(Clone)]
 pub struct Relation {
     arity: usize,
     /// Sorted, deduplicated.
     tuples: Vec<Tuple>,
+    /// Columnar image of `tuples`, built on first use. Derived state:
+    /// excluded from `PartialEq`/`Hash`, reset by `insert`/`remove`.
+    cols: OnceLock<Arc<Columns>>,
+}
+
+/// Set equality on (arity, tuples); the columnar cache is derived state.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl Hash for Relation {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.arity.hash(state);
+        self.tuples.hash(state);
+    }
 }
 
 impl Relation {
-    /// The empty relation of the given arity.
-    pub fn empty(arity: usize) -> Self {
+    /// Internal constructor for tuples already known to be canonical.
+    #[inline]
+    fn raw(arity: usize, tuples: Vec<Tuple>) -> Self {
         Relation {
             arity,
-            tuples: Vec::new(),
+            tuples,
+            cols: OnceLock::new(),
         }
+    }
+
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation::raw(arity, Vec::new())
     }
 
     /// Build a relation from tuples, canonicalizing (sort + dedup).
@@ -57,7 +90,7 @@ impl Relation {
         }
         v.sort_unstable();
         v.dedup();
-        Ok(Relation { arity, tuples: v })
+        Ok(Relation::raw(arity, v))
     }
 
     /// Build a relation from tuples **already in canonical order**
@@ -80,7 +113,7 @@ impl Relation {
             tuples.sort_unstable();
             tuples.dedup();
         }
-        Relation { arity, tuples }
+        Relation::raw(arity, tuples)
     }
 
     /// Build from rows of integers; arity inferred from the first row
@@ -142,6 +175,7 @@ impl Relation {
             Ok(_) => Ok(false),
             Err(pos) => {
                 self.tuples.insert(pos, t);
+                self.cols.take();
                 Ok(true)
             }
         }
@@ -152,10 +186,28 @@ impl Relation {
         match self.tuples.binary_search(t) {
             Ok(pos) => {
                 self.tuples.remove(pos);
+                self.cols.take();
                 true
             }
             Err(_) => false,
         }
+    }
+
+    /// The columnar view of the relation (see [`crate::column`]): typed
+    /// per-column vectors over the same rows, in the same canonical
+    /// order. Built lazily on first use and cached; `insert`/`remove`
+    /// invalidate the cache. Row `i` of the columns is tuple `i` of
+    /// [`Relation::tuples`].
+    #[inline]
+    pub fn columns(&self) -> &Columns {
+        self.columns_shared()
+    }
+
+    /// [`Relation::columns`] as a shared handle, for operators that fan
+    /// the view out across worker threads.
+    pub fn columns_shared(&self) -> &Arc<Columns> {
+        self.cols
+            .get_or_init(|| Arc::new(Columns::from_tuples(self.arity, &self.tuples)))
     }
 
     /// Iterate tuples in canonical (sorted) order.
@@ -192,10 +244,7 @@ impl Relation {
         }
         out.extend_from_slice(&self.tuples[i..]);
         out.extend_from_slice(&other.tuples[j..]);
-        Ok(Relation {
-            arity: self.arity,
-            tuples: out,
-        })
+        Ok(Relation::raw(self.arity, out))
     }
 
     /// Set difference `self − other` (arity must match).
@@ -220,10 +269,7 @@ impl Relation {
                 }
             }
         }
-        Ok(Relation {
-            arity: self.arity,
-            tuples: out,
-        })
+        Ok(Relation::raw(self.arity, out))
     }
 
     /// Set intersection (arity must match).
@@ -242,10 +288,7 @@ impl Relation {
                 }
             }
         }
-        Ok(Relation {
-            arity: self.arity,
-            tuples: out,
-        })
+        Ok(Relation::raw(self.arity, out))
     }
 
     /// The hash-partition index of a tuple under a key of 0-based
@@ -292,10 +335,7 @@ impl Relation {
         }
         parts
             .into_iter()
-            .map(|p| Relation {
-                arity: self.arity,
-                tuples: p,
-            })
+            .map(|p| Relation::raw(self.arity, p))
             .collect()
     }
 
@@ -311,15 +351,25 @@ impl Relation {
     /// `n = 0` is treated as one partition; with `cols` empty every
     /// tuple lands in partition 0 (same conventions as
     /// [`Relation::partition_of`]).
+    ///
+    /// Panics when the relation exceeds [`u32::MAX`] rows — index views
+    /// are `u32` by design; use [`Relation::try_partition_indices`] for
+    /// the fallible variant with a typed error.
     pub fn partition_indices(&self, cols: &[usize], n: usize) -> Vec<Vec<u32>> {
+        self.try_partition_indices(cols, n)
+            .expect("partition_indices: relation too large for u32 index views")
+    }
+
+    /// Fallible [`Relation::partition_indices`]: returns
+    /// [`StorageError::RelationTooLarge`] instead of silently truncating
+    /// (or panicking) when the relation has more than [`u32::MAX`] rows
+    /// and its tuple positions no longer fit the `u32` index views.
+    pub fn try_partition_indices(&self, cols: &[usize], n: usize) -> crate::Result<Vec<Vec<u32>>> {
+        ensure_u32_indexable(self.tuples.len())?;
         let n = n.max(1);
         debug_assert!(
             cols.iter().all(|&c| c < self.arity),
             "partition_indices: key column out of range"
-        );
-        debug_assert!(
-            self.tuples.len() <= u32::MAX as usize,
-            "partition_indices: relation too large for u32 indices"
         );
         let mut parts: Vec<Vec<u32>> = vec![Vec::new(); n];
         if n > 1 {
@@ -329,7 +379,7 @@ impl Relation {
         } else {
             parts[0] = (0..self.tuples.len() as u32).collect();
         }
-        parts
+        Ok(parts)
     }
 
     /// [`Relation::partition_by_hash`] on a shared handle, returning
@@ -373,6 +423,20 @@ impl Relation {
         }
         Ok(())
     }
+}
+
+/// The boundary check behind every `u32` tuple-index view. A relation of
+/// `rows` tuples uses positions `0..rows`, but partition bookkeeping also
+/// stores `rows` itself as a `u32` (the `0..len as u32` single-partition
+/// range), so the safe capacity is `u32::MAX` **rows** — not the
+/// `u32::MAX + 1` that position indexing alone would allow. Anything
+/// larger gets a typed [`StorageError::RelationTooLarge`] instead of a
+/// silent `as u32` truncation.
+pub fn ensure_u32_indexable(rows: usize) -> crate::Result<()> {
+    if rows > u32::MAX as usize {
+        return Err(StorageError::RelationTooLarge { rows });
+    }
+    Ok(())
 }
 
 impl fmt::Debug for Relation {
@@ -637,5 +701,65 @@ mod tests {
         let a = Relation::from_str_rows(&[&["an", "headache"], &["bob", "sore throat"]]);
         assert_eq!(a.arity(), 2);
         assert!(a.contains(&tuple!["an", "headache"]));
+    }
+
+    #[test]
+    fn u32_index_boundary_arithmetic() {
+        // The capacity is u32::MAX rows exactly: the largest admissible
+        // relation has positions 0..u32::MAX (last position u32::MAX − 1)
+        // and a representable `len as u32`.
+        assert!(ensure_u32_indexable(0).is_ok());
+        assert!(ensure_u32_indexable(u32::MAX as usize).is_ok());
+        assert_eq!(
+            ensure_u32_indexable(u32::MAX as usize + 1),
+            Err(StorageError::RelationTooLarge {
+                rows: u32::MAX as usize + 1
+            })
+        );
+        assert!(ensure_u32_indexable(usize::MAX).is_err());
+        // The fallible partition API threads the check through; in-range
+        // relations succeed and agree with the panicking variant.
+        let a = r(&[&[1, 2], &[3, 4]]);
+        assert_eq!(
+            a.try_partition_indices(&[0], 4).unwrap(),
+            a.partition_indices(&[0], 4)
+        );
+    }
+
+    #[test]
+    fn columnar_cache_tracks_mutation() {
+        let mut a = r(&[&[1, 2], &[3, 4]]);
+        assert_eq!(a.columns().len(), 2);
+        assert_eq!(a.columns().col(0).as_ints(), Some(&[1i64, 3][..]));
+        // Insert invalidates the cached view.
+        a.insert(tuple![2, 9]).unwrap();
+        assert_eq!(a.columns().len(), 3);
+        assert_eq!(a.columns().col(0).as_ints(), Some(&[1i64, 2, 3][..]));
+        // Remove does too.
+        a.remove(&tuple![1, 2]);
+        assert_eq!(a.columns().col(0).as_ints(), Some(&[2i64, 3][..]));
+        // A failed insert (duplicate) leaves the view untouched but
+        // correct either way.
+        assert!(!a.insert(tuple![2, 9]).unwrap());
+        assert_eq!(a.columns().len(), 2);
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_the_columnar_cache() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = r(&[&[1], &[2]]);
+        let b = r(&[&[2], &[1]]);
+        let _ = a.columns(); // build a's cache only
+        assert_eq!(a, b);
+        let h = |x: &Relation| {
+            let mut s = DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+        // Clones share the set identity regardless of cache state.
+        let c = a.clone();
+        assert_eq!(c, a);
+        assert_eq!(c.columns().len(), 2);
     }
 }

@@ -1,0 +1,355 @@
+//! Differential suite proving **vectorized ≡ row-at-a-time**: the
+//! batched operators of `sj_eval::ops_vec` must produce byte-identical
+//! relations to their row-wise `sj_eval::ops` counterparts, and the
+//! engine must produce byte-identical results under
+//! [`Execution::Vectorized`] and [`Execution::RowAtAtime`] for every
+//! strategy × optimize level × worker count — on random inputs as well
+//! as on the shapes chunked execution finds hardest: empty relations,
+//! single rows, and relations sized exactly at, one below, and one
+//! above a chunk boundary.
+//!
+//! Chunk sizes under test are `{1, 3, default}` through the explicit
+//! `*_chunked` entry points; CI additionally re-runs the whole suite
+//! with `SETJOINS_TEST_CHUNK=1` and `=3`, which reroutes every
+//! engine-level vectorized operator through degenerate chunking.
+//! `SETJOINS_TEST_THREADS` narrows the worker counts exactly as in
+//! `tests/parallel.rs`.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+use setjoins::eval::{ops, ops_vec, Execution, Parallelism, Strategy};
+use setjoins::prelude::*;
+use sj_algebra::Selection;
+use sj_storage::DEFAULT_CHUNK_ROWS;
+
+/// Chunk sizes the explicit `*_chunked` calls exercise: degenerate
+/// (every row its own chunk), tiny-and-odd, and the production default.
+const CHUNKS: [usize; 3] = [1, 3, DEFAULT_CHUNK_ROWS];
+
+/// Worker counts under test.
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("SETJOINS_TEST_THREADS") {
+        Ok(s) => {
+            let counts: Vec<usize> = s
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n| n >= 1)
+                .collect();
+            assert!(
+                !counts.is_empty(),
+                "SETJOINS_TEST_THREADS={s:?} has no usable counts"
+            );
+            counts
+        }
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+fn pairs(rows: impl IntoIterator<Item = [i64; 2]>) -> Relation {
+    Relation::from_tuples(2, rows.into_iter().map(|r| Tuple::from_ints(&r))).unwrap()
+}
+
+/// `n` rows with repeated keys and a value pattern that makes every
+/// predicate under test partially selective.
+fn sized(n: usize) -> Relation {
+    pairs((0..n as i64).map(|i| [i % 97, i % 13]))
+}
+
+/// Chunk-boundary sizes relative to `chunk`: 0, 1, chunk−1, chunk,
+/// chunk+1 (deduplicated for tiny chunks).
+fn boundary_sizes(chunk: usize) -> Vec<usize> {
+    let mut v = vec![0, 1, chunk.saturating_sub(1), chunk, chunk + 1];
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Input pairs covering typed columns (int, string, mixed) and the
+/// adversarial shapes of the parallel suite.
+fn operand_pairs() -> Vec<(String, Relation, Relation)> {
+    let mut out: Vec<(String, Relation, Relation)> = vec![
+        (
+            "strings".into(),
+            Relation::from_str_rows(&[
+                &["an", "headache"],
+                &["an", "sore throat"],
+                &["bob", "headache"],
+                &["bob", "memory loss"],
+            ]),
+            Relation::from_str_rows(&[
+                &["flu", "headache"],
+                &["flu", "sore throat"],
+                &["lyme", "memory loss"],
+            ]),
+        ),
+        (
+            "mixed-variants".into(),
+            Relation::from_tuples(
+                2,
+                vec![tuple![1, "x"], tuple![1, 7], tuple![2, "y"], tuple![3, 7]],
+            )
+            .unwrap(),
+            Relation::from_tuples(2, vec![tuple![1, 7], tuple![2, "x"], tuple![9, "y"]]).unwrap(),
+        ),
+        (
+            "skewed".into(),
+            pairs((0..60).map(|i| [7, i])),
+            pairs((0..40).map(|i| [i % 5, 7])),
+        ),
+        ("empty-left".into(), Relation::empty(2), sized(20)),
+        ("empty-right".into(), sized(20), Relation::empty(2)),
+    ];
+    for &chunk in &CHUNKS {
+        for n in boundary_sizes(chunk) {
+            out.push((
+                format!("boundary-{n}-of-{chunk}"),
+                sized(n),
+                sized(n / 2 + 1),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Direct operator differentials at explicit chunk sizes
+// ---------------------------------------------------------------------------
+
+/// Chunked selection ≡ row selection, every chunk size, every predicate
+/// shape, every operand — including sizes straddling each chunk boundary.
+#[test]
+fn vectorized_select_equals_row_select() {
+    let sels = [
+        Selection::Eq(1, 2),
+        Selection::Lt(1, 2),
+        Selection::Lt(2, 1),
+        Selection::EqConst(1, Value::int(7)),
+        Selection::EqConst(2, Value::str("headache")),
+        Selection::EqConst(2, Value::str("absent")),
+    ];
+    for (name, r, s) in operand_pairs() {
+        for rel in [&r, &s] {
+            for sel in &sels {
+                let baseline = ops::select(rel, sel);
+                for &chunk in &CHUNKS {
+                    assert_eq!(
+                        ops_vec::select_chunked(rel, sel, chunk),
+                        baseline,
+                        "select {sel:?} on {name} @chunk {chunk}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Chunked hash join/semijoin ≡ row join/semijoin, with and without
+/// residual inequality atoms, across typed and mixed columns.
+#[test]
+fn vectorized_joins_equal_row_joins() {
+    let thetas = [
+        Condition::eq(1, 1),
+        Condition::eq(2, 2),
+        Condition::new(vec![
+            sj_algebra::Atom {
+                left: 1,
+                op: sj_algebra::CompOp::Eq,
+                right: 1,
+            },
+            sj_algebra::Atom {
+                left: 2,
+                op: sj_algebra::CompOp::Lt,
+                right: 2,
+            },
+        ]),
+        Condition::lt(1, 1), // no equality atom: falls back to the row path
+    ];
+    for (name, r, s) in operand_pairs() {
+        for theta in &thetas {
+            let join_base = ops::join(&r, &s, theta);
+            let semi_base = ops::semijoin(&r, &s, theta);
+            for &chunk in &CHUNKS {
+                assert_eq!(
+                    ops_vec::join_chunked(&r, &s, theta, chunk),
+                    join_base,
+                    "join {theta} on {name} @chunk {chunk}"
+                );
+                assert_eq!(
+                    ops_vec::semijoin_chunked(&r, &s, theta, chunk),
+                    semi_base,
+                    "semijoin {theta} on {name} @chunk {chunk}"
+                );
+            }
+        }
+    }
+}
+
+/// Columnar merge join/semijoin ≡ row merge join/semijoin on the
+/// canonical sort prefix.
+#[test]
+fn vectorized_merges_equal_row_merges() {
+    let residuals = [
+        Condition::always(),
+        Condition::new(vec![sj_algebra::Atom {
+            left: 2,
+            op: sj_algebra::CompOp::Lt,
+            right: 2,
+        }]),
+    ];
+    for (name, r, s) in operand_pairs() {
+        for residual in &residuals {
+            assert_eq!(
+                ops_vec::merge_join(&r, &s, 1, residual),
+                ops::merge_join(&r, &s, 1, residual),
+                "merge join on {name} residual {residual}"
+            );
+            assert_eq!(
+                ops_vec::merge_semijoin(&r, &s, 1, residual),
+                ops::merge_semijoin(&r, &s, 1, residual),
+                "merge semijoin on {name} residual {residual}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine end to end: Execution knob differential
+// ---------------------------------------------------------------------------
+
+/// Queries exercising every operator the vectorized path touches.
+fn engine_queries() -> Vec<Expr> {
+    vec![
+        Expr::rel("R").select_eq(1, 2),
+        Expr::rel("R").select_lt(1, 2),
+        Expr::rel("R")
+            .join(Condition::eq(1, 1), Expr::rel("S"))
+            .project([1, 2]),
+        Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .project([2, 1]),
+        Expr::rel("R").semijoin(Condition::eq(1, 1), Expr::rel("S")),
+        Expr::rel("R").semijoin(Condition::lt(1, 2), Expr::rel("S")),
+        sj_algebra::division::division_double_difference("R", "T"),
+        sj_algebra::division::division_counting("R", "T"),
+    ]
+}
+
+/// Every strategy × optimize level × worker count: `Execution::Vectorized`
+/// byte-identical to `Execution::RowAtATime`, on a real workload and on
+/// every adversarial operand pair.
+#[test]
+fn engine_vectorized_equals_row_at_a_time() {
+    use sj_workload::{DivisionWorkload, ElementDist, SetJoinWorkload, SetSizeDist};
+    let workload_db = {
+        let div = DivisionWorkload {
+            groups: 150,
+            divisor_size: 6,
+            containment_fraction: 0.4,
+            extra_per_group: 2,
+            noise_domain: 48,
+            seed: 0xD1FFE4E7,
+        }
+        .database();
+        let (s, _) = SetJoinWorkload {
+            r_groups: 80,
+            s_groups: 80,
+            set_size: SetSizeDist::Uniform(2, 6),
+            domain: 32,
+            elements: ElementDist::Uniform,
+            seed: 0x5E7D1FF,
+        }
+        .generate();
+        let mut db = Database::new();
+        db.set("R", div.get("R").unwrap().clone());
+        db.set("T", div.get("S").unwrap().clone());
+        db.set("S", s);
+        db
+    };
+    let mut dbs: Vec<(String, Database)> = vec![("division-workload".into(), workload_db)];
+    for (name, r, s) in operand_pairs() {
+        let mut db = Database::new();
+        db.set("R", r);
+        db.set("S", s);
+        db.set("T", Relation::from_int_rows(&[&[5], &[9]]));
+        dbs.push((format!("operands-{name}"), db));
+    }
+    for (dbname, db) in &dbs {
+        for e in engine_queries() {
+            for level in [OptimizeLevel::Off, OptimizeLevel::Full] {
+                for strategy in [Strategy::Planned, Strategy::Naive] {
+                    for &n in &worker_counts() {
+                        let run = |exec: Execution| {
+                            Engine::new(db.clone())
+                                .optimize(level)
+                                .strategy(strategy)
+                                .parallelism(Parallelism::Threads(n))
+                                .execution(exec)
+                                .query(e.clone())
+                                .run()
+                                .unwrap()
+                                .relation
+                        };
+                        assert_eq!(
+                            run(Execution::Vectorized),
+                            run(Execution::RowAtATime),
+                            "{dbname} {e} {strategy} {level:?} @{n} workers"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------------
+
+fn arb_relation(arity: usize) -> impl PropStrategy<Value = Relation> {
+    proptest::collection::vec(proptest::collection::vec(0i64..6, arity), 0..14).prop_map(
+        move |rows| {
+            Relation::from_tuples(arity, rows.into_iter().map(|r| Tuple::from_ints(&r))).unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random relations and conditions: every chunked operator equals
+    /// its row counterpart at every chunk size.
+    #[test]
+    fn vectorized_ops_equal_row_ops_on_random_relations(
+        r in arb_relation(2),
+        s in arb_relation(2),
+        ci in 0usize..3,
+    ) {
+        let theta = [Condition::eq(1, 1), Condition::eq(2, 2), Condition::eq(2, 1)][ci].clone();
+        for &chunk in &CHUNKS {
+            prop_assert_eq!(
+                ops_vec::join_chunked(&r, &s, &theta, chunk),
+                ops::join(&r, &s, &theta),
+                "join chunk {}", chunk
+            );
+            prop_assert_eq!(
+                ops_vec::semijoin_chunked(&r, &s, &theta, chunk),
+                ops::semijoin(&r, &s, &theta),
+                "semijoin chunk {}", chunk
+            );
+            let sel = Selection::Eq(1, 2);
+            prop_assert_eq!(
+                ops_vec::select_chunked(&r, &sel, chunk),
+                ops::select(&r, &sel),
+                "select chunk {}", chunk
+            );
+        }
+        prop_assert_eq!(
+            ops_vec::merge_join(&r, &s, 1, &Condition::always()),
+            ops::merge_join(&r, &s, 1, &Condition::always())
+        );
+        prop_assert_eq!(
+            ops_vec::merge_semijoin(&r, &s, 1, &Condition::always()),
+            ops::merge_semijoin(&r, &s, 1, &Condition::always())
+        );
+    }
+}
