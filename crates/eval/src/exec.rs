@@ -1,11 +1,14 @@
 //! The execution-mode knob: row-at-a-time vs vectorized operators.
 //!
 //! [`Execution`] selects which physical operator implementations the
-//! planned path uses for its serial per-node work: the classic
-//! tuple-at-a-time functions in [`crate::ops`] or the chunked columnar
-//! kernels in [`crate::ops_vec`]. The two are **byte-identical** in
-//! output for every plan — the differential suites in `tests/` enforce
-//! it — so the knob is purely about speed.
+//! planned path uses for its per-node work: the classic tuple-at-a-time
+//! functions in [`crate::ops`] or the chunked columnar kernels in
+//! [`crate::ops_vec`]. Under [`crate::par::Parallelism::Threads`] the
+//! knob composes with partitioning through the unified kernel layer
+//! ([`crate::kernel`]): each partition runs the row index-view or the
+//! vectorized gather-view kernel the knob selects. All combinations are
+//! **byte-identical** in output for every plan — the differential
+//! suites in `tests/` enforce it — so the knob is purely about speed.
 //!
 //! Like [`crate::par::Parallelism`], the knob only affects
 //! [`crate::engine::Strategy::Planned`]; the naive and reference

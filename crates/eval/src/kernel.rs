@@ -1,0 +1,951 @@
+//! The partition-aware kernel layer: one entry point per binary operator
+//! that composes the two performance knobs orthogonally.
+//!
+//! Every kernel takes the [`Execution`] mode *and* a worker count and
+//! dispatches on both:
+//!
+//! * `workers ≤ 1` — the serial operators run directly: the chunked
+//!   columnar kernels of [`crate::ops_vec`] under
+//!   [`Execution::Vectorized`], the row operators of [`crate::ops`]
+//!   under [`Execution::RowAtATime`]. No partitioning, no stats (a
+//!   serial node reports no partitions).
+//! * `workers > 1` — both operands are hash-partitioned on the equality
+//!   key into ascending tuple-index lists
+//!   (`Relation::partition_indices`), the partition pairs are fanned out
+//!   over scoped worker threads, and *each partition* runs the kernel
+//!   the `Execution` knob selects: the row index-view kernels
+//!   (`join_idx` et al.), or the vectorized gather-view kernels
+//!   (`join_view` et al.) that hash and compare through the zero-copy
+//!   [`ColsView`] columns of the shared operands. Per-partition
+//!   [`PartitionStat`]s are collected either way, so instrumented
+//!   reports are execution-mode agnostic.
+//!
+//! The vectorized partition kernels are the chunked kernels of
+//! [`crate::ops_vec`] re-expressed over gather views: key hashes are
+//! computed column-at-a-time through [`sj_storage::ColGather`] (a dense
+//! `vals[idx[i]]` loop per typed column — no `Value` is cloned or boxed
+//! on either side of the hash table), hash-paired rows are confirmed
+//! with exact cell comparisons ([`ColsView::cell_eq`]), and the merge
+//! variants compare key prefixes through [`ColsView::cell_cmp`] (an
+//! `i64` or dictionary-code compare on typed columns). Conditions with
+//! no equality atom keep the row nested-loop kernel under either mode —
+//! there is nothing to vectorize in a cartesian filter.
+//!
+//! Output is byte-identical across all four `(Execution, workers)`
+//! quadrants: partitions are key-disjoint, so one canonicalization pass
+//! over the concatenated outputs restores the global order, and the
+//! differential suites (`tests/parallel.rs`, `tests/vectorized.rs`)
+//! hold every combination to the serial row reference.
+
+use crate::exec::Execution;
+use crate::ops::{self, split_condition};
+use crate::ops_vec::hash_view_rows;
+use sj_algebra::Condition;
+use sj_setjoin::parallel::fan_out;
+use sj_storage::{ColsView, FxHashMap, Relation, Tuple, Value};
+use std::time::{Duration, Instant};
+
+/// Execution record of one partition of a partition-parallel operator,
+/// surfaced through [`crate::NodeStat::partitions`] so instrumented runs
+/// expose the per-partition build/probe timings and the skew between
+/// partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionStat {
+    /// Partition index (stable: a pure function of the tuple key hash).
+    pub partition: usize,
+    /// Left-operand tuples routed to this partition.
+    pub left_rows: usize,
+    /// Right-operand tuples routed to this partition.
+    pub right_rows: usize,
+    /// Output tuples this partition produced.
+    pub out_rows: usize,
+    /// Wall-clock time of this partition's build + probe.
+    pub elapsed: Duration,
+}
+
+// ---------------------------------------------------------------------------
+// Unified operator entry points: (Execution, workers) → kernel
+// ---------------------------------------------------------------------------
+
+/// `r₁ ⋈θ r₂` under the given execution mode and worker count. Serial
+/// (`workers ≤ 1`) runs report no partitions; parallel runs report one
+/// [`PartitionStat`] per partition.
+pub fn join(
+    r1: &Relation,
+    r2: &Relation,
+    theta: &Condition,
+    exec: Execution,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    if workers <= 1 {
+        let rel = if exec.is_vectorized() {
+            crate::ops_vec::join(r1, r2, theta)
+        } else {
+            ops::join(r1, r2, theta)
+        };
+        return (rel, Vec::new());
+    }
+    par_join_exec(r1, r2, theta, exec, workers)
+}
+
+/// `r₁ ⋉θ r₂` under the given execution mode and worker count.
+pub fn semijoin(
+    r1: &Relation,
+    r2: &Relation,
+    theta: &Condition,
+    exec: Execution,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    if workers <= 1 {
+        let rel = if exec.is_vectorized() {
+            crate::ops_vec::semijoin(r1, r2, theta)
+        } else {
+            ops::semijoin(r1, r2, theta)
+        };
+        return (rel, Vec::new());
+    }
+    par_semijoin_exec(r1, r2, theta, exec, workers)
+}
+
+/// Merge equi-join on an aligned key prefix of length `k` (see
+/// [`ops::merge_prefix_len`]) under the given execution mode and worker
+/// count.
+pub fn merge_join(
+    r1: &Relation,
+    r2: &Relation,
+    k: usize,
+    residual: &Condition,
+    exec: Execution,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    if workers <= 1 {
+        let rel = if exec.is_vectorized() {
+            crate::ops_vec::merge_join(r1, r2, k, residual)
+        } else {
+            ops::merge_join(r1, r2, k, residual)
+        };
+        return (rel, Vec::new());
+    }
+    par_merge_join_exec(r1, r2, k, residual, exec, workers)
+}
+
+/// Merge equi-semijoin on an aligned key prefix of length `k` under the
+/// given execution mode and worker count.
+pub fn merge_semijoin(
+    r1: &Relation,
+    r2: &Relation,
+    k: usize,
+    residual: &Condition,
+    exec: Execution,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    if workers <= 1 {
+        let rel = if exec.is_vectorized() {
+            crate::ops_vec::merge_semijoin(r1, r2, k, residual)
+        } else {
+            ops::merge_semijoin(r1, r2, k, residual)
+        };
+        return (rel, Vec::new());
+    }
+    par_merge_semijoin_exec(r1, r2, k, residual, exec, workers)
+}
+
+// ---------------------------------------------------------------------------
+// Partition-parallel machinery
+// ---------------------------------------------------------------------------
+
+/// Split `0..len` into at most `n` contiguous index ranges — the
+/// partitioning used when θ has no equality atom to hash on.
+fn chunk_indices(len: usize, n: usize) -> Vec<Vec<u32>> {
+    let n = n.max(1).min(len.max(1));
+    let per = len.div_ceil(n).max(1);
+    (0..len as u32)
+        .collect::<Vec<u32>>()
+        .chunks(per)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+/// Run a binary operator partition-parallel over **index views**:
+/// hash-partition both sides on the equality key (`left_cols` /
+/// `right_cols`, 0-based) into ascending tuple-index lists
+/// ([`Relation::partition_indices`]) so matching keys co-locate, fan
+/// the partition pairs out over `workers` scoped threads, and union the
+/// per-partition outputs back into canonical order. With no equality
+/// columns the left side is chunked into contiguous index ranges and
+/// every chunk sees the full right side.
+///
+/// Partitions are views — index lists into the shared operands — so no
+/// input tuple is ever cloned into a partition (the scheme
+/// `sj_setjoin::parallel` uses, ported to the planned-query path; only
+/// the 4-byte indices and the output tuples are materialized). The
+/// per-partition kernel `op` is chosen by the caller — row index-view
+/// or vectorized gather-view — which is exactly how `Execution` and
+/// `Parallelism` compose.
+fn par_binary(
+    r1: &Relation,
+    r2: &Relation,
+    left_cols: &[usize],
+    right_cols: &[usize],
+    workers: usize,
+    out_arity: usize,
+    op: impl Fn(&[u32], &[u32]) -> Vec<Tuple> + Sync,
+) -> (Relation, Vec<PartitionStat>) {
+    let workers = workers.max(1);
+    let timed = |li: &[u32], ri: &[u32]| {
+        let start = Instant::now();
+        let out = op(li, ri);
+        let elapsed = start.elapsed();
+        (li.len(), ri.len(), out, elapsed)
+    };
+    let outputs = if left_cols.is_empty() {
+        // No key to co-partition on: chunk the left side; every chunk
+        // probes the whole right side through one shared index list.
+        let full: Vec<u32> = (0..r2.len() as u32).collect();
+        fan_out(chunk_indices(r1.len(), workers), workers, |li| {
+            timed(&li, &full)
+        })
+    } else {
+        let pairs: Vec<(Vec<u32>, Vec<u32>)> = r1
+            .partition_indices(left_cols, workers)
+            .into_iter()
+            .zip(r2.partition_indices(right_cols, workers))
+            .collect();
+        fan_out(pairs, workers, |(li, ri)| timed(&li, &ri))
+    };
+    let mut stats = Vec::with_capacity(outputs.len());
+    let mut tuples: Vec<Tuple> = Vec::new();
+    for (partition, (left_rows, right_rows, out, elapsed)) in outputs.into_iter().enumerate() {
+        stats.push(PartitionStat {
+            partition,
+            left_rows,
+            right_rows,
+            out_rows: out.len(),
+            elapsed,
+        });
+        tuples.extend(out);
+    }
+    // Partitions are key-disjoint (or, for the chunked no-equality path,
+    // row-disjoint), so the flattened outputs contain no duplicates; one
+    // canonicalization pass restores the global order.
+    let merged = Relation::from_tuples(out_arity, tuples).expect("partition arities agree");
+    (merged, stats)
+}
+
+/// Partition-parallel join with the per-partition kernel chosen by
+/// `exec`: vectorized gather-view when there is an equality key,
+/// otherwise the row nested-loop index kernel under either mode.
+fn par_join_exec(
+    r1: &Relation,
+    r2: &Relation,
+    theta: &Condition,
+    exec: Execution,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    let (eq, residual) = split_condition(theta);
+    let left_cols: Vec<usize> = eq.iter().map(|&(lc, _)| lc).collect();
+    let right_cols: Vec<usize> = eq.iter().map(|&(_, rc)| rc).collect();
+    let out_arity = r1.arity() + r2.arity();
+    let vectorize = exec.is_vectorized() && !eq.is_empty();
+    par_binary(
+        r1,
+        r2,
+        &left_cols,
+        &right_cols,
+        workers,
+        out_arity,
+        |li, ri| {
+            if vectorize {
+                join_view(r1, r2, li, ri, &eq, &residual)
+            } else {
+                join_idx(r1, r2, li, ri, theta)
+            }
+        },
+    )
+}
+
+/// Partition-parallel semijoin (see [`par_join_exec`]).
+fn par_semijoin_exec(
+    r1: &Relation,
+    r2: &Relation,
+    theta: &Condition,
+    exec: Execution,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    let (eq, residual) = split_condition(theta);
+    let left_cols: Vec<usize> = eq.iter().map(|&(lc, _)| lc).collect();
+    let right_cols: Vec<usize> = eq.iter().map(|&(_, rc)| rc).collect();
+    let vectorize = exec.is_vectorized() && !eq.is_empty();
+    par_binary(
+        r1,
+        r2,
+        &left_cols,
+        &right_cols,
+        workers,
+        r1.arity(),
+        |li, ri| {
+            if vectorize {
+                semijoin_view(r1, r2, li, ri, &eq, &residual)
+            } else {
+                semijoin_idx(r1, r2, li, ri, theta)
+            }
+        },
+    )
+}
+
+/// Partition-parallel merge join on an aligned key prefix: both sides
+/// are hash-partitioned on the prefix columns (partitions stay
+/// canonically sorted — they are subsequences), merged per partition
+/// with the `exec`-selected kernel, and unioned back.
+fn par_merge_join_exec(
+    r1: &Relation,
+    r2: &Relation,
+    k: usize,
+    residual: &Condition,
+    exec: Execution,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    let cols: Vec<usize> = (0..k).collect();
+    let out_arity = r1.arity() + r2.arity();
+    let vectorize = exec.is_vectorized();
+    par_binary(r1, r2, &cols, &cols, workers, out_arity, |li, ri| {
+        if vectorize {
+            merge_join_view(r1, r2, li, ri, k, residual)
+        } else {
+            merge_join_idx(r1, r2, li, ri, k, residual)
+        }
+    })
+}
+
+/// Partition-parallel merge semijoin on an aligned key prefix.
+fn par_merge_semijoin_exec(
+    r1: &Relation,
+    r2: &Relation,
+    k: usize,
+    residual: &Condition,
+    exec: Execution,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    let cols: Vec<usize> = (0..k).collect();
+    let vectorize = exec.is_vectorized();
+    par_binary(r1, r2, &cols, &cols, workers, r1.arity(), |li, ri| {
+        if vectorize {
+            merge_semijoin_view(r1, r2, li, ri, k, residual)
+        } else {
+            merge_semijoin_idx(r1, r2, li, ri, k, residual)
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Row-execution compatibility wrappers
+// ---------------------------------------------------------------------------
+
+/// Partition-parallel [`ops::join`] with row per-partition kernels:
+/// byte-identical output for every worker count (partition placement is
+/// deterministic and the merge restores canonical order).
+pub fn par_join(r1: &Relation, r2: &Relation, theta: &Condition, workers: usize) -> Relation {
+    par_join_stats(r1, r2, theta, workers).0
+}
+
+/// [`par_join`] plus per-partition statistics for instrumentation.
+pub fn par_join_stats(
+    r1: &Relation,
+    r2: &Relation,
+    theta: &Condition,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    par_join_exec(r1, r2, theta, Execution::RowAtATime, workers)
+}
+
+/// Partition-parallel [`ops::semijoin`] with row per-partition kernels.
+pub fn par_semijoin(r1: &Relation, r2: &Relation, theta: &Condition, workers: usize) -> Relation {
+    par_semijoin_stats(r1, r2, theta, workers).0
+}
+
+/// [`par_semijoin`] plus per-partition statistics.
+pub fn par_semijoin_stats(
+    r1: &Relation,
+    r2: &Relation,
+    theta: &Condition,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    par_semijoin_exec(r1, r2, theta, Execution::RowAtATime, workers)
+}
+
+/// Partition-parallel [`ops::merge_join`] with row per-partition kernels.
+pub fn par_merge_join_stats(
+    r1: &Relation,
+    r2: &Relation,
+    k: usize,
+    residual: &Condition,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    par_merge_join_exec(r1, r2, k, residual, Execution::RowAtATime, workers)
+}
+
+/// Partition-parallel [`ops::merge_semijoin`] with row per-partition
+/// kernels.
+pub fn par_merge_semijoin_stats(
+    r1: &Relation,
+    r2: &Relation,
+    k: usize,
+    residual: &Condition,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    par_merge_semijoin_exec(r1, r2, k, residual, Execution::RowAtATime, workers)
+}
+
+// ---------------------------------------------------------------------------
+// Row index-view kernels
+// ---------------------------------------------------------------------------
+
+/// [`ops::join`] restricted to the tuples of `r1` at `li` and of `r2` at
+/// `ri` (ascending index views): hash build over the right view, probe
+/// from the left view, residual filter on candidates.
+fn join_idx(r1: &Relation, r2: &Relation, li: &[u32], ri: &[u32], theta: &Condition) -> Vec<Tuple> {
+    let (eq, residual) = split_condition(theta);
+    let (a, b) = (r1.tuples(), r2.tuples());
+    let mut out: Vec<Tuple> = Vec::new();
+    if eq.is_empty() {
+        for &i in li {
+            let t1 = &a[i as usize];
+            for &j in ri {
+                let t2 = &b[j as usize];
+                if theta.eval(t1.values(), t2.values()) {
+                    out.push(t1.concat(t2));
+                }
+            }
+        }
+    } else {
+        let left_cols: Vec<usize> = eq.iter().map(|&(lc, _)| lc).collect();
+        let right_cols: Vec<usize> = eq.iter().map(|&(_, rc)| rc).collect();
+        let mut index: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+        for &j in ri {
+            let t2 = &b[j as usize];
+            let key: Vec<Value> = right_cols.iter().map(|&c| t2[c].clone()).collect();
+            index.entry(key).or_default().push(j);
+        }
+        let mut key: Vec<Value> = Vec::with_capacity(left_cols.len());
+        for &i in li {
+            let t1 = &a[i as usize];
+            key.clear();
+            key.extend(left_cols.iter().map(|&c| t1[c].clone()));
+            if let Some(hits) = index.get(key.as_slice()) {
+                for &j in hits {
+                    let t2 = &b[j as usize];
+                    if residual.eval(t1.values(), t2.values()) {
+                        out.push(t1.concat(t2));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// [`ops::semijoin`] over index views (see [`join_idx`]).
+fn semijoin_idx(
+    r1: &Relation,
+    r2: &Relation,
+    li: &[u32],
+    ri: &[u32],
+    theta: &Condition,
+) -> Vec<Tuple> {
+    let (eq, residual) = split_condition(theta);
+    let (a, b) = (r1.tuples(), r2.tuples());
+    let tuple_at = |i: &u32| a[*i as usize].clone();
+    if eq.is_empty() {
+        if ri.is_empty() {
+            Vec::new()
+        } else if theta.is_empty() {
+            li.iter().map(tuple_at).collect()
+        } else {
+            li.iter()
+                .filter(|&&i| {
+                    let t1 = &a[i as usize];
+                    ri.iter()
+                        .any(|&j| theta.eval(t1.values(), b[j as usize].values()))
+                })
+                .map(tuple_at)
+                .collect()
+        }
+    } else {
+        let left_cols: Vec<usize> = eq.iter().map(|&(lc, _)| lc).collect();
+        let right_cols: Vec<usize> = eq.iter().map(|&(_, rc)| rc).collect();
+        let mut index: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+        for &j in ri {
+            let t2 = &b[j as usize];
+            let key: Vec<Value> = right_cols.iter().map(|&c| t2[c].clone()).collect();
+            index.entry(key).or_default().push(j);
+        }
+        let mut key: Vec<Value> = Vec::with_capacity(left_cols.len());
+        li.iter()
+            .filter(|&&i| {
+                let t1 = &a[i as usize];
+                key.clear();
+                key.extend(left_cols.iter().map(|&c| t1[c].clone()));
+                index.get(key.as_slice()).is_some_and(|hits| {
+                    residual.is_empty()
+                        || hits
+                            .iter()
+                            .any(|&j| residual.eval(t1.values(), b[j as usize].values()))
+                })
+            })
+            .map(tuple_at)
+            .collect()
+    }
+}
+
+/// Compare the first `k` components of two tuples.
+#[inline]
+fn cmp_prefix(a: &Tuple, b: &Tuple, k: usize) -> std::cmp::Ordering {
+    a.values()[..k].cmp(&b.values()[..k])
+}
+
+/// End of the run of indices whose tuples share the first `k`
+/// components with the tuple at `idx[start]`.
+#[inline]
+fn run_end_idx(ts: &[Tuple], idx: &[u32], start: usize, k: usize) -> usize {
+    let mut end = start + 1;
+    while end < idx.len()
+        && cmp_prefix(&ts[idx[end] as usize], &ts[idx[start] as usize], k)
+            == std::cmp::Ordering::Equal
+    {
+        end += 1;
+    }
+    end
+}
+
+/// [`ops::merge_join`] over index views: the index lists are ascending,
+/// so their tuples are already in canonical (key-sorted) order.
+fn merge_join_idx(
+    r1: &Relation,
+    r2: &Relation,
+    li: &[u32],
+    ri: &[u32],
+    k: usize,
+    residual: &Condition,
+) -> Vec<Tuple> {
+    let (a, b) = (r1.tuples(), r2.tuples());
+    let mut out: Vec<Tuple> = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < li.len() && j < ri.len() {
+        match cmp_prefix(&a[li[i] as usize], &b[ri[j] as usize], k) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let (i_end, j_end) = (run_end_idx(a, li, i, k), run_end_idx(b, ri, j, k));
+                for &ii in &li[i..i_end] {
+                    let t1 = &a[ii as usize];
+                    for &jj in &ri[j..j_end] {
+                        let t2 = &b[jj as usize];
+                        if residual.eval(t1.values(), t2.values()) {
+                            out.push(t1.concat(t2));
+                        }
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+/// [`ops::merge_semijoin`] over index views (see [`merge_join_idx`]).
+fn merge_semijoin_idx(
+    r1: &Relation,
+    r2: &Relation,
+    li: &[u32],
+    ri: &[u32],
+    k: usize,
+    residual: &Condition,
+) -> Vec<Tuple> {
+    let (a, b) = (r1.tuples(), r2.tuples());
+    let mut out: Vec<Tuple> = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < li.len() && j < ri.len() {
+        match cmp_prefix(&a[li[i] as usize], &b[ri[j] as usize], k) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let (i_end, j_end) = (run_end_idx(a, li, i, k), run_end_idx(b, ri, j, k));
+                for &ii in &li[i..i_end] {
+                    let t1 = &a[ii as usize];
+                    if residual.is_empty()
+                        || ri[j..j_end]
+                            .iter()
+                            .any(|&jj| residual.eval(t1.values(), b[jj as usize].values()))
+                    {
+                        out.push(t1.clone());
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized gather-view kernels
+// ---------------------------------------------------------------------------
+
+/// Exact key equality between view row `li` of `lv` and view row `ri`
+/// of `rv` — the collision check behind every hash pairing.
+#[inline]
+fn keys_eq_view(
+    lv: &ColsView<'_>,
+    li: usize,
+    rv: &ColsView<'_>,
+    ri: usize,
+    eq: &[(usize, usize)],
+) -> bool {
+    eq.iter().all(|&(lc, rc)| lv.cell_eq(lc, li, rv, rc, ri))
+}
+
+/// Vectorized hash join over one partition pair: build the hash table
+/// from the right gather view, probe from the left gather view, both
+/// hashed column-at-a-time through [`sj_storage::ColGather`].
+fn join_view(
+    r1: &Relation,
+    r2: &Relation,
+    li: &[u32],
+    ri: &[u32],
+    eq: &[(usize, usize)],
+    residual: &Condition,
+) -> Vec<Tuple> {
+    let (lv, rv) = (r1.columns().view(li), r2.columns().view(ri));
+    let left_cols: Vec<usize> = eq.iter().map(|&(lc, _)| lc).collect();
+    let right_cols: Vec<usize> = eq.iter().map(|&(_, rc)| rc).collect();
+    let mut scratch: Vec<u64> = Vec::new();
+    hash_view_rows(&rv, &right_cols, &mut scratch);
+    let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    table.reserve(rv.len());
+    for (k, &h) in scratch.iter().enumerate() {
+        table.entry(h).or_default().push(k as u32);
+    }
+    hash_view_rows(&lv, &left_cols, &mut scratch);
+    let (a, b) = (r1.tuples(), r2.tuples());
+    let mut out: Vec<Tuple> = Vec::new();
+    for (k, &h) in scratch.iter().enumerate() {
+        let Some(cands) = table.get(&h) else { continue };
+        let t1 = &a[lv.row(k)];
+        for &vk in cands {
+            let vk = vk as usize;
+            if keys_eq_view(&lv, k, &rv, vk, eq) {
+                let t2 = &b[rv.row(vk)];
+                if residual.eval(t1.values(), t2.values()) {
+                    out.push(t1.concat(t2));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Vectorized hash semijoin over one partition pair (see [`join_view`]).
+fn semijoin_view(
+    r1: &Relation,
+    r2: &Relation,
+    li: &[u32],
+    ri: &[u32],
+    eq: &[(usize, usize)],
+    residual: &Condition,
+) -> Vec<Tuple> {
+    let (lv, rv) = (r1.columns().view(li), r2.columns().view(ri));
+    let left_cols: Vec<usize> = eq.iter().map(|&(lc, _)| lc).collect();
+    let right_cols: Vec<usize> = eq.iter().map(|&(_, rc)| rc).collect();
+    let mut scratch: Vec<u64> = Vec::new();
+    hash_view_rows(&rv, &right_cols, &mut scratch);
+    let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    table.reserve(rv.len());
+    for (k, &h) in scratch.iter().enumerate() {
+        table.entry(h).or_default().push(k as u32);
+    }
+    hash_view_rows(&lv, &left_cols, &mut scratch);
+    let (a, b) = (r1.tuples(), r2.tuples());
+    let mut out: Vec<Tuple> = Vec::new();
+    for (k, &h) in scratch.iter().enumerate() {
+        let Some(cands) = table.get(&h) else { continue };
+        let t1 = &a[lv.row(k)];
+        let survives = cands.iter().any(|&vk| {
+            let vk = vk as usize;
+            keys_eq_view(&lv, k, &rv, vk, eq)
+                && (residual.is_empty() || residual.eval(t1.values(), b[rv.row(vk)].values()))
+        });
+        if survives {
+            out.push(t1.clone());
+        }
+    }
+    out
+}
+
+/// Compare the first `k` columns of view row `i` of `lv` and view row
+/// `j` of `rv` through the typed cell comparator.
+#[inline]
+fn cmp_prefix_view(
+    lv: &ColsView<'_>,
+    i: usize,
+    rv: &ColsView<'_>,
+    j: usize,
+    k: usize,
+) -> std::cmp::Ordering {
+    for c in 0..k {
+        match lv.cell_cmp(c, i, rv, c, j) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// End of the run of view rows sharing row `start`'s first `k` column
+/// values.
+#[inline]
+fn run_end_view(v: &ColsView<'_>, start: usize, k: usize) -> usize {
+    let mut end = start + 1;
+    while end < v.len() && cmp_prefix_view(v, end, v, start, k) == std::cmp::Ordering::Equal {
+        end += 1;
+    }
+    end
+}
+
+/// Vectorized merge join over one partition pair: run detection and
+/// prefix comparison through [`ColsView::cell_cmp`] (typed column
+/// compares); a non-matching side skips its whole run at once.
+fn merge_join_view(
+    r1: &Relation,
+    r2: &Relation,
+    li: &[u32],
+    ri: &[u32],
+    k: usize,
+    residual: &Condition,
+) -> Vec<Tuple> {
+    let (lv, rv) = (r1.columns().view(li), r2.columns().view(ri));
+    let (a, b) = (r1.tuples(), r2.tuples());
+    let mut out: Vec<Tuple> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lv.len() && j < rv.len() {
+        match cmp_prefix_view(&lv, i, &rv, j, k) {
+            std::cmp::Ordering::Less => i = run_end_view(&lv, i, k),
+            std::cmp::Ordering::Greater => j = run_end_view(&rv, j, k),
+            std::cmp::Ordering::Equal => {
+                let (i_end, j_end) = (run_end_view(&lv, i, k), run_end_view(&rv, j, k));
+                for ii in i..i_end {
+                    let t1 = &a[lv.row(ii)];
+                    for jj in j..j_end {
+                        let t2 = &b[rv.row(jj)];
+                        if residual.eval(t1.values(), t2.values()) {
+                            out.push(t1.concat(t2));
+                        }
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+/// Vectorized merge semijoin over one partition pair (see
+/// [`merge_join_view`]).
+fn merge_semijoin_view(
+    r1: &Relation,
+    r2: &Relation,
+    li: &[u32],
+    ri: &[u32],
+    k: usize,
+    residual: &Condition,
+) -> Vec<Tuple> {
+    let (lv, rv) = (r1.columns().view(li), r2.columns().view(ri));
+    let (a, b) = (r1.tuples(), r2.tuples());
+    let mut out: Vec<Tuple> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lv.len() && j < rv.len() {
+        match cmp_prefix_view(&lv, i, &rv, j, k) {
+            std::cmp::Ordering::Less => i = run_end_view(&lv, i, k),
+            std::cmp::Ordering::Greater => j = run_end_view(&rv, j, k),
+            std::cmp::Ordering::Equal => {
+                let (i_end, j_end) = (run_end_view(&lv, i, k), run_end_view(&rv, j, k));
+                for ii in i..i_end {
+                    let t1 = &a[lv.row(ii)];
+                    if residual.is_empty()
+                        || (j..j_end).any(|jj| residual.eval(t1.values(), b[rv.row(jj)].values()))
+                    {
+                        out.push(t1.clone());
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_algebra::CompOp;
+    use sj_storage::tuple;
+
+    fn r(rows: &[&[i64]]) -> Relation {
+        Relation::from_int_rows(rows)
+    }
+
+    fn operands() -> Vec<(&'static str, Relation, Relation)> {
+        let lrows: Vec<Vec<i64>> = (0..300).map(|i| vec![i % 23, i]).collect();
+        let lrefs: Vec<&[i64]> = lrows.iter().map(|r| r.as_slice()).collect();
+        let rrows: Vec<Vec<i64>> = (0..200).map(|i| vec![i % 23, i % 17]).collect();
+        let rrefs: Vec<&[i64]> = rrows.iter().map(|r| r.as_slice()).collect();
+        vec![
+            ("ints", r(&lrefs), r(&rrefs)),
+            (
+                "strings",
+                Relation::from_str_rows(&[
+                    &["an", "headache"],
+                    &["an", "sore throat"],
+                    &["bob", "headache"],
+                    &["bob", "memory loss"],
+                ]),
+                Relation::from_str_rows(&[&["an", "headache"], &["flu", "sore throat"]]),
+            ),
+            (
+                "mixed-variants",
+                Relation::from_tuples(
+                    2,
+                    vec![tuple![1, "x"], tuple![1, 7], tuple![2, "y"], tuple![3, 7]],
+                )
+                .unwrap(),
+                Relation::from_tuples(2, vec![tuple![1, 7], tuple![2, "x"], tuple![9, "y"]])
+                    .unwrap(),
+            ),
+            ("empty-left", Relation::empty(2), r(&rrefs)),
+            ("empty-right", r(&lrefs), Relation::empty(2)),
+        ]
+    }
+
+    /// Both execution modes at every worker count are byte-identical to
+    /// the serial row reference, for joins and semijoins on every theta
+    /// shape and operand type.
+    #[test]
+    fn kernel_join_and_semijoin_match_serial_reference() {
+        let thetas = [
+            Condition::eq(1, 1),
+            Condition::eq(2, 1),
+            Condition::eq(1, 1).and(2, CompOp::Lt, 2),
+            Condition::lt(1, 1),
+            Condition::always(),
+        ];
+        for (name, a, b) in operands() {
+            for theta in &thetas {
+                let want_join = ops::join(&a, &b, theta);
+                let want_semi = ops::semijoin(&a, &b, theta);
+                for exec in [Execution::RowAtATime, Execution::Vectorized] {
+                    for workers in [1usize, 2, 4, 8] {
+                        let (j, jstats) = join(&a, &b, theta, exec, workers);
+                        assert_eq!(j, want_join, "join {theta} on {name} {exec:?} @{workers}");
+                        let (s, _) = semijoin(&a, &b, theta, exec, workers);
+                        assert_eq!(
+                            s, want_semi,
+                            "semijoin {theta} on {name} {exec:?} @{workers}"
+                        );
+                        if workers <= 1 {
+                            assert!(jstats.is_empty(), "serial runs report no partitions");
+                        } else {
+                            // The chunked no-equality path over an empty
+                            // left side has nothing to partition; every
+                            // other parallel run reports partitions.
+                            let chunked_empty = split_condition(theta).0.is_empty() && a.is_empty();
+                            assert!(!jstats.is_empty() || chunked_empty);
+                            assert_eq!(
+                                jstats.iter().map(|p| p.out_rows).sum::<usize>(),
+                                j.len(),
+                                "partition stats account for every output tuple"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge variants: both execution modes at every worker count equal
+    /// the serial row merge.
+    #[test]
+    fn kernel_merge_variants_match_serial_reference() {
+        let residuals = [
+            Condition::always(),
+            Condition::new([sj_algebra::Atom {
+                left: 2,
+                op: CompOp::Neq,
+                right: 2,
+            }]),
+        ];
+        for (name, a, b) in operands() {
+            for residual in &residuals {
+                let want_join = ops::merge_join(&a, &b, 1, residual);
+                let want_semi = ops::merge_semijoin(&a, &b, 1, residual);
+                for exec in [Execution::RowAtATime, Execution::Vectorized] {
+                    for workers in [1usize, 3, 4, 8] {
+                        let (j, _) = merge_join(&a, &b, 1, residual, exec, workers);
+                        assert_eq!(j, want_join, "merge join on {name} {exec:?} @{workers}");
+                        let (s, _) = merge_semijoin(&a, &b, 1, residual, exec, workers);
+                        assert_eq!(s, want_semi, "merge semijoin on {name} {exec:?} @{workers}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The vectorized gather-view kernels are exercised directly (not
+    /// through the no-equality fallback): a single partition covering
+    /// everything must reproduce the serial operators.
+    #[test]
+    fn view_kernels_match_serial_on_full_views() {
+        for (name, a, b) in operands() {
+            let li: Vec<u32> = (0..a.len() as u32).collect();
+            let ri: Vec<u32> = (0..b.len() as u32).collect();
+            let theta = Condition::eq(1, 1).and(2, CompOp::Neq, 2);
+            let (eq, residual) = split_condition(&theta);
+            let got = Relation::from_tuples(
+                a.arity() + b.arity(),
+                join_view(&a, &b, &li, &ri, &eq, &residual),
+            )
+            .unwrap();
+            assert_eq!(got, ops::join(&a, &b, &theta), "join_view on {name}");
+            let semi =
+                Relation::from_tuples(a.arity(), semijoin_view(&a, &b, &li, &ri, &eq, &residual))
+                    .unwrap();
+            assert_eq!(
+                semi,
+                ops::semijoin(&a, &b, &theta),
+                "semijoin_view on {name}"
+            );
+            let mj = Relation::from_tuples(
+                a.arity() + b.arity(),
+                merge_join_view(&a, &b, &li, &ri, 1, &Condition::always()),
+            )
+            .unwrap();
+            assert_eq!(
+                mj,
+                ops::merge_join(&a, &b, 1, &Condition::always()),
+                "merge_join_view on {name}"
+            );
+            let ms = Relation::from_tuples(
+                a.arity(),
+                merge_semijoin_view(&a, &b, &li, &ri, 1, &Condition::always()),
+            )
+            .unwrap();
+            assert_eq!(
+                ms,
+                ops::merge_semijoin(&a, &b, 1, &Condition::always()),
+                "merge_semijoin_view on {name}"
+            );
+        }
+    }
+}

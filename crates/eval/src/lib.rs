@@ -31,6 +31,7 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod instrumented;
+pub mod kernel;
 pub mod ops;
 pub mod ops_vec;
 pub mod par;
@@ -51,7 +52,7 @@ pub use par::Parallelism;
 pub use plain::evaluate;
 pub use plan::{
     evaluate_planned, evaluate_planned_instrumented, explain_plan, PhysOp, PhysicalPlan,
-    PlannedReport,
+    PlannedReport, Q_ERROR_BUDGET,
 };
 pub use reference::evaluate_reference;
 

@@ -11,9 +11,7 @@
 //! in range); they index slices directly.
 
 use sj_algebra::{CompOp, Condition, Selection};
-use sj_setjoin::parallel::fan_out;
 use sj_storage::{FxHashMap, FxHashSet, HashIndex, Relation, Tuple, Value};
-use std::time::{Duration, Instant};
 
 /// `π_{cols}(r)` — 1-based columns, may repeat and reorder (Definition 1(3)).
 pub fn project(r: &Relation, cols: &[usize]) -> Relation {
@@ -273,372 +271,17 @@ pub fn merge_semijoin(r1: &Relation, r2: &Relation, k: usize, residual: &Conditi
 }
 
 // ---------------------------------------------------------------------------
-// Partition-parallel join and semijoin
+// Partition-parallel join and semijoin (kernel-layer re-exports)
 // ---------------------------------------------------------------------------
 
-/// Execution record of one partition of a partition-parallel operator,
-/// surfaced through [`crate::NodeStat::partitions`] so instrumented runs
-/// expose the per-partition build/probe timings and the skew between
-/// partitions.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PartitionStat {
-    /// Partition index (stable: a pure function of the tuple key hash).
-    pub partition: usize,
-    /// Left-operand tuples routed to this partition.
-    pub left_rows: usize,
-    /// Right-operand tuples routed to this partition.
-    pub right_rows: usize,
-    /// Output tuples this partition produced.
-    pub out_rows: usize,
-    /// Wall-clock time of this partition's build + probe.
-    pub elapsed: Duration,
-}
-
-/// Split `0..len` into at most `n` contiguous index ranges — the
-/// partitioning used when θ has no equality atom to hash on.
-fn chunk_indices(len: usize, n: usize) -> Vec<Vec<u32>> {
-    let n = n.max(1).min(len.max(1));
-    let per = len.div_ceil(n).max(1);
-    (0..len as u32)
-        .collect::<Vec<u32>>()
-        .chunks(per)
-        .map(|c| c.to_vec())
-        .collect()
-}
-
-/// Run a binary operator partition-parallel over **index views**:
-/// hash-partition both sides on the equality key (`left_cols` /
-/// `right_cols`, 0-based) into ascending tuple-index lists
-/// ([`Relation::partition_indices`]) so matching keys co-locate, fan
-/// the partition pairs out over `workers` scoped threads, and union the
-/// per-partition outputs back into canonical order. With no equality
-/// columns the left side is chunked into contiguous index ranges and
-/// every chunk sees the full right side.
-///
-/// Partitions are views — index lists into the shared operands — so no
-/// input tuple is ever cloned into a partition (the scheme
-/// `sj_setjoin::parallel` uses, ported to the planned-query path; only
-/// the 4-byte indices and the output tuples are materialized).
-fn par_binary(
-    r1: &Relation,
-    r2: &Relation,
-    left_cols: &[usize],
-    right_cols: &[usize],
-    workers: usize,
-    out_arity: usize,
-    op: impl Fn(&[u32], &[u32]) -> Vec<Tuple> + Sync,
-) -> (Relation, Vec<PartitionStat>) {
-    let workers = workers.max(1);
-    let timed = |li: &[u32], ri: &[u32]| {
-        let start = Instant::now();
-        let out = op(li, ri);
-        let elapsed = start.elapsed();
-        (li.len(), ri.len(), out, elapsed)
-    };
-    let outputs = if left_cols.is_empty() {
-        // No key to co-partition on: chunk the left side; every chunk
-        // probes the whole right side through one shared index list.
-        let full: Vec<u32> = (0..r2.len() as u32).collect();
-        fan_out(chunk_indices(r1.len(), workers), workers, |li| {
-            timed(&li, &full)
-        })
-    } else {
-        let pairs: Vec<(Vec<u32>, Vec<u32>)> = r1
-            .partition_indices(left_cols, workers)
-            .into_iter()
-            .zip(r2.partition_indices(right_cols, workers))
-            .collect();
-        fan_out(pairs, workers, |(li, ri)| timed(&li, &ri))
-    };
-    let mut stats = Vec::with_capacity(outputs.len());
-    let mut tuples: Vec<Tuple> = Vec::new();
-    for (partition, (left_rows, right_rows, out, elapsed)) in outputs.into_iter().enumerate() {
-        stats.push(PartitionStat {
-            partition,
-            left_rows,
-            right_rows,
-            out_rows: out.len(),
-            elapsed,
-        });
-        tuples.extend(out);
-    }
-    // Partitions are key-disjoint (or, for the chunked no-equality path,
-    // row-disjoint), so the flattened outputs contain no duplicates; one
-    // canonicalization pass restores the global order.
-    let merged = Relation::from_tuples(out_arity, tuples).expect("partition arities agree");
-    (merged, stats)
-}
-
-/// [`join`] restricted to the tuples of `r1` at `li` and of `r2` at
-/// `ri` (ascending index views): hash build over the right view, probe
-/// from the left view, residual filter on candidates.
-fn join_idx(r1: &Relation, r2: &Relation, li: &[u32], ri: &[u32], theta: &Condition) -> Vec<Tuple> {
-    let (eq, residual) = split_condition(theta);
-    let (a, b) = (r1.tuples(), r2.tuples());
-    let mut out: Vec<Tuple> = Vec::new();
-    if eq.is_empty() {
-        for &i in li {
-            let t1 = &a[i as usize];
-            for &j in ri {
-                let t2 = &b[j as usize];
-                if theta.eval(t1.values(), t2.values()) {
-                    out.push(t1.concat(t2));
-                }
-            }
-        }
-    } else {
-        let left_cols: Vec<usize> = eq.iter().map(|&(lc, _)| lc).collect();
-        let right_cols: Vec<usize> = eq.iter().map(|&(_, rc)| rc).collect();
-        let mut index: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
-        for &j in ri {
-            let t2 = &b[j as usize];
-            let key: Vec<Value> = right_cols.iter().map(|&c| t2[c].clone()).collect();
-            index.entry(key).or_default().push(j);
-        }
-        let mut key: Vec<Value> = Vec::with_capacity(left_cols.len());
-        for &i in li {
-            let t1 = &a[i as usize];
-            key.clear();
-            key.extend(left_cols.iter().map(|&c| t1[c].clone()));
-            if let Some(hits) = index.get(key.as_slice()) {
-                for &j in hits {
-                    let t2 = &b[j as usize];
-                    if residual.eval(t1.values(), t2.values()) {
-                        out.push(t1.concat(t2));
-                    }
-                }
-            }
-        }
-    }
-    out
-}
-
-/// [`semijoin`] over index views (see [`join_idx`]).
-fn semijoin_idx(
-    r1: &Relation,
-    r2: &Relation,
-    li: &[u32],
-    ri: &[u32],
-    theta: &Condition,
-) -> Vec<Tuple> {
-    let (eq, residual) = split_condition(theta);
-    let (a, b) = (r1.tuples(), r2.tuples());
-    let tuple_at = |i: &u32| a[*i as usize].clone();
-    if eq.is_empty() {
-        if ri.is_empty() {
-            Vec::new()
-        } else if theta.is_empty() {
-            li.iter().map(tuple_at).collect()
-        } else {
-            li.iter()
-                .filter(|&&i| {
-                    let t1 = &a[i as usize];
-                    ri.iter()
-                        .any(|&j| theta.eval(t1.values(), b[j as usize].values()))
-                })
-                .map(tuple_at)
-                .collect()
-        }
-    } else {
-        let left_cols: Vec<usize> = eq.iter().map(|&(lc, _)| lc).collect();
-        let right_cols: Vec<usize> = eq.iter().map(|&(_, rc)| rc).collect();
-        let mut index: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
-        for &j in ri {
-            let t2 = &b[j as usize];
-            let key: Vec<Value> = right_cols.iter().map(|&c| t2[c].clone()).collect();
-            index.entry(key).or_default().push(j);
-        }
-        let mut key: Vec<Value> = Vec::with_capacity(left_cols.len());
-        li.iter()
-            .filter(|&&i| {
-                let t1 = &a[i as usize];
-                key.clear();
-                key.extend(left_cols.iter().map(|&c| t1[c].clone()));
-                index.get(key.as_slice()).is_some_and(|hits| {
-                    residual.is_empty()
-                        || hits
-                            .iter()
-                            .any(|&j| residual.eval(t1.values(), b[j as usize].values()))
-                })
-            })
-            .map(tuple_at)
-            .collect()
-    }
-}
-
-/// End of the run of indices whose tuples share the first `k`
-/// components with the tuple at `idx[start]`.
-#[inline]
-fn run_end_idx(ts: &[Tuple], idx: &[u32], start: usize, k: usize) -> usize {
-    let mut end = start + 1;
-    while end < idx.len()
-        && cmp_prefix(&ts[idx[end] as usize], &ts[idx[start] as usize], k)
-            == std::cmp::Ordering::Equal
-    {
-        end += 1;
-    }
-    end
-}
-
-/// [`merge_join`] over index views: the index lists are ascending, so
-/// their tuples are already in canonical (key-sorted) order.
-fn merge_join_idx(
-    r1: &Relation,
-    r2: &Relation,
-    li: &[u32],
-    ri: &[u32],
-    k: usize,
-    residual: &Condition,
-) -> Vec<Tuple> {
-    let (a, b) = (r1.tuples(), r2.tuples());
-    let mut out: Vec<Tuple> = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < li.len() && j < ri.len() {
-        match cmp_prefix(&a[li[i] as usize], &b[ri[j] as usize], k) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                let (i_end, j_end) = (run_end_idx(a, li, i, k), run_end_idx(b, ri, j, k));
-                for &ii in &li[i..i_end] {
-                    let t1 = &a[ii as usize];
-                    for &jj in &ri[j..j_end] {
-                        let t2 = &b[jj as usize];
-                        if residual.eval(t1.values(), t2.values()) {
-                            out.push(t1.concat(t2));
-                        }
-                    }
-                }
-                i = i_end;
-                j = j_end;
-            }
-        }
-    }
-    out
-}
-
-/// [`merge_semijoin`] over index views (see [`merge_join_idx`]).
-fn merge_semijoin_idx(
-    r1: &Relation,
-    r2: &Relation,
-    li: &[u32],
-    ri: &[u32],
-    k: usize,
-    residual: &Condition,
-) -> Vec<Tuple> {
-    let (a, b) = (r1.tuples(), r2.tuples());
-    let mut out: Vec<Tuple> = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < li.len() && j < ri.len() {
-        match cmp_prefix(&a[li[i] as usize], &b[ri[j] as usize], k) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                let (i_end, j_end) = (run_end_idx(a, li, i, k), run_end_idx(b, ri, j, k));
-                for &ii in &li[i..i_end] {
-                    let t1 = &a[ii as usize];
-                    if residual.is_empty()
-                        || ri[j..j_end]
-                            .iter()
-                            .any(|&jj| residual.eval(t1.values(), b[jj as usize].values()))
-                    {
-                        out.push(t1.clone());
-                    }
-                }
-                i = i_end;
-                j = j_end;
-            }
-        }
-    }
-    out
-}
-
-/// Partition-parallel [`join`]: byte-identical output for every worker
-/// count (partition placement is deterministic and the merge restores
-/// canonical order).
-pub fn par_join(r1: &Relation, r2: &Relation, theta: &Condition, workers: usize) -> Relation {
-    par_join_stats(r1, r2, theta, workers).0
-}
-
-/// [`par_join`] plus per-partition statistics for instrumentation.
-pub fn par_join_stats(
-    r1: &Relation,
-    r2: &Relation,
-    theta: &Condition,
-    workers: usize,
-) -> (Relation, Vec<PartitionStat>) {
-    let (eq, _) = split_condition(theta);
-    let left_cols: Vec<usize> = eq.iter().map(|&(lc, _)| lc).collect();
-    let right_cols: Vec<usize> = eq.iter().map(|&(_, rc)| rc).collect();
-    let out_arity = r1.arity() + r2.arity();
-    par_binary(
-        r1,
-        r2,
-        &left_cols,
-        &right_cols,
-        workers,
-        out_arity,
-        |li, ri| join_idx(r1, r2, li, ri, theta),
-    )
-}
-
-/// Partition-parallel [`semijoin`] (same determinism guarantee as
-/// [`par_join`]).
-pub fn par_semijoin(r1: &Relation, r2: &Relation, theta: &Condition, workers: usize) -> Relation {
-    par_semijoin_stats(r1, r2, theta, workers).0
-}
-
-/// [`par_semijoin`] plus per-partition statistics.
-pub fn par_semijoin_stats(
-    r1: &Relation,
-    r2: &Relation,
-    theta: &Condition,
-    workers: usize,
-) -> (Relation, Vec<PartitionStat>) {
-    let (eq, _) = split_condition(theta);
-    let left_cols: Vec<usize> = eq.iter().map(|&(lc, _)| lc).collect();
-    let right_cols: Vec<usize> = eq.iter().map(|&(_, rc)| rc).collect();
-    par_binary(
-        r1,
-        r2,
-        &left_cols,
-        &right_cols,
-        workers,
-        r1.arity(),
-        |li, ri| semijoin_idx(r1, r2, li, ri, theta),
-    )
-}
-
-/// Partition-parallel [`merge_join`] on an aligned key prefix: both
-/// sides are hash-partitioned on the prefix columns (partitions stay
-/// canonically sorted — they are subsequences), merged per partition,
-/// and unioned back.
-pub fn par_merge_join_stats(
-    r1: &Relation,
-    r2: &Relation,
-    k: usize,
-    residual: &Condition,
-    workers: usize,
-) -> (Relation, Vec<PartitionStat>) {
-    let cols: Vec<usize> = (0..k).collect();
-    let out_arity = r1.arity() + r2.arity();
-    par_binary(r1, r2, &cols, &cols, workers, out_arity, |li, ri| {
-        merge_join_idx(r1, r2, li, ri, k, residual)
-    })
-}
-
-/// Partition-parallel [`merge_semijoin`] on an aligned key prefix.
-pub fn par_merge_semijoin_stats(
-    r1: &Relation,
-    r2: &Relation,
-    k: usize,
-    residual: &Condition,
-    workers: usize,
-) -> (Relation, Vec<PartitionStat>) {
-    let cols: Vec<usize> = (0..k).collect();
-    par_binary(r1, r2, &cols, &cols, workers, r1.arity(), |li, ri| {
-        merge_semijoin_idx(r1, r2, li, ri, k, residual)
-    })
-}
+// The partition-parallel machinery lives in [`crate::kernel`], where it
+// composes with the `Execution` knob (row or vectorized per-partition
+// kernels). These row-execution entry points are re-exported here so the
+// historical `ops::par_*` / `ops::PartitionStat` paths keep working.
+pub use crate::kernel::{
+    par_join, par_join_stats, par_merge_join_stats, par_merge_semijoin_stats, par_semijoin,
+    par_semijoin_stats, PartitionStat,
+};
 
 /// `γ_{cols; count}(r)` — group by the 1-based `cols` and append the group
 /// cardinality as an integer (Section 5). With `cols` empty the result is a

@@ -37,7 +37,10 @@
 use crate::ops::{self, split_condition};
 use sj_algebra::{Condition, Selection};
 use sj_storage::column::{hash_int_cell, hash_value_cell};
-use sj_storage::{Chunk, ColSlice, Columns, FxHashMap, Relation, Tuple, Value, DEFAULT_CHUNK_ROWS};
+use sj_storage::{
+    Chunk, ColGather, ColSlice, ColsView, Columns, FxHashMap, Relation, Tuple, Value,
+    DEFAULT_CHUNK_ROWS,
+};
 use std::sync::OnceLock;
 
 /// The chunk size in effect for this process: `SETJOINS_TEST_CHUNK` when
@@ -66,6 +69,10 @@ fn gather(r: &Relation, keep: &[u32]) -> Relation {
     )
 }
 
+/// Seed of every composite row-key hash ([`hash_rows`] /
+/// [`hash_view_rows`]).
+const KEY_HASH_SEED: u64 = 0x5157_cc1b_7272_20a9;
+
 /// Mix one column's cell hash into a row's running key hash.
 #[inline]
 fn mix(h: u64, x: u64) -> u64 {
@@ -76,7 +83,7 @@ fn mix(h: u64, x: u64) -> u64 {
 /// 0-based key `cols`, column at a time, into the scratch vector `out`.
 fn hash_rows(chunk: Chunk<'_>, cols: &[usize], out: &mut Vec<u64>) {
     out.clear();
-    out.resize(chunk.len(), 0x5157_cc1b_7272_20a9);
+    out.resize(chunk.len(), KEY_HASH_SEED);
     for &c in cols {
         match chunk.col(c) {
             ColSlice::Int(v) => {
@@ -92,6 +99,35 @@ fn hash_rows(chunk: Chunk<'_>, cols: &[usize], out: &mut Vec<u64>) {
             ColSlice::Mixed(v) => {
                 for (h, x) in out.iter_mut().zip(v) {
                     *h = mix(*h, hash_value_cell(x));
+                }
+            }
+        }
+    }
+}
+
+/// [`hash_rows`] over a gather view: the composite key hash of every
+/// view row over the 0-based key `cols`, column at a time, into the
+/// scratch vector `out`. Same seed and mixer as the chunked variant —
+/// the partition kernels in [`crate::kernel`] hash with exactly the
+/// per-cell hashes the serial vectorized operators use.
+pub(crate) fn hash_view_rows(view: &ColsView<'_>, cols: &[usize], out: &mut Vec<u64>) {
+    out.clear();
+    out.resize(view.len(), KEY_HASH_SEED);
+    for &c in cols {
+        match view.col(c) {
+            ColGather::Int { vals, idx } => {
+                for (h, &i) in out.iter_mut().zip(idx) {
+                    *h = mix(*h, hash_int_cell(vals[i as usize]));
+                }
+            }
+            ColGather::Str { codes, idx, dict } => {
+                for (h, &i) in out.iter_mut().zip(idx) {
+                    *h = mix(*h, dict.hash_of(codes[i as usize]));
+                }
+            }
+            ColGather::Mixed { vals, idx } => {
+                for (h, &i) in out.iter_mut().zip(idx) {
+                    *h = mix(*h, hash_value_cell(&vals[i as usize]));
                 }
             }
         }

@@ -4,9 +4,10 @@
 //! One type serves every layer: the `Engine` builder stores it, the
 //! physical planner's DAG executor consults it (independent plan nodes
 //! run concurrently, join/semijoin nodes run partition-parallel — see
-//! [`crate::ops`]), and the registry-routed set operators receive its
-//! worker count as the selection hint for the partition-parallel
-//! division/set-join variants.
+//! [`crate::kernel`], where the worker count composes orthogonally with
+//! the [`crate::exec::Execution`] mode), and the registry-routed set
+//! operators receive its worker count as the selection hint for the
+//! partition-parallel division/set-join variants.
 //!
 //! Parallel execution is **semantically invisible**: partition placement
 //! is deterministic, workers never share mutable state, and every merge

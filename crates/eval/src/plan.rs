@@ -35,6 +35,7 @@
 use crate::error::EvalError;
 use crate::exec::Execution;
 use crate::instrumented::NodeStat;
+use crate::kernel;
 use crate::ops;
 use crate::ops::PartitionStat;
 use crate::ops_vec;
@@ -54,6 +55,15 @@ pub type NodeId = usize;
 /// mirrors the registry's input-size gates for the direct set
 /// operators.
 const PAR_MIN_NODE_INPUT: usize = 4096;
+
+/// Estimation-accuracy budget for instrumented reports: a node whose
+/// q-error ([`PlannedReport::q_error`]) exceeds this factor is flagged
+/// in [`PlannedReport::render`] output. The value is deliberately loose
+/// — the estimator assumes independence and uniformity, so factor-of-two
+/// errors are routine and harmless; an order-of-magnitude miss is what
+/// changes operator choices (hash-build demotion, parallel gating) and
+/// deserves a visible marker.
+pub const Q_ERROR_BUDGET: f64 = 16.0;
 
 /// The physical operator executing one DAG node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -233,7 +243,7 @@ impl PhysicalPlan {
     /// Execute the plan under the given [`Parallelism`]. With more than
     /// one worker, independent DAG nodes (same dependency depth) run on
     /// concurrent scoped threads and join/semijoin nodes additionally run
-    /// partition-parallel ([`ops::par_join`] and friends). Output is
+    /// partition-parallel ([`kernel::join`] and friends). Output is
     /// byte-identical to [`PhysicalPlan::execute`] for every worker
     /// count. Serial per-node work uses the process-default
     /// [`Execution`] mode ([`Execution::from_env`]); use
@@ -324,12 +334,14 @@ impl PhysicalPlan {
     /// tag, grouping) always run serially — their cost is one pass over
     /// input the partitioning itself would have to make.
     ///
-    /// Serial filter/join/semijoin work dispatches on `exec`: under
-    /// [`Execution::Vectorized`] the chunked columnar kernels of
-    /// [`ops_vec`] run instead of the row operators (same output,
-    /// byte-identical). The partition-parallel variants stay row-based —
-    /// they already amortize per-tuple dispatch across workers, and
-    /// their per-partition index views are orthogonal to chunking.
+    /// Join/semijoin work routes through the unified kernel layer
+    /// ([`crate::kernel`]), which dispatches on **both** knobs at once:
+    /// serial nodes run the row or chunked-columnar serial operator,
+    /// partitioned nodes run the row index-view or vectorized
+    /// gather-view kernel per partition. `Threads(n)` therefore
+    /// compounds with [`Execution::Vectorized`] instead of silently
+    /// degrading parallel nodes to row execution, and every
+    /// `(Execution, Parallelism)` quadrant stays byte-identical.
     fn exec_op(
         &self,
         node: &PlanNode,
@@ -380,53 +392,24 @@ impl PhysicalPlan {
             }),
             PhysOp::Tag(c) => serial(ops::const_tag(kids[0], c)),
             PhysOp::HashJoin(theta) | PhysOp::NestedLoopJoin(theta) => {
-                if workers > 1 {
-                    let (rel, parts) = ops::par_join_stats(kids[0], kids[1], theta, workers);
-                    (Arc::new(rel), parts)
-                } else if exec.is_vectorized() {
-                    // No-equality conditions (the nested-loop case) fall
-                    // back to the row loop inside `ops_vec::join`.
-                    serial(ops_vec::join(kids[0], kids[1], theta))
-                } else {
-                    serial(ops::join(kids[0], kids[1], theta))
-                }
+                let (rel, parts) = kernel::join(kids[0], kids[1], theta, exec, workers);
+                (Arc::new(rel), parts)
             }
             PhysOp::MergeJoin { theta, prefix } => {
                 let (_, residual) = ops::split_condition(theta);
-                if workers > 1 {
-                    let (rel, parts) =
-                        ops::par_merge_join_stats(kids[0], kids[1], *prefix, &residual, workers);
-                    (Arc::new(rel), parts)
-                } else if exec.is_vectorized() {
-                    serial(ops_vec::merge_join(kids[0], kids[1], *prefix, &residual))
-                } else {
-                    serial(ops::merge_join(kids[0], kids[1], *prefix, &residual))
-                }
+                let (rel, parts) =
+                    kernel::merge_join(kids[0], kids[1], *prefix, &residual, exec, workers);
+                (Arc::new(rel), parts)
             }
             PhysOp::HashSemijoin(theta) | PhysOp::NestedLoopSemijoin(theta) => {
-                if workers > 1 {
-                    let (rel, parts) = ops::par_semijoin_stats(kids[0], kids[1], theta, workers);
-                    (Arc::new(rel), parts)
-                } else if exec.is_vectorized() {
-                    serial(ops_vec::semijoin(kids[0], kids[1], theta))
-                } else {
-                    serial(ops::semijoin(kids[0], kids[1], theta))
-                }
+                let (rel, parts) = kernel::semijoin(kids[0], kids[1], theta, exec, workers);
+                (Arc::new(rel), parts)
             }
             PhysOp::MergeSemijoin { theta, prefix } => {
                 let (_, residual) = ops::split_condition(theta);
-                if workers > 1 {
-                    let (rel, parts) = ops::par_merge_semijoin_stats(
-                        kids[0], kids[1], *prefix, &residual, workers,
-                    );
-                    (Arc::new(rel), parts)
-                } else if exec.is_vectorized() {
-                    serial(ops_vec::merge_semijoin(
-                        kids[0], kids[1], *prefix, &residual,
-                    ))
-                } else {
-                    serial(ops::merge_semijoin(kids[0], kids[1], *prefix, &residual))
-                }
+                let (rel, parts) =
+                    kernel::merge_semijoin(kids[0], kids[1], *prefix, &residual, exec, workers);
+                (Arc::new(rel), parts)
             }
             PhysOp::HashGroupCount(cols) => serial(ops::group_count(kids[0], cols)),
         })
@@ -825,10 +808,33 @@ impl PlannedReport {
         self.expr_nodes - self.nodes.len()
     }
 
+    /// The q-error of node `id`: `max(est/actual, actual/est)`, the
+    /// standard symmetric multiplicative measure of estimation accuracy
+    /// (1.0 = exact, ≥ budget = flagged by [`PlannedReport::render`]).
+    /// Both sides are clamped to ≥ 1 row first, so empty outputs and
+    /// sub-row estimates compare as "one row" instead of dividing by
+    /// zero. `None` for plans built without statistics.
+    pub fn q_error(&self, id: NodeId) -> Option<f64> {
+        let est = self.estimates[id]?.max(1.0);
+        let actual = (self.nodes[id].cardinality as f64).max(1.0);
+        Some((est / actual).max(actual / est))
+    }
+
+    /// The worst per-node q-error of the run — the headline estimator
+    /// accuracy number. `None` for plans built without statistics.
+    pub fn max_q_error(&self) -> Option<f64> {
+        (0..self.nodes.len())
+            .filter_map(|id| self.q_error(id))
+            .fold(None, |acc, q| Some(acc.map_or(q, |a: f64| a.max(q))))
+    }
+
     /// Render a per-node table (id, operator, label, cardinality, ×occ,
-    /// partition count). Deliberately **stable across runs** of the same
-    /// configuration: cardinalities, operator choices, worker and
-    /// partition counts are deterministic; wall-clock times are omitted.
+    /// partition count). Nodes whose estimate misses the actual
+    /// cardinality by more than [`Q_ERROR_BUDGET`]× carry a
+    /// `q-error … over budget` marker. Deliberately **stable across
+    /// runs** of the same configuration: cardinalities, operator
+    /// choices, estimates, worker and partition counts are
+    /// deterministic; wall-clock times are omitted.
     pub fn render(&self) -> String {
         let workers = if self.workers > 1 {
             format!(", {} workers", self.workers)
@@ -860,7 +866,12 @@ impl PlannedReport {
                 format!("  [{} partitions]", n.partitions.len())
             };
             let est = match est {
-                Some(e) => format!("  est≈{e:.0}"),
+                Some(e) => match self.q_error(n.id) {
+                    Some(q) if q > Q_ERROR_BUDGET => {
+                        format!("  est≈{e:.0} (q-error {q:.0} over budget)")
+                    }
+                    _ => format!("  est≈{e:.0}"),
+                },
                 None => String::new(),
             };
             out.push_str(&format!(
@@ -1346,6 +1357,51 @@ mod tests {
             .find(|n| n.op.name() == "filter")
             .unwrap();
         assert!(sel_node.est_rows.unwrap() < 100.0);
+    }
+
+    #[test]
+    fn q_error_flags_estimates_over_budget() {
+        use sj_stats::{AnalyzeSource, CostModel};
+        // Correlated columns: σ₁₌₂ keeps every tuple, but the
+        // independence assumption estimates ~1 row — a q-error in the
+        // thousands, well past the render budget.
+        let rows: Vec<Vec<i64>> = (0..2000).map(|i| vec![i, i]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut db = Database::new();
+        db.set("R", Relation::from_int_rows(&refs));
+        let e = Expr::rel("R").select_eq(1, 2);
+        let src = AnalyzeSource::new(&db);
+        let costed =
+            PhysicalPlan::of_costed(&e, &db.schema(), &src, &CostModel::default()).unwrap();
+        let report = costed.execute_instrumented(&db).unwrap();
+        // The leaf scan is estimated exactly; the filter misses by >16×.
+        let scan_id = report
+            .nodes
+            .iter()
+            .find(|n| n.operator == "scan")
+            .unwrap()
+            .id;
+        assert_eq!(report.q_error(scan_id), Some(1.0));
+        assert!(report.max_q_error().unwrap() > Q_ERROR_BUDGET);
+        assert!(
+            report.render().contains("over budget"),
+            "{}",
+            report.render()
+        );
+        // Stats-free plans have no estimates, hence no q-errors and no
+        // markers.
+        let plain = PhysicalPlan::of(&e, &db.schema()).unwrap();
+        let plain_report = plain.execute_instrumented(&db).unwrap();
+        assert!(plain_report.max_q_error().is_none());
+        assert!(!plain_report.render().contains("q-error"));
+        // An exact estimator stays unflagged.
+        let exact = costed
+            .execute_instrumented(&db)
+            .unwrap()
+            .render()
+            .matches("over budget")
+            .count();
+        assert_eq!(exact, 1, "only the correlated filter is flagged");
     }
 
     #[test]

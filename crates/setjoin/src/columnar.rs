@@ -95,6 +95,17 @@ pub fn joint_codes(a: &StrDict, b: &StrDict) -> (Vec<u32>, Vec<u32>) {
     (ma, mb)
 }
 
+/// 64-bit superset signature of a dense sorted element slice: the OR of
+/// one [`hash_int_cell`] bit per element. Works for `i64` element
+/// columns and joint-space `u32` codes alike (both embed into `i64`),
+/// which is what lets the serial columnar join and the partition-
+/// parallel one ([`crate::parallel`]) share one signature definition.
+pub(crate) fn dense_signature<T: Copy + Into<i64>>(set: &[T]) -> u64 {
+    set.iter().fold(0u64, |acc, &x| {
+        acc | (1u64 << (hash_int_cell(x.into()) & 63))
+    })
+}
+
 /// One relation's element column in a comparison-ready dense form.
 enum Elems<'a> {
     /// Integer elements: the column slice itself, zero-copy.
@@ -107,12 +118,8 @@ impl Elems<'_> {
     /// The group's element slice and its 64-bit signature fold.
     fn signature(&self, start: usize, end: usize) -> u64 {
         match self {
-            Elems::Ints(v) => v[start..end]
-                .iter()
-                .fold(0u64, |acc, &x| acc | (1u64 << (hash_int_cell(x) & 63))),
-            Elems::Codes(v) => v[start..end].iter().fold(0u64, |acc, &x| {
-                acc | (1u64 << (hash_int_cell(x as i64) & 63))
-            }),
+            Elems::Ints(v) => dense_signature(&v[start..end]),
+            Elems::Codes(v) => dense_signature(&v[start..end]),
         }
     }
 }
@@ -146,8 +153,10 @@ fn intersects<T: Ord>(a: &[T], b: &[T]) -> bool {
     false
 }
 
-/// Exact predicate check on two sorted dense element slices.
-fn predicate_on<T: Ord>(pred: SetPredicate, b: &[T], d: &[T]) -> bool {
+/// Exact predicate check on two sorted dense element slices (`b` is the
+/// R-side set, `d` the S-side set — the argument order of the row path's
+/// `predicate_holds`). Shared with the partition-parallel columnar join.
+pub(crate) fn predicate_on<T: Ord>(pred: SetPredicate, b: &[T], d: &[T]) -> bool {
     match pred {
         SetPredicate::Contains => sorted_subset(d, b),
         SetPredicate::ContainedIn => sorted_subset(b, d),
@@ -157,7 +166,7 @@ fn predicate_on<T: Ord>(pred: SetPredicate, b: &[T], d: &[T]) -> bool {
 }
 
 /// Remap a dictionary-code column through a joint-code map.
-fn remap(codes: &[u32], map: &[u32]) -> Vec<u32> {
+pub(crate) fn remap(codes: &[u32], map: &[u32]) -> Vec<u32> {
     codes.iter().map(|&c| map[c as usize]).collect()
 }
 

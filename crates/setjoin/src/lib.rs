@@ -40,7 +40,9 @@ pub use division::{
 };
 pub use general::divide_general;
 pub use inverted::inverted_index_set_join;
-pub use parallel::{parallel_hash_division, parallel_signature_set_join};
+pub use parallel::{
+    parallel_hash_division, parallel_signature_set_join, parallel_signature_set_join_rowwise,
+};
 pub use registry::{ComplexityClass, DivisionAlgorithm, Registry, SetJoinAlgorithm};
 pub use setjoin::{
     group_sets, hash_set_equality_join, intersect_join_via_equijoin, nested_loop_set_join,

@@ -22,6 +22,12 @@
 //! * [`Chunk`] — a view over a row range of a [`Columns`] (default
 //!   [`DEFAULT_CHUNK_ROWS`] rows), yielding per-column slices
 //!   ([`ColSlice`]) that the vectorized operators in `sj-eval` scan.
+//! * [`ColsView`] — a zero-copy *gather* view over an arbitrary ascending
+//!   row-index list (typically one partition of
+//!   `Relation::partition_indices`), yielding per-column gather slices
+//!   ([`ColGather`]) so the partition-parallel kernels can run the same
+//!   typed column loops as the chunked serial ones without materializing
+//!   per-partition relations.
 //!
 //! Cells are hashed with [`Columns::cell_hash`], which depends only on the
 //! cell's *value* — an integer hashes the same whether it sits in an
@@ -464,6 +470,16 @@ impl Columns {
             chunk_rows: chunk_rows.max(1),
         }
     }
+
+    /// A zero-copy [`ColsView`] gathering the given row indices (e.g. one
+    /// partition of `Relation::partition_indices`). Nothing is copied —
+    /// the view borrows both the columns and the index list; row order is
+    /// the index-list order. Indices must be in range.
+    #[inline]
+    pub fn view<'a>(&'a self, rows: &'a [u32]) -> ColsView<'a> {
+        debug_assert!(rows.iter().all(|&i| (i as usize) < self.len));
+        ColsView { cols: self, rows }
+    }
 }
 
 /// Iterator over the [`Chunk`]s of a [`Columns`].
@@ -531,6 +547,184 @@ impl<'a> Chunk<'a> {
     #[inline]
     pub fn columns(&self) -> &'a Columns {
         self.cols
+    }
+}
+
+/// A zero-copy gather view over a [`Columns`]: the rows named by an
+/// index list, in index-list order — the columnar image of one partition
+/// of `Relation::partition_indices` without materializing any tuples.
+///
+/// Where a [`Chunk`] covers a *contiguous* row range, a `ColsView` covers
+/// an arbitrary (ascending, for partitions) selection. Both hand the
+/// vectorized operators dense typed columns; the view's columns carry the
+/// indirection explicitly ([`ColGather`]) so the inner loops stay typed.
+#[derive(Debug, Clone, Copy)]
+pub struct ColsView<'a> {
+    cols: &'a Columns,
+    rows: &'a [u32],
+}
+
+impl<'a> ColsView<'a> {
+    /// Number of rows in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the view selects no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of columns (the owner's arity).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.cols.arity()
+    }
+
+    /// The owning [`Columns`].
+    #[inline]
+    pub fn columns(&self) -> &'a Columns {
+        self.cols
+    }
+
+    /// The gathered row indices, in view order.
+    #[inline]
+    pub fn rows(&self) -> &'a [u32] {
+        self.rows
+    }
+
+    /// Absolute row index of view row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> usize {
+        self.rows[i] as usize
+    }
+
+    /// The gather slice of column `c` over this view's rows.
+    #[inline]
+    pub fn col(&self, c: usize) -> ColGather<'a> {
+        match self.cols.col(c) {
+            ColumnData::Int(v) => ColGather::Int {
+                vals: v,
+                idx: self.rows,
+            },
+            ColumnData::Str(v) => ColGather::Str {
+                codes: v,
+                idx: self.rows,
+                dict: self.cols.dict(),
+            },
+            ColumnData::Mixed(v) => ColGather::Mixed {
+                vals: v,
+                idx: self.rows,
+            },
+        }
+    }
+
+    /// Materialize the value at `(column c, view row i)`.
+    #[inline]
+    pub fn value_at(&self, c: usize, i: usize) -> Value {
+        self.cols.value_at(c, self.row(i))
+    }
+
+    /// Value-based hash of cell `(c, view row i)` — identical to
+    /// [`Columns::cell_hash`] on the underlying row.
+    #[inline]
+    pub fn cell_hash(&self, c: usize, i: usize) -> u64 {
+        self.cols.cell_hash(c, self.row(i))
+    }
+
+    /// Exact value equality between cell `(c, i)` of `self` and cell
+    /// `(oc, oi)` of `other`, both in view coordinates.
+    #[inline]
+    pub fn cell_eq(&self, c: usize, i: usize, other: &ColsView<'_>, oc: usize, oi: usize) -> bool {
+        self.cols
+            .cell_eq(c, self.row(i), other.cols, oc, other.row(oi))
+    }
+
+    /// Total order on cells across views, matching [`Columns::cell_cmp`].
+    #[inline]
+    pub fn cell_cmp(
+        &self,
+        c: usize,
+        i: usize,
+        other: &ColsView<'_>,
+        oc: usize,
+        oi: usize,
+    ) -> Ordering {
+        self.cols
+            .cell_cmp(c, self.row(i), other.cols, oc, other.row(oi))
+    }
+}
+
+/// One column of a [`ColsView`]: the owner's dense typed vector plus the
+/// gather index list. The vectorized kernels match the variant once per
+/// column and then run a tight `vals[idx[i]]` loop — the same shape as a
+/// [`ColSlice`] loop with one extra indirection.
+#[derive(Debug, Clone, Copy)]
+pub enum ColGather<'a> {
+    /// Dense integers gathered through `idx`.
+    Int {
+        /// The owner's full integer column.
+        vals: &'a [i64],
+        /// Row indices selected by the view.
+        idx: &'a [u32],
+    },
+    /// Dictionary codes gathered through `idx`.
+    Str {
+        /// The owner's full code column.
+        codes: &'a [u32],
+        /// Row indices selected by the view.
+        idx: &'a [u32],
+        /// The owning relation's dictionary.
+        dict: &'a StrDict,
+    },
+    /// Plain values gathered through `idx` (mixed-variant column).
+    Mixed {
+        /// The owner's full value column.
+        vals: &'a [Value],
+        /// Row indices selected by the view.
+        idx: &'a [u32],
+    },
+}
+
+impl ColGather<'_> {
+    /// Number of rows in the gather slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            ColGather::Int { idx, .. }
+            | ColGather::Str { idx, .. }
+            | ColGather::Mixed { idx, .. } => idx.len(),
+        }
+    }
+
+    /// True iff the slice selects no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cell hash of view row `i`, consistent with [`Columns::cell_hash`].
+    #[inline]
+    pub fn hash(&self, i: usize) -> u64 {
+        match self {
+            ColGather::Int { vals, idx } => hash_int_cell(vals[idx[i] as usize]),
+            ColGather::Str { codes, idx, dict } => dict.hash_of(codes[idx[i] as usize]),
+            ColGather::Mixed { vals, idx } => hash_value_cell(&vals[idx[i] as usize]),
+        }
+    }
+
+    /// Materialize the value at view row `i`.
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColGather::Int { vals, idx } => Value::Int(vals[idx[i] as usize]),
+            ColGather::Str { codes, idx, dict } => {
+                Value::Str(Arc::clone(dict.get(codes[idx[i] as usize])))
+            }
+            ColGather::Mixed { vals, idx } => vals[idx[i] as usize].clone(),
+        }
     }
 }
 
@@ -642,6 +836,52 @@ mod tests {
             assert_eq!(seen, 10, "chunk_rows = {chunk_rows}");
         }
         assert_eq!(Relation::empty(1).columns().chunks(4).count(), 0);
+    }
+
+    #[test]
+    fn views_gather_without_copying() {
+        let r = Relation::from_tuples(
+            2,
+            vec![tuple![1, "a"], tuple![2, "b"], tuple![3, "a"], tuple![4, 9]],
+        )
+        .unwrap();
+        let c = r.columns();
+        let idx: Vec<u32> = vec![0, 2, 3];
+        let v = c.view(&idx);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.arity(), 2);
+        assert_eq!(v.rows(), &idx[..]);
+        // Values, hashes, eq and cmp all agree with the owner's cells.
+        for (vi, &ri) in idx.iter().enumerate() {
+            for col in 0..2 {
+                assert_eq!(v.value_at(col, vi), c.value_at(col, ri as usize));
+                assert_eq!(v.cell_hash(col, vi), c.cell_hash(col, ri as usize));
+                assert_eq!(v.col(col).value(vi), c.value_at(col, ri as usize));
+                assert_eq!(v.col(col).hash(vi), c.cell_hash(col, ri as usize));
+            }
+        }
+        let full: Vec<u32> = (0..c.len() as u32).collect();
+        let w = c.view(&full);
+        assert!(v.cell_eq(1, 0, &w, 1, 2)); // "a" == "a"
+        assert!(!v.cell_eq(1, 0, &w, 1, 1)); // "a" != "b"
+        assert_eq!(v.cell_cmp(0, 1, &w, 0, 3), Ordering::Less); // 3 < 4
+                                                                // Typed gathers expose the owner's dense vectors.
+        match v.col(0) {
+            ColGather::Int { vals, idx } => {
+                assert_eq!(vals, &[1, 2, 3, 4]);
+                assert_eq!(idx, &[0, 2, 3]);
+            }
+            other => panic!("expected Int gather, got {other:?}"),
+        }
+        match v.col(1) {
+            ColGather::Mixed { vals, idx } => {
+                assert_eq!(vals.len(), 4);
+                assert_eq!(idx, &[0, 2, 3]);
+            }
+            other => panic!("expected Mixed gather, got {other:?}"),
+        }
+        // An empty view of a non-empty relation is fine.
+        assert!(c.view(&[]).is_empty());
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use column::{Chunk, ColSlice, ColumnData, Columns, StrDict, DEFAULT_CHUNK_ROWS};
+pub use column::{
+    Chunk, ColGather, ColSlice, ColsView, ColumnData, Columns, StrDict, DEFAULT_CHUNK_ROWS,
+};
 pub use database::Database;
 pub use error::StorageError;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};

@@ -2,9 +2,12 @@
 //! set-join and division algorithm, every evaluation [`Strategy`], and
 //! every [`OptimizeLevel`] must produce byte-identical relations under
 //! [`Parallelism::Serial`] and [`Parallelism::Threads(n)`] for every
-//! tested worker count — on random inputs (property tests) as well as on
-//! the adversarial shapes hash partitioning finds hardest: empty
-//! operands, skewed keys (every tuple in one partition) and
+//! tested worker count — and, through the kernel layer, under **both**
+//! [`Execution`] modes per worker count (each partition runs the row
+//! index-view or the vectorized gather-view kernel). Inputs cover
+//! random relations (property tests) as well as the adversarial shapes
+//! hash partitioning finds hardest: empty operands, skewed and
+//! zipf-distributed keys (one partition holds almost everything) and
 //! all-duplicate inputs.
 //!
 //! The tested worker counts default to `{1, 2, 4, 8}`;
@@ -16,7 +19,7 @@ use proptest::prelude::*;
 // `engine::Strategy` (the enum) and proptest's `Strategy` (the trait)
 // collide under the two globs: bind each explicitly.
 use proptest::strategy::Strategy as PropStrategy;
-use setjoins::eval::{Parallelism, Strategy};
+use setjoins::eval::{Execution, Parallelism, Strategy};
 use setjoins::prelude::*;
 use sj_algebra::division;
 use sj_setjoin::nested_loop_set_join;
@@ -61,6 +64,8 @@ fn adversarial_pairs() -> Vec<(&'static str, Relation)> {
         ("skewed-key", pairs((0..60).map(|i| [7, i]))),
         ("all-duplicate", pairs((0..50).map(|_| [3, 9]))),
         ("shared-value", pairs((0..40).map(|i| [i, 5]))),
+        // Harmonic key frequencies: rank-r key appears ~n/r times.
+        ("zipf-key", pairs((0..90).map(|i| [90 / (i + 1), i % 7]))),
         ("mixed", pairs((0..80).map(|i| [i % 13, i % 7]))),
     ]
 }
@@ -180,17 +185,20 @@ fn engine_division_plans_parallel_equals_serial() {
                     .relation;
                 for strategy in [Strategy::Planned, Strategy::Naive, Strategy::Reference] {
                     for &n in &thread_counts() {
-                        let out = Engine::new(db.clone())
-                            .optimize(level)
-                            .strategy(strategy)
-                            .parallelism(Parallelism::Threads(n))
-                            .query(e.clone())
-                            .run()
-                            .unwrap();
-                        assert_eq!(
-                            out.relation, reference,
-                            "{dbname} {e} {strategy} {level:?} @{n} workers"
-                        );
+                        for exec in [Execution::RowAtATime, Execution::Vectorized] {
+                            let out = Engine::new(db.clone())
+                                .optimize(level)
+                                .strategy(strategy)
+                                .parallelism(Parallelism::Threads(n))
+                                .execution(exec)
+                                .query(e.clone())
+                                .run()
+                                .unwrap();
+                            assert_eq!(
+                                out.relation, reference,
+                                "{dbname} {e} {strategy} {level:?} {exec} @{n} workers"
+                            );
+                        }
                     }
                 }
             }

@@ -1,12 +1,16 @@
 //! Differential suite proving **vectorized ≡ row-at-a-time**: the
 //! batched operators of `sj_eval::ops_vec` must produce byte-identical
 //! relations to their row-wise `sj_eval::ops` counterparts, and the
-//! engine must produce byte-identical results under
-//! [`Execution::Vectorized`] and [`Execution::RowAtAtime`] for every
-//! strategy × optimize level × worker count — on random inputs as well
-//! as on the shapes chunked execution finds hardest: empty relations,
-//! single rows, and relations sized exactly at, one below, and one
-//! above a chunk boundary.
+//! engine must produce byte-identical results across the full knob
+//! matrix `Execution::{RowAtATime, Vectorized}` ×
+//! `Threads{1, 2, 4, 8}` × chunk `{1, 3, default}` for every strategy ×
+//! optimize level — on random inputs as well as on the shapes chunked
+//! and partitioned execution find hardest: empty relations, single
+//! rows, zipf-skewed and all-duplicate keys, and relations sized
+//! exactly at, one below, and one above a chunk boundary. Since the
+//! kernel layer (`sj_eval::kernel`) runs vectorized kernels *inside*
+//! partitions, the worker counts here exercise the partitioned
+//! gather-view kernels, not just the serial chunked ones.
 //!
 //! Chunk sizes under test are `{1, 3, default}` through the explicit
 //! `*_chunked` entry points; CI additionally re-runs the whole suite
@@ -41,7 +45,7 @@ fn worker_counts() -> Vec<usize> {
             );
             counts
         }
-        Err(_) => vec![1, 2, 4],
+        Err(_) => vec![1, 2, 4, 8],
     }
 }
 
@@ -95,6 +99,18 @@ fn operand_pairs() -> Vec<(String, Relation, Relation)> {
             "skewed".into(),
             pairs((0..60).map(|i| [7, i])),
             pairs((0..40).map(|i| [i % 5, 7])),
+        ),
+        (
+            // Harmonic key frequencies (rank-r key appears ~n/r times):
+            // one partition carries most rows, the tail is singletons.
+            "zipf-skewed".into(),
+            pairs((0..120).map(|i| [120 / (i + 1), i % 11])),
+            pairs((0..80).map(|i| [80 / (i + 1), i % 7])),
+        ),
+        (
+            "all-duplicate".into(),
+            pairs((0..50).map(|_| [3, 9])),
+            pairs((0..30).map(|_| [3, 9])),
         ),
         ("empty-left".into(), Relation::empty(2), sized(20)),
         ("empty-right".into(), sized(20), Relation::empty(2)),
