@@ -1,0 +1,92 @@
+//! Serving-path latency per cache tier — the benchmark behind
+//! `experiments -- serving` (which additionally writes
+//! `results/serving_throughput.csv` and asserts the tier speedups).
+//!
+//! One hot division query against an `sj-server` instance per tier:
+//! `cold` re-plans and re-executes every submission (cache off), `plan`
+//! skips optimize+plan but executes (plan tier warmed), `result`
+//! answers from the result cache (both tiers warmed). The gap between
+//! the rows is the price of planning and of execution respectively —
+//! the two things the tiers exist to elide.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_algebra::division;
+use sj_server::{CacheMode, Server, ServerConfig};
+use sj_workload::ServingWorkload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let w = ServingWorkload {
+        groups: 384,
+        divisor_size: 16,
+        ..ServingWorkload::default()
+    };
+    let e = division::division_double_difference("R", "S");
+    for (tier, mode) in [
+        ("cold", CacheMode::Off),
+        ("plan", CacheMode::Plan),
+        ("result", CacheMode::PlanAndResult),
+    ] {
+        let server = Server::start(
+            w.database(),
+            ServerConfig {
+                workers: 2,
+                cores: 2,
+                cache: mode,
+                ..ServerConfig::default()
+            },
+        );
+        let session = server.session();
+        // Warm whichever tiers exist so the measurement is steady-state.
+        session.query(e.clone()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("hot_division_query", tier),
+            &session,
+            |b, session| b.iter(|| session.query(e.clone()).unwrap()),
+        );
+    }
+
+    // The whole zipf hot-set trace, answered by a warmed two-tier cache.
+    let server = Server::start(
+        w.database(),
+        ServerConfig {
+            workers: 2,
+            cores: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let session = server.session();
+    let hot: Vec<_> = w
+        .read_only()
+        .trace()
+        .into_iter()
+        .filter_map(|op| match op {
+            sj_workload::TraceOp::Query(q) => Some(q),
+            _ => None,
+        })
+        .collect();
+    for q in &hot {
+        session.query(q.clone()).unwrap();
+    }
+    group.bench_with_input(
+        BenchmarkId::new("hotset_replay", "result-warm"),
+        &session,
+        |b, session| {
+            b.iter(|| {
+                for q in &hot {
+                    session.query(q.clone()).unwrap();
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -69,6 +69,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("vectorized", vectorized_scaling_run),
     ("vectorized-parallel", vectorized_parallel_run),
     ("cost", cost_model_run),
+    ("serving", serving),
     ("distinguish", distinguish),
 ];
 
@@ -1557,6 +1558,217 @@ fn cost_model_run() {
     println!(
         "cost: cost-based picks within 2x of the per-algorithm oracle and never \
          behind the threshold picks on any row → {}",
+        path.display()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// E19 — serving throughput: the sj-server front end under a zipf-skewed
+// client trace, across worker counts and cache tiers
+// ---------------------------------------------------------------------------
+
+/// Two passes over the serving subsystem:
+///
+/// 1. **Differential** — the mixed read/write/ANALYZE trace replayed at
+///    every worker count with every answer checked byte-identical
+///    against a direct [`Engine`] over a locally-maintained copy of the
+///    evolving database (the same invariant `tests/serving.rs` pins).
+/// 2. **Throughput matrix** — the read-only zipf hot-set trace replayed
+///    by `workers` concurrent client sessions at each cache tier, after
+///    an untimed warm-up replay so each tier is measured in steady
+///    state: `off` re-plans and re-executes everything (cold), `plan`
+///    skips optimize+plan but executes, `plan+result` answers hot
+///    queries from the result cache.
+///
+/// Asserts the acceptance criteria: warmed `plan+result` throughput is
+/// ≥ 5× cold throughput at every worker count, and warmed `plan` is
+/// never slower than `off` (up to the usual 1.25× timing-jitter
+/// allowance plus a small absolute slack).
+fn serving() {
+    use sj_server::{CacheMode, Server, ServerConfig, WriteOp};
+    use sj_workload::{ServingWorkload, TraceOp};
+    use std::time::Instant;
+
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "host parallelism: {host} CPU(s). The workers axis divides that core\n\
+         budget between inter-query concurrency and intra-query partition\n\
+         parallelism; cache-tier speedups are CPU-count independent."
+    );
+    let w = ServingWorkload {
+        groups: 384,
+        divisor_size: 16,
+        hot_queries: 12,
+        theta: 1.1,
+        ops: 200,
+        write_fraction: 0.05,
+        analyze_fraction: 0.01,
+        seed: 0x5EB5,
+    };
+    let mut csv = CsvSink::new(
+        "serving_throughput",
+        &[
+            "phase",
+            "workers",
+            "cache",
+            "clients",
+            "queries",
+            "wall_ms",
+            "qps",
+            "plan_hits",
+            "result_hits",
+            "max_q_error",
+        ],
+    );
+    const WORKER_AXIS: [usize; 4] = [1, 2, 4, 8];
+
+    // Pass 1 — differential: server ≡ direct engine on the mixed trace.
+    let trace = w.trace();
+    for &workers in &WORKER_AXIS {
+        let server = Server::start(
+            w.database(),
+            ServerConfig {
+                workers,
+                cores: workers,
+                ..ServerConfig::default()
+            },
+        );
+        let session = server.session();
+        let mut local = w.database();
+        let t0 = Instant::now();
+        let mut queries = 0u64;
+        for op in trace.iter().cloned() {
+            match op {
+                TraceOp::Query(e) => {
+                    queries += 1;
+                    let served = session.query(e.clone()).unwrap();
+                    let direct = Engine::new(local.clone()).query(e).run().unwrap();
+                    assert_eq!(
+                        *served.relation, direct.relation,
+                        "differential: server ≠ direct engine @{workers} workers"
+                    );
+                }
+                TraceOp::Insert { relation, tuple } => {
+                    local.insert(&relation, tuple.clone()).unwrap();
+                    session.write(WriteOp::Insert { relation, tuple }).unwrap();
+                }
+                TraceOp::Analyze => session.write(WriteOp::Analyze).map(|_| ()).unwrap(),
+            }
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stats = server.stats();
+        assert_eq!(server.shutdown(), local, "final states @{workers} workers");
+        println!(
+            "differential @{workers}w: {queries} queries byte-identical to the \
+             direct engine ({} result hits, {} plan hits)",
+            stats.result_hits, stats.plan_hits
+        );
+        csv.row(&[
+            "mixed-differential".into(),
+            workers.to_string(),
+            "plan+result".into(),
+            "1".into(),
+            queries.to_string(),
+            format!("{wall_ms:.3}"),
+            format!("{:.1}", queries as f64 / (wall_ms / 1e3).max(1e-9)),
+            stats.plan_hits.to_string(),
+            stats.result_hits.to_string(),
+            format!("{:.3}", stats.max_q_error_seen.unwrap_or(f64::NAN)),
+        ]);
+    }
+
+    // Pass 2 — the throughput matrix on the read-only hot-set trace.
+    let hot: Vec<_> = w
+        .read_only()
+        .trace()
+        .into_iter()
+        .filter_map(|op| match op {
+            TraceOp::Query(e) => Some(e),
+            _ => None,
+        })
+        .collect();
+    println!(
+        "\n{:>7} {:>12} {:>8} {:>8} {:>10} {:>10} {:>10} {:>11}",
+        "workers", "cache", "clients", "queries", "wall ms", "qps", "plan hits", "result hits"
+    );
+    const SLACK_MS: f64 = 20.0;
+    for &workers in &WORKER_AXIS {
+        let mut qps_of: Vec<(&str, f64, f64)> = Vec::new(); // (mode, qps, wall)
+        for (mode_name, mode) in [
+            ("off", CacheMode::Off),
+            ("plan", CacheMode::Plan),
+            ("plan+result", CacheMode::PlanAndResult),
+        ] {
+            let server = Server::start(
+                w.database(),
+                ServerConfig {
+                    workers,
+                    cores: workers,
+                    cache: mode,
+                    ..ServerConfig::default()
+                },
+            );
+            // Untimed warm-up replay: populates whichever tiers exist.
+            let session = server.session();
+            for e in &hot {
+                session.query(e.clone()).unwrap();
+            }
+            let warm = server.stats();
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let session = server.session();
+                    let hot = &hot;
+                    scope.spawn(move || {
+                        for e in hot {
+                            session.query(e.clone()).unwrap();
+                        }
+                    });
+                }
+            });
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let stats = server.stats();
+            let queries = stats.queries - warm.queries;
+            let qps = queries as f64 / (wall_ms / 1e3).max(1e-9);
+            qps_of.push((mode_name, qps, wall_ms));
+            println!(
+                "{workers:>7} {mode_name:>12} {workers:>8} {queries:>8} {wall_ms:>10.3} \
+                 {qps:>10.0} {:>10} {:>11}",
+                stats.plan_hits, stats.result_hits
+            );
+            csv.row(&[
+                "hotset".into(),
+                workers.to_string(),
+                mode_name.into(),
+                workers.to_string(),
+                queries.to_string(),
+                format!("{wall_ms:.3}"),
+                format!("{qps:.1}"),
+                stats.plan_hits.to_string(),
+                stats.result_hits.to_string(),
+                format!("{:.3}", stats.max_q_error_seen.unwrap_or(f64::NAN)),
+            ]);
+        }
+        let get = |m: &str| qps_of.iter().find(|c| c.0 == m).copied().unwrap();
+        let (_, off_qps, off_wall) = get("off");
+        let (_, _, plan_wall) = get("plan");
+        let (_, result_qps, _) = get("plan+result");
+        assert!(
+            result_qps >= 5.0 * off_qps,
+            "@{workers} workers: result-cache-hot qps ({result_qps:.0}) is not \
+             ≥ 5x cold qps ({off_qps:.0})"
+        );
+        assert!(
+            plan_wall <= off_wall * 1.25 + SLACK_MS,
+            "@{workers} workers: plan-cache-on ({plan_wall:.1}ms) slower than \
+             cache-off ({off_wall:.1}ms)"
+        );
+    }
+    let path = csv.finish().unwrap();
+    println!(
+        "serving: answers byte-identical to the direct engine at every worker \
+         count; result-cache-hot ≥ 5x cold and plan-cache-on never behind \
+         cache-off → {}",
         path.display()
     );
 }

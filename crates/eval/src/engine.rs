@@ -415,6 +415,22 @@ impl Engine {
         self.db
     }
 
+    /// A clone of this engine bound to a different database, sharing
+    /// everything else: the registry, cost model, and — crucially — the
+    /// [`StatsCatalog`], so statistics analyzed by any fork benefit all
+    /// of them (the catalog's `Arc::ptr_eq` freshness check keeps this
+    /// sound across databases that share relation `Arc`s, e.g.
+    /// snapshots of one evolving master).
+    ///
+    /// This is the serving substrate: `sj-server` holds one template
+    /// engine and forks it per query onto an immutable
+    /// [`sj_storage::Snapshot`] of the master database.
+    pub fn fork(&self, db: Database) -> Engine {
+        let mut forked = self.clone();
+        forked.db = db;
+        forked
+    }
+
     /// The configured optimizer pipeline.
     pub fn optimizer(&self) -> &Pipeline {
         &self.pipeline
@@ -1111,6 +1127,30 @@ mod tests {
                 .algorithm,
             "parallel-hash"
         );
+    }
+
+    #[test]
+    fn fork_rebinds_db_and_shares_the_catalog() {
+        let engine = Engine::new(fig1_db()).stats(StatsMode::Cached);
+        engine
+            .set_join("Person", "Person", SetPredicate::Contains)
+            .unwrap();
+        assert_eq!(engine.catalog().len(), 1);
+        // The fork shares one catalog: it sees the original's analysis
+        // before running anything of its own...
+        let fork = engine.fork(division_db());
+        assert_eq!(fork.catalog().len(), 1);
+        // ...runs against its own database...
+        let out = fork
+            .query(division::division_double_difference("R", "S"))
+            .run()
+            .unwrap();
+        assert_eq!(out.relation, Relation::from_int_rows(&[&[1]]));
+        // ...and its analyses (R and S, done while planning) become
+        // visible to the original through the shared catalog.
+        assert_eq!(engine.catalog().len(), 3, "Person + R + S");
+        // Configuration rides along.
+        assert_eq!(fork.stats_mode(), StatsMode::Cached);
     }
 
     #[test]

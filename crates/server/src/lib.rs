@@ -1,0 +1,75 @@
+//! # sj-server — concurrent snapshot-isolated query serving
+//!
+//! The serving front end over the paper engine: many concurrent client
+//! [`Session`]s run queries against an evolving [`Database`] while
+//! writers keep mutating it, with a two-tier plan/result cache making
+//! hot (zipf-skewed) query sets nearly free.
+//!
+//! ```text
+//!  clients ──► Session ──► bounded queue ──► worker pool (N threads)
+//!                                                 │ snapshot capture
+//!                  ┌──────────────────────────────┤ (read lock, µs)
+//!                  ▼                              ▼
+//!        RwLock<master Database>        result cache ──hit──► Arc<Relation>
+//!          ▲ copy-on-write writes         │miss
+//!          │ + per-relation epochs      plan cache ──hit──► execute plan
+//!        WriteOp (Insert/Set/              │miss
+//!        Remove/Analyze)                 Engine::fork(snapshot) — cold
+//! ```
+//!
+//! **Snapshot isolation.** Every query executes against an immutable
+//! [`sj_storage::Snapshot`] — one `Arc` clone per relation, zero tuple
+//! copies — captured under a brief read lock. Writers mutate the master
+//! through the storage layer's copy-on-write (`Arc::make_mut`), so
+//! readers never block writers beyond the capture window and a running
+//! query never observes a torn write. [`Session::begin`] pins one
+//! snapshot across many queries ([`ReadTxn`]).
+//!
+//! **Cache tiers.** Both keyed by [`sj_algebra::Expr::structural_hash`]
+//! *plus a full expression equality check* (collisions degrade to
+//! misses, never wrong results):
+//!
+//! * the **result cache** stamps each entry with the mutation epoch of
+//!   every relation the query reads; any write to one of them
+//!   invalidates the entry (eager sweep + stamp re-validation on hit);
+//! * the **plan cache** stamps entries with the statistics epoch and
+//!   operand arities; data writes leave plans valid (a physical plan is
+//!   correct for any contents), `ANALYZE` retires them.
+//!
+//! **Scheduling.** The configured core budget is divided between
+//! inter-query concurrency (worker threads) and intra-query partition
+//! parallelism (each worker's engine runs with `cores / workers`
+//! partition workers) — the engine's [`sj_eval::Parallelism`] knob
+//! becomes a server policy instead of a per-query setting.
+//!
+//! **Metrics.** [`ServerStats`] counts queries, per-tier hits, writes,
+//! ANALYZEs and queue rejections, and folds every cold query's
+//! [`sj_eval::PlannedReport::max_q_error`] into
+//! [`StatsSnapshot::max_q_error_seen`] so cost-model drift shows up in
+//! serving dashboards, not just per-query `render()` output.
+//!
+//! The serving workload driver lives in `sj-workload`
+//! (`ServingWorkload`), the throughput experiment in
+//! `experiments -- serving`, and the differential suites in
+//! `crates/server/tests/` and the workspace `tests/serving.rs`.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod metrics;
+mod server;
+
+pub use cache::{ExprCache, ExprHashFn};
+pub use metrics::{ServerStats, StatsSnapshot};
+pub use server::{
+    CacheMode, Provenance, QueryResponse, ReadTxn, Server, ServerConfig, ServerError, Session,
+    WriteOp,
+};
+
+use sj_storage::Database;
+
+/// Convenience: start a server over `db` with the default
+/// [`ServerConfig`].
+pub fn serve(db: Database) -> Server {
+    Server::start(db, ServerConfig::default())
+}

@@ -1,0 +1,160 @@
+//! Aggregate serving metrics: lock-free counters every worker updates
+//! and any thread can snapshot.
+//!
+//! Besides the cache hit counters, the server folds each cold query's
+//! [`PlannedReport::max_q_error`] into
+//! [`ServerStats::max_q_error_seen`] — the worst cardinality-estimation
+//! error any served query has exhibited. This surfaces cost-model drift
+//! *in serving*, not just in per-query `render()` output: a dashboard
+//! reading the stats snapshot sees estimator trouble the moment a hot
+//! workload starts hitting it.
+//!
+//! [`PlannedReport::max_q_error`]: sj_eval::PlannedReport::max_q_error
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate counters for one [`crate::Server`]. All methods are
+/// thread-safe; counters only ever increase.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    queries: AtomicU64,
+    plan_hits: AtomicU64,
+    result_hits: AtomicU64,
+    writes: AtomicU64,
+    analyzes: AtomicU64,
+    rejected: AtomicU64,
+    /// Bit pattern of the largest q-error seen (positive f64s compare
+    /// correctly as integers; 0 bits = nothing recorded yet).
+    max_q_error_seen: AtomicU64,
+}
+
+impl ServerStats {
+    pub(crate) fn bump_queries(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_plan_hits(&self) {
+        self.plan_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_result_hits(&self) {
+        self.result_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_writes(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_analyzes(&self) {
+        self.analyzes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one query's worst per-node q-error into the running
+    /// maximum. Q-errors are ≥ 1.0 by definition, so the positive-f64
+    /// bit patterns order identically to the values and an integer
+    /// `fetch_max` suffices.
+    pub(crate) fn record_q_error(&self, q_error: f64) {
+        if q_error.is_finite() && q_error > 0.0 {
+            self.max_q_error_seen
+                .fetch_max(q_error.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough point-in-time copy of all counters (each
+    /// counter is read atomically; the set is not fenced — fine for
+    /// monitoring).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let bits = self.max_q_error_seen.load(Ordering::Relaxed);
+        StatsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            analyzes: self.analyzes.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            max_q_error_seen: (bits != 0).then(|| f64::from_bits(bits)),
+        }
+    }
+}
+
+/// A point-in-time copy of a server's [`ServerStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Queries served (every tier: cold, plan-cached, result-cached).
+    pub queries: u64,
+    /// Queries that skipped optimize+plan via the plan cache.
+    pub plan_hits: u64,
+    /// Queries that skipped execution entirely via the result cache.
+    pub result_hits: u64,
+    /// Write operations applied ([`crate::WriteOp::Insert`] /
+    /// [`crate::WriteOp::Set`] / [`crate::WriteOp::Remove`]).
+    pub writes: u64,
+    /// ANALYZE operations applied.
+    pub analyzes: u64,
+    /// Submissions rejected by [`crate::Session::try_query`] because the
+    /// bounded queue was full.
+    pub rejected: u64,
+    /// The worst [`sj_eval::PlannedReport::max_q_error`] across all cold
+    /// queries, when instrumentation and statistics are on — cost-model
+    /// drift made visible in serving.
+    pub max_q_error_seen: Option<f64>,
+}
+
+impl StatsSnapshot {
+    /// Queries that actually executed (everything but result-cache
+    /// hits).
+    pub fn executed(&self) -> u64 {
+        self.queries - self.result_hits
+    }
+
+    /// Cold queries: planned from scratch and executed.
+    pub fn cold(&self) -> u64 {
+        self.queries - self.result_hits - self.plan_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = ServerStats::default();
+        s.bump_queries();
+        s.bump_queries();
+        s.bump_queries();
+        s.bump_plan_hits();
+        s.bump_result_hits();
+        s.bump_writes();
+        s.bump_analyzes();
+        s.bump_rejected();
+        let snap = s.snapshot();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.plan_hits, 1);
+        assert_eq!(snap.result_hits, 1);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.analyzes, 1);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.executed(), 2);
+        assert_eq!(snap.cold(), 1);
+    }
+
+    #[test]
+    fn q_error_keeps_the_maximum() {
+        let s = ServerStats::default();
+        assert_eq!(s.snapshot().max_q_error_seen, None);
+        s.record_q_error(2.5);
+        s.record_q_error(17.0);
+        s.record_q_error(1.0);
+        assert_eq!(s.snapshot().max_q_error_seen, Some(17.0));
+        // Junk values are ignored.
+        s.record_q_error(f64::NAN);
+        s.record_q_error(f64::INFINITY);
+        s.record_q_error(-3.0);
+        assert_eq!(s.snapshot().max_q_error_seen, Some(17.0));
+    }
+}

@@ -21,6 +21,12 @@ use std::sync::Arc;
 /// [`Arc::make_mut`] (copy-on-write), so the plain `&Relation` /
 /// `&mut Relation` API is unchanged.
 ///
+/// Every mutation also bumps a monotonic [`Database::epoch`] counter,
+/// and [`Database::snapshot`] captures a cheap immutable handle (one
+/// `Arc` clone per relation, zero tuple clones) — together these are
+/// the substrate for snapshot-isolated serving (`sj-server`): readers
+/// keep their snapshot while writers copy-on-write underneath them.
+///
 /// ```
 /// use sj_storage::{Database, Relation};
 /// let mut d = Database::new();
@@ -28,10 +34,23 @@ use std::sync::Arc;
 /// d.set("S", Relation::from_int_rows(&[&[1, 2]]));
 /// assert_eq!(d.size(), 3); // Definition 15: sum of cardinalities
 /// ```
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone, Default)]
 pub struct Database {
     relations: BTreeMap<String, Arc<Relation>>,
+    /// Mutation counter; see [`Database::epoch`]. Not part of equality:
+    /// two databases with the same contents compare equal regardless of
+    /// their mutation histories.
+    epoch: u64,
 }
+
+/// Contents-only equality — the epoch is a mutation counter, not data.
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.relations == other.relations
+    }
+}
+
+impl Eq for Database {}
 
 impl Database {
     /// The empty database (no relation names at all).
@@ -46,6 +65,7 @@ impl Database {
                 .into_iter()
                 .map(|(n, r)| (n.into(), Arc::new(r)))
                 .collect(),
+            epoch: 0,
         }
     }
 
@@ -56,17 +76,52 @@ impl Database {
                 .iter()
                 .map(|(n, a)| (n.to_string(), Arc::new(Relation::empty(a))))
                 .collect(),
+            epoch: 0,
         }
     }
 
     /// Assign `rel` to `name`, replacing any previous assignment.
     pub fn set(&mut self, name: impl Into<String>, rel: Relation) {
         self.relations.insert(name.into(), Arc::new(rel));
+        self.epoch += 1;
     }
 
     /// Assign an already-shared relation to `name` without copying it.
     pub fn set_shared(&mut self, name: impl Into<String>, rel: Arc<Relation>) {
         self.relations.insert(name.into(), rel);
+        self.epoch += 1;
+    }
+
+    /// Remove the relation assigned to `name`, returning its handle.
+    pub fn remove(&mut self, name: &str) -> Option<Arc<Relation>> {
+        let removed = self.relations.remove(name);
+        if removed.is_some() {
+            self.epoch += 1;
+        }
+        removed
+    }
+
+    /// The database's **mutation epoch**: a monotonic counter bumped by
+    /// every mutating operation ([`Database::set`],
+    /// [`Database::set_shared`], [`Database::remove`],
+    /// [`Database::insert`], [`Database::get_mut`]). Two reads of the
+    /// same epoch are guaranteed to see identical contents; caches
+    /// (plans, results, statistics) use it as a cheap freshness stamp.
+    ///
+    /// Handing out `&mut Relation` via [`Database::get_mut`] counts as a
+    /// mutation even if the caller never writes — the epoch is
+    /// deliberately conservative: it may advance without a content
+    /// change, but contents can never change without it advancing.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A cheap immutable [`Snapshot`] of the database: one `Arc` clone
+    /// per relation name, **zero tuple clones**. The snapshot keeps
+    /// reading the relations as they are now; later writers mutate
+    /// copy-on-write (see [`Database::get_mut`]) and never disturb it.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { db: self.clone() }
     }
 
     /// The relation assigned to `name`, if any.
@@ -93,7 +148,9 @@ impl Database {
     /// in place — **no clone** — and only a relation still shared with a
     /// reader is copied before mutation.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
-        self.relations.get_mut(name).map(Arc::make_mut)
+        let rel = self.relations.get_mut(name)?;
+        self.epoch += 1;
+        Some(Arc::make_mut(rel))
     }
 
     /// Insert a tuple into relation `name` (which must exist).
@@ -197,12 +254,59 @@ impl Database {
                 )
             })
             .collect();
-        Database { relations }
+        Database {
+            relations,
+            epoch: 0,
+        }
     }
 
     /// Number of relation names.
     pub fn relation_count(&self) -> usize {
         self.relations.len()
+    }
+}
+
+/// An immutable snapshot of a [`Database`], captured by
+/// [`Database::snapshot`].
+///
+/// Capture cost is one `Arc` clone per relation name (the tuple vectors
+/// themselves are shared, never copied). The snapshot is **stable**: a
+/// writer mutating the source database afterwards goes through
+/// copy-on-write (`Arc::make_mut`), so this handle keeps reading exactly
+/// the state it captured. [`Snapshot::epoch`] records which mutation
+/// epoch that was.
+///
+/// Derefs to [`Database`], so every read-only query API works on it
+/// directly; [`Snapshot::into_db`] yields an owned `Database` (e.g. to
+/// seed an engine) without any further copying.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    db: Database,
+}
+
+impl Snapshot {
+    /// The source database's [`Database::epoch`] at capture time.
+    pub fn epoch(&self) -> u64 {
+        self.db.epoch
+    }
+
+    /// The captured state as a database reference.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Unwrap into an owned [`Database`] (still zero tuple copies — the
+    /// relations stay shared `Arc`s).
+    pub fn into_db(self) -> Database {
+        self.db
+    }
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.db
     }
 }
 
@@ -346,6 +450,73 @@ mod tests {
         // ...and once the handle is gone, the copy is unique again.
         let again = d.get_mut("R").unwrap() as *mut Relation as *const Relation;
         assert_eq!(cow, again, "second get_mut must not clone again");
+    }
+
+    #[test]
+    fn epoch_advances_on_every_mutation_and_only_then() {
+        let mut d = fig2();
+        let e0 = d.epoch();
+        // Reads leave the epoch alone.
+        d.get("R");
+        d.get_shared("R");
+        let _ = d.snapshot();
+        assert_eq!(d.epoch(), e0);
+        // Every mutating entry point bumps it, monotonically.
+        d.set("X", Relation::from_int_rows(&[&[1]]));
+        assert_eq!(d.epoch(), e0 + 1);
+        d.insert("X", tuple![2]).unwrap();
+        assert_eq!(d.epoch(), e0 + 2);
+        d.get_mut("X").unwrap();
+        assert_eq!(d.epoch(), e0 + 3, "handing out &mut counts");
+        let shared = d.get_shared("X").unwrap();
+        d.set_shared("Y", shared);
+        assert_eq!(d.epoch(), e0 + 4);
+        d.remove("Y").unwrap();
+        assert_eq!(d.epoch(), e0 + 5);
+        assert!(d.remove("no-such").is_none());
+        assert_eq!(d.epoch(), e0 + 5, "failed remove is not a mutation");
+        // Epoch is not part of equality: same contents, different history.
+        let again = fig2();
+        let mut mutated = fig2();
+        mutated.insert("R", tuple!["x", "y", "z"]).unwrap();
+        assert_eq!(fig2(), again);
+        assert_ne!(mutated.epoch(), again.epoch());
+        assert_ne!(mutated, again, "contents differ");
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_writes_and_costs_no_tuple_clones() {
+        let mut d = fig2();
+        let snap = d.snapshot();
+        assert_eq!(snap.epoch(), d.epoch());
+        // Zero-copy capture: the snapshot's relations are the very same
+        // allocations the database stores.
+        for (name, rel) in snap.db().iter() {
+            assert!(
+                std::ptr::eq(rel, d.get(name).unwrap()),
+                "snapshot must alias, not copy, {name}"
+            );
+        }
+        // A write after capture goes copy-on-write: the snapshot still
+        // reads the old relation, the database sees the new one.
+        d.insert("R", tuple!["x", "y", "z"]).unwrap();
+        d.set("T", Relation::from_str_rows(&[&["q", "r"]]));
+        assert_eq!(snap.get("R").unwrap().len(), 2);
+        assert_eq!(d.get("R").unwrap().len(), 3);
+        assert_eq!(snap.get("T").unwrap().len(), 2);
+        assert_eq!(d.get("T").unwrap().len(), 1);
+        assert!(snap.epoch() < d.epoch());
+        // Unmutated relations stay shared between snapshot and database.
+        assert!(std::ptr::eq(snap.get("S").unwrap(), d.get("S").unwrap()));
+        // into_db keeps the aliasing too.
+        let owned = snap.clone().into_db();
+        assert!(std::ptr::eq(
+            owned.get("S").unwrap(),
+            snap.get("S").unwrap()
+        ));
+        // Deref gives the whole read API.
+        assert_eq!(snap.size(), 5);
+        assert_eq!(snap.schema(), owned.schema());
     }
 
     #[test]

@@ -8,13 +8,17 @@
 //!   containment fraction), set-join workloads (set-size and element
 //!   distributions incl. Zipf), random databases for property tests, and
 //!   scaling series for the growth experiments.
+//! * [`serving`] — client traces for the serving experiments: a
+//!   zipf-skewed hot query set interleaved with writes and ANALYZEs.
 
 pub mod figures;
 pub mod generators;
 pub mod rng;
+pub mod serving;
 
 pub use generators::{
     adversarial_division_series, division_series, random_database, DivisionWorkload, ElementDist,
     SetJoinWorkload, SetSizeDist, ELEMENT_BASE,
 };
 pub use rng::{SplitMix64, Zipf};
+pub use serving::{ServingWorkload, TraceOp};

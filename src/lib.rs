@@ -18,7 +18,8 @@
 //! | [`core`] | `sj-core` | dichotomy theorem machinery (the paper's contribution) |
 //! | [`setjoin`] | `sj-setjoin` | division and set-join algorithms & their [`Registry`] |
 //! | [`stats`] | `sj-stats` | per-relation statistics, cardinality estimation, the cost model |
-//! | [`workload`] | `sj-workload` | deterministic data generators, paper figures |
+//! | [`workload`] | `sj-workload` | deterministic data generators, paper figures, serving traces |
+//! | [`server`] | `sj-server` | concurrent snapshot-isolated serving with a plan/result cache |
 //!
 //! ## Quickstart
 //!
@@ -64,6 +65,7 @@ pub use sj_bisim as bisim;
 pub use sj_core as core;
 pub use sj_eval as eval;
 pub use sj_logic as logic;
+pub use sj_server as server;
 pub use sj_setjoin as setjoin;
 pub use sj_stats as stats;
 pub use sj_storage as storage;
