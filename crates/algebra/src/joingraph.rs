@@ -1,0 +1,467 @@
+//! Join-graph extraction: flattening nested θ-join trees into a
+//! (leaves, cross-leaf predicate edges) hypergraph-lite view, plus the
+//! inverse — rebuilding an equivalent join tree for any association
+//! order.
+//!
+//! This is the substrate of the cost-based join-order search in
+//! `sj-eval`: the planner extracts the graph of a join chain, an
+//! enumerator picks an [`OrderTree`], and [`JoinGraph::join_expr`]
+//! rebuilds a semantically identical expression (a final projection
+//! restores the as-written column order, so results stay byte-identical
+//! to the unordered expression). [`JoinGraph::hamiltonian_cycle`]
+//! recognizes the cyclic shapes (triangles, 4-cycles, …) for which
+//! *every* pairwise order materializes an intermediate above the AGM
+//! output bound — the trigger for the worst-case-optimal multiway join
+//! operator.
+//!
+//! Extraction is purely structural: it stops at every non-join node, so
+//! a selection, projection or semijoin below a join chain simply
+//! becomes an opaque leaf of the graph.
+
+use crate::condition::{Atom, CompOp, Condition};
+use crate::expr::Expr;
+use sj_storage::Schema;
+
+/// One predicate atom between two distinct leaves of a [`JoinGraph`]:
+/// `leaf a, column a_col  op  leaf b, column b_col` (columns 1-based
+/// within the leaf's own output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Left endpoint leaf index.
+    pub a: usize,
+    /// 1-based column within leaf `a`.
+    pub a_col: usize,
+    /// Comparison operator, oriented `a op b`.
+    pub op: CompOp,
+    /// Right endpoint leaf index.
+    pub b: usize,
+    /// 1-based column within leaf `b`.
+    pub b_col: usize,
+}
+
+/// An association order over the leaves of a [`JoinGraph`]: a binary
+/// tree whose leaves are graph leaf indices. The in-order leaf sequence
+/// determines the column layout of the rebuilt expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderTree {
+    /// A single graph leaf.
+    Leaf(usize),
+    /// Join the results of two subtrees (left columns first).
+    Join(Box<OrderTree>, Box<OrderTree>),
+}
+
+impl OrderTree {
+    /// Convenience constructor for a join node.
+    pub fn join(l: OrderTree, r: OrderTree) -> OrderTree {
+        OrderTree::Join(Box::new(l), Box::new(r))
+    }
+
+    /// The in-order leaf sequence (column-layout order).
+    pub fn leaf_sequence(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            OrderTree::Leaf(i) => out.push(*i),
+            OrderTree::Join(l, r) => {
+                l.collect_leaves(out);
+                r.collect_leaves(out);
+            }
+        }
+    }
+}
+
+/// One position of a Hamiltonian cycle found by
+/// [`JoinGraph::hamiltonian_cycle`]: at cycle position `p`, leaf
+/// `leaf`'s column `var_col` carries the cycle variable `v_p` and
+/// column `next_col` carries `v_{p+1 (mod k)}` (columns 1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CyclePos {
+    /// Graph leaf index at this cycle position.
+    pub leaf: usize,
+    /// 1-based column bound to this position's variable.
+    pub var_col: usize,
+    /// 1-based column bound to the next position's variable.
+    pub next_col: usize,
+}
+
+/// A flattened join chain: the maximal tree of nested [`Expr::Join`]
+/// nodes rooted at one expression, as opaque leaves plus cross-leaf
+/// predicate edges.
+#[derive(Debug, Clone)]
+pub struct JoinGraph<'a> {
+    /// The non-join operand subexpressions, in as-written (left-to-right)
+    /// order.
+    pub leaves: Vec<&'a Expr>,
+    /// Output arity of each leaf (parallel to `leaves`).
+    pub arities: Vec<usize>,
+    /// Every predicate atom of every join node of the chain, re-anchored
+    /// to (leaf, column) endpoints.
+    pub edges: Vec<JoinEdge>,
+    /// The association order the expression was written in.
+    pub as_written: OrderTree,
+}
+
+impl<'a> JoinGraph<'a> {
+    /// Flatten the join chain rooted at `expr`. Returns `None` when
+    /// `expr` is not a join or some operand's arity cannot be resolved
+    /// against `schema`.
+    pub fn extract(expr: &'a Expr, schema: &Schema) -> Option<JoinGraph<'a>> {
+        if !matches!(expr, Expr::Join(..)) {
+            return None;
+        }
+        let mut g = JoinGraph {
+            leaves: Vec::new(),
+            arities: Vec::new(),
+            edges: Vec::new(),
+            as_written: OrderTree::Leaf(0), // replaced below
+        };
+        let (tree, _layout) = g.flatten(expr, schema)?;
+        g.as_written = tree;
+        Some(g)
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether the graph has no leaves (never true for an extracted
+    /// graph — a join has at least two operands).
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Recursive flattening worker: returns the subtree's as-written
+    /// [`OrderTree`] and its column layout as `(leaf, 1-based col)`
+    /// pairs.
+    fn flatten(
+        &mut self,
+        e: &'a Expr,
+        schema: &Schema,
+    ) -> Option<(OrderTree, Vec<(usize, usize)>)> {
+        match e {
+            Expr::Join(theta, a, b) => {
+                let (ta, la) = self.flatten(a, schema)?;
+                let (tb, lb) = self.flatten(b, schema)?;
+                for atom in theta.atoms() {
+                    let &(al, ac) = la.get(atom.left - 1)?;
+                    let &(bl, bc) = lb.get(atom.right - 1)?;
+                    self.edges.push(JoinEdge {
+                        a: al,
+                        a_col: ac,
+                        op: atom.op,
+                        b: bl,
+                        b_col: bc,
+                    });
+                }
+                let layout = la.into_iter().chain(lb).collect();
+                Some((OrderTree::join(ta, tb), layout))
+            }
+            _ => {
+                let arity = e.arity(schema).ok()?;
+                let idx = self.leaves.len();
+                self.leaves.push(e);
+                self.arities.push(arity);
+                let layout = (1..=arity).map(|c| (idx, c)).collect();
+                Some((OrderTree::Leaf(idx), layout))
+            }
+        }
+    }
+
+    /// Rebuild a join expression realizing `tree`, semantically equal to
+    /// the extracted chain: every edge becomes a condition atom on the
+    /// join node where its two leaves first meet, and a final projection
+    /// restores the as-written column order whenever `tree`'s leaf
+    /// sequence differs from `0..n`.
+    pub fn join_expr(&self, tree: &OrderTree) -> Expr {
+        let owned: Vec<Expr> = self.leaves.iter().map(|&l| l.clone()).collect();
+        self.join_expr_with(tree, &owned)
+    }
+
+    /// [`JoinGraph::join_expr`] with replacement leaf expressions
+    /// (parallel to `leaves`) — the hook for rewrites that recurse into
+    /// the leaves before reassociating the chain. Each replacement must
+    /// keep its leaf's arity.
+    pub fn join_expr_with(&self, tree: &OrderTree, leaves: &[Expr]) -> Expr {
+        let (expr, layout) = self.build(tree, leaves);
+        let seq = tree.leaf_sequence();
+        if seq.iter().copied().eq(0..self.len()) {
+            return expr;
+        }
+        // Column `(leaf, col)` of the as-written output sits at position
+        // `layout.index_of((leaf, col)) + 1` of the rebuilt output.
+        let cols: Vec<usize> = (0..self.len())
+            .flat_map(|leaf| (1..=self.arities[leaf]).map(move |c| (leaf, c)))
+            .map(|lc| layout.iter().position(|&x| x == lc).expect("total layout") + 1)
+            .collect();
+        expr.project(cols)
+    }
+
+    fn build(&self, tree: &OrderTree, leaves: &[Expr]) -> (Expr, Vec<(usize, usize)>) {
+        match tree {
+            OrderTree::Leaf(i) => (
+                leaves[*i].clone(),
+                (1..=self.arities[*i]).map(|c| (*i, c)).collect(),
+            ),
+            OrderTree::Join(l, r) => {
+                let (el, ll) = self.build(l, leaves);
+                let (er, lr) = self.build(r, leaves);
+                let theta = self.span_condition(&ll, &lr);
+                let layout = ll.into_iter().chain(lr).collect();
+                (el.join(theta, er), layout)
+            }
+        }
+    }
+
+    /// The join condition between two column layouts: every edge with
+    /// one endpoint on each side, re-anchored to layout positions (the
+    /// operator flips when the edge's `a` endpoint lands on the right).
+    pub fn span_condition(&self, left: &[(usize, usize)], right: &[(usize, usize)]) -> Condition {
+        let pos = |layout: &[(usize, usize)], leaf: usize, col: usize| {
+            layout.iter().position(|&x| x == (leaf, col)).map(|p| p + 1)
+        };
+        let mut atoms = Vec::new();
+        for e in &self.edges {
+            if let (Some(l), Some(r)) = (pos(left, e.a, e.a_col), pos(right, e.b, e.b_col)) {
+                atoms.push(Atom {
+                    left: l,
+                    op: e.op,
+                    right: r,
+                });
+            } else if let (Some(l), Some(r)) = (pos(left, e.b, e.b_col), pos(right, e.a, e.a_col)) {
+                atoms.push(Atom {
+                    left: l,
+                    op: e.op.flipped(),
+                    right: r,
+                });
+            }
+        }
+        Condition::new(atoms)
+    }
+
+    /// Recognize the graph as one simple cycle of binary relations:
+    /// `n ≥ 3` binary leaves, all edges equalities, every leaf column an
+    /// endpoint of exactly one edge, and the edges forming a single
+    /// cycle through all leaves. Returns the cycle positions starting at
+    /// leaf 0 (deterministic orientation: leaf 0's lower-indexed edge
+    /// partner comes second), or `None` for any other shape — chains,
+    /// stars, parallel edges, residual non-equality atoms all fall back
+    /// to pairwise plans.
+    pub fn hamiltonian_cycle(&self) -> Option<Vec<CyclePos>> {
+        let n = self.len();
+        if n < 3 || self.edges.len() != n {
+            return None;
+        }
+        if self.arities.iter().any(|&a| a != 2) {
+            return None;
+        }
+        if self.edges.iter().any(|e| e.op != CompOp::Eq) {
+            return None;
+        }
+        // Each (leaf, col) endpoint must appear in exactly one edge.
+        let mut endpoint_edges: Vec<[Option<usize>; 2]> = vec![[None, None]; n];
+        for (i, e) in self.edges.iter().enumerate() {
+            for (leaf, col) in [(e.a, e.a_col), (e.b, e.b_col)] {
+                let slot = &mut endpoint_edges[leaf][col - 1];
+                if slot.is_some() {
+                    return None; // column shared by two edges
+                }
+                *slot = Some(i);
+            }
+        }
+        if endpoint_edges
+            .iter()
+            .any(|slots| slots.iter().any(|s| s.is_none()))
+        {
+            return None;
+        }
+        // Walk the cycle from leaf 0. Both orientations are valid; pick
+        // the edge on column 1 first so the result is deterministic.
+        let mut cycle = Vec::with_capacity(n);
+        let mut leaf = 0usize;
+        let mut var_col = 1usize; // v_0 enters leaf 0 on column 1
+        loop {
+            let next_col = 3 - var_col; // the other binary column
+            cycle.push(CyclePos {
+                leaf,
+                var_col,
+                next_col,
+            });
+            // Follow the edge attached to (leaf, next_col).
+            let edge = &self.edges[endpoint_edges[leaf][next_col - 1].expect("checked total")];
+            let (nleaf, ncol) = if (edge.a, edge.a_col) == (leaf, next_col) {
+                (edge.b, edge.b_col)
+            } else {
+                (edge.a, edge.a_col)
+            };
+            if nleaf == 0 {
+                // Closed: a Hamiltonian cycle visits every leaf exactly
+                // once and re-enters leaf 0 on the column we started on.
+                return (cycle.len() == n && ncol == 1).then_some(cycle);
+            }
+            if cycle.len() == n || cycle.iter().any(|p| p.leaf == nleaf) {
+                return None; // shorter sub-cycle: not Hamiltonian
+            }
+            leaf = nleaf;
+            var_col = ncol;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_storage::Schema;
+
+    fn schema() -> Schema {
+        Schema::new([("R", 2), ("S", 2), ("T", 2), ("U", 2), ("W", 3)])
+    }
+
+    fn triangle() -> Expr {
+        // R(x,y) ⋈ S(y,z) ⋈ T(z,x)
+        Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .join(Condition::eq_pairs([(4, 1), (1, 2)]), Expr::rel("T"))
+    }
+
+    #[test]
+    fn extracts_leaves_and_edges_of_a_chain() {
+        let e = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .join(Condition::eq(4, 1), Expr::rel("T"));
+        let g = JoinGraph::extract(&e, &schema()).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.arities, vec![2, 2, 2]);
+        assert_eq!(
+            g.edges,
+            vec![
+                JoinEdge {
+                    a: 0,
+                    a_col: 2,
+                    op: CompOp::Eq,
+                    b: 1,
+                    b_col: 1
+                },
+                JoinEdge {
+                    a: 1,
+                    a_col: 2,
+                    op: CompOp::Eq,
+                    b: 2,
+                    b_col: 1
+                },
+            ]
+        );
+        assert_eq!(
+            g.as_written,
+            OrderTree::join(
+                OrderTree::join(OrderTree::Leaf(0), OrderTree::Leaf(1)),
+                OrderTree::Leaf(2)
+            )
+        );
+    }
+
+    #[test]
+    fn non_joins_and_unknown_relations_do_not_extract() {
+        assert!(JoinGraph::extract(&Expr::rel("R"), &schema()).is_none());
+        let e = Expr::rel("R").join(Condition::eq(2, 1), Expr::rel("NoSuch"));
+        assert!(JoinGraph::extract(&e, &schema()).is_none());
+    }
+
+    #[test]
+    fn leaves_stop_at_non_join_operators() {
+        let e = Expr::rel("R")
+            .select_eq(1, 2)
+            .join(Condition::eq(2, 1), Expr::rel("S").project([2, 1]));
+        let g = JoinGraph::extract(&e, &schema()).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(matches!(g.leaves[0], Expr::Select(..)));
+        assert!(matches!(g.leaves[1], Expr::Project(..)));
+    }
+
+    #[test]
+    fn rebuild_as_written_is_the_identity_modulo_condition_form() {
+        let e = triangle();
+        let g = JoinGraph::extract(&e, &schema()).unwrap();
+        let rebuilt = g.join_expr(&g.as_written);
+        // Same leaf order ⇒ no projection wrapper; condition content is
+        // preserved atom-for-atom on this expression.
+        assert_eq!(rebuilt, e);
+    }
+
+    #[test]
+    fn rebuild_reordered_wraps_a_restoring_projection() {
+        let g_expr = triangle();
+        let g = JoinGraph::extract(&g_expr, &schema()).unwrap();
+        // (T ⋈ R) ⋈ S — leaf sequence [2, 0, 1] needs the projection.
+        let tree = OrderTree::join(
+            OrderTree::join(OrderTree::Leaf(2), OrderTree::Leaf(0)),
+            OrderTree::Leaf(1),
+        );
+        let rebuilt = g.join_expr(&tree);
+        let Expr::Project(cols, inner) = &rebuilt else {
+            panic!("expected projection wrapper, got {rebuilt:?}");
+        };
+        // T's columns sit first in the rebuilt layout (positions 1..=2),
+        // so as-written order [R, S, T] maps to [3, 4, 5, 6, 1, 2].
+        assert_eq!(cols, &vec![3, 4, 5, 6, 1, 2]);
+        assert!(matches!(inner.as_ref(), Expr::Join(..)));
+    }
+
+    #[test]
+    fn hamiltonian_cycle_detects_triangles_and_rejects_chains() {
+        let tri = triangle();
+        let g = JoinGraph::extract(&tri, &schema()).unwrap();
+        let cycle = g.hamiltonian_cycle().expect("triangle is a 3-cycle");
+        assert_eq!(cycle.len(), 3);
+        assert_eq!(cycle[0].leaf, 0);
+        // Every leaf appears exactly once.
+        let mut leaves: Vec<usize> = cycle.iter().map(|p| p.leaf).collect();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![0, 1, 2]);
+
+        let chain = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .join(Condition::eq(4, 1), Expr::rel("T"));
+        let g = JoinGraph::extract(&chain, &schema()).unwrap();
+        assert!(g.hamiltonian_cycle().is_none(), "open chain is not cyclic");
+    }
+
+    #[test]
+    fn hamiltonian_cycle_rejects_non_eq_wide_and_star_shapes() {
+        // Triangle with one `<` edge.
+        let e = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .join(Condition::eq(4, 1).and(1, CompOp::Lt, 2), Expr::rel("T"));
+        let g = JoinGraph::extract(&e, &schema()).unwrap();
+        assert!(g.hamiltonian_cycle().is_none());
+        // A ternary leaf.
+        let e = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("W"))
+            .join(Condition::eq_pairs([(5, 1), (1, 2)]), Expr::rel("T"));
+        let g = JoinGraph::extract(&e, &schema()).unwrap();
+        assert!(g.hamiltonian_cycle().is_none());
+        // Star: S and T both join column 1 of R — R's column 1 is an
+        // endpoint of two edges.
+        let e = Expr::rel("R")
+            .join(Condition::eq(1, 1), Expr::rel("S"))
+            .join(Condition::eq_pairs([(1, 1), (2, 2)]), Expr::rel("T"));
+        let g = JoinGraph::extract(&e, &schema()).unwrap();
+        assert!(g.hamiltonian_cycle().is_none());
+    }
+
+    #[test]
+    fn four_cycle_detected() {
+        // R(a,b) ⋈ S(b,c) ⋈ T(c,d) ⋈ U(d,a)
+        let e = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .join(Condition::eq(4, 1), Expr::rel("T"))
+            .join(Condition::eq_pairs([(6, 1), (1, 2)]), Expr::rel("U"));
+        let g = JoinGraph::extract(&e, &schema()).unwrap();
+        let cycle = g.hamiltonian_cycle().expect("4-cycle");
+        assert_eq!(cycle.len(), 4);
+    }
+}

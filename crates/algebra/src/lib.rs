@@ -24,12 +24,16 @@
 //!   complexity the paper analyzes, and the running-example queries.
 //! * [`transform`] — semijoin → join lowering (the linearity note under
 //!   Theorem 18).
+//! * [`joingraph`] — flattening join chains into (leaves, predicate
+//!   edges) graphs and rebuilding them in any association order — the
+//!   substrate of the cost-based join-order search in `sj-eval`.
 
 pub mod condition;
 pub mod display;
 pub mod division;
 pub mod error;
 pub mod expr;
+pub mod joingraph;
 pub mod optimize;
 pub mod parse;
 pub mod transform;
@@ -38,6 +42,7 @@ pub use condition::{Atom, CompOp, Condition};
 pub use display::{to_text, to_unicode};
 pub use error::AlgebraError;
 pub use expr::{Expr, Selection};
+pub use joingraph::{CyclePos, JoinEdge, JoinGraph, OrderTree};
 pub use optimize::{optimize, OptimizeLevel, Pass, Pipeline};
 pub use parse::parse;
 pub use transform::semijoins_to_joins_checked;

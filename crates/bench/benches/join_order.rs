@@ -1,0 +1,107 @@
+//! Join-order enumeration and the worst-case-optimal multiway join.
+//!
+//! Three axes:
+//!
+//! * **planning overhead** — `PhysicalPlan` construction per
+//!   [`JoinOrder`] mode on a 3-relation chain: the DP enumerator must
+//!   cost microseconds, negligible against the joins it reorders;
+//! * **chain execution** — the badly-written chain end to end per mode
+//!   (the win the `joinorder` experiment asserts);
+//! * **triangle execution** — zipf-skewed triangles per mode, where
+//!   `Dp` routes through the generic multiway operator, serial and at
+//!   4 workers (the operator partitions its probe axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_algebra::{Condition, Expr};
+use sj_eval::{Engine, JoinOrder, Parallelism, StatsMode};
+use sj_storage::{Database, Relation, Tuple};
+use sj_workload::{CyclicWorkload, EdgeDist};
+use std::time::Duration;
+
+fn chain_db(n: usize) -> Database {
+    let mut db = Database::new();
+    db.set(
+        "R",
+        Relation::from_tuples(2, (0..n as i64).map(|i| Tuple::from_ints(&[i % 50, i]))).unwrap(),
+    );
+    let m = (n / 100) as i64;
+    db.set(
+        "S",
+        Relation::from_tuples(2, (0..m).map(|i| Tuple::from_ints(&[i, i % 3]))).unwrap(),
+    );
+    db.set(
+        "T",
+        Relation::from_tuples(2, (0..3i64).map(|i| Tuple::from_ints(&[i, i]))).unwrap(),
+    );
+    db
+}
+
+fn chain_expr() -> Expr {
+    Expr::rel("R")
+        .join(Condition::eq(1, 2), Expr::rel("S"))
+        .join(Condition::eq(3, 1), Expr::rel("T"))
+}
+
+const MODES: [JoinOrder; 3] = [JoinOrder::AsWritten, JoinOrder::Greedy, JoinOrder::Dp];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_order");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    // Planning overhead: explain() plans without executing.
+    let plan_db = chain_db(4096);
+    for mode in MODES {
+        let engine = Engine::new(plan_db.clone())
+            .stats(StatsMode::Cached)
+            .join_order(mode);
+        engine.query(chain_expr()).explain().unwrap(); // warm the catalog
+        group.bench_with_input(BenchmarkId::new("plan_chain", mode), &(), |b, _| {
+            b.iter(|| engine.query(chain_expr()).explain().unwrap())
+        });
+    }
+
+    // Chain execution per mode.
+    let exec_db = chain_db(20_000);
+    for mode in MODES {
+        let engine = Engine::new(exec_db.clone())
+            .stats(StatsMode::Cached)
+            .join_order(mode);
+        group.bench_with_input(BenchmarkId::new("exec_chain", mode), &(), |b, _| {
+            b.iter(|| engine.query(chain_expr()).run().unwrap().relation)
+        });
+    }
+
+    // Skewed-triangle execution per mode; Dp routes through the
+    // multiway operator, also measured at 4 workers.
+    let w = CyclicWorkload {
+        cycle_len: 3,
+        edges_per_table: 4096,
+        vertices: 1024,
+        edges: EdgeDist::Zipf(1.2),
+        seed: 0xC7C1,
+    };
+    let (tri_db, tri_q) = (w.database(), w.query());
+    for mode in MODES {
+        let engine = Engine::new(tri_db.clone())
+            .stats(StatsMode::Cached)
+            .join_order(mode);
+        group.bench_with_input(BenchmarkId::new("exec_triangle", mode), &(), |b, _| {
+            b.iter(|| engine.query(tri_q.clone()).run().unwrap().relation)
+        });
+    }
+    let par = Engine::new(tri_db.clone())
+        .stats(StatsMode::Cached)
+        .join_order(JoinOrder::Dp)
+        .parallelism(Parallelism::Threads(4));
+    group.bench_with_input(BenchmarkId::new("exec_triangle", "dp-4w"), &(), |b, _| {
+        b.iter(|| par.query(tri_q.clone()).run().unwrap().relation)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,11 +16,13 @@ use sj_bench::{
 };
 use sj_bisim::{are_bisimilar, check_bisimulation, Bisimulation, PartialIso};
 use sj_core::{analyze, measure_growth, Pump, Verdict};
-use sj_eval::{AlgorithmChoice, Engine, Instrument, Parallelism, Strategy};
+use sj_eval::{AlgorithmChoice, Engine, Instrument, JoinOrder, Parallelism, StatsMode, Strategy};
 use sj_setjoin::{DivisionSemantics, Registry, SetPredicate};
 use sj_storage::display::{render_database, render_relation};
-use sj_storage::{tuple, Database, Relation, Schema};
-use sj_workload::{figures, DivisionWorkload, ElementDist, SetJoinWorkload, SetSizeDist};
+use sj_storage::{tuple, Database, Relation, Schema, Tuple};
+use sj_workload::{
+    figures, CyclicWorkload, DivisionWorkload, EdgeDist, ElementDist, SetJoinWorkload, SetSizeDist,
+};
 
 /// An instrumented naive engine — the measurement instrument for all the
 /// per-tree-node intermediate-size experiments.
@@ -65,6 +67,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("setjoin", setjoin_shootout),
     ("semijoin", semijoin_linear),
     ("planner", planner),
+    ("joinorder", join_order_run),
     ("parallel", parallel_scaling),
     ("vectorized", vectorized_scaling_run),
     ("vectorized-parallel", vectorized_parallel_run),
@@ -790,6 +793,202 @@ fn planner() {
     println!(
         "planner: memoized DAG + Arc scans beat the naive tree walk on the \
          repeated-subexpression division plans → {}",
+        path.display()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Join-order enumeration + the worst-case-optimal multiway join
+// ---------------------------------------------------------------------------
+
+/// Two claims, both asserted:
+///
+/// 1. **Enumeration never hurts** — on multi-join chain plans (including
+///    a figure-shaped query the optimizer leaves alone), `JoinOrder::Dp`
+///    is never slower than the as-written order, up to the usual 1.25×
+///    timing-jitter allowance. On badly-written chains it should win
+///    outright (smaller intermediates), on well-written ones it must
+///    degrade to a no-op.
+/// 2. **The AGM trigger pays off** — on zipf-skewed cyclic workloads
+///    (hub vertices), where every pairwise order's estimated
+///    intermediate exceeds the AGM output bound, the planner switches
+///    to the generic worst-case-optimal multiway operator; on ≥ 1 such
+///    row it beats the *best* pairwise mode (min of as-written and
+///    greedy), not just the worst.
+///
+/// Every (workload, mode) cell is verified byte-identical against the
+/// as-written answer before it is timed.
+fn join_order_run() {
+    const SLACK_MS: f64 = 0.05;
+    const MODES: [JoinOrder; 3] = [JoinOrder::AsWritten, JoinOrder::Greedy, JoinOrder::Dp];
+    let mut csv = CsvSink::new(
+        "join_order",
+        &["workload", "scale", "mode", "ms", "output", "multiway"],
+    );
+    println!(
+        "{:<30} {:>7} {:>10} {:>10} {:>8} {:>8}",
+        "workload", "scale", "mode", "ms", "output", "multiway"
+    );
+    // Measure one (db, query) under each mode; returns mode → (ms, used
+    // multiway?) after asserting all three answers byte-identical.
+    let mut run_case = |workload: &str, scale: usize, db: &Database, e: &Expr| {
+        let engine = |m: JoinOrder| {
+            Engine::new(db.clone())
+                .stats(StatsMode::Analyze)
+                .join_order(m)
+        };
+        let baseline = engine(JoinOrder::AsWritten)
+            .query(e.clone())
+            .run()
+            .unwrap()
+            .relation;
+        let mut cells: Vec<(JoinOrder, f64)> = Vec::new();
+        for mode in MODES {
+            let eng = engine(mode);
+            let out = eng.query(e.clone()).run().unwrap();
+            assert_eq!(
+                out.relation, baseline,
+                "{workload}: {mode} diverged from as-written"
+            );
+            let multiway = eng
+                .query(e.clone())
+                .explain()
+                .unwrap()
+                .contains("multiway-join");
+            let ms = time_median(5, || eng.query(e.clone()).run().unwrap());
+            println!(
+                "{workload:<30} {scale:>7} {mode:>10} {ms:>10.3} {:>8} {multiway:>8}",
+                baseline.len()
+            );
+            csv.row(&[
+                workload.into(),
+                scale.to_string(),
+                mode.to_string(),
+                format!("{ms:.4}"),
+                baseline.len().to_string(),
+                multiway.to_string(),
+            ]);
+            cells.push((mode, ms));
+        }
+        let ms_of = |m: JoinOrder| cells.iter().find(|c| c.0 == m).unwrap().1;
+        (
+            ms_of(JoinOrder::AsWritten),
+            ms_of(JoinOrder::Greedy),
+            ms_of(JoinOrder::Dp),
+        )
+    };
+
+    // Claim 1 — chain plans. The badly-written chain puts the huge join
+    // first (`R.1` meets the 3-valued `S.2`); the cheap order joins the
+    // tiny tail `S ⋈ T` first. The beer query is the figure-shaped
+    // control: already well-ordered, Dp must cost ≈ the same.
+    let chain = |n: usize| {
+        let mut db = Database::new();
+        db.set(
+            "R",
+            Relation::from_tuples(2, (0..n as i64).map(|i| Tuple::from_ints(&[i % 50, i])))
+                .unwrap(),
+        );
+        let m = (n / 100) as i64;
+        db.set(
+            "S",
+            Relation::from_tuples(2, (0..m).map(|i| Tuple::from_ints(&[i, i % 3]))).unwrap(),
+        );
+        db.set(
+            "T",
+            Relation::from_tuples(2, (0..3i64).map(|i| Tuple::from_ints(&[i, i]))).unwrap(),
+        );
+        db
+    };
+    let chain_expr = Expr::rel("R")
+        .join(Condition::eq(1, 2), Expr::rel("S"))
+        .join(Condition::eq(3, 1), Expr::rel("T"));
+    for n in [20_000usize, 50_000] {
+        let (as_ms, _, dp_ms) = run_case("chain R⋈S⋈T (badly written)", n, &chain(n), &chain_expr);
+        assert!(
+            dp_ms <= as_ms * 1.25 + SLACK_MS,
+            "chain@{n}: Dp ({dp_ms:.3}ms) slower than as-written ({as_ms:.3}ms)"
+        );
+    }
+    let k = 4096i64;
+    let (as_ms, _, dp_ms) = run_case(
+        "cyclic beer query (figure)",
+        k as usize,
+        &beer_database(k, 0xBEE5),
+        &division::cyclic_beer_query_ra(),
+    );
+    assert!(
+        dp_ms <= as_ms * 1.25 + SLACK_MS,
+        "beer: Dp ({dp_ms:.3}ms) slower than as-written ({as_ms:.3}ms)"
+    );
+
+    // Claim 2 — skewed cycles. Two controls where the trigger must stay
+    // cold: the uniform triangle (pairwise is AGM-tight without hubs)
+    // and the skewed 4-cycle — for any 4-cycle the cheapest adjacent
+    // pairwise estimate is capped at `min(r1·r2, r3·r4) ≤ √(r1r2r3r4)`,
+    // the 4-cycle AGM bound, so no skew can push an intermediate past
+    // the output bound (pairwise plans are already worst-case optimal
+    // there; the headline WCOJ win is the triangle). The zipf triangles
+    // have hub vertices — the regime the multiway operator exists for.
+    let dp_explain = |db: &Database, q: &Expr| {
+        Engine::new(db.clone())
+            .stats(StatsMode::Analyze)
+            .join_order(JoinOrder::Dp)
+            .query(q.clone())
+            .explain()
+            .unwrap()
+    };
+    for (name, cycle_len, dist) in [
+        ("triangle uniform (control)", 3usize, EdgeDist::Uniform),
+        ("4-cycle zipf1.2 (control)", 4, EdgeDist::Zipf(1.2)),
+    ] {
+        let w = CyclicWorkload {
+            cycle_len,
+            edges_per_table: 2048,
+            vertices: 1024,
+            edges: dist,
+            seed: 0xC7C1,
+        };
+        let (db, q) = (w.database(), w.query());
+        let explained = dp_explain(&db, &q);
+        assert!(
+            !explained.contains("multiway-join"),
+            "{name}: the AGM trigger fired on a control row:\n{explained}"
+        );
+        run_case(name, w.edges_per_table, &db, &q);
+    }
+    let mut multiway_won = false;
+    for (name, theta) in [
+        ("triangle zipf1.2 (hubs)", 1.2),
+        ("triangle zipf1.4 (hubs)", 1.4),
+    ] {
+        let w = CyclicWorkload {
+            cycle_len: 3,
+            edges_per_table: 4096,
+            vertices: 1024,
+            edges: EdgeDist::Zipf(theta),
+            seed: 0xC7C1,
+        };
+        let (db, q) = (w.database(), w.query());
+        let explained = dp_explain(&db, &q);
+        assert!(
+            explained.contains("multiway-join"),
+            "{name}: the AGM trigger never fired:\n{explained}"
+        );
+        let (as_ms, greedy_ms, dp_ms) = run_case(name, w.edges_per_table, &db, &q);
+        if dp_ms < as_ms.min(greedy_ms) {
+            multiway_won = true;
+        }
+    }
+    assert!(
+        multiway_won,
+        "multiway join beat the best pairwise mode on no skewed cyclic row"
+    );
+
+    let path = csv.finish().unwrap();
+    println!(
+        "joinorder: Dp never slower than as-written on the chain plans; the \
+         multiway join beat the best pairwise mode on ≥ 1 skewed cyclic row → {}",
         path.display()
     );
 }

@@ -45,6 +45,7 @@ use crate::error::EvalError;
 use crate::exec::Execution;
 use crate::explain::render_tree;
 use crate::instrumented::{evaluate_instrumented, EvalReport};
+use crate::joinorder::JoinOrder;
 use crate::par::Parallelism;
 use crate::plain::evaluate;
 use crate::plan::{PhysicalPlan, PlannedReport};
@@ -278,6 +279,7 @@ pub struct Engine {
     stats: StatsMode,
     catalog: Arc<StatsCatalog>,
     cost_model: Arc<CostModel>,
+    join_order: JoinOrder,
 }
 
 impl Engine {
@@ -299,6 +301,7 @@ impl Engine {
             stats: StatsMode::default(),
             catalog: Arc::new(StatsCatalog::new()),
             cost_model: Arc::new(CostModel::default()),
+            join_order: JoinOrder::default(),
         }
     }
 
@@ -387,6 +390,23 @@ impl Engine {
     pub fn cost_model(mut self, model: CostModel) -> Engine {
         self.cost_model = Arc::new(model);
         self
+    }
+
+    /// Set the join-order mode: how the planner associates join chains
+    /// when statistics are on ([`JoinOrder::Dp`], the default, runs the
+    /// exhaustive bushy search and enables the worst-case-optimal
+    /// multiway collapse for AGM-bound-beating cyclic chains;
+    /// [`JoinOrder::AsWritten`] keeps the written shape). Ignored under
+    /// [`StatsMode::Off`] — without estimates there is nothing to cost
+    /// orders with. Results are byte-identical in every mode.
+    pub fn join_order(mut self, order: JoinOrder) -> Engine {
+        self.join_order = order;
+        self
+    }
+
+    /// The configured join-order mode.
+    pub fn join_order_mode(&self) -> JoinOrder {
+        self.join_order
     }
 
     /// The configured statistics mode.
@@ -549,11 +569,23 @@ impl Engine {
             StatsMode::Off => PhysicalPlan::of(expr, &schema),
             StatsMode::Analyze => {
                 let src = AnalyzeSource::new(&self.db);
-                PhysicalPlan::of_costed(expr, &schema, &src, &self.cost_model)
+                PhysicalPlan::of_costed_with_order(
+                    expr,
+                    &schema,
+                    &src,
+                    &self.cost_model,
+                    self.join_order,
+                )
             }
             StatsMode::Cached => {
                 let src = CatalogSource::new(&self.catalog, &self.db);
-                PhysicalPlan::of_costed(expr, &schema, &src, &self.cost_model)
+                PhysicalPlan::of_costed_with_order(
+                    expr,
+                    &schema,
+                    &src,
+                    &self.cost_model,
+                    self.join_order,
+                )
             }
         }
     }

@@ -151,6 +151,239 @@ pub fn merge_semijoin(
 }
 
 // ---------------------------------------------------------------------------
+// Worst-case-optimal multiway join (generic join on a cycle)
+// ---------------------------------------------------------------------------
+
+/// One position of a [`MultiwaySpec`] cycle: at cycle position `p`,
+/// child `child`'s column `var_col` (0-based) carries the cycle
+/// variable `v_p` and column `next_col` carries `v_{p+1 (mod k)}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiwayLeaf {
+    /// Index into the operator's children (each child appears exactly
+    /// once in the cycle).
+    pub child: usize,
+    /// 0-based column bound to this position's variable.
+    pub var_col: usize,
+    /// 0-based column bound to the next position's variable.
+    pub next_col: usize,
+}
+
+/// The plan-time description of a [`multiway_join`]: a Hamiltonian
+/// cycle over binary children, produced by the planner's join-graph
+/// cycle detection (`sj_algebra::JoinGraph::hamiltonian_cycle`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiwaySpec {
+    /// The cycle positions in cycle order.
+    pub cycle: Vec<MultiwayLeaf>,
+}
+
+/// Worst-case-optimal join of `k ≥ 3` binary relations forming one
+/// equality cycle `R₀(v₀,v₁) ⋈ R₁(v₁,v₂) ⋈ … ⋈ R_{k−1}(v_{k−1},v₀)` —
+/// the generic-join algorithm (Ngo–Porat–Ré) specialized to simple
+/// cycles:
+///
+/// 1. Per cycle position, index the relation as a forward map
+///    `v_p → sorted [v_{p+1}]` (its posting lists).
+/// 2. Start from the **globally least-frequent variable** — the
+///    position whose candidate set (values occurring on both adjacent
+///    sides) is smallest; the cycle is rotated so iteration begins
+///    there.
+/// 3. Bind variables around the cycle through the forward lists; the
+///    **last** variable is bound by intersecting two sorted posting
+///    lists (the forward list of its predecessor and the backward list
+///    of the closing relation), never enumerated blindly.
+///
+/// Every binding writes one output tuple assembled in the children's
+/// original column order, so the output equals the pairwise join chain
+/// the planner replaced — no projection needed. Runtime is bounded by
+/// the AGM fractional-cover bound `∏ |Rᵢ|^{1/2}` (plus the linear
+/// indexing passes), which is exactly the regime where every pairwise
+/// order materializes a larger intermediate.
+///
+/// `workers > 1` splits the start variable's candidate list into
+/// contiguous chunks fanned out over scoped threads (one
+/// [`PartitionStat`] per chunk, `right_rows = 0` — there is no probe
+/// side); the canonicalizing merge keeps the output byte-identical for
+/// every worker count. The [`Execution`] knob is accepted for kernel
+/// signature uniformity but selects nothing: the posting-list indexes
+/// are already column-oriented, so there is no row-at-a-time variant to
+/// choose.
+pub fn multiway_join(
+    children: &[&Relation],
+    spec: &MultiwaySpec,
+    _exec: Execution,
+    workers: usize,
+) -> (Relation, Vec<PartitionStat>) {
+    let k = spec.cycle.len();
+    debug_assert!(k >= 3, "a multiway cycle has at least 3 positions");
+    debug_assert!(spec.cycle.iter().all(|p| children[p.child].arity() == 2));
+    let out_arity: usize = children.iter().map(|r| r.arity()).sum();
+    let offsets: Vec<usize> = children
+        .iter()
+        .scan(0usize, |acc, r| {
+            let o = *acc;
+            *acc += r.arity();
+            Some(o)
+        })
+        .collect();
+    // Forward posting lists per cycle position: v_p → sorted [v_{p+1}].
+    let fwd: Vec<FxHashMap<Value, Vec<Value>>> = spec
+        .cycle
+        .iter()
+        .map(|pos| {
+            let mut m: FxHashMap<Value, Vec<Value>> = FxHashMap::default();
+            for t in children[pos.child].tuples() {
+                m.entry(t[pos.var_col].clone())
+                    .or_default()
+                    .push(t[pos.next_col].clone());
+            }
+            for list in m.values_mut() {
+                list.sort_unstable();
+            }
+            m
+        })
+        .collect();
+    // Candidate list per position: values that occur as position p's
+    // variable AND as position p−1's next value. The start position is
+    // the globally least-frequent variable — the smallest such list.
+    let nexts: Vec<Vec<Value>> = fwd
+        .iter()
+        .map(|m| {
+            let mut vals: Vec<Value> = m.values().flatten().cloned().collect();
+            vals.sort_unstable();
+            vals.dedup();
+            vals
+        })
+        .collect();
+    let candidates: Vec<Vec<Value>> = (0..k)
+        .map(|p| {
+            let prev = &nexts[(p + k - 1) % k];
+            let mut vals: Vec<Value> = fwd[p]
+                .keys()
+                .filter(|v| prev.binary_search(v).is_ok())
+                .cloned()
+                .collect();
+            vals.sort_unstable();
+            vals
+        })
+        .collect();
+    let start = (0..k)
+        .min_by_key(|&p| (candidates[p].len(), p))
+        .expect("k >= 3");
+    let rot = |i: usize| (start + i) % k;
+    let cands = &candidates[start];
+    // Backward posting lists of the closing relation (rotated position
+    // k−1): v_0 → sorted [v_{k−1}] — the second list of the final
+    // intersection.
+    let closing = &spec.cycle[rot(k - 1)];
+    let mut bwd: FxHashMap<Value, Vec<Value>> = FxHashMap::default();
+    for t in children[closing.child].tuples() {
+        bwd.entry(t[closing.next_col].clone())
+            .or_default()
+            .push(t[closing.var_col].clone());
+    }
+    for list in bwd.values_mut() {
+        list.sort_unstable();
+    }
+
+    // Emit the output tuple of one complete binding (rotated order).
+    let emit = |binding: &[Value], out: &mut Vec<Tuple>| {
+        let mut cells = vec![Value::int(0); out_arity];
+        for (i, v) in binding.iter().enumerate() {
+            let pos = &spec.cycle[rot(i)];
+            let base = offsets[pos.child];
+            cells[base + pos.var_col] = v.clone();
+            cells[base + pos.next_col] = binding[(i + 1) % k].clone();
+        }
+        out.push(Tuple::new(cells));
+    };
+    // Depth-first bind v_1..v_{k−1} given v_0 = `binding[0]`; `fwd` is
+    // already in rotated cycle order (index = depth of the variable the
+    // map extends *from*).
+    fn search(
+        depth: usize,
+        k: usize,
+        fwd: &[&FxHashMap<Value, Vec<Value>>],
+        bwd: &FxHashMap<Value, Vec<Value>>,
+        binding: &mut Vec<Value>,
+        emit: &dyn Fn(&[Value], &mut Vec<Tuple>),
+        out: &mut Vec<Tuple>,
+    ) {
+        let Some(reachable) = fwd[depth - 1].get(&binding[depth - 1]) else {
+            return;
+        };
+        if depth == k - 1 {
+            // Close the cycle: v_{k−1} must extend v_{k−2} forward AND
+            // reach v_0 through the closing relation — a sorted
+            // intersection of the two posting lists.
+            let Some(back) = bwd.get(&binding[0]) else {
+                return;
+            };
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < reachable.len() && j < back.len() {
+                match reachable[i].cmp(&back[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        binding.push(reachable[i].clone());
+                        emit(binding, out);
+                        binding.pop();
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            return;
+        }
+        for v in reachable.clone() {
+            binding.push(v);
+            search(depth + 1, k, fwd, bwd, binding, emit, out);
+            binding.pop();
+        }
+    }
+    let rot_fwd: Vec<&FxHashMap<Value, Vec<Value>>> = (0..k).map(|i| &fwd[rot(i)]).collect();
+    let run = |chunk: &[u32]| {
+        let mut out: Vec<Tuple> = Vec::new();
+        let mut binding: Vec<Value> = Vec::with_capacity(k);
+        for &ci in chunk {
+            binding.clear();
+            binding.push(cands[ci as usize].clone());
+            search(1, k, &rot_fwd, &bwd, &mut binding, &emit, &mut out);
+        }
+        out
+    };
+
+    if workers <= 1 {
+        let all: Vec<u32> = (0..cands.len() as u32).collect();
+        let tuples = run(&all);
+        let rel = Relation::from_tuples(out_arity, tuples).expect("assembled arity");
+        return (rel, Vec::new());
+    }
+    let outputs = fan_out(chunk_indices(cands.len(), workers), workers, |chunk| {
+        let start = Instant::now();
+        let out = run(&chunk);
+        (chunk.len(), out, start.elapsed())
+    });
+    let mut stats = Vec::with_capacity(outputs.len());
+    let mut tuples: Vec<Tuple> = Vec::new();
+    for (partition, (left_rows, out, elapsed)) in outputs.into_iter().enumerate() {
+        stats.push(PartitionStat {
+            partition,
+            left_rows,
+            right_rows: 0,
+            out_rows: out.len(),
+            elapsed,
+        });
+        tuples.extend(out);
+    }
+    // Chunks partition the start candidates, and a binding determines
+    // its tuple, so the concatenation is duplicate-free; one
+    // canonicalization pass restores the global order.
+    let merged = Relation::from_tuples(out_arity, tuples).expect("partition arities agree");
+    (merged, stats)
+}
+
+// ---------------------------------------------------------------------------
 // Partition-parallel machinery
 // ---------------------------------------------------------------------------
 
@@ -947,5 +1180,99 @@ mod tests {
                 "merge_semijoin_view on {name}"
             );
         }
+    }
+
+    /// A small directed graph with a hub, a matching, and some chain
+    /// edges — enough structure for non-trivial triangles and 4-cycles.
+    fn edge_relation() -> Relation {
+        let mut rows: Vec<Vec<i64>> = Vec::new();
+        for i in 0..8 {
+            rows.push(vec![0, i]); // hub out-edges
+            rows.push(vec![i, 0]); // hub in-edges
+            rows.push(vec![i, (i + 1) % 8]); // ring
+        }
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        r(&refs)
+    }
+
+    /// The standard cycle spec over `k` binary children in chain
+    /// orientation: child p holds (v_p, v_{p+1 mod k}).
+    fn cycle_spec(k: usize) -> MultiwaySpec {
+        MultiwaySpec {
+            cycle: (0..k)
+                .map(|p| MultiwayLeaf {
+                    child: p,
+                    var_col: 0,
+                    next_col: 1,
+                })
+                .collect(),
+        }
+    }
+
+    /// The multiway kernel equals the pairwise join chain on triangles
+    /// and 4-cycles, byte-identical at every worker count, with
+    /// partition stats accounting for every output tuple.
+    #[test]
+    fn multiway_join_matches_pairwise_chain() {
+        let e = edge_relation();
+
+        // Triangle reference: (E ⋈₂₌₁ E) ⋈_{4=1 ∧ 1=2} E.
+        let tri_ref = ops::join(
+            &ops::join(&e, &e, &Condition::eq(2, 1)),
+            &e,
+            &Condition::eq_pairs([(4, 1), (1, 2)]),
+        );
+        assert!(!tri_ref.is_empty(), "the graph has triangles");
+        // 4-cycle reference: ((E ⋈₂₌₁ E) ⋈₄₌₁ E) ⋈_{6=1 ∧ 1=2} E.
+        let quad_ref = ops::join(
+            &ops::join(
+                &ops::join(&e, &e, &Condition::eq(2, 1)),
+                &e,
+                &Condition::eq(4, 1),
+            ),
+            &e,
+            &Condition::eq_pairs([(6, 1), (1, 2)]),
+        );
+        assert!(!quad_ref.is_empty(), "the graph has 4-cycles");
+
+        for (k, want) in [(3usize, &tri_ref), (4, &quad_ref)] {
+            let children: Vec<&Relation> = vec![&e; k];
+            let spec = cycle_spec(k);
+            for exec in [Execution::RowAtATime, Execution::Vectorized] {
+                for workers in [1usize, 2, 4, 8] {
+                    let (got, stats) = multiway_join(&children, &spec, exec, workers);
+                    assert_eq!(got, *want, "k={k} {exec:?} @{workers}");
+                    if workers <= 1 {
+                        assert!(stats.is_empty(), "serial runs report no partitions");
+                    } else {
+                        assert_eq!(
+                            stats.iter().map(|p| p.out_rows).sum::<usize>(),
+                            got.len(),
+                            "partition stats account for every output tuple"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Degenerate multiway inputs: an empty child annihilates the
+    /// output, and a relation with no closing edges produces nothing.
+    #[test]
+    fn multiway_join_empty_and_closed_cases() {
+        let e = edge_relation();
+        let empty = Relation::empty(2);
+        let spec = cycle_spec(3);
+        for workers in [1usize, 4] {
+            let (got, _) = multiway_join(&[&e, &empty, &e], &spec, Execution::RowAtATime, workers);
+            assert!(got.is_empty(), "empty child @{workers}");
+            assert_eq!(got.arity(), 6);
+        }
+        // An acyclic edge set (a DAG chain 0→1→2→…) has no triangles.
+        let chain_rows: Vec<Vec<i64>> = (0..10).map(|i| vec![i, i + 1]).collect();
+        let chain_refs: Vec<&[i64]> = chain_rows.iter().map(|r| r.as_slice()).collect();
+        let dag = r(&chain_refs);
+        let (got, _) = multiway_join(&[&dag, &dag, &dag], &spec, Execution::Vectorized, 2);
+        assert!(got.is_empty(), "a DAG has no directed triangles");
     }
 }

@@ -31,6 +31,7 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod instrumented;
+pub mod joinorder;
 pub mod kernel;
 pub mod ops;
 pub mod ops_vec;
@@ -47,6 +48,8 @@ pub use error::EvalError;
 pub use exec::Execution;
 pub use explain::explain;
 pub use instrumented::{evaluate_instrumented, EvalReport, NodeStat};
+pub use joinorder::{JoinOrder, DP_MAX_RELATIONS};
+pub use kernel::{multiway_join, MultiwayLeaf, MultiwaySpec};
 pub use ops::PartitionStat;
 pub use par::Parallelism;
 pub use plain::evaluate;
@@ -64,6 +67,7 @@ pub mod prelude {
     };
     pub use crate::exec::Execution;
     pub use crate::instrumented::{evaluate_instrumented, EvalReport, NodeStat};
+    pub use crate::joinorder::JoinOrder;
     pub use crate::ops::PartitionStat;
     pub use crate::par::Parallelism;
     pub use crate::plain::evaluate;

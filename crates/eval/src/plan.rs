@@ -35,13 +35,14 @@
 use crate::error::EvalError;
 use crate::exec::Execution;
 use crate::instrumented::NodeStat;
+use crate::joinorder::{self, JoinOrder};
 use crate::kernel;
 use crate::ops;
 use crate::ops::PartitionStat;
 use crate::ops_vec;
 use crate::par::Parallelism;
-use sj_algebra::{AlgebraError, Condition, Expr, Selection};
-use sj_stats::{CostModel, Estimator, StatsSource};
+use sj_algebra::{AlgebraError, Condition, Expr, JoinGraph, Selection};
+use sj_stats::{CardEst, CostModel, Estimator, StatsSource};
 use sj_storage::{Database, FxHashMap, Relation, Schema, Value};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -96,6 +97,13 @@ pub enum PhysOp {
     NestedLoopSemijoin(Condition),
     /// Hash grouping with a count aggregate.
     HashGroupCount(Vec<usize>),
+    /// Worst-case-optimal multiway join of a cyclic join chain
+    /// ([`kernel::multiway_join`]): the children are the chain's leaves
+    /// in written order, and the spec names the Hamiltonian variable
+    /// cycle over them. Chosen under [`JoinOrder::Dp`] when every
+    /// pairwise order's estimated intermediate exceeds the cycle's AGM
+    /// output bound ([`joinorder::multiway_plan`]).
+    MultiwayJoin(kernel::MultiwaySpec),
 }
 
 impl PhysOp {
@@ -115,6 +123,7 @@ impl PhysOp {
             PhysOp::MergeSemijoin { .. } => "merge-semijoin",
             PhysOp::NestedLoopSemijoin(_) => "nested-loop-semijoin",
             PhysOp::HashGroupCount(_) => "hash-group",
+            PhysOp::MultiwayJoin(_) => "multiway-join",
         }
     }
 }
@@ -160,7 +169,7 @@ pub struct PhysicalPlan {
 impl PhysicalPlan {
     /// Validate `expr` against `schema` and lower it to a physical DAG.
     pub fn of(expr: &Expr, schema: &Schema) -> Result<PhysicalPlan, EvalError> {
-        Self::build(expr, schema, None)
+        Self::build(expr, schema, None, JoinOrder::AsWritten)
     }
 
     /// [`PhysicalPlan::of`] with statistics: every node carries an
@@ -177,31 +186,60 @@ impl PhysicalPlan {
         source: &dyn StatsSource,
         model: &CostModel,
     ) -> Result<PhysicalPlan, EvalError> {
-        Self::build(expr, schema, Some((source, model)))
+        Self::build(expr, schema, Some((source, model)), JoinOrder::default())
+    }
+
+    /// [`PhysicalPlan::of_costed`] with an explicit join-order mode:
+    /// before lowering, every join chain is reassociated into the
+    /// cheapest order the mode's search finds
+    /// ([`joinorder::reorder`] — results stay byte-identical; a
+    /// restoring projection keeps the written column order), and under
+    /// [`JoinOrder::Dp`] cyclic chains whose every pairwise order is
+    /// estimated past the AGM bound collapse into one
+    /// [`PhysOp::MultiwayJoin`].
+    pub fn of_costed_with_order(
+        expr: &Expr,
+        schema: &Schema,
+        source: &dyn StatsSource,
+        model: &CostModel,
+        order: JoinOrder,
+    ) -> Result<PhysicalPlan, EvalError> {
+        Self::build(expr, schema, Some((source, model)), order)
     }
 
     fn build(
         expr: &Expr,
         schema: &Schema,
         stats: Option<(&dyn StatsSource, &CostModel)>,
+        order: JoinOrder,
     ) -> Result<PhysicalPlan, EvalError> {
         expr.arity(schema)?;
+        // Join-order search happens on the logical tree, before
+        // lowering, so hash-consing and operator choice see the chosen
+        // shape. Chains ear-marked for the multiway collapse are left
+        // as written — `lower` recognizes and collapses them whole.
+        let reordered = match stats {
+            Some((src, _)) => joinorder::reorder(expr, schema, src, order),
+            None => None,
+        };
+        let planned_expr: &Expr = reordered.as_ref().unwrap_or(expr);
         let mut planner = Planner {
             schema,
             stats,
+            order,
             nodes: Vec::new(),
             memo: FxHashMap::default(),
         };
-        let root = planner.lower(expr);
+        let root = planner.lower(planned_expr);
         // Occurrence counts need a full tree walk: lowering stops at the
         // first memo hit, so descendants of a shared subtree would be
         // undercounted (R under a second π₁(R) occurrence, say).
-        planner.count_occurrences(expr);
+        planner.count_occurrences(planned_expr);
         planner.annotate_estimates();
         Ok(PhysicalPlan {
             nodes: planner.nodes,
             root,
-            expr_nodes: expr.node_count(),
+            expr_nodes: planned_expr.node_count(),
             cost_model: stats.map(|(_, m)| m.clone()),
         })
     }
@@ -412,6 +450,19 @@ impl PhysicalPlan {
                 (Arc::new(rel), parts)
             }
             PhysOp::HashGroupCount(cols) => serial(ops::group_count(kids[0], cols)),
+            PhysOp::MultiwayJoin(spec) => {
+                // The n-ary node bypasses the binary gate above; gate
+                // it here on the total input size (there is no probe
+                // side — the second operand count is 0).
+                let total: usize = kids.iter().map(|k| k.len()).sum();
+                let worthwhile = match &self.cost_model {
+                    Some(m) => m.parallel_node_worthwhile(total, 0, workers),
+                    None => total >= PAR_MIN_NODE_INPUT,
+                };
+                let w = if worthwhile { workers } else { 1 };
+                let (rel, parts) = kernel::multiway_join(kids, spec, exec, w);
+                (Arc::new(rel), parts)
+            }
         })
     }
 
@@ -624,6 +675,9 @@ struct Planner<'a> {
     /// ([`PhysicalPlan::of_costed`]): a stats source for the leaves and
     /// the cost model that turns estimates into operator choices.
     stats: Option<(&'a dyn StatsSource, &'a CostModel)>,
+    /// Join-order mode the plan was built under; gates the multiway
+    /// collapse (which fires only under [`JoinOrder::Dp`]).
+    order: JoinOrder,
     nodes: Vec<PlanNode>,
     memo: FxHashMap<u64, Vec<(&'a Expr, NodeId)>>,
 }
@@ -639,13 +693,15 @@ impl<'a> Planner<'a> {
             .map(|&(_, id)| id)
     }
 
-    /// Count every occurrence of every subexpression in the tree into the
-    /// corresponding plan node.
+    /// Count every occurrence of every subexpression in the tree into
+    /// the corresponding plan node. Subexpressions without a plan node
+    /// are skipped: the interior joins of a chain collapsed into a
+    /// [`PhysOp::MultiwayJoin`] were never lowered (only the chain root
+    /// and its leaves have nodes).
     fn count_occurrences(&mut self, e: &Expr) {
-        let id = self
-            .find_hashed(e, e.structural_hash())
-            .expect("lowered before counting");
-        self.nodes[id].occurrences += 1;
+        if let Some(id) = self.find_hashed(e, e.structural_hash()) {
+            self.nodes[id].occurrences += 1;
+        }
         for c in e.children() {
             self.count_occurrences(c);
         }
@@ -663,10 +719,17 @@ impl<'a> Planner<'a> {
             Expr::Project(cols, a) => (PhysOp::Project(cols.clone()), vec![self.lower(a)]),
             Expr::Select(sel, a) => (PhysOp::Filter(sel.clone()), vec![self.lower(a)]),
             Expr::ConstTag(c, a) => (PhysOp::Tag(c.clone()), vec![self.lower(a)]),
-            Expr::Join(theta, a, b) => (
-                self.choose_join_for(theta, a, b),
-                vec![self.lower(a), self.lower(b)],
-            ),
+            Expr::Join(theta, a, b) => {
+                if let Some((spec, leaves)) = self.try_multiway(e) {
+                    let children = leaves.into_iter().map(|l| self.lower(l)).collect();
+                    (PhysOp::MultiwayJoin(spec), children)
+                } else {
+                    (
+                        self.choose_join_for(theta, a, b),
+                        vec![self.lower(a), self.lower(b)],
+                    )
+                }
+            }
             Expr::Semijoin(theta, a, b) => (
                 self.choose_semijoin_for(theta, a, b),
                 vec![self.lower(a), self.lower(b)],
@@ -687,6 +750,9 @@ impl<'a> Planner<'a> {
                 PhysOp::HashJoin(_) | PhysOp::MergeJoin { .. } | PhysOp::NestedLoopJoin(_),
                 &[l, r],
             ) => self.nodes[l].arity + self.nodes[r].arity,
+            (PhysOp::MultiwayJoin(_), kids) => {
+                kids.iter().map(|&c| self.nodes[c].arity).sum::<usize>()
+            }
             (_, &[c, ..]) => self.nodes[c].arity,
             _ => unreachable!("every non-scan operator has children"),
         };
@@ -715,6 +781,24 @@ impl<'a> Planner<'a> {
         for (e, id) in ids {
             self.nodes[id].est_rows = estimator.estimate(e).map(|c| c.rows);
         }
+    }
+
+    /// Should this join chain collapse into one worst-case-optimal
+    /// multiway operator? Delegates the decision to
+    /// [`joinorder::multiway_plan`] — the same function the reorder
+    /// pass consulted when it left the chain's shape alone — so the two
+    /// passes cannot disagree. Requires [`JoinOrder::Dp`], statistics,
+    /// and estimates for every leaf.
+    fn try_multiway(&self, e: &'a Expr) -> Option<(kernel::MultiwaySpec, Vec<&'a Expr>)> {
+        if self.order != JoinOrder::Dp {
+            return None;
+        }
+        let (src, _) = self.stats?;
+        let g = JoinGraph::extract(e, self.schema)?;
+        let estimator = Estimator::new(src);
+        let ests: Option<Vec<CardEst>> = g.leaves.iter().map(|l| estimator.estimate(l)).collect();
+        let spec = joinorder::multiway_plan(&g, &ests?)?;
+        Some((spec, g.leaves))
     }
 
     /// Are both join operands **provably** small enough that a

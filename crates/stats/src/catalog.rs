@@ -6,7 +6,7 @@
 //! strong handle to the relation it analyzed, which makes the
 //! allocation identity an **airtight fingerprint**: while the catalog
 //! holds its handle the relation is reader-shared, so *any* later
-//! mutation — `Database::set`, `insert`, `get_mut` — replaces or
+//! mutation — `Database::set`, `insert`, a write through `get_mut` — replaces or
 //! copies the stored `Arc`, and [`StatsCatalog::stats_for`] detects
 //! the new allocation with one `Arc::ptr_eq` and re-analyzes. Stale
 //! statistics are therefore impossible; the price is that a replaced

@@ -40,6 +40,14 @@ const NEQ_SEL: f64 = 0.9;
 pub struct ColEst {
     /// Estimated distinct values.
     pub distinct: f64,
+    /// Estimated count of the column's most frequent value — the skew
+    /// statistic behind [`eq_join_rows_skewed`]. `0.0` means unknown;
+    /// consumers fall back to the uniform `rows / distinct`. Exact for
+    /// base-table columns ([`TableStats`]' `max_freq`), inherited under
+    /// the same structural-copy rule as [`ColEst::histogram`], and
+    /// upper-leaning through filters (a selection can only shrink a
+    /// value's count).
+    pub max_freq: f64,
     /// Histogram inherited from the base relation, when the column is
     /// a structural copy of a base column (selections and reorderings
     /// preserve it; unions, differences and aggregates drop it).
@@ -79,6 +87,7 @@ impl CardEst {
         self.rows = self.rows.min(self.upper);
         for c in &mut self.cols {
             c.distinct = c.distinct.min(self.rows).max(0.0);
+            c.max_freq = c.max_freq.min(self.rows).max(0.0);
         }
         self
     }
@@ -109,6 +118,7 @@ impl<'a> Estimator<'a> {
                         .iter()
                         .map(|c| ColEst {
                             distinct: c.distinct as f64,
+                            max_freq: c.max_freq as f64,
                             histogram: Some(c.histogram.clone()),
                             strings: c.strings.clone(),
                         })
@@ -126,6 +136,7 @@ impl<'a> Estimator<'a> {
                         .zip(&b.cols)
                         .map(|(x, y)| ColEst {
                             distinct: x.distinct + y.distinct,
+                            max_freq: x.max_freq + y.max_freq,
                             histogram: None,
                             strings: None,
                         })
@@ -170,6 +181,8 @@ impl<'a> Estimator<'a> {
                 let mut a = self.estimate(a)?;
                 a.cols.push(ColEst {
                     distinct: 1.0,
+                    // Every row carries the constant.
+                    max_freq: a.rows,
                     histogram: None,
                     strings: None,
                 });
@@ -177,10 +190,7 @@ impl<'a> Estimator<'a> {
             }
             Expr::Join(theta, a, b) => {
                 let (a, b) = (self.estimate(a)?, self.estimate(b)?);
-                let rows = join_rows(theta, &a, &b);
-                let upper = a.upper * b.upper;
-                let cols = a.cols.into_iter().chain(b.cols).collect();
-                CardEst { rows, upper, cols }.clamped()
+                join_est(theta, &a, &b)
             }
             Expr::Semijoin(theta, a, b) => {
                 let (a, b) = (self.estimate(a)?, self.estimate(b)?);
@@ -198,6 +208,7 @@ impl<'a> Estimator<'a> {
                     .iter()
                     .map(|&c| ColEst {
                         distinct: a.cols[c - 1].distinct,
+                        max_freq: 0.0,
                         histogram: None,
                         strings: None,
                     })
@@ -210,6 +221,7 @@ impl<'a> Estimator<'a> {
                 };
                 let count_col = ColEst {
                     distinct: rows.sqrt().max(1.0),
+                    max_freq: 0.0,
                     histogram: None,
                     strings: None,
                 };
@@ -250,6 +262,64 @@ fn selection_selectivity(sel: &Selection, input: &CardEst) -> f64 {
             }
         }
     }
+}
+
+/// Pairwise join estimate — the **order-costing primitive**: the
+/// estimated shape of `a ⋈θ b` from the operand estimates alone. This
+/// is the same combination rule [`Estimator::estimate`] applies to
+/// join nodes, exposed so a join-order search can cost candidate
+/// (partial) orders by folding it over operand estimates without
+/// materializing a candidate expression tree per order. `rows` is
+/// capped by the operand product (the binary AGM bound); `upper` stays
+/// the guaranteed product bound.
+pub fn join_est(theta: &Condition, a: &CardEst, b: &CardEst) -> CardEst {
+    let rows = join_rows(theta, a, b);
+    let upper = a.upper * b.upper;
+    let cols = a.cols.iter().chain(&b.cols).cloned().collect();
+    CardEst { rows, upper, cols }.clamped()
+}
+
+/// The AGM output bound of a **simple cycle** of binary relations
+/// `R₁(x₁,x₂) ⋈ R₂(x₂,x₃) ⋈ … ⋈ Rₖ(xₖ,x₁)`: assigning fractional
+/// edge-cover weight ½ to every edge covers each vertex exactly once,
+/// so the bound is `∏ |Rᵢ|^½` (Atserias–Grohe–Marx). Any pairwise join
+/// order must materialize an open path first, whose estimate can exceed
+/// this — the trigger for the worst-case-optimal multiway join.
+pub fn cycle_agm_bound(rel_rows: impl IntoIterator<Item = f64>) -> f64 {
+    rel_rows
+        .into_iter()
+        .map(|r| r.max(1.0).sqrt())
+        .product::<f64>()
+}
+
+/// Skew-aware estimate of the equality join `a.col_a = b.col_b`
+/// (1-based columns): the true output is `Σ_v cntₐ(v)·cnt_b(v)`, which
+/// is at most `min(|a|·m_b, |b|·m_a)` where `m` is the
+/// most-frequent-value count ([`ColEst::max_freq`]) — tight exactly
+/// when the heavy values align. Under uniform frequencies
+/// (`m = rows/distinct`) this reduces to the classical
+/// `|a|·|b| / max(d_a, d_b)` formula of [`join_est`], so it strictly
+/// generalizes it; on hub-skewed columns it grows with the hub degree,
+/// which the uniform formula averages away.
+///
+/// This is the **multiway-join trigger's** costing primitive: with
+/// consistent uniform statistics (`rows ≤ ∏ distinct` per relation)
+/// the classical pairwise estimates over a cycle can *never* exceed
+/// the cycle's AGM output bound — their product telescopes to at most
+/// `∏|Rᵢ|` — so only a skew statistic can detect the regime where
+/// every pairwise order materializes a super-AGM intermediate.
+pub fn eq_join_rows_skewed(a: &CardEst, a_col: usize, b: &CardEst, b_col: usize) -> f64 {
+    let freq = |e: &CardEst, col: usize| {
+        let c = &e.cols[col - 1];
+        if c.max_freq > 0.0 {
+            c.max_freq
+        } else {
+            e.rows / c.distinct.max(1.0)
+        }
+    };
+    (a.rows * freq(b, b_col))
+        .min(b.rows * freq(a, a_col))
+        .min(a.rows * b.rows)
 }
 
 /// Estimated join output: the distinct-count formula per equality
@@ -317,12 +387,17 @@ pub fn division_rows(r: &TableStats, s_rows: usize, equality: bool) -> f64 {
         return 0.0;
     }
     let p_elem = (g.mean_set / r.distinct(1).max(1) as f64).min(1.0);
-    let mut est = g.groups as f64 * p_elem.powi(s_rows.min(i32::MAX as usize) as i32);
+    // `p_elem > 0` whenever `groups > 0` (every group holds ≥ 1 row),
+    // so the estimate is floored strictly above 0.0: `powi` used to
+    // underflow to exactly 0 for divisors in the thousands, and a hard
+    // 0 reads as "provably empty" downstream (the planner demotes hash
+    // operators on provably tiny inputs). See [`prob_pow`].
+    let mut est = g.groups as f64 * prob_pow(p_elem, s_rows as f64);
     if equality {
         let size_span = (g.max_set - g.min_set + 1) as f64;
         est /= size_span;
     }
-    est.clamp(0.0, g.groups as f64)
+    est.clamp(f64::MIN_POSITIVE, g.groups as f64)
 }
 
 /// Estimated selectivity of `B-set ⊇ D-set` over group pairs: the
@@ -338,7 +413,24 @@ pub fn containment_selectivity(containing: &TableStats, contained: &TableStats) 
         return 0.0;
     }
     let p_elem = (cg.mean_set / containing.distinct(1).max(1) as f64).min(1.0);
-    p_elem.powf(dg.mean_set.max(1.0)).clamp(0.0, 1.0)
+    prob_pow(p_elem, dg.mean_set.max(1.0)).clamp(0.0, 1.0)
+}
+
+/// `p^n` for a probability `p ∈ [0, 1]`, computed in log-space and
+/// floored at the smallest positive double. A strictly positive base
+/// must never collapse to exactly 0.0: estimates of 0 read as
+/// "provably empty" to consumers (hash→nested-loop demotion, cost
+/// ranking), and `powi`/`powf` underflow to hard 0 once the exponent
+/// reaches the low thousands. The log-space form keeps the result
+/// positive and monotone in `n` all the way down.
+fn prob_pow(p: f64, n: f64) -> f64 {
+    if p <= 0.0 {
+        0.0
+    } else if p >= 1.0 || n <= 0.0 {
+        1.0
+    } else {
+        (n * p.ln()).exp().max(f64::MIN_POSITIVE)
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +447,37 @@ mod tests {
         rels.iter()
             .map(|(n, r)| (n.to_string(), Arc::new(TableStats::analyze(r))))
             .collect()
+    }
+
+    #[test]
+    fn skewed_join_estimate_generalizes_the_uniform_formula() {
+        // Uniform columns: the skew-aware bound collapses to the
+        // classical |a|·|b| / max(d_a, d_b).
+        let uni_rows: Vec<[i64; 2]> = (0..100).map(|i| [i % 10, i]).collect();
+        let uni = pairs(&uni_rows);
+        let src = source(&[("U", &uni)]);
+        let e = Estimator::new(&src).estimate(&Expr::rel("U")).unwrap();
+        let skewed = eq_join_rows_skewed(&e, 1, &e, 1);
+        let uniform = join_rows(&Condition::eq(1, 1), &e, &e);
+        assert_eq!(skewed, uniform, "uniform data: both formulas agree");
+
+        // Hub column: value 0 occurs 100× among 199 rows. The uniform
+        // formula averages the hub away; the skew-aware bound sees it.
+        let mut hub_rows: Vec<[i64; 2]> = (0..100).map(|i| [0, i]).collect();
+        hub_rows.extend((1..100).map(|i| [i, 0]));
+        let hub = pairs(&hub_rows);
+        let src = source(&[("H", &hub)]);
+        let h = Estimator::new(&src).estimate(&Expr::rel("H")).unwrap();
+        assert_eq!(h.cols[0].max_freq, 100.0);
+        let skewed = eq_join_rows_skewed(&h, 1, &h, 1);
+        let uniform = join_rows(&Condition::eq(1, 1), &h, &h);
+        assert!(
+            skewed > 5.0 * uniform,
+            "hub blowup detected: skewed {skewed} vs uniform {uniform}"
+        );
+        // …and it is still a sound upper-style estimate, never above
+        // the operand product.
+        assert!(skewed <= h.rows * h.rows);
     }
 
     #[test]
@@ -443,6 +566,82 @@ mod tests {
         assert_eq!(division_rows(&r, 50, false), 0.0);
         // Equality semantics is strictly more selective.
         assert!(division_rows(&r, 2, true) <= est);
+    }
+
+    #[test]
+    fn division_estimate_never_underflows_to_zero_on_huge_divisors() {
+        // Regression: `p_elem.powi(s_rows)` underflowed to exactly 0.0
+        // once the divisor reached the low thousands (0.525^2000 ≈
+        // 1e-560, far below the smallest denormal), and est_rows = 0
+        // reads as "provably empty" — triggering the planner's
+        // hash→nested-loop demotion on precisely the inputs where a
+        // nested loop is catastrophic.
+        //
+        // One group with 2000 distinct elements and one with 100:
+        // distinct(B) = 2000, mean_set = 1050, p_elem = 0.525 < 1,
+        // max_set = 2000 so a 2000-element divisor passes the guards.
+        let mut rows: Vec<[i64; 2]> = (0..2000).map(|v| [1, v]).collect();
+        rows.extend((0..100).map(|v| [2, v]));
+        let r = TableStats::analyze(&pairs(&rows));
+        let at_boundary = division_rows(&r, 2000, false);
+        assert!(
+            at_boundary > 0.0,
+            "underflow boundary must stay positive, got {at_boundary}"
+        );
+        // Equality semantics divides by the size span but must not
+        // collapse to 0 either.
+        assert!(division_rows(&r, 2000, true) > 0.0);
+        // Still monotone: a bigger divisor is never *more* likely
+        // to be contained.
+        assert!(division_rows(&r, 2000, false) <= division_rows(&r, 500, false));
+        // And the provably-empty guards still return hard zeros.
+        assert_eq!(division_rows(&r, 2001, false), 0.0, "divisor > max_set");
+    }
+
+    #[test]
+    fn containment_selectivity_never_underflows_on_huge_mean_sets() {
+        // Same underflow through the powf path: one group of 5000
+        // elements out of a 10000-element domain gives p = 0.5 and
+        // mean_set = 5000 ⇒ 0.5^5000 underflows without log-space.
+        let rows: Vec<[i64; 2]> = (0..5000).map(|v| [1, v * 2]).collect();
+        let t = TableStats::analyze(&pairs(&rows));
+        let sel = containment_selectivity(&t, &t);
+        assert!(sel > 0.0, "powf underflow must be floored, got {sel}");
+        assert!(sel <= 1.0);
+    }
+
+    #[test]
+    fn join_est_matches_the_estimator_join_rule() {
+        let r = pairs(&[[1, 10], [1, 11], [2, 10], [3, 12]]);
+        let s = pairs(&[[10, 7], [11, 7], [12, 8]]);
+        let src = source(&[("R", &r), ("S", &s)]);
+        let e = Estimator::new(&src);
+        let theta = sj_algebra::Condition::eq(2, 1);
+        let via_expr = e
+            .estimate(&Expr::rel("R").join(theta.clone(), Expr::rel("S")))
+            .unwrap();
+        let (er, es) = (
+            e.estimate(&Expr::rel("R")).unwrap(),
+            e.estimate(&Expr::rel("S")).unwrap(),
+        );
+        let via_fold = join_est(&theta, &er, &es);
+        assert_eq!(via_fold.rows, via_expr.rows);
+        assert_eq!(via_fold.upper, via_expr.upper);
+        assert_eq!(via_fold.arity(), via_expr.arity());
+        // AGM cap: never above the operand product.
+        assert!(via_fold.rows <= er.rows * es.rows);
+    }
+
+    #[test]
+    fn cycle_agm_bound_is_the_sqrt_product() {
+        // Triangle of 100-row binary relations: bound = 100^(3/2) = 1000,
+        // far below any pairwise intermediate product of 10_000.
+        let b = cycle_agm_bound([100.0, 100.0, 100.0]);
+        assert!((b - 1000.0).abs() < 1e-6, "bound = {b}");
+        // Empty input: the empty product is 1 (the empty join's row).
+        assert_eq!(cycle_agm_bound([]), 1.0);
+        // Zero-row relations clamp to 1 so the bound stays usable.
+        assert!(cycle_agm_bound([0.0, 4.0]) >= 1.0);
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub mod table;
 
 pub use catalog::{AnalyzeSource, CatalogSource, StatsCatalog, StatsSource};
 pub use cost::{ComplexityClass, CostModel};
-pub use estimate::{containment_selectivity, division_rows, CardEst, ColEst, Estimator};
+pub use estimate::{
+    containment_selectivity, cycle_agm_bound, division_rows, eq_join_rows_skewed, join_est,
+    CardEst, ColEst, Estimator,
+};
 pub use histogram::{Histogram, StringHistogram};
 pub use table::{ColumnStats, GroupStats, TableStats};

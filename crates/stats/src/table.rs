@@ -27,7 +27,7 @@
 //!   the set-join algorithms' work is governed by *group* structure).
 
 use crate::histogram::{Histogram, StringHistogram, DEFAULT_BUCKETS};
-use sj_storage::{ColumnData, FxHashSet, Relation, StrDict, Value};
+use sj_storage::{ColumnData, FxHashMap, Relation, StrDict, Value};
 use std::sync::Arc;
 
 /// Statistics for one column of a relation.
@@ -35,6 +35,12 @@ use std::sync::Arc;
 pub struct ColumnStats {
     /// Exact number of distinct values.
     pub distinct: usize,
+    /// Exact count of the column's most frequent value — the skew
+    /// statistic. Uniform columns have `max_freq ≈ rows / distinct`;
+    /// a hub value (the regime where pairwise join plans blow past the
+    /// AGM bound and the multiway join pays off) shows up here while
+    /// the equi-width histogram smears it across a bucket.
+    pub max_freq: usize,
     /// Smallest value (None for an empty relation).
     pub min: Option<Value>,
     /// Largest value (None for an empty relation).
@@ -108,35 +114,47 @@ impl TableStats {
         }
     }
 
-    /// Integer column: fused distinct/min/max scan over the dense
-    /// `i64` slice, then one counting scan for the histogram.
+    /// Integer column: fused distinct/max-frequency/min/max scan over
+    /// the dense `i64` slice, then one counting scan for the histogram.
     fn analyze_int(v: &[i64], leading: bool) -> ColumnStats {
         let Some((&first, rest)) = v.split_first() else {
             return Self::empty_column();
         };
         let (mut lo, mut hi) = (first, first);
         let mut distinct = 1usize;
+        let mut max_freq = 1usize;
+        let mut run = 1usize;
         let mut prev = first;
-        let mut seen: FxHashSet<i64> = FxHashSet::default();
+        let mut counts: FxHashMap<i64, u32> = FxHashMap::default();
         if !leading {
-            seen.reserve(v.len());
-            seen.insert(first);
+            counts.reserve(v.len());
+            counts.insert(first, 1);
         }
         for &x in rest {
             lo = lo.min(x);
             hi = hi.max(x);
             if leading {
-                // Sorted order: distinct = run count.
+                // Sorted order: distinct = run count, max frequency =
+                // longest run.
                 if x != prev {
                     distinct += 1;
                     prev = x;
+                    run = 1;
+                } else {
+                    run += 1;
+                    max_freq = max_freq.max(run);
                 }
-            } else if seen.insert(x) {
-                distinct += 1;
+            } else {
+                *counts.entry(x).or_insert(0) += 1;
             }
+        }
+        if !leading {
+            distinct = counts.len();
+            max_freq = counts.values().copied().max().unwrap_or(1) as usize;
         }
         ColumnStats {
             distinct,
+            max_freq,
             min: Some(Value::int(lo)),
             max: Some(Value::int(hi)),
             histogram: Histogram::build_range(v.iter().copied(), lo, hi, DEFAULT_BUCKETS),
@@ -154,9 +172,9 @@ impl TableStats {
         };
         let (mut lo, mut hi) = (first, first);
         let mut distinct = 1usize;
+        let mut counts = vec![0u32; dict.len()];
+        counts[first as usize] = 1;
         let mut prev = first;
-        let mut seen = vec![false; dict.len()];
-        seen[first as usize] = true;
         for &x in rest {
             lo = lo.min(x);
             hi = hi.max(x);
@@ -165,12 +183,15 @@ impl TableStats {
                     distinct += 1;
                     prev = x;
                 }
-            } else if !std::mem::replace(&mut seen[x as usize], true) {
+            } else if counts[x as usize] == 0 {
                 distinct += 1;
             }
+            counts[x as usize] += 1;
         }
+        let max_freq = counts.iter().copied().max().unwrap_or(1) as usize;
         ColumnStats {
             distinct,
+            max_freq,
             min: Some(Value::Str(dict.get(lo).clone())),
             max: Some(Value::Str(dict.get(hi).clone())),
             // No integer values: the classic histogram stays empty, the
@@ -184,10 +205,12 @@ impl TableStats {
     /// the histogram needs the integer range first).
     fn analyze_mixed(vals: &[Value], leading: bool) -> ColumnStats {
         let mut runs = 0usize;
+        let mut run = 0usize;
+        let mut max_freq = 0usize;
         let mut prev: Option<&Value> = None;
-        let mut seen: FxHashSet<&Value> = FxHashSet::default();
+        let mut counts: FxHashMap<&Value, u32> = FxHashMap::default();
         if !leading {
-            seen.reserve(vals.len());
+            counts.reserve(vals.len());
         }
         let mut min: Option<&Value> = None;
         let mut max: Option<&Value> = None;
@@ -197,9 +220,13 @@ impl TableStats {
                 if prev != Some(v) {
                     runs += 1;
                     prev = Some(v);
+                    run = 1;
+                } else {
+                    run += 1;
                 }
+                max_freq = max_freq.max(run);
             } else {
-                seen.insert(v);
+                *counts.entry(v).or_insert(0) += 1;
             }
             if min.is_none_or(|m| v < m) {
                 min = Some(v);
@@ -224,7 +251,12 @@ impl TableStats {
             None => Histogram::empty(),
         };
         ColumnStats {
-            distinct: if leading { runs } else { seen.len() },
+            distinct: if leading { runs } else { counts.len() },
+            max_freq: if leading {
+                max_freq
+            } else {
+                counts.values().copied().max().unwrap_or(0) as usize
+            },
             min: min.cloned(),
             max: max.cloned(),
             histogram,
@@ -235,6 +267,7 @@ impl TableStats {
     fn empty_column() -> ColumnStats {
         ColumnStats {
             distinct: 0,
+            max_freq: 0,
             min: None,
             max: None,
             histogram: Histogram::empty(),
@@ -349,6 +382,10 @@ mod tests {
         assert_eq!(s.distinct(1), 4);
         assert_eq!(s.columns[0].min, Some(Value::int(1)));
         assert_eq!(s.columns[1].max, Some(Value::int(13)));
+        // Max frequency: column 0 from runs (leading), column 1 from
+        // the count map (value 10 occurs three times).
+        assert_eq!(s.columns[0].max_freq, 3);
+        assert_eq!(s.columns[1].max_freq, 3);
         let g = s.group.as_ref().unwrap();
         assert_eq!(g.groups, 3);
         assert_eq!(g.min_set, 1);
@@ -374,6 +411,9 @@ mod tests {
         assert_eq!((g.min_set, g.max_set), (1, 1));
         assert_eq!(g.mean_set_sq, 1.0);
         assert_eq!(s.distinct(1), 1);
+        // A constant column is one hub; an all-distinct column has none.
+        assert_eq!(s.columns[0].max_freq, 1);
+        assert_eq!(s.columns[1].max_freq, 50);
     }
 
     #[test]

@@ -104,14 +104,17 @@ impl Database {
     /// The database's **mutation epoch**: a monotonic counter bumped by
     /// every mutating operation ([`Database::set`],
     /// [`Database::set_shared`], [`Database::remove`],
-    /// [`Database::insert`], [`Database::get_mut`]). Two reads of the
-    /// same epoch are guaranteed to see identical contents; caches
-    /// (plans, results, statistics) use it as a cheap freshness stamp.
+    /// [`Database::insert`], and writes through
+    /// [`Database::get_mut`]). Two reads of the same epoch are
+    /// guaranteed to see identical contents; caches (plans, results,
+    /// statistics) use it as a cheap freshness stamp.
     ///
-    /// Handing out `&mut Relation` via [`Database::get_mut`] counts as a
-    /// mutation even if the caller never writes — the epoch is
-    /// deliberately conservative: it may advance without a content
-    /// change, but contents can never change without it advancing.
+    /// Handing out a [`RelationMut`] guard via [`Database::get_mut`]
+    /// does **not** count as a mutation by itself: the guard bumps the
+    /// epoch only when it is actually dereferenced mutably. A
+    /// read-only pass through `get_mut` therefore leaves the epoch —
+    /// and every cache keyed on it — untouched, while contents can
+    /// still never change without the epoch advancing.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
@@ -142,15 +145,24 @@ impl Database {
             .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
     }
 
-    /// Mutable access to a relation. Copy-on-write via [`Arc::make_mut`]:
-    /// when the `Arc` is uniquely held (no evaluator holds a
-    /// [`Database::get_shared`] handle) the stored allocation is mutated
-    /// in place — **no clone** — and only a relation still shared with a
-    /// reader is copied before mutation.
-    pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
+    /// Mutable access to a relation, as a write-tracking [`RelationMut`]
+    /// guard. Copy-on-write via [`Arc::make_mut`]: when the `Arc` is
+    /// uniquely held (no evaluator holds a [`Database::get_shared`]
+    /// handle) the stored allocation is mutated in place — **no clone**
+    /// — and only a relation still shared with a reader is copied
+    /// before mutation.
+    ///
+    /// Both the copy-on-write and the [`Database::epoch`] bump are
+    /// deferred to the guard's first *mutable* dereference: merely
+    /// obtaining (or reading through) the guard mutates nothing,
+    /// advances no epoch, and invalidates no cache.
+    pub fn get_mut(&mut self, name: &str) -> Option<RelationMut<'_>> {
         let rel = self.relations.get_mut(name)?;
-        self.epoch += 1;
-        Some(Arc::make_mut(rel))
+        Some(RelationMut {
+            rel,
+            epoch: &mut self.epoch,
+            wrote: false,
+        })
     }
 
     /// Insert a tuple into relation `name` (which must exist).
@@ -263,6 +275,50 @@ impl Database {
     /// Number of relation names.
     pub fn relation_count(&self) -> usize {
         self.relations.len()
+    }
+}
+
+/// A write-tracking mutable guard over one relation, handed out by
+/// [`Database::get_mut`].
+///
+/// Dereferencing it immutably reads the stored relation in place — no
+/// copy, no epoch bump. The first **mutable** dereference is the moment
+/// the access becomes a mutation: the guard then bumps
+/// [`Database::epoch`] (exactly once per guard) and performs the
+/// copy-on-write `Arc::make_mut`, cloning the relation only if a
+/// [`Database::get_shared`] handle still aliases it.
+///
+/// This keeps the epoch honest in both directions: contents can never
+/// change without the epoch advancing, and a read-only pass through
+/// `get_mut` no longer advances it spuriously (which used to invalidate
+/// `sj-server` result-cache entries for free).
+pub struct RelationMut<'a> {
+    rel: &'a mut Arc<Relation>,
+    epoch: &'a mut u64,
+    wrote: bool,
+}
+
+impl std::ops::Deref for RelationMut<'_> {
+    type Target = Relation;
+
+    fn deref(&self) -> &Relation {
+        self.rel
+    }
+}
+
+impl std::ops::DerefMut for RelationMut<'_> {
+    fn deref_mut(&mut self) -> &mut Relation {
+        if !self.wrote {
+            self.wrote = true;
+            *self.epoch += 1;
+        }
+        Arc::make_mut(self.rel)
+    }
+}
+
+impl fmt::Debug for RelationMut<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
     }
 }
 
@@ -430,7 +486,7 @@ mod tests {
         // No outstanding shared handle: the Arc is uniquely held, so
         // Arc::make_mut must hand back the stored allocation itself.
         let before = d.get("R").unwrap() as *const Relation;
-        let via_mut = d.get_mut("R").unwrap() as *mut Relation as *const Relation;
+        let via_mut = &mut *d.get_mut("R").unwrap() as *mut Relation as *const Relation;
         assert_eq!(before, via_mut, "unique handle must be mutated in place");
         assert_eq!(d.get("R").unwrap() as *const Relation, before);
         // Mutation through get_mut keeps the allocation too.
@@ -443,12 +499,12 @@ mod tests {
     fn get_mut_on_shared_handle_copies_once() {
         let mut d = fig2();
         let shared = d.get_shared("R").unwrap();
-        // Shared with a reader: get_mut must copy on write...
-        let cow = d.get_mut("R").unwrap() as *mut Relation as *const Relation;
+        // Shared with a reader: a mutable deref must copy on write...
+        let cow = &mut *d.get_mut("R").unwrap() as *mut Relation as *const Relation;
         assert!(!std::ptr::eq(cow, shared.as_ref() as *const Relation));
         drop(shared);
         // ...and once the handle is gone, the copy is unique again.
-        let again = d.get_mut("R").unwrap() as *mut Relation as *const Relation;
+        let again = &mut *d.get_mut("R").unwrap() as *mut Relation as *const Relation;
         assert_eq!(cow, again, "second get_mut must not clone again");
     }
 
@@ -467,14 +523,22 @@ mod tests {
         d.insert("X", tuple![2]).unwrap();
         assert_eq!(d.epoch(), e0 + 2);
         d.get_mut("X").unwrap();
-        assert_eq!(d.epoch(), e0 + 3, "handing out &mut counts");
+        assert_eq!(d.epoch(), e0 + 2, "an unused guard is not a mutation");
+        d.get_mut("X").unwrap().insert(tuple![3]).unwrap();
+        assert_eq!(d.epoch(), e0 + 3, "a write through the guard counts");
+        {
+            let mut guard = d.get_mut("X").unwrap();
+            guard.remove(&tuple![3]);
+            guard.insert(tuple![4]).unwrap();
+        }
+        assert_eq!(d.epoch(), e0 + 4, "one guard bumps at most once");
         let shared = d.get_shared("X").unwrap();
         d.set_shared("Y", shared);
-        assert_eq!(d.epoch(), e0 + 4);
-        d.remove("Y").unwrap();
         assert_eq!(d.epoch(), e0 + 5);
+        d.remove("Y").unwrap();
+        assert_eq!(d.epoch(), e0 + 6);
         assert!(d.remove("no-such").is_none());
-        assert_eq!(d.epoch(), e0 + 5, "failed remove is not a mutation");
+        assert_eq!(d.epoch(), e0 + 6, "failed remove is not a mutation");
         // Epoch is not part of equality: same contents, different history.
         let again = fig2();
         let mut mutated = fig2();
@@ -482,6 +546,40 @@ mod tests {
         assert_eq!(fig2(), again);
         assert_ne!(mutated.epoch(), again.epoch());
         assert_ne!(mutated, again, "contents differ");
+    }
+
+    #[test]
+    fn get_mut_without_write_leaves_epoch_and_sharing_alone() {
+        // Regression: get_mut used to bump the epoch on access, so any
+        // read-through-get_mut path spuriously invalidated epoch-stamped
+        // caches (sj-server result entries). The guard defers the bump
+        // to the first mutable dereference.
+        let mut d = fig2();
+        let shared = d.get_shared("R").unwrap();
+        let e0 = d.epoch();
+        {
+            let guard = d.get_mut("R").unwrap();
+            // Read-only uses of the guard: immutable deref only.
+            assert_eq!(guard.len(), 2);
+            assert_eq!(guard.arity(), 3);
+        }
+        assert_eq!(d.epoch(), e0, "no write ⇒ no epoch bump");
+        // No copy-on-write happened either: the shared handle still
+        // aliases the stored relation.
+        assert!(std::ptr::eq(shared.as_ref(), d.get("R").unwrap()));
+        // A snapshot taken before such an access stays provably fresh.
+        let snap = d.snapshot();
+        d.get_mut("R").unwrap();
+        assert_eq!(snap.epoch(), d.epoch(), "cached results stay valid");
+        // An actual write through the guard still does both.
+        d.get_mut("R")
+            .unwrap()
+            .insert(tuple!["x", "y", "z"])
+            .unwrap();
+        assert_eq!(d.epoch(), e0 + 1);
+        assert!(!std::ptr::eq(shared.as_ref(), d.get("R").unwrap()));
+        assert_eq!(shared.len(), 2);
+        assert_eq!(d.get("R").unwrap().len(), 3);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod value;
 pub use column::{
     Chunk, ColGather, ColSlice, ColsView, ColumnData, Columns, StrDict, DEFAULT_CHUNK_ROWS,
 };
-pub use database::{Database, Snapshot};
+pub use database::{Database, RelationMut, Snapshot};
 pub use error::StorageError;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;

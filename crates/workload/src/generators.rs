@@ -6,6 +6,7 @@
 //! accidentally across roles.
 
 use crate::rng::{SplitMix64, Zipf};
+use sj_algebra::{Condition, Expr};
 use sj_storage::{Database, Relation, Tuple, Value};
 
 /// Offset separating element values from group keys.
@@ -196,6 +197,107 @@ impl SetJoinWorkload {
     }
 }
 
+/// Edge-value distribution for cyclic-join workloads.
+#[derive(Clone, Copy, Debug)]
+pub enum EdgeDist {
+    /// Endpoints uniform over the vertex domain.
+    Uniform,
+    /// Both endpoints Zipf(θ)-distributed: low-numbered vertices become
+    /// hubs, so the cyclic join's pairwise intermediates blow up while the
+    /// AGM output bound stays modest — the regime where the planner should
+    /// switch to the multiway operator.
+    Zipf(f64),
+}
+
+/// Parameters of a cyclic-join workload: `cycle_len` binary edge tables
+/// `E0(v0,v1), E1(v1,v2), …, E{k-1}(v{k-1},v0)` joined in a cycle
+/// (triangles for `cycle_len = 3`, 4-cycles for 4, …).
+#[derive(Clone, Debug)]
+pub struct CyclicWorkload {
+    /// Number of relations in the cycle (≥ 3).
+    pub cycle_len: usize,
+    /// Edges drawn per table (duplicates collapse under set semantics).
+    pub edges_per_table: usize,
+    /// Vertex domain size.
+    pub vertices: usize,
+    /// Endpoint distribution.
+    pub edges: EdgeDist,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for CyclicWorkload {
+    fn default() -> Self {
+        CyclicWorkload {
+            cycle_len: 3,
+            edges_per_table: 512,
+            vertices: 256,
+            edges: EdgeDist::Uniform,
+            seed: 0xC7_C1_EC_A5,
+        }
+    }
+}
+
+impl CyclicWorkload {
+    /// Table names `E0..E{k-1}`, in cycle order.
+    pub fn table_names(&self) -> Vec<String> {
+        (0..self.cycle_len).map(|i| format!("E{i}")).collect()
+    }
+
+    /// Generate the edge tables, in cycle order.
+    pub fn generate(&self) -> Vec<Relation> {
+        assert!(self.cycle_len >= 3, "a cycle needs at least 3 relations");
+        let mut rng = SplitMix64::new(self.seed);
+        let zipf = match self.edges {
+            EdgeDist::Zipf(theta) => Some(Zipf::new(self.vertices.max(1), theta)),
+            EdgeDist::Uniform => None,
+        };
+        let endpoint = |rng: &mut SplitMix64| -> i64 {
+            match &zipf {
+                Some(z) => 1 + z.sample(rng) as i64,
+                None => 1 + rng.below(self.vertices.max(1) as u64) as i64,
+            }
+        };
+        (0..self.cycle_len)
+            .map(|_| {
+                let rows = (0..self.edges_per_table)
+                    .map(|_| Tuple::from_ints(&[endpoint(&mut rng), endpoint(&mut rng)]));
+                Relation::from_tuples(2, rows).expect("binary rows")
+            })
+            .collect()
+    }
+
+    /// The workload as a database over `{E0/2, …, E{k-1}/2}`.
+    pub fn database(&self) -> Database {
+        let mut db = Database::new();
+        for (name, rel) in self.table_names().into_iter().zip(self.generate()) {
+            db.set(&name, rel);
+        }
+        db
+    }
+
+    /// The cycle query in **as-written** left-deep chain order
+    /// `(((E0 ⋈ E1) ⋈ E2) ⋈ …)`, with the closing relation's second column
+    /// equated back to the first — exactly the shape the join-order
+    /// enumerator and the multiway trigger inspect.
+    pub fn query(&self) -> Expr {
+        let names = self.table_names();
+        let mut expr = Expr::rel(&names[0]);
+        for (i, name) in names.iter().enumerate().skip(1) {
+            let closing = i == self.cycle_len - 1;
+            let cond = if closing {
+                // Closing edge: also tie its destination back to v0.
+                Condition::eq_pairs([(2 * i, 1), (1, 2)])
+            } else {
+                // Left's rightmost column (v_i) meets the new edge's source.
+                Condition::eq(2 * i, 1)
+            };
+            expr = expr.join(cond, Expr::rel(name));
+        }
+        expr
+    }
+}
+
 /// A random database over `{R/2, S/2, T/1}` with values in a small
 /// integer domain — the seed family for the dichotomy analyzer's witness
 /// search and for randomized correctness tests.
@@ -381,6 +483,71 @@ mod tests {
         }
         let hottest = counts.values().copied().max().unwrap();
         assert!(hottest > 40, "hottest element count {hottest}");
+    }
+
+    #[test]
+    fn cyclic_workload_query_counts_triangles() {
+        let w = CyclicWorkload {
+            cycle_len: 3,
+            edges_per_table: 60,
+            vertices: 12,
+            edges: EdgeDist::Uniform,
+            seed: 11,
+        };
+        let db = w.database();
+        let out = sj_eval::evaluate(&w.query(), &db).expect("cycle evaluates");
+        assert_eq!(out.arity(), 6);
+        // Brute-force reference: v0→v1 ∈ E0, v1→v2 ∈ E1, v2→v0 ∈ E2.
+        let (e0, e1, e2) = (
+            db.get("E0").unwrap(),
+            db.get("E1").unwrap(),
+            db.get("E2").unwrap(),
+        );
+        let mut expect = 0usize;
+        for a in e0.iter() {
+            for b in e1.iter() {
+                if b[0] != a[1] {
+                    continue;
+                }
+                for c in e2.iter() {
+                    if c[0] == b[1] && c[1] == a[0] {
+                        expect += 1;
+                    }
+                }
+            }
+        }
+        assert!(expect > 0, "workload should contain triangles");
+        assert_eq!(out.len(), expect);
+    }
+
+    #[test]
+    fn cyclic_workload_four_cycle_and_determinism() {
+        let w = CyclicWorkload {
+            cycle_len: 4,
+            ..CyclicWorkload::default()
+        };
+        assert_eq!(w.generate(), w.generate());
+        assert_eq!(w.table_names(), ["E0", "E1", "E2", "E3"]);
+        let out = sj_eval::evaluate(&w.query(), &w.database()).expect("4-cycle evaluates");
+        assert_eq!(out.arity(), 8);
+    }
+
+    #[test]
+    fn zipf_cyclic_workload_has_hub_vertices() {
+        let w = CyclicWorkload {
+            edges: EdgeDist::Zipf(1.3),
+            ..CyclicWorkload::default()
+        };
+        let tables = w.generate();
+        let hottest = tables[0]
+            .iter()
+            .filter(|t| t[0] == Value::int(1) || t[1] == Value::int(1))
+            .count();
+        assert!(
+            hottest > tables[0].len() / 10,
+            "vertex 1 should be a hub, touched {hottest}/{}",
+            tables[0].len()
+        );
     }
 
     #[test]

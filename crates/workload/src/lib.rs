@@ -6,8 +6,10 @@
 //!   Fig. 4 expression and the Example 3 beer-drinkers instance.
 //! * [`generators`] — division workloads (group count, divisor size,
 //!   containment fraction), set-join workloads (set-size and element
-//!   distributions incl. Zipf), random databases for property tests, and
-//!   scaling series for the growth experiments.
+//!   distributions incl. Zipf), cyclic-join workloads (triangles,
+//!   4-cycles, zipf-skewed hub edges) for the join-order experiments,
+//!   random databases for property tests, and scaling series for the
+//!   growth experiments.
 //! * [`serving`] — client traces for the serving experiments: a
 //!   zipf-skewed hot query set interleaved with writes and ANALYZEs.
 
@@ -17,8 +19,8 @@ pub mod rng;
 pub mod serving;
 
 pub use generators::{
-    adversarial_division_series, division_series, random_database, DivisionWorkload, ElementDist,
-    SetJoinWorkload, SetSizeDist, ELEMENT_BASE,
+    adversarial_division_series, division_series, random_database, CyclicWorkload,
+    DivisionWorkload, EdgeDist, ElementDist, SetJoinWorkload, SetSizeDist, ELEMENT_BASE,
 };
 pub use rng::{SplitMix64, Zipf};
 pub use serving::{ServingWorkload, TraceOp};

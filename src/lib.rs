@@ -72,7 +72,7 @@ pub use sj_storage as storage;
 pub use sj_workload as workload;
 
 pub use sj_eval::{
-    Engine, Execution, Instrument, Parallelism, Query, QueryOutput, StatsMode, Strategy,
+    Engine, Execution, Instrument, JoinOrder, Parallelism, Query, QueryOutput, StatsMode, Strategy,
 };
 pub use sj_setjoin::Registry;
 pub use sj_stats::{CostModel, TableStats};
@@ -82,7 +82,8 @@ pub mod prelude {
     pub use sj_algebra::{Condition, Expr, OptimizeLevel, Pass, Pipeline};
     pub use sj_eval::{
         evaluate, evaluate_instrumented, AlgorithmChoice, Engine, EvalReport, Execution,
-        Instrument, Parallelism, Query, QueryOutput, Report, SetOpOutput, StatsMode, Strategy,
+        Instrument, JoinOrder, Parallelism, Query, QueryOutput, Report, SetOpOutput, StatsMode,
+        Strategy,
     };
     pub use sj_setjoin::{
         divide, set_join, ComplexityClass, DivisionSemantics, Registry, SetPredicate,

@@ -1,0 +1,276 @@
+//! Differential suite for the join-order enumerator and the multiway
+//! join: every [`JoinOrder`] mode must be byte-identical to the
+//! as-written order across `Execution::{RowAtATime, Vectorized}` ×
+//! `Threads{1, 4}` — reordering and the worst-case-optimal operator are
+//! pure plan-level decisions, invisible in the answer. The fixed cases
+//! cover the shapes the enumerator finds degenerate (single relations,
+//! self-joins, empty inputs, stars, collapsing chains, expressions
+//! *around* the join chain) plus the skewed triangle where the AGM
+//! trigger actually fires; the property test runs the same matrix over
+//! random small relations.
+//!
+//! `SETJOINS_TEST_THREADS` narrows the worker counts exactly as in
+//! `tests/parallel.rs`.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+use setjoins::prelude::*;
+use setjoins::{eval::Execution, JoinOrder};
+use sj_workload::{CyclicWorkload, EdgeDist};
+
+const MODES: [JoinOrder; 3] = [JoinOrder::AsWritten, JoinOrder::Greedy, JoinOrder::Dp];
+
+/// Worker counts under test.
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("SETJOINS_TEST_THREADS") {
+        Ok(s) => {
+            let counts: Vec<usize> = s
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n| n >= 1)
+                .collect();
+            assert!(
+                !counts.is_empty(),
+                "SETJOINS_TEST_THREADS={s:?} has no usable counts"
+            );
+            counts
+        }
+        Err(_) => vec![1, 4],
+    }
+}
+
+/// Run `e` under every (mode × stats × execution × workers) cell and
+/// assert each answer byte-identical to the as-written baseline.
+fn differential(name: &str, db: &Database, e: &Expr) {
+    let baseline = Engine::new(db.clone())
+        .stats(StatsMode::Analyze)
+        .join_order(JoinOrder::AsWritten)
+        .query(e.clone())
+        .run()
+        .unwrap()
+        .relation;
+    for mode in MODES {
+        for stats in [StatsMode::Off, StatsMode::Analyze] {
+            for exec in [Execution::RowAtATime, Execution::Vectorized] {
+                for &workers in &worker_counts() {
+                    let out = Engine::new(db.clone())
+                        .stats(stats)
+                        .join_order(mode)
+                        .execution(exec)
+                        .parallelism(Parallelism::Threads(workers))
+                        .query(e.clone())
+                        .run()
+                        .unwrap();
+                    assert_eq!(
+                        out.relation, baseline,
+                        "{name}: {mode} × {stats} × {exec:?} × {workers}w diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn pairs(rows: impl IntoIterator<Item = [i64; 2]>) -> Relation {
+    Relation::from_tuples(2, rows.into_iter().map(|r| Tuple::from_ints(&r))).unwrap()
+}
+
+fn chain_db() -> Database {
+    let mut db = Database::new();
+    db.set("R", pairs((0..600).map(|i| [i % 50, i])));
+    db.set("S", pairs((0..12).map(|i| [i, i % 3])));
+    db.set("T", pairs((0..3).map(|i| [i, i])));
+    db
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate shapes the enumerator must leave intact
+// ---------------------------------------------------------------------------
+
+#[test]
+fn single_relations_and_non_joins_are_untouched() {
+    let db = chain_db();
+    for (name, e) in [
+        ("scan", Expr::rel("R")),
+        ("select", Expr::rel("R").select_lt(1, 2)),
+        ("project", Expr::rel("R").project([2, 1])),
+        ("union", Expr::rel("S").union(Expr::rel("T"))),
+        ("diff", Expr::rel("S").diff(Expr::rel("T"))),
+        (
+            "semijoin",
+            Expr::rel("R").semijoin(Condition::eq(1, 1), Expr::rel("S")),
+        ),
+    ] {
+        differential(name, &db, &e);
+    }
+}
+
+#[test]
+fn two_relation_joins_and_self_joins_agree() {
+    let db = chain_db();
+    for (name, e) in [
+        (
+            "binary join",
+            Expr::rel("R").join(Condition::eq(1, 2), Expr::rel("S")),
+        ),
+        (
+            "self join",
+            Expr::rel("S").join(Condition::eq(2, 1), Expr::rel("S")),
+        ),
+        (
+            "triangle self join",
+            Expr::rel("S")
+                .join(Condition::eq(2, 1), Expr::rel("S"))
+                .join(Condition::eq_pairs([(4, 1), (1, 2)]), Expr::rel("S")),
+        ),
+        (
+            "theta-only join",
+            Expr::rel("S").join(Condition::lt(1, 1), Expr::rel("T")),
+        ),
+    ] {
+        differential(name, &db, &e);
+    }
+}
+
+#[test]
+fn empty_inputs_stay_empty_in_every_mode() {
+    let mut db = chain_db();
+    db.set("R", Relation::empty(2));
+    let chain = Expr::rel("R")
+        .join(Condition::eq(1, 2), Expr::rel("S"))
+        .join(Condition::eq(3, 1), Expr::rel("T"));
+    differential("empty-leftmost", &db, &chain);
+    let mut db2 = chain_db();
+    db2.set("T", Relation::empty(2));
+    differential("empty-rightmost", &db2, &chain);
+}
+
+#[test]
+fn chains_stars_and_wrapped_joins_agree() {
+    let db = chain_db();
+    let chain = Expr::rel("R")
+        .join(Condition::eq(1, 2), Expr::rel("S"))
+        .join(Condition::eq(3, 1), Expr::rel("T"));
+    // A star: every arm joins the hub's first column — acyclic, so the
+    // multiway trigger must never fire on it.
+    let star = Expr::rel("R")
+        .join(Condition::eq(1, 1), Expr::rel("S"))
+        .join(Condition::eq(1, 1), Expr::rel("T"));
+    // Expressions around and inside the chain: the reorderer recurses
+    // through non-join nodes and restores the written column order.
+    let wrapped = chain.clone().project([5, 1, 3]).select_lt(2, 1);
+    let inner = Expr::rel("R")
+        .select_lt(1, 2)
+        .join(Condition::eq(1, 2), Expr::rel("S").project([2, 1]))
+        .join(Condition::eq(3, 2), Expr::rel("T"));
+    for (name, e) in [
+        ("badly written chain", chain),
+        ("star", star),
+        ("wrapped chain", wrapped),
+        ("chain of transformed leaves", inner),
+    ] {
+        differential(name, &db, &e);
+    }
+}
+
+#[test]
+fn skewed_triangles_agree_where_the_multiway_operator_fires() {
+    let w = CyclicWorkload {
+        cycle_len: 3,
+        edges_per_table: 600,
+        vertices: 128,
+        edges: EdgeDist::Zipf(1.3),
+        seed: 0x7A1,
+    };
+    let db = w.database();
+    let q = w.query();
+    // The suite's premise: this workload actually routes Dp through the
+    // multiway operator (skew pushes every pairwise estimate past the
+    // AGM bound) — otherwise the differential below tests nothing new.
+    let explained = Engine::new(db.clone())
+        .stats(StatsMode::Analyze)
+        .join_order(JoinOrder::Dp)
+        .query(q.clone())
+        .explain()
+        .unwrap();
+    assert!(
+        explained.contains("multiway-join"),
+        "AGM trigger stayed cold on the skewed triangle:\n{explained}"
+    );
+    differential("skewed triangle", &db, &q);
+
+    let four = CyclicWorkload {
+        cycle_len: 4,
+        edges_per_table: 300,
+        vertices: 64,
+        edges: EdgeDist::Zipf(1.2),
+        seed: 0x7A2,
+    };
+    differential("skewed 4-cycle", &four.database(), &four.query());
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random relations through the whole knob matrix
+// ---------------------------------------------------------------------------
+
+fn arb_relation(arity: usize) -> impl PropStrategy<Value = Relation> {
+    proptest::collection::vec(proptest::collection::vec(0i64..6, arity), 0..14).prop_map(
+        move |rows| {
+            Relation::from_tuples(arity, rows.into_iter().map(|r| Tuple::from_ints(&r))).unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random ternary chains and triangle closures: every mode at every
+    /// execution and worker count equals the as-written answer.
+    #[test]
+    fn modes_agree_on_random_databases(
+        r in arb_relation(2),
+        s in arb_relation(2),
+        t in arb_relation(2),
+        qi in 0usize..3,
+    ) {
+        let mut db = Database::new();
+        db.set("R", r);
+        db.set("S", s);
+        db.set("T", t);
+        let chain = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .join(Condition::eq(4, 1), Expr::rel("T"));
+        let cycle = Expr::rel("R")
+            .join(Condition::eq(2, 1), Expr::rel("S"))
+            .join(Condition::eq_pairs([(4, 1), (1, 2)]), Expr::rel("T"));
+        let star = Expr::rel("R")
+            .join(Condition::eq(1, 1), Expr::rel("S"))
+            .join(Condition::eq(1, 1), Expr::rel("T"));
+        let e = [chain, cycle, star][qi].clone();
+        let baseline = Engine::new(db.clone())
+            .stats(StatsMode::Analyze)
+            .join_order(JoinOrder::AsWritten)
+            .query(e.clone())
+            .run()
+            .unwrap()
+            .relation;
+        for mode in MODES {
+            for exec in [Execution::RowAtATime, Execution::Vectorized] {
+                for &workers in &worker_counts() {
+                    let out = Engine::new(db.clone())
+                        .stats(StatsMode::Analyze)
+                        .join_order(mode)
+                        .execution(exec)
+                        .parallelism(Parallelism::Threads(workers))
+                        .query(e.clone())
+                        .run()
+                        .unwrap();
+                    prop_assert_eq!(
+                        &out.relation, &baseline,
+                        "{} × {:?} × {}w diverged on query {}", mode, exec, workers, qi
+                    );
+                }
+            }
+        }
+    }
+}
