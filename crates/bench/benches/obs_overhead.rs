@@ -1,0 +1,86 @@
+//! Cost of the observability layer on the execution hot path.
+//!
+//! The point to pin: with no collector installed a `span!` site is one
+//! relaxed atomic load — nanoseconds, invisible against any kernel it
+//! wraps — and even with a `RingCollector` installed a full planned
+//! division query should pay well under the cost of its own hashing.
+//!
+//! * `null_span_site` — the disabled `span!` + exit-attr sequence every
+//!   kernel entry point executes when tracing is off.
+//! * `ring_span_site` — the same sequence with a live `RingCollector`
+//!   (record allocation + clock reads + ring push).
+//! * `query_untraced` / `query_traced` — one planned division query
+//!   end to end, without and with a collector installed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_eval::{Engine, Parallelism, StatsMode, Strategy};
+use sj_obs::RingCollector;
+use sj_workload::DivisionWorkload;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    // Per-site cost, disabled path: one relaxed load, attrs never
+    // evaluated, exit attr a no-op.
+    sj_obs::uninstall();
+    group.bench_with_input(BenchmarkId::new("null_span_site", 1), &(), |b, _| {
+        b.iter(|| {
+            let mut g = sj_obs::span!("kernel.join", left = 1024usize, right = 1024usize);
+            g.attr("out_rows", 512usize);
+            std::hint::black_box(&g);
+        })
+    });
+
+    // Per-site cost, live path: record + two clock reads + ring push.
+    let ring: Arc<RingCollector> = Arc::new(RingCollector::new(1 << 16));
+    group.bench_with_input(BenchmarkId::new("ring_span_site", 1), &(), |b, _| {
+        b.iter(|| {
+            sj_obs::with_collector(ring.clone(), || {
+                let mut g = sj_obs::span!("kernel.join", left = 1024usize, right = 1024usize);
+                g.attr("out_rows", 512usize);
+                std::hint::black_box(&g);
+            })
+        })
+    });
+
+    // End to end: a planned division query with tracing off vs on.
+    for groups in [1024usize, 4096] {
+        let w = DivisionWorkload {
+            groups,
+            divisor_size: (groups as f64).sqrt() as usize,
+            containment_fraction: 0.1,
+            extra_per_group: 4,
+            noise_domain: 4 * groups,
+            seed: 0xC057,
+        };
+        let engine = Engine::new(w.database())
+            .strategy(Strategy::Planned)
+            .stats(StatsMode::Cached)
+            .parallelism(Parallelism::Threads(4));
+        let expr = sj_algebra::division::division_double_difference("R", "S");
+
+        sj_obs::uninstall();
+        group.bench_with_input(BenchmarkId::new("query_untraced", groups), &(), |b, _| {
+            b.iter(|| engine.query(expr.clone()).run().unwrap().relation)
+        });
+
+        let ring: Arc<RingCollector> = Arc::new(RingCollector::new(1 << 16));
+        group.bench_with_input(BenchmarkId::new("query_traced", groups), &(), |b, _| {
+            b.iter(|| {
+                sj_obs::with_collector(ring.clone(), || {
+                    engine.query(expr.clone()).run().unwrap().relation
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

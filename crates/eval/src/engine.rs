@@ -99,6 +99,12 @@ pub enum Instrument {
     /// Cardinalities plus wall-clock timing: per-node self times in the
     /// report and the end-to-end [`QueryOutput::elapsed`].
     Timings,
+    /// Everything `Timings` records, packaged as an `EXPLAIN
+    /// ANALYZE`-style [`crate::QueryProfile`] via
+    /// [`QueryOutput::profile`]: per-node estimated vs actual rows,
+    /// q-error, elapsed, and partition counts, with a
+    /// timing-masked rendering for golden tests.
+    Profile,
 }
 
 /// Whether (and how) the engine collects per-relation statistics for
@@ -239,12 +245,24 @@ pub struct QueryOutput {
     /// The physical plan that was executed ([`Strategy::Planned`] only).
     pub plan: Option<PhysicalPlan>,
     /// End-to-end wall-clock time (optimize + plan + execute), recorded
-    /// under [`Instrument::Timings`].
+    /// under [`Instrument::Timings`] and [`Instrument::Profile`].
     pub elapsed: Option<Duration>,
     /// The parallelism the engine ran the query under. Worker counts and
     /// per-partition timings appear in the planned report
     /// ([`PlannedReport::workers`], [`crate::NodeStat::partitions`]).
     pub parallelism: Parallelism,
+}
+
+impl QueryOutput {
+    /// The `EXPLAIN ANALYZE`-style per-node breakdown of this run, when
+    /// a report was collected (any instrument level except `Off`;
+    /// request [`Instrument::Profile`] to also get the end-to-end
+    /// elapsed time in the header).
+    pub fn profile(&self) -> Option<crate::QueryProfile> {
+        self.report
+            .as_ref()
+            .map(|r| crate::QueryProfile::from_report(r, self.elapsed))
+    }
 }
 
 /// The result of a registry-routed [`Engine::divide`] /
@@ -392,6 +410,31 @@ impl Engine {
         self
     }
 
+    /// The cost model the engine currently plans with.
+    pub fn cost_model_ref(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Refit the cost-model constants from the kernel spans recorded in
+    /// `log` — the observability feedback loop. Every closed
+    /// `kernel.*` span (recorded by running queries under an installed
+    /// [`sj_obs::Collector`]) contributes its operand sizes, worker
+    /// count, output rows, and wall-clock duration; the
+    /// [`sj_stats::Calibrator`] refits the constants by relative-error
+    /// least squares, keeping the engine's current constants for
+    /// primitives the trace never exercised. Returns the recalibrated
+    /// model; apply it with [`Engine::cost_model`]:
+    ///
+    /// ```ignore
+    /// let model = engine.calibrate(&ring.log());
+    /// let engine = engine.cost_model(model);
+    /// ```
+    pub fn calibrate(&self, log: &sj_obs::TraceLog) -> CostModel {
+        let mut calibrator = sj_stats::Calibrator::new();
+        calibrator.observe_trace(log);
+        calibrator.fit(&self.cost_model)
+    }
+
     /// Set the join-order mode: how the planner associates join chains
     /// when statistics are on ([`JoinOrder::Dp`], the default, runs the
     /// exhaustive bushy search and enables the worst-case-optimal
@@ -492,7 +535,7 @@ impl Engine {
                 .ok_or_else(|| EvalError::UnknownAlgorithm(name.clone()))?,
         };
         let start = Instant::now();
-        let relation = alg.run_with_workers(r, s, sem, workers);
+        let relation = sj_setjoin::run_division_traced(&*alg, r, s, sem, workers);
         Ok(SetOpOutput {
             relation,
             algorithm: alg.name(),
@@ -551,7 +594,7 @@ impl Engine {
             }
         };
         let start = Instant::now();
-        let relation = alg.run_with_workers(r, s, pred, workers);
+        let relation = sj_setjoin::run_set_join_traced(&*alg, r, s, pred, workers);
         Ok(SetOpOutput {
             relation,
             algorithm: alg.name(),
@@ -716,7 +759,7 @@ impl Query<'_> {
                 }
             }
         };
-        if engine.instrument == Instrument::Timings {
+        if matches!(engine.instrument, Instrument::Timings | Instrument::Profile) {
             out.elapsed = Some(start.elapsed());
         }
         Ok(out)

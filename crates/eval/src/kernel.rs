@@ -77,15 +77,24 @@ pub fn join(
     exec: Execution,
     workers: usize,
 ) -> (Relation, Vec<PartitionStat>) {
-    if workers <= 1 {
+    let mut span = sj_obs::span!(
+        "kernel.join",
+        left = r1.len(),
+        right = r2.len(),
+        workers = workers.max(1)
+    );
+    let (rel, stats) = if workers <= 1 {
         let rel = if exec.is_vectorized() {
             crate::ops_vec::join(r1, r2, theta)
         } else {
             ops::join(r1, r2, theta)
         };
-        return (rel, Vec::new());
-    }
-    par_join_exec(r1, r2, theta, exec, workers)
+        (rel, Vec::new())
+    } else {
+        par_join_exec(r1, r2, theta, exec, workers)
+    };
+    span.attr("out_rows", rel.len());
+    (rel, stats)
 }
 
 /// `r₁ ⋉θ r₂` under the given execution mode and worker count.
@@ -96,15 +105,24 @@ pub fn semijoin(
     exec: Execution,
     workers: usize,
 ) -> (Relation, Vec<PartitionStat>) {
-    if workers <= 1 {
+    let mut span = sj_obs::span!(
+        "kernel.semijoin",
+        left = r1.len(),
+        right = r2.len(),
+        workers = workers.max(1)
+    );
+    let (rel, stats) = if workers <= 1 {
         let rel = if exec.is_vectorized() {
             crate::ops_vec::semijoin(r1, r2, theta)
         } else {
             ops::semijoin(r1, r2, theta)
         };
-        return (rel, Vec::new());
-    }
-    par_semijoin_exec(r1, r2, theta, exec, workers)
+        (rel, Vec::new())
+    } else {
+        par_semijoin_exec(r1, r2, theta, exec, workers)
+    };
+    span.attr("out_rows", rel.len());
+    (rel, stats)
 }
 
 /// Merge equi-join on an aligned key prefix of length `k` (see
@@ -118,15 +136,24 @@ pub fn merge_join(
     exec: Execution,
     workers: usize,
 ) -> (Relation, Vec<PartitionStat>) {
-    if workers <= 1 {
+    let mut span = sj_obs::span!(
+        "kernel.merge_join",
+        left = r1.len(),
+        right = r2.len(),
+        workers = workers.max(1)
+    );
+    let (rel, stats) = if workers <= 1 {
         let rel = if exec.is_vectorized() {
             crate::ops_vec::merge_join(r1, r2, k, residual)
         } else {
             ops::merge_join(r1, r2, k, residual)
         };
-        return (rel, Vec::new());
-    }
-    par_merge_join_exec(r1, r2, k, residual, exec, workers)
+        (rel, Vec::new())
+    } else {
+        par_merge_join_exec(r1, r2, k, residual, exec, workers)
+    };
+    span.attr("out_rows", rel.len());
+    (rel, stats)
 }
 
 /// Merge equi-semijoin on an aligned key prefix of length `k` under the
@@ -139,15 +166,24 @@ pub fn merge_semijoin(
     exec: Execution,
     workers: usize,
 ) -> (Relation, Vec<PartitionStat>) {
-    if workers <= 1 {
+    let mut span = sj_obs::span!(
+        "kernel.merge_semijoin",
+        left = r1.len(),
+        right = r2.len(),
+        workers = workers.max(1)
+    );
+    let (rel, stats) = if workers <= 1 {
         let rel = if exec.is_vectorized() {
             crate::ops_vec::merge_semijoin(r1, r2, k, residual)
         } else {
             ops::merge_semijoin(r1, r2, k, residual)
         };
-        return (rel, Vec::new());
-    }
-    par_merge_semijoin_exec(r1, r2, k, residual, exec, workers)
+        (rel, Vec::new())
+    } else {
+        par_merge_semijoin_exec(r1, r2, k, residual, exec, workers)
+    };
+    span.attr("out_rows", rel.len());
+    (rel, stats)
 }
 
 // ---------------------------------------------------------------------------
@@ -215,6 +251,12 @@ pub fn multiway_join(
     workers: usize,
 ) -> (Relation, Vec<PartitionStat>) {
     let k = spec.cycle.len();
+    let mut span = sj_obs::span!(
+        "kernel.multiway",
+        children = children.len(),
+        rows = children.iter().map(|r| r.len()).sum::<usize>(),
+        workers = workers.max(1)
+    );
     debug_assert!(k >= 3, "a multiway cycle has at least 3 positions");
     debug_assert!(spec.cycle.iter().all(|p| children[p.child].arity() == 2));
     let out_arity: usize = children.iter().map(|r| r.arity()).sum();
@@ -357,13 +399,30 @@ pub fn multiway_join(
         let all: Vec<u32> = (0..cands.len() as u32).collect();
         let tuples = run(&all);
         let rel = Relation::from_tuples(out_arity, tuples).expect("assembled arity");
+        span.attr("out_rows", rel.len());
         return (rel, Vec::new());
     }
-    let outputs = fan_out(chunk_indices(cands.len(), workers), workers, |chunk| {
-        let start = Instant::now();
-        let out = run(&chunk);
-        (chunk.len(), out, start.elapsed())
-    });
+    let parent = sj_obs::current_span();
+    let outputs = fan_out(
+        chunk_indices(cands.len(), workers)
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<_>>(),
+        workers,
+        |(partition, chunk)| {
+            sj_obs::with_parent(parent, || {
+                let mut pspan = sj_obs::span!(
+                    "kernel.partition",
+                    partition = partition,
+                    left = chunk.len()
+                );
+                let start = Instant::now();
+                let out = run(&chunk);
+                pspan.attr("out_rows", out.len());
+                (chunk.len(), out, start.elapsed())
+            })
+        },
+    );
     let mut stats = Vec::with_capacity(outputs.len());
     let mut tuples: Vec<Tuple> = Vec::new();
     for (partition, (left_rows, out, elapsed)) in outputs.into_iter().enumerate() {
@@ -380,6 +439,7 @@ pub fn multiway_join(
     // its tuple, so the concatenation is duplicate-free; one
     // canonicalization pass restores the global order.
     let merged = Relation::from_tuples(out_arity, tuples).expect("partition arities agree");
+    span.attr("out_rows", merged.len());
     (merged, stats)
 }
 
@@ -425,26 +485,39 @@ fn par_binary(
     op: impl Fn(&[u32], &[u32]) -> Vec<Tuple> + Sync,
 ) -> (Relation, Vec<PartitionStat>) {
     let workers = workers.max(1);
-    let timed = |li: &[u32], ri: &[u32]| {
-        let start = Instant::now();
-        let out = op(li, ri);
-        let elapsed = start.elapsed();
-        (li.len(), ri.len(), out, elapsed)
+    let parent = sj_obs::current_span();
+    let timed = |partition: usize, li: &[u32], ri: &[u32]| {
+        sj_obs::with_parent(parent, || {
+            let mut span = sj_obs::span!(
+                "kernel.partition",
+                partition = partition,
+                left = li.len(),
+                right = ri.len()
+            );
+            let start = Instant::now();
+            let out = op(li, ri);
+            let elapsed = start.elapsed();
+            span.attr("out_rows", out.len());
+            (li.len(), ri.len(), out, elapsed)
+        })
     };
     let outputs = if left_cols.is_empty() {
         // No key to co-partition on: chunk the left side; every chunk
         // probes the whole right side through one shared index list.
         let full: Vec<u32> = (0..r2.len() as u32).collect();
-        fan_out(chunk_indices(r1.len(), workers), workers, |li| {
-            timed(&li, &full)
-        })
+        let chunks: Vec<(usize, Vec<u32>)> = chunk_indices(r1.len(), workers)
+            .into_iter()
+            .enumerate()
+            .collect();
+        fan_out(chunks, workers, |(p, li)| timed(p, &li, &full))
     } else {
-        let pairs: Vec<(Vec<u32>, Vec<u32>)> = r1
+        let pairs: Vec<_> = r1
             .partition_indices(left_cols, workers)
             .into_iter()
             .zip(r2.partition_indices(right_cols, workers))
+            .enumerate()
             .collect();
-        fan_out(pairs, workers, |(li, ri)| timed(&li, &ri))
+        fan_out(pairs, workers, |(p, (li, ri))| timed(p, &li, &ri))
     };
     let mut stats = Vec::with_capacity(outputs.len());
     let mut tuples: Vec<Tuple> = Vec::new();

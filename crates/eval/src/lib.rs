@@ -38,6 +38,7 @@ pub mod ops_vec;
 pub mod par;
 pub mod plain;
 pub mod plan;
+pub mod profile;
 pub mod reference;
 
 pub use engine::{
@@ -57,6 +58,7 @@ pub use plan::{
     evaluate_planned, evaluate_planned_instrumented, explain_plan, PhysOp, PhysicalPlan,
     PlannedReport, Q_ERROR_BUDGET,
 };
+pub use profile::{ProfileNode, QueryProfile};
 pub use reference::evaluate_reference;
 
 /// Most-used items in one import.
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use crate::par::Parallelism;
     pub use crate::plain::evaluate;
     pub use crate::plan::{evaluate_planned, evaluate_planned_instrumented, PlannedReport};
+    pub use crate::profile::{ProfileNode, QueryProfile};
     pub use crate::reference::evaluate_reference;
 }
 

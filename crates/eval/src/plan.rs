@@ -509,8 +509,16 @@ impl PhysicalPlan {
                             .expect("topological order: children computed first")
                     })
                     .collect();
+                let mut span = sj_obs::span!(
+                    "plan.node",
+                    node = id,
+                    op = node.op.name(),
+                    input = kids.iter().map(|k| k.len()).sum::<usize>()
+                );
                 let start = Instant::now();
                 let (rel, parts) = self.exec_op(node, &kids, db, 1, exec)?;
+                span.attr("rows", rel.len());
+                drop(span);
                 observe(id, node, &rel, start.elapsed(), &parts);
                 results[id] = Some(rel);
                 evict(id, &mut results, &mut pending_consumers);
@@ -527,8 +535,17 @@ impl PhysicalPlan {
                         .iter()
                         .map(|&c| results[c].as_deref().expect("children on lower levels"))
                         .collect();
+                    let mut span = sj_obs::span!(
+                        "plan.node",
+                        node = id,
+                        op = node.op.name(),
+                        input = kids.iter().map(|k| k.len()).sum::<usize>()
+                    );
                     let start = Instant::now();
                     let out = self.exec_op(node, &kids, db, workers, exec);
+                    if let Ok((rel, _)) = &out {
+                        span.attr("rows", rel.len());
+                    }
                     vec![(id, out, start.elapsed())]
                 } else {
                     // The worker budget is split across the level's
@@ -536,22 +553,36 @@ impl PhysicalPlan {
                     // never oversubscribes the budget quadratically.
                     let node_workers = (workers / level.len()).max(1);
                     let results = &results;
+                    let parent = sj_obs::current_span();
                     std::thread::scope(|s| {
                         let handles: Vec<_> = level
                             .iter()
                             .map(|&id| {
                                 let node = &self.nodes[id];
                                 s.spawn(move || {
-                                    let kids: Vec<&Relation> = node
-                                        .children
-                                        .iter()
-                                        .map(|&c| {
-                                            results[c].as_deref().expect("children on lower levels")
-                                        })
-                                        .collect();
-                                    let start = Instant::now();
-                                    let out = self.exec_op(node, &kids, db, node_workers, exec);
-                                    (id, out, start.elapsed())
+                                    sj_obs::with_parent(parent, || {
+                                        let kids: Vec<&Relation> = node
+                                            .children
+                                            .iter()
+                                            .map(|&c| {
+                                                results[c]
+                                                    .as_deref()
+                                                    .expect("children on lower levels")
+                                            })
+                                            .collect();
+                                        let mut span = sj_obs::span!(
+                                            "plan.node",
+                                            node = id,
+                                            op = node.op.name(),
+                                            input = kids.iter().map(|k| k.len()).sum::<usize>()
+                                        );
+                                        let start = Instant::now();
+                                        let out = self.exec_op(node, &kids, db, node_workers, exec);
+                                        if let Ok((rel, _)) = &out {
+                                            span.attr("rows", rel.len());
+                                        }
+                                        (id, out, start.elapsed())
+                                    })
                                 })
                             })
                             .collect();
@@ -915,10 +946,15 @@ impl PlannedReport {
     /// Render a per-node table (id, operator, label, cardinality, ×occ,
     /// partition count). Nodes whose estimate misses the actual
     /// cardinality by more than [`Q_ERROR_BUDGET`]× carry a
-    /// `q-error … over budget` marker. Deliberately **stable across
-    /// runs** of the same configuration: cardinalities, operator
-    /// choices, estimates, worker and partition counts are
-    /// deterministic; wall-clock times are omitted.
+    /// `q-error … over budget` marker. Every node carries its sharing
+    /// count (`×1` for unshared nodes — the count doubles as cache
+    /// provenance: how many logical tree nodes this memoized DAG node
+    /// served) and its partition marker (`[serial]` for unpartitioned
+    /// nodes), so lines stay column-comparable and diff-stable across
+    /// node kinds. Deliberately **stable across runs** of the same
+    /// configuration: cardinalities, operator choices, estimates,
+    /// worker and partition counts are deterministic; wall-clock times
+    /// are omitted (see `QueryProfile` for the timed variant).
     pub fn render(&self) -> String {
         let workers = if self.workers > 1 {
             format!(", {} workers", self.workers)
@@ -939,13 +975,9 @@ impl PlannedReport {
             .zip(&self.occurrences)
             .zip(&self.estimates)
         {
-            let shared = if occ > 1 {
-                format!("  ×{occ}")
-            } else {
-                String::new()
-            };
+            let shared = format!("  ×{occ}");
             let parts = if n.partitions.is_empty() {
-                String::new()
+                "  [serial]".to_string()
             } else {
                 format!("  [{} partitions]", n.partitions.len())
             };

@@ -1,0 +1,58 @@
+//! The null tracing path must not allocate: with no collector
+//! installed, a `span!` — including one with attribute expressions —
+//! is one relaxed atomic load and a no-op guard. This test pins that
+//! with a counting global allocator, which is why it lives in its own
+//! integration-test binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sj_obs::span;
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+#[test]
+fn disabled_spans_allocate_nothing() {
+    assert!(!sj_obs::enabled(), "no collector installed in this binary");
+    // Warm up: let any lazy thread-local or formatting machinery
+    // initialize outside the measured window.
+    for i in 0..8u64 {
+        let mut g = span!("warmup.span", index = i);
+        g.attr("rows", i * 2);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..100_000u64 {
+        let mut g = span!("kernel.join", left = i, right = i * 3, workers = 4usize);
+        g.attr("out_rows", i);
+        drop(g);
+        let _plain = span!("plan.node");
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "null tracing path allocated {} times",
+        after - before
+    );
+}

@@ -42,11 +42,22 @@
 //! partition workers) — the engine's [`sj_eval::Parallelism`] knob
 //! becomes a server policy instead of a per-query setting.
 //!
-//! **Metrics.** [`ServerStats`] counts queries, per-tier hits, writes,
-//! ANALYZEs and queue rejections, and folds every cold query's
+//! **Observability.** [`ServerStats`] counts queries, per-tier hits,
+//! writes, ANALYZEs and queue rejections, and folds every cold query's
 //! [`sj_eval::PlannedReport::max_q_error`] into
 //! [`StatsSnapshot::max_q_error_seen`] so cost-model drift shows up in
-//! serving dashboards, not just per-query `render()` output.
+//! serving dashboards, not just per-query `render()` output. The
+//! counters are a facade over a shared [`sj_obs::Metrics`] registry
+//! that also carries per-tier latency histograms, queue-wait, and
+//! per-class / per-session query counters —
+//! [`Server::metrics_text`] renders the whole registry as a
+//! Prometheus-style exposition. Workers open `server.dispatch` /
+//! `server.query` spans around every job (zero-cost while no
+//! [`sj_obs::Collector`] is installed), so an installed collector sees
+//! the full serving hierarchy down to individual kernel partitions;
+//! [`Session::query_profiled`] attaches a rendered
+//! [`sj_eval::QueryProfile`] (`EXPLAIN ANALYZE`) to the response for
+//! any tier.
 //!
 //! The serving workload driver lives in `sj-workload`
 //! (`ServingWorkload`), the throughput experiment in

@@ -1,83 +1,121 @@
-//! Aggregate serving metrics: lock-free counters every worker updates
-//! and any thread can snapshot.
+//! Aggregate serving metrics: a thin facade over the shared
+//! [`sj_obs::Metrics`] registry, keeping the original counter API
+//! (`bump_*` / [`ServerStats::snapshot`]) while every series also shows
+//! up in the Prometheus-style [`crate::Server::metrics_text`]
+//! exposition.
 //!
 //! Besides the cache hit counters, the server folds each cold query's
 //! [`PlannedReport::max_q_error`] into
-//! [`ServerStats::max_q_error_seen`] — the worst cardinality-estimation
-//! error any served query has exhibited. This surfaces cost-model drift
-//! *in serving*, not just in per-query `render()` output: a dashboard
-//! reading the stats snapshot sees estimator trouble the moment a hot
+//! [`ServerStats::max_q_error_seen`](StatsSnapshot::max_q_error_seen) —
+//! the worst cardinality-estimation error any served query has
+//! exhibited. This surfaces cost-model drift *in serving*, not just in
+//! per-query `render()` output: a dashboard reading the stats snapshot
+//! (or scraping the exposition) sees estimator trouble the moment a hot
 //! workload starts hitting it.
 //!
 //! [`PlannedReport::max_q_error`]: sj_eval::PlannedReport::max_q_error
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use sj_obs::{Counter, MaxGauge, Metrics};
+use std::fmt;
+use std::sync::Arc;
 
 /// Aggregate counters for one [`crate::Server`]. All methods are
-/// thread-safe; counters only ever increase.
-#[derive(Debug, Default)]
+/// thread-safe; counters only ever increase. Each counter is a handle
+/// into the server's [`Metrics`] registry, so the same numbers appear
+/// in [`crate::Server::metrics_text`] under the `sj_server_*` series.
 pub struct ServerStats {
-    queries: AtomicU64,
-    plan_hits: AtomicU64,
-    result_hits: AtomicU64,
-    writes: AtomicU64,
-    analyzes: AtomicU64,
-    rejected: AtomicU64,
-    /// Bit pattern of the largest q-error seen (positive f64s compare
-    /// correctly as integers; 0 bits = nothing recorded yet).
-    max_q_error_seen: AtomicU64,
+    registry: Arc<Metrics>,
+    queries: Arc<Counter>,
+    plan_hits: Arc<Counter>,
+    result_hits: Arc<Counter>,
+    writes: Arc<Counter>,
+    analyzes: Arc<Counter>,
+    rejected: Arc<Counter>,
+    /// The largest q-error seen. [`MaxGauge`] guards against NaN /
+    /// non-positive junk: one poisoned observation would otherwise
+    /// stick as the maximum forever (NaN's bit pattern compares
+    /// greater than every finite value's).
+    max_q_error: Arc<MaxGauge>,
+}
+
+impl Default for ServerStats {
+    fn default() -> ServerStats {
+        ServerStats::new(Arc::new(Metrics::new()))
+    }
 }
 
 impl ServerStats {
+    /// Register the serving series in `registry` and return the facade.
+    pub fn new(registry: Arc<Metrics>) -> ServerStats {
+        ServerStats {
+            queries: registry.counter("sj_server_queries_total"),
+            plan_hits: registry.counter_with("sj_server_cache_hits_total", &[("tier", "plan")]),
+            result_hits: registry.counter_with("sj_server_cache_hits_total", &[("tier", "result")]),
+            writes: registry.counter("sj_server_writes_total"),
+            analyzes: registry.counter("sj_server_analyzes_total"),
+            rejected: registry.counter("sj_server_rejected_total"),
+            max_q_error: registry.max_gauge("sj_server_max_q_error"),
+            registry,
+        }
+    }
+
+    /// The registry the facade's series live in.
+    pub fn registry(&self) -> &Arc<Metrics> {
+        &self.registry
+    }
+
     pub(crate) fn bump_queries(&self) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.queries.inc();
     }
 
     pub(crate) fn bump_plan_hits(&self) {
-        self.plan_hits.fetch_add(1, Ordering::Relaxed);
+        self.plan_hits.inc();
     }
 
     pub(crate) fn bump_result_hits(&self) {
-        self.result_hits.fetch_add(1, Ordering::Relaxed);
+        self.result_hits.inc();
     }
 
     pub(crate) fn bump_writes(&self) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.writes.inc();
     }
 
     pub(crate) fn bump_analyzes(&self) {
-        self.analyzes.fetch_add(1, Ordering::Relaxed);
+        self.analyzes.inc();
     }
 
     pub(crate) fn bump_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     /// Fold one query's worst per-node q-error into the running
-    /// maximum. Q-errors are ≥ 1.0 by definition, so the positive-f64
-    /// bit patterns order identically to the values and an integer
-    /// `fetch_max` suffices.
+    /// maximum. [`MaxGauge::observe`] drops NaN, infinities, and
+    /// non-positive values, so junk can never poison the maximum.
     pub(crate) fn record_q_error(&self, q_error: f64) {
-        if q_error.is_finite() && q_error > 0.0 {
-            self.max_q_error_seen
-                .fetch_max(q_error.to_bits(), Ordering::Relaxed);
-        }
+        self.max_q_error.observe(q_error);
     }
 
     /// A consistent-enough point-in-time copy of all counters (each
     /// counter is read atomically; the set is not fenced — fine for
     /// monitoring).
     pub fn snapshot(&self) -> StatsSnapshot {
-        let bits = self.max_q_error_seen.load(Ordering::Relaxed);
         StatsSnapshot {
-            queries: self.queries.load(Ordering::Relaxed),
-            plan_hits: self.plan_hits.load(Ordering::Relaxed),
-            result_hits: self.result_hits.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            analyzes: self.analyzes.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            max_q_error_seen: (bits != 0).then(|| f64::from_bits(bits)),
+            queries: self.queries.get(),
+            plan_hits: self.plan_hits.get(),
+            result_hits: self.result_hits.get(),
+            writes: self.writes.get(),
+            analyzes: self.analyzes.get(),
+            rejected: self.rejected.get(),
+            max_q_error_seen: self.max_q_error.get(),
         }
+    }
+}
+
+impl fmt::Debug for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerStats")
+            .field("snapshot", &self.snapshot())
+            .finish()
     }
 }
 
@@ -151,10 +189,29 @@ mod tests {
         s.record_q_error(17.0);
         s.record_q_error(1.0);
         assert_eq!(s.snapshot().max_q_error_seen, Some(17.0));
-        // Junk values are ignored.
+        // Junk values are ignored — the NaN-poisoning regression.
         s.record_q_error(f64::NAN);
         s.record_q_error(f64::INFINITY);
         s.record_q_error(-3.0);
         assert_eq!(s.snapshot().max_q_error_seen, Some(17.0));
+    }
+
+    #[test]
+    fn facade_series_appear_in_the_exposition() {
+        let s = ServerStats::default();
+        s.bump_queries();
+        s.bump_plan_hits();
+        s.record_q_error(4.5);
+        let text = s.registry().expose();
+        assert!(text.contains("sj_server_queries_total 1"), "{text}");
+        assert!(
+            text.contains("sj_server_cache_hits_total{tier=\"plan\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sj_server_cache_hits_total{tier=\"result\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("sj_server_max_q_error 4.500000"), "{text}");
     }
 }

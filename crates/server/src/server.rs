@@ -40,14 +40,34 @@ use crate::cache::ExprCache;
 use crate::metrics::{ServerStats, StatsSnapshot};
 use sj_algebra::{Expr, OptimizeLevel};
 use sj_eval::{
-    Engine, EvalError, Execution, Instrument, Parallelism, PhysicalPlan, StatsMode, Strategy,
+    Engine, EvalError, Execution, Instrument, Parallelism, PhysicalPlan, QueryProfile, Report,
+    StatsMode, Strategy,
 };
+use sj_obs::{Histogram, Metrics};
 use sj_storage::{Database, FxHashMap, Relation, Snapshot, StorageError, Tuple};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The query-class label one expression gets in the per-class metric
+/// series (`sj_server_queries_by_class_total{class="..."}`): the root
+/// operator of the submitted expression.
+fn query_class(expr: &Expr) -> &'static str {
+    match expr {
+        Expr::Rel(_) => "scan",
+        Expr::Union(..) => "union",
+        Expr::Diff(..) => "difference",
+        Expr::Project(..) => "projection",
+        Expr::Select(..) => "selection",
+        Expr::ConstTag(..) => "const-tag",
+        Expr::Join(..) => "join",
+        Expr::Semijoin(..) => "semijoin",
+        Expr::GroupCount(..) => "group-count",
+    }
+}
 
 /// Which cache tiers a server runs with.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -228,6 +248,12 @@ pub struct QueryResponse {
     pub epoch: u64,
     /// Wall-clock serving time (capture → answer) on the worker.
     pub elapsed: Duration,
+    /// Rendered `EXPLAIN ANALYZE`-style profile
+    /// ([`sj_eval::QueryProfile::render`] with the serving tier
+    /// attached), present when the query was submitted via
+    /// [`Session::query_profiled`]. A result-cache hit profiles as just
+    /// the tier line — no plan ran.
+    pub profile: Option<String>,
 }
 
 /// Per-relation epoch stamps for the relations one expression reads,
@@ -274,6 +300,18 @@ struct Shared {
     plan_cache: ExprCache<PlanEntry>,
     result_cache: ExprCache<ResultEntry>,
     stats: ServerStats,
+    /// The registry behind [`ServerStats`], shared with every labeled
+    /// series the workers update ([`Server::metrics_text`] exposes it).
+    metrics: Arc<Metrics>,
+    /// Serving latency per tier (`sj_server_query_seconds{tier=...}`).
+    latency_cold: Arc<Histogram>,
+    latency_plan: Arc<Histogram>,
+    latency_result: Arc<Histogram>,
+    /// Time jobs spend in the bounded queue before a worker dequeues
+    /// them (`sj_server_queue_wait_seconds`).
+    queue_wait: Arc<Histogram>,
+    /// Session-id allocator for the per-session query counters.
+    next_session: AtomicU64,
     cache_mode: CacheMode,
     per_query: Parallelism,
     execution: Execution,
@@ -282,7 +320,7 @@ struct Shared {
     /// poll tick even while session handles (and their queue senders)
     /// are still alive, and new submissions fail fast with
     /// [`ServerError::Stopped`].
-    closed: std::sync::atomic::AtomicBool,
+    closed: AtomicBool,
 }
 
 /// The capture a query executes against: an immutable snapshot plus
@@ -303,6 +341,36 @@ pub(crate) struct TxnCtx {
 }
 
 impl Shared {
+    /// An inert, already-closed `Shared` — the placeholder
+    /// [`Server::shutdown`] swaps in so the real one can be unwrapped.
+    fn closed_stub() -> Shared {
+        let metrics = Arc::new(Metrics::new());
+        Shared {
+            master: RwLock::new(Master {
+                db: Database::new(),
+                rel_epochs: FxHashMap::default(),
+                stats_epoch: 0,
+            }),
+            template: Engine::new(Database::new()),
+            plan_cache: ExprCache::new(1),
+            result_cache: ExprCache::new(1),
+            stats: ServerStats::new(metrics.clone()),
+            latency_cold: metrics.histogram_with("sj_server_query_seconds", &[("tier", "cold")]),
+            latency_plan: metrics
+                .histogram_with("sj_server_query_seconds", &[("tier", "plan-cache")]),
+            latency_result: metrics
+                .histogram_with("sj_server_query_seconds", &[("tier", "result-cache")]),
+            queue_wait: metrics.histogram("sj_server_queue_wait_seconds"),
+            metrics,
+            next_session: AtomicU64::new(0),
+            cache_mode: CacheMode::Off,
+            per_query: Parallelism::Serial,
+            execution: Execution::RowAtATime,
+            instrument: false,
+            closed: AtomicBool::new(true),
+        }
+    }
+
     /// Sorted, deduplicated relation names an expression reads.
     fn dep_names(expr: &Expr) -> Vec<String> {
         let mut names: Vec<String> = expr
@@ -360,20 +428,41 @@ impl Shared {
 
     /// Serve one query against its captured context. This is the
     /// worker hot path; it holds no locks beyond the cache mutexes.
-    fn run_query(&self, expr: &Expr, ctx: &QueryCtx) -> Result<QueryResponse, ServerError> {
+    /// With `want_profile`, the response carries a rendered
+    /// [`QueryProfile`] for whichever tier answered.
+    fn run_query(
+        &self,
+        expr: &Expr,
+        ctx: &QueryCtx,
+        want_profile: bool,
+    ) -> Result<QueryResponse, ServerError> {
         let started = Instant::now();
         self.stats.bump_queries();
+        let class = query_class(expr);
+        self.metrics
+            .counter_with("sj_server_queries_by_class_total", &[("class", class)])
+            .inc();
+        let mut span = sj_obs::span!("server.query", class = class);
 
         // Tier 1: result cache — skip execution entirely.
         if self.cache_mode == CacheMode::PlanAndResult {
             if let Some(entry) = self.result_cache.get(expr) {
                 if entry.deps == ctx.dep_stamps {
                     self.stats.bump_result_hits();
+                    let elapsed = started.elapsed();
+                    self.latency_result.observe_duration(elapsed);
+                    span.attr("tier", "result-cache");
+                    span.attr("out_rows", entry.relation.len());
+                    let profile = want_profile.then(|| {
+                        QueryProfile::cache_hit("result-cache", entry.relation.len(), elapsed)
+                            .render()
+                    });
                     return Ok(QueryResponse {
                         relation: entry.relation,
                         provenance: Provenance::ResultCache,
                         epoch: ctx.snap.epoch(),
-                        elapsed: started.elapsed(),
+                        elapsed,
+                        profile,
                     });
                 }
             }
@@ -391,17 +480,38 @@ impl Shared {
                         .all(|(n, a)| schema.arity_of(n) == Some(*a));
                 if applicable {
                     self.stats.bump_plan_hits();
-                    let relation = Arc::new(entry.plan.execute_with_execution(
-                        ctx.snap.db(),
-                        self.per_query,
-                        self.execution,
-                    )?);
+                    let (relation, profile) = if want_profile {
+                        let report =
+                            Report::Planned(entry.plan.execute_instrumented_with_execution(
+                                ctx.snap.db(),
+                                self.per_query,
+                                self.execution,
+                            )?);
+                        let relation = Arc::new(report.result().clone());
+                        let profile = QueryProfile::from_report(&report, Some(started.elapsed()))
+                            .with_cache_tier("plan-cache");
+                        (relation, Some(profile.render()))
+                    } else {
+                        (
+                            Arc::new(entry.plan.execute_with_execution(
+                                ctx.snap.db(),
+                                self.per_query,
+                                self.execution,
+                            )?),
+                            None,
+                        )
+                    };
                     self.store_result(expr, &relation, ctx);
+                    let elapsed = started.elapsed();
+                    self.latency_plan.observe_duration(elapsed);
+                    span.attr("tier", "plan-cache");
+                    span.attr("out_rows", relation.len());
                     return Ok(QueryResponse {
                         relation,
                         provenance: Provenance::PlanCache,
                         epoch: ctx.snap.epoch(),
-                        elapsed: started.elapsed(),
+                        elapsed,
+                        profile,
                     });
                 }
             }
@@ -409,9 +519,12 @@ impl Shared {
 
         // Cold: fork the template engine onto the snapshot, compile,
         // execute, and populate both tiers.
-        let engine = self.template.fork(ctx.snap.db().clone());
+        let mut engine = self.template.fork(ctx.snap.db().clone());
+        if want_profile {
+            engine = engine.instrument(Instrument::Profile);
+        }
         let out = engine.query(expr.clone()).run()?;
-        if self.instrument {
+        if self.instrument || want_profile {
             if let Some(q) = out
                 .report
                 .as_ref()
@@ -421,6 +534,9 @@ impl Shared {
                 self.stats.record_q_error(q);
             }
         }
+        let profile = want_profile
+            .then(|| out.profile().map(|p| p.with_cache_tier("cold").render()))
+            .flatten();
         let relation = Arc::new(out.relation);
         if self.cache_mode != CacheMode::Off {
             if let Some(plan) = out.plan {
@@ -440,11 +556,16 @@ impl Shared {
             }
         }
         self.store_result(expr, &relation, ctx);
+        let elapsed = started.elapsed();
+        self.latency_cold.observe_duration(elapsed);
+        span.attr("tier", "cold");
+        span.attr("out_rows", relation.len());
         Ok(QueryResponse {
             relation,
             provenance: Provenance::Cold,
             epoch: ctx.snap.epoch(),
-            elapsed: started.elapsed(),
+            elapsed,
+            profile,
         })
     }
 
@@ -552,6 +673,12 @@ impl Shared {
 struct Job {
     expr: Expr,
     pinned: Option<TxnCtx>,
+    /// Submitting session's id (per-session metric label).
+    session: u64,
+    /// Attach a rendered [`QueryProfile`] to the response.
+    profile: bool,
+    /// When the job entered the queue (queue-wait histogram).
+    submitted: Instant,
     reply: SyncSender<Result<QueryResponse, ServerError>>,
 }
 
@@ -565,7 +692,7 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>) {
             match rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(job) => job,
                 Err(RecvTimeoutError::Timeout) => {
-                    if shared.closed.load(std::sync::atomic::Ordering::Relaxed) {
+                    if shared.closed.load(Ordering::Relaxed) {
                         return;
                     }
                     continue;
@@ -573,8 +700,27 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<Job>>>) {
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         };
+        let queue_wait = job.submitted.elapsed();
+        shared.queue_wait.observe_duration(queue_wait);
+        let session_label = job.session.to_string();
+        shared
+            .metrics
+            .counter_with(
+                "sj_server_session_queries_total",
+                &[("session", &session_label)],
+            )
+            .inc();
+        // The dispatch span parents both the snapshot capture
+        // (`storage.snapshot`, opened inside `Database::snapshot`) and
+        // the serving span (`server.query` and everything below it).
+        let span = sj_obs::span!(
+            "server.dispatch",
+            session = job.session,
+            queue_wait_us = queue_wait.as_micros() as u64
+        );
         let ctx = shared.ctx_for(&job.expr, job.pinned.as_ref());
-        let result = shared.run_query(&job.expr, &ctx);
+        let result = shared.run_query(&job.expr, &ctx, job.profile);
+        drop(span);
         // A client that gave up (dropped its reply receiver) is fine.
         let _ = job.reply.send(result);
     }
@@ -624,6 +770,7 @@ impl Server {
             .stats(config.stats)
             .parallelism(per_query)
             .execution(config.execution);
+        let metrics = Arc::new(Metrics::new());
         let shared = Arc::new(Shared {
             master: RwLock::new(Master {
                 db,
@@ -633,12 +780,20 @@ impl Server {
             template,
             plan_cache: ExprCache::new(config.plan_cache_capacity),
             result_cache: ExprCache::new(config.result_cache_capacity),
-            stats: ServerStats::default(),
+            stats: ServerStats::new(metrics.clone()),
+            latency_cold: metrics.histogram_with("sj_server_query_seconds", &[("tier", "cold")]),
+            latency_plan: metrics
+                .histogram_with("sj_server_query_seconds", &[("tier", "plan-cache")]),
+            latency_result: metrics
+                .histogram_with("sj_server_query_seconds", &[("tier", "result-cache")]),
+            queue_wait: metrics.histogram("sj_server_queue_wait_seconds"),
+            metrics,
+            next_session: AtomicU64::new(0),
             cache_mode: config.cache,
             per_query,
             execution: config.execution,
             instrument: config.instrument,
-            closed: std::sync::atomic::AtomicBool::new(false),
+            closed: AtomicBool::new(false),
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -664,6 +819,7 @@ impl Server {
     /// bounded queue.
     pub fn session(&self) -> Session {
         Session {
+            id: self.shared.next_session.fetch_add(1, Ordering::Relaxed) + 1,
             shared: self.shared.clone(),
             tx: self.tx.as_ref().expect("server running").clone(),
         }
@@ -687,6 +843,22 @@ impl Server {
     /// Aggregate serving metrics.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Prometheus-style text exposition of every serving series:
+    /// the [`ServerStats`] counters (`sj_server_*_total`), the
+    /// per-tier latency histograms (`sj_server_query_seconds{tier=…}`),
+    /// queue wait (`sj_server_queue_wait_seconds`), per-class and
+    /// per-session query counters, and the running
+    /// `sj_server_max_q_error` maximum.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.expose()
+    }
+
+    /// The shared metrics registry (e.g. to register extra series or
+    /// read quantiles from the latency histograms directly).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.shared.metrics.clone()
     }
 
     /// The intra-query parallelism every query runs with (the
@@ -718,22 +890,7 @@ impl Server {
             &mut self.shared,
             // `self`'s Drop runs after this; give it a dummy Shared so
             // the real one can be unwrapped below.
-            Arc::new(Shared {
-                master: RwLock::new(Master {
-                    db: Database::new(),
-                    rel_epochs: FxHashMap::default(),
-                    stats_epoch: 0,
-                }),
-                template: Engine::new(Database::new()),
-                plan_cache: ExprCache::new(1),
-                result_cache: ExprCache::new(1),
-                stats: ServerStats::default(),
-                cache_mode: CacheMode::Off,
-                per_query: Parallelism::Serial,
-                execution: Execution::RowAtATime,
-                instrument: false,
-                closed: std::sync::atomic::AtomicBool::new(true),
-            }),
+            Arc::new(Shared::closed_stub()),
         );
         match Arc::try_unwrap(shared) {
             Ok(shared) => shared.master.into_inner().expect("master poisoned").db,
@@ -754,9 +911,7 @@ impl Server {
         // handle is gone; the closed flag covers the case where
         // sessions outlive the server — workers then exit on their
         // next poll tick instead of waiting for disconnection.
-        self.shared
-            .closed
-            .store(true, std::sync::atomic::Ordering::Relaxed);
+        self.shared.closed.store(true, Ordering::Relaxed);
         self.tx = None;
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -771,9 +926,12 @@ impl Drop for Server {
 }
 
 /// A client handle: submit queries (and writes) to the server. Cheap
-/// to clone; safe to move to other threads.
+/// to clone; safe to move to other threads. Each `Server::session`
+/// call gets a fresh session id for the per-session metric series
+/// (clones share their original's identity).
 #[derive(Clone)]
 pub struct Session {
+    id: u64,
     shared: Arc<Shared>,
     tx: SyncSender<Job>,
 }
@@ -782,14 +940,22 @@ impl Session {
     /// Run `expr` against a fresh snapshot, blocking while the bounded
     /// queue is full (backpressure) and until the answer arrives.
     pub fn query(&self, expr: Expr) -> Result<QueryResponse, ServerError> {
-        self.submit(expr, None, true)
+        self.submit(expr, None, true, false)
+    }
+
+    /// Like [`Session::query`], additionally attaching a rendered
+    /// `EXPLAIN ANALYZE`-style profile ([`QueryResponse::profile`]):
+    /// the per-node estimated-vs-actual breakdown for cold runs and
+    /// plan-cache hits, the tier line alone for result-cache hits.
+    pub fn query_profiled(&self, expr: Expr) -> Result<QueryResponse, ServerError> {
+        self.submit(expr, None, true, true)
     }
 
     /// Like [`Session::query`] but **rejecting** instead of blocking
     /// when the queue is full — bounded admission for latency-critical
     /// callers.
     pub fn try_query(&self, expr: Expr) -> Result<QueryResponse, ServerError> {
-        self.submit(expr, None, false)
+        self.submit(expr, None, false, false)
     }
 
     /// Begin a snapshot-pinned read transaction: every query through
@@ -820,18 +986,18 @@ impl Session {
         expr: Expr,
         pinned: Option<TxnCtx>,
         block: bool,
+        profile: bool,
     ) -> Result<QueryResponse, ServerError> {
-        if self
-            .shared
-            .closed
-            .load(std::sync::atomic::Ordering::Relaxed)
-        {
+        if self.shared.closed.load(Ordering::Relaxed) {
             return Err(ServerError::Stopped);
         }
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         let job = Job {
             expr,
             pinned,
+            session: self.id,
+            profile,
+            submitted: Instant::now(),
             reply: reply_tx,
         };
         if block {
@@ -866,7 +1032,8 @@ pub struct ReadTxn {
 impl ReadTxn {
     /// Run `expr` against the pinned snapshot.
     pub fn query(&self, expr: Expr) -> Result<QueryResponse, ServerError> {
-        self.session.submit(expr, Some(self.ctx.clone()), true)
+        self.session
+            .submit(expr, Some(self.ctx.clone()), true, false)
     }
 
     /// The pinned snapshot (e.g. for differential checks against a
@@ -1058,6 +1225,82 @@ mod tests {
         let q = server.stats().max_q_error_seen;
         assert!(q.is_some(), "instrumented cold query records q-error");
         assert!(q.unwrap() >= 1.0, "q-error is ≥ 1 by definition: {q:?}");
+    }
+
+    #[test]
+    fn profiled_queries_carry_profiles_per_tier() {
+        let server = Server::start(division_db(), config(1, CacheMode::PlanAndResult));
+        let session = server.session();
+        let e = division::division_double_difference("R", "S");
+
+        let cold = session.query_profiled(e.clone()).unwrap();
+        assert_eq!(cold.provenance, Provenance::Cold);
+        let p = cold.profile.as_deref().unwrap();
+        assert!(p.starts_with("profile:"), "{p}");
+        assert!(p.contains("tier cold"), "{p}");
+        assert!(p.contains("arity"), "per-node table present: {p}");
+
+        // A result-cache hit ran no plan: tier line only.
+        let hit = session.query_profiled(e.clone()).unwrap();
+        assert_eq!(hit.provenance, Provenance::ResultCache);
+        let p = hit.profile.as_deref().unwrap();
+        assert!(p.contains("tier result-cache"), "{p}");
+        assert!(!p.contains("arity"), "no nodes on a result hit: {p}");
+
+        // Kill the result entry but keep the plan: the plan-cache hit
+        // re-executes instrumented and carries the full breakdown.
+        session
+            .write(WriteOp::Insert {
+                relation: "R".into(),
+                tuple: tuple![2, 8],
+            })
+            .unwrap();
+        let warm = session.query_profiled(e.clone()).unwrap();
+        assert_eq!(warm.provenance, Provenance::PlanCache);
+        let p = warm.profile.as_deref().unwrap();
+        assert!(p.contains("tier plan-cache"), "{p}");
+        assert!(p.contains("arity"), "{p}");
+        assert_eq!(*warm.relation, Relation::from_int_rows(&[&[1], &[2]]));
+
+        // Unprofiled submissions stay profile-free.
+        assert!(session.query(e).unwrap().profile.is_none());
+    }
+
+    #[test]
+    fn metrics_text_exposes_serving_series() {
+        let server = Server::start(division_db(), config(1, CacheMode::PlanAndResult));
+        let session = server.session();
+        let e = division::division_double_difference("R", "S");
+        session.query(e.clone()).unwrap();
+        session.query(e.clone()).unwrap();
+        session.write(WriteOp::Analyze).unwrap();
+        let text = server.metrics_text();
+        assert!(text.contains("sj_server_queries_total 2"), "{text}");
+        assert!(
+            text.contains("sj_server_cache_hits_total{tier=\"result\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("sj_server_analyzes_total 1"), "{text}");
+        assert!(
+            text.contains("sj_server_queries_by_class_total{class="),
+            "{text}"
+        );
+        assert!(
+            text.contains("sj_server_session_queries_total{session=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sj_server_query_seconds_bucket{le=\"+Inf\",tier=\"cold\"} 1")
+                || text.contains("sj_server_query_seconds_bucket{tier=\"cold\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sj_server_queue_wait_seconds_count 2"),
+            "{text}"
+        );
+        assert!(text.contains("sj_server_max_q_error"), "{text}");
+        // The exposition is stable between scrapes with no traffic.
+        assert_eq!(server.metrics_text(), text);
     }
 
     #[test]

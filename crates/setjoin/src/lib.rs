@@ -43,7 +43,10 @@ pub use inverted::inverted_index_set_join;
 pub use parallel::{
     parallel_hash_division, parallel_signature_set_join, parallel_signature_set_join_rowwise,
 };
-pub use registry::{ComplexityClass, DivisionAlgorithm, Registry, SetJoinAlgorithm};
+pub use registry::{
+    run_division_traced, run_set_join_traced, ComplexityClass, DivisionAlgorithm, Registry,
+    SetJoinAlgorithm,
+};
 pub use setjoin::{
     group_sets, hash_set_equality_join, intersect_join_via_equijoin, nested_loop_set_join,
     set_join, signature_set_join, signature_set_join_rowwise, SetPredicate,

@@ -98,6 +98,50 @@ pub trait DivisionAlgorithm: Send + Sync {
     }
 }
 
+/// Run a division algorithm under a `setjoin.division` tracing span
+/// carrying the algorithm name, operand sizes, worker hint, and output
+/// cardinality — the single traced choke point for registry-routed
+/// divisions (the engine's `divide` goes through here).
+pub fn run_division_traced(
+    alg: &dyn DivisionAlgorithm,
+    r: &Relation,
+    s: &Relation,
+    sem: DivisionSemantics,
+    workers: usize,
+) -> Relation {
+    let mut span = sj_obs::span!(
+        "setjoin.division",
+        algorithm = alg.name(),
+        left = r.len(),
+        right = s.len(),
+        workers = workers.max(1)
+    );
+    let out = alg.run_with_workers(r, s, sem, workers);
+    span.attr("out_rows", out.len());
+    out
+}
+
+/// Run a set-join algorithm under a `setjoin.setjoin` tracing span (see
+/// [`run_division_traced`]).
+pub fn run_set_join_traced(
+    alg: &dyn SetJoinAlgorithm,
+    r: &Relation,
+    s: &Relation,
+    pred: SetPredicate,
+    workers: usize,
+) -> Relation {
+    let mut span = sj_obs::span!(
+        "setjoin.setjoin",
+        algorithm = alg.name(),
+        left = r.len(),
+        right = s.len(),
+        workers = workers.max(1)
+    );
+    let out = alg.run_with_workers(r, s, pred, workers);
+    span.attr("out_rows", out.len());
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Set-join algorithm implementations (wrapping the crate's free functions)
 // ---------------------------------------------------------------------------

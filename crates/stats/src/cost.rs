@@ -82,7 +82,50 @@ impl Default for CostModel {
     }
 }
 
+/// Number of unit constants in a [`CostModel`].
+pub const COST_PARAMS: usize = 7;
+
+/// The constants' names, in [`CostModel::to_array`] order.
+pub const COST_PARAM_NAMES: [&str; COST_PARAMS] = [
+    "tuple_pass",
+    "hash_op",
+    "setup",
+    "partition_setup",
+    "spawn",
+    "sig_test",
+    "verify",
+];
+
 impl CostModel {
+    /// The constants as a fixed-order array (see [`COST_PARAM_NAMES`]).
+    /// The registry's cost formulas are *linear* in these constants,
+    /// which is what lets [`crate::Calibrator`] refit them from
+    /// measured runtimes by least squares.
+    pub fn to_array(&self) -> [f64; COST_PARAMS] {
+        [
+            self.tuple_pass,
+            self.hash_op,
+            self.setup,
+            self.partition_setup,
+            self.spawn,
+            self.sig_test,
+            self.verify,
+        ]
+    }
+
+    /// Rebuild a model from [`CostModel::to_array`] order.
+    pub fn from_array(a: [f64; COST_PARAMS]) -> CostModel {
+        CostModel {
+            tuple_pass: a[0],
+            hash_op: a[1],
+            setup: a[2],
+            partition_setup: a[3],
+            spawn: a[4],
+            sig_test: a[5],
+            verify: a[6],
+        }
+    }
+
     /// The generic class→cost mapping: price `n` input tuples at the
     /// given [`ComplexityClass`]. This is the fallback the registry's
     /// cost-based selector uses for algorithms it has no refined

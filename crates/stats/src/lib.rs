@@ -31,14 +31,16 @@
 //! produce identical statistics, estimates, and therefore identical
 //! plans and algorithm picks.
 
+pub mod calibrate;
 pub mod catalog;
 pub mod cost;
 pub mod estimate;
 pub mod histogram;
 pub mod table;
 
+pub use calibrate::{Calibrator, Observation};
 pub use catalog::{AnalyzeSource, CatalogSource, StatsCatalog, StatsSource};
-pub use cost::{ComplexityClass, CostModel};
+pub use cost::{ComplexityClass, CostModel, COST_PARAMS, COST_PARAM_NAMES};
 pub use estimate::{
     containment_selectivity, cycle_agm_bound, division_rows, eq_join_rows_skewed, join_est,
     CardEst, ColEst, Estimator,

@@ -124,6 +124,11 @@ impl Database {
     /// reading the relations as they are now; later writers mutate
     /// copy-on-write (see [`Database::get_mut`]) and never disturb it.
     pub fn snapshot(&self) -> Snapshot {
+        let _span = sj_obs::span!(
+            "storage.snapshot",
+            relations = self.relations.len(),
+            epoch = self.epoch
+        );
         Snapshot { db: self.clone() }
     }
 

@@ -50,6 +50,12 @@ impl DivisionWorkload {
     /// the whole divisor plus noise. The expected quotient is returned for
     /// validation.
     pub fn generate(&self) -> (Relation, Relation, Relation) {
+        let mut span = sj_obs::span!(
+            "workload.generate",
+            kind = "division",
+            groups = self.groups,
+            seed = self.seed
+        );
         let mut rng = SplitMix64::new(self.seed);
         let divisor: Vec<i64> = (0..self.divisor_size)
             .map(|i| ELEMENT_BASE + 1 + i as i64)
@@ -92,6 +98,7 @@ impl DivisionWorkload {
         } else {
             Relation::from_tuples(1, winners).expect("unary")
         };
+        span.attr("rows", r.len() + s.len());
         (r, s, expected)
     }
 
@@ -189,10 +196,17 @@ impl SetJoinWorkload {
 
     /// Generate `(R, S)`.
     pub fn generate(&self) -> (Relation, Relation) {
+        let mut span = sj_obs::span!(
+            "workload.generate",
+            kind = "set-join",
+            groups = self.r_groups + self.s_groups,
+            seed = self.seed
+        );
         let mut rng = SplitMix64::new(self.seed);
         let r = self.one_side(&mut rng, self.r_groups, 1);
         // Right-side keys live in a disjoint range.
         let s = self.one_side(&mut rng, self.s_groups, 500_001);
+        span.attr("rows", r.len() + s.len());
         (r, s)
     }
 }
@@ -247,6 +261,12 @@ impl CyclicWorkload {
     /// Generate the edge tables, in cycle order.
     pub fn generate(&self) -> Vec<Relation> {
         assert!(self.cycle_len >= 3, "a cycle needs at least 3 relations");
+        let mut span = sj_obs::span!(
+            "workload.generate",
+            kind = "cyclic",
+            groups = self.cycle_len,
+            seed = self.seed
+        );
         let mut rng = SplitMix64::new(self.seed);
         let zipf = match self.edges {
             EdgeDist::Zipf(theta) => Some(Zipf::new(self.vertices.max(1), theta)),
@@ -258,13 +278,15 @@ impl CyclicWorkload {
                 None => 1 + rng.below(self.vertices.max(1) as u64) as i64,
             }
         };
-        (0..self.cycle_len)
+        let tables: Vec<Relation> = (0..self.cycle_len)
             .map(|_| {
                 let rows = (0..self.edges_per_table)
                     .map(|_| Tuple::from_ints(&[endpoint(&mut rng), endpoint(&mut rng)]));
                 Relation::from_tuples(2, rows).expect("binary rows")
             })
-            .collect()
+            .collect();
+        span.attr("rows", tables.iter().map(Relation::len).sum::<usize>());
+        tables
     }
 
     /// The workload as a database over `{E0/2, …, E{k-1}/2}`.

@@ -65,6 +65,7 @@ pub use sj_bisim as bisim;
 pub use sj_core as core;
 pub use sj_eval as eval;
 pub use sj_logic as logic;
+pub use sj_obs as obs;
 pub use sj_server as server;
 pub use sj_setjoin as setjoin;
 pub use sj_stats as stats;

@@ -1,0 +1,276 @@
+//! Workspace observability suite: instrumentation must be
+//! **differentially invisible** — turning [`Instrument::Profile`] on or
+//! installing a trace collector never changes an answer, across both
+//! [`Execution`] modes and every tested worker count — while the
+//! rendered artifacts (planned reports, query profiles, served traces,
+//! the Prometheus-style exposition) keep the shape golden tests can
+//! pin.
+//!
+//! The tested worker counts default to `{1, 2, 4, 8}`;
+//! `SETJOINS_TEST_THREADS` (a comma-separated list or a single number)
+//! narrows them, which CI uses to run the suite at `4`.
+
+use setjoins::obs::RingCollector;
+use setjoins::prelude::*;
+use setjoins::server::{Server, ServerConfig};
+use sj_algebra::division;
+use sj_workload::DivisionWorkload;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Every test here serializes on one lock: the trace collector is a
+/// process-wide resource, so a test that installs one would otherwise
+/// capture spans emitted by its concurrently-running neighbours.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Worker counts under test (see module docs).
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("SETJOINS_TEST_THREADS") {
+        Ok(s) => {
+            let counts: Vec<usize> = s
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n| n >= 1)
+                .collect();
+            assert!(
+                !counts.is_empty(),
+                "SETJOINS_TEST_THREADS={s:?} has no usable counts"
+            );
+            counts
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+fn division_db() -> Database {
+    DivisionWorkload {
+        groups: 160,
+        divisor_size: 8,
+        containment_fraction: 0.3,
+        extra_per_group: 3,
+        noise_domain: 64,
+        seed: 0x0B5E7,
+    }
+    .database()
+}
+
+/// The tentpole invariant: `Instrument::Off`, `Instrument::Profile`,
+/// and a run under an installed [`RingCollector`] produce byte-identical
+/// relations on the paper's division plans, for both execution modes at
+/// every tested worker count.
+#[test]
+fn observability_is_differentially_invisible() {
+    let _guard = lock();
+    let db = division_db();
+    let plans = [
+        division::division_double_difference("R", "S"),
+        division::division_counting("R", "S"),
+        division::division_equality("R", "S"),
+    ];
+    for e in &plans {
+        let reference = Engine::new(db.clone())
+            .query(e.clone())
+            .run()
+            .unwrap()
+            .relation;
+        for exec in [Execution::RowAtATime, Execution::Vectorized] {
+            for &n in &thread_counts() {
+                let build = || {
+                    Engine::new(db.clone())
+                        .strategy(Strategy::Planned)
+                        .parallelism(Parallelism::Threads(n))
+                        .execution(exec)
+                };
+                let off = build().query(e.clone()).run().unwrap().relation;
+                assert_eq!(off, reference, "{e} {exec} @{n}w: Off ≠ reference");
+
+                let profiled = build()
+                    .instrument(Instrument::Profile)
+                    .query(e.clone())
+                    .run()
+                    .unwrap();
+                assert_eq!(
+                    profiled.relation, reference,
+                    "{e} {exec} @{n}w: Profile ≠ reference"
+                );
+                assert!(
+                    profiled.profile().is_some(),
+                    "Instrument::Profile yields a profile"
+                );
+
+                let ring = Arc::new(RingCollector::new(1 << 14));
+                let collected = setjoins::obs::with_collector(ring.clone(), || {
+                    build().query(e.clone()).run().unwrap().relation
+                });
+                assert_eq!(
+                    collected, reference,
+                    "{e} {exec} @{n}w: collector-on ≠ reference"
+                );
+                assert!(!ring.log().is_empty(), "collector captured engine spans");
+            }
+        }
+    }
+}
+
+/// Satellite golden: every node line of [`PlannedReport::render`]
+/// carries the sharing count (`×occ`) and the partition provenance
+/// (`[serial]` or `[N partitions]`) — uniformly, profiled or not.
+#[test]
+fn planned_report_render_marks_every_node() {
+    let _guard = lock();
+    let db = division_db();
+    for &n in &[1usize, 4] {
+        let out = Engine::new(db.clone())
+            .strategy(Strategy::Planned)
+            .instrument(Instrument::Cardinalities)
+            .parallelism(Parallelism::Threads(n))
+            .query(division::division_double_difference("R", "S"))
+            .run()
+            .unwrap();
+        let Some(Report::Planned(report)) = &out.report else {
+            panic!("planned strategy yields a planned report");
+        };
+        let rendered = report.render();
+        let node_lines: Vec<&str> = rendered.lines().skip(1).collect();
+        assert!(!node_lines.is_empty(), "report has node lines");
+        for line in node_lines {
+            assert!(line.contains("  ×"), "sharing count missing: {line:?}");
+            assert!(
+                line.contains("[serial]") || line.contains(" partitions]"),
+                "partition provenance missing: {line:?}"
+            );
+        }
+    }
+}
+
+/// [`QueryProfile::render_stable`] is byte-identical across two runs of
+/// the same configuration (timings masked), and the timed render
+/// carries estimates, q-errors, sharing, partitions, and wall-clock.
+#[test]
+fn query_profile_render_is_deterministic_and_complete() {
+    let _guard = lock();
+    let db = division_db();
+    let run = || {
+        Engine::new(db.clone())
+            .strategy(Strategy::Planned)
+            .stats(StatsMode::Analyze)
+            .instrument(Instrument::Profile)
+            .parallelism(Parallelism::Threads(4))
+            .query(division::division_double_difference("R", "S"))
+            .run()
+            .unwrap()
+            .profile()
+            .expect("Instrument::Profile yields a profile")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(
+        a.render_stable(),
+        b.render_stable(),
+        "stable render varies between identical runs"
+    );
+    assert!(a.render_stable().contains("elapsed -"));
+    let text = a.render();
+    assert!(text.starts_with("profile:"), "header: {text}");
+    for needle in ["est≈", "q-error", "  ×", "µs"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    assert!(
+        text.contains("[serial]") || text.contains(" partitions]"),
+        "partition provenance missing:\n{text}"
+    );
+}
+
+/// One served query yields one connected trace:
+/// `server.dispatch → {storage.snapshot, server.query → plan.node}`,
+/// with the exit attributes (tier, output rows) on the query span.
+#[test]
+fn served_queries_trace_the_full_hierarchy() {
+    let _guard = lock();
+    let db = division_db();
+    let expected = Engine::new(db.clone())
+        .query(division::division_double_difference("R", "S"))
+        .run()
+        .unwrap()
+        .relation;
+    let server = Server::start(
+        db,
+        ServerConfig {
+            workers: 1,
+            cores: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let session = server.session();
+    let ring = Arc::new(RingCollector::new(1 << 14));
+    let rows = setjoins::obs::with_collector(ring.clone(), || {
+        let resp = session
+            .query(division::division_double_difference("R", "S"))
+            .unwrap();
+        assert_eq!(*resp.relation, expected);
+        resp.relation.len()
+    });
+    server.shutdown();
+    let log = ring.log();
+    assert_eq!(log.spans("server.dispatch").count(), 1);
+    let queries: Vec<_> = log.spans("server.query").collect();
+    assert_eq!(queries.len(), 1);
+    assert!(log.has_ancestor(queries[0], "server.dispatch"));
+    assert_eq!(
+        queries[0].attr("tier").map(ToString::to_string).as_deref(),
+        Some("cold")
+    );
+    assert_eq!(queries[0].attr_u64("out_rows"), Some(rows as u64));
+    assert!(
+        log.spans("storage.snapshot")
+            .any(|s| log.has_ancestor(s, "server.dispatch")),
+        "snapshot capture traced under dispatch"
+    );
+    assert!(log.spans("plan.node").count() > 0, "plan nodes traced");
+    assert!(
+        log.spans("plan.node")
+            .all(|p| log.has_ancestor(p, "server.query")),
+        "every plan node hangs off the query span"
+    );
+}
+
+/// [`Server::metrics_text`] exposes the serving series with correct
+/// counts and is byte-stable between scrapes with no traffic in
+/// between.
+#[test]
+fn metrics_text_is_stable_and_complete() {
+    let _guard = lock();
+    let server = Server::start(
+        division_db(),
+        ServerConfig {
+            workers: 2,
+            cores: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let session = server.session();
+    let e = division::division_double_difference("R", "S");
+    session.query(e.clone()).unwrap();
+    session.query(e).unwrap(); // second hit answers from the result cache
+    let text = server.metrics_text();
+    for needle in [
+        "sj_server_queries_total 2",
+        "sj_server_cache_hits_total{tier=\"result\"} 1",
+        "sj_server_queries_by_class_total{class=\"difference\"} 2",
+        "sj_server_session_queries_total{session=\"1\"} 2",
+        "sj_server_queue_wait_seconds_count 2",
+        "sj_server_query_seconds",
+        "sj_server_max_q_error",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    assert_eq!(
+        text,
+        server.metrics_text(),
+        "exposition drifts between idle scrapes"
+    );
+    server.shutdown();
+}
